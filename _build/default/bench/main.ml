@@ -1,0 +1,208 @@
+(* Benchmark harness: one Bechamel benchmark per paper table (the analysis
+   step that regenerates the table from collected feedback reports), plus
+   micro-benchmarks of the statistical core and the collection runtime.
+
+   After timing, the harness prints each regenerated table so a single
+   `dune exec bench/main.exe` both measures and reproduces the paper's
+   results (at reduced run counts; use bin/cbi.exe --runs 32000 for
+   paper-scale populations). *)
+
+open Bechamel
+open Toolkit
+open Sbi_experiments
+
+let bench_runs =
+  match Sys.getenv_opt "SBI_BENCH_RUNS" with
+  | Some s -> ( match int_of_string_opt s with Some n when n > 0 -> n | _ -> 300)
+  | None -> 300
+
+let bench_train =
+  match Sys.getenv_opt "SBI_BENCH_TRAIN" with
+  | Some s -> ( match int_of_string_opt s with Some n when n > 0 -> n | _ -> 80)
+  | None -> 80
+
+let config =
+  {
+    Harness.seed = 42;
+    nruns = Some bench_runs;
+    sampling = Harness.Adaptive bench_train;
+    confidence = 0.95;
+  }
+
+(* --- one-time setup: collect every study's bundle --- *)
+
+let bundles =
+  lazy
+    (List.map
+       (fun study ->
+         Printf.eprintf "[bench] collecting %s (%d runs)...\n%!"
+           study.Sbi_corpus.Study.name bench_runs;
+         (study.Sbi_corpus.Study.name, Harness.collect_study ~config study))
+       Sbi_corpus.Corpus.all)
+
+let bundle name = List.assoc name (Lazy.force bundles)
+let moss () = bundle "mossim"
+
+let all_rows () =
+  List.map (fun (_, b) -> (b, Harness.analyze b)) (Lazy.force bundles)
+
+(* --- per-table benchmarks --- *)
+
+let table_tests () =
+  let moss = moss () in
+  let rows = all_rows () in
+  [
+    Test.make ~name:"table1:ranking-strategies" (Staged.stage (fun () -> Table1.render ~top:8 moss));
+    Test.make ~name:"table2:summary-statistics" (Staged.stage (fun () -> Table2.render rows));
+    Test.make ~name:"table3:moss-elimination" (Staged.stage (fun () -> Table3.render moss));
+    Test.make ~name:"table4:ccrypt-predictors"
+      (Staged.stage (fun () ->
+           Predictor_table.render ~title:"Table 4" (bundle "ccryptim")));
+    Test.make ~name:"table5:bc-predictors"
+      (Staged.stage (fun () -> Predictor_table.render ~title:"Table 5" (bundle "bcim")));
+    Test.make ~name:"table6:exif-predictors"
+      (Staged.stage (fun () -> Predictor_table.render ~title:"Table 6" (bundle "exifim")));
+    Test.make ~name:"table7:rhythmbox-predictors"
+      (Staged.stage (fun () -> Predictor_table.render ~title:"Table 7" (bundle "rhythmim")));
+    Test.make ~name:"table8:runs-needed" (Staged.stage (fun () -> Table8.render rows));
+    Test.make ~name:"table9:logistic-regression" (Staged.stage (fun () -> Table9.render moss));
+    Test.make ~name:"ablation:discard-proposals" (Staged.stage (fun () -> Ablation.render moss));
+    Test.make ~name:"stack-study" (Staged.stage (fun () -> Stack_study.render rows));
+  ]
+
+(* --- statistical-core micro-benchmarks --- *)
+
+let core_tests () =
+  let moss = moss () in
+  let ds = moss.Harness.dataset in
+  let counts = Sbi_core.Counts.compute ds in
+  let retained = Sbi_core.Prune.retained counts in
+  let selected = match retained with p :: _ -> p | [] -> 0 in
+  [
+    Test.make ~name:"core:counts" (Staged.stage (fun () -> Sbi_core.Counts.compute ds));
+    Test.make ~name:"core:score-all" (Staged.stage (fun () -> Sbi_core.Scores.score_all counts));
+    Test.make ~name:"core:prune" (Staged.stage (fun () -> Sbi_core.Prune.retained counts));
+    Test.make ~name:"core:eliminate"
+      (Staged.stage (fun () -> Sbi_core.Eliminate.run ~candidates:retained ds));
+    Test.make ~name:"core:affinity"
+      (Staged.stage (fun () -> Sbi_core.Affinity.list ds ~selected ~others:retained));
+    Test.make ~name:"core:logreg-train" (Staged.stage (fun () -> Sbi_logreg.Logreg.train ds));
+  ]
+
+(* --- runtime micro-benchmarks --- *)
+
+let runtime_tests () =
+  let study = Sbi_corpus.Corpus.mossim in
+  let moss = moss () in
+  let t = moss.Harness.transform in
+  let spec_sampled =
+    Sbi_runtime.Collect.make_spec ~transform:t ~plan:moss.Harness.plan
+      ~gen_input:(fun run -> study.Sbi_corpus.Study.gen_input ~seed:1 ~run)
+      ()
+  in
+  let spec_full =
+    Sbi_runtime.Collect.make_spec ~transform:t ~plan:Sbi_instrument.Sampler.Always
+      ~gen_input:(fun run -> study.Sbi_corpus.Study.gen_input ~seed:1 ~run)
+      ()
+  in
+  let sampler =
+    Sbi_instrument.Sampler.create ~nsites:(Sbi_instrument.Transform.num_sites t)
+      moss.Harness.plan
+  in
+  let counter = ref 0 in
+  let next () =
+    incr counter;
+    !counter
+  in
+  let compiled = Sbi_lang.Vm.compile t.Sbi_instrument.Transform.prog in
+  [
+    Test.make ~name:"run:bytecode-vm"
+      (Staged.stage (fun () ->
+           let args = study.Sbi_corpus.Study.gen_input ~seed:1 ~run:(next () mod 1000) in
+           Sbi_lang.Vm.run_compiled compiled
+             { Sbi_lang.Interp.default_config with Sbi_lang.Interp.args }));
+    Test.make ~name:"run:uninstrumented"
+      (Staged.stage (fun () ->
+           Sbi_runtime.Collect.run_uninstrumented spec_sampled ~run_index:(next () mod 1000)));
+    Test.make ~name:"run:sampled-nonuniform"
+      (Staged.stage (fun () ->
+           Sbi_runtime.Collect.run_one spec_sampled ~sampler ~run_index:(next () mod 1000)));
+    Test.make ~name:"run:fully-observed"
+      (Staged.stage (fun () ->
+           Sbi_runtime.Collect.run_one spec_full ~sampler ~run_index:(next () mod 1000)));
+    Test.make ~name:"sampler:coin-flip"
+      (Staged.stage (fun () ->
+           for site = 0 to 99 do
+             ignore (Sbi_instrument.Sampler.should_sample sampler site)
+           done));
+  ]
+
+(* --- run and report --- *)
+
+let run_benchmarks tests =
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~stabilize:false () in
+  let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"sbi" tests) in
+  Analyze.all ols Instance.monotonic_clock raw
+
+let human_time ns =
+  if ns >= 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+  else if ns >= 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+  else if ns >= 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+  else Printf.sprintf "%.0f ns" ns
+
+let print_results results =
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols ->
+      let est = match Analyze.OLS.estimates ols with Some (e :: _) -> e | _ -> nan in
+      let r2 = match Analyze.OLS.r_square ols with Some r -> r | None -> nan in
+      rows := (name, est, r2) :: !rows)
+    results;
+  let sorted = List.sort (fun (a, _, _) (b, _, _) -> compare a b) !rows in
+  let tab =
+    Sbi_util.Texttab.create ~title:"Benchmark results (time per regeneration)"
+      [
+        ("benchmark", Sbi_util.Texttab.Left);
+        ("time/run", Sbi_util.Texttab.Right);
+        ("r2", Sbi_util.Texttab.Right);
+      ]
+  in
+  List.iter
+    (fun (name, est, r2) ->
+      Sbi_util.Texttab.add_row tab [ name; human_time est; Printf.sprintf "%.3f" r2 ])
+    sorted;
+  print_string (Sbi_util.Texttab.render tab)
+
+let print_tables () =
+  print_endline "\n===== Regenerated paper tables (reduced run counts) =====\n";
+  let moss = moss () in
+  let rows = all_rows () in
+  print_endline (Table1.render ~top:8 moss);
+  print_endline (Table2.render rows);
+  print_endline (Table3.render moss);
+  print_endline
+    (Predictor_table.render ~title:"Table 4: Predictors for CCRYPT (analogue)"
+       (bundle "ccryptim"));
+  print_endline
+    (Predictor_table.render ~title:"Table 5: Predictors for BC (analogue)" (bundle "bcim"));
+  print_endline
+    (Predictor_table.render ~title:"Table 6: Predictors for EXIF (analogue)" (bundle "exifim"));
+  print_endline
+    (Predictor_table.render ~title:"Table 7: Predictors for RHYTHMBOX (analogue)"
+       (bundle "rhythmim"));
+  print_endline (Table8.render rows);
+  print_endline (Table9.render moss);
+  print_endline (Ablation.render moss);
+  print_endline (Stack_study.render rows)
+
+let () =
+  Printf.printf "sbi benchmark harness: %d runs/study, adaptive training on %d runs\n%!"
+    bench_runs bench_train;
+  ignore (Lazy.force bundles);
+  let tests = table_tests () @ core_tests () @ runtime_tests () in
+  Printf.eprintf "[bench] timing %d benchmarks...\n%!" (List.length tests);
+  let results = run_benchmarks tests in
+  print_results results;
+  print_tables ()

@@ -1,0 +1,406 @@
+(* cbi — command-line driver for the statistical bug isolation
+   reproduction: regenerate the paper's tables, run corpus programs,
+   collect/analyze datasets, and browse predictors. *)
+
+open Cmdliner
+open Sbi_experiments
+
+(* --- shared options --- *)
+
+let seed_t =
+  let doc = "PRNG seed for input generation and sampling." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let runs_t =
+  let doc = "Number of monitored runs (default: per-study default; the paper used ~32,000)." in
+  Arg.(value & opt (some int) None & info [ "runs" ] ~docv:"N" ~doc)
+
+let quick_t =
+  let doc = "Quick mode: 600 runs, adaptive training on 150 runs." in
+  Arg.(value & flag & info [ "quick" ] ~doc)
+
+let sampling_t =
+  let doc =
+    "Sampling mode: 'adaptive[:NTRAIN]' (paper default, non-uniform rates), \
+     'uniform:RATE', or 'none' (observe everything)."
+  in
+  Arg.(value & opt string "adaptive:1000" & info [ "sampling" ] ~docv:"MODE" ~doc)
+
+let parse_sampling s =
+  match String.split_on_char ':' s with
+  | [ "none" ] -> Ok Harness.No_sampling
+  | [ "adaptive" ] -> Ok (Harness.Adaptive 1000)
+  | [ "adaptive"; n ] -> (
+      match int_of_string_opt n with
+      | Some n when n > 0 -> Ok (Harness.Adaptive n)
+      | _ -> Error "bad adaptive training count")
+  | [ "uniform"; r ] -> (
+      match float_of_string_opt r with
+      | Some r when r > 0. && r <= 1. -> Ok (Harness.Uniform r)
+      | _ -> Error "uniform rate must be in (0,1]")
+  | _ -> Error "sampling must be none | adaptive[:N] | uniform:RATE"
+
+let config_of ~seed ~runs ~quick ~sampling =
+  match parse_sampling sampling with
+  | Error e -> Error e
+  | Ok sampling_mode ->
+      let base = if quick then Harness.quick_config else Harness.default_config in
+      Ok
+        {
+          base with
+          Harness.seed;
+          nruns = (match runs with Some n -> Some n | None -> base.Harness.nruns);
+          sampling = (if quick && sampling = "adaptive:1000" then base.Harness.sampling
+                      else sampling_mode);
+        }
+
+let study_conv =
+  let parse s =
+    match Sbi_corpus.Corpus.by_name s with
+    | Some study -> Ok study
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown study %s (expected: %s)" s
+               (String.concat ", "
+                  (List.map (fun st -> st.Sbi_corpus.Study.name) Sbi_corpus.Corpus.all))))
+  in
+  let print fmt st = Format.pp_print_string fmt st.Sbi_corpus.Study.name in
+  Arg.conv (parse, print)
+
+let or_fail = function
+  | Ok x -> x
+  | Error msg ->
+      prerr_endline ("cbi: " ^ msg);
+      exit 2
+
+(* --- table command --- *)
+
+let bundle_cache : (string, Harness.bundle) Hashtbl.t = Hashtbl.create 8
+
+let get_bundle config study =
+  let key = study.Sbi_corpus.Study.name in
+  match Hashtbl.find_opt bundle_cache key with
+  | Some b -> b
+  | None ->
+      Printf.eprintf "[cbi] collecting %s...\n%!" key;
+      let b = Harness.collect_study ~config study in
+      Hashtbl.replace bundle_cache key b;
+      b
+
+let all_rows config =
+  List.map
+    (fun study ->
+      let b = get_bundle config study in
+      (b, Harness.analyze b))
+    Sbi_corpus.Corpus.all
+
+let render_table config n =
+  let moss () = get_bundle config Sbi_corpus.Corpus.mossim in
+  match n with
+  | 1 -> Ok (Table1.render (moss ()))
+  | 2 -> Ok (Table2.render (all_rows config))
+  | 3 -> Ok (Table3.render (moss ()))
+  | 4 ->
+      Ok
+        (Predictor_table.render ~title:"Table 4: Predictors for CCRYPT (analogue)"
+           (get_bundle config Sbi_corpus.Corpus.ccryptim))
+  | 5 ->
+      Ok
+        (Predictor_table.render ~title:"Table 5: Predictors for BC (analogue)"
+           (get_bundle config Sbi_corpus.Corpus.bcim))
+  | 6 ->
+      Ok
+        (Predictor_table.render ~title:"Table 6: Predictors for EXIF (analogue)"
+           (get_bundle config Sbi_corpus.Corpus.exifim))
+  | 7 ->
+      Ok
+        (Predictor_table.render ~title:"Table 7: Predictors for RHYTHMBOX (analogue)"
+           (get_bundle config Sbi_corpus.Corpus.rhythmim))
+  | 8 -> Ok (Table8.render (all_rows config))
+  | 9 -> Ok (Table9.render (moss ()))
+  | _ -> Error "table number must be 1..9"
+
+let table_cmd =
+  let n_t =
+    let doc = "Paper table number (1–9), or 0 for all tables." in
+    Arg.(required & pos 0 (some int) None & info [] ~docv:"TABLE" ~doc)
+  in
+  let run n seed runs quick sampling =
+    let config = or_fail (config_of ~seed ~runs ~quick ~sampling) in
+    if n = 0 then
+      List.iter
+        (fun i ->
+          print_endline (or_fail (render_table config i));
+          print_newline ())
+        [ 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+    else print_endline (or_fail (render_table config n))
+  in
+  let info = Cmd.info "table" ~doc:"Regenerate one of the paper's tables (1-9; 0 = all)." in
+  Cmd.v info Term.(const run $ n_t $ seed_t $ runs_t $ quick_t $ sampling_t)
+
+(* --- auxiliary experiments --- *)
+
+let simple_experiment name doc f =
+  let run seed runs quick sampling =
+    let config = or_fail (config_of ~seed ~runs ~quick ~sampling) in
+    print_endline (f config)
+  in
+  let info = Cmd.info name ~doc in
+  Cmd.v info Term.(const run $ seed_t $ runs_t $ quick_t $ sampling_t)
+
+let stack_cmd =
+  simple_experiment "stack-study"
+    "Reproduce the stack-trace usefulness study (§6): per-bug crash-stack uniqueness."
+    (fun config -> Stack_study.render (all_rows config))
+
+let validation_cmd =
+  simple_experiment "sampling-validation"
+    "Compare sampled vs. unsampled analyses (§4): selected sites and bug coverage."
+    (fun config -> Sampling_validation.run ~config ())
+
+let ablation_cmd =
+  simple_experiment "ablation"
+    "Compare the three §5 run-discard proposals on the MOSS analogue."
+    (fun config -> Ablation.render (get_bundle config Sbi_corpus.Corpus.mossim))
+
+let static_followup_cmd =
+  simple_experiment "static-followup"
+    "Run the §1 follow-up: scan for the unsafe dispose-then-use pattern that the \
+     RHYTHMBOX-analogue predictors expose."
+    (fun config -> Static_followup.render (get_bundle config Sbi_corpus.Corpus.rhythmim))
+
+let curves_cmd =
+  let study_t =
+    Arg.(required & pos 0 (some study_conv) None & info [] ~docv:"STUDY" ~doc:"Study name.")
+  in
+  let run study seed runs quick sampling =
+    let config = or_fail (config_of ~seed ~runs ~quick ~sampling) in
+    print_endline (Curves.render (get_bundle config study))
+  in
+  let info =
+    Cmd.info "curves"
+      ~doc:"Plot Importance_N convergence curves for each bug's chosen predictor (§4.3)."
+  in
+  Cmd.v info Term.(const run $ study_t $ seed_t $ runs_t $ quick_t $ sampling_t)
+
+let report_cmd =
+  let study_t =
+    Arg.(required & pos 0 (some study_conv) None & info [] ~docv:"STUDY" ~doc:"Study name.")
+  in
+  let out_t =
+    Arg.(required & opt (some string) None
+           & info [ "o"; "output" ] ~docv:"FILE" ~doc:"HTML output path.")
+  in
+  let run study out seed runs quick sampling =
+    let config = or_fail (config_of ~seed ~runs ~quick ~sampling) in
+    let bundle = get_bundle config study in
+    Html_report.write ~path:out bundle;
+    Printf.printf "wrote %s\n" out
+  in
+  let info =
+    Cmd.info "report" ~doc:"Analyze a study and write a self-contained HTML report."
+  in
+  Cmd.v info Term.(const run $ study_t $ out_t $ seed_t $ runs_t $ quick_t $ sampling_t)
+
+(* --- studies --- *)
+
+let studies_cmd =
+  let run () =
+    List.iter
+      (fun st ->
+        Printf.printf "%-10s %5d LoC, %d seeded bug(s), default %d runs\n    %s\n"
+          st.Sbi_corpus.Study.name
+          (Sbi_corpus.Study.loc_count st)
+          (List.length st.Sbi_corpus.Study.bugs)
+          st.Sbi_corpus.Study.default_runs st.Sbi_corpus.Study.descr;
+        List.iter
+          (fun (b : Sbi_corpus.Study.bug) ->
+            Printf.printf "      #%d %s%s\n" b.Sbi_corpus.Study.bug_id
+              b.Sbi_corpus.Study.bug_descr
+              (if b.Sbi_corpus.Study.crashing then "" else " [non-crashing]"))
+          st.Sbi_corpus.Study.bugs)
+      Sbi_corpus.Corpus.all
+  in
+  let info = Cmd.info "studies" ~doc:"List the corpus case studies and their seeded bugs." in
+  Cmd.v info Term.(const run $ const ())
+
+let run_cmd =
+  let study_t =
+    Arg.(required & pos 0 (some study_conv) None & info [] ~docv:"STUDY" ~doc:"Study name.")
+  in
+  let index_t =
+    Arg.(value & opt int 0 & info [ "input" ] ~docv:"I" ~doc:"Generated-input index to run.")
+  in
+  let run study index seed =
+    let args = study.Sbi_corpus.Study.gen_input ~seed ~run:index in
+    Printf.printf "args: %s\n" (String.concat " | " (Array.to_list args));
+    let prog = Sbi_corpus.Study.checked study in
+    let result =
+      Sbi_lang.Interp.run prog
+        {
+          Sbi_lang.Interp.default_config with
+          Sbi_lang.Interp.args;
+          nondet_seed = (0x7a11 * 1_000_003) + index;
+        }
+    in
+    print_string result.Sbi_lang.Interp.output;
+    (match result.Sbi_lang.Interp.outcome with
+    | Sbi_lang.Interp.Finished v ->
+        Printf.printf "[finished: %s]\n" (Sbi_lang.Value.to_string v)
+    | Sbi_lang.Interp.Crashed c ->
+        Printf.printf "[CRASH: %s at %s in %s; stack: %s]\n"
+          (Sbi_lang.Interp.crash_kind_to_string c.Sbi_lang.Interp.kind)
+          (Sbi_lang.Loc.to_string c.Sbi_lang.Interp.crash_loc)
+          c.Sbi_lang.Interp.crash_fn
+          (String.concat " < " c.Sbi_lang.Interp.stack));
+    if result.Sbi_lang.Interp.bugs_triggered <> [] then
+      Printf.printf "[ground-truth bugs: %s]\n"
+        (String.concat " "
+           (List.map (fun b -> "#" ^ string_of_int b) result.Sbi_lang.Interp.bugs_triggered))
+  in
+  let info = Cmd.info "run" ~doc:"Run one corpus program on a generated input and show the outcome." in
+  Cmd.v info Term.(const run $ study_t $ index_t $ seed_t)
+
+let collect_cmd =
+  let study_t =
+    Arg.(required & pos 0 (some study_conv) None & info [] ~docv:"STUDY" ~doc:"Study name.")
+  in
+  let out_t =
+    Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Dataset output path.")
+  in
+  let run study out seed runs quick sampling =
+    let config = or_fail (config_of ~seed ~runs ~quick ~sampling) in
+    let bundle = Harness.collect_study ~config study in
+    Sbi_runtime.Dataset.save out bundle.Harness.dataset;
+    Printf.printf "wrote %s: %d runs (%d failing), %d sites, %d predicates\n" out
+      (Sbi_runtime.Dataset.nruns bundle.Harness.dataset)
+      (Sbi_runtime.Dataset.num_failures bundle.Harness.dataset)
+      bundle.Harness.dataset.Sbi_runtime.Dataset.nsites
+      bundle.Harness.dataset.Sbi_runtime.Dataset.npreds
+  in
+  let info = Cmd.info "collect" ~doc:"Collect a feedback-report dataset and save it to disk." in
+  Cmd.v info Term.(const run $ study_t $ out_t $ seed_t $ runs_t $ quick_t $ sampling_t)
+
+let disasm_cmd =
+  let study_t =
+    Arg.(required & pos 0 (some study_conv) None & info [] ~docv:"STUDY" ~doc:"Study name.")
+  in
+  let fn_t =
+    Arg.(value & opt (some string) None & info [ "fn" ] ~docv:"NAME"
+           ~doc:"Only this function (default: all).")
+  in
+  let run study fn =
+    let prog = Sbi_corpus.Study.checked study in
+    let compiled = Sbi_lang.Vm.compile prog in
+    Array.iter
+      (fun (f : Sbi_lang.Vm.func) ->
+        match fn with
+        | Some name when name <> f.Sbi_lang.Vm.name -> ()
+        | _ -> print_string (Sbi_lang.Vm.disassemble f))
+      compiled.Sbi_lang.Vm.funcs
+  in
+  let info = Cmd.info "disasm" ~doc:"Disassemble a corpus program's bytecode." in
+  Cmd.v info Term.(const run $ study_t $ fn_t)
+
+let analyze_file_cmd =
+  let file_t =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE"
+           ~doc:"Dataset file written by 'cbi collect'.")
+  in
+  let discard_t =
+    let doc = "Run-discard proposal: 1 (discard all covered runs), 2 (failing only), 3 (relabel)." in
+    Arg.(value & opt int 1 & info [ "proposal" ] ~docv:"N" ~doc)
+  in
+  let run file proposal =
+    let ds =
+      try Sbi_runtime.Dataset.load file
+      with Sbi_runtime.Dataset.Parse_error msg ->
+        prerr_endline ("cbi: cannot read dataset: " ^ msg);
+        exit 2
+    in
+    let discard =
+      match proposal with
+      | 1 -> Sbi_core.Eliminate.Discard_all_true
+      | 2 -> Sbi_core.Eliminate.Discard_failing_true
+      | 3 -> Sbi_core.Eliminate.Relabel_failing
+      | _ ->
+          prerr_endline "cbi: --proposal must be 1, 2, or 3";
+          exit 2
+    in
+    let analysis = Sbi_core.Analysis.analyze ~discard ds in
+    let s = Sbi_core.Analysis.summary analysis in
+    Printf.printf
+      "%d runs (%d failing); %d sites, %d predicates; %d after pruning; %d selected:\n"
+      s.Sbi_core.Analysis.runs s.Sbi_core.Analysis.failing s.Sbi_core.Analysis.sites
+      s.Sbi_core.Analysis.initial_preds s.Sbi_core.Analysis.retained_preds
+      s.Sbi_core.Analysis.selected_preds;
+    List.iter
+      (fun (sel : Sbi_core.Eliminate.selection) ->
+        Printf.printf "  %d. [imp %.3f, F=%d, S=%d]  %s\n" sel.Sbi_core.Eliminate.rank
+          sel.Sbi_core.Eliminate.effective.Sbi_core.Scores.importance
+          sel.Sbi_core.Eliminate.effective.Sbi_core.Scores.f
+          sel.Sbi_core.Eliminate.effective.Sbi_core.Scores.s
+          (Sbi_runtime.Dataset.pred_text ds sel.Sbi_core.Eliminate.pred))
+      analysis.Sbi_core.Analysis.elimination.Sbi_core.Eliminate.selections
+  in
+  let info =
+    Cmd.info "analyze-file"
+      ~doc:"Run the cause-isolation analysis on a dataset saved by 'cbi collect'."
+  in
+  Cmd.v info Term.(const run $ file_t $ discard_t)
+
+let inspect_cmd =
+  let study_t =
+    Arg.(required & pos 0 (some study_conv) None & info [] ~docv:"STUDY" ~doc:"Study name.")
+  in
+  let top_t =
+    Arg.(value & opt int 5 & info [ "affinity" ] ~docv:"K"
+           ~doc:"Show the top K affinity entries for each selected predicate.")
+  in
+  let run study top seed runs quick sampling =
+    let config = or_fail (config_of ~seed ~runs ~quick ~sampling) in
+    let bundle = Harness.collect_study ~config study in
+    let analysis = Harness.analyze bundle in
+    let selections =
+      analysis.Sbi_core.Analysis.elimination.Sbi_core.Eliminate.selections
+    in
+    List.iter
+      (fun (sel : Sbi_core.Eliminate.selection) ->
+        Printf.printf "#%d  imp=%.3f  %s\n" sel.Sbi_core.Eliminate.rank
+          sel.Sbi_core.Eliminate.effective.Sbi_core.Scores.importance
+          (Harness.describe bundle ~pred:sel.Sbi_core.Eliminate.pred);
+        let entries =
+          Sbi_core.Analysis.affinity_for analysis ~pred:sel.Sbi_core.Eliminate.pred
+        in
+        let rec take k = function
+          | [] -> []
+          | _ when k = 0 -> []
+          | x :: rest -> x :: take (k - 1) rest
+        in
+        List.iter
+          (fun (e : Sbi_core.Affinity.entry) ->
+            Printf.printf "     drop %.3f (%.3f -> %.3f)  %s\n" e.Sbi_core.Affinity.drop
+              e.Sbi_core.Affinity.importance_before e.Sbi_core.Affinity.importance_after
+              (Harness.describe bundle ~pred:e.Sbi_core.Affinity.pred))
+          (take top entries))
+      selections
+  in
+  let info =
+    Cmd.info "inspect"
+      ~doc:"Analyze a study and browse each selected predictor's affinity list."
+  in
+  Cmd.v info Term.(const run $ study_t $ top_t $ seed_t $ runs_t $ quick_t $ sampling_t)
+
+let main_cmd =
+  let doc = "Scalable statistical bug isolation (PLDI 2005) — reproduction driver." in
+  let info = Cmd.info "cbi" ~version:"1.0.0" ~doc in
+  Cmd.group info
+    [
+      table_cmd; stack_cmd; validation_cmd; ablation_cmd; static_followup_cmd;
+      report_cmd; curves_cmd; studies_cmd; run_cmd; collect_cmd; analyze_file_cmd;
+      disasm_cmd; inspect_cmd;
+    ]
+
+let () = exit (Cmd.eval main_cmd)

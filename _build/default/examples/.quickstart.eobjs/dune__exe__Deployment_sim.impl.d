@@ -1,0 +1,1 @@
+examples/deployment_sim.ml: Analysis Eliminate Harness List Option Printf Sbi_core Sbi_corpus Sbi_experiments Sbi_instrument Sbi_runtime Sbi_util String Texttab Unix

@@ -1,0 +1,1 @@
+examples/event_prediction.ml: Analysis Array Check Collect Dataset Eliminate Interp List Printf Sampler Sbi_core Sbi_instrument Sbi_lang Sbi_runtime Sbi_util Scores Transform

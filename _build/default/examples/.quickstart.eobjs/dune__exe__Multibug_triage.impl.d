@@ -1,0 +1,1 @@
+examples/multibug_triage.ml: Affinity Analysis Eliminate Harness List Printf Sbi_core Sbi_corpus Sbi_experiments Sbi_runtime Scores Table3

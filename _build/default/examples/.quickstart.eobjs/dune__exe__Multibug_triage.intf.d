@@ -1,0 +1,1 @@
+examples/multibug_triage.mli:

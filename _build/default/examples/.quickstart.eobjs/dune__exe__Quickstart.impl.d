@@ -1,0 +1,1 @@
+examples/quickstart.ml: Analysis Array Check Collect Dataset Eliminate List Printf Sampler Sbi_core Sbi_instrument Sbi_lang Sbi_runtime Sbi_util Scores Transform

@@ -1,0 +1,90 @@
+(* Quickstart: statistical debugging end to end on a 30-line program.
+
+   We take a MiniC program with one seeded bug, instrument it with the
+   paper's three predicate schemes, run it on a few hundred random inputs
+   with sparse sampling, and let the cause-isolation algorithm point at the
+   bug.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+open Sbi_lang
+open Sbi_instrument
+open Sbi_runtime
+open Sbi_core
+
+(* A tiny "server request handler".  The bug: requests with a quota above
+   90 skip the clamping branch, and the buffer write below overruns. *)
+let source =
+  {|
+  int handled;
+
+  int clamp_quota(int q) {
+    int limit = 90;
+    if (q > limit) {
+      // BUG: should clamp to the limit, returns the raw quota instead
+      return q;
+    }
+    return q;
+  }
+
+  void handle(int quota) {
+    int[] slots = new int[100];
+    int q = clamp_quota(quota);
+    for (int i = 0; i < q; i = i + 1) {
+      slots[i] = i; // crashes when q > 100
+    }
+    handled = handled + 1;
+  }
+
+  int main() {
+    for (int r = 0; r < argc(); r = r + 1) {
+      handle(arg_int(r));
+    }
+    println("handled " + to_str(handled));
+    return 0;
+  }
+  |}
+
+let () =
+  (* 1. Parse and check the subject program. *)
+  let prog = Check.check_string ~file:"server.mc" source in
+
+  (* 2. Instrument: branches, returns, and scalar-pairs sites. *)
+  let transform = Transform.instrument prog in
+  Printf.printf "instrumented: %d sites, %d predicates\n" (Transform.num_sites transform)
+    (Transform.num_preds transform);
+
+  (* 3. Collect feedback reports from 600 runs with 1/10 sampling.  Each
+     run gets 1-4 requests with quotas in [0, 120): about a quarter of the
+     runs include an overrunning request. *)
+  let gen_input run =
+    let rng = Sbi_util.Prng.create (run + 1) in
+    Array.init
+      (1 + Sbi_util.Prng.int rng 4)
+      (fun _ -> string_of_int (Sbi_util.Prng.int rng 120))
+  in
+  let spec = Collect.make_spec ~transform ~plan:(Sampler.Uniform 0.1) ~gen_input () in
+  let dataset = Collect.collect spec ~nruns:600 in
+  Printf.printf "collected: %d runs, %d failing\n" (Dataset.nruns dataset)
+    (Dataset.num_failures dataset);
+
+  (* 4. Analyze: prune by Increase, then iteratively select predictors. *)
+  let analysis = Analysis.analyze dataset in
+  let summary = Analysis.summary analysis in
+  Printf.printf "predicates: %d initial -> %d after pruning -> %d selected\n\n"
+    summary.Analysis.initial_preds summary.Analysis.retained_preds
+    summary.Analysis.selected_preds;
+
+  print_endline "selected failure predictors (most important first):";
+  List.iter
+    (fun (sel : Eliminate.selection) ->
+      Printf.printf "  %d. [imp %.3f, F=%d, S=%d]  %s\n" sel.Eliminate.rank
+        sel.Eliminate.effective.Scores.importance sel.Eliminate.effective.Scores.f
+        sel.Eliminate.effective.Scores.s
+        (Transform.describe_pred transform sel.Eliminate.pred))
+    analysis.Analysis.elimination.Eliminate.selections;
+  print_newline ();
+  print_endline
+    "The top predictors implicate the q/quota comparison in clamp_quota — the\n\
+     condition under which the overrun occurs — rather than the crash site in\n\
+     handle(), exactly as §3.1 of the paper describes."

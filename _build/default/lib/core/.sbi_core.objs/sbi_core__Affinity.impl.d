@@ -1,0 +1,1 @@
+lib/core/affinity.ml: Counts Dataset List Report Sbi_runtime Scores

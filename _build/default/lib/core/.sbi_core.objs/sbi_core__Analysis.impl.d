@@ -1,0 +1,1 @@
+lib/core/analysis.ml: Affinity Counts Dataset Eliminate List Prune Sbi_runtime

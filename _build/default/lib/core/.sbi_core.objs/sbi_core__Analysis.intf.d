@@ -1,0 +1,1 @@
+lib/core/analysis.mli: Affinity Counts Eliminate Sbi_runtime

@@ -1,0 +1,1 @@
+lib/core/counts.ml: Array Dataset Report Sbi_runtime

@@ -1,0 +1,1 @@
+lib/core/counts.mli: Sbi_runtime

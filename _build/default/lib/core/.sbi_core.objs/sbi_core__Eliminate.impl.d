@@ -1,0 +1,1 @@
+lib/core/eliminate.ml: Array Counts Dataset Hashtbl List Prune Report Sbi_runtime Scores

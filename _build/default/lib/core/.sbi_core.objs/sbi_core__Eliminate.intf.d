@@ -1,0 +1,1 @@
+lib/core/eliminate.mli: Sbi_runtime Scores

@@ -1,0 +1,1 @@
+lib/core/prune.ml: Array Counts List Sbi_util Scores Stats

@@ -1,0 +1,1 @@
+lib/core/rank.ml: Array Sbi_util Scores

@@ -1,0 +1,1 @@
+lib/core/runs_needed.ml: Array Counts Dataset List Sbi_runtime Scores

@@ -1,0 +1,1 @@
+lib/core/runs_needed.mli: Sbi_runtime

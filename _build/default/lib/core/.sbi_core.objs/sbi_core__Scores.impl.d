@@ -1,0 +1,1 @@
+lib/core/scores.ml: Array Counts Sbi_util Stats

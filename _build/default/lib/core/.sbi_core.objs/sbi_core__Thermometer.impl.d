@@ -1,0 +1,1 @@
+lib/core/thermometer.ml: Buffer Float Sbi_util Scores

@@ -1,0 +1,1 @@
+lib/core/thermometer.mli: Scores

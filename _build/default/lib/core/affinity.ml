@@ -1,0 +1,34 @@
+open Sbi_runtime
+
+type entry = {
+  pred : int;
+  importance_before : float;
+  importance_after : float;
+  drop : float;
+}
+
+let list ?(confidence = 0.95) ds ~selected ~others =
+  let counts_before = Counts.compute ds in
+  let without =
+    Dataset.filter_runs ds (fun r -> not (Report.is_true r selected))
+  in
+  let counts_after = Counts.compute without in
+  let entries =
+    List.filter_map
+      (fun pred ->
+        if pred = selected then None
+        else begin
+          let before = (Scores.score ~confidence counts_before ~pred).Scores.importance in
+          let after = (Scores.score ~confidence counts_after ~pred).Scores.importance in
+          Some { pred; importance_before = before; importance_after = after; drop = before -. after }
+        end)
+      others
+  in
+  List.sort
+    (fun a b ->
+      match compare b.drop a.drop with 0 -> compare a.pred b.pred | n -> n)
+    entries
+
+let top_affine = function
+  | { drop; pred; _ } :: _ when drop > 0. -> Some pred
+  | _ -> None

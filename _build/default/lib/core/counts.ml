@@ -1,0 +1,40 @@
+open Sbi_runtime
+
+type t = {
+  npreds : int;
+  f : int array;
+  s : int array;
+  f_obs : int array;
+  s_obs : int array;
+  num_f : int;
+  num_s : int;
+}
+
+let compute (ds : Dataset.t) =
+  let npreds = ds.Dataset.npreds in
+  let nsites = ds.Dataset.nsites in
+  let f = Array.make npreds 0 in
+  let s = Array.make npreds 0 in
+  let f_obs_site = Array.make (max nsites 1) 0 in
+  let s_obs_site = Array.make (max nsites 1) 0 in
+  let num_f = ref 0 in
+  let num_s = ref 0 in
+  Array.iter
+    (fun (r : Report.t) ->
+      let failing = Report.outcome_is_failure r.Report.outcome in
+      if failing then incr num_f else incr num_s;
+      let site_counter = if failing then f_obs_site else s_obs_site in
+      Array.iter
+        (fun site -> site_counter.(site) <- site_counter.(site) + 1)
+        r.Report.observed_sites;
+      let pred_counter = if failing then f else s in
+      Array.iter
+        (fun pred -> pred_counter.(pred) <- pred_counter.(pred) + 1)
+        r.Report.true_preds)
+    ds.Dataset.runs;
+  let f_obs = Array.init npreds (fun p -> f_obs_site.(ds.Dataset.pred_site.(p))) in
+  let s_obs = Array.init npreds (fun p -> s_obs_site.(ds.Dataset.pred_site.(p))) in
+  { npreds; f; s; f_obs; s_obs; num_f = !num_f; num_s = !num_s }
+
+let observed_anywhere t p = t.f_obs.(p) + t.s_obs.(p) > 0
+let true_somewhere t p = t.f.(p) + t.s.(p) > 0

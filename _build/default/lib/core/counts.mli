@@ -1,0 +1,27 @@
+(** Aggregate predicate counts over a dataset (§3.1 notation).
+
+    For each predicate P:
+    - [f]:     F(P)          — failing runs where P was observed to be true
+    - [s]:     S(P)          — successful runs where P was observed to be true
+    - [f_obs]: F(P observed) — failing runs where P's site was sampled
+    - [s_obs]: S(P observed) — successful runs where P's site was sampled
+
+    Since all predicates of a site are observed together, observation
+    counts are computed per site and shared by the site's predicates. *)
+
+type t = {
+  npreds : int;
+  f : int array;
+  s : int array;
+  f_obs : int array;
+  s_obs : int array;
+  num_f : int;  (** total failing runs in the dataset *)
+  num_s : int;  (** total successful runs *)
+}
+
+val compute : Sbi_runtime.Dataset.t -> t
+
+val observed_anywhere : t -> int -> bool
+(** Was the predicate's site sampled in at least one run? *)
+
+val true_somewhere : t -> int -> bool

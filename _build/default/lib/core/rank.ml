@@ -1,0 +1,35 @@
+type strategy = By_failure_count | By_increase | By_importance
+
+let strategy_to_string = function
+  | By_failure_count -> "descending F(P)"
+  | By_increase -> "descending Increase(P)"
+  | By_importance -> "descending harmonic-mean Importance(P)"
+
+let comparator = function
+  | By_failure_count ->
+      fun (a : Scores.t) (b : Scores.t) ->
+        (match compare b.Scores.f a.Scores.f with
+        | 0 -> (
+            match compare b.Scores.increase a.Scores.increase with
+            | 0 -> compare a.Scores.pred b.Scores.pred
+            | n -> n)
+        | n -> n)
+  | By_increase ->
+      fun a b ->
+        (match compare b.Scores.increase a.Scores.increase with
+        | 0 -> (
+            match compare b.Scores.f a.Scores.f with
+            | 0 -> compare a.Scores.pred b.Scores.pred
+            | n -> n)
+        | n -> n)
+  | By_importance -> Scores.compare_importance_desc
+
+let sort strategy scores =
+  let out = Array.copy scores in
+  Array.stable_sort (comparator strategy) out;
+  out
+
+let top ?(n = 10) strategy scores =
+  (* bounded selection: O(len log n) rather than sorting everything *)
+  let desc = comparator strategy in
+  Sbi_util.Topk.top ~k:n ~compare:(fun a b -> desc b a) scores

@@ -1,0 +1,18 @@
+(** Ranking strategies compared in Table 1.
+
+    - {!By_failure_count}: descending F(P) — favours super-bug predictors
+      (many failures, weak specificity).
+    - {!By_increase}: descending Increase(P) — favours sub-bug predictors
+      (near-deterministic but rare).
+    - {!By_importance}: descending harmonic-mean Importance — the paper's
+      balanced metric. *)
+
+type strategy = By_failure_count | By_increase | By_importance
+
+val strategy_to_string : strategy -> string
+
+val sort : strategy -> Scores.t array -> Scores.t array
+(** Stable sort into a fresh array (ties by descending F, then id). *)
+
+val top : ?n:int -> strategy -> Scores.t array -> Scores.t list
+(** The first [n] (default 10) under the strategy. *)

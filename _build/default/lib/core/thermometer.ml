@@ -1,0 +1,51 @@
+let bands ~max_width ~max_fs (sc : Scores.t) =
+  let fs = sc.Scores.f + sc.Scores.s in
+  if fs <= 0 || max_fs <= 0 then (0, 0, 0, 0, 0)
+  else begin
+    let len =
+      if max_fs <= 1 then max_width
+      else begin
+        let frac = log (float_of_int (fs + 1)) /. log (float_of_int (max_fs + 1)) in
+        max 1 (int_of_float (ceil (frac *. float_of_int max_width)))
+      end
+    in
+    let len = min len max_width in
+    let inc_lb = max 0. sc.Scores.increase_ci.Sbi_util.Stats.lo in
+    let ci_w =
+      max 0. (min 1. sc.Scores.increase_ci.Sbi_util.Stats.hi -. inc_lb)
+    in
+    let ctx = max 0. (min 1. sc.Scores.context) in
+    let black = int_of_float (Float.round (ctx *. float_of_int len)) in
+    let dark = int_of_float (Float.round (inc_lb *. float_of_int len)) in
+    let light = int_of_float (Float.round (ci_w *. float_of_int len)) in
+    let black = min black len in
+    let dark = min dark (len - black) in
+    let light = min light (len - black - dark) in
+    let white = len - black - dark - light in
+    (len, black, dark, light, white)
+  end
+
+let render_with ~black_c ~dark_c ~light_c ~white_c ~pad_c ?(max_width = 24) ~max_fs sc =
+  let _, black, dark, light, white = bands ~max_width ~max_fs sc in
+  let buf = Buffer.create (max_width + 2) in
+  Buffer.add_char buf '[';
+  let rep s n = for _ = 1 to n do Buffer.add_string buf s done in
+  rep black_c black;
+  rep dark_c dark;
+  rep light_c light;
+  rep white_c white;
+  rep pad_c (max_width - black - dark - light - white);
+  Buffer.add_char buf ']';
+  Buffer.contents buf
+
+let render ?max_width ~max_fs sc =
+  render_with ~black_c:"\xe2\x96\x88" (* █ *) ~dark_c:"\xe2\x96\x93" (* ▓ *)
+    ~light_c:"\xe2\x96\x91" (* ░ *) ~white_c:"\xc2\xb7" (* · *) ~pad_c:" " ?max_width ~max_fs sc
+
+let render_ascii ?max_width ~max_fs sc =
+  render_with ~black_c:"#" ~dark_c:"=" ~light_c:"-" ~white_c:"." ~pad_c:" " ?max_width
+    ~max_fs sc
+
+let legend =
+  "thermometer: [█ context |▓ increase (95% lower bound) |░ CI width |· successes]; \
+   length is log-scaled in the number of runs where the predicate was true"

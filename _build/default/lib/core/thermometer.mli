@@ -1,0 +1,25 @@
+(** Text rendering of the paper's "bug thermometer" (§3.3).
+
+    Each predicate's thermometer is log-scaled in the number of runs where
+    the predicate was observed true (F + S) and divided into bands:
+
+    - black  [█]: Context(P),
+    - dark   [▓]: lower bound of Increase(P) at 95% confidence
+      (red in the paper),
+    - light  [░]: the confidence-interval width (pink in the paper),
+    - white  [·]: the remainder — the share of successful runs.
+
+    A long, mostly-dark thermometer is a sensitive and specific predictor;
+    a long white band signals non-determinism / super-bug behaviour; a
+    short all-dark one is a sub-bug predictor. *)
+
+val render : ?max_width:int -> max_fs:int -> Scores.t -> string
+(** [render ~max_fs sc] draws [sc]'s thermometer scaled so that a predicate
+    observed true in [max_fs] runs fills [max_width] (default 24) cells.
+    [max_fs] is typically the largest F+S in the table being printed. *)
+
+val render_ascii : ?max_width:int -> max_fs:int -> Scores.t -> string
+(** Pure-ASCII variant ([#], [=], [-], [.]) for environments without
+    Unicode. *)
+
+val legend : string

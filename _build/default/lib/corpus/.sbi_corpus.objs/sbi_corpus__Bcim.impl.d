@@ -1,0 +1,1 @@
+lib/corpus/bcim.ml: Array List Printf Prng Sbi_util Study

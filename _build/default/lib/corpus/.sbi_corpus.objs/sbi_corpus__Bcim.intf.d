@@ -1,0 +1,1 @@
+lib/corpus/bcim.mli: Study

@@ -1,0 +1,1 @@
+lib/corpus/ccryptim.ml: Array List Prng Sbi_util String Study

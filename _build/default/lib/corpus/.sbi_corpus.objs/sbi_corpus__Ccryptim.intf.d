@@ -1,0 +1,1 @@
+lib/corpus/ccryptim.mli: Study

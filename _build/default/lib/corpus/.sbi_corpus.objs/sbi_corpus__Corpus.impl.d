@@ -1,0 +1,1 @@
+lib/corpus/corpus.ml: Bcim Ccryptim Exifim List Mossim Rhythmim Sbi_instrument Sbi_lang Sbi_runtime String Study

@@ -1,0 +1,1 @@
+lib/corpus/corpus.mli: Sbi_instrument Sbi_lang Sbi_runtime Study

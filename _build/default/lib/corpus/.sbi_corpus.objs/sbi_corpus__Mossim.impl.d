@@ -1,0 +1,1 @@
+lib/corpus/mossim.ml: Array List Printf Prng Sbi_util String Study

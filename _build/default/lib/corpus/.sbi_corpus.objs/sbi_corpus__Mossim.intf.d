@@ -1,0 +1,1 @@
+lib/corpus/mossim.mli: Study

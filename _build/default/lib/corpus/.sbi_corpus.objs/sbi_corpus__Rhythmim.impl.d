@@ -1,0 +1,1 @@
+lib/corpus/rhythmim.ml: Array Prng Sbi_util Study

@@ -1,0 +1,1 @@
+lib/corpus/rhythmim.mli: Study

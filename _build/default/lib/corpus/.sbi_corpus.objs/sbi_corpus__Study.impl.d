@@ -1,0 +1,1 @@
+lib/corpus/study.ml: List Option Printf Sbi_lang String

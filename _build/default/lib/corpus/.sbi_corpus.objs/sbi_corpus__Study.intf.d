@@ -1,0 +1,1 @@
+lib/corpus/study.mli: Sbi_lang

@@ -1,0 +1,152 @@
+(* BC analogue (paper §4.2.2): a tiny calculator with GNU bc 1.06's known
+   storage overrun — defining more than 32 variables overruns the variable
+   table.  As in the paper, the overrun silently corrupts an adjacent
+   counter ("old_count == 32" / "a_names < v_names" are the paper's
+   predictors) and the crash happens long after, during the final array
+   sweep, where the stack carries no useful information about the cause. *)
+
+let source =
+  {|
+// bcim: calculator with a variable-table overrun
+string[] vnames;
+int[] vvals;
+int v_count;
+int[] avals;
+int a_count;
+int evals;
+
+int find_var(string nm) {
+  for (int i = 0; i < v_count; i = i + 1) {
+    if (vnames[i] == nm) {
+      return i;
+    }
+  }
+  return -1;
+}
+
+void set_var(string nm, int value) {
+  int idx = find_var(nm);
+  if (idx >= 0) {
+    vvals[idx] = value;
+    return;
+  }
+  int old_count = v_count;
+  if (old_count >= 12) {
+    // BUG: table full; in C this write lands on the adjacent array-count
+    // word and corrupts it — the crash comes at the final sweep
+    __bug(1);
+    a_count = a_count + 1;
+    return;
+  }
+  vnames[old_count] = nm;
+  vvals[old_count] = value;
+  v_count = old_count + 1;
+}
+
+int get_var(string nm) {
+  int idx = find_var(nm);
+  if (idx < 0) {
+    return 0;
+  }
+  return vvals[idx];
+}
+
+int eval_expr(string cmd) {
+  // "vNAME=K" handled by caller; here: "aI+J" adds into array slot I
+  evals = evals + 1;
+  int plus = -1;
+  for (int i = 0; i < strlen(cmd); i = i + 1) {
+    if (ord(cmd, i) == 43) {
+      plus = i;
+    }
+  }
+  if (plus < 0) {
+    return parse_int(cmd);
+  }
+  int slot = parse_int(substr(cmd, 1, plus - 1)) % 8;
+  int add = parse_int(substr(cmd, plus + 1, strlen(cmd) - plus - 1));
+  avals[slot] = avals[slot] + add;
+  return avals[slot];
+}
+
+void sweep() {
+  int total = 0;
+  for (int i = 0; i < a_count; i = i + 1) {
+    total = total + avals[i]; // crashes when a_count was corrupted
+  }
+  println("sweep " + to_str(total));
+}
+
+int main() {
+  vnames = new string[12];
+  vvals = new int[12];
+  v_count = 0;
+  avals = new int[8];
+  a_count = 8;
+  evals = 0;
+  for (int i = 0; i < argc(); i = i + 1) {
+    string cmd = arg(i);
+    if (strlen(cmd) < 2) {
+      continue;
+    }
+    int c0 = ord(cmd, 0);
+    if (c0 == 118) { // 'v': vNAME=K
+      int eq = -1;
+      for (int j = 0; j < strlen(cmd); j = j + 1) {
+        if (ord(cmd, j) == 61) {
+          eq = j;
+        }
+      }
+      if (eq > 1) {
+        string nm = substr(cmd, 1, eq - 1);
+        int value = parse_int(substr(cmd, eq + 1, strlen(cmd) - eq - 1));
+        set_var(nm, value);
+      }
+    }
+    if (c0 == 112) { // 'p': pNAME
+      string nm = substr(cmd, 1, strlen(cmd) - 1);
+      println(nm + " = " + to_str(get_var(nm)));
+    }
+    if (c0 == 97) { // 'a': aI+J
+      println("expr " + to_str(eval_expr(cmd)));
+    }
+  }
+  println("vars " + to_str(v_count) + " evals " + to_str(evals));
+  sweep();
+  return 0;
+}
+|}
+
+let gen_input ~seed ~run =
+  let open Sbi_util in
+  let rng = Prng.create ((seed * 3_000_017) + run) in
+  let ncmds = 3 + Prng.int rng 43 in
+  let cmds =
+    List.init ncmds (fun _ ->
+        let r = Prng.unit_float rng in
+        if r < 0.55 then
+          (* variable definitions drive the overrun; names drawn from a pool
+             large enough that >32 distinct ones occur in long inputs *)
+          Printf.sprintf "vx%d=%d" (Prng.int rng 24) (Prng.int rng 1000)
+        else if r < 0.75 then Printf.sprintf "px%d" (Prng.int rng 24)
+        else Printf.sprintf "a%d+%d" (Prng.int rng 8) (Prng.int rng 50))
+  in
+  Array.of_list cmds
+
+let study =
+  {
+    Study.name = "bcim";
+    descr = "BC analogue: calculator with a variable-table overrun crashing long after";
+    source;
+    fixed_source = None;
+    gen_input = (fun ~seed ~run -> gen_input ~seed ~run);
+    bugs =
+      [
+        {
+          Study.bug_id = 1;
+          bug_descr = "variable table overrun corrupting the array counter";
+          crashing = true;
+        };
+      ];
+    default_runs = 5000;
+  }

@@ -1,0 +1,4 @@
+(** See {!Corpus}. *)
+
+val source : string
+val study : Study.t

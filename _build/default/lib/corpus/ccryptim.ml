@@ -1,0 +1,185 @@
+(* CCRYPT analogue (paper §4.2.1): a toy stream cipher tool with ccrypt
+   1.2's known input-validation bug — when the tool prompts (for overwrite
+   confirmation) and the response stream has hit end-of-file, the unchecked
+   "read" result is used anyway and the program crashes.  One bug; the
+   analysis should retain two predictors, the first a sub-bug predictor of
+   the second (checked through the affinity list). *)
+
+let source =
+  {|
+// ccryptim: stream cipher with an EOF-at-prompt crash
+string[] resps;
+int nresp;
+int ridx;
+int mode; // 1 encrypt, 0 decrypt
+string key;
+int overwrites;
+int processed;
+
+int get_response() {
+  // BUG: no end-of-input check before consuming the next response
+  string r = resps[ridx]; // crashes when the response stream is exhausted
+  ridx = ridx + 1;
+  if (r == "y") {
+    return 1;
+  }
+  return 0;
+}
+
+int key_shift(int i) {
+  int kl = strlen(key);
+  if (kl == 0) {
+    return 7;
+  }
+  return ord(key, i % kl) % 31;
+}
+
+string transform(string line) {
+  string out = "";
+  for (int i = 0; i < strlen(line); i = i + 1) {
+    int c = ord(line, i);
+    int k = key_shift(i);
+    int t = 0;
+    if (mode == 1) {
+      t = (c + k) % 256;
+    } else {
+      t = (c + 256 - k) % 256;
+    }
+    if (t < 32) {
+      t = t + 32;
+    }
+    out = out + chr(t);
+  }
+  return out;
+}
+
+bool output_exists(string line) {
+  int h = hash_str(line) % 5;
+  return h == 0;
+}
+
+void process_line(string line) {
+  if (output_exists(line)) {
+    int ok = get_response();
+    if (ok == 1) {
+      overwrites = overwrites + 1;
+    } else {
+      println("skip " + to_str(processed));
+      processed = processed + 1;
+      return;
+    }
+  }
+  println(transform(line));
+  processed = processed + 1;
+}
+
+void split_responses(string s) {
+  int n = 0;
+  bool intok = false;
+  for (int i = 0; i < strlen(s); i = i + 1) {
+    if (ord(s, i) == 32) {
+      intok = false;
+    } else {
+      if (!intok) {
+        n = n + 1;
+      }
+      intok = true;
+    }
+  }
+  nresp = n;
+  resps = new string[n];
+  int ti = 0;
+  int start = -1;
+  for (int i = 0; i < strlen(s); i = i + 1) {
+    if (ord(s, i) == 32) {
+      if (start >= 0) {
+        resps[ti] = substr(s, start, i - start);
+        ti = ti + 1;
+        start = -1;
+      }
+    } else {
+      if (start < 0) {
+        start = i;
+      }
+    }
+  }
+  if (start >= 0) {
+    resps[ti] = substr(s, start, strlen(s) - start);
+    ti = ti + 1;
+  }
+}
+
+int main() {
+  if (argc() < 3) {
+    println("usage");
+    return 1;
+  }
+  mode = 0;
+  if (arg(0) == "-e") {
+    mode = 1;
+  }
+  key = arg(1);
+  split_responses(arg(2));
+  ridx = 0;
+  overwrites = 0;
+  processed = 0;
+  int pending = argc() - 3;
+  // ground truth: will we need more confirmations than we have responses?
+  int needed = 0;
+  for (int i = 3; i < argc(); i = i + 1) {
+    if (output_exists(arg(i))) {
+      needed = needed + 1;
+    }
+  }
+  if (needed > nresp) {
+    __bug(1);
+  }
+  for (int i = 3; i < argc(); i = i + 1) {
+    process_line(arg(i));
+  }
+  println("done " + to_str(processed) + " overwrote " + to_str(overwrites)
+          + " pending " + to_str(pending));
+  return 0;
+}
+|}
+
+let vocab_lines =
+  [|
+    "report.txt"; "notes.txt"; "secret.bin"; "todo.md"; "draft.tex"; "a.out"; "main.c";
+    "log.1"; "log.2"; "core"; "data.csv"; "plan.org"; "readme"; "inbox.eml";
+  |]
+
+let gen_input ~seed ~run =
+  let open Sbi_util in
+  let rng = Prng.create ((seed * 2_000_003) + run) in
+  let mode = if Prng.bernoulli rng 0.6 then "-e" else "-d" in
+  let key =
+    if Prng.bernoulli rng 0.1 then ""
+    else String.concat "" (List.init (1 + Prng.int rng 6) (fun _ -> Prng.choice rng [| "a"; "b"; "k"; "q"; "z" |]))
+  in
+  let nresp = Prng.int rng 4 in
+  let resps =
+    String.concat " "
+      (List.init nresp (fun _ -> if Prng.bernoulli rng 0.6 then "y" else "n"))
+  in
+  let nlines = 1 + Prng.int rng 8 in
+  let lines = List.init nlines (fun _ -> Prng.choice rng vocab_lines) in
+  Array.of_list ([ mode; key; resps ] @ lines)
+
+let study =
+  {
+    Study.name = "ccryptim";
+    descr = "CCRYPT analogue: stream cipher with an EOF-at-prompt input-validation bug";
+    source;
+    fixed_source = None;
+    gen_input = (fun ~seed ~run -> gen_input ~seed ~run);
+    bugs =
+      [
+        {
+          Study.bug_id = 1;
+          bug_descr = "unchecked end-of-input at the overwrite prompt";
+          crashing = true;
+        };
+      ];
+    default_runs = 5000;
+  }

@@ -1,0 +1,42 @@
+let mossim = Mossim.study
+let ccryptim = Ccryptim.study
+let bcim = Bcim.study
+let exifim = Exifim.study
+let rhythmim = Rhythmim.study
+
+let all = [ mossim; ccryptim; bcim; exifim; rhythmim ]
+
+let by_name name = List.find_opt (fun s -> s.Study.name = name) all
+
+let make_oracle (study : Study.t) ~nondet_salt =
+  match Study.checked_fixed study with
+  | None -> None
+  | Some fixed ->
+      Some
+        (fun ~run_index ~args (result : Sbi_lang.Interp.result) ->
+          let config =
+            {
+              Sbi_lang.Interp.default_config with
+              Sbi_lang.Interp.args;
+              nondet_seed = (nondet_salt * 1_000_003) + run_index;
+            }
+          in
+          let expected = Sbi_lang.Interp.run fixed config in
+          match expected.Sbi_lang.Interp.outcome with
+          | Sbi_lang.Interp.Crashed _ ->
+              (* A crashing reference run means the input itself is beyond
+                 the oracle's reach; don't charge the subject for it. *)
+              false
+          | Sbi_lang.Interp.Finished _ ->
+              not (String.equal expected.Sbi_lang.Interp.output result.Sbi_lang.Interp.output))
+
+let spec_for ?(plan = Sbi_instrument.Sampler.Always) ?instr_config ?(seed = 42)
+    (study : Study.t) =
+  let prog = Study.checked study in
+  let transform = Sbi_instrument.Transform.instrument ?config:instr_config prog in
+  let nondet_salt = 0x7a11 in
+  Sbi_runtime.Collect.make_spec
+    ?oracle:(make_oracle study ~nondet_salt)
+    ~nondet_salt ~transform ~plan
+    ~gen_input:(fun run -> study.Study.gen_input ~seed ~run)
+    ()

@@ -1,0 +1,35 @@
+(** The five case-study subject programs (paper §4, Table 2).
+
+    Each is a MiniC analogue of the paper's C subject, with the same bug
+    inventory structure; see the per-study modules for the mapping. *)
+
+val mossim : Study.t
+val ccryptim : Study.t
+val bcim : Study.t
+val exifim : Study.t
+val rhythmim : Study.t
+
+val all : Study.t list
+(** In the paper's Table 2 order: MOSS, CCRYPT, BC, EXIF, RHYTHMBOX. *)
+
+val by_name : string -> Study.t option
+
+val make_oracle :
+  Study.t ->
+  nondet_salt:int ->
+  (run_index:int -> args:string array -> Sbi_lang.Interp.result -> bool) option
+(** Output oracle for studies with a fixed version: runs the fixed program
+    on the same input (and the same in-program nondeterminism seed, which
+    requires the collection spec's [nondet_salt]) and reports failure when
+    the outputs differ.  [None] for crash-label-only studies. *)
+
+val spec_for :
+  ?plan:Sbi_instrument.Sampler.plan ->
+  ?instr_config:Sbi_instrument.Transform.config ->
+  ?seed:int ->
+  Study.t ->
+  Sbi_runtime.Collect.spec
+(** Builds a ready-to-collect spec: checks and instruments the buggy
+    program, wires the generator (closed over [seed], default 42) and the
+    oracle.  Default plan is [Always] (no sampling); experiments override
+    it with uniform or trained non-uniform plans. *)

@@ -1,0 +1,250 @@
+(* EXIF analogue (paper §4.2.3): a tag parser with three independent
+   crashing bugs, mirroring the paper's EXIF 0.6.9 findings:
+
+   #1 a backwards scan whose index underflows when no matching earlier
+      entry exists ("i < 0");
+   #2 an unguarded comment-field copy overrunning the 1900-byte buffer
+      ("maxlen > 1900");
+   #3 the canon maker-note bug the paper walks through in detail: when
+      [o + s > buf_size] the loader returns early and leaves the entry's
+      data unallocated; the save phase then reads it — a null dereference
+      far from the cause, with a stack trace that names only the save
+      path.  Very rare, like the paper's 21-failing-run bug. *)
+
+let source =
+  {|
+// exifim: EXIF-style tag parser
+struct Entry {
+  int tag;
+  int size;
+  int offset;
+  int dataok;
+  int[] data;
+}
+
+int[] buf;
+int buf_size;
+int buf_used;
+Entry[] entries;
+int entry_count;
+int maxlen;
+int checksum;
+
+int split2(string s, int which) {
+  // "name:A" or "name:A:B" -> numeric field A (which=0) or B (which=1)
+  int c1 = -1;
+  int c2 = -1;
+  for (int i = 0; i < strlen(s); i = i + 1) {
+    if (ord(s, i) == 58) {
+      if (c1 < 0) {
+        c1 = i;
+      } else {
+        if (c2 < 0) {
+          c2 = i;
+        }
+      }
+    }
+  }
+  if (c1 < 0) {
+    return 0;
+  }
+  if (which == 0) {
+    if (c2 < 0) {
+      return parse_int(substr(s, c1 + 1, strlen(s) - c1 - 1));
+    }
+    return parse_int(substr(s, c1 + 1, c2 - c1 - 1));
+  }
+  if (c2 < 0) {
+    return 0;
+  }
+  return parse_int(substr(s, c2 + 1, strlen(s) - c2 - 1));
+}
+
+string tag_kind(string s) {
+  int c1 = -1;
+  for (int i = 0; i < strlen(s); i = i + 1) {
+    if (ord(s, i) == 58 && c1 < 0) {
+      c1 = i;
+    }
+  }
+  if (c1 < 0) {
+    return s;
+  }
+  return substr(s, 0, c1);
+}
+
+void load_std(int len) {
+  int l = max(1, len);
+  if (buf_used + l <= buf_size) {
+    for (int j = 0; j < l; j = j + 1) {
+      buf[buf_used + j] = (j * 7 + l) % 251;
+    }
+    buf_used = buf_used + l;
+  }
+  Entry e = new Entry;
+  e.tag = 1;
+  e.size = l;
+  e.offset = buf_used - l;
+  e.dataok = 1;
+  entries[entry_count] = e;
+  entry_count = entry_count + 1;
+}
+
+void load_comment(int len) {
+  int l = max(1, len);
+  if (l > maxlen) {
+    maxlen = l;
+  }
+  if (buf_used + l > buf_size) {
+    // BUG 2: length not validated against the remaining buffer
+    __bug(2);
+  }
+  for (int j = 0; j < l; j = j + 1) {
+    buf[buf_used + j] = 67; // crashes past the end of buf (bug 2)
+  }
+  buf_used = buf_used + l;
+  Entry e = new Entry;
+  e.tag = 2;
+  e.size = l;
+  e.offset = buf_used - l;
+  e.dataok = 1;
+  entries[entry_count] = e;
+  entry_count = entry_count + 1;
+}
+
+void scan_back(int want) {
+  // find the most recent entry with the wanted tag, starting at the end
+  bool exists = false;
+  for (int j = 0; j < entry_count; j = j + 1) {
+    if (entries[j].tag == want) {
+      exists = true;
+    }
+  }
+  if (!exists) {
+    // BUG 1: the backwards scan below has no lower bound
+    __bug(1);
+  }
+  int i = entry_count - 1;
+  while (entries[i].tag != want) {
+    i = i - 1; // i goes negative when no entry matches (bug 1)
+  }
+  println("back " + to_str(entries[i].offset));
+}
+
+void canon_load(int o, int s) {
+  Entry e = new Entry;
+  e.tag = 3;
+  e.size = max(1, s);
+  e.offset = o;
+  e.dataok = 0;
+  entries[entry_count] = e;
+  entry_count = entry_count + 1;
+  if (o + s > buf_size) {
+    // BUG 3: early return leaves e.data unallocated; the save phase
+    // dereferences it much later (the paper's canon maker-note bug)
+    __bug(3);
+    return;
+  }
+  e.data = new int[e.size];
+  for (int j = 0; j < e.size; j = j + 1) {
+    e.data[j] = (o + j) % 199;
+  }
+  e.dataok = 1;
+}
+
+void canon_save(Entry e) {
+  // memcpy analogue: reads e.data, which bug 3 left null
+  for (int j = 0; j < e.size; j = j + 1) {
+    checksum = (checksum + e.data[j]) % 100003;
+  }
+}
+
+void save_all() {
+  for (int i = 0; i < entry_count; i = i + 1) {
+    Entry e = entries[i];
+    if (e.tag == 3) {
+      canon_save(e);
+    } else {
+      checksum = (checksum + e.size) % 100003;
+    }
+  }
+  println("checksum " + to_str(checksum));
+}
+
+int main() {
+  buf_size = 1900;
+  buf = new int[1900];
+  buf_used = 0;
+  entries = new Entry[64];
+  entry_count = 0;
+  maxlen = 0;
+  checksum = 0;
+  for (int i = 0; i < argc(); i = i + 1) {
+    if (entry_count >= 60) {
+      break;
+    }
+    string t = arg(i);
+    string kind = tag_kind(t);
+    if (kind == "std") {
+      load_std(split2(t, 0));
+    }
+    if (kind == "com") {
+      load_comment(split2(t, 0));
+    }
+    if (kind == "idx") {
+      scan_back(split2(t, 0));
+    }
+    if (kind == "canon") {
+      canon_load(split2(t, 0), split2(t, 1));
+    }
+  }
+  println("entries " + to_str(entry_count) + " used " + to_str(buf_used)
+          + " maxlen " + to_str(maxlen));
+  save_all();
+  return 0;
+}
+|}
+
+let gen_input ~seed ~run =
+  let open Sbi_util in
+  let rng = Prng.create ((seed * 5_000_011) + run) in
+  let ntags = 1 + Prng.int rng 12 in
+  let tags =
+    List.init ntags (fun _ ->
+        let r = Prng.unit_float rng in
+        if r < 0.70 then Printf.sprintf "std:%d" (1 + Prng.int rng 150)
+        else if r < 0.82 then begin
+          (* comments occasionally oversized *)
+          let len =
+            if Prng.bernoulli rng 0.12 then 600 + Prng.int rng 1400 else 10 + Prng.int rng 200
+          in
+          Printf.sprintf "com:%d" len
+        end
+        else if r < 0.87 then
+          (* idx queries: tag 1 (std) usually exists, tag 7 never does *)
+          Printf.sprintf "idx:%d" (if Prng.bernoulli rng 0.85 then 1 else 7)
+        else if r < 0.95 then Printf.sprintf "seek:%d" (Prng.int rng 100)
+        else
+          Printf.sprintf "canon:%d:%d" (Prng.int rng 1850) (1 + Prng.int rng 220))
+  in
+  Array.of_list tags
+
+let study =
+  {
+    Study.name = "exifim";
+    descr = "EXIF analogue: tag parser with three independent crashing bugs (one very rare)";
+    source;
+    fixed_source = None;
+    gen_input = (fun ~seed ~run -> gen_input ~seed ~run);
+    bugs =
+      [
+        { Study.bug_id = 1; bug_descr = "unbounded backwards scan (i < 0)"; crashing = true };
+        { Study.bug_id = 2; bug_descr = "comment copy past the 1900-byte buffer"; crashing = true };
+        {
+          Study.bug_id = 3;
+          bug_descr = "canon maker-note: o+s > buf_size leaves data null; save crashes";
+          crashing = true;
+        };
+      ];
+    default_runs = 6000;
+  }

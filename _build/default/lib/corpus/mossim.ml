@@ -1,0 +1,836 @@
+(* MOSS analogue: a document-fingerprinting service (winnowing over k-gram
+   hashes, as in Schleimer/Wilkerson/Aiken 2003) with the paper's nine
+   seeded bugs:
+
+   #1 passage-table overrun: silently corrupts the passage count; the crash
+      (out-of-bounds read) happens much later, in the report phase, and
+      only with probability 1/4 — a non-deterministic overrun.
+   #2 null "file pointer": an empty input file read under -v.  Very rare.
+   #3 missing end-of-list check walking a hash-table bucket chain (-b).
+   #4 missing out-of-memory check: the node allocator returns null when a
+      randomized budget is exhausted; the caller dereferences it.
+   #5 data-structure invariant violation: with ten or more input files the
+      language id is set to an out-of-table value; the crash happens in the
+      report phase when the language-name table is indexed.
+   #6 missing check of a lookup result: find_file() returns -1 for an
+      unknown -B base file and the caller indexes with it.
+   #7 a buffer overrun (scratch winnowing buffer) that never causes
+      incorrect behaviour — triggered but harmless, like the paper's #7.
+   #8 guarded by a flag the input generator never produces — never
+      triggered, like the paper's #8 (its column would be all zeros).
+   #9 comment handling: with -c, passages containing comment tokens get an
+      off-by-one length — wrong output, no crash; caught by the oracle. *)
+
+let source =
+  {|
+// mossim: document fingerprinting with winnowing
+struct FileRec {
+  string name;
+  int language;
+  int ntokens;
+  int ncomments;
+  int fpstart;
+  int fpcount;
+}
+
+struct FPNode {
+  int hash;
+  int fileid;
+  int pos;
+  FPNode next;
+}
+
+struct Passage {
+  int fileid;
+  int other;
+  int first_token;
+  int last_token;
+  int length;
+}
+
+FileRec[] files;
+string[] contents;
+FPNode[] buckets;
+Passage[] passages;
+string[] langnames;
+int[] fp_hash;
+int[] fp_pos;
+int fp_cursor;
+int files_count;
+int passage_count;
+int overrun_corrupt;
+int mem_budget;
+int mem_used;
+int win_size;
+int kgram;
+int match_comments;
+int verbose;
+int base_mode;
+string base_name;
+int max_report;
+int zflag;
+
+void init() {
+  files = new FileRec[16];
+  for (int i = 0; i < 16; i = i + 1) {
+    files[i] = new FileRec;
+  }
+  contents = new string[16];
+  buckets = new FPNode[64];
+  passages = new Passage[12];
+  langnames = new string[17];
+  for (int i = 0; i < 17; i = i + 1) {
+    langnames[i] = "L" + to_str(i);
+  }
+  fp_hash = new int[4096];
+  fp_pos = new int[4096];
+  fp_cursor = 0;
+  files_count = 0;
+  passage_count = 0;
+  overrun_corrupt = 0;
+  win_size = 4;
+  kgram = 3;
+  match_comments = 0;
+  verbose = 0;
+  base_mode = 0;
+  base_name = "";
+  max_report = 100;
+  zflag = 0;
+  mem_used = 0;
+  mem_budget = 120 + nondet(80);
+}
+
+void parse_flag(string a) {
+  if (strlen(a) < 2) {
+    return;
+  }
+  int c = ord(a, 1);
+  if (c == 119) { // 'w'
+    win_size = max(2, parse_int(substr(a, 2, strlen(a) - 2)));
+  }
+  if (c == 107) { // 'k'
+    kgram = max(2, parse_int(substr(a, 2, strlen(a) - 2)));
+  }
+  if (c == 99) { // 'c'
+    match_comments = 1;
+  }
+  if (c == 118) { // 'v'
+    verbose = 1;
+  }
+  if (c == 98) { // 'b'
+    base_mode = 1;
+  }
+  if (c == 66) { // 'B'
+    base_name = substr(a, 2, strlen(a) - 2);
+  }
+  if (c == 109) { // 'm'
+    max_report = max(1, parse_int(substr(a, 2, strlen(a) - 2)));
+  }
+  if (c == 122) { // 'z'
+    zflag = 1;
+  }
+}
+
+void add_file(string content) {
+  if (files_count >= 16) {
+    return;
+  }
+  files[files_count].name = "f" + to_str(files_count);
+  contents[files_count] = content;
+  files_count = files_count + 1;
+}
+
+int count_tokens(string s) {
+  int n = 0;
+  bool intok = false;
+  for (int i = 0; i < strlen(s); i = i + 1) {
+    if (ord(s, i) == 32) {
+      intok = false;
+    } else {
+      if (!intok) {
+        n = n + 1;
+      }
+      intok = true;
+    }
+  }
+  return n;
+}
+
+int lang_of(int idx, int ntokens) {
+  int lang = (idx * 7 + ntokens) % 17;
+  if (idx >= 9) {
+    // BUG 5: invariant violation — language id escapes the name table
+    __bug(5);
+    lang = 17;
+  }
+  return lang;
+}
+
+FPNode alloc_node() {
+  mem_used = mem_used + 1;
+  if (mem_used > mem_budget) {
+    // BUG 4: allocation failure not checked by callers
+    __bug(4);
+    return null;
+  }
+  return new FPNode;
+}
+
+void insert_fp(int h, int fileid, int pos) {
+  int b = h % 64;
+  FPNode n = alloc_node();
+  n.hash = h; // crashes here when alloc_node returned null (bug 4)
+  n.fileid = fileid;
+  n.pos = pos;
+  n.next = buckets[b];
+  buckets[b] = n;
+}
+
+int bucket_lookup(int h) {
+  int b = h % 64;
+  FPNode scan = buckets[b];
+  bool present = false;
+  while (scan != null) {
+    if (scan.hash == h) {
+      present = true;
+    }
+    scan = scan.next;
+  }
+  if (!present) {
+    __bug(3);
+  }
+  FPNode n = buckets[b];
+  // BUG 3: no end-of-list check; runs off the chain when h is absent
+  while (n.hash != h) {
+    n = n.next;
+  }
+  return n.fileid;
+}
+
+int find_file(string nm) {
+  for (int i = 0; i < files_count; i = i + 1) {
+    if (files[i].name == nm) {
+      return i;
+    }
+  }
+  return -1;
+}
+
+void fingerprint_file(int idx) {
+  string content = contents[idx];
+  int nt = count_tokens(content);
+  files[idx].ntokens = nt;
+  string[] toks = new string[nt];
+  int ti = 0;
+  int start = -1;
+  for (int i = 0; i < strlen(content); i = i + 1) {
+    if (ord(content, i) == 32) {
+      if (start >= 0) {
+        toks[ti] = substr(content, start, i - start);
+        ti = ti + 1;
+        start = -1;
+      }
+    } else {
+      if (start < 0) {
+        start = i;
+      }
+    }
+  }
+  if (start >= 0) {
+    toks[ti] = substr(content, start, strlen(content) - start);
+    ti = ti + 1;
+  }
+  if (verbose == 1) {
+    if (nt == 0) {
+      // BUG 2: empty file; first-token read below goes out of bounds
+      __bug(2);
+    }
+    println("first " + toks[0]);
+  }
+  int ncom = 0;
+  for (int i = 0; i < nt; i = i + 1) {
+    if (toks[i] == "//c") {
+      ncom = ncom + 1;
+    }
+  }
+  files[idx].ncomments = ncom;
+  files[idx].language = lang_of(idx, nt);
+  int nk = nt - kgram + 1;
+  files[idx].fpstart = fp_cursor;
+  files[idx].fpcount = 0;
+  if (nk < 1) {
+    return;
+  }
+  int[] hs = new int[nk];
+  for (int a = 0; a < nk; a = a + 1) {
+    int h = 0;
+    for (int b = 0; b < kgram; b = b + 1) {
+      h = (h * 31 + (hash_str(toks[a + b]) % 9973)) % 1000003;
+    }
+    hs[a] = h;
+  }
+  int w = win_size;
+  int[] winbuf = new int[w + 8];
+  if (nt > 40) {
+    // BUG 7: scratch-buffer overrun that never affects behaviour
+    __bug(7);
+    winbuf[w + 3] = 12345;
+  }
+  int prevmin = -1;
+  for (int a = 0; a + w <= nk; a = a + 1) {
+    int m = hs[a];
+    int mpos = a;
+    for (int b = 1; b < w; b = b + 1) {
+      winbuf[b] = hs[a + b];
+      if (hs[a + b] <= m) {
+        m = hs[a + b];
+        mpos = a + b;
+      }
+    }
+    if (mpos != prevmin) {
+      prevmin = mpos;
+      fp_hash[fp_cursor] = m;
+      fp_pos[fp_cursor] = mpos;
+      fp_cursor = fp_cursor + 1;
+      files[idx].fpcount = files[idx].fpcount + 1;
+      insert_fp(m, idx, mpos);
+    }
+  }
+}
+
+int passage_len(int first, int last, int ncom) {
+  int ln = last - first + 1;
+  if (match_comments == 1) {
+    if (ncom > 0) {
+      // BUG 9: off-by-one passage length when comments are matched
+      __bug(9);
+      ln = ln + 1;
+    }
+  }
+  return ln;
+}
+
+void record_passage(int a, int b, int first, int last) {
+  if (passage_count >= 12) {
+    // BUG 1: table overrun — in C this write lands past the array and
+    // corrupts the neighbouring counter; the crash comes much later
+    __bug(1);
+    overrun_corrupt = overrun_corrupt + 1;
+    return;
+  }
+  Passage p = new Passage;
+  p.fileid = a;
+  p.other = b;
+  p.first_token = first;
+  p.last_token = last;
+  p.length = passage_len(first, last, files[a].ncomments);
+  passages[passage_count] = p;
+  passage_count = passage_count + 1;
+}
+
+void compare_pair(int a, int b) {
+  int shared = 0;
+  int first = -1;
+  int last = -1;
+  for (int i = 0; i < files[a].fpcount; i = i + 1) {
+    int ha = fp_hash[files[a].fpstart + i];
+    for (int j = 0; j < files[b].fpcount; j = j + 1) {
+      if (fp_hash[files[b].fpstart + j] == ha) {
+        shared = shared + 1;
+        int pos = fp_pos[files[a].fpstart + i];
+        if (first < 0) {
+          first = pos;
+        }
+        last = pos;
+      }
+    }
+  }
+  if (shared >= 2) {
+    record_passage(a, b, first, last);
+  }
+}
+
+void compare_all() {
+  for (int a = 0; a < files_count; a = a + 1) {
+    for (int b = a + 1; b < files_count; b = b + 1) {
+      compare_pair(a, b);
+    }
+  }
+}
+
+void report() {
+  println("files " + to_str(files_count));
+  for (int i = 0; i < files_count; i = i + 1) {
+    int lc = files[i].language;
+    // crashes here when bug 5 planted an out-of-table language id
+    println("file " + files[i].name + " lang " + langnames[lc] + " tokens "
+            + to_str(files[i].ntokens));
+  }
+  int limit = passage_count;
+  if (overrun_corrupt > 0) {
+    int roll = nondet(4);
+    if (roll == 0) {
+      // the corrupted counter escapes into the report loop (bug 1)
+      limit = passage_count + overrun_corrupt;
+    }
+  }
+  int shown = 0;
+  for (int i = 0; i < limit; i = i + 1) {
+    Passage p = passages[i];
+    if (shown < max_report) {
+      println("match " + to_str(p.fileid) + " " + to_str(p.other) + " len "
+              + to_str(p.length));
+      shown = shown + 1;
+    }
+  }
+  println("passages " + to_str(passage_count));
+}
+
+int main() {
+  init();
+  int n = argc();
+  int i = 0;
+  while (i < n) {
+    string a = arg(i);
+    if (strlen(a) > 0 && ord(a, 0) == 45) {
+      parse_flag(a);
+    } else {
+      add_file(a);
+    }
+    i = i + 1;
+  }
+  if (zflag == 1) {
+    // BUG 8: requires a flag no input ever carries — never triggered
+    __bug(8);
+    abort("zflag path");
+  }
+  for (int k = 0; k < files_count; k = k + 1) {
+    fingerprint_file(k);
+  }
+  if (strlen(base_name) > 0) {
+    int bi = find_file(base_name);
+    if (bi < 0) {
+      // BUG 6: missing check of the lookup result
+      __bug(6);
+    }
+    println("base " + files[bi].name); // crashes when bi == -1 (bug 6)
+  }
+  if (base_mode == 1) {
+    int probe = hash_str("basequery") % 1000003;
+    int owner = bucket_lookup(probe);
+    println("probe owner " + to_str(owner));
+  }
+  compare_all();
+  report();
+  return 0;
+}
+|}
+
+let fixed_source =
+  {|
+// mossim, bug-free reference version (identical modulo the nine fixes)
+struct FileRec {
+  string name;
+  int language;
+  int ntokens;
+  int ncomments;
+  int fpstart;
+  int fpcount;
+}
+
+struct FPNode {
+  int hash;
+  int fileid;
+  int pos;
+  FPNode next;
+}
+
+struct Passage {
+  int fileid;
+  int other;
+  int first_token;
+  int last_token;
+  int length;
+}
+
+FileRec[] files;
+string[] contents;
+FPNode[] buckets;
+Passage[] passages;
+string[] langnames;
+int[] fp_hash;
+int[] fp_pos;
+int fp_cursor;
+int files_count;
+int passage_count;
+int mem_budget;
+int mem_used;
+int win_size;
+int kgram;
+int match_comments;
+int verbose;
+int base_mode;
+string base_name;
+int max_report;
+int zflag;
+
+void init() {
+  files = new FileRec[16];
+  for (int i = 0; i < 16; i = i + 1) {
+    files[i] = new FileRec;
+  }
+  contents = new string[16];
+  buckets = new FPNode[64];
+  passages = new Passage[12];
+  langnames = new string[17];
+  for (int i = 0; i < 17; i = i + 1) {
+    langnames[i] = "L" + to_str(i);
+  }
+  fp_hash = new int[4096];
+  fp_pos = new int[4096];
+  fp_cursor = 0;
+  files_count = 0;
+  passage_count = 0;
+  win_size = 4;
+  kgram = 3;
+  match_comments = 0;
+  verbose = 0;
+  base_mode = 0;
+  base_name = "";
+  max_report = 100;
+  zflag = 0;
+  mem_used = 0;
+  mem_budget = 120 + nondet(80);
+}
+
+void parse_flag(string a) {
+  if (strlen(a) < 2) {
+    return;
+  }
+  int c = ord(a, 1);
+  if (c == 119) {
+    win_size = max(2, parse_int(substr(a, 2, strlen(a) - 2)));
+  }
+  if (c == 107) {
+    kgram = max(2, parse_int(substr(a, 2, strlen(a) - 2)));
+  }
+  if (c == 99) {
+    match_comments = 1;
+  }
+  if (c == 118) {
+    verbose = 1;
+  }
+  if (c == 98) {
+    base_mode = 1;
+  }
+  if (c == 66) {
+    base_name = substr(a, 2, strlen(a) - 2);
+  }
+  if (c == 109) {
+    max_report = max(1, parse_int(substr(a, 2, strlen(a) - 2)));
+  }
+  if (c == 122) {
+    zflag = 1;
+  }
+}
+
+void add_file(string content) {
+  if (files_count >= 16) {
+    return;
+  }
+  files[files_count].name = "f" + to_str(files_count);
+  contents[files_count] = content;
+  files_count = files_count + 1;
+}
+
+int count_tokens(string s) {
+  int n = 0;
+  bool intok = false;
+  for (int i = 0; i < strlen(s); i = i + 1) {
+    if (ord(s, i) == 32) {
+      intok = false;
+    } else {
+      if (!intok) {
+        n = n + 1;
+      }
+      intok = true;
+    }
+  }
+  return n;
+}
+
+int lang_of(int idx, int ntokens) {
+  int lang = (idx * 7 + ntokens) % 17;
+  return lang;
+}
+
+FPNode alloc_node() {
+  mem_used = mem_used + 1;
+  if (mem_used > mem_budget) {
+    mem_budget = mem_budget + 64; // fixed: grow instead of failing
+  }
+  return new FPNode;
+}
+
+void insert_fp(int h, int fileid, int pos) {
+  int b = h % 64;
+  FPNode n = alloc_node();
+  n.hash = h;
+  n.fileid = fileid;
+  n.pos = pos;
+  n.next = buckets[b];
+  buckets[b] = n;
+}
+
+int bucket_lookup(int h) {
+  int b = h % 64;
+  FPNode n = buckets[b];
+  while (n != null && n.hash != h) {
+    n = n.next;
+  }
+  if (n == null) {
+    return -1;
+  }
+  return n.fileid;
+}
+
+int find_file(string nm) {
+  for (int i = 0; i < files_count; i = i + 1) {
+    if (files[i].name == nm) {
+      return i;
+    }
+  }
+  return -1;
+}
+
+void fingerprint_file(int idx) {
+  string content = contents[idx];
+  int nt = count_tokens(content);
+  files[idx].ntokens = nt;
+  string[] toks = new string[nt];
+  int ti = 0;
+  int start = -1;
+  for (int i = 0; i < strlen(content); i = i + 1) {
+    if (ord(content, i) == 32) {
+      if (start >= 0) {
+        toks[ti] = substr(content, start, i - start);
+        ti = ti + 1;
+        start = -1;
+      }
+    } else {
+      if (start < 0) {
+        start = i;
+      }
+    }
+  }
+  if (start >= 0) {
+    toks[ti] = substr(content, start, strlen(content) - start);
+    ti = ti + 1;
+  }
+  if (verbose == 1) {
+    if (nt > 0) {
+      println("first " + toks[0]);
+    }
+  }
+  int ncom = 0;
+  for (int i = 0; i < nt; i = i + 1) {
+    if (toks[i] == "//c") {
+      ncom = ncom + 1;
+    }
+  }
+  files[idx].ncomments = ncom;
+  files[idx].language = lang_of(idx, nt);
+  int nk = nt - kgram + 1;
+  files[idx].fpstart = fp_cursor;
+  files[idx].fpcount = 0;
+  if (nk < 1) {
+    return;
+  }
+  int[] hs = new int[nk];
+  for (int a = 0; a < nk; a = a + 1) {
+    int h = 0;
+    for (int b = 0; b < kgram; b = b + 1) {
+      h = (h * 31 + (hash_str(toks[a + b]) % 9973)) % 1000003;
+    }
+    hs[a] = h;
+  }
+  int w = win_size;
+  int[] winbuf = new int[w + 8];
+  int prevmin = -1;
+  for (int a = 0; a + w <= nk; a = a + 1) {
+    int m = hs[a];
+    int mpos = a;
+    for (int b = 1; b < w; b = b + 1) {
+      winbuf[b] = hs[a + b];
+      if (hs[a + b] <= m) {
+        m = hs[a + b];
+        mpos = a + b;
+      }
+    }
+    if (mpos != prevmin) {
+      prevmin = mpos;
+      fp_hash[fp_cursor] = m;
+      fp_pos[fp_cursor] = mpos;
+      fp_cursor = fp_cursor + 1;
+      files[idx].fpcount = files[idx].fpcount + 1;
+      insert_fp(m, idx, mpos);
+    }
+  }
+}
+
+int passage_len(int first, int last, int ncom) {
+  int ln = last - first + 1;
+  return ln;
+}
+
+void record_passage(int a, int b, int first, int last) {
+  if (passage_count >= 12) {
+    return; // fixed: drop extra passages safely
+  }
+  Passage p = new Passage;
+  p.fileid = a;
+  p.other = b;
+  p.first_token = first;
+  p.last_token = last;
+  p.length = passage_len(first, last, files[a].ncomments);
+  passages[passage_count] = p;
+  passage_count = passage_count + 1;
+}
+
+void compare_pair(int a, int b) {
+  int shared = 0;
+  int first = -1;
+  int last = -1;
+  for (int i = 0; i < files[a].fpcount; i = i + 1) {
+    int ha = fp_hash[files[a].fpstart + i];
+    for (int j = 0; j < files[b].fpcount; j = j + 1) {
+      if (fp_hash[files[b].fpstart + j] == ha) {
+        shared = shared + 1;
+        int pos = fp_pos[files[a].fpstart + i];
+        if (first < 0) {
+          first = pos;
+        }
+        last = pos;
+      }
+    }
+  }
+  if (shared >= 2) {
+    record_passage(a, b, first, last);
+  }
+}
+
+void compare_all() {
+  for (int a = 0; a < files_count; a = a + 1) {
+    for (int b = a + 1; b < files_count; b = b + 1) {
+      compare_pair(a, b);
+    }
+  }
+}
+
+void report() {
+  println("files " + to_str(files_count));
+  for (int i = 0; i < files_count; i = i + 1) {
+    int lc = files[i].language;
+    println("file " + files[i].name + " lang " + langnames[lc] + " tokens "
+            + to_str(files[i].ntokens));
+  }
+  int shown = 0;
+  for (int i = 0; i < passage_count; i = i + 1) {
+    Passage p = passages[i];
+    if (shown < max_report) {
+      println("match " + to_str(p.fileid) + " " + to_str(p.other) + " len "
+              + to_str(p.length));
+      shown = shown + 1;
+    }
+  }
+  println("passages " + to_str(passage_count));
+}
+
+int main() {
+  init();
+  int n = argc();
+  int i = 0;
+  while (i < n) {
+    string a = arg(i);
+    if (strlen(a) > 0 && ord(a, 0) == 45) {
+      parse_flag(a);
+    } else {
+      add_file(a);
+    }
+    i = i + 1;
+  }
+  for (int k = 0; k < files_count; k = k + 1) {
+    fingerprint_file(k);
+  }
+  if (strlen(base_name) > 0) {
+    int bi = find_file(base_name);
+    if (bi >= 0) {
+      println("base " + files[bi].name);
+    } else {
+      println("base " + files[0].name);
+    }
+  }
+  if (base_mode == 1) {
+    int probe = hash_str("basequery") % 1000003;
+    int owner = bucket_lookup(probe);
+    println("probe owner " + to_str(owner));
+  }
+  compare_all();
+  report();
+  return 0;
+}
+|}
+
+let vocab = [| "alpha"; "beta"; "gamma"; "delta"; "epsilon" |]
+
+let gen_input ~seed ~run =
+  let open Sbi_util in
+  let rng = Prng.create ((seed * 1_000_003) + run) in
+  let args = ref [] in
+  let add a = args := a :: !args in
+  if Prng.bernoulli rng 0.5 then add (Printf.sprintf "-w%d" (3 + Prng.int rng 4));
+  if Prng.bernoulli rng 0.4 then add (Printf.sprintf "-k%d" (2 + Prng.int rng 3));
+  if Prng.bernoulli rng 0.25 then add "-c";
+  if Prng.bernoulli rng 0.2 then add "-v";
+  if Prng.bernoulli rng 0.08 then add "-b";
+  let nfiles = 1 + Prng.int rng 12 in
+  if Prng.bernoulli rng 0.2 then begin
+    if Prng.bernoulli rng 0.7 then add (Printf.sprintf "-Bf%d" (Prng.int rng nfiles))
+    else add "-Bnosuch"
+  end;
+  for _ = 1 to nfiles do
+    if Prng.bernoulli rng 0.01 then add ""
+    else begin
+      let ntok = 3 + Prng.int rng 55 in
+      let toks =
+        List.init ntok (fun _ ->
+            if Prng.bernoulli rng 0.05 then "//c" else Prng.choice rng vocab)
+      in
+      add (String.concat " " toks)
+    end
+  done;
+  Array.of_list (List.rev !args)
+
+let study =
+  {
+    Study.name = "mossim";
+    descr =
+      "MOSS analogue: winnowing-based document fingerprinting with nine seeded \
+       bugs (controlled validation experiment, paper §4.1)";
+    source;
+    fixed_source = Some fixed_source;
+    gen_input = (fun ~seed ~run -> gen_input ~seed ~run);
+    bugs =
+      [
+        { Study.bug_id = 1; bug_descr = "passage table overrun (delayed, 25% crash)"; crashing = true };
+        { Study.bug_id = 2; bug_descr = "empty file under -v (rare null-file read)"; crashing = true };
+        { Study.bug_id = 3; bug_descr = "missing end-of-list check in bucket walk"; crashing = true };
+        { Study.bug_id = 4; bug_descr = "missing out-of-memory check"; crashing = true };
+        { Study.bug_id = 5; bug_descr = "language-id invariant violation (>= 10 files)"; crashing = true };
+        { Study.bug_id = 6; bug_descr = "unchecked find_file() result for -B"; crashing = true };
+        { Study.bug_id = 7; bug_descr = "harmless scratch-buffer overrun"; crashing = false };
+        { Study.bug_id = 8; bug_descr = "unreachable flag path (never triggered)"; crashing = true };
+        { Study.bug_id = 9; bug_descr = "comment off-by-one (wrong output, no crash)"; crashing = false };
+      ];
+    default_runs = 6000;
+  }

@@ -1,0 +1,212 @@
+(* RHYTHMBOX analogue (paper §4.2.4): an event-driven "music player" with
+   an event queue, nondeterministic partial drains standing in for thread
+   interleaving, and two heap-invariant bugs:
+
+   #1 race condition: "stop" disposes the timer's private state while a
+      timer-fired event is still queued; if the event is dispatched after
+      the dispose, the handler dereferences null.  Whether it crashes
+      depends on the (nondeterministic) drain schedule.
+   #2 API misuse after dispose: "delpl" disposes the view's private state
+      while refresh events are pending; a later refresh dereferences null.
+
+   Both crashes happen inside the single [dispatch] function called from
+   the main loop, so every failing run shows the same call stack — the
+   paper's observation that stacks are useless for event-driven systems. *)
+
+let source =
+  {|
+// rhythmim: event-driven player with dispose-vs-pending-event bugs
+struct Priv {
+  int timer_id;
+  int busy;
+  int change_sig;
+}
+
+int[] evkind;
+int qhead;
+int qtail;
+Priv timer_priv;
+Priv view_priv;
+int pending_timers;
+int pending_refresh;
+int playing;
+int vol;
+int npl;
+int ticks;
+int refreshes;
+int handled;
+
+void push_event(int kind) {
+  if (qtail - qhead >= 64) {
+    return;
+  }
+  evkind[qtail % 64] = kind;
+  qtail = qtail + 1;
+}
+
+void dispatch(int kind) {
+  handled = handled + 1;
+  if (kind == 1) { // timer fired
+    pending_timers = pending_timers - 1;
+    int tid = timer_priv.timer_id; // crashes when stop disposed it (bug 1)
+    if (tid == 1) {
+      ticks = ticks + 1;
+    }
+  }
+  if (kind == 2) { // refresh
+    pending_refresh = pending_refresh - 1;
+    int cs = view_priv.change_sig; // crashes when delpl disposed it (bug 2)
+    refreshes = refreshes + cs;
+  }
+  if (kind == 3) { // status update
+    int b = vol;
+    if (playing == 1) {
+      b = b + 1;
+    }
+    vol = min(100, b);
+  }
+}
+
+void drain(int limit) {
+  int done = 0;
+  while (qhead < qtail && done < limit) {
+    int kind = evkind[qhead % 64];
+    qhead = qhead + 1;
+    dispatch(kind);
+    done = done + 1;
+  }
+}
+
+void do_action(string a) {
+  if (a == "play") {
+    playing = 1;
+    push_event(3);
+  }
+  if (a == "stop") {
+    playing = 0;
+    if (pending_timers > 0) {
+      // BUG 1: pending timer event not cancelled before dispose
+      __bug(1);
+    }
+    timer_priv = null;
+    push_event(3);
+  }
+  if (a == "timer") {
+    if (timer_priv == null) {
+      timer_priv = new Priv;
+    }
+    timer_priv.timer_id = 1;
+    push_event(1);
+    pending_timers = pending_timers + 1;
+  }
+  if (a == "newpl") {
+    npl = npl + 1;
+    if (view_priv == null) {
+      view_priv = new Priv;
+    }
+    view_priv.change_sig = 1;
+  }
+  if (a == "delpl") {
+    if (npl > 0) {
+      npl = npl - 1;
+    }
+    if (pending_refresh > 0) {
+      // BUG 2: view disposed while refresh events are still queued
+      __bug(2);
+    }
+    view_priv = null;
+  }
+  if (a == "refresh") {
+    if (view_priv != null) {
+      push_event(2);
+      pending_refresh = pending_refresh + 1;
+    }
+  }
+  if (a == "vol+") {
+    vol = min(100, vol + 5);
+    push_event(3);
+  }
+  if (a == "vol-") {
+    vol = max(0, vol - 5);
+    push_event(3);
+  }
+  if (a == "seek") {
+    int target = vol * 2;
+    if (playing == 1) {
+      ticks = ticks + target % 3;
+    }
+  }
+}
+
+int main() {
+  evkind = new int[64];
+  qhead = 0;
+  qtail = 0;
+  timer_priv = new Priv;
+  view_priv = new Priv;
+  pending_timers = 0;
+  pending_refresh = 0;
+  playing = 0;
+  vol = 50;
+  npl = 0;
+  ticks = 0;
+  refreshes = 0;
+  handled = 0;
+  for (int i = 0; i < argc(); i = i + 1) {
+    do_action(arg(i));
+    // nondeterministic partial drain: the "other thread" may or may not
+    // get to the queued events before the next UI action
+    drain(nondet(3));
+  }
+  drain(1000);
+  println("handled " + to_str(handled) + " ticks " + to_str(ticks) + " vol "
+          + to_str(vol) + " pl " + to_str(npl));
+  return 0;
+}
+|}
+
+let actions = [| "play"; "stop"; "timer"; "newpl"; "delpl"; "refresh"; "vol+"; "vol-"; "seek" |]
+let weights = [| 0.12; 0.14; 0.16; 0.10; 0.10; 0.18; 0.08; 0.07; 0.05 |]
+
+let pick_action rng =
+  let open Sbi_util in
+  let r = Prng.unit_float rng in
+  let rec go i acc =
+    if i >= Array.length actions - 1 then actions.(Array.length actions - 1)
+    else begin
+      let acc = acc +. weights.(i) in
+      if r < acc then actions.(i) else go (i + 1) acc
+    end
+  in
+  go 0 0.
+
+let gen_input ~seed ~run =
+  let open Sbi_util in
+  let rng = Prng.create ((seed * 7_000_003) + run) in
+  let n = 3 + Prng.int rng 30 in
+  Array.init n (fun _ -> pick_action rng)
+
+let study =
+  {
+    Study.name = "rhythmim";
+    descr =
+      "RHYTHMBOX analogue: event-driven player with a race condition and a \
+       dispose-while-pending API misuse";
+    source;
+    fixed_source = None;
+    gen_input = (fun ~seed ~run -> gen_input ~seed ~run);
+    bugs =
+      [
+        {
+          Study.bug_id = 1;
+          bug_descr = "race: timer disposed while its event is pending";
+          crashing = true;
+        };
+        {
+          Study.bug_id = 2;
+          bug_descr = "API misuse: view disposed while refresh events pending";
+          crashing = true;
+        };
+      ];
+    default_runs = 6000;
+  }

@@ -1,0 +1,31 @@
+type bug = { bug_id : int; bug_descr : string; crashing : bool }
+
+type t = {
+  name : string;
+  descr : string;
+  source : string;
+  fixed_source : string option;
+  gen_input : seed:int -> run:int -> string array;
+  bugs : bug list;
+  default_runs : int;
+}
+
+let checked t = Sbi_lang.Check.check_string ~file:(t.name ^ ".mc") t.source
+
+let checked_fixed t =
+  Option.map (Sbi_lang.Check.check_string ~file:(t.name ^ "_fixed.mc")) t.fixed_source
+
+let loc_count t =
+  let lines = String.split_on_char '\n' t.source in
+  List.fold_left
+    (fun acc line ->
+      let trimmed = String.trim line in
+      if trimmed = "" then acc
+      else if String.length trimmed >= 2 && trimmed.[0] = '/' && trimmed.[1] = '/' then acc
+      else acc + 1)
+    0 lines
+
+let bug_name t id =
+  match List.find_opt (fun b -> b.bug_id = id) t.bugs with
+  | Some b -> b.bug_descr
+  | None -> Printf.sprintf "bug #%d" id

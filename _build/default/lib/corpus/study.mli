@@ -1,0 +1,37 @@
+(** A case study: a buggy MiniC subject program with its input generator,
+    ground-truth bug inventory, and (optionally) a fixed version used as an
+    output oracle — mirroring the paper's five study setups (§4).
+
+    Bug ids are study-local, numbered as in the paper where applicable
+    (MOSS bugs #1–#9). *)
+
+type bug = {
+  bug_id : int;
+  bug_descr : string;
+  crashing : bool;  (** false for output-corruption bugs (MOSS #9) *)
+}
+
+type t = {
+  name : string;
+  descr : string;
+  source : string;  (** buggy MiniC source *)
+  fixed_source : string option;
+      (** bug-free version; when present, non-crashing runs are also
+          checked against its output (the paper's MOSS oracle) *)
+  gen_input : seed:int -> run:int -> string array;
+      (** deterministic input generator *)
+  bugs : bug list;
+  default_runs : int;  (** run count for a standard (fast) experiment *)
+}
+
+val checked : t -> Sbi_lang.Rast.rprog
+(** Parse and check the buggy source.  @raise Check.Error etc. on a broken
+    corpus program (tests guard this). *)
+
+val checked_fixed : t -> Sbi_lang.Rast.rprog option
+
+val loc_count : t -> int
+(** Non-blank, non-comment source lines (the paper's "Lines of Code"
+    column). *)
+
+val bug_name : t -> int -> string

@@ -1,0 +1,1 @@
+lib/experiments/ablation.ml: Eliminate Harness List Sbi_core Sbi_corpus Sbi_util String Texttab

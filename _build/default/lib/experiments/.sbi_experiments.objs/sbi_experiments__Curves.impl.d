@@ -1,0 +1,1 @@
+lib/experiments/curves.ml: Analysis Array Buffer Eliminate Float Harness List Printf Runs_needed Sbi_core Sbi_corpus Sbi_runtime String

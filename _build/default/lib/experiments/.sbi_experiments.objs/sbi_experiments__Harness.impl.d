@@ -1,0 +1,1 @@
+lib/experiments/harness.ml: Adaptive Array Collect Dataset Hashtbl List Option Report Sampler Sbi_core Sbi_corpus Sbi_instrument Sbi_lang Sbi_runtime Transform

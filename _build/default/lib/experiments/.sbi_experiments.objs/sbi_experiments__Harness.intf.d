@@ -1,0 +1,1 @@
+lib/experiments/harness.mli: Sbi_core Sbi_corpus Sbi_instrument Sbi_runtime

@@ -1,0 +1,1 @@
+lib/experiments/html_report.ml: Affinity Analysis Buffer Dataset Eliminate Float Fun Harness List Option Printf Sbi_core Sbi_corpus Sbi_runtime Sbi_util Scores String

@@ -1,0 +1,1 @@
+lib/experiments/html_report.mli: Harness

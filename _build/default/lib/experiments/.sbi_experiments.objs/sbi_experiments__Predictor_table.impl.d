@@ -1,0 +1,1 @@
+lib/experiments/predictor_table.ml: Affinity Analysis Eliminate Harness List Printf Render Sbi_core Sbi_corpus String

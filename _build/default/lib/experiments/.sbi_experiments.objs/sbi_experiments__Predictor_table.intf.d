@@ -1,0 +1,1 @@
+lib/experiments/predictor_table.mli: Harness

@@ -1,0 +1,1 @@
+lib/experiments/render.ml: Eliminate List Printf Sbi_core Sbi_instrument Sbi_util Scores Stats Texttab Thermometer

@@ -1,0 +1,1 @@
+lib/experiments/render.mli: Sbi_core Sbi_instrument Sbi_util

@@ -1,0 +1,1 @@
+lib/experiments/sampling_validation.ml: Analysis Array Eliminate Harness List Option Sbi_core Sbi_corpus Sbi_runtime Sbi_util String Texttab

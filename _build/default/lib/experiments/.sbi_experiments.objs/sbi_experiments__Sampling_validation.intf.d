@@ -1,0 +1,1 @@
+lib/experiments/sampling_validation.mli: Harness Sbi_corpus

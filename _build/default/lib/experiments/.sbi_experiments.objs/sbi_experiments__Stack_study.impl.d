@@ -1,0 +1,1 @@
+lib/experiments/stack_study.ml: Array Dataset Harness List Printf Report Sbi_corpus Sbi_runtime Sbi_util Texttab

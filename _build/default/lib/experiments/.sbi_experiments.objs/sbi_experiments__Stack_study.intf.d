@@ -1,0 +1,1 @@
+lib/experiments/stack_study.mli: Harness Sbi_core

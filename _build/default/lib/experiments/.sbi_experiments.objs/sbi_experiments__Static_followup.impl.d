@@ -1,0 +1,1 @@
+lib/experiments/static_followup.ml: Buffer Format Harness List Printf Query Sbi_core Sbi_corpus Sbi_instrument Sbi_lang String

@@ -1,0 +1,1 @@
+lib/experiments/static_followup.mli: Harness Sbi_lang

@@ -1,0 +1,1 @@
+lib/experiments/table1.ml: Array Counts Harness Printf Prune Rank Render Sbi_core Sbi_corpus String

@@ -1,0 +1,1 @@
+lib/experiments/table2.ml: Harness List Sbi_core Sbi_corpus Sbi_util Texttab

@@ -1,0 +1,1 @@
+lib/experiments/table3.ml: Dataset Harness List Printf Render Sbi_core Sbi_corpus Sbi_runtime String

@@ -1,0 +1,1 @@
+lib/experiments/table8.ml: Analysis Eliminate Harness List Printf Runs_needed Sbi_core Sbi_corpus Sbi_util Texttab

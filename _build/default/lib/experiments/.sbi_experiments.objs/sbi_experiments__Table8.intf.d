@@ -1,0 +1,1 @@
+lib/experiments/table8.mli: Harness Sbi_core

@@ -1,0 +1,1 @@
+lib/experiments/table9.ml: Harness List Printf Sbi_corpus Sbi_logreg Sbi_runtime Sbi_util Texttab

@@ -1,0 +1,1 @@
+lib/experiments/table9.mli: Harness

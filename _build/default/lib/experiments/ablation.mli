@@ -1,0 +1,17 @@
+(** Ablation over the §5 run-discard proposals: (1) discard all runs with
+    R(P)=1, (2) discard only failing such runs, (3) relabel failing such
+    runs as successes.  Reports, for each proposal on the same dataset, the
+    number of selections, ground-truth bug coverage, and list length — the
+    design discussion predicts (1) is the most conservative and (3) retains
+    the most predictive power for complementary predicates. *)
+
+type row = {
+  discard : Sbi_core.Eliminate.discard;
+  selections : int;
+  bugs_covered : int list;
+  first_preds : string list;  (** top 3 predicate descriptions *)
+}
+
+val compare_discards : Harness.bundle -> row list
+val render : Harness.bundle -> string
+val run : ?config:Harness.config -> unit -> string

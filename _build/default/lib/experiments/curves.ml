@@ -1,0 +1,74 @@
+open Sbi_core
+
+let letters = "abcdefghijklmnopqrstuvwxyz"
+
+let render ?(height = 12) (bundle : Harness.bundle) =
+  let ds = bundle.Harness.dataset in
+  let analysis = Harness.analyze bundle in
+  let per_bug =
+    Harness.assign_selections_to_bugs bundle
+      analysis.Analysis.elimination.Eliminate.selections
+  in
+  if per_bug = [] then "no predictors selected; nothing to plot\n"
+  else begin
+    let curves =
+      List.mapi
+        (fun i (bug, (sel : Eliminate.selection)) ->
+          let letter = letters.[i mod String.length letters] in
+          (letter, bug, sel.Eliminate.pred, Runs_needed.curve ds ~pred:sel.Eliminate.pred))
+        per_bug
+    in
+    let grid = match curves with (_, _, _, c) :: _ -> List.map fst c | [] -> [] in
+    let ncols = List.length grid in
+    (* chart body: rows from importance 1.0 at the top to 0.0 at the bottom *)
+    let cell = Array.make_matrix height ncols ' ' in
+    List.iter
+      (fun (letter, _, _, curve) ->
+        List.iteri
+          (fun col (_, imp) ->
+            let row =
+              let r = int_of_float (Float.round ((1. -. imp) *. float_of_int (height - 1))) in
+              if r < 0 then 0 else if r >= height then height - 1 else r
+            in
+            cell.(row).(col) <- letter)
+          curve)
+      curves;
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf
+      (Printf.sprintf "Importance_N convergence — %s (%d runs)\n"
+         bundle.Harness.study.Sbi_corpus.Study.name
+         (Sbi_runtime.Dataset.nruns ds));
+    for row = 0 to height - 1 do
+      let y = 1. -. (float_of_int row /. float_of_int (height - 1)) in
+      Buffer.add_string buf (Printf.sprintf "%4.2f |" y);
+      for col = 0 to ncols - 1 do
+        Buffer.add_string buf (Printf.sprintf " %c " cell.(row).(col))
+      done;
+      Buffer.add_char buf '\n'
+    done;
+    Buffer.add_string buf "     +";
+    for _ = 1 to ncols do
+      Buffer.add_string buf "---"
+    done;
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf "      ";
+    List.iter
+      (fun n ->
+        let label =
+          if n >= 1000 then Printf.sprintf "%dk" (n / 1000) else string_of_int n
+        in
+        Buffer.add_string buf (Printf.sprintf "%-3s" (if String.length label > 3 then "" else label)))
+      grid;
+    Buffer.add_string buf "  (N runs)\n\n";
+    List.iter
+      (fun (letter, bug, pred, curve) ->
+        let final = match List.rev curve with (_, imp) :: _ -> imp | [] -> 0. in
+        Buffer.add_string buf
+          (Printf.sprintf "  %c = bug #%d (final imp %.2f): %s\n" letter bug final
+             (Harness.describe bundle ~pred)))
+      curves;
+    Buffer.contents buf
+  end
+
+let run ?(config = Harness.default_config) study =
+  render (Harness.collect_study ~config study)

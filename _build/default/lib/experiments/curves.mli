@@ -1,0 +1,12 @@
+(** Convergence-curve chart for the runs-needed analysis (§4.3).
+
+    Plots Importance_N for each bug's chosen predictor against the number
+    of runs N, as an ASCII chart — the visual counterpart of Table 8: every
+    curve climbs to its plateau once the predictor has seen a few dozen
+    failing runs, with rare bugs' curves starting later. *)
+
+val render : ?height:int -> Harness.bundle -> string
+(** One letter per occurring bug's chosen predictor; legend below the
+    chart.  [height] is the number of chart rows (default 12). *)
+
+val run : ?config:Harness.config -> Sbi_corpus.Study.t -> string

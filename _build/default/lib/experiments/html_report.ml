@@ -1,0 +1,164 @@
+open Sbi_core
+open Sbi_runtime
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let style =
+  {|
+  body { font-family: system-ui, sans-serif; margin: 2em auto; max-width: 1100px;
+         color: #1a1a1a; }
+  h1 { font-size: 1.5em; } h2 { font-size: 1.2em; margin-top: 2em; }
+  table { border-collapse: collapse; width: 100%; font-size: 0.9em; }
+  th, td { border: 1px solid #ccc; padding: 4px 8px; text-align: left; }
+  th { background: #f0f0f0; }
+  td.num { text-align: right; font-variant-numeric: tabular-nums; }
+  .therm { display: inline-flex; height: 14px; border: 1px solid #888;
+           background: #fff; vertical-align: middle; }
+  .therm div { height: 100%; }
+  .ctx { background: #222; } .inc { background: #d62728; }
+  .ci { background: #f7b6b2; } .succ { background: #fff; }
+  details { margin: 0.2em 0 0.8em 1em; }
+  summary { cursor: pointer; color: #444; }
+  .pred { font-family: ui-monospace, monospace; font-size: 0.95em; }
+  .muted { color: #777; } .legend span { margin-right: 1.2em; }
+  .chip { display: inline-block; width: 0.8em; height: 0.8em; border: 1px solid #888;
+          margin-right: 0.3em; vertical-align: middle; }
+|}
+
+(* Thermometer as nested divs; width log-scaled like the text version. *)
+let thermometer ~max_fs (sc : Scores.t) =
+  let fs = sc.Scores.f + sc.Scores.s in
+  if fs <= 0 then {|<span class="therm" style="width:2px"></span>|}
+  else begin
+    let full = 180. in
+    let width =
+      if max_fs <= 1 then full
+      else full *. log (float_of_int (fs + 1)) /. log (float_of_int (max_fs + 1))
+    in
+    let width = Float.max 6. width in
+    let inc_lb = Float.max 0. sc.Scores.increase_ci.Sbi_util.Stats.lo in
+    let ci_w = Float.max 0. (Float.min 1. sc.Scores.increase_ci.Sbi_util.Stats.hi -. inc_lb) in
+    let ctx = Float.max 0. (Float.min 1. sc.Scores.context) in
+    let succ = Float.max 0. (1. -. ctx -. inc_lb -. ci_w) in
+    let seg cls frac =
+      Printf.sprintf {|<div class="%s" style="width:%.1fpx"></div>|} cls (frac *. width)
+    in
+    Printf.sprintf {|<span class="therm" title="F=%d S=%d ctx=%.3f inc=%.3f">%s%s%s%s</span>|}
+      sc.Scores.f sc.Scores.s ctx sc.Scores.increase (seg "ctx" ctx) (seg "inc" inc_lb)
+      (seg "ci" ci_w) (seg "succ" succ)
+  end
+
+let render (bundle : Harness.bundle) =
+  let analysis = Harness.analyze bundle in
+  let ds = bundle.Harness.dataset in
+  let study = bundle.Harness.study in
+  let summary = Analysis.summary analysis in
+  let selections = analysis.Analysis.elimination.Eliminate.selections in
+  let bug_ids = Dataset.bug_ids ds in
+  let max_fs =
+    List.fold_left
+      (fun acc (s : Eliminate.selection) ->
+        max acc (s.Eliminate.initial.Scores.f + s.Eliminate.initial.Scores.s))
+      1 selections
+  in
+  let buf = Buffer.create 8192 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out
+    {|<!DOCTYPE html><html><head><meta charset="utf-8"><title>sbi report: %s</title><style>%s</style></head><body>|}
+    (escape study.Sbi_corpus.Study.name) style;
+  out "<h1>Statistical bug isolation report — %s</h1>" (escape study.Sbi_corpus.Study.name);
+  out {|<p class="muted">%s</p>|} (escape study.Sbi_corpus.Study.descr);
+
+  out "<h2>Summary</h2><table><tr>%s</tr><tr>%s</tr></table>"
+    (String.concat ""
+       (List.map
+          (fun h -> "<th>" ^ h ^ "</th>")
+          [ "Runs"; "Successful"; "Failing"; "Sites"; "Predicates";
+            "Increase &gt; 0"; "Selected" ]))
+    (String.concat ""
+       (List.map
+          (fun n -> Printf.sprintf {|<td class="num">%d</td>|} n)
+          [ summary.Analysis.runs; summary.Analysis.successful; summary.Analysis.failing;
+            summary.Analysis.sites; summary.Analysis.initial_preds;
+            summary.Analysis.retained_preds; summary.Analysis.selected_preds ]));
+
+  out
+    {|<h2>Selected failure predictors</h2>
+      <p class="legend"><span><span class="chip ctx"></span>Context</span>
+      <span><span class="chip inc"></span>Increase (95%% lower bound)</span>
+      <span><span class="chip ci"></span>confidence interval</span>
+      <span><span class="chip succ"></span>successful runs</span></p>|};
+  out "<table><tr><th>#</th><th>Initial</th><th>Effective</th><th>Importance</th><th>F</th><th>S</th><th>Predicate</th>%s</tr>"
+    (String.concat ""
+       (List.map (fun b -> Printf.sprintf "<th>bug #%d</th>" b) bug_ids));
+  List.iter
+    (fun (sel : Eliminate.selection) ->
+      let co = Harness.cooccurrence bundle ~pred:sel.Eliminate.pred in
+      out
+        {|<tr><td class="num">%d</td><td>%s</td><td>%s</td><td class="num">%.3f</td><td class="num">%d</td><td class="num">%d</td><td class="pred">%s</td>%s</tr>|}
+        sel.Eliminate.rank
+        (thermometer ~max_fs sel.Eliminate.initial)
+        (thermometer ~max_fs sel.Eliminate.effective)
+        sel.Eliminate.effective.Scores.importance sel.Eliminate.initial.Scores.f
+        sel.Eliminate.initial.Scores.s
+        (escape (Harness.describe bundle ~pred:sel.Eliminate.pred))
+        (String.concat ""
+           (List.map
+              (fun b ->
+                Printf.sprintf {|<td class="num">%d</td>|}
+                  (Option.value ~default:0 (List.assoc_opt b co)))
+              bug_ids)))
+    selections;
+  out "</table>";
+
+  out "<h2>Affinity lists</h2>";
+  List.iter
+    (fun (sel : Eliminate.selection) ->
+      out
+        {|<details><summary>predictor %d: <span class="pred">%s</span></summary><table><tr><th>drop</th><th>before</th><th>after</th><th>predicate</th></tr>|}
+        sel.Eliminate.rank
+        (escape (Harness.describe bundle ~pred:sel.Eliminate.pred));
+      let entries = Analysis.affinity_for analysis ~pred:sel.Eliminate.pred in
+      let rec take k = function
+        | [] -> []
+        | _ when k = 0 -> []
+        | x :: r -> x :: take (k - 1) r
+      in
+      List.iter
+        (fun (e : Affinity.entry) ->
+          out
+            {|<tr><td class="num">%.3f</td><td class="num">%.3f</td><td class="num">%.3f</td><td class="pred">%s</td></tr>|}
+            e.Affinity.drop e.Affinity.importance_before e.Affinity.importance_after
+            (escape (Harness.describe bundle ~pred:e.Affinity.pred)))
+        (take 8 entries);
+      out "</table></details>")
+    selections;
+
+  if bug_ids <> [] then begin
+    out "<h2>Ground truth (controlled experiment)</h2><table><tr><th>bug</th><th>description</th><th>failing runs</th></tr>";
+    List.iter
+      (fun b ->
+        out {|<tr><td class="num">#%d</td><td>%s</td><td class="num">%d</td></tr>|} b
+          (escape (Sbi_corpus.Study.bug_name study b))
+          (Dataset.runs_with_bug ds b))
+      bug_ids;
+    out "</table>"
+  end;
+  out
+    {|<p class="muted">Generated by the sbi reproduction of Liblit et al., "Scalable Statistical Bug Isolation" (PLDI 2005).</p></body></html>|};
+  Buffer.contents buf
+
+let write ~path bundle =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (render bundle))

@@ -1,0 +1,12 @@
+(** Self-contained HTML report for a study analysis — a static rendition of
+    the paper's interactive tool: summary statistics, the ranked predictor
+    list with colour bug thermometers (red increase band, pink confidence
+    band, black context band, white successes — §3.3's figure conventions),
+    a collapsible affinity list per predictor, and, for controlled
+    experiments, the ground-truth per-bug columns of Table 3. *)
+
+val render : Harness.bundle -> string
+(** The full HTML document. *)
+
+val write : path:string -> Harness.bundle -> unit
+(** Render and save. *)

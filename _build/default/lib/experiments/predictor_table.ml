@@ -1,0 +1,47 @@
+open Sbi_core
+
+let render ~title (bundle : Harness.bundle) =
+  let analysis = Harness.analyze bundle in
+  let selections = analysis.Analysis.elimination.Eliminate.selections in
+  let table =
+    Render.selection_table ~title ~transform:bundle.Harness.transform selections
+  in
+  let selected = Eliminate.selected_preds analysis.Analysis.elimination in
+  let affinity_notes =
+    List.filter_map
+      (fun (sel : Eliminate.selection) ->
+        let others = List.filter (fun p -> p <> sel.Eliminate.pred) selected in
+        if others = [] then None
+        else begin
+          let entries =
+            Affinity.list bundle.Harness.dataset ~selected:sel.Eliminate.pred ~others
+          in
+          match Affinity.top_affine entries with
+          | Some top ->
+              Some
+                (Printf.sprintf "  affinity: selecting #%d most deflates [%s]"
+                   sel.Eliminate.rank
+                   (Harness.describe bundle ~pred:top))
+          | None -> None
+        end)
+      selections
+  in
+  table
+  ^ (if affinity_notes = [] then ""
+     else "\n" ^ String.concat "\n" affinity_notes ^ "\n")
+
+let run_for study title config =
+  let bundle = Harness.collect_study ~config study in
+  render ~title bundle
+
+let run_ccrypt ?(config = Harness.default_config) () =
+  run_for Sbi_corpus.Corpus.ccryptim "Table 4: Predictors for CCRYPT (analogue)" config
+
+let run_bc ?(config = Harness.default_config) () =
+  run_for Sbi_corpus.Corpus.bcim "Table 5: Predictors for BC (analogue)" config
+
+let run_exif ?(config = Harness.default_config) () =
+  run_for Sbi_corpus.Corpus.exifim "Table 6: Predictors for EXIF (analogue)" config
+
+let run_rhythmbox ?(config = Harness.default_config) () =
+  run_for Sbi_corpus.Corpus.rhythmim "Table 7: Predictors for RHYTHMBOX (analogue)" config

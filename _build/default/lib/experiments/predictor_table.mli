@@ -1,0 +1,20 @@
+(** Tables 4–7: the per-study predictor lists (CCRYPT, BC, EXIF,
+    RHYTHMBOX analogues).  Each renders the elimination output with
+    initial/effective thermometers, and annotates every selected predicate
+    with the top entry of its affinity list — the paper's way of
+    recognizing that e.g. CCRYPT's first predictor is a sub-bug predictor
+    of its second. *)
+
+val render : title:string -> Harness.bundle -> string
+
+val run_ccrypt : ?config:Harness.config -> unit -> string
+(** Table 4. *)
+
+val run_bc : ?config:Harness.config -> unit -> string
+(** Table 5. *)
+
+val run_exif : ?config:Harness.config -> unit -> string
+(** Table 6. *)
+
+val run_rhythmbox : ?config:Harness.config -> unit -> string
+(** Table 7. *)

@@ -1,0 +1,79 @@
+open Sbi_util
+open Sbi_core
+
+let max_fs_of rows =
+  List.fold_left (fun acc (sc : Scores.t) -> max acc (sc.Scores.f + sc.Scores.s)) 1 rows
+
+let fmt_ci (ci : Stats.interval) point =
+  let half = Stats.interval_width ci /. 2. in
+  Printf.sprintf "%.3f ± %.3f" point half
+
+let score_table ~title ~transform rows =
+  let max_fs = max_fs_of rows in
+  let tab =
+    Texttab.create ~title
+      [
+        ("Thermometer", Texttab.Left);
+        ("Context", Texttab.Right);
+        ("Increase", Texttab.Right);
+        ("S", Texttab.Right);
+        ("F", Texttab.Right);
+        ("F+S", Texttab.Right);
+        ("Predicate", Texttab.Left);
+      ]
+  in
+  List.iter
+    (fun (sc : Scores.t) ->
+      Texttab.add_row tab
+        [
+          Thermometer.render ~max_fs sc;
+          Printf.sprintf "%.3f" sc.Scores.context;
+          fmt_ci sc.Scores.increase_ci sc.Scores.increase;
+          string_of_int sc.Scores.s;
+          string_of_int sc.Scores.f;
+          string_of_int (sc.Scores.f + sc.Scores.s);
+          Sbi_instrument.Transform.describe_pred transform sc.Scores.pred;
+        ])
+    rows;
+  Texttab.render tab ^ Thermometer.legend ^ "\n"
+
+let selection_table ~title ~transform ?extra_cols selections =
+  let all_scores =
+    List.concat_map
+      (fun (s : Eliminate.selection) -> [ s.Eliminate.initial; s.Eliminate.effective ])
+      selections
+  in
+  let max_fs = max_fs_of all_scores in
+  let extra_headers, extra_fn =
+    match extra_cols with
+    | None -> ([], fun _ -> [])
+    | Some (headers, fn) -> (headers, fn)
+  in
+  let tab =
+    Texttab.create ~title
+      ([
+         ("#", Texttab.Right);
+         ("Initial", Texttab.Left);
+         ("Effective", Texttab.Left);
+         ("Imp", Texttab.Right);
+         ("F", Texttab.Right);
+         ("S", Texttab.Right);
+         ("Predicate", Texttab.Left);
+       ]
+      @ List.map (fun h -> (h, Texttab.Right)) extra_headers)
+  in
+  List.iter
+    (fun (sel : Eliminate.selection) ->
+      Texttab.add_row tab
+        ([
+           string_of_int sel.Eliminate.rank;
+           Thermometer.render ~max_fs sel.Eliminate.initial;
+           Thermometer.render ~max_fs sel.Eliminate.effective;
+           Printf.sprintf "%.3f" sel.Eliminate.effective.Scores.importance;
+           string_of_int sel.Eliminate.initial.Scores.f;
+           string_of_int sel.Eliminate.initial.Scores.s;
+           Sbi_instrument.Transform.describe_pred transform sel.Eliminate.pred;
+         ]
+        @ extra_fn sel))
+    selections;
+  Texttab.render tab ^ Thermometer.legend ^ "\n"

@@ -1,0 +1,24 @@
+(** Shared rendering for the paper-style predictor tables: thermometer,
+    Context, Increase ± CI half-width, S, F, F+S, predicate text. *)
+
+val max_fs_of : Sbi_core.Scores.t list -> int
+(** Largest F+S among the rows — the thermometer log scale's full length. *)
+
+val score_table :
+  title:string ->
+  transform:Sbi_instrument.Transform.t ->
+  Sbi_core.Scores.t list ->
+  string
+(** One thermometer per row (Table 1 format). *)
+
+val selection_table :
+  title:string ->
+  transform:Sbi_instrument.Transform.t ->
+  ?extra_cols:string list * (Sbi_core.Eliminate.selection -> string list) ->
+  Sbi_core.Eliminate.selection list ->
+  string
+(** Initial and effective thermometers per selection (Tables 3–7 format);
+    [extra_cols] appends e.g. the ground-truth per-bug counts of Table 3. *)
+
+val fmt_ci : Sbi_util.Stats.interval -> float -> string
+(** ["0.824 ± 0.009"]: the point value with the CI half-width. *)

@@ -1,0 +1,76 @@
+open Sbi_util
+open Sbi_core
+
+type comparison = {
+  study : string;
+  sampled_selected : int;
+  unsampled_selected : int;
+  common_sites : int;
+  sampled_bug_coverage : int list;
+  unsampled_bug_coverage : int list;
+}
+
+let sites_of (bundle : Harness.bundle) preds =
+  List.sort_uniq compare
+    (List.map (fun p -> bundle.Harness.dataset.Sbi_runtime.Dataset.pred_site.(p)) preds)
+
+let coverage bundle selections =
+  List.sort_uniq compare
+    (List.filter_map
+       (fun (sel : Eliminate.selection) ->
+         Harness.dominant_bug bundle ~pred:sel.Eliminate.pred)
+       selections)
+
+let compare_study ?(config = Harness.default_config) study =
+  let sampled = Harness.collect_study ~config study in
+  let unsampled =
+    Harness.collect_study ~config:{ config with Harness.sampling = Harness.No_sampling } study
+  in
+  let a_s = Harness.analyze sampled in
+  let a_u = Harness.analyze unsampled in
+  let sel_s = a_s.Analysis.elimination.Eliminate.selections in
+  let sel_u = a_u.Analysis.elimination.Eliminate.selections in
+  let sites_s = sites_of sampled (List.map (fun s -> s.Eliminate.pred) sel_s) in
+  let sites_u = sites_of unsampled (List.map (fun s -> s.Eliminate.pred) sel_u) in
+  let common = List.filter (fun s -> List.mem s sites_u) sites_s in
+  {
+    study = study.Sbi_corpus.Study.name;
+    sampled_selected = List.length sel_s;
+    unsampled_selected = List.length sel_u;
+    common_sites = List.length common;
+    sampled_bug_coverage = coverage sampled sel_s;
+    unsampled_bug_coverage = coverage unsampled sel_u;
+  }
+
+let render comparisons =
+  let tab =
+    Texttab.create ~title:"Sampling validation: sampled vs. unsampled analyses"
+      [
+        ("Study", Texttab.Left);
+        ("Sel (sampled)", Texttab.Right);
+        ("Sel (full)", Texttab.Right);
+        ("Common sites", Texttab.Right);
+        ("Bugs covered (sampled)", Texttab.Left);
+        ("Bugs covered (full)", Texttab.Left);
+      ]
+  in
+  let fmt_bugs bs = String.concat "," (List.map (fun b -> "#" ^ string_of_int b) bs) in
+  List.iter
+    (fun c ->
+      Texttab.add_row tab
+        [
+          c.study;
+          string_of_int c.sampled_selected;
+          string_of_int c.unsampled_selected;
+          string_of_int c.common_sites;
+          fmt_bugs c.sampled_bug_coverage;
+          fmt_bugs c.unsampled_bug_coverage;
+        ])
+    comparisons;
+  Texttab.render tab
+
+let run ?(config = Harness.default_config) ?studies () =
+  let studies =
+    Option.value studies ~default:[ Sbi_corpus.Corpus.mossim; Sbi_corpus.Corpus.rhythmim ]
+  in
+  render (List.map (compare_study ~config) studies)

@@ -1,0 +1,23 @@
+(** Sampling validation (§4): the paper validates non-uniform sampling by
+    re-running every experiment with the sampling rate of all predicates
+    set to 100% and comparing results; differences were judged minor
+    (logically-equivalent predicate swaps, slight re-ranking, a few extra
+    weak tail predictors).
+
+    We reproduce the comparison: collect the same run population sampled
+    and unsampled, run elimination on both, and report the overlap of the
+    selected predicate sets (by site, so logically-equivalent predicates at
+    the same site count as agreement) and the per-bug coverage of each. *)
+
+type comparison = {
+  study : string;
+  sampled_selected : int;
+  unsampled_selected : int;
+  common_sites : int;  (** selected sites appearing in both lists *)
+  sampled_bug_coverage : int list;  (** bugs covered by the sampled list *)
+  unsampled_bug_coverage : int list;
+}
+
+val compare_study : ?config:Harness.config -> Sbi_corpus.Study.t -> comparison
+val render : comparison list -> string
+val run : ?config:Harness.config -> ?studies:Sbi_corpus.Study.t list -> unit -> string

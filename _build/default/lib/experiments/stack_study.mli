@@ -1,0 +1,25 @@
+(** The stack-trace study (§1, §6): how useful is the current industrial
+    practice of clustering failures by crash stack?
+
+    For each ground-truth bug, we look for a {e unique signature stack}: a
+    crash-stack signature present (among failing runs) if and only if that
+    bug was triggered.  The paper's finding to reproduce: only the most
+    deterministic bugs have one (MOSS bugs #2 and #5); event-driven
+    programs (RHYTHMBOX analogue) have near-useless stacks because every
+    crash goes through the same dispatch loop. *)
+
+type verdict = {
+  bug : int;
+  crashing_runs : int;
+  distinct_sigs : int;  (** distinct stack signatures among this bug's crashes *)
+  best_precision : float;
+      (** for the bug's most common signature: fraction of runs showing it
+          that triggered the bug *)
+  best_recall : float;
+      (** fraction of the bug's crashing runs showing that signature *)
+  unique : bool;  (** precision and recall both >= 0.95 *)
+}
+
+val study_verdicts : Harness.bundle -> verdict list
+val render : (Harness.bundle * Sbi_core.Analysis.t) list -> string
+val run : ?config:Harness.config -> unit -> string

@@ -1,0 +1,68 @@
+open Sbi_lang
+
+type finding = {
+  implicated : string list;
+  uses : Query.use list;
+}
+
+(* Variables named in a predicate's text: we match the nulled-variable
+   names against the predicate descriptions of the selected predictors. *)
+let mentions text name =
+  let tl = String.length text and nl = String.length name in
+  let is_ident c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_' in
+  let rec go i =
+    if i + nl > tl then false
+    else if
+      String.sub text i nl = name
+      && (i = 0 || not (is_ident text.[i - 1]))
+      && (i + nl = tl || not (is_ident text.[i + nl]))
+    then true
+    else go (i + 1)
+  in
+  nl > 0 && go 0
+
+let investigate (bundle : Harness.bundle) =
+  let prog = bundle.Harness.transform.Sbi_instrument.Transform.prog in
+  let analysis = Harness.analyze bundle in
+  let nulled = List.map fst (Query.nulled_vars prog) in
+  let selected_texts =
+    List.map
+      (fun (sel : Sbi_core.Eliminate.selection) ->
+        Harness.describe bundle ~pred:sel.Sbi_core.Eliminate.pred)
+      analysis.Sbi_core.Analysis.elimination.Sbi_core.Eliminate.selections
+  in
+  (* A nulled variable is implicated when a selected predictor mentions it
+     or mentions the bookkeeping counters guarding it (same site line). *)
+  let implicated =
+    List.filter (fun v -> List.exists (fun t -> mentions t v) selected_texts) nulled
+  in
+  (* When no predictor names a disposed variable directly (predictors often
+     fire on the guard counters instead), fall back to all disposed
+     variables — the engineer reading the affinity list would do the same. *)
+  let roots = if implicated = [] then nulled else implicated in
+  { implicated = roots; uses = Query.unsafe_uses ~only:roots prog }
+
+let render bundle =
+  let f = investigate bundle in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    "Static follow-up (paper §1): unsafe dispose-then-use pattern scan\n";
+  Buffer.add_string buf
+    (Printf.sprintf "disposed references implicated: %s\n"
+       (if f.implicated = [] then "(none)" else String.concat ", " f.implicated));
+  Buffer.add_string buf
+    (Printf.sprintf "unguarded uses found by the syntactic scan: %d\n" (List.length f.uses));
+  List.iter
+    (fun u -> Buffer.add_string buf (Format.asprintf "  %a\n" Query.pp_use u))
+    f.uses;
+  (match Query.count_by_function f.uses with
+  | [] -> ()
+  | per_fn ->
+      Buffer.add_string buf "instances per function:\n";
+      List.iter
+        (fun (fn, n) -> Buffer.add_string buf (Printf.sprintf "  %-20s %d\n" fn n))
+        per_fn);
+  Buffer.contents buf
+
+let run ?(config = Harness.default_config) () =
+  render (Harness.collect_study ~config Sbi_corpus.Corpus.rhythmim)

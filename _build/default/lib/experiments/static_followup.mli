@@ -1,0 +1,18 @@
+(** The §1 RHYTHMBOX story: a statistical failure predictor exposes an
+    unsafe usage pattern (dispose, then use without a null check), and a
+    simple syntactic static analysis then finds every other instance of
+    the same pattern.
+
+    This driver runs the statistical analysis on a study, takes the
+    disposed references implicated by the selected predictors, and hands
+    them to {!Sbi_lang.Query.unsafe_uses}. *)
+
+type finding = {
+  implicated : string list;  (** nulled variables named by selected predictors *)
+  uses : Sbi_lang.Query.use list;  (** all unguarded uses found statically *)
+}
+
+val investigate : Harness.bundle -> finding
+val render : Harness.bundle -> string
+val run : ?config:Harness.config -> unit -> string
+(** Defaults to the RHYTHMBOX analogue. *)

@@ -1,0 +1,12 @@
+(** Table 1: comparison of ranking strategies for MOSS, without redundancy
+    elimination.  (a) descending F(P) surfaces super-bug-style predictors
+    with large F but weak Increase; (b) descending Increase(P) surfaces
+    near-deterministic sub-bug predictors with tiny F; (c) the harmonic
+    mean balances both. *)
+
+val render : ?top:int -> Harness.bundle -> string
+(** Renders the three sub-tables (default 8 rows each) from the bundle's
+    retained predicates. *)
+
+val run : ?config:Harness.config -> ?top:int -> unit -> string
+(** Collects a MOSS-analogue bundle and renders. *)

@@ -1,0 +1,42 @@
+open Sbi_util
+
+let render rows =
+  let tab =
+    Texttab.create ~title:"Table 2: summary statistics for bug isolation experiments"
+      [
+        ("Study", Texttab.Left);
+        ("LoC", Texttab.Right);
+        ("Successful", Texttab.Right);
+        ("Failing", Texttab.Right);
+        ("Sites", Texttab.Right);
+        ("Initial preds", Texttab.Right);
+        ("Increase > 0", Texttab.Right);
+        ("Elimination", Texttab.Right);
+      ]
+  in
+  List.iter
+    (fun ((bundle : Harness.bundle), analysis) ->
+      let s = Sbi_core.Analysis.summary analysis in
+      Texttab.add_row tab
+        [
+          bundle.Harness.study.Sbi_corpus.Study.name;
+          string_of_int (Sbi_corpus.Study.loc_count bundle.Harness.study);
+          string_of_int s.Sbi_core.Analysis.successful;
+          string_of_int s.Sbi_core.Analysis.failing;
+          string_of_int s.Sbi_core.Analysis.sites;
+          string_of_int s.Sbi_core.Analysis.initial_preds;
+          string_of_int s.Sbi_core.Analysis.retained_preds;
+          string_of_int s.Sbi_core.Analysis.selected_preds;
+        ])
+    rows;
+  Texttab.render tab
+
+let run ?(config = Harness.default_config) () =
+  let rows =
+    List.map
+      (fun study ->
+        let bundle = Harness.collect_study ~config study in
+        (bundle, Harness.analyze bundle))
+      Sbi_corpus.Corpus.all
+  in
+  render rows

@@ -1,0 +1,9 @@
+(** Table 2: summary statistics for the bug-isolation experiments — lines
+    of code, successful/failing runs, instrumentation sites, initial
+    predicate count, predicates with Increase > 0 (95% confidence), and
+    predicates remaining after elimination, for each case study. *)
+
+val render : (Harness.bundle * Sbi_core.Analysis.t) list -> string
+
+val run : ?config:Harness.config -> unit -> string
+(** Collects and analyzes all five studies. *)

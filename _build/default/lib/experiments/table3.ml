@@ -1,0 +1,29 @@
+open Sbi_runtime
+
+let render (bundle : Harness.bundle) =
+  let analysis = Harness.analyze bundle in
+  let selections = analysis.Sbi_core.Analysis.elimination.Sbi_core.Eliminate.selections in
+  let bug_ids = Dataset.bug_ids bundle.Harness.dataset in
+  let headers = List.map (fun b -> Printf.sprintf "#%d" b) bug_ids in
+  let per_bug (sel : Sbi_core.Eliminate.selection) =
+    let co = Harness.cooccurrence bundle ~pred:sel.Sbi_core.Eliminate.pred in
+    List.map
+      (fun b ->
+        match List.assoc_opt b co with Some n -> string_of_int n | None -> "0")
+      bug_ids
+  in
+  Render.selection_table
+    ~title:"Table 3: MOSS failure predictors using nonuniform sampling"
+    ~transform:bundle.Harness.transform
+    ~extra_cols:(headers, per_bug)
+    selections
+  ^ Printf.sprintf
+      "\nGround truth: failing runs per bug:%s  (bug #7 never fails alone; bug #8 never occurs)\n"
+      (String.concat ""
+         (List.map
+            (fun b ->
+              Printf.sprintf " #%d=%d" b (Dataset.runs_with_bug bundle.Harness.dataset b))
+            bug_ids))
+
+let run ?(config = Harness.default_config) () =
+  render (Harness.collect_study ~config Sbi_corpus.Corpus.mossim)

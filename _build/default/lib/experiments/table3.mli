@@ -1,0 +1,13 @@
+(** Table 3: MOSS failure predictors under non-uniform sampling — the
+    controlled validation experiment (§4.1).  Each selected predicate shows
+    its initial and effective (at-selection-time) thermometers plus the
+    ground-truth columns: for every seeded bug, the number of failing runs
+    where both the predicate was observed true and the bug occurred.
+
+    Expected shape: each top predictor spikes at one bug; every occurring
+    bug is covered; bug #7 (never causes failure by itself) has no
+    dedicated predictor but appears across columns; bug #8 (never
+    triggered) is absent. *)
+
+val render : Harness.bundle -> string
+val run : ?config:Harness.config -> unit -> string

@@ -1,0 +1,10 @@
+(** Table 8: minimum number of runs needed (§4.3).
+
+    For each study and each occurring bug's chosen predictor P, the
+    smallest run-count N (over the paper's grid) such that
+    Importance_full(P) − Importance_N(P) < 0.2, and F(P) at that N.
+    The paper's observation to reproduce: 10–40 observed failures suffice
+    for every bug, with rare bugs needing the most total runs. *)
+
+val render : (Harness.bundle * Sbi_core.Analysis.t) list -> string
+val run : ?config:Harness.config -> unit -> string

@@ -1,0 +1,42 @@
+open Sbi_util
+
+(* Classify a predicate against ground truth: a sub-bug predictor covers a
+   strict minority of its dominant bug's failures with high precision; a
+   super-bug predictor spreads over several bugs. *)
+let classify (bundle : Harness.bundle) ~pred =
+  let co = Harness.cooccurrence bundle ~pred in
+  let total = List.fold_left (fun acc (_, n) -> acc + n) 0 co in
+  match co with
+  | [] -> "no failing coverage"
+  | (top_bug, top_n) :: _ ->
+      let spread = List.length (List.filter (fun (_, n) -> n * 5 >= total) co) in
+      let bug_total = Sbi_runtime.Dataset.runs_with_bug bundle.Harness.dataset top_bug in
+      if spread >= 3 then Printf.sprintf "super-bug (%d bugs)" spread
+      else if bug_total > 0 && top_n * 2 < bug_total then
+        Printf.sprintf "sub-bug of #%d (%d/%d)" top_bug top_n bug_total
+      else Printf.sprintf "mostly #%d (%d/%d)" top_bug top_n bug_total
+
+let render ?(top = 10) (bundle : Harness.bundle) =
+  let model = Sbi_logreg.Logreg.train bundle.Harness.dataset in
+  let weights = Sbi_logreg.Logreg.top_weights model ~n:top in
+  let tab =
+    Texttab.create ~title:"Table 9: results of logistic regression for MOSS"
+      [
+        ("Coefficient", Texttab.Right);
+        ("Predicate", Texttab.Left);
+        ("Ground truth", Texttab.Left);
+      ]
+  in
+  List.iter
+    (fun (pred, w) ->
+      Texttab.add_row tab
+        [ Printf.sprintf "%.6f" w; Harness.describe bundle ~pred; classify bundle ~pred ])
+    weights;
+  Texttab.render tab
+  ^ Printf.sprintf "nonzero weights: %d of %d predicates; training accuracy %.3f\n"
+      (Sbi_logreg.Logreg.nonzero model)
+      bundle.Harness.dataset.Sbi_runtime.Dataset.npreds
+      (Sbi_logreg.Logreg.accuracy model bundle.Harness.dataset)
+
+let run ?(config = Harness.default_config) ?top () =
+  render ?top (Harness.collect_study ~config Sbi_corpus.Corpus.mossim)

@@ -1,0 +1,9 @@
+(** Table 9: the ℓ₁-regularized logistic regression baseline on MOSS
+    (§4.4).  Lists the top-weighted predicates with their coefficients and
+    a ground-truth annotation.  The shape to reproduce: the list is
+    dominated by sub-bug predictors (excellent predictors of small failure
+    subsets) and super-bug predictors (long-command-line-style predicates
+    covering failures of several bugs), not one-per-bug predictors. *)
+
+val render : ?top:int -> Harness.bundle -> string
+val run : ?config:Harness.config -> ?top:int -> unit -> string

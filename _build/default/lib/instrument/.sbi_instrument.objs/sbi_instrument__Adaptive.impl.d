@@ -1,0 +1,1 @@
+lib/instrument/adaptive.ml: Array Observe Sampler Transform

@@ -1,0 +1,1 @@
+lib/instrument/adaptive.mli: Sampler Sbi_lang Transform

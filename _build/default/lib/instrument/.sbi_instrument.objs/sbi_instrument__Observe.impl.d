@@ -1,0 +1,1 @@
+lib/instrument/observe.ml: Array Interp List Rast Sbi_lang Site Transform Value

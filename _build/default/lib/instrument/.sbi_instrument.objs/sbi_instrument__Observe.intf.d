@@ -1,0 +1,1 @@
+lib/instrument/observe.mli: Sbi_lang Transform

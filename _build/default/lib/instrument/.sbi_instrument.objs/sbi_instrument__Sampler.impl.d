@@ -1,0 +1,1 @@
+lib/instrument/sampler.ml: Array Sbi_util

@@ -1,0 +1,1 @@
+lib/instrument/sampler.mli:

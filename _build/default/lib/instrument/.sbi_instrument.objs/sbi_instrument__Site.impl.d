@@ -1,0 +1,1 @@
+lib/instrument/site.ml: List Printf Sbi_lang

@@ -1,0 +1,1 @@
+lib/instrument/site.mli: Sbi_lang

@@ -1,0 +1,1 @@
+lib/instrument/transform.ml: Array Ast Hashtbl List Loc Printf Rast Sbi_lang Site String

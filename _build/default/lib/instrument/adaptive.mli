@@ -1,0 +1,33 @@
+(** Non-uniform sampling rates (§4).
+
+    The paper sets per-predicate sampling rates inversely proportional to
+    execution frequency: from a training set of runs, each site's rate is
+    chosen so that roughly [target] samples of it are expected per
+    subsequent run, clamped below at [min_rate] (1/100), and set to 1.0 for
+    sites expected to be reached fewer than [target] times.  This prevents
+    equivalent rare predicates from being observed in near-disjoint run
+    sets (which would defeat redundancy elimination), while keeping hot
+    sites cheap. *)
+
+val rates_of_counts :
+  ?target:int -> ?min_rate:float -> runs:int -> visits:int array -> unit -> float array
+(** [rates_of_counts ~runs ~visits ()] converts total per-site visit counts
+    over [runs] training executions into a rate array:
+    rate = clamp(min_rate, 1, target / mean-visits-per-run); sites never
+    visited in training get rate 1.0.  Defaults: [target = 100],
+    [min_rate = 0.01]. *)
+
+val count_visits :
+  Transform.t -> run:(Sbi_lang.Interp.hooks -> Sbi_lang.Interp.result) -> ntrain:int -> int array
+(** Executes [ntrain] training runs (the caller supplies the run driver,
+    already closed over the program and each run's input) with hooks that
+    count every site visit, and returns total visits per site. *)
+
+val train :
+  Transform.t ->
+  run:(Sbi_lang.Interp.hooks -> Sbi_lang.Interp.result) ->
+  ntrain:int ->
+  Sampler.plan
+(** [count_visits] followed by [rates_of_counts], yielding a
+    [Sampler.Per_site] plan — the paper's 1,000-run training setup is
+    [ntrain = 1000]. *)

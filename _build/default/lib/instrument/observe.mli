@@ -1,0 +1,17 @@
+(** Bridges the instrumentation plan to the interpreter's hooks.
+
+    Each dynamic visit of a planned site first consults [visit] (the
+    sampling decision, or a pure visit counter during training); only when
+    it returns [true] is the predicate truth vector computed and handed to
+    [record].  This mirrors the deployed system, where the sampling check
+    guards the instrumentation code itself. *)
+
+val hooks :
+  Transform.t ->
+  visit:(int -> bool) ->
+  record:(site:int -> truths:bool array -> unit) ->
+  Sbi_lang.Interp.hooks
+(** [visit site] is called once per dynamic opportunity (site reached);
+    [record ~site ~truths] receives the per-predicate truth vector
+    (length [num_preds] of the site, indexed from the site's first
+    predicate) for sampled visits. *)

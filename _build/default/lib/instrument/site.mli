@@ -1,0 +1,54 @@
+(** Instrumentation sites and predicates.
+
+    Following §2 of the paper: an {e instrumentation site} is a program
+    point at which a group of predicates is checked; all predicates of a
+    site are {e sampled jointly} — one coin flip per dynamic visit decides
+    whether the whole group is observed.  Three schemes are provided:
+
+    - {b branches}: 2 predicates per conditional (condition true / false);
+    - {b returns}: 6 predicates per scalar-returning call site
+      (returned value [< 0], [<= 0], [> 0], [>= 0], [= 0], [<> 0]);
+    - {b scalar-pairs}: 6 predicates per (assigned variable, partner) pair,
+      where partners are same-typed in-scope variables, constants from the
+      enclosing function, and the variable's own previous value. *)
+
+type scheme = Branches | Returns | Scalar_pairs
+
+val scheme_to_string : scheme -> string
+
+(** Partner of the assigned variable in a scalar-pairs site. *)
+type partner =
+  | P_var of Sbi_lang.Rast.var_ref * string  (** another in-scope variable *)
+  | P_const of int  (** a constant from the enclosing function *)
+  | P_old  (** the variable's own value before the assignment *)
+
+val partner_to_string : partner -> string
+
+type t = {
+  site_id : int;
+  scheme : scheme;
+  fn_name : string;  (** enclosing function *)
+  site_loc : Sbi_lang.Loc.t;
+  subject : string;  (** what is observed: condition text, callee, or lhs *)
+  partner : partner option;  (** scalar-pairs only *)
+  first_pred : int;  (** global index of this site's first predicate *)
+  num_preds : int;  (** 2 for branches, 6 otherwise *)
+}
+
+type predicate = {
+  pred_id : int;
+  pred_site : int;
+  pred_text : string;  (** human-readable, e.g. ["f == null is TRUE"] *)
+}
+
+val num_preds_of_scheme : scheme -> int
+
+val predicate_texts : t -> string list
+(** The [num_preds] texts for a site, in predicate-index order. *)
+
+val eval_branch : bool -> bool array
+(** Truth vector for a branches site given the condition value. *)
+
+val eval_sextet : int -> int -> bool array
+(** Truth vector [x<y; x<=y; x>y; x>=y; x=y; x<>y] shared by the returns
+    scheme (with [y = 0]) and the scalar-pairs scheme. *)

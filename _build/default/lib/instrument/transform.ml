@@ -1,0 +1,398 @@
+open Sbi_lang
+open Rast
+
+type config = {
+  enable_branches : bool;
+  enable_returns : bool;
+  enable_pairs : bool;
+  shortcircuit_operands : bool;
+  max_consts_per_func : int;
+  pairs_include_old : bool;
+  pairs_include_globals : bool;
+}
+
+let default_config =
+  {
+    enable_branches = true;
+    enable_returns = true;
+    enable_pairs = true;
+    shortcircuit_operands = true;
+    max_consts_per_func = 6;
+    pairs_include_old = true;
+    pairs_include_globals = true;
+  }
+
+type entry =
+  | E_none
+  | E_branch of int
+  | E_assign of {
+      lhs : Rast.var_ref;
+      pair_sites : (int * Site.partner) list;
+      ret_site : int option;
+    }
+  | E_call_ret of int
+
+type t = {
+  prog : Rast.rprog;
+  sites : Site.t array;
+  preds : Site.predicate array;
+  plan : entry array;
+  expr_plan : int array;
+      (* expression id -> branches site id for short-circuit operands, -1
+         when the expression is not an instrumented operand *)
+}
+
+(* --- compact rendering of resolved expressions for predicate names --- *)
+
+let rec rexpr_to_string (e : rexpr) =
+  match e.re with
+  | RInt n -> string_of_int n
+  | RBool b -> if b then "true" else "false"
+  | RStr s -> Printf.sprintf "%S" s
+  | RNull -> "null"
+  | RVar (_, name) -> name
+  | RUnop (op, inner) -> Ast.unop_to_string op ^ rexpr_to_string inner
+  | RBinop (op, l, r) ->
+      Printf.sprintf "%s %s %s" (rexpr_to_string l) (Ast.binop_to_string op)
+        (rexpr_to_string r)
+  | RCall (CUser (_, name), _) -> name ^ "(...)"
+  | RCall (CBuiltin b, _) -> builtin_name b ^ "(...)"
+  | RIndex (arr, idx) -> Printf.sprintf "%s[%s]" (rexpr_to_string arr) (rexpr_to_string idx)
+  | RField (obj, _, fld) -> Printf.sprintf "%s.%s" (rexpr_to_string obj) fld
+  | RNewArray (ty, len) ->
+      Printf.sprintf "new %s[%s]" (Ast.ty_to_string ty) (rexpr_to_string len)
+  | RNewStruct sid -> Printf.sprintf "new struct#%d" sid
+
+(* --- integer literal pool per function --- *)
+
+let rec collect_ints_expr acc (e : rexpr) =
+  match e.re with
+  | RInt n -> n :: acc
+  | RBool _ | RStr _ | RNull | RVar _ -> acc
+  | RUnop (Ast.Neg, { re = RInt n; _ }) -> -n :: acc
+  | RUnop (_, inner) -> collect_ints_expr acc inner
+  | RBinop (_, l, r) -> collect_ints_expr (collect_ints_expr acc l) r
+  | RCall (_, args) -> List.fold_left collect_ints_expr acc args
+  | RIndex (a, i) -> collect_ints_expr (collect_ints_expr acc a) i
+  | RField (o, _, _) -> collect_ints_expr acc o
+  | RNewArray (_, l) -> collect_ints_expr acc l
+  | RNewStruct _ -> acc
+
+let rec collect_ints_stmt acc (st : rstmt) =
+  match st.rs with
+  | RDecl (_, _, _, Some e) -> collect_ints_expr acc e
+  | RDecl (_, _, _, None) -> acc
+  | RAssign (_, lv, e) ->
+      let acc = collect_ints_expr acc e in
+      (match lv with
+      | RLVar _ -> acc
+      | RLIndex (a, i) -> collect_ints_expr (collect_ints_expr acc a) i
+      | RLField (o, _, _) -> collect_ints_expr acc o)
+  | RExpr e -> collect_ints_expr acc e
+  | RIf (c, b1, b2) ->
+      let acc = collect_ints_expr acc c in
+      let acc = List.fold_left collect_ints_stmt acc b1 in
+      List.fold_left collect_ints_stmt acc b2
+  | RWhile (c, b) -> List.fold_left collect_ints_stmt (collect_ints_expr acc c) b
+  | RFor (init, c, step, b) ->
+      let acc = collect_ints_stmt acc init in
+      let acc = collect_ints_expr acc c in
+      let acc = collect_ints_stmt acc step in
+      List.fold_left collect_ints_stmt acc b
+  | RReturn (Some e) -> collect_ints_expr acc e
+  | RReturn None | RBreak | RContinue -> acc
+  | RBlockS b -> List.fold_left collect_ints_stmt acc b
+
+let const_pool cfg (fn : rfunc) =
+  let all = List.rev (List.fold_left collect_ints_stmt [] fn.rf_body) in
+  let seen = Hashtbl.create 16 in
+  let pool =
+    List.filter
+      (fun n ->
+        if Hashtbl.mem seen n then false
+        else begin
+          Hashtbl.replace seen n ();
+          true
+        end)
+      all
+  in
+  let rec take k = function
+    | [] -> []
+    | _ when k = 0 -> []
+    | x :: rest -> x :: take (k - 1) rest
+  in
+  take cfg.max_consts_per_func pool
+
+(* --- the walk --- *)
+
+type builder = {
+  cfg : config;
+  prog_globals : (string * Ast.ty) array;
+  mutable sites_rev : Site.t list;
+  mutable nsites : int;
+  mutable npreds : int;
+  plan : entry array;
+  expr_plan : int array;
+  (* scope stack for the current function: innermost first *)
+  mutable scopes : (string * Rast.var_ref * Ast.ty) list list;
+  mutable cur_fn : string;
+  mutable cur_consts : int list;
+}
+
+let new_site b scheme ~loc ~subject ~partner =
+  let num_preds = Site.num_preds_of_scheme scheme in
+  let site =
+    {
+      Site.site_id = b.nsites;
+      scheme;
+      fn_name = b.cur_fn;
+      site_loc = loc;
+      subject;
+      partner;
+      first_pred = b.npreds;
+      num_preds;
+    }
+  in
+  b.sites_rev <- site :: b.sites_rev;
+  b.nsites <- b.nsites + 1;
+  b.npreds <- b.npreds + num_preds;
+  site.Site.site_id
+
+let in_scope_int_vars b ~excluding ~excluding_name =
+  (* Innermost-scope-first, shadowing respected, globals last (if enabled),
+     excluding the assigned variable itself — by reference AND by name, so a
+     declaration does not pair its fresh variable with the same-named outer
+     variable it shadows. *)
+  let seen = Hashtbl.create 16 in
+  let acc = ref [] in
+  let consider name ref_ ty =
+    if
+      Ast.ty_equal ty Ast.TInt
+      && (not (Hashtbl.mem seen name))
+      && (not (Rast.var_ref_equal ref_ excluding))
+      && not (String.equal name excluding_name)
+    then begin
+      Hashtbl.replace seen name ();
+      acc := (name, ref_) :: !acc
+    end
+    else if Hashtbl.mem seen name then ()
+    else Hashtbl.replace seen name ()
+  in
+  List.iter (fun scope -> List.iter (fun (n, r, t) -> consider n r t) scope) b.scopes;
+  if b.cfg.pairs_include_globals then
+    Array.iteri (fun i (n, t) -> consider n (RGlobal i) t) b.prog_globals;
+  List.rev !acc
+
+let declare b name ref_ ty =
+  match b.scopes with
+  | scope :: rest -> b.scopes <- ((name, ref_, ty) :: scope) :: rest
+  | [] -> assert false
+
+let push_scope b = b.scopes <- [] :: b.scopes
+let pop_scope b = match b.scopes with _ :: rest -> b.scopes <- rest | [] -> assert false
+
+let callee_name = function
+  | CUser (_, name) -> name
+  | CBuiltin bi -> Rast.builtin_name bi
+
+(* Short-circuit operands: each operand of a && / || is an implicit
+   conditional (§2) and gets its own branches site, keyed by expression
+   id.  Operands are instrumented recursively — `(a && b) || c` yields
+   sites for `a`, `b`, `a && b`, and `c`. *)
+let rec plan_shortcircuit b (e : rexpr) =
+  match e.re with
+  | RBinop ((Ast.And | Ast.Or), l, r) ->
+      let operand operand_e =
+        if b.expr_plan.(operand_e.reid) < 0 then begin
+          let site =
+            new_site b Site.Branches ~loc:operand_e.rloc
+              ~subject:(rexpr_to_string operand_e) ~partner:None
+          in
+          b.expr_plan.(operand_e.reid) <- site
+        end
+      in
+      operand l;
+      operand r;
+      plan_shortcircuit b l;
+      plan_shortcircuit b r
+  | RUnop (_, inner) -> plan_shortcircuit b inner
+  | RBinop (_, l, r) ->
+      plan_shortcircuit b l;
+      plan_shortcircuit b r
+  | RCall (_, args) -> List.iter (plan_shortcircuit b) args
+  | RIndex (a, i) ->
+      plan_shortcircuit b a;
+      plan_shortcircuit b i
+  | RField (o, _, _) -> plan_shortcircuit b o
+  | RNewArray (_, l) -> plan_shortcircuit b l
+  | RInt _ | RBool _ | RStr _ | RNull | RVar _ | RNewStruct _ -> ()
+
+let plan_shortcircuit_stmt b (st : rstmt) =
+  if b.cfg.enable_branches && b.cfg.shortcircuit_operands then begin
+    let expr = plan_shortcircuit b in
+    match st.rs with
+    | RDecl (_, _, _, Some e) -> expr e
+    | RDecl (_, _, _, None) -> ()
+    | RAssign (_, lv, e) -> (
+        expr e;
+        match lv with
+        | RLVar _ -> ()
+        | RLIndex (a, i) ->
+            expr a;
+            expr i
+        | RLField (o, _, _) -> expr o)
+    | RExpr e -> expr e
+    | RIf (c, _, _) | RWhile (c, _) | RFor (_, c, _, _) -> expr c
+    | RReturn (Some e) -> expr e
+    | RReturn None | RBreak | RContinue | RBlockS _ -> ()
+  end
+
+(* Scalar-pairs + returns sites for an assignment to an int variable. *)
+let plan_scalar_assign b ~sid ~loc ~lhs_ref ~lhs_name ~(rhs : rexpr option) ~is_decl =
+  let pair_sites =
+    if not b.cfg.enable_pairs then []
+    else begin
+      let var_partners =
+        List.map
+          (fun (name, ref_) ->
+            let partner = Site.P_var (ref_, name) in
+            let sid' = new_site b Site.Scalar_pairs ~loc ~subject:lhs_name ~partner:(Some partner) in
+            (sid', partner))
+          (in_scope_int_vars b ~excluding:lhs_ref ~excluding_name:lhs_name)
+      in
+      let const_partners =
+        List.map
+          (fun c ->
+            let partner = Site.P_const c in
+            let sid' = new_site b Site.Scalar_pairs ~loc ~subject:lhs_name ~partner:(Some partner) in
+            (sid', partner))
+          b.cur_consts
+      in
+      let old_partner =
+        if b.cfg.pairs_include_old && not is_decl then begin
+          let partner = Site.P_old in
+          let sid' = new_site b Site.Scalar_pairs ~loc ~subject:lhs_name ~partner:(Some partner) in
+          [ (sid', partner) ]
+        end
+        else []
+      in
+      var_partners @ const_partners @ old_partner
+    end
+  in
+  let ret_site =
+    match rhs with
+    | Some { re = RCall (target, _); rty = Ast.TInt; _ } when b.cfg.enable_returns ->
+        Some (new_site b Site.Returns ~loc ~subject:(callee_name target) ~partner:None)
+    | _ -> None
+  in
+  if pair_sites = [] && ret_site = None then ()
+  else b.plan.(sid) <- E_assign { lhs = lhs_ref; pair_sites; ret_site }
+
+let rec walk_stmt b (st : rstmt) =
+  plan_shortcircuit_stmt b st;
+  let loc = st.rsloc in
+  match st.rs with
+  | RDecl (ty, slot, name, init) ->
+      if Ast.ty_equal ty Ast.TInt && init <> None then
+        plan_scalar_assign b ~sid:st.rsid ~loc ~lhs_ref:(RLocal slot) ~lhs_name:name
+          ~rhs:init ~is_decl:true;
+      declare b name (RLocal slot) ty
+  | RAssign (lty, RLVar (ref_, name), rhs) ->
+      if Ast.ty_equal lty Ast.TInt then
+        plan_scalar_assign b ~sid:st.rsid ~loc ~lhs_ref:ref_ ~lhs_name:name ~rhs:(Some rhs)
+          ~is_decl:false
+  | RAssign (_, (RLIndex _ | RLField _), _) -> ()
+  | RExpr e -> (
+      match (e.re, e.rty) with
+      | RCall (target, _), Ast.TInt when b.cfg.enable_returns ->
+          let sid' = new_site b Site.Returns ~loc ~subject:(callee_name target) ~partner:None in
+          b.plan.(st.rsid) <- E_call_ret sid'
+      | _ -> ())
+  | RIf (cond, then_b, else_b) ->
+      if b.cfg.enable_branches then begin
+        let sid' =
+          new_site b Site.Branches ~loc ~subject:(rexpr_to_string cond) ~partner:None
+        in
+        b.plan.(st.rsid) <- E_branch sid'
+      end;
+      walk_block b then_b;
+      walk_block b else_b
+  | RWhile (cond, body) ->
+      if b.cfg.enable_branches then begin
+        let sid' =
+          new_site b Site.Branches ~loc ~subject:(rexpr_to_string cond) ~partner:None
+        in
+        b.plan.(st.rsid) <- E_branch sid'
+      end;
+      walk_block b body
+  | RFor (init, cond, step, body) ->
+      push_scope b;
+      walk_stmt b init;
+      if b.cfg.enable_branches then begin
+        let sid' =
+          new_site b Site.Branches ~loc ~subject:(rexpr_to_string cond) ~partner:None
+        in
+        b.plan.(st.rsid) <- E_branch sid'
+      end;
+      walk_stmt b step;
+      walk_block b body;
+      pop_scope b
+  | RReturn _ | RBreak | RContinue -> ()
+  | RBlockS body -> walk_block b body
+
+and walk_block b block =
+  push_scope b;
+  List.iter (walk_stmt b) block;
+  pop_scope b
+
+let instrument ?(config = default_config) (prog : rprog) =
+  let b =
+    {
+      cfg = config;
+      prog_globals = Array.map (fun (n, ty, _) -> (n, ty)) prog.rp_globals;
+      sites_rev = [];
+      nsites = 0;
+      npreds = 0;
+      plan = Array.make (max prog.rp_max_sid 1) E_none;
+      expr_plan = Array.make (max prog.rp_max_eid 1) (-1);
+      scopes = [];
+      cur_fn = "";
+      cur_consts = [];
+    }
+  in
+  Array.iter
+    (fun fn ->
+      b.cur_fn <- fn.rf_name;
+      b.cur_consts <- (if config.enable_pairs then const_pool config fn else []);
+      b.scopes <- [];
+      push_scope b;
+      List.iteri (fun i (name, ty) -> declare b name (RLocal i) ty) fn.rf_params;
+      walk_block b fn.rf_body;
+      pop_scope b)
+    prog.rp_funcs;
+  let sites = Array.of_list (List.rev b.sites_rev) in
+  let preds =
+    Array.make b.npreds { Site.pred_id = 0; pred_site = 0; pred_text = "" }
+  in
+  Array.iter
+    (fun (site : Site.t) ->
+      List.iteri
+        (fun i text ->
+          let pid = site.Site.first_pred + i in
+          preds.(pid) <- { Site.pred_id = pid; pred_site = site.Site.site_id; pred_text = text })
+        (Site.predicate_texts site))
+    sites;
+  { prog; sites; preds; plan = b.plan; expr_plan = b.expr_plan }
+
+let num_sites t = Array.length t.sites
+let num_preds t = Array.length t.preds
+let site_of_pred t pid = t.sites.(t.preds.(pid).Site.pred_site)
+let pred_text t pid = t.preds.(pid).Site.pred_text
+let pred_loc t pid = (site_of_pred t pid).Site.site_loc
+let pred_fn t pid = (site_of_pred t pid).Site.fn_name
+
+let describe_pred t pid =
+  let site = site_of_pred t pid in
+  Printf.sprintf "%s  @ %s:%d (%s, %s)" (pred_text t pid) site.Site.site_loc.Loc.file
+    site.Site.site_loc.Loc.line site.Site.fn_name
+    (Site.scheme_to_string site.Site.scheme)

@@ -1,0 +1,63 @@
+(** The source-to-source instrumentation transformation (§2).
+
+    Walks a checked program and designates instrumentation sites: one
+    branches site per conditional, one returns site per scalar-returning
+    call in statement position, and one scalar-pairs site per (assigned
+    variable, partner) pair at each scalar assignment.  The result is the
+    site/predicate tables plus an {e observation plan} keyed by statement
+    id, which the collection runtime (see {!Sbi_runtime}) executes through
+    the interpreter's hooks — semantically identical to textually inserting
+    sampled instrumentation statements, but without perturbing ids. *)
+
+type config = {
+  enable_branches : bool;
+  enable_returns : bool;
+  enable_pairs : bool;
+  shortcircuit_operands : bool;
+      (** give each operand of a short-circuiting [&&]/[||] its own
+          branches site (the paper's "implicit conditionals") *)
+  max_consts_per_func : int;
+      (** cap on the constant-partner pool drawn from each function's
+          integer literals (first occurrence order) *)
+  pairs_include_old : bool;
+      (** include the "new value vs old value" partner on re-assignments *)
+  pairs_include_globals : bool;  (** include int globals as partners *)
+}
+
+val default_config : config
+(** Everything enabled, at most 6 constants per function. *)
+
+(** Observation to perform when a given statement executes. *)
+type entry =
+  | E_none
+  | E_branch of int  (** branches site id *)
+  | E_assign of {
+      lhs : Sbi_lang.Rast.var_ref;
+      pair_sites : (int * Site.partner) list;  (** site id, partner *)
+      ret_site : int option;  (** returns site when the RHS is a direct call *)
+    }
+  | E_call_ret of int  (** returns site for an expression-statement call *)
+
+type t = {
+  prog : Sbi_lang.Rast.rprog;
+  sites : Site.t array;
+  preds : Site.predicate array;
+  plan : entry array;  (** indexed by statement id *)
+  expr_plan : int array;
+      (** expression id -> branches site for short-circuit operands
+          (-1 when uninstrumented) *)
+}
+
+val instrument : ?config:config -> Sbi_lang.Rast.rprog -> t
+
+val num_sites : t -> int
+val num_preds : t -> int
+
+val site_of_pred : t -> int -> Site.t
+val pred_text : t -> int -> string
+val pred_loc : t -> int -> Sbi_lang.Loc.t
+val pred_fn : t -> int -> string
+
+val describe_pred : t -> int -> string
+(** ["<text>  @ file:line (fn, scheme)"] — the display form used in
+    experiment tables. *)

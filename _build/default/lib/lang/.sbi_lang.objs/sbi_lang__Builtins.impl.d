@@ -1,0 +1,1 @@
+lib/lang/builtins.ml: Array Buffer Char Hashtbl Int64 Interp_error List Loc Printf Rast Sbi_util String Value

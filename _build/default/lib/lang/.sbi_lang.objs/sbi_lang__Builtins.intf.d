@@ -1,0 +1,1 @@
+lib/lang/builtins.mli: Buffer Hashtbl Interp_error Loc Rast Sbi_util Value

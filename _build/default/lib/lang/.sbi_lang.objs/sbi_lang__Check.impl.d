@@ -1,0 +1,1 @@
+lib/lang/check.ml: Array Ast Hashtbl List Loc Option Parser Printf Rast

@@ -1,0 +1,1 @@
+lib/lang/interp.ml: Array Ast Buffer Builtins Check Hashtbl Interp_error List Loc Printf Rast Sbi_util Value

@@ -1,0 +1,1 @@
+lib/lang/interp.mli: Interp_error Loc Rast Value

@@ -1,0 +1,1 @@
+lib/lang/interp_error.mli: Loc

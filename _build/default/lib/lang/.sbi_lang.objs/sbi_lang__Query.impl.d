@@ -1,0 +1,1 @@
+lib/lang/query.ml: Array Ast Format Hashtbl List Loc Option Rast Set String

@@ -1,0 +1,1 @@
+lib/lang/query.mli: Format Loc Rast

@@ -1,0 +1,1 @@
+lib/lang/rast.ml: Array Ast Format Hashtbl List Loc

@@ -1,0 +1,1 @@
+lib/lang/rast.mli: Ast Format Loc

@@ -1,0 +1,1 @@
+lib/lang/value.ml: Array Ast Printf Rast String

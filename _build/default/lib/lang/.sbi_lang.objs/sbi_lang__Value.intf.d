@@ -1,0 +1,1 @@
+lib/lang/value.mli: Ast Rast

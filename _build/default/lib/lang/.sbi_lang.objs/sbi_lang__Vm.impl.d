@@ -1,0 +1,1 @@
+lib/lang/vm.ml: Array Ast Buffer Builtins Hashtbl Interp Interp_error List Loc Option Printf Rast Sbi_util Value

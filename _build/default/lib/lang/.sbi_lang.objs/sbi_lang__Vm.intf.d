@@ -1,0 +1,1 @@
+lib/lang/vm.mli: Ast Interp Loc Rast

@@ -1,0 +1,167 @@
+type ty =
+  | TInt
+  | TBool
+  | TString
+  | TVoid
+  | TStruct of string
+  | TArray of ty
+
+let rec ty_equal a b =
+  match (a, b) with
+  | TInt, TInt | TBool, TBool | TString, TString | TVoid, TVoid -> true
+  | TStruct x, TStruct y -> String.equal x y
+  | TArray x, TArray y -> ty_equal x y
+  | _ -> false
+
+let rec ty_to_string = function
+  | TInt -> "int"
+  | TBool -> "bool"
+  | TString -> "string"
+  | TVoid -> "void"
+  | TStruct s -> s
+  | TArray t -> ty_to_string t ^ "[]"
+
+let pp_ty fmt t = Format.pp_print_string fmt (ty_to_string t)
+
+let is_reference = function TStruct _ | TArray _ -> true | _ -> false
+
+type unop = Neg | Not
+type binop = Add | Sub | Mul | Div | Mod | Eq | Neq | Lt | Le | Gt | Ge | And | Or
+
+let unop_to_string = function Neg -> "-" | Not -> "!"
+
+let binop_to_string = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | Eq -> "=="
+  | Neq -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | And -> "&&"
+  | Or -> "||"
+
+type expr = { e : expr_kind; eloc : Loc.t }
+
+and expr_kind =
+  | EInt of int
+  | EBool of bool
+  | EStr of string
+  | ENull
+  | EVar of string
+  | EUnop of unop * expr
+  | EBinop of binop * expr * expr
+  | ECall of string * expr list
+  | EIndex of expr * expr
+  | EField of expr * string
+  | ENewArray of ty * expr
+  | ENewStruct of string
+
+type lvalue = LVar of string | LIndex of expr * expr | LField of expr * string
+
+type stmt = { s : stmt_kind; sid : int; sloc : Loc.t }
+
+and stmt_kind =
+  | SDecl of ty * string * expr option
+  | SAssign of lvalue * expr
+  | SExpr of expr
+  | SIf of expr * block * block
+  | SWhile of expr * block
+  | SFor of stmt * expr * stmt * block
+  | SReturn of expr option
+  | SBreak
+  | SContinue
+  | SBlock of block
+
+and block = stmt list
+
+type param = ty * string
+
+type func = { fname : string; fparams : param list; fret : ty; fbody : block; floc : Loc.t }
+
+type struct_def = { stname : string; stfields : (ty * string) list; stloc : Loc.t }
+
+type global = { gty : ty; gname : string; ginit : expr option; gloc : Loc.t }
+
+type decl = DFunc of func | DStruct of struct_def | DGlobal of global
+
+type program = { decls : decl list; max_sid : int; src_file : string }
+
+let rec iter_block f block = List.iter (iter_stmt f) block
+
+and iter_stmt f st =
+  f st;
+  match st.s with
+  | SDecl _ | SAssign _ | SExpr _ | SReturn _ | SBreak | SContinue -> ()
+  | SIf (_, b1, b2) ->
+      iter_block f b1;
+      iter_block f b2
+  | SWhile (_, b) -> iter_block f b
+  | SFor (init, _, step, b) ->
+      iter_stmt f init;
+      iter_stmt f step;
+      iter_block f b
+  | SBlock b -> iter_block f b
+
+let iter_stmts prog f =
+  List.iter
+    (function DFunc fn -> iter_block f fn.fbody | DStruct _ | DGlobal _ -> ())
+    prog.decls
+
+let count_stmts prog =
+  let n = ref 0 in
+  iter_stmts prog (fun _ -> incr n);
+  !n
+
+let rec expr_int_literals acc e =
+  match e.e with
+  | EInt n -> n :: acc
+  | EBool _ | EStr _ | ENull | EVar _ -> acc
+  | EUnop (Neg, { e = EInt n; _ }) -> -n :: acc
+  | EUnop (_, e1) -> expr_int_literals acc e1
+  | EBinop (_, e1, e2) -> expr_int_literals (expr_int_literals acc e1) e2
+  | ECall (_, args) -> List.fold_left expr_int_literals acc args
+  | EIndex (e1, e2) -> expr_int_literals (expr_int_literals acc e1) e2
+  | EField (e1, _) -> expr_int_literals acc e1
+  | ENewArray (_, e1) -> expr_int_literals acc e1
+  | ENewStruct _ -> acc
+
+let int_literals_of_func fn =
+  let acc = ref [] in
+  let add_expr e = acc := expr_int_literals !acc e in
+  let add_stmt st =
+    match st.s with
+    | SDecl (_, _, Some e) -> add_expr e
+    | SDecl (_, _, None) -> ()
+    | SAssign (lv, e) -> (
+        add_expr e;
+        match lv with
+        | LVar _ -> ()
+        | LIndex (a, i) ->
+            add_expr a;
+            add_expr i
+        | LField (a, _) -> add_expr a)
+    | SExpr e -> add_expr e
+    | SIf (c, _, _) -> add_expr c
+    | SWhile (c, _) -> add_expr c
+    | SFor (_, c, _, _) -> add_expr c
+    | SReturn (Some e) -> add_expr e
+    | SReturn None | SBreak | SContinue | SBlock _ -> ()
+  in
+  iter_block add_stmt fn.fbody;
+  (* first-occurrence order, deduplicated *)
+  let seen = Hashtbl.create 16 in
+  List.fold_left
+    (fun out n ->
+      if Hashtbl.mem seen n then out
+      else begin
+        Hashtbl.add seen n ();
+        n :: out
+      end)
+    []
+    (List.rev !acc)
+  |> List.rev

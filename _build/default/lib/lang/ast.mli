@@ -1,0 +1,89 @@
+(** Raw (unresolved) MiniC abstract syntax.
+
+    MiniC is the C-like subject language used in place of the paper's C
+    programs.  It has [int], [bool], and [string] scalars, fixed-size heap
+    arrays, nominally-typed heap structs (which may be recursive, enabling
+    linked lists and the paper's "missing end-of-list check" bug class), and
+    [null] references.
+
+    Every statement carries a unique node id assigned by the parser; the
+    instrumentation planner (see {!Sbi_instrument}) keys observation plans
+    by these ids, so ids are preserved through name resolution. *)
+
+type ty =
+  | TInt
+  | TBool
+  | TString
+  | TVoid
+  | TStruct of string
+  | TArray of ty
+
+val ty_equal : ty -> ty -> bool
+val ty_to_string : ty -> string
+val pp_ty : Format.formatter -> ty -> unit
+
+val is_reference : ty -> bool
+(** Arrays and structs are reference types (nullable). *)
+
+type unop = Neg | Not
+type binop = Add | Sub | Mul | Div | Mod | Eq | Neq | Lt | Le | Gt | Ge | And | Or
+
+val unop_to_string : unop -> string
+val binop_to_string : binop -> string
+
+type expr = { e : expr_kind; eloc : Loc.t }
+
+and expr_kind =
+  | EInt of int
+  | EBool of bool
+  | EStr of string
+  | ENull
+  | EVar of string
+  | EUnop of unop * expr
+  | EBinop of binop * expr * expr
+  | ECall of string * expr list
+  | EIndex of expr * expr
+  | EField of expr * string
+  | ENewArray of ty * expr
+  | ENewStruct of string
+
+type lvalue = LVar of string | LIndex of expr * expr | LField of expr * string
+
+type stmt = { s : stmt_kind; sid : int; sloc : Loc.t }
+
+and stmt_kind =
+  | SDecl of ty * string * expr option
+  | SAssign of lvalue * expr
+  | SExpr of expr
+  | SIf of expr * block * block
+  | SWhile of expr * block
+  | SFor of stmt * expr * stmt * block
+  | SReturn of expr option
+  | SBreak
+  | SContinue
+  | SBlock of block
+
+and block = stmt list
+
+type param = ty * string
+
+type func = { fname : string; fparams : param list; fret : ty; fbody : block; floc : Loc.t }
+
+type struct_def = { stname : string; stfields : (ty * string) list; stloc : Loc.t }
+
+type global = { gty : ty; gname : string; ginit : expr option; gloc : Loc.t }
+
+type decl = DFunc of func | DStruct of struct_def | DGlobal of global
+
+type program = { decls : decl list; max_sid : int; src_file : string }
+(** [max_sid] is one more than the largest statement id in the program. *)
+
+val iter_stmts : program -> (stmt -> unit) -> unit
+(** Applies the function to every statement, recursing into nested blocks. *)
+
+val count_stmts : program -> int
+
+val int_literals_of_func : func -> int list
+(** Distinct integer literals appearing anywhere in the function body, in
+    first-occurrence order.  Used by the scalar-pairs scheme's
+    constant-partner pool. *)

@@ -1,0 +1,122 @@
+open Value
+open Interp_error
+
+type ctx = {
+  out : Buffer.t;
+  mutable events_rev : string list;
+  bugs : (int, unit) Hashtbl.t;
+  rng : Sbi_util.Prng.t;
+  args : string array;
+  structs : Rast.struct_layout array;
+  crash : Interp_error.crash_kind -> Loc.t -> Value.t;
+}
+
+let fnv1a_hash s =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001b3L)
+    s;
+  Int64.to_int !h land max_int
+
+let as_int ctx loc = function
+  | VInt n -> n
+  | v -> (
+      match
+        ctx.crash (Aborted (Printf.sprintf "internal: expected int, got %s" (type_name v))) loc
+      with
+      | VInt n -> n
+      | _ -> assert false)
+
+let as_bool ctx loc = function
+  | VBool b -> b
+  | v -> (
+      match
+        ctx.crash (Aborted (Printf.sprintf "internal: expected bool, got %s" (type_name v))) loc
+      with
+      | VBool b -> b
+      | _ -> assert false)
+
+let as_str ctx loc = function
+  | VStr s -> s
+  | v -> (
+      match
+        ctx.crash (Aborted (Printf.sprintf "internal: expected string, got %s" (type_name v))) loc
+      with
+      | VStr s -> s
+      | _ -> assert false)
+
+let eval ctx loc (b : Rast.builtin) (vals : Value.t list) =
+  let nth i = List.nth vals i in
+  match b with
+  | Rast.BPrint ->
+      Buffer.add_string ctx.out (Value.to_string ~structs:ctx.structs (nth 0));
+      VUnit
+  | Rast.BPrintln ->
+      Buffer.add_string ctx.out (Value.to_string ~structs:ctx.structs (nth 0));
+      Buffer.add_char ctx.out '\n';
+      VUnit
+  | Rast.BLen -> (
+      match nth 0 with
+      | VNull -> ctx.crash Null_deref loc
+      | VArr elems -> VInt (Array.length elems)
+      | v -> ctx.crash (Aborted ("internal: len of " ^ type_name v)) loc)
+  | Rast.BStrlen -> VInt (String.length (as_str ctx loc (nth 0)))
+  | Rast.BSubstr ->
+      let s = as_str ctx loc (nth 0) in
+      let start = as_int ctx loc (nth 1) in
+      let len = as_int ctx loc (nth 2) in
+      if start < 0 || len < 0 || start + len > String.length s then ctx.crash Substr_range loc
+      else VStr (String.sub s start len)
+  | Rast.BStrcmp ->
+      let c = String.compare (as_str ctx loc (nth 0)) (as_str ctx loc (nth 1)) in
+      VInt (if c < 0 then -1 else if c > 0 then 1 else 0)
+  | Rast.BOrd ->
+      let s = as_str ctx loc (nth 0) in
+      let i = as_int ctx loc (nth 1) in
+      if i < 0 || i >= String.length s then
+        ctx.crash (Out_of_bounds { index = i; length = String.length s }) loc
+      else VInt (Char.code s.[i])
+  | Rast.BChr ->
+      let n = as_int ctx loc (nth 0) in
+      if n < 0 || n > 255 then ctx.crash (Chr_range n) loc
+      else VStr (String.make 1 (Char.chr n))
+  | Rast.BToStr -> VStr (string_of_int (as_int ctx loc (nth 0)))
+  | Rast.BParseInt -> (
+      match int_of_string_opt (String.trim (as_str ctx loc (nth 0))) with
+      | Some n -> VInt n
+      | None -> VInt 0)
+  | Rast.BIsInt -> (
+      match int_of_string_opt (String.trim (as_str ctx loc (nth 0))) with
+      | Some _ -> VBool true
+      | None -> VBool false)
+  | Rast.BHashStr -> VInt (fnv1a_hash (as_str ctx loc (nth 0)))
+  | Rast.BAbort -> ctx.crash (Aborted (as_str ctx loc (nth 0))) loc
+  | Rast.BAssert -> if as_bool ctx loc (nth 0) then VUnit else ctx.crash Assert_failed loc
+  | Rast.BBugMark ->
+      Hashtbl.replace ctx.bugs (as_int ctx loc (nth 0)) ();
+      VUnit
+  | Rast.BEvent ->
+      ctx.events_rev <- as_str ctx loc (nth 0) :: ctx.events_rev;
+      VUnit
+  | Rast.BArgc -> VInt (Array.length ctx.args)
+  | Rast.BArg ->
+      let i = as_int ctx loc (nth 0) in
+      let n = Array.length ctx.args in
+      if i < 0 || i >= n then ctx.crash (Out_of_bounds { index = i; length = n }) loc
+      else VStr ctx.args.(i)
+  | Rast.BArgInt ->
+      let i = as_int ctx loc (nth 0) in
+      let n = Array.length ctx.args in
+      if i < 0 || i >= n then ctx.crash (Out_of_bounds { index = i; length = n }) loc
+      else (
+        match int_of_string_opt (String.trim ctx.args.(i)) with
+        | Some v -> VInt v
+        | None -> VInt 0)
+  | Rast.BNondet ->
+      let n = as_int ctx loc (nth 0) in
+      if n <= 0 then VInt 0 else VInt (Sbi_util.Prng.int ctx.rng n)
+  | Rast.BMin -> VInt (min (as_int ctx loc (nth 0)) (as_int ctx loc (nth 1)))
+  | Rast.BMax -> VInt (max (as_int ctx loc (nth 0)) (as_int ctx loc (nth 1)))
+  | Rast.BAbs -> VInt (abs (as_int ctx loc (nth 0)))

@@ -1,0 +1,22 @@
+(** Shared implementation of MiniC builtins, used by both the tree-walking
+    interpreter ({!Interp}) and the bytecode VM ({!Vm}) so the two engines
+    cannot drift apart. *)
+
+type ctx = {
+  out : Buffer.t;  (** program output *)
+  mutable events_rev : string list;  (** [__event] names, newest first *)
+  bugs : (int, unit) Hashtbl.t;  (** [__bug] ground-truth ids *)
+  rng : Sbi_util.Prng.t;  (** [nondet] stream *)
+  args : string array;  (** program input *)
+  structs : Rast.struct_layout array;  (** for [print] rendering *)
+  crash : Interp_error.crash_kind -> Loc.t -> Value.t;
+      (** raise the engine's crash exception; never returns *)
+}
+
+val fnv1a_hash : string -> int
+(** The deterministic non-negative hash behind [hash_str]. *)
+
+val eval : ctx -> Loc.t -> Rast.builtin -> Value.t list -> Value.t
+(** Evaluate a builtin on already-evaluated arguments (arity and types
+    guaranteed by the checker; internal mismatches crash with an
+    [Aborted "internal: ..."]). *)

@@ -1,0 +1,582 @@
+open Ast
+open Rast
+
+exception Error of Loc.t * string
+
+let err loc fmt = Printf.ksprintf (fun msg -> raise (Error (loc, msg))) fmt
+
+(* Checked types: [CNull] is the type of the literal [null], compatible
+   with every reference type. *)
+type cty = Known of ty | CNull
+
+let cty_to_string = function Known t -> ty_to_string t | CNull -> "null"
+
+type func_sig = { fs_id : int; fs_params : ty list; fs_ret : ty }
+
+type env = {
+  structs : (string, struct_layout) Hashtbl.t;
+  globals : (string, int * ty) Hashtbl.t;
+  funcs : (string, func_sig) Hashtbl.t;
+  (* scope stack: innermost first; each scope maps name -> (slot, ty) *)
+  mutable scopes : (string, int * ty) Hashtbl.t list;
+  mutable next_slot : int;
+  mutable loop_depth : int;
+  mutable ret_ty : ty;
+  eids : int ref;  (* program-wide expression-id counter *)
+}
+
+let fresh_eid env =
+  let id = !(env.eids) in
+  env.eids := id + 1;
+  id
+
+let builtin_arity = function
+  | BPrint | BPrintln -> 1
+  | BLen | BStrlen -> 1
+  | BSubstr -> 3
+  | BStrcmp -> 2
+  | BOrd -> 2
+  | BChr | BToStr | BParseInt | BIsInt | BHashStr -> 1
+  | BAbort | BAssert | BBugMark | BEvent -> 1
+  | BArgc -> 0
+  | BArg | BArgInt -> 1
+  | BNondet -> 1
+  | BMin | BMax -> 2
+  | BAbs -> 1
+
+(* --- type validity --- *)
+
+let rec check_ty env loc ty =
+  match ty with
+  | TInt | TBool | TString | TVoid -> ()
+  | TStruct name ->
+      if not (Hashtbl.mem env.structs name) then err loc "unknown struct type '%s'" name
+  | TArray elem ->
+      if ty_equal elem TVoid then err loc "array of void is not a valid type";
+      check_ty env loc elem
+
+let compatible target actual =
+  match actual with
+  | Known t -> ty_equal target t
+  | CNull -> is_reference target
+
+(* --- variable lookup --- *)
+
+let lookup_var env name =
+  let rec go = function
+    | [] -> (
+        match Hashtbl.find_opt env.globals name with
+        | Some (idx, ty) -> Some (RGlobal idx, ty)
+        | None -> None)
+    | scope :: rest -> (
+        match Hashtbl.find_opt scope name with
+        | Some (slot, ty) -> Some (RLocal slot, ty)
+        | None -> go rest)
+  in
+  go env.scopes
+
+let declare_local env loc name ty =
+  (match env.scopes with
+  | scope :: _ ->
+      if Hashtbl.mem scope name then err loc "variable '%s' is already declared in this block" name
+  | [] -> assert false);
+  let slot = env.next_slot in
+  env.next_slot <- slot + 1;
+  (match env.scopes with
+  | scope :: _ -> Hashtbl.replace scope name (slot, ty)
+  | [] -> assert false);
+  slot
+
+let push_scope env = env.scopes <- Hashtbl.create 8 :: env.scopes
+let pop_scope env = match env.scopes with _ :: rest -> env.scopes <- rest | [] -> assert false
+
+(* --- expressions --- *)
+
+let rec check_expr env (e : expr) : rexpr =
+  let loc = e.eloc in
+  match e.e with
+  | EInt n -> { re = RInt n; rty = TInt; rloc = loc; reid = fresh_eid env }
+  | EBool b -> { re = RBool b; rty = TBool; rloc = loc; reid = fresh_eid env }
+  | EStr s -> { re = RStr s; rty = TString; rloc = loc; reid = fresh_eid env }
+  | ENull -> { re = RNull; rty = TVoid; rloc = loc; reid = fresh_eid env }
+  | EVar name -> (
+      match lookup_var env name with
+      | Some (ref_, ty) -> { re = RVar (ref_, name); rty = ty; rloc = loc; reid = fresh_eid env }
+      | None -> err loc "unknown variable '%s'" name)
+  | EUnop (Neg, inner) ->
+      let r = check_expr env inner in
+      if not (ty_equal r.rty TInt) then
+        err loc "unary '-' expects int, found %s" (ty_to_string r.rty);
+      { re = RUnop (Neg, r); rty = TInt; rloc = loc; reid = fresh_eid env }
+  | EUnop (Not, inner) ->
+      let r = check_expr env inner in
+      if not (ty_equal r.rty TBool) then
+        err loc "'!' expects bool, found %s" (ty_to_string r.rty);
+      { re = RUnop (Not, r); rty = TBool; rloc = loc; reid = fresh_eid env }
+  | EBinop (op, l, r) -> check_binop env loc op l r
+  | ECall (fname, args) -> check_call env loc fname args
+  | EIndex (arr, idx) -> (
+      let rarr = check_expr env arr in
+      let ridx = check_expr env idx in
+      if not (ty_equal ridx.rty TInt) then
+        err loc "array index must be int, found %s" (ty_to_string ridx.rty);
+      match rarr.rty with
+      | TArray elem -> { re = RIndex (rarr, ridx); rty = elem; rloc = loc; reid = fresh_eid env }
+      | t -> err loc "indexing a non-array value of type %s" (ty_to_string t))
+  | EField (obj, fld) -> (
+      let robj = check_expr env obj in
+      match robj.rty with
+      | TStruct sname -> (
+          let layout = Hashtbl.find env.structs sname in
+          let offset = ref (-1) in
+          Array.iteri (fun i (fname, _) -> if fname = fld then offset := i) layout.sl_fields;
+          match !offset with
+          | -1 -> err loc "struct '%s' has no field '%s'" sname fld
+          | off ->
+              let _, fty = layout.sl_fields.(off) in
+              { re = RField (robj, off, fld); rty = fty; rloc = loc; reid = fresh_eid env })
+      | t -> err loc "field access on non-struct value of type %s" (ty_to_string t))
+  | ENewArray (elem, len) ->
+      check_ty env loc elem;
+      if ty_equal elem TVoid then err loc "cannot allocate an array of void";
+      let rlen = check_expr env len in
+      if not (ty_equal rlen.rty TInt) then
+        err loc "array length must be int, found %s" (ty_to_string rlen.rty);
+      { re = RNewArray (elem, rlen); rty = TArray elem; rloc = loc; reid = fresh_eid env }
+  | ENewStruct name -> (
+      match Hashtbl.find_opt env.structs name with
+      | Some layout -> { re = RNewStruct layout.sl_id; rty = TStruct name; rloc = loc; reid = fresh_eid env }
+      | None -> err loc "unknown struct type '%s'" name)
+
+and check_binop env loc op l r =
+  let rl = check_expr env l in
+  let rr = check_expr env r in
+  let cl = if rl.re = RNull then CNull else Known rl.rty in
+  let cr = if rr.re = RNull then CNull else Known rr.rty in
+  let mk rty = { re = RBinop (op, rl, rr); rty; rloc = loc; reid = fresh_eid env } in
+  match op with
+  | Add -> (
+      match (cl, cr) with
+      | Known TInt, Known TInt -> mk TInt
+      | Known TString, Known TString -> mk TString
+      | _ ->
+          err loc "'+' expects two ints or two strings, found %s and %s" (cty_to_string cl)
+            (cty_to_string cr))
+  | Sub | Mul | Div | Mod ->
+      if cl = Known TInt && cr = Known TInt then mk TInt
+      else
+        err loc "'%s' expects ints, found %s and %s" (binop_to_string op) (cty_to_string cl)
+          (cty_to_string cr)
+  | Lt | Le | Gt | Ge ->
+      if cl = Known TInt && cr = Known TInt then mk TBool
+      else
+        err loc "'%s' expects ints, found %s and %s" (binop_to_string op) (cty_to_string cl)
+          (cty_to_string cr)
+  | And | Or ->
+      if cl = Known TBool && cr = Known TBool then mk TBool
+      else
+        err loc "'%s' expects bools, found %s and %s" (binop_to_string op) (cty_to_string cl)
+          (cty_to_string cr)
+  | Eq | Neq -> (
+      match (cl, cr) with
+      | Known a, Known b when ty_equal a b -> mk TBool
+      | CNull, Known t when is_reference t -> mk TBool
+      | Known t, CNull when is_reference t -> mk TBool
+      | CNull, CNull -> mk TBool
+      | _ ->
+          err loc "'%s' on incompatible types %s and %s" (binop_to_string op) (cty_to_string cl)
+            (cty_to_string cr))
+
+and check_call env loc fname args =
+  match builtin_of_name fname with
+  | Some b -> check_builtin_call env loc b args
+  | None -> (
+      match Hashtbl.find_opt env.funcs fname with
+      | None -> err loc "unknown function '%s'" fname
+      | Some { fs_id; fs_params; fs_ret } ->
+          let expected = List.length fs_params in
+          let got = List.length args in
+          if expected <> got then
+            err loc "function '%s' expects %d argument(s), got %d" fname expected got;
+          let rargs =
+            List.map2
+              (fun pty arg ->
+                let rarg = check_expr env arg in
+                let carg = if rarg.re = RNull then CNull else Known rarg.rty in
+                if not (compatible pty carg) then
+                  err arg.eloc "argument of type %s where %s was expected" (cty_to_string carg)
+                    (ty_to_string pty);
+                rarg)
+              fs_params args
+          in
+          { re = RCall (CUser (fs_id, fname), rargs); rty = fs_ret; rloc = loc; reid = fresh_eid env })
+
+and check_builtin_call env loc b args =
+  let arity = builtin_arity b in
+  if List.length args <> arity then
+    err loc "builtin '%s' expects %d argument(s), got %d" (builtin_name b) arity
+      (List.length args);
+  let rargs = List.map (check_expr env) args in
+  let nth i = List.nth rargs i in
+  let want i ty =
+    let r = nth i in
+    if not (ty_equal r.rty ty) then
+      err r.rloc "builtin '%s': argument %d must be %s, found %s" (builtin_name b) (i + 1)
+        (ty_to_string ty) (ty_to_string r.rty)
+  in
+  let want_array i =
+    let r = nth i in
+    match r.rty with
+    | TArray _ -> ()
+    | t ->
+        err r.rloc "builtin '%s': argument %d must be an array, found %s" (builtin_name b)
+          (i + 1) (ty_to_string t)
+  in
+  let ret rty = { re = RCall (CBuiltin b, rargs); rty; rloc = loc; reid = fresh_eid env } in
+  match b with
+  | BPrint | BPrintln ->
+      (* any printable value, including null *)
+      ret TVoid
+  | BLen ->
+      want_array 0;
+      ret TInt
+  | BStrlen ->
+      want 0 TString;
+      ret TInt
+  | BSubstr ->
+      want 0 TString;
+      want 1 TInt;
+      want 2 TInt;
+      ret TString
+  | BStrcmp ->
+      want 0 TString;
+      want 1 TString;
+      ret TInt
+  | BOrd ->
+      want 0 TString;
+      want 1 TInt;
+      ret TInt
+  | BChr ->
+      want 0 TInt;
+      ret TString
+  | BToStr ->
+      want 0 TInt;
+      ret TString
+  | BParseInt ->
+      want 0 TString;
+      ret TInt
+  | BIsInt ->
+      want 0 TString;
+      ret TBool
+  | BHashStr ->
+      want 0 TString;
+      ret TInt
+  | BAbort ->
+      want 0 TString;
+      ret TVoid
+  | BAssert ->
+      want 0 TBool;
+      ret TVoid
+  | BBugMark ->
+      want 0 TInt;
+      ret TVoid
+  | BEvent ->
+      want 0 TString;
+      ret TVoid
+  | BArgc -> ret TInt
+  | BArg ->
+      want 0 TInt;
+      ret TString
+  | BArgInt ->
+      want 0 TInt;
+      ret TInt
+  | BNondet ->
+      want 0 TInt;
+      ret TInt
+  | BMin | BMax ->
+      want 0 TInt;
+      want 1 TInt;
+      ret TInt
+  | BAbs ->
+      want 0 TInt;
+      ret TInt
+
+(* --- statements --- *)
+
+let rec check_stmt env (st : stmt) : rstmt =
+  let loc = st.sloc in
+  let mk rs = { rs; rsid = st.sid; rsloc = loc } in
+  match st.s with
+  | SDecl (ty, name, init) ->
+      check_ty env loc ty;
+      if ty_equal ty TVoid then err loc "cannot declare variable '%s' of type void" name;
+      let rinit =
+        Option.map
+          (fun e ->
+            let r = check_expr env e in
+            let c = if r.re = RNull then CNull else Known r.rty in
+            if not (compatible ty c) then
+              err e.eloc "initializer of type %s for variable '%s' of type %s" (cty_to_string c)
+                name (ty_to_string ty);
+            r)
+          init
+      in
+      let slot = declare_local env loc name ty in
+      mk (RDecl (ty, slot, name, rinit))
+  | SAssign (lv, rhs) ->
+      let rlv, lty = check_lvalue env loc lv in
+      let rrhs = check_expr env rhs in
+      let c = if rrhs.re = RNull then CNull else Known rrhs.rty in
+      if not (compatible lty c) then
+        err rhs.eloc "assigning %s to a location of type %s" (cty_to_string c)
+          (ty_to_string lty);
+      mk (RAssign (lty, rlv, rrhs))
+  | SExpr e ->
+      let r = check_expr env e in
+      (match r.re with
+      | RCall _ -> ()
+      | _ -> err loc "expression statement must be a call");
+      mk (RExpr r)
+  | SIf (cond, then_b, else_b) ->
+      let rcond = check_cond env cond in
+      let rthen = check_block env then_b in
+      let relse = check_block env else_b in
+      mk (RIf (rcond, rthen, relse))
+  | SWhile (cond, body) ->
+      let rcond = check_cond env cond in
+      env.loop_depth <- env.loop_depth + 1;
+      let rbody = check_block env body in
+      env.loop_depth <- env.loop_depth - 1;
+      mk (RWhile (rcond, rbody))
+  | SFor (init, cond, step, body) ->
+      (* The for header's declarations scope over cond, step, and body. *)
+      push_scope env;
+      let rinit = check_stmt env init in
+      let rcond = check_cond env cond in
+      let rstep = check_stmt env step in
+      (match rstep.rs with
+      | RDecl _ -> err rstep.rsloc "for-loop step cannot be a declaration"
+      | _ -> ());
+      env.loop_depth <- env.loop_depth + 1;
+      let rbody = check_block env body in
+      env.loop_depth <- env.loop_depth - 1;
+      pop_scope env;
+      mk (RFor (rinit, rcond, rstep, rbody))
+  | SReturn None ->
+      if not (ty_equal env.ret_ty TVoid) then
+        err loc "return without a value in a function returning %s" (ty_to_string env.ret_ty);
+      mk (RReturn None)
+  | SReturn (Some e) ->
+      if ty_equal env.ret_ty TVoid then err loc "returning a value from a void function";
+      let r = check_expr env e in
+      let c = if r.re = RNull then CNull else Known r.rty in
+      if not (compatible env.ret_ty c) then
+        err e.eloc "returning %s from a function returning %s" (cty_to_string c)
+          (ty_to_string env.ret_ty);
+      mk (RReturn (Some r))
+  | SBreak ->
+      if env.loop_depth = 0 then err loc "'break' outside of a loop";
+      mk RBreak
+  | SContinue ->
+      if env.loop_depth = 0 then err loc "'continue' outside of a loop";
+      mk RContinue
+  | SBlock body -> mk (RBlockS (check_block env body))
+
+and check_cond env cond =
+  let r = check_expr env cond in
+  if not (ty_equal r.rty TBool) then
+    err cond.eloc "condition must be bool, found %s" (ty_to_string r.rty);
+  r
+
+and check_lvalue env loc lv =
+  match lv with
+  | LVar name -> (
+      match lookup_var env name with
+      | Some (ref_, ty) -> (RLVar (ref_, name), ty)
+      | None -> err loc "unknown variable '%s'" name)
+  | LIndex (arr, idx) -> (
+      let rarr = check_expr env arr in
+      let ridx = check_expr env idx in
+      if not (ty_equal ridx.rty TInt) then
+        err loc "array index must be int, found %s" (ty_to_string ridx.rty);
+      match rarr.rty with
+      | TArray elem -> (RLIndex (rarr, ridx), elem)
+      | t -> err loc "indexing a non-array value of type %s" (ty_to_string t))
+  | LField (obj, fld) -> (
+      let robj = check_expr env obj in
+      match robj.rty with
+      | TStruct sname -> (
+          let layout = Hashtbl.find env.structs sname in
+          let offset = ref (-1) in
+          Array.iteri (fun i (fname, _) -> if fname = fld then offset := i) layout.sl_fields;
+          match !offset with
+          | -1 -> err loc "struct '%s' has no field '%s'" sname fld
+          | off ->
+              let _, fty = layout.sl_fields.(off) in
+              (RLField (robj, off, fld), fty))
+      | t -> err loc "field access on non-struct value of type %s" (ty_to_string t))
+
+and check_block env body =
+  push_scope env;
+  let rbody = List.map (check_stmt env) body in
+  pop_scope env;
+  rbody
+
+(* --- program --- *)
+
+let check_program (prog : program) : rprog =
+  let eids = ref 0 in
+  let structs : (string, struct_layout) Hashtbl.t = Hashtbl.create 16 in
+  let globals : (string, int * ty) Hashtbl.t = Hashtbl.create 16 in
+  let funcs : (string, func_sig) Hashtbl.t = Hashtbl.create 16 in
+  (* Pass 1: struct names (so recursive/forward references resolve). *)
+  let struct_defs =
+    List.filter_map (function DStruct sd -> Some sd | _ -> None) prog.decls
+  in
+  List.iteri
+    (fun i sd ->
+      if Hashtbl.mem structs sd.stname then
+        err sd.stloc "duplicate struct definition '%s'" sd.stname;
+      Hashtbl.replace structs sd.stname { sl_id = i; sl_name = sd.stname; sl_fields = [||] })
+    struct_defs;
+  (* Pass 2: struct layouts with validated field types. *)
+  let env0 =
+    {
+      structs;
+      globals;
+      funcs;
+      scopes = [];
+      next_slot = 0;
+      loop_depth = 0;
+      ret_ty = TVoid;
+      eids;
+    }
+  in
+  let layouts =
+    List.mapi
+      (fun i sd ->
+        let seen = Hashtbl.create 8 in
+        let fields =
+          List.map
+            (fun (ty, name) ->
+              if Hashtbl.mem seen name then
+                err sd.stloc "duplicate field '%s' in struct '%s'" name sd.stname;
+              Hashtbl.replace seen name ();
+              if ty_equal ty TVoid then
+                err sd.stloc "field '%s' of struct '%s' cannot be void" name sd.stname;
+              check_ty env0 sd.stloc ty;
+              (name, ty))
+            sd.stfields
+        in
+        let layout = { sl_id = i; sl_name = sd.stname; sl_fields = Array.of_list fields } in
+        Hashtbl.replace structs sd.stname layout;
+        layout)
+      struct_defs
+  in
+  (* Pass 3: global slots. *)
+  let global_defs =
+    List.filter_map (function DGlobal g -> Some g | _ -> None) prog.decls
+  in
+  List.iteri
+    (fun i g ->
+      if Hashtbl.mem globals g.gname then err g.gloc "duplicate global '%s'" g.gname;
+      if ty_equal g.gty TVoid then err g.gloc "global '%s' cannot be void" g.gname;
+      check_ty env0 g.gloc g.gty;
+      Hashtbl.replace globals g.gname (i, g.gty))
+    global_defs;
+  (* Pass 4: function signatures. *)
+  let func_defs = List.filter_map (function DFunc f -> Some f | _ -> None) prog.decls in
+  List.iteri
+    (fun i f ->
+      if builtin_of_name f.fname <> None then
+        err f.floc "'%s' is a builtin and cannot be redefined" f.fname;
+      if Hashtbl.mem funcs f.fname then err f.floc "duplicate function '%s'" f.fname;
+      if Hashtbl.mem globals f.fname then
+        err f.floc "'%s' is already the name of a global" f.fname;
+      List.iter (fun (ty, _) -> check_ty env0 f.floc ty) f.fparams;
+      check_ty env0 f.floc f.fret;
+      Hashtbl.replace funcs f.fname
+        { fs_id = i; fs_params = List.map fst f.fparams; fs_ret = f.fret })
+    func_defs;
+  (* Pass 5: global initializers (checked in a global-only environment). *)
+  let rglobals =
+    List.map
+      (fun g ->
+        let rinit =
+          Option.map
+            (fun e ->
+              env0.scopes <- [];
+              let r = check_expr env0 e in
+              let c = if r.re = RNull then CNull else Known r.rty in
+              if not (compatible g.gty c) then
+                err e.eloc "initializer of type %s for global '%s' of type %s" (cty_to_string c)
+                  g.gname (ty_to_string g.gty);
+              r)
+            g.ginit
+        in
+        (g.gname, g.gty, rinit))
+      global_defs
+  in
+  (* Pass 6: function bodies. *)
+  let rfuncs =
+    List.mapi
+      (fun i f ->
+        let env =
+          {
+            structs;
+            globals;
+            funcs;
+            scopes = [];
+            next_slot = 0;
+            loop_depth = 0;
+            ret_ty = f.fret;
+            eids;
+          }
+        in
+        push_scope env;
+        List.iter
+          (fun (ty, name) ->
+            if ty_equal ty TVoid then err f.floc "parameter '%s' cannot be void" name;
+            ignore (declare_local env f.floc name ty))
+          f.fparams;
+        let rbody = List.map (check_stmt env) f.fbody in
+        pop_scope env;
+        {
+          rf_id = i;
+          rf_name = f.fname;
+          rf_params = List.map (fun (ty, name) -> (name, ty)) f.fparams;
+          rf_ret = f.fret;
+          rf_nslots = env.next_slot;
+          rf_body = rbody;
+          rf_loc = f.floc;
+        })
+      func_defs
+  in
+  (* main *)
+  let main_id =
+    match Hashtbl.find_opt funcs "main" with
+    | None -> err Loc.dummy "program has no 'main' function"
+    | Some { fs_id; fs_params; fs_ret } ->
+        if fs_params <> [] then
+          err (List.nth func_defs fs_id).floc "'main' must take no parameters";
+        (match fs_ret with
+        | TInt | TVoid -> ()
+        | t ->
+            err (List.nth func_defs fs_id).floc "'main' must return int or void, not %s"
+              (ty_to_string t));
+        fs_id
+  in
+  ignore layouts;
+  let sl_array = Array.make (List.length struct_defs) { sl_id = 0; sl_name = ""; sl_fields = [||] } in
+  Hashtbl.iter (fun _ layout -> sl_array.(layout.sl_id) <- layout) structs;
+  {
+    rp_structs = sl_array;
+    rp_globals = Array.of_list rglobals;
+    rp_funcs = Array.of_list rfuncs;
+    rp_main = main_id;
+    rp_max_sid = prog.max_sid;
+    rp_max_eid = !eids;
+    rp_file = prog.src_file;
+  }
+
+let check_string ?(file = "<string>") src = check_program (Parser.parse ~file src)

@@ -1,0 +1,31 @@
+(** Static checking and name resolution for MiniC.
+
+    Performs, in one pass over each function body (after collecting struct
+    layouts, global slots, and function signatures):
+    - scope resolution (locals shadow globals; inner blocks shadow outer;
+      re-declaration within one block is an error),
+    - slot allocation (each local, including parameters, gets a distinct
+      frame slot; slots are never reused),
+    - type checking with nominal struct types and structural array types
+      ([null] is compatible with any reference type),
+    - struct field offset resolution,
+    - call resolution to user functions or builtins (builtin names are
+      reserved and cannot be redefined),
+    - control checks ([break]/[continue] only inside loops; conditions are
+      [bool]; [main] must exist, take no parameters, and return [int] or
+      [void]).
+
+    Falling off the end of a non-void function yields the return type's
+    default value ([0], [false], [""], or [null]); this is deliberate
+    C-permissiveness, as the corpus programs port C idioms. *)
+
+exception Error of Loc.t * string
+
+val check_program : Ast.program -> Rast.rprog
+(** @raise Error on the first static error found. *)
+
+val check_string : ?file:string -> string -> Rast.rprog
+(** Parse then check.  @raise Parser.Error / Lexer.Error / Error. *)
+
+val builtin_arity : Rast.builtin -> int
+(** Number of arguments each builtin expects. *)

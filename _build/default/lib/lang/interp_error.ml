@@ -1,0 +1,28 @@
+type crash_kind =
+  | Null_deref
+  | Out_of_bounds of { index : int; length : int }
+  | Div_by_zero
+  | Assert_failed
+  | Aborted of string
+  | Negative_array_size of int
+  | Stack_overflow
+  | Out_of_fuel
+  | Substr_range
+  | Chr_range of int
+
+let crash_kind_to_string = function
+  | Null_deref -> "null dereference"
+  | Out_of_bounds { index; length } ->
+      Printf.sprintf "index %d out of bounds for length %d" index length
+  | Div_by_zero -> "division by zero"
+  | Assert_failed -> "assertion failed"
+  | Aborted msg -> "aborted: " ^ msg
+  | Negative_array_size n -> Printf.sprintf "negative array size %d" n
+  | Stack_overflow -> "stack overflow"
+  | Out_of_fuel -> "out of fuel (possible non-termination)"
+  | Substr_range -> "substring out of range"
+  | Chr_range n -> Printf.sprintf "chr argument %d outside 0..255" n
+
+exception Crash_exc of crash_kind * Loc.t
+
+let crash kind loc = raise (Crash_exc (kind, loc))

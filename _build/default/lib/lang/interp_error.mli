@@ -1,0 +1,22 @@
+(** Runtime failure taxonomy shared by the MiniC execution engines (the
+    tree-walking {!Interp} and the bytecode {!Vm}). *)
+
+type crash_kind =
+  | Null_deref
+  | Out_of_bounds of { index : int; length : int }
+  | Div_by_zero
+  | Assert_failed
+  | Aborted of string
+  | Negative_array_size of int
+  | Stack_overflow
+  | Out_of_fuel
+  | Substr_range
+  | Chr_range of int
+
+val crash_kind_to_string : crash_kind -> string
+
+exception Crash_exc of crash_kind * Loc.t
+(** Internal control-flow exception raised by both engines at a runtime
+    failure; callers of [Interp.run]/[Vm.run] never see it. *)
+
+val crash : crash_kind -> Loc.t -> 'a

@@ -1,0 +1,181 @@
+exception Error of Loc.t * string
+
+type state = {
+  src : string;
+  file : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable bol : int; (* offset of beginning of current line *)
+}
+
+let loc st = Loc.make ~file:st.file ~line:st.line ~col:(st.pos - st.bol + 1)
+let fail st msg = raise (Error (loc st, msg))
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let peek2 st =
+  if st.pos + 1 < String.length st.src then Some st.src.[st.pos + 1] else None
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+      st.line <- st.line + 1;
+      st.bol <- st.pos + 1
+  | _ -> ());
+  st.pos <- st.pos + 1
+
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || is_digit c
+
+let rec skip_trivia st =
+  match peek st with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance st;
+      skip_trivia st
+  | Some '/' -> (
+      match peek2 st with
+      | Some '/' ->
+          while peek st <> None && peek st <> Some '\n' do
+            advance st
+          done;
+          skip_trivia st
+      | Some '*' ->
+          let start = loc st in
+          advance st;
+          advance st;
+          let rec go () =
+            match (peek st, peek2 st) with
+            | Some '*', Some '/' ->
+                advance st;
+                advance st
+            | None, _ -> raise (Error (start, "unterminated block comment"))
+            | _ ->
+                advance st;
+                go ()
+          in
+          go ();
+          skip_trivia st
+      | _ -> ())
+  | _ -> ()
+
+let lex_int st =
+  let start_loc = loc st in
+  let start = st.pos in
+  while (match peek st with Some c -> is_digit c | None -> false) do
+    advance st
+  done;
+  let text = String.sub st.src start (st.pos - start) in
+  match int_of_string_opt text with
+  | Some n -> Token.INT n
+  | None -> raise (Error (start_loc, "integer literal out of range: " ^ text))
+
+let lex_ident st =
+  let start = st.pos in
+  while (match peek st with Some c -> is_ident_char c | None -> false) do
+    advance st
+  done;
+  let text = String.sub st.src start (st.pos - start) in
+  match Token.keyword_of_string text with Some kw -> kw | None -> Token.IDENT text
+
+let lex_string st =
+  let start_loc = loc st in
+  advance st;
+  (* opening quote *)
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> raise (Error (start_loc, "unterminated string literal"))
+    | Some '"' -> advance st
+    | Some '\\' -> (
+        advance st;
+        match peek st with
+        | Some 'n' ->
+            Buffer.add_char buf '\n';
+            advance st;
+            go ()
+        | Some 't' ->
+            Buffer.add_char buf '\t';
+            advance st;
+            go ()
+        | Some 'r' ->
+            Buffer.add_char buf '\r';
+            advance st;
+            go ()
+        | Some '0' ->
+            Buffer.add_char buf '\000';
+            advance st;
+            go ()
+        | Some '\\' ->
+            Buffer.add_char buf '\\';
+            advance st;
+            go ()
+        | Some '"' ->
+            Buffer.add_char buf '"';
+            advance st;
+            go ()
+        | Some c -> fail st (Printf.sprintf "unknown escape sequence \\%c" c)
+        | None -> raise (Error (start_loc, "unterminated string literal")))
+    | Some '\n' -> raise (Error (start_loc, "newline in string literal"))
+    | Some c ->
+        Buffer.add_char buf c;
+        advance st;
+        go ()
+  in
+  go ();
+  Token.STRING (Buffer.contents buf)
+
+let next_token st =
+  skip_trivia st;
+  let l = loc st in
+  let open Token in
+  let simple tok = advance st; tok in
+  let two_char second one two =
+    advance st;
+    if peek st = Some second then begin advance st; two end else one
+  in
+  let tok =
+    match peek st with
+    | None -> EOF
+    | Some c when is_digit c -> lex_int st
+    | Some c when is_ident_start c -> lex_ident st
+    | Some '"' -> lex_string st
+    | Some '(' -> simple LPAREN
+    | Some ')' -> simple RPAREN
+    | Some '{' -> simple LBRACE
+    | Some '}' -> simple RBRACE
+    | Some '[' -> simple LBRACKET
+    | Some ']' -> simple RBRACKET
+    | Some ';' -> simple SEMI
+    | Some ',' -> simple COMMA
+    | Some '.' -> simple DOT
+    | Some '+' -> simple PLUS
+    | Some '-' -> simple MINUS
+    | Some '*' -> simple STAR
+    | Some '/' -> simple SLASH
+    | Some '%' -> simple PERCENT
+    | Some '=' -> two_char '=' ASSIGN EQ
+    | Some '!' -> two_char '=' NOT NEQ
+    | Some '<' -> two_char '=' LT LE
+    | Some '>' -> two_char '=' GT GE
+    | Some '&' ->
+        advance st;
+        if peek st = Some '&' then begin advance st; AND end
+        else fail st "expected '&&'"
+    | Some '|' ->
+        advance st;
+        if peek st = Some '|' then begin advance st; OR end
+        else fail st "expected '||'"
+    | Some c -> fail st (Printf.sprintf "unexpected character %C" c)
+  in
+  { Token.tok; loc = l }
+
+let tokenize ?(file = "<string>") src =
+  let st = { src; file; pos = 0; line = 1; bol = 0 } in
+  let acc = ref [] in
+  let rec go () =
+    let sp = next_token st in
+    acc := sp :: !acc;
+    if sp.Token.tok <> Token.EOF then go ()
+  in
+  go ();
+  Array.of_list (List.rev !acc)

@@ -1,0 +1,14 @@
+(** Hand-written MiniC lexer.
+
+    Supports line comments [// ...], block comments [/* ... */] (non-nested),
+    decimal integer literals, double-quoted string literals with the usual
+    backslash escapes (n, t, r, 0, backslash, double quote), identifiers,
+    keywords, and the operator set of {!Token.t}. *)
+
+exception Error of Loc.t * string
+(** Raised on an unexpected character, unterminated string/comment, or
+    integer literal overflow. *)
+
+val tokenize : ?file:string -> string -> Token.spanned array
+(** [tokenize ~file source] lexes the whole input eagerly.  The final
+    element is always [EOF].  @raise Error on malformed input. *)

@@ -1,0 +1,6 @@
+type t = { file : string; line : int; col : int }
+
+let dummy = { file = "<none>"; line = 0; col = 0 }
+let make ~file ~line ~col = { file; line; col }
+let to_string { file; line; col } = Printf.sprintf "%s:%d:%d" file line col
+let pp fmt t = Format.pp_print_string fmt (to_string t)

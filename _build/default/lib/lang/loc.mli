@@ -1,0 +1,10 @@
+(** Source locations for MiniC diagnostics and predicate naming. *)
+
+type t = { file : string; line : int; col : int }
+
+val dummy : t
+val make : file:string -> line:int -> col:int -> t
+val to_string : t -> string
+(** ["file:line:col"]. *)
+
+val pp : Format.formatter -> t -> unit

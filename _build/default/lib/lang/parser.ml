@@ -1,0 +1,519 @@
+open Ast
+
+exception Error of Loc.t * string
+
+type state = { toks : Token.spanned array; mutable pos : int; mutable next_sid : int }
+
+let cur st = st.toks.(st.pos)
+let cur_tok st = (cur st).Token.tok
+let cur_loc st = (cur st).Token.loc
+let fail st msg = raise (Error (cur_loc st, msg))
+
+let advance st = if st.pos < Array.length st.toks - 1 then st.pos <- st.pos + 1
+
+let expect st tok =
+  if cur_tok st = tok then advance st
+  else
+    fail st
+      (Printf.sprintf "expected '%s' but found '%s'" (Token.to_string tok)
+         (Token.to_string (cur_tok st)))
+
+let expect_ident st =
+  match cur_tok st with
+  | Token.IDENT name ->
+      advance st;
+      name
+  | t -> fail st (Printf.sprintf "expected identifier but found '%s'" (Token.to_string t))
+
+let fresh_sid st =
+  let id = st.next_sid in
+  st.next_sid <- id + 1;
+  id
+
+let peek_tok st k =
+  let i = st.pos + k in
+  if i < Array.length st.toks then st.toks.(i).Token.tok else Token.EOF
+
+(* --- types --- *)
+
+let base_type_of_token = function
+  | Token.KW_INT -> Some TInt
+  | Token.KW_BOOL -> Some TBool
+  | Token.KW_STRING -> Some TString
+  | Token.KW_VOID -> Some TVoid
+  | _ -> None
+
+let rec parse_array_suffix st ty =
+  if cur_tok st = Token.LBRACKET && peek_tok st 1 = Token.RBRACKET then begin
+    advance st;
+    advance st;
+    parse_array_suffix st (TArray ty)
+  end
+  else ty
+
+let parse_type st =
+  match base_type_of_token (cur_tok st) with
+  | Some base ->
+      advance st;
+      parse_array_suffix st base
+  | None -> (
+      match cur_tok st with
+      | Token.IDENT name ->
+          advance st;
+          parse_array_suffix st (TStruct name)
+      | t -> fail st (Printf.sprintf "expected type but found '%s'" (Token.to_string t)))
+
+(* Is a type starting at the current position followed by an identifier?
+   Used to disambiguate declarations from expression statements. *)
+let looks_like_decl st =
+  match cur_tok st with
+  | Token.KW_INT | Token.KW_BOOL | Token.KW_STRING | Token.KW_VOID -> true
+  | Token.IDENT _ ->
+      (* IDENT ("[" "]")* IDENT  is a declaration with a struct type *)
+      let rec scan k =
+        match (peek_tok st k, peek_tok st (k + 1)) with
+        | Token.LBRACKET, Token.RBRACKET -> scan (k + 2)
+        | Token.IDENT _, _ -> true
+        | _ -> false
+      in
+      scan 1
+  | _ -> false
+
+(* --- expressions --- *)
+
+let rec parse_expr st = parse_or st
+
+and parse_or st =
+  let lhs = parse_and st in
+  if cur_tok st = Token.OR then begin
+    let loc = cur_loc st in
+    advance st;
+    let rhs = parse_or st in
+    { e = EBinop (Or, lhs, rhs); eloc = loc }
+  end
+  else lhs
+
+and parse_and st =
+  let lhs = parse_equality st in
+  if cur_tok st = Token.AND then begin
+    let loc = cur_loc st in
+    advance st;
+    let rhs = parse_and st in
+    { e = EBinop (And, lhs, rhs); eloc = loc }
+  end
+  else lhs
+
+and parse_equality st =
+  let rec go lhs =
+    match cur_tok st with
+    | Token.EQ ->
+        let loc = cur_loc st in
+        advance st;
+        let rhs = parse_relational st in
+        go { e = EBinop (Eq, lhs, rhs); eloc = loc }
+    | Token.NEQ ->
+        let loc = cur_loc st in
+        advance st;
+        let rhs = parse_relational st in
+        go { e = EBinop (Neq, lhs, rhs); eloc = loc }
+    | _ -> lhs
+  in
+  go (parse_relational st)
+
+and parse_relational st =
+  let rec go lhs =
+    let op =
+      match cur_tok st with
+      | Token.LT -> Some Lt
+      | Token.LE -> Some Le
+      | Token.GT -> Some Gt
+      | Token.GE -> Some Ge
+      | _ -> None
+    in
+    match op with
+    | None -> lhs
+    | Some op ->
+        let loc = cur_loc st in
+        advance st;
+        let rhs = parse_additive st in
+        go { e = EBinop (op, lhs, rhs); eloc = loc }
+  in
+  go (parse_additive st)
+
+and parse_additive st =
+  let rec go lhs =
+    let op =
+      match cur_tok st with
+      | Token.PLUS -> Some Add
+      | Token.MINUS -> Some Sub
+      | _ -> None
+    in
+    match op with
+    | None -> lhs
+    | Some op ->
+        let loc = cur_loc st in
+        advance st;
+        let rhs = parse_term st in
+        go { e = EBinop (op, lhs, rhs); eloc = loc }
+  in
+  go (parse_term st)
+
+and parse_term st =
+  let rec go lhs =
+    let op =
+      match cur_tok st with
+      | Token.STAR -> Some Mul
+      | Token.SLASH -> Some Div
+      | Token.PERCENT -> Some Mod
+      | _ -> None
+    in
+    match op with
+    | None -> lhs
+    | Some op ->
+        let loc = cur_loc st in
+        advance st;
+        let rhs = parse_unary st in
+        go { e = EBinop (op, lhs, rhs); eloc = loc }
+  in
+  go (parse_unary st)
+
+and parse_unary st =
+  match cur_tok st with
+  | Token.MINUS ->
+      let loc = cur_loc st in
+      advance st;
+      let inner = parse_unary st in
+      { e = EUnop (Neg, inner); eloc = loc }
+  | Token.NOT ->
+      let loc = cur_loc st in
+      advance st;
+      let inner = parse_unary st in
+      { e = EUnop (Not, inner); eloc = loc }
+  | _ -> parse_postfix st
+
+and parse_postfix st =
+  let primary = parse_primary st in
+  let rec go acc =
+    match cur_tok st with
+    | Token.LBRACKET ->
+        let loc = cur_loc st in
+        advance st;
+        let idx = parse_expr st in
+        expect st Token.RBRACKET;
+        go { e = EIndex (acc, idx); eloc = loc }
+    | Token.DOT ->
+        let loc = cur_loc st in
+        advance st;
+        let field = expect_ident st in
+        go { e = EField (acc, field); eloc = loc }
+    | Token.LPAREN -> (
+        match acc.e with
+        | EVar fname ->
+            let loc = acc.eloc in
+            advance st;
+            let args = parse_args st in
+            go { e = ECall (fname, args); eloc = loc }
+        | _ -> fail st "only named functions can be called")
+    | _ -> acc
+  in
+  go primary
+
+and parse_args st =
+  if cur_tok st = Token.RPAREN then begin
+    advance st;
+    []
+  end
+  else begin
+    let rec go acc =
+      let e = parse_expr st in
+      match cur_tok st with
+      | Token.COMMA ->
+          advance st;
+          go (e :: acc)
+      | Token.RPAREN ->
+          advance st;
+          List.rev (e :: acc)
+      | _ -> fail st "expected ',' or ')' in argument list"
+    in
+    go []
+  end
+
+and parse_primary st =
+  let loc = cur_loc st in
+  match cur_tok st with
+  | Token.INT n ->
+      advance st;
+      { e = EInt n; eloc = loc }
+  | Token.STRING s ->
+      advance st;
+      { e = EStr s; eloc = loc }
+  | Token.KW_TRUE ->
+      advance st;
+      { e = EBool true; eloc = loc }
+  | Token.KW_FALSE ->
+      advance st;
+      { e = EBool false; eloc = loc }
+  | Token.KW_NULL ->
+      advance st;
+      { e = ENull; eloc = loc }
+  | Token.IDENT name ->
+      advance st;
+      { e = EVar name; eloc = loc }
+  | Token.LPAREN ->
+      advance st;
+      let e = parse_expr st in
+      expect st Token.RPAREN;
+      e
+  | Token.KW_NEW -> (
+      advance st;
+      (* new BASE ("[" "]")* ( "[" expr "]" )?   -- trailing [expr] = array *)
+      let base =
+        match base_type_of_token (cur_tok st) with
+        | Some b ->
+            advance st;
+            b
+        | None -> (
+            match cur_tok st with
+            | Token.IDENT n ->
+                advance st;
+                TStruct n
+            | t ->
+                fail st
+                  (Printf.sprintf "expected type after 'new' but found '%s'"
+                     (Token.to_string t)))
+      in
+      (* consume "[]" pairs that build nested element types *)
+      let rec nest ty =
+        if cur_tok st = Token.LBRACKET && peek_tok st 1 = Token.RBRACKET then begin
+          advance st;
+          advance st;
+          nest (TArray ty)
+        end
+        else ty
+      in
+      let elem = nest base in
+      match cur_tok st with
+      | Token.LBRACKET ->
+          advance st;
+          let len = parse_expr st in
+          expect st Token.RBRACKET;
+          { e = ENewArray (elem, len); eloc = loc }
+      | _ -> (
+          match elem with
+          | TStruct name -> { e = ENewStruct name; eloc = loc }
+          | _ -> fail st "'new' of a non-struct type requires an array length"))
+  | t -> fail st (Printf.sprintf "unexpected token '%s' in expression" (Token.to_string t))
+
+(* --- statements --- *)
+
+let lvalue_of_expr st e =
+  match e.e with
+  | EVar name -> LVar name
+  | EIndex (arr, idx) -> LIndex (arr, idx)
+  | EField (obj, fld) -> LField (obj, fld)
+  | _ -> fail st "invalid assignment target"
+
+let rec parse_stmt st =
+  let loc = cur_loc st in
+  match cur_tok st with
+  | Token.LBRACE ->
+      let sid = fresh_sid st in
+      advance st;
+      let body = parse_block_items st in
+      { s = SBlock body; sid; sloc = loc }
+  | Token.KW_IF ->
+      let sid = fresh_sid st in
+      advance st;
+      expect st Token.LPAREN;
+      let cond = parse_expr st in
+      expect st Token.RPAREN;
+      let then_b = parse_stmt_as_block st in
+      let else_b =
+        if cur_tok st = Token.KW_ELSE then begin
+          advance st;
+          parse_stmt_as_block st
+        end
+        else []
+      in
+      { s = SIf (cond, then_b, else_b); sid; sloc = loc }
+  | Token.KW_WHILE ->
+      let sid = fresh_sid st in
+      advance st;
+      expect st Token.LPAREN;
+      let cond = parse_expr st in
+      expect st Token.RPAREN;
+      let body = parse_stmt_as_block st in
+      { s = SWhile (cond, body); sid; sloc = loc }
+  | Token.KW_FOR ->
+      let sid = fresh_sid st in
+      advance st;
+      expect st Token.LPAREN;
+      let init =
+        if cur_tok st = Token.SEMI then { s = SBlock []; sid = fresh_sid st; sloc = loc }
+        else parse_simple st
+      in
+      expect st Token.SEMI;
+      let cond =
+        if cur_tok st = Token.SEMI then { e = EBool true; eloc = cur_loc st }
+        else parse_expr st
+      in
+      expect st Token.SEMI;
+      let step =
+        if cur_tok st = Token.RPAREN then { s = SBlock []; sid = fresh_sid st; sloc = loc }
+        else parse_simple st
+      in
+      expect st Token.RPAREN;
+      let body = parse_stmt_as_block st in
+      { s = SFor (init, cond, step, body); sid; sloc = loc }
+  | Token.KW_RETURN ->
+      let sid = fresh_sid st in
+      advance st;
+      let e = if cur_tok st = Token.SEMI then None else Some (parse_expr st) in
+      expect st Token.SEMI;
+      { s = SReturn e; sid; sloc = loc }
+  | Token.KW_BREAK ->
+      let sid = fresh_sid st in
+      advance st;
+      expect st Token.SEMI;
+      { s = SBreak; sid; sloc = loc }
+  | Token.KW_CONTINUE ->
+      let sid = fresh_sid st in
+      advance st;
+      expect st Token.SEMI;
+      { s = SContinue; sid; sloc = loc }
+  | _ ->
+      let stmt = parse_simple st in
+      expect st Token.SEMI;
+      stmt
+
+(* A "simple" statement: declaration, assignment, or expression — no
+   trailing semicolon (shared between statement and for-header contexts). *)
+and parse_simple st =
+  let loc = cur_loc st in
+  if looks_like_decl st then begin
+    let sid = fresh_sid st in
+    let ty = parse_type st in
+    let name = expect_ident st in
+    let init =
+      if cur_tok st = Token.ASSIGN then begin
+        advance st;
+        Some (parse_expr st)
+      end
+      else None
+    in
+    { s = SDecl (ty, name, init); sid; sloc = loc }
+  end
+  else begin
+    let sid = fresh_sid st in
+    let e = parse_expr st in
+    if cur_tok st = Token.ASSIGN then begin
+      advance st;
+      let rhs = parse_expr st in
+      { s = SAssign (lvalue_of_expr st e, rhs); sid; sloc = loc }
+    end
+    else { s = SExpr e; sid; sloc = loc }
+  end
+
+and parse_stmt_as_block st =
+  if cur_tok st = Token.LBRACE then begin
+    advance st;
+    parse_block_items st
+  end
+  else [ parse_stmt st ]
+
+and parse_block_items st =
+  let rec go acc =
+    if cur_tok st = Token.RBRACE then begin
+      advance st;
+      List.rev acc
+    end
+    else if cur_tok st = Token.EOF then fail st "unexpected end of file in block"
+    else go (parse_stmt st :: acc)
+  in
+  go []
+
+(* --- declarations --- *)
+
+let parse_struct_def st =
+  let loc = cur_loc st in
+  expect st Token.KW_STRUCT;
+  let name = expect_ident st in
+  expect st Token.LBRACE;
+  let rec fields acc =
+    if cur_tok st = Token.RBRACE then begin
+      advance st;
+      List.rev acc
+    end
+    else begin
+      let ty = parse_type st in
+      let fname = expect_ident st in
+      expect st Token.SEMI;
+      fields ((ty, fname) :: acc)
+    end
+  in
+  let fs = fields [] in
+  if cur_tok st = Token.SEMI then advance st;
+  DStruct { stname = name; stfields = fs; stloc = loc }
+
+let parse_params st =
+  expect st Token.LPAREN;
+  if cur_tok st = Token.RPAREN then begin
+    advance st;
+    []
+  end
+  else begin
+    let rec go acc =
+      let ty = parse_type st in
+      let name = expect_ident st in
+      match cur_tok st with
+      | Token.COMMA ->
+          advance st;
+          go ((ty, name) :: acc)
+      | Token.RPAREN ->
+          advance st;
+          List.rev ((ty, name) :: acc)
+      | _ -> fail st "expected ',' or ')' in parameter list"
+    in
+    go []
+  end
+
+let parse_toplevel st =
+  let loc = cur_loc st in
+  if cur_tok st = Token.KW_STRUCT then parse_struct_def st
+  else begin
+    let ty = parse_type st in
+    let name = expect_ident st in
+    if cur_tok st = Token.LPAREN then begin
+      let params = parse_params st in
+      expect st Token.LBRACE;
+      let body = parse_block_items st in
+      DFunc { fname = name; fparams = params; fret = ty; fbody = body; floc = loc }
+    end
+    else begin
+      let init =
+        if cur_tok st = Token.ASSIGN then begin
+          advance st;
+          Some (parse_expr st)
+        end
+        else None
+      in
+      expect st Token.SEMI;
+      DGlobal { gty = ty; gname = name; ginit = init; gloc = loc }
+    end
+  end
+
+let parse ?(file = "<string>") src =
+  let toks = Lexer.tokenize ~file src in
+  let st = { toks; pos = 0; next_sid = 0 } in
+  let rec go acc =
+    if cur_tok st = Token.EOF then List.rev acc else go (parse_toplevel st :: acc)
+  in
+  let decls = go [] in
+  { decls; max_sid = st.next_sid; src_file = file }
+
+let parse_expr_string src =
+  let toks = Lexer.tokenize src in
+  let st = { toks; pos = 0; next_sid = 0 } in
+  let e = parse_expr st in
+  if cur_tok st <> Token.EOF then fail st "trailing tokens after expression";
+  e

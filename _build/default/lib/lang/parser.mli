@@ -1,0 +1,31 @@
+(** Recursive-descent parser for MiniC.
+
+    Grammar sketch (C-like):
+    {v
+    program  := decl* EOF
+    decl     := "struct" IDENT "{" (type IDENT ";")* "}" ";"?
+              | type IDENT "(" params ")" block            -- function
+              | type IDENT ("=" expr)? ";"                 -- global
+    type     := ("int"|"bool"|"string"|"void"|IDENT) ("[" "]")*
+    stmt     := type IDENT ("=" expr)? ";"
+              | expr ("=" expr)? ";"
+              | "if" "(" expr ")" stmt ("else" stmt)?
+              | "while" "(" expr ")" stmt
+              | "for" "(" simple? ";" expr? ";" simple? ")" stmt
+              | "return" expr? ";" | "break" ";" | "continue" ";"
+              | "{" stmt* "}"
+    v}
+    Expressions use C precedence: [||] < [&&] < [==,!=] < [<,<=,>,>=]
+    < [+,-] < [*,/,%] < unary [-,!] < postfix [\[\]], [.], call.
+    Allocation: [new T], [new T\[n\]].
+
+    Statement node ids are assigned in pre-order starting at 0. *)
+
+exception Error of Loc.t * string
+
+val parse : ?file:string -> string -> Ast.program
+(** Lex and parse a full program.  @raise Error (or {!Lexer.Error}) on
+    malformed input. *)
+
+val parse_expr_string : string -> Ast.expr
+(** Parse a standalone expression (used by tests). *)

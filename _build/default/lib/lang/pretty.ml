@@ -1,0 +1,167 @@
+open Ast
+
+(* Precedence levels for minimal parenthesisation. *)
+let binop_prec = function
+  | Or -> 1
+  | And -> 2
+  | Eq | Neq -> 3
+  | Lt | Le | Gt | Ge -> 4
+  | Add | Sub -> 5
+  | Mul | Div | Mod -> 6
+
+let rec expr_prec e =
+  match e.e with
+  | EBinop (op, _, _) -> binop_prec op
+  | EUnop _ -> 7
+  | EInt _ | EBool _ | EStr _ | ENull | EVar _ | ECall _ | EIndex _ | EField _
+  | ENewArray _ | ENewStruct _ ->
+      8
+
+and expr_to_buf buf prec e =
+  let mine = expr_prec e in
+  let parens = mine < prec in
+  if parens then Buffer.add_char buf '(';
+  (match e.e with
+  | EInt n ->
+      if n < 0 then Buffer.add_string buf (Printf.sprintf "(%d)" n)
+      else Buffer.add_string buf (string_of_int n)
+  | EBool b -> Buffer.add_string buf (if b then "true" else "false")
+  | EStr s -> Buffer.add_string buf (Printf.sprintf "%S" s)
+  | ENull -> Buffer.add_string buf "null"
+  | EVar v -> Buffer.add_string buf v
+  | EUnop (op, inner) ->
+      Buffer.add_string buf (unop_to_string op);
+      expr_to_buf buf 7 inner
+  | EBinop (op, l, r) ->
+      (* left-associative: left child same level, right child one higher *)
+      expr_to_buf buf mine l;
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (binop_to_string op);
+      Buffer.add_char buf ' ';
+      expr_to_buf buf (mine + 1) r
+  | ECall (f, args) ->
+      Buffer.add_string buf f;
+      Buffer.add_char buf '(';
+      List.iteri
+        (fun i a ->
+          if i > 0 then Buffer.add_string buf ", ";
+          expr_to_buf buf 0 a)
+        args;
+      Buffer.add_char buf ')'
+  | EIndex (arr, idx) ->
+      expr_to_buf buf 8 arr;
+      Buffer.add_char buf '[';
+      expr_to_buf buf 0 idx;
+      Buffer.add_char buf ']'
+  | EField (obj, fld) ->
+      expr_to_buf buf 8 obj;
+      Buffer.add_char buf '.';
+      Buffer.add_string buf fld
+  | ENewArray (ty, len) ->
+      Buffer.add_string buf "new ";
+      Buffer.add_string buf (ty_to_string ty);
+      Buffer.add_char buf '[';
+      expr_to_buf buf 0 len;
+      Buffer.add_char buf ']'
+  | ENewStruct name ->
+      Buffer.add_string buf "new ";
+      Buffer.add_string buf name);
+  if parens then Buffer.add_char buf ')'
+
+let expr_to_string e =
+  let buf = Buffer.create 32 in
+  expr_to_buf buf 0 e;
+  Buffer.contents buf
+
+let lvalue_to_string = function
+  | LVar v -> v
+  | LIndex (arr, idx) -> Printf.sprintf "%s[%s]" (expr_to_string arr) (expr_to_string idx)
+  | LField (obj, fld) -> Printf.sprintf "%s.%s" (expr_to_string obj) fld
+
+let rec stmt_to_buf buf indent st =
+  let pad = String.make (indent * 2) ' ' in
+  let line s =
+    Buffer.add_string buf pad;
+    Buffer.add_string buf s;
+    Buffer.add_char buf '\n'
+  in
+  match st.s with
+  | SDecl (ty, name, None) -> line (Printf.sprintf "%s %s;" (ty_to_string ty) name)
+  | SDecl (ty, name, Some e) ->
+      line (Printf.sprintf "%s %s = %s;" (ty_to_string ty) name (expr_to_string e))
+  | SAssign (lv, e) -> line (Printf.sprintf "%s = %s;" (lvalue_to_string lv) (expr_to_string e))
+  | SExpr e -> line (expr_to_string e ^ ";")
+  | SIf (cond, then_b, else_b) ->
+      line (Printf.sprintf "if (%s) {" (expr_to_string cond));
+      block_to_buf buf (indent + 1) then_b;
+      if else_b = [] then line "}"
+      else begin
+        line "} else {";
+        block_to_buf buf (indent + 1) else_b;
+        line "}"
+      end
+  | SWhile (cond, body) ->
+      line (Printf.sprintf "while (%s) {" (expr_to_string cond));
+      block_to_buf buf (indent + 1) body;
+      line "}"
+  | SFor (init, cond, step, body) ->
+      let simple s =
+        match s.s with
+        | SBlock [] -> ""
+        | SDecl (ty, name, None) -> Printf.sprintf "%s %s" (ty_to_string ty) name
+        | SDecl (ty, name, Some e) ->
+            Printf.sprintf "%s %s = %s" (ty_to_string ty) name (expr_to_string e)
+        | SAssign (lv, e) -> Printf.sprintf "%s = %s" (lvalue_to_string lv) (expr_to_string e)
+        | SExpr e -> expr_to_string e
+        | _ -> "/*complex*/"
+      in
+      line
+        (Printf.sprintf "for (%s; %s; %s) {" (simple init) (expr_to_string cond)
+           (simple step));
+      block_to_buf buf (indent + 1) body;
+      line "}"
+  | SReturn None -> line "return;"
+  | SReturn (Some e) -> line (Printf.sprintf "return %s;" (expr_to_string e))
+  | SBreak -> line "break;"
+  | SContinue -> line "continue;"
+  | SBlock body ->
+      line "{";
+      block_to_buf buf (indent + 1) body;
+      line "}"
+
+and block_to_buf buf indent body = List.iter (stmt_to_buf buf indent) body
+
+let stmt_to_string ?(indent = 0) st =
+  let buf = Buffer.create 64 in
+  stmt_to_buf buf indent st;
+  Buffer.contents buf
+
+let decl_to_buf buf = function
+  | DStruct { stname; stfields; _ } ->
+      Buffer.add_string buf (Printf.sprintf "struct %s {\n" stname);
+      List.iter
+        (fun (ty, name) ->
+          Buffer.add_string buf (Printf.sprintf "  %s %s;\n" (ty_to_string ty) name))
+        stfields;
+      Buffer.add_string buf "}\n\n"
+  | DGlobal { gty; gname; ginit; _ } ->
+      (match ginit with
+      | None -> Buffer.add_string buf (Printf.sprintf "%s %s;\n\n" (ty_to_string gty) gname)
+      | Some e ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s %s = %s;\n\n" (ty_to_string gty) gname (expr_to_string e)))
+  | DFunc { fname; fparams; fret; fbody; _ } ->
+      let params =
+        String.concat ", "
+          (List.map (fun (ty, name) -> Printf.sprintf "%s %s" (ty_to_string ty) name) fparams)
+      in
+      Buffer.add_string buf (Printf.sprintf "%s %s(%s) {\n" (ty_to_string fret) fname params);
+      block_to_buf buf 1 fbody;
+      Buffer.add_string buf "}\n\n"
+
+let program_to_string prog =
+  let buf = Buffer.create 1024 in
+  List.iter (decl_to_buf buf) prog.decls;
+  Buffer.contents buf
+
+let pp_program fmt prog = Format.pp_print_string fmt (program_to_string prog)

@@ -1,0 +1,11 @@
+(** Pretty-printer for raw MiniC.
+
+    Output re-parses to an alpha-identical program (statement ids may
+    differ), which the property tests check.  Also provides compact
+    single-line expression rendering used in predicate descriptions. *)
+
+val expr_to_string : Ast.expr -> string
+val lvalue_to_string : Ast.lvalue -> string
+val stmt_to_string : ?indent:int -> Ast.stmt -> string
+val program_to_string : Ast.program -> string
+val pp_program : Format.formatter -> Ast.program -> unit

@@ -1,0 +1,188 @@
+open Rast
+
+type use = {
+  u_var : string;
+  u_fn : string;
+  u_loc : Loc.t;
+  u_kind : [ `Field of string | `Index ];
+}
+
+let pp_use fmt u =
+  Format.fprintf fmt "%s of %s at %s (in %s)"
+    (match u.u_kind with `Field f -> "." ^ f | `Index -> "[...]")
+    u.u_var (Loc.to_string u.u_loc) u.u_fn
+
+(* --- variables ever assigned null --- *)
+
+let rec null_assigns_stmt acc (st : rstmt) =
+  match st.rs with
+  | RAssign (_, RLVar (_, name), { re = RNull; _ }) -> (name, st.rsloc) :: acc
+  | RDecl (_, _, name, Some { re = RNull; _ }) -> (name, st.rsloc) :: acc
+  | RDecl _ | RAssign _ | RExpr _ | RReturn _ | RBreak | RContinue -> acc
+  | RIf (_, b1, b2) ->
+      let acc = List.fold_left null_assigns_stmt acc b1 in
+      List.fold_left null_assigns_stmt acc b2
+  | RWhile (_, b) -> List.fold_left null_assigns_stmt acc b
+  | RFor (init, _, step, b) ->
+      let acc = null_assigns_stmt acc init in
+      let acc = null_assigns_stmt acc step in
+      List.fold_left null_assigns_stmt acc b
+  | RBlockS b -> List.fold_left null_assigns_stmt acc b
+
+let nulled_vars (prog : rprog) =
+  let all =
+    Array.fold_left
+      (fun acc fn -> List.fold_left null_assigns_stmt acc fn.rf_body)
+      [] prog.rp_funcs
+  in
+  (* one entry per name, first occurrence in source order *)
+  let seen = Hashtbl.create 16 in
+  List.fold_left
+    (fun acc (name, loc) ->
+      if Hashtbl.mem seen name then acc
+      else begin
+        Hashtbl.replace seen name ();
+        (name, loc) :: acc
+      end)
+    [] (List.rev all)
+  |> List.rev
+
+(* --- unguarded uses --- *)
+
+module SSet = Set.Make (String)
+
+type walk_state = {
+  targets : SSet.t;
+  fn : string;
+  mutable uses_rev : use list;
+}
+
+let guard_of_cond cond =
+  (* (guarded-in-then, guarded-in-else) *)
+  match cond.re with
+  | RBinop (Ast.Neq, { re = RVar (_, v); _ }, { re = RNull; _ })
+  | RBinop (Ast.Neq, { re = RNull; _ }, { re = RVar (_, v); _ }) ->
+      (Some v, None)
+  | RBinop (Ast.Eq, { re = RVar (_, v); _ }, { re = RNull; _ })
+  | RBinop (Ast.Eq, { re = RNull; _ }, { re = RVar (_, v); _ }) ->
+      (None, Some v)
+  | _ -> (None, None)
+
+let rec uses_expr st guarded (e : rexpr) =
+  match e.re with
+  | RInt _ | RBool _ | RStr _ | RNull | RVar _ -> ()
+  | RUnop (_, inner) -> uses_expr st guarded inner
+  | RBinop (_, l, r) ->
+      uses_expr st guarded l;
+      uses_expr st guarded r
+  | RCall (_, args) -> List.iter (uses_expr st guarded) args
+  | RIndex (({ re = RVar (_, v); _ } as base), idx) ->
+      if SSet.mem v st.targets && not (SSet.mem v guarded) then
+        st.uses_rev <- { u_var = v; u_fn = st.fn; u_loc = e.rloc; u_kind = `Index } :: st.uses_rev;
+      uses_expr st guarded base;
+      uses_expr st guarded idx
+  | RIndex (arr, idx) ->
+      uses_expr st guarded arr;
+      uses_expr st guarded idx
+  | RField ({ re = RVar (_, v); _ }, _, fname) ->
+      if SSet.mem v st.targets && not (SSet.mem v guarded) then
+        st.uses_rev <-
+          { u_var = v; u_fn = st.fn; u_loc = e.rloc; u_kind = `Field fname } :: st.uses_rev
+  | RField (obj, _, _) -> uses_expr st guarded obj
+  | RNewArray (_, len) -> uses_expr st guarded len
+  | RNewStruct _ -> ()
+
+let uses_lvalue st guarded = function
+  | RLVar _ -> ()
+  | RLIndex (({ re = RVar (_, v); _ } as base), idx) ->
+      if SSet.mem v st.targets && not (SSet.mem v guarded) then
+        st.uses_rev <-
+          { u_var = v; u_fn = st.fn; u_loc = base.rloc; u_kind = `Index } :: st.uses_rev;
+      uses_expr st guarded idx
+  | RLIndex (arr, idx) ->
+      uses_expr st guarded arr;
+      uses_expr st guarded idx
+  | RLField (({ re = RVar (_, v); _ } as base), _, fname) ->
+      if SSet.mem v st.targets && not (SSet.mem v guarded) then
+        st.uses_rev <-
+          { u_var = v; u_fn = st.fn; u_loc = base.rloc; u_kind = `Field fname } :: st.uses_rev
+  | RLField (obj, _, _) -> uses_expr st guarded obj
+
+(* Walking a block returns the set of variables known non-null on exit
+   (straight-line re-assignments add to the guard set; null assignments
+   remove). *)
+let rec walk_block st guarded block = List.fold_left (walk_stmt st) guarded block
+
+and walk_stmt st guarded (stmt : rstmt) =
+  match stmt.rs with
+  | RDecl (_, _, name, init) -> (
+      match init with
+      | Some ({ re = RNull; _ } as e) ->
+          uses_expr st guarded e;
+          SSet.remove name guarded
+      | Some e ->
+          uses_expr st guarded e;
+          if Ast.is_reference (match e.rty with t -> t) then SSet.add name guarded
+          else guarded
+      | None -> SSet.remove name guarded)
+  | RAssign (_, lv, rhs) -> (
+      uses_lvalue st guarded lv;
+      uses_expr st guarded rhs;
+      match (lv, rhs.re) with
+      | RLVar (_, name), RNull -> SSet.remove name guarded
+      | RLVar (_, name), (RNewStruct _ | RNewArray _) -> SSet.add name guarded
+      | _ -> guarded)
+  | RExpr e ->
+      uses_expr st guarded e;
+      guarded
+  | RIf (cond, then_b, else_b) ->
+      uses_expr st guarded cond;
+      let then_guard, else_guard = guard_of_cond cond in
+      let g_then =
+        match then_guard with Some v -> SSet.add v guarded | None -> guarded
+      in
+      let g_else =
+        match else_guard with Some v -> SSet.add v guarded | None -> guarded
+      in
+      let out_then = walk_block st g_then then_b in
+      let out_else = walk_block st g_else else_b in
+      (* join: guaranteed non-null only if non-null on both paths *)
+      SSet.inter out_then out_else
+  | RWhile (cond, body) ->
+      uses_expr st guarded cond;
+      (* the loop body may run zero times; drop its guarantees *)
+      ignore (walk_block st guarded body);
+      guarded
+  | RFor (init, cond, step, body) ->
+      let g = walk_stmt st guarded init in
+      uses_expr st g cond;
+      ignore (walk_stmt st (walk_block st g body) step);
+      g
+  | RReturn (Some e) ->
+      uses_expr st guarded e;
+      guarded
+  | RReturn None | RBreak | RContinue -> guarded
+  | RBlockS body -> walk_block st guarded body
+
+let unsafe_uses ?only (prog : rprog) =
+  let targets =
+    match only with
+    | Some names -> SSet.of_list names
+    | None -> SSet.of_list (List.map fst (nulled_vars prog))
+  in
+  let all = ref [] in
+  Array.iter
+    (fun fn ->
+      let st = { targets; fn = fn.rf_name; uses_rev = [] } in
+      ignore (walk_block st SSet.empty fn.rf_body);
+      all := List.rev_append st.uses_rev !all)
+    prog.rp_funcs;
+  List.rev !all
+
+let count_by_function uses =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun u -> Hashtbl.replace tbl u.u_fn (1 + Option.value ~default:0 (Hashtbl.find_opt tbl u.u_fn)))
+    uses;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)

@@ -1,0 +1,36 @@
+(** Simple syntactic static analysis over checked MiniC programs.
+
+    The paper (§1) recounts how a statistical failure predictor in
+    RHYTHMBOX exposed an unsafe library-usage pattern, after which "a
+    simple syntactic static analysis subsequently showed more than one
+    hundred instances of the same unsafe pattern".  This module is that
+    follow-up tool for MiniC: once statistical debugging names a disposed
+    reference, [unsafe_uses] enumerates every syntactically unguarded use
+    of any reference that the program ever nulls out.
+
+    The guard analysis is deliberately syntactic (like the paper's): a use
+    of [v] counts as guarded only inside the then-branch of
+    [if (v != null)] (or the else-branch of [if (v == null)]), or when the
+    enclosing function re-assigns [v] a non-null value on every path before
+    the use is reached in straight-line order.  No data-flow beyond that. *)
+
+type use = {
+  u_var : string;  (** the referenced variable *)
+  u_fn : string;  (** enclosing function *)
+  u_loc : Loc.t;
+  u_kind : [ `Field of string | `Index ];
+}
+
+val pp_use : Format.formatter -> use -> unit
+
+val nulled_vars : Rast.rprog -> (string * Loc.t) list
+(** Variables (globals or locals, by name) assigned the literal [null]
+    anywhere in the program, with the location of one such assignment —
+    candidates for dispose-then-use bugs. *)
+
+val unsafe_uses : ?only:string list -> Rast.rprog -> use list
+(** Unguarded dereferences (field access or indexing) of variables in
+    [only] (default: all of [nulled_vars]).  Source order. *)
+
+val count_by_function : use list -> (string * int) list
+(** Instances per function, descending. *)

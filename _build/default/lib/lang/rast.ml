@@ -1,0 +1,161 @@
+type var_ref = RGlobal of int | RLocal of int
+
+let var_ref_equal a b =
+  match (a, b) with
+  | RGlobal x, RGlobal y | RLocal x, RLocal y -> x = y
+  | _ -> false
+
+let pp_var_ref fmt = function
+  | RGlobal i -> Format.fprintf fmt "global:%d" i
+  | RLocal i -> Format.fprintf fmt "local:%d" i
+
+type builtin =
+  | BPrint
+  | BPrintln
+  | BLen
+  | BStrlen
+  | BSubstr
+  | BStrcmp
+  | BOrd
+  | BChr
+  | BToStr
+  | BParseInt
+  | BIsInt
+  | BHashStr
+  | BAbort
+  | BAssert
+  | BBugMark
+  | BEvent
+  | BArgc
+  | BArg
+  | BArgInt
+  | BNondet
+  | BMin
+  | BMax
+  | BAbs
+
+let builtin_name = function
+  | BPrint -> "print"
+  | BPrintln -> "println"
+  | BLen -> "len"
+  | BStrlen -> "strlen"
+  | BSubstr -> "substr"
+  | BStrcmp -> "strcmp"
+  | BOrd -> "ord"
+  | BChr -> "chr"
+  | BToStr -> "to_str"
+  | BParseInt -> "parse_int"
+  | BIsInt -> "is_int"
+  | BHashStr -> "hash_str"
+  | BAbort -> "abort"
+  | BAssert -> "assert"
+  | BBugMark -> "__bug"
+  | BEvent -> "__event"
+  | BArgc -> "argc"
+  | BArg -> "arg"
+  | BArgInt -> "arg_int"
+  | BNondet -> "nondet"
+  | BMin -> "min"
+  | BMax -> "max"
+  | BAbs -> "abs"
+
+let all_builtins =
+  [
+    BPrint; BPrintln; BLen; BStrlen; BSubstr; BStrcmp; BOrd; BChr; BToStr;
+    BParseInt; BIsInt; BHashStr; BAbort; BAssert; BBugMark; BEvent; BArgc;
+    BArg; BArgInt; BNondet; BMin; BMax; BAbs;
+  ]
+
+let builtin_of_name =
+  let table = Hashtbl.create 32 in
+  List.iter (fun b -> Hashtbl.replace table (builtin_name b) b) all_builtins;
+  fun name -> Hashtbl.find_opt table name
+
+type rexpr = {
+  re : rexpr_kind;
+  rty : Ast.ty;
+  rloc : Loc.t;
+  reid : int;  (** unique expression id, used by expression-level instrumentation *)
+}
+
+and rexpr_kind =
+  | RInt of int
+  | RBool of bool
+  | RStr of string
+  | RNull
+  | RVar of var_ref * string
+  | RUnop of Ast.unop * rexpr
+  | RBinop of Ast.binop * rexpr * rexpr
+  | RCall of call_target * rexpr list
+  | RIndex of rexpr * rexpr
+  | RField of rexpr * int * string
+  | RNewArray of Ast.ty * rexpr
+  | RNewStruct of int
+
+and call_target = CUser of int * string | CBuiltin of builtin
+
+type rlvalue =
+  | RLVar of var_ref * string
+  | RLIndex of rexpr * rexpr
+  | RLField of rexpr * int * string
+
+type rstmt = { rs : rstmt_kind; rsid : int; rsloc : Loc.t }
+
+and rstmt_kind =
+  | RDecl of Ast.ty * int * string * rexpr option
+  | RAssign of Ast.ty * rlvalue * rexpr
+  | RExpr of rexpr
+  | RIf of rexpr * rblock * rblock
+  | RWhile of rexpr * rblock
+  | RFor of rstmt * rexpr * rstmt * rblock
+  | RReturn of rexpr option
+  | RBreak
+  | RContinue
+  | RBlockS of rblock
+
+and rblock = rstmt list
+
+type struct_layout = { sl_id : int; sl_name : string; sl_fields : (string * Ast.ty) array }
+
+type rfunc = {
+  rf_id : int;
+  rf_name : string;
+  rf_params : (string * Ast.ty) list;
+  rf_ret : Ast.ty;
+  rf_nslots : int;
+  rf_body : rblock;
+  rf_loc : Loc.t;
+}
+
+type rprog = {
+  rp_structs : struct_layout array;
+  rp_globals : (string * Ast.ty * rexpr option) array;
+  rp_funcs : rfunc array;
+  rp_main : int;
+  rp_max_sid : int;
+  rp_max_eid : int;
+  rp_file : string;
+}
+
+let find_func prog name =
+  Array.fold_left
+    (fun acc f -> match acc with Some _ -> acc | None -> if f.rf_name = name then Some f else None)
+    None prog.rp_funcs
+
+let rec iter_rblock f fn block = List.iter (iter_rstmt f fn) block
+
+and iter_rstmt f fn st =
+  f fn st;
+  match st.rs with
+  | RDecl _ | RAssign _ | RExpr _ | RReturn _ | RBreak | RContinue -> ()
+  | RIf (_, b1, b2) ->
+      iter_rblock f fn b1;
+      iter_rblock f fn b2
+  | RWhile (_, b) -> iter_rblock f fn b
+  | RFor (init, _, step, b) ->
+      iter_rstmt f fn init;
+      iter_rstmt f fn step;
+      iter_rblock f fn b
+  | RBlockS b -> iter_rblock f fn b
+
+let iter_rstmts prog f = Array.iter (fun fn -> iter_rblock f fn fn.rf_body) prog.rp_funcs

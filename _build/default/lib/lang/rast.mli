@@ -1,0 +1,114 @@
+(** Resolved (checked) MiniC abstract syntax.
+
+    Produced by {!Check.check_program} from the raw {!Ast.program}: variable
+    references are resolved to global indices or function-frame slots,
+    struct field accesses to field offsets, calls to function ids or
+    builtins, and every expression is annotated with its static type.
+    Statement ids from the raw AST are preserved so instrumentation plans
+    (keyed by statement id) can be built against either representation. *)
+
+type var_ref = RGlobal of int | RLocal of int
+
+val var_ref_equal : var_ref -> var_ref -> bool
+val pp_var_ref : Format.formatter -> var_ref -> unit
+
+(** Built-in procedures.  See {!Check.builtin_signature} for typing. *)
+type builtin =
+  | BPrint      (** [print(x)]: write any value to the run's output *)
+  | BPrintln    (** [println(x)]: same, plus newline *)
+  | BLen        (** [len(a)]: array length *)
+  | BStrlen     (** [strlen(s)] *)
+  | BSubstr     (** [substr(s, start, len)]; out of range crashes *)
+  | BStrcmp     (** [strcmp(a, b)]: -1, 0, or 1 *)
+  | BOrd        (** [ord(s, i)]: byte value at index; bounds-checked *)
+  | BChr        (** [chr(n)]: one-byte string; n outside 0..255 crashes *)
+  | BToStr      (** [to_str(n)]: decimal rendering *)
+  | BParseInt   (** [parse_int(s)]: 0 when malformed *)
+  | BIsInt      (** [is_int(s)]: does [s] parse as an integer? *)
+  | BHashStr    (** [hash_str(s)]: deterministic non-negative FNV-1a hash *)
+  | BAbort      (** [abort(msg)]: crash the run *)
+  | BAssert     (** [assert(cond)]: crash when false *)
+  | BBugMark    (** [__bug(n)]: record ground-truth occurrence of bug n *)
+  | BEvent      (** [__event(name)]: record a named program event *)
+  | BArgc       (** [argc()]: number of input arguments *)
+  | BArg        (** [arg(i)]: i-th input argument; bounds-checked *)
+  | BArgInt     (** [arg_int(i)] = parse_int(arg(i)) *)
+  | BNondet     (** [nondet(n)]: uniform in [0,n) from the run's PRNG *)
+  | BMin
+  | BMax
+  | BAbs
+
+val builtin_name : builtin -> string
+val builtin_of_name : string -> builtin option
+val all_builtins : builtin list
+
+type rexpr = {
+  re : rexpr_kind;
+  rty : Ast.ty;
+  rloc : Loc.t;
+  reid : int;  (** unique expression id, used by expression-level instrumentation *)
+}
+
+and rexpr_kind =
+  | RInt of int
+  | RBool of bool
+  | RStr of string
+  | RNull
+  | RVar of var_ref * string  (** resolved ref, original name (for messages) *)
+  | RUnop of Ast.unop * rexpr
+  | RBinop of Ast.binop * rexpr * rexpr
+  | RCall of call_target * rexpr list
+  | RIndex of rexpr * rexpr
+  | RField of rexpr * int * string  (** object, field offset, field name *)
+  | RNewArray of Ast.ty * rexpr
+  | RNewStruct of int  (** struct id *)
+
+and call_target = CUser of int * string | CBuiltin of builtin
+
+type rlvalue =
+  | RLVar of var_ref * string
+  | RLIndex of rexpr * rexpr
+  | RLField of rexpr * int * string
+
+type rstmt = { rs : rstmt_kind; rsid : int; rsloc : Loc.t }
+
+and rstmt_kind =
+  | RDecl of Ast.ty * int * string * rexpr option  (** type, slot, name, init *)
+  | RAssign of Ast.ty * rlvalue * rexpr  (** static type of the location *)
+  | RExpr of rexpr
+  | RIf of rexpr * rblock * rblock
+  | RWhile of rexpr * rblock
+  | RFor of rstmt * rexpr * rstmt * rblock
+  | RReturn of rexpr option
+  | RBreak
+  | RContinue
+  | RBlockS of rblock
+
+and rblock = rstmt list
+
+type struct_layout = { sl_id : int; sl_name : string; sl_fields : (string * Ast.ty) array }
+
+type rfunc = {
+  rf_id : int;
+  rf_name : string;
+  rf_params : (string * Ast.ty) list;  (** occupy slots [0 .. arity-1] *)
+  rf_ret : Ast.ty;
+  rf_nslots : int;
+  rf_body : rblock;
+  rf_loc : Loc.t;
+}
+
+type rprog = {
+  rp_structs : struct_layout array;
+  rp_globals : (string * Ast.ty * rexpr option) array;
+  rp_funcs : rfunc array;
+  rp_main : int;  (** index into [rp_funcs] *)
+  rp_max_sid : int;
+  rp_max_eid : int;  (** one more than the largest expression id *)
+  rp_file : string;
+}
+
+val find_func : rprog -> string -> rfunc option
+val iter_rstmts : rprog -> (rfunc -> rstmt -> unit) -> unit
+(** Visit every statement of every function (pre-order), with the enclosing
+    function. *)

@@ -1,0 +1,114 @@
+type t =
+  | INT of int
+  | STRING of string
+  | IDENT of string
+  | KW_INT
+  | KW_BOOL
+  | KW_STRING
+  | KW_VOID
+  | KW_STRUCT
+  | KW_IF
+  | KW_ELSE
+  | KW_WHILE
+  | KW_FOR
+  | KW_RETURN
+  | KW_BREAK
+  | KW_CONTINUE
+  | KW_TRUE
+  | KW_FALSE
+  | KW_NULL
+  | KW_NEW
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | SEMI
+  | COMMA
+  | DOT
+  | ASSIGN
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | EQ
+  | NEQ
+  | LT
+  | LE
+  | GT
+  | GE
+  | AND
+  | OR
+  | NOT
+  | EOF
+
+type spanned = { tok : t; loc : Loc.t }
+
+let to_string = function
+  | INT n -> string_of_int n
+  | STRING s -> Printf.sprintf "%S" s
+  | IDENT s -> s
+  | KW_INT -> "int"
+  | KW_BOOL -> "bool"
+  | KW_STRING -> "string"
+  | KW_VOID -> "void"
+  | KW_STRUCT -> "struct"
+  | KW_IF -> "if"
+  | KW_ELSE -> "else"
+  | KW_WHILE -> "while"
+  | KW_FOR -> "for"
+  | KW_RETURN -> "return"
+  | KW_BREAK -> "break"
+  | KW_CONTINUE -> "continue"
+  | KW_TRUE -> "true"
+  | KW_FALSE -> "false"
+  | KW_NULL -> "null"
+  | KW_NEW -> "new"
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | SEMI -> ";"
+  | COMMA -> ","
+  | DOT -> "."
+  | ASSIGN -> "="
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | SLASH -> "/"
+  | PERCENT -> "%"
+  | EQ -> "=="
+  | NEQ -> "!="
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | AND -> "&&"
+  | OR -> "||"
+  | NOT -> "!"
+  | EOF -> "<eof>"
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+let keyword_of_string = function
+  | "int" -> Some KW_INT
+  | "bool" -> Some KW_BOOL
+  | "string" -> Some KW_STRING
+  | "void" -> Some KW_VOID
+  | "struct" -> Some KW_STRUCT
+  | "if" -> Some KW_IF
+  | "else" -> Some KW_ELSE
+  | "while" -> Some KW_WHILE
+  | "for" -> Some KW_FOR
+  | "return" -> Some KW_RETURN
+  | "break" -> Some KW_BREAK
+  | "continue" -> Some KW_CONTINUE
+  | "true" -> Some KW_TRUE
+  | "false" -> Some KW_FALSE
+  | "null" -> Some KW_NULL
+  | "new" -> Some KW_NEW
+  | _ -> None

@@ -1,0 +1,57 @@
+(** MiniC lexical tokens. *)
+
+type t =
+  (* literals and identifiers *)
+  | INT of int
+  | STRING of string
+  | IDENT of string
+  (* keywords *)
+  | KW_INT
+  | KW_BOOL
+  | KW_STRING
+  | KW_VOID
+  | KW_STRUCT
+  | KW_IF
+  | KW_ELSE
+  | KW_WHILE
+  | KW_FOR
+  | KW_RETURN
+  | KW_BREAK
+  | KW_CONTINUE
+  | KW_TRUE
+  | KW_FALSE
+  | KW_NULL
+  | KW_NEW
+  (* punctuation *)
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | SEMI
+  | COMMA
+  | DOT
+  (* operators *)
+  | ASSIGN (* = *)
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | EQ (* == *)
+  | NEQ (* != *)
+  | LT
+  | LE
+  | GT
+  | GE
+  | AND (* && *)
+  | OR (* || *)
+  | NOT (* ! *)
+  | EOF
+
+type spanned = { tok : t; loc : Loc.t }
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+val keyword_of_string : string -> t option

@@ -1,0 +1,52 @@
+type t =
+  | VInt of int
+  | VBool of bool
+  | VStr of string
+  | VArr of t array
+  | VStruct of int * t array
+  | VNull
+  | VUnit
+
+let default_of_ty (ty : Ast.ty) =
+  match ty with
+  | Ast.TInt -> VInt 0
+  | Ast.TBool -> VBool false
+  | Ast.TString -> VStr ""
+  | Ast.TVoid -> VUnit
+  | Ast.TStruct _ | Ast.TArray _ -> VNull
+
+let equal a b =
+  match (a, b) with
+  | VInt x, VInt y -> x = y
+  | VBool x, VBool y -> x = y
+  | VStr x, VStr y -> String.equal x y
+  | VArr x, VArr y -> x == y
+  | VStruct (_, x), VStruct (_, y) -> x == y
+  | VNull, VNull -> true
+  | VUnit, VUnit -> true
+  | _ -> false
+
+let rec to_string ?structs v =
+  match v with
+  | VInt n -> string_of_int n
+  | VBool b -> if b then "true" else "false"
+  | VStr s -> s
+  | VNull -> "null"
+  | VUnit -> "()"
+  | VArr elems ->
+      let parts = Array.to_list (Array.map (to_string ?structs) elems) in
+      "[" ^ String.concat ", " parts ^ "]"
+  | VStruct (sid, _) -> (
+      match structs with
+      | Some layouts when sid < Array.length layouts ->
+          "<" ^ layouts.(sid).Rast.sl_name ^ ">"
+      | _ -> Printf.sprintf "<struct#%d>" sid)
+
+let type_name = function
+  | VInt _ -> "int"
+  | VBool _ -> "bool"
+  | VStr _ -> "string"
+  | VArr _ -> "array"
+  | VStruct _ -> "struct"
+  | VNull -> "null"
+  | VUnit -> "void"

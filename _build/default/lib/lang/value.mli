@@ -1,0 +1,28 @@
+(** MiniC runtime values.
+
+    Arrays and structs have reference semantics (aliasing is visible through
+    assignment, and [==] compares identity), matching C pointers closely
+    enough for the corpus programs. *)
+
+type t =
+  | VInt of int
+  | VBool of bool
+  | VStr of string
+  | VArr of t array
+  | VStruct of int * t array  (** struct id, field values *)
+  | VNull
+  | VUnit
+
+val default_of_ty : Ast.ty -> t
+(** [0], [false], [""], or [null]; [VUnit] for void. *)
+
+val equal : t -> t -> bool
+(** Structural for scalars, physical (reference) for arrays and structs.
+    [VNull] equals only [VNull]. *)
+
+val to_string : ?structs:Rast.struct_layout array -> t -> string
+(** Rendering used by [print]: ints in decimal, bools as [true]/[false],
+    strings verbatim, [null], arrays as [\[v1, v2, ...\]], structs as
+    [<name>] (or [<struct#i>] when no layout table is supplied). *)
+
+val type_name : t -> string

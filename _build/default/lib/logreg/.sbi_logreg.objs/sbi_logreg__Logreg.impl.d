@@ -1,0 +1,1 @@
+lib/logreg/logreg.ml: Array Dataset List Report Sbi_runtime

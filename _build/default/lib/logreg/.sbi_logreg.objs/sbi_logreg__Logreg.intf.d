@@ -1,0 +1,1 @@
+lib/logreg/logreg.mli: Sbi_runtime

@@ -1,0 +1,96 @@
+open Sbi_runtime
+
+type config = {
+  lambda : float;
+  learning_rate : float;
+  epochs : int;
+  min_support : int;
+}
+
+let default_config = { lambda = 8e-3; learning_rate = 0.5; epochs = 200; min_support = 2 }
+
+type model = {
+  weights : float array;
+  bias : float;
+  trained_on : int;
+  config : config;
+}
+
+let sigmoid z = if z >= 0. then 1. /. (1. +. exp (-.z)) else let e = exp z in e /. (1. +. e)
+
+let soft_threshold x t = if x > t then x -. t else if x < -.t then x +. t else 0.
+
+let train ?(config = default_config) (ds : Dataset.t) =
+  let npreds = ds.Dataset.npreds in
+  let runs = ds.Dataset.runs in
+  let n = Array.length runs in
+  if n = 0 then invalid_arg "Logreg.train: empty dataset";
+  (* Support filter: predicates true in >= min_support runs. *)
+  let support = Array.make npreds 0 in
+  Array.iter
+    (fun (r : Report.t) ->
+      Array.iter (fun p -> support.(p) <- support.(p) + 1) r.Report.true_preds)
+    runs;
+  let keep = Array.map (fun c -> c >= config.min_support) support in
+  let labels =
+    Array.map (fun (r : Report.t) -> if Report.outcome_is_failure r.Report.outcome then 1. else 0.) runs
+  in
+  let w = Array.make npreds 0. in
+  let bias = ref 0. in
+  let grad = Array.make npreds 0. in
+  let fn = float_of_int n in
+  let lr = config.learning_rate in
+  let thresh = lr *. config.lambda in
+  for _epoch = 1 to config.epochs do
+    Array.fill grad 0 npreds 0.;
+    let grad_b = ref 0. in
+    for i = 0 to n - 1 do
+      let r = runs.(i) in
+      let z = ref !bias in
+      Array.iter (fun p -> if keep.(p) then z := !z +. w.(p)) r.Report.true_preds;
+      let resid = sigmoid !z -. labels.(i) in
+      grad_b := !grad_b +. resid;
+      Array.iter (fun p -> if keep.(p) then grad.(p) <- grad.(p) +. resid) r.Report.true_preds
+    done;
+    bias := !bias -. (lr *. !grad_b /. fn);
+    for p = 0 to npreds - 1 do
+      if keep.(p) then w.(p) <- soft_threshold (w.(p) -. (lr *. grad.(p) /. fn)) thresh
+    done
+  done;
+  { weights = w; bias = !bias; trained_on = n; config }
+
+let predict model (r : Report.t) =
+  let z = ref model.bias in
+  Array.iter
+    (fun p -> if p < Array.length model.weights then z := !z +. model.weights.(p))
+    r.Report.true_preds;
+  sigmoid !z
+
+let accuracy model (ds : Dataset.t) =
+  let n = Dataset.nruns ds in
+  if n = 0 then 0.
+  else begin
+    let correct = ref 0 in
+    Array.iter
+      (fun (r : Report.t) ->
+        let p = predict model r in
+        let predicted_fail = p >= 0.5 in
+        if predicted_fail = Report.outcome_is_failure r.Report.outcome then incr correct)
+      ds.Dataset.runs;
+    float_of_int !correct /. float_of_int n
+  end
+
+let nonzero model = Array.fold_left (fun acc x -> if x <> 0. then acc + 1 else acc) 0 model.weights
+
+let top_weights model ~n =
+  let indexed = ref [] in
+  Array.iteri (fun p x -> if x > 0. then indexed := (p, x) :: !indexed) model.weights;
+  let sorted =
+    List.sort (fun (_, a) (_, b) -> compare (b : float) a) !indexed
+  in
+  let rec take k = function
+    | [] -> []
+    | _ when k = 0 -> []
+    | x :: rest -> x :: take (k - 1) rest
+  in
+  take n sorted

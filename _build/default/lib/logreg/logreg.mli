@@ -1,0 +1,46 @@
+(** ℓ₁-regularized (lasso) logistic regression over feedback reports — the
+    baseline the paper compares against (§4.4, Table 9; [10, 16]).
+
+    Each run is a sparse binary feature vector (R(P) bits); the label is
+    the outcome.  Training is proximal gradient descent (ISTA): a
+    full-batch logistic gradient step followed by soft-thresholding, which
+    drives most weights to exactly zero.  The bias is unpenalized.
+
+    The paper's point, which the reproduction recreates: the top-weighted
+    predicates are sub-bug and super-bug predictors, because the penalty
+    rewards covering many failing runs regardless of predictor
+    orthogonality. *)
+
+type config = {
+  lambda : float;  (** ℓ₁ penalty strength *)
+  learning_rate : float;
+  epochs : int;
+  min_support : int;
+      (** ignore predicates true in fewer than this many runs (never-true
+          predicates are always excluded) *)
+}
+
+val default_config : config
+(** lambda 8e-3, learning rate 0.5, 200 epochs, min support 2. *)
+
+type model = {
+  weights : float array;  (** indexed by predicate id; zeros are pruned-out *)
+  bias : float;
+  trained_on : int;  (** number of runs *)
+  config : config;
+}
+
+val train : ?config:config -> Sbi_runtime.Dataset.t -> model
+
+val predict : model -> Sbi_runtime.Report.t -> float
+(** Probability that the run fails. *)
+
+val accuracy : model -> Sbi_runtime.Dataset.t -> float
+(** Fraction of runs classified correctly at threshold 0.5. *)
+
+val nonzero : model -> int
+(** Number of non-zero weights. *)
+
+val top_weights : model -> n:int -> (int * float) list
+(** The [n] predicates with the largest positive weights (failure
+    predictors), descending. *)

@@ -1,0 +1,1 @@
+lib/runtime/collect.ml: Array Dataset Interp Lazy Observe Report Sampler Sbi_instrument Sbi_lang Site Transform

@@ -1,0 +1,1 @@
+lib/runtime/collect.mli: Dataset Lazy Report Sbi_instrument Sbi_lang

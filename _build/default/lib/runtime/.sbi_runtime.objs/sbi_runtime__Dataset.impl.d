@@ -1,0 +1,1 @@
+lib/runtime/dataset.ml: Array Buffer Fun Hashtbl List Printf Report Sbi_instrument Site String Transform

@@ -1,0 +1,1 @@
+lib/runtime/dataset.mli: Report Sbi_instrument

@@ -1,0 +1,57 @@
+(** Collection driver: executes an instrumented program on many generated
+    inputs and assembles the feedback-report dataset.
+
+    This is the reproduction's stand-in for the paper's deployment: each
+    "user run" is an interpreter execution on a generated input, sampled
+    according to the given plan, labelled success/failure by crash
+    detection or by a caller-supplied oracle (the paper's MOSS output
+    oracle for the non-crashing bug #9). *)
+
+type engine = Tree_walk | Bytecode
+
+type spec = {
+  transform : Sbi_instrument.Transform.t;
+  plan : Sbi_instrument.Sampler.plan;
+  gen_input : int -> string array;
+      (** deterministic input generator, keyed by run index *)
+  oracle : (run_index:int -> args:string array -> Sbi_lang.Interp.result -> bool) option;
+      (** extra failure test for non-crashing runs: returns [true] when the
+          run should be labelled a failure (e.g. wrong output).  Crashes are
+          always failures regardless. *)
+  fuel : int;
+  nondet_salt : int;
+      (** mixed with the run index to seed each run's [nondet] stream *)
+  engine : engine;
+      (** execution engine; {!Bytecode} compiles once and runs on the VM
+          (identical observable semantics, differentially tested) *)
+  compiled : Sbi_lang.Vm.program Lazy.t;  (** the bytecode, compiled on demand *)
+}
+
+val make_spec :
+  ?oracle:(run_index:int -> args:string array -> Sbi_lang.Interp.result -> bool) ->
+  ?fuel:int ->
+  ?nondet_salt:int ->
+  ?engine:engine ->
+  transform:Sbi_instrument.Transform.t ->
+  plan:Sbi_instrument.Sampler.plan ->
+  gen_input:(int -> string array) ->
+  unit ->
+  spec
+
+val run_one :
+  spec ->
+  sampler:Sbi_instrument.Sampler.t ->
+  run_index:int ->
+  Report.t * Sbi_lang.Interp.result
+(** Executes a single monitored run (also used by training and tests). *)
+
+val collect : ?seed:int -> ?first_run:int -> spec -> nruns:int -> Dataset.t
+(** [collect spec ~nruns] executes runs [first_run .. first_run+nruns-1].
+    [seed] seeds the sampling coin flips only; program inputs come from
+    [gen_input] and in-program nondeterminism from [nondet_salt], so the
+    same spec yields the same dataset. *)
+
+val run_uninstrumented :
+  spec -> run_index:int -> Sbi_lang.Interp.result
+(** Executes a run with no observation at all (oracle runs, baselines,
+    overhead benchmarks). *)

@@ -1,0 +1,244 @@
+type t = {
+  nsites : int;
+  npreds : int;
+  pred_site : int array;
+  pred_texts : string array option;
+  runs : Report.t array;
+}
+
+let of_tables ?pred_texts ~nsites ~npreds ~pred_site runs =
+  { nsites; npreds; pred_site; pred_texts; runs }
+
+let create ~transform runs =
+  let open Sbi_instrument in
+  let npreds = Transform.num_preds transform in
+  let pred_site =
+    Array.init npreds (fun p -> transform.Transform.preds.(p).Site.pred_site)
+  in
+  let pred_texts = Array.init npreds (fun p -> Transform.describe_pred transform p) in
+  {
+    nsites = Transform.num_sites transform;
+    npreds;
+    pred_site;
+    pred_texts = Some pred_texts;
+    runs;
+  }
+
+let pred_text t p =
+  match t.pred_texts with
+  | Some texts when p >= 0 && p < Array.length texts -> texts.(p)
+  | _ -> Printf.sprintf "pred#%d" p
+
+let site_coverage t =
+  let totals = Array.make (max t.nsites 1) 0 in
+  Array.iter
+    (fun (r : Report.t) ->
+      Array.iteri
+        (fun i pred ->
+          let site = t.pred_site.(pred) in
+          totals.(site) <- totals.(site) + r.Report.true_counts.(i))
+        r.Report.true_preds)
+    t.runs;
+  let max_total = Array.fold_left max 0 totals in
+  if max_total = 0 then Array.make t.nsites 0.
+  else Array.init t.nsites (fun s -> float_of_int totals.(s) /. float_of_int max_total)
+
+let nruns t = Array.length t.runs
+
+let num_failures t =
+  Array.fold_left
+    (fun acc r -> if Report.outcome_is_failure r.Report.outcome then acc + 1 else acc)
+    0 t.runs
+
+let num_successes t = nruns t - num_failures t
+
+let failures t =
+  Array.of_list
+    (List.filter
+       (fun r -> Report.outcome_is_failure r.Report.outcome)
+       (Array.to_list t.runs))
+
+let successes t =
+  Array.of_list
+    (List.filter
+       (fun r -> not (Report.outcome_is_failure r.Report.outcome))
+       (Array.to_list t.runs))
+
+let filter_runs t keep =
+  { t with runs = Array.of_list (List.filter keep (Array.to_list t.runs)) }
+
+let sub t n =
+  if n > nruns t then invalid_arg "Dataset.sub: not enough runs";
+  { t with runs = Array.sub t.runs 0 n }
+
+let bug_ids t =
+  let seen = Hashtbl.create 16 in
+  Array.iter
+    (fun r -> Array.iter (fun b -> Hashtbl.replace seen b ()) r.Report.bugs)
+    t.runs;
+  List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) seen [])
+
+let runs_with_bug t bug =
+  Array.fold_left
+    (fun acc r ->
+      if Report.outcome_is_failure r.Report.outcome && Report.has_bug r bug then acc + 1
+      else acc)
+    0 t.runs
+
+(* --- serialization --- *)
+
+exception Parse_error of string
+
+let ints_to_string arr = String.concat "," (Array.to_list (Array.map string_of_int arr))
+
+let ints_of_string s =
+  if s = "" then [||]
+  else
+    Array.of_list
+      (List.map
+         (fun part ->
+           match int_of_string_opt part with
+           | Some n -> n
+           | None -> raise (Parse_error ("bad integer: " ^ part)))
+         (String.split_on_char ',' s))
+
+(* Crash signatures may contain arbitrary function names but never
+   whitespace (MiniC identifiers); "-" encodes absence. *)
+let sig_to_string = function None -> "-" | Some s -> if s = "" then "<empty>" else s
+let sig_of_string = function "-" -> None | "<empty>" -> Some "" | s -> Some s
+
+(* Predicate texts are embedded percent-escaped so lines stay one-per-entry
+   and whitespace-free. *)
+let escape_text s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | ' ' -> Buffer.add_string buf "%20"
+      | '%' -> Buffer.add_string buf "%25"
+      | ',' -> Buffer.add_string buf "%2C"
+      | '\n' -> Buffer.add_string buf "%0A"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let unescape_text s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    if s.[!i] = '%' && !i + 2 < n then begin
+      (match String.sub s (!i + 1) 2 with
+      | "20" -> Buffer.add_char buf ' '
+      | "25" -> Buffer.add_char buf '%'
+      | "2C" -> Buffer.add_char buf ','
+      | "0A" -> Buffer.add_char buf '\n'
+      | other -> raise (Parse_error ("bad escape %" ^ other)));
+      i := !i + 3
+    end
+    else begin
+      Buffer.add_char buf s.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents buf
+
+let to_channel oc t =
+  Printf.fprintf oc "sbi-dataset 2 %d %d %d\n" t.nsites t.npreds (nruns t);
+  Printf.fprintf oc "pred_site %s\n" (ints_to_string t.pred_site);
+  (match t.pred_texts with
+  | None -> Printf.fprintf oc "pred_texts -\n"
+  | Some texts ->
+      Printf.fprintf oc "pred_texts %s\n"
+        (String.concat "," (Array.to_list (Array.map escape_text texts))));
+  Array.iter
+    (fun (r : Report.t) ->
+      Printf.fprintf oc "run %d %s %s %s %s %s %s\n" r.run_id
+        (match r.outcome with Report.Success -> "S" | Report.Failure -> "F")
+        (ints_to_string r.observed_sites)
+        (ints_to_string r.true_preds)
+        (ints_to_string r.true_counts)
+        (ints_to_string r.bugs)
+        (sig_to_string r.crash_sig))
+    t.runs
+
+let of_channel ic =
+  let line () = try Some (input_line ic) with End_of_file -> None in
+  let header =
+    match line () with
+    | Some l -> l
+    | None -> raise (Parse_error "empty dataset file")
+  in
+  let nsites, npreds, count =
+    match String.split_on_char ' ' header with
+    | [ "sbi-dataset"; "2"; a; b; c ] -> (
+        match (int_of_string_opt a, int_of_string_opt b, int_of_string_opt c) with
+        | Some x, Some y, Some z -> (x, y, z)
+        | _ -> raise (Parse_error "bad header numbers"))
+    | "sbi-dataset" :: v :: _ -> raise (Parse_error ("unsupported dataset version " ^ v))
+    | _ -> raise (Parse_error "bad header")
+  in
+  let pred_site =
+    match line () with
+    | Some l -> (
+        match String.split_on_char ' ' l with
+        | [ "pred_site"; data ] -> ints_of_string data
+        | [ "pred_site" ] -> [||]
+        | _ -> raise (Parse_error "bad pred_site line"))
+    | None -> raise (Parse_error "missing pred_site line")
+  in
+  if Array.length pred_site <> npreds then raise (Parse_error "pred_site length mismatch");
+  let pred_texts =
+    match line () with
+    | Some l -> (
+        match String.split_on_char ' ' l with
+        | [ "pred_texts"; "-" ] -> None
+        | [ "pred_texts"; data ] ->
+            let texts =
+              Array.of_list (List.map unescape_text (String.split_on_char ',' data))
+            in
+            if Array.length texts <> npreds then
+              raise (Parse_error "pred_texts length mismatch");
+            Some texts
+        | [ "pred_texts" ] -> if npreds = 0 then Some [||] else raise (Parse_error "bad pred_texts")
+        | _ -> raise (Parse_error "bad pred_texts line"))
+    | None -> raise (Parse_error "missing pred_texts line")
+  in
+  let runs =
+    Array.init count (fun _ ->
+        match line () with
+        | None -> raise (Parse_error "truncated dataset")
+        | Some l -> (
+            match String.split_on_char ' ' l with
+            | [ "run"; id; oc_; sites; preds; counts; bugs; sg ] ->
+                let true_preds = ints_of_string preds in
+                let true_counts = ints_of_string counts in
+                if Array.length true_counts <> Array.length true_preds then
+                  raise (Parse_error "true_counts length mismatch");
+                {
+                  Report.run_id =
+                    (match int_of_string_opt id with
+                    | Some n -> n
+                    | None -> raise (Parse_error "bad run id"));
+                  outcome =
+                    (match oc_ with
+                    | "S" -> Report.Success
+                    | "F" -> Report.Failure
+                    | _ -> raise (Parse_error "bad outcome"));
+                  observed_sites = ints_of_string sites;
+                  true_preds;
+                  true_counts;
+                  bugs = ints_of_string bugs;
+                  crash_sig = sig_of_string sg;
+                }
+            | _ -> raise (Parse_error ("bad run line: " ^ l))))
+  in
+  { nsites; npreds; pred_site; pred_texts; runs }
+
+let save path t =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> to_channel oc t)
+
+let load path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> of_channel ic)

@@ -1,0 +1,64 @@
+(** A dataset of feedback reports for one instrumented program.
+
+    Ties the reports to the site/predicate tables they refer to, and
+    provides the aggregate views the analysis needs plus a line-oriented
+    text (de)serialization for caching collected data on disk. *)
+
+type t = {
+  nsites : int;
+  npreds : int;
+  pred_site : int array;  (** predicate id -> site id *)
+  pred_texts : string array option;
+      (** optional predicate descriptions (embedded on save so datasets can
+          be analyzed offline with readable names) *)
+  runs : Report.t array;
+}
+
+val create : transform:Sbi_instrument.Transform.t -> Report.t array -> t
+(** Fills [pred_texts] from the transform's predicate table. *)
+
+val of_tables :
+  ?pred_texts:string array ->
+  nsites:int ->
+  npreds:int ->
+  pred_site:int array ->
+  Report.t array ->
+  t
+
+val pred_text : t -> int -> string
+(** The stored description, or ["pred#<id>"] when none was embedded. *)
+
+val site_coverage : t -> float array
+(** §6: "the sum of all predicate counters at a site reveals the relative
+    coverage of that site" — per-site totals of observed-true counts,
+    normalized by the largest site's total (0 when nothing was observed). *)
+
+val nruns : t -> int
+val num_failures : t -> int
+val num_successes : t -> int
+
+val failures : t -> Report.t array
+val successes : t -> Report.t array
+
+val filter_runs : t -> (Report.t -> bool) -> t
+(** Same tables, restricted run set (used by redundancy elimination). *)
+
+val sub : t -> int -> t
+(** [sub t n]: the first [n] runs (used by the runs-needed analysis).
+    @raise Invalid_argument if [n] exceeds the run count. *)
+
+val bug_ids : t -> int list
+(** Sorted distinct ground-truth bug ids appearing in any run. *)
+
+val runs_with_bug : t -> int -> int
+(** Number of failing runs exhibiting the given ground-truth bug. *)
+
+(** {1 Serialization} *)
+
+val to_channel : out_channel -> t -> unit
+val of_channel : in_channel -> t
+
+val save : string -> t -> unit
+val load : string -> t
+
+exception Parse_error of string

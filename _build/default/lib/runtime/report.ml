@@ -1,0 +1,43 @@
+type outcome = Success | Failure
+
+let outcome_to_string = function Success -> "success" | Failure -> "failure"
+let outcome_is_failure = function Failure -> true | Success -> false
+
+type t = {
+  run_id : int;
+  outcome : outcome;
+  observed_sites : int array;
+  true_preds : int array;
+  true_counts : int array;
+  bugs : int array;
+  crash_sig : string option;
+}
+
+let mem_sorted arr x =
+  let lo = ref 0 and hi = ref (Array.length arr - 1) in
+  let found = ref false in
+  while (not !found) && !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let v = arr.(mid) in
+    if v = x then found := true else if v < x then lo := mid + 1 else hi := mid - 1
+  done;
+  !found
+
+let index_sorted arr x =
+  let lo = ref 0 and hi = ref (Array.length arr - 1) in
+  let found = ref (-1) in
+  while !found < 0 && !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let v = arr.(mid) in
+    if v = x then found := mid else if v < x then lo := mid + 1 else hi := mid - 1
+  done;
+  !found
+
+let observed_site t site = mem_sorted t.observed_sites site
+let is_true t pred = mem_sorted t.true_preds pred
+let has_bug t bug = mem_sorted t.bugs bug
+
+let true_count t pred =
+  let i = index_sorted t.true_preds pred in
+  if i < 0 then 0 else t.true_counts.(i)
+let stack_signature stack = String.concat "<" stack

@@ -1,0 +1,47 @@
+(** Feedback reports (§1).
+
+    A feedback report is the record of one monitored run: one bit for the
+    outcome, plus which predicates were {e observed} (their site was reached
+    and sampled) and which were {e observed to be true} at least once.
+    Because all predicates of a site are sampled jointly, observation is
+    recorded per site; truth is recorded per predicate.
+
+    Reports also carry the reproduction's ground-truth channels: the
+    [__bug(n)] occurrences (known only in controlled experiments, used for
+    Table 3's per-bug columns) and the crash stack signature (used for the
+    stack-trace study). *)
+
+type outcome = Success | Failure
+
+val outcome_to_string : outcome -> string
+val outcome_is_failure : outcome -> bool
+
+type t = {
+  run_id : int;
+  outcome : outcome;
+  observed_sites : int array;  (** sorted, distinct site ids *)
+  true_preds : int array;  (** sorted, distinct predicate ids *)
+  true_counts : int array;
+      (** parallel to [true_preds]: how many sampled observations found the
+          predicate true (the paper's footnote 2 — the analysis itself only
+          uses "at least once", but the counts carry the §6 coverage
+          information) *)
+  bugs : int array;  (** ground-truth bug ids triggered in this run *)
+  crash_sig : string option;  (** call-stack signature at failure, if any *)
+}
+
+val observed_site : t -> int -> bool
+(** Binary search in [observed_sites]. *)
+
+val is_true : t -> int -> bool
+(** [is_true r p]: was predicate [p] observed to be true in run [r]
+    (the paper's R(P) = 1)?  Binary search in [true_preds]. *)
+
+val has_bug : t -> int -> bool
+
+val true_count : t -> int -> int
+(** Times the predicate was observed true in this run (0 when never). *)
+
+val stack_signature : string list -> string
+(** Canonical signature of a crash stack (innermost first), e.g.
+    ["memcpy<save<main"]. *)

@@ -1,0 +1,1 @@
+lib/util/prng.ml: Array Fun Int64 List

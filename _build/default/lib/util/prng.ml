@@ -1,0 +1,132 @@
+(* xoshiro256** with splitmix64 seeding.  Reference: Blackman & Vigna,
+   "Scrambled linear pseudorandom number generators", 2018. *)
+
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+let splitmix64_next state =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let create seed =
+  let state = ref (Int64.of_int seed) in
+  let s0 = splitmix64_next state in
+  let s1 = splitmix64_next state in
+  let s2 = splitmix64_next state in
+  let s3 = splitmix64_next state in
+  { s0; s1; s2; s3 }
+
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
+let rotl x k =
+  Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let int64 t =
+  let result = Int64.mul (rotl (Int64.mul t.s1 5L) 7) 9L in
+  let tmp = Int64.shift_left t.s1 17 in
+  t.s2 <- Int64.logxor t.s2 t.s0;
+  t.s3 <- Int64.logxor t.s3 t.s1;
+  t.s1 <- Int64.logxor t.s1 t.s2;
+  t.s0 <- Int64.logxor t.s0 t.s3;
+  t.s2 <- Int64.logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t =
+  let state = ref (int64 t) in
+  let s0 = splitmix64_next state in
+  let s1 = splitmix64_next state in
+  let s2 = splitmix64_next state in
+  let s3 = splitmix64_next state in
+  { s0; s1; s2; s3 }
+
+let bits30 t = Int64.to_int (Int64.shift_right_logical (int64 t) 34)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  if bound <= 1 lsl 30 then begin
+    (* Rejection sampling to avoid modulo bias. *)
+    let mask = ref 1 in
+    while !mask < bound do
+      mask := !mask lsl 1
+    done;
+    let mask = !mask - 1 in
+    let rec draw () =
+      let v = bits30 t land mask in
+      if v < bound then v else draw ()
+    in
+    draw ()
+  end
+  else
+    (* Large bounds: use 62 random bits. *)
+    let rec draw () =
+      let v = Int64.to_int (Int64.shift_right_logical (int64 t) 2) in
+      let v = v mod bound in
+      if v >= 0 then v else draw ()
+    in
+    draw ()
+
+let int_in t lo hi =
+  if hi < lo then invalid_arg "Prng.int_in: empty range";
+  lo + int t (hi - lo + 1)
+
+let unit_float t =
+  (* 53 uniform bits into [0,1). *)
+  let v = Int64.to_int (Int64.shift_right_logical (int64 t) 11) in
+  float_of_int v *. 0x1.0p-53
+
+let float t bound = unit_float t *. bound
+
+let bool t = Int64.logand (int64 t) 1L = 1L
+
+let bernoulli t p =
+  if p <= 0. then false else if p >= 1. then true else unit_float t < p
+
+let geometric t p =
+  if p <= 0. || p > 1. then invalid_arg "Prng.geometric: p must be in (0,1]";
+  if p >= 1. then 1
+  else
+    (* Inverse transform: ceil(ln U / ln (1-p)) over U in (0,1). *)
+    let u = 1. -. unit_float t in
+    let n = int_of_float (ceil (log u /. log (1. -. p))) in
+    if n < 1 then 1 else n
+
+let gaussian t =
+  let rec draw () =
+    let u = (2. *. unit_float t) -. 1. in
+    let v = (2. *. unit_float t) -. 1. in
+    let s = (u *. u) +. (v *. v) in
+    if s >= 1. || s = 0. then draw ()
+    else u *. sqrt (-2. *. log s /. s)
+  in
+  draw ()
+
+let choice t arr =
+  if Array.length arr = 0 then invalid_arg "Prng.choice: empty array";
+  arr.(int t (Array.length arr))
+
+let choice_list t l =
+  match l with
+  | [] -> invalid_arg "Prng.choice_list: empty list"
+  | _ -> List.nth l (int t (List.length l))
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let permutation t n =
+  let arr = Array.init n Fun.id in
+  shuffle t arr;
+  arr
+
+let sample_without_replacement t k n =
+  if k > n then invalid_arg "Prng.sample_without_replacement: k > n";
+  let arr = permutation t n in
+  Array.sub arr 0 k

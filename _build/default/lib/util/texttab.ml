@@ -1,0 +1,116 @@
+type align = Left | Right | Centre
+
+type row = Cells of string list | Rule
+
+type t = {
+  title : string option;
+  headers : string list;
+  aligns : align array;
+  mutable rows : row list; (* reversed *)
+}
+
+let create ?title columns =
+  let headers = List.map fst columns in
+  let aligns = Array.of_list (List.map snd columns) in
+  { title; headers; aligns; rows = [] }
+
+let ncols t = List.length t.headers
+
+let add_row t cells =
+  let n = ncols t in
+  let len = List.length cells in
+  if len > n then invalid_arg "Texttab.add_row: too many cells";
+  let cells = if len < n then cells @ List.init (n - len) (fun _ -> "") else cells in
+  t.rows <- Cells cells :: t.rows
+
+let add_rule t = t.rows <- Rule :: t.rows
+
+(* Display width: count UTF-8 codepoints, assuming every codepoint we emit
+   renders one column wide (true for ASCII and the block/shade characters
+   the thermometer uses). *)
+let display_width s =
+  let n = String.length s in
+  let rec go i acc =
+    if i >= n then acc
+    else begin
+      let c = Char.code s.[i] in
+      let step =
+        if c < 0x80 then 1
+        else if c < 0xE0 then 2
+        else if c < 0xF0 then 3
+        else 4
+      in
+      go (i + step) (acc + 1)
+    end
+  in
+  go 0 0
+
+let pad align width s =
+  let w = display_width s in
+  if w >= width then s
+  else begin
+    let slack = width - w in
+    match align with
+    | Left -> s ^ String.make slack ' '
+    | Right -> String.make slack ' ' ^ s
+    | Centre ->
+        let l = slack / 2 in
+        String.make l ' ' ^ s ^ String.make (slack - l) ' '
+  end
+
+let render t =
+  let n = ncols t in
+  let widths = Array.make n 0 in
+  let consider cells =
+    List.iteri
+      (fun i c -> if i < n then widths.(i) <- max widths.(i) (display_width c))
+      cells
+  in
+  consider t.headers;
+  List.iter (function Cells cs -> consider cs | Rule -> ()) t.rows;
+  let buf = Buffer.create 1024 in
+  let rule ch =
+    Buffer.add_char buf '+';
+    Array.iter
+      (fun w ->
+        Buffer.add_string buf (String.make (w + 2) ch);
+        Buffer.add_char buf '+')
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  let emit_cells cells =
+    Buffer.add_char buf '|';
+    List.iteri
+      (fun i c ->
+        if i < n then begin
+          Buffer.add_char buf ' ';
+          Buffer.add_string buf (pad t.aligns.(i) widths.(i) c);
+          Buffer.add_string buf " |"
+        end)
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  let total_width = Array.fold_left (fun acc w -> acc + w + 3) 1 widths in
+  (match t.title with
+  | None -> ()
+  | Some title ->
+      let w = display_width title in
+      let slack = if total_width > w then (total_width - w) / 2 else 0 in
+      Buffer.add_string buf (String.make slack ' ');
+      Buffer.add_string buf title;
+      Buffer.add_char buf '\n');
+  rule '-';
+  emit_cells t.headers;
+  rule '=';
+  List.iter
+    (function Cells cs -> emit_cells cs | Rule -> rule '-')
+    (List.rev t.rows);
+  rule '-';
+  Buffer.contents buf
+
+let pp fmt t = Format.pp_print_string fmt (render t)
+
+let render_kv ?title pairs =
+  let t = create ?title [ ("key", Left); ("value", Left) ] in
+  List.iter (fun (k, v) -> add_row t [ k; v ]) pairs;
+  render t

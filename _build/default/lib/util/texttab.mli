@@ -1,0 +1,30 @@
+(** Plain-text table rendering for experiment reports.
+
+    The paper's tables mix thermometers, numeric columns, and predicate
+    descriptions; every experiment driver renders through this module so the
+    CLI, tests, and benchmark harness all print consistently. *)
+
+type align = Left | Right | Centre
+
+type t
+(** A table under construction. *)
+
+val create : ?title:string -> (string * align) list -> t
+(** [create ~title columns] starts a table with the given header cells and
+    per-column alignment. *)
+
+val add_row : t -> string list -> unit
+(** Appends a data row.  Rows shorter than the header are padded with empty
+    cells; longer rows raise [Invalid_argument]. *)
+
+val add_rule : t -> unit
+(** Appends a horizontal separator at this position. *)
+
+val render : t -> string
+(** Renders with box-drawing rules, column padding, and the title (if any)
+    centred above. *)
+
+val pp : Format.formatter -> t -> unit
+
+val render_kv : ?title:string -> (string * string) list -> string
+(** Convenience: a two-column key/value table. *)

@@ -1,0 +1,67 @@
+(* Binary min-heap of at most k elements: the root is the worst retained
+   element, evicted when something better arrives. *)
+
+type 'a t = {
+  k : int;
+  compare : 'a -> 'a -> int;
+  mutable heap : 'a array;  (* [|0..size-1|] valid *)
+  mutable size : int;
+}
+
+let create ~k ~compare =
+  if k < 0 then invalid_arg "Topk.create: k must be non-negative";
+  { k; compare; heap = [||]; size = 0 }
+
+let swap t i j =
+  let tmp = t.heap.(i) in
+  t.heap.(i) <- t.heap.(j);
+  t.heap.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if t.compare t.heap.(i) t.heap.(parent) < 0 then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 in
+  let r = l + 1 in
+  let smallest = ref i in
+  if l < t.size && t.compare t.heap.(l) t.heap.(!smallest) < 0 then smallest := l;
+  if r < t.size && t.compare t.heap.(r) t.heap.(!smallest) < 0 then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let add t x =
+  if t.k = 0 then ()
+  else if t.size < t.k then begin
+    if t.size >= Array.length t.heap then begin
+      let bigger = Array.make (max 4 (min t.k (2 * (t.size + 1)))) x in
+      Array.blit t.heap 0 bigger 0 t.size;
+      t.heap <- bigger
+    end;
+    t.heap.(t.size) <- x;
+    t.size <- t.size + 1;
+    sift_up t (t.size - 1)
+  end
+  else if t.compare x t.heap.(0) > 0 then begin
+    t.heap.(0) <- x;
+    sift_down t 0
+  end
+
+let count t = t.size
+
+let to_sorted_list t =
+  let items = Array.sub t.heap 0 t.size in
+  Array.sort (fun a b -> t.compare b a) items;
+  Array.to_list items
+
+let top ~k ~compare arr =
+  let t = create ~k ~compare in
+  Array.iter (add t) arr;
+  to_sorted_list t

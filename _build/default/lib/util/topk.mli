@@ -1,0 +1,25 @@
+(** Bounded top-k selection without sorting the whole input.
+
+    Keeps the k best elements seen so far in a small binary min-heap keyed
+    by the caller's comparison; [O(n log k)] overall, versus [O(n log n)]
+    for sort-then-take.  Used by the ranking layer, where n is the full
+    predicate population and k is a table's row count. *)
+
+type 'a t
+
+val create : k:int -> compare:('a -> 'a -> int) -> 'a t
+(** [create ~k ~compare] keeps the [k] largest elements under [compare]
+    (i.e. the elements that sort *last* ascending).  @raise
+    Invalid_argument if [k < 0]. *)
+
+val add : 'a t -> 'a -> unit
+
+val to_sorted_list : 'a t -> 'a list
+(** The retained elements, best first.  Does not clear the selector. *)
+
+val count : 'a t -> int
+(** Number of retained elements (at most k). *)
+
+val top : k:int -> compare:('a -> 'a -> int) -> 'a array -> 'a list
+(** One-shot convenience over an array; best first.  [compare] ascending —
+    the result is the k greatest. *)

@@ -1,0 +1,1 @@
+test/test_corpus.ml: Alcotest Array Corpus Interp List Printf Sbi_corpus Sbi_lang String Study

@@ -1,0 +1,1 @@
+test/test_gen.ml: Array Buffer Check Interp Observe Parser Pretty Printf QCheck2 QCheck_alcotest Sampler Sbi_instrument Sbi_lang Sbi_runtime Sbi_util String Transform Value

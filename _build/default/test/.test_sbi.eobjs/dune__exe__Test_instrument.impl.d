@@ -1,0 +1,1 @@
+test/test_instrument.ml: Adaptive Alcotest Array Check Hashtbl Interp List Observe Printf Sampler Sbi_instrument Sbi_lang Site Transform

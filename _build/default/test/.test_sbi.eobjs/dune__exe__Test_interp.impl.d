@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Check Fun Interp List Sbi_lang Value

@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Array Ast Check Hashtbl Lexer List Loc Option Parser Pretty Rast Sbi_lang Token

@@ -1,0 +1,1 @@
+test/test_logreg.ml: Alcotest Array Dataset Fun List Logreg Report Sbi_logreg Sbi_runtime

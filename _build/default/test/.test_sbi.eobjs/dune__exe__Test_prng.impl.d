@@ -1,0 +1,1 @@
+test/test_prng.ml: Alcotest Array Fun Printf Prng QCheck2 QCheck_alcotest Sbi_util

@@ -1,0 +1,1 @@
+test/test_query.ml: Alcotest Check List Query Sbi_corpus Sbi_lang

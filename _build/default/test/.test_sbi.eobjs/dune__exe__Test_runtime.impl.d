@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Check Collect Dataset Filename Interp List QCheck2 QCheck_alcotest Report Sampler Sbi_instrument Sbi_lang Sbi_runtime Site String Sys Transform

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Printf Prng QCheck2 QCheck_alcotest Sbi_util Stats

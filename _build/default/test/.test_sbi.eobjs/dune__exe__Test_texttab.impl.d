@@ -1,0 +1,1 @@
+test/test_texttab.ml: Alcotest Char List Sbi_util String Texttab

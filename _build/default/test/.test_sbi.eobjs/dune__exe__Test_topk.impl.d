@@ -1,0 +1,1 @@
+test/test_topk.ml: Alcotest Array List QCheck2 QCheck_alcotest Sbi_util Topk

@@ -1,0 +1,1 @@
+test/test_vm.ml: Alcotest Array Check Interp List Printf QCheck2 QCheck_alcotest Sbi_corpus Sbi_instrument Sbi_lang String Test_gen Value Vm

@@ -1,0 +1,325 @@
+(* Corpus tests: every subject program parses/checks, every seeded bug is
+   reachable by a crafted input, fixed versions survive the same inputs,
+   and the output oracle catches the non-crashing bug. *)
+open Sbi_lang
+open Sbi_corpus
+
+let contains hay needle =
+  let hl = String.length hay and nl = String.length needle in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let run_study ?(nondet_seed = 1) (study : Study.t) args =
+  Interp.run (Study.checked study)
+    { Interp.default_config with Interp.args; nondet_seed }
+
+let run_fixed ?(nondet_seed = 1) (study : Study.t) args =
+  match Study.checked_fixed study with
+  | Some prog -> Interp.run prog { Interp.default_config with Interp.args; nondet_seed }
+  | None -> Alcotest.fail "study has no fixed version"
+
+let crashed r = match r.Interp.outcome with Interp.Crashed _ -> true | _ -> false
+let has_bug r b = List.mem b r.Interp.bugs_triggered
+
+let test_all_programs_check () =
+  List.iter
+    (fun (st : Study.t) ->
+      ignore (Study.checked st);
+      ignore (Study.checked_fixed st);
+      Alcotest.(check bool)
+        (st.Study.name ^ " has nonzero LoC")
+        true
+        (Study.loc_count st > 40))
+    Corpus.all
+
+let test_generators_deterministic () =
+  List.iter
+    (fun (st : Study.t) ->
+      let a = st.Study.gen_input ~seed:7 ~run:3 in
+      let b = st.Study.gen_input ~seed:7 ~run:3 in
+      let c = st.Study.gen_input ~seed:8 ~run:3 in
+      Alcotest.(check (array string)) (st.Study.name ^ " deterministic") a b;
+      Alcotest.(check bool) (st.Study.name ^ " seed-sensitive") true (a <> c || st.Study.name = "");
+      Alcotest.(check bool) (st.Study.name ^ " nonempty") true (Array.length a > 0))
+    Corpus.all
+
+let test_generated_runs_terminate () =
+  List.iter
+    (fun (st : Study.t) ->
+      for run = 0 to 30 do
+        let args = st.Study.gen_input ~seed:11 ~run in
+        let r = run_study ~nondet_seed:run st args in
+        match r.Interp.outcome with
+        | Interp.Crashed { Interp.kind = Interp.Out_of_fuel; _ } ->
+            Alcotest.failf "%s run %d exhausted fuel" st.Study.name run
+        | _ -> ()
+      done)
+    Corpus.all
+
+(* --- mossim bugs --- *)
+
+let file_of n = String.concat " " (List.init n (fun i -> [| "alpha"; "beta"; "gamma"; "delta"; "epsilon" |].(i mod 5)))
+
+let test_mossim_bug2_empty_file () =
+  let r = run_study Corpus.mossim [| "-v"; "" |] in
+  Alcotest.(check bool) "bug 2 recorded" true (has_bug r 2);
+  Alcotest.(check bool) "crashed" true (crashed r);
+  (* fixed version survives *)
+  Alcotest.(check bool) "fixed survives" false (crashed (run_fixed Corpus.mossim [| "-v"; "" |]))
+
+let test_mossim_bug3_bucket_walk () =
+  let args = [| "-b"; file_of 20 |] in
+  let r = run_study Corpus.mossim args in
+  Alcotest.(check bool) "bug 3 recorded" true (has_bug r 3);
+  Alcotest.(check bool) "crashed in bucket_lookup" true
+    (match r.Interp.outcome with
+    | Interp.Crashed c -> c.Interp.crash_fn = "bucket_lookup"
+    | _ -> false);
+  let f = run_fixed Corpus.mossim args in
+  Alcotest.(check bool) "fixed survives" false (crashed f)
+
+let test_mossim_bug5_language () =
+  let args = Array.init 11 (fun i -> file_of (10 + i)) in
+  let r = run_study Corpus.mossim args in
+  Alcotest.(check bool) "bug 5 recorded" true (has_bug r 5);
+  Alcotest.(check bool) "crashed in report" true
+    (match r.Interp.outcome with
+    | Interp.Crashed c -> c.Interp.crash_fn = "report"
+    | _ -> false);
+  Alcotest.(check bool) "fixed survives" false (crashed (run_fixed Corpus.mossim args))
+
+let test_mossim_bug6_base_lookup () =
+  let args = [| "-Bnosuch"; file_of 12 |] in
+  let r = run_study Corpus.mossim args in
+  Alcotest.(check bool) "bug 6 recorded" true (has_bug r 6);
+  Alcotest.(check bool) "crashed" true (crashed r);
+  Alcotest.(check bool) "fixed survives" false (crashed (run_fixed Corpus.mossim args))
+
+let test_mossim_bug4_oom () =
+  (* 9 identical long files: enough fingerprints to exhaust any budget in
+     [120,200) without reaching the >= 10 file threshold of bug 5 *)
+  let args = Array.make 9 (file_of 100) in
+  let r = run_study Corpus.mossim args in
+  Alcotest.(check bool) "bug 4 recorded" true (has_bug r 4);
+  Alcotest.(check bool) "no bug 5" false (has_bug r 5);
+  Alcotest.(check bool) "crashed in insert_fp" true
+    (match r.Interp.outcome with
+    | Interp.Crashed c -> c.Interp.crash_fn = "insert_fp"
+    | _ -> false);
+  Alcotest.(check bool) "fixed survives" false (crashed (run_fixed Corpus.mossim args))
+
+let test_mossim_bug7_harmless () =
+  let args = [| file_of 45 |] in
+  let r = run_study Corpus.mossim args in
+  Alcotest.(check bool) "bug 7 recorded" true (has_bug r 7);
+  Alcotest.(check bool) "no crash" false (crashed r)
+
+let test_mossim_bug1_overrun () =
+  (* 8 near-identical files: 28 pairs all sharing fingerprints -> more than
+     12 passages, overrun marked; crash is nondeterministic (1 in 4), so
+     scan seeds for both outcomes *)
+  let args = Array.make 8 (file_of 30) in
+  let outcomes = List.init 24 (fun s -> run_study ~nondet_seed:s Corpus.mossim args) in
+  let with_bug = List.filter (fun r -> has_bug r 1) outcomes in
+  Alcotest.(check bool) "bug 1 marked under every schedule" true
+    (List.length with_bug = 24);
+  let crashes = List.filter crashed with_bug in
+  Alcotest.(check bool) "crashes under some schedule" true (crashes <> []);
+  Alcotest.(check bool) "survives under some schedule (nondeterministic)" true
+    (List.length crashes < List.length with_bug);
+  Alcotest.(check bool) "fixed never crashes" false
+    (crashed (run_fixed ~nondet_seed:(List.length crashes) Corpus.mossim args))
+
+let test_mossim_bug8_unreachable () =
+  (* the generator never emits -z; even 200 generated inputs show no bug 8 *)
+  for run = 0 to 199 do
+    let args = Corpus.mossim.Study.gen_input ~seed:3 ~run in
+    Alcotest.(check bool) "no -z flag generated" false (Array.mem "-z" args)
+  done;
+  (* but the path exists and is reachable by a crafted input *)
+  let r = run_study Corpus.mossim [| "-z"; file_of 5 |] in
+  Alcotest.(check bool) "bug 8 reachable by hand" true (has_bug r 8)
+
+let test_mossim_bug9_oracle () =
+  let args = [| "-c"; file_of 20 ^ " //c //c"; file_of 20 ^ " //c" |] in
+  let r = run_study Corpus.mossim args in
+  Alcotest.(check bool) "bug 9 recorded" true (has_bug r 9);
+  Alcotest.(check bool) "no crash" false (crashed r);
+  let f = run_fixed Corpus.mossim args in
+  Alcotest.(check bool) "outputs differ (oracle fires)" false
+    (String.equal r.Interp.output f.Interp.output);
+  match Corpus.make_oracle Corpus.mossim ~nondet_salt:0 with
+  | Some oracle -> Alcotest.(check bool) "oracle flags failure" true (oracle ~run_index:1 ~args r)
+  | None -> Alcotest.fail "mossim must have an oracle"
+
+let test_mossim_identical_output_when_bug_free () =
+  let args = [| file_of 10; file_of 15 |] in
+  let r = run_study Corpus.mossim args in
+  let f = run_fixed Corpus.mossim args in
+  Alcotest.(check bool) "both finish" true ((not (crashed r)) && not (crashed f));
+  Alcotest.(check string) "identical output" f.Interp.output r.Interp.output
+
+(* --- ccryptim --- *)
+
+let test_ccrypt_bug () =
+  let lines =
+    [| "report.txt"; "notes.txt"; "secret.bin"; "todo.md"; "draft.tex"; "a.out"; "main.c";
+       "log.1"; "log.2"; "core"; "data.csv"; "plan.org"; "readme"; "inbox.eml" |]
+  in
+  let args = Array.append [| "-e"; "key"; "" |] lines in
+  let r = run_study Corpus.ccryptim args in
+  Alcotest.(check bool) "bug recorded" true (has_bug r 1);
+  Alcotest.(check bool) "crashed in get_response" true
+    (match r.Interp.outcome with
+    | Interp.Crashed c -> c.Interp.crash_fn = "get_response"
+    | _ -> false)
+
+let test_ccrypt_enough_responses () =
+  let args = [| "-e"; "key"; "y y y y y y y y y y y y y y"; "report.txt"; "notes.txt" |] in
+  let r = run_study Corpus.ccryptim args in
+  Alcotest.(check bool) "no bug" false (has_bug r 1);
+  Alcotest.(check bool) "no crash" false (crashed r)
+
+let test_ccrypt_decrypt_inverts () =
+  (* decrypting an encrypted line with the same key restores it *)
+  let enc = run_study Corpus.ccryptim [| "-e"; "kq"; "y y y y"; "draft.tex" |] in
+  Alcotest.(check bool) "encryption succeeded" false (crashed enc);
+  match String.split_on_char '\n' enc.Interp.output with
+  | first :: _ when String.length first > 0 && not (String.equal first "draft.tex") -> ()
+  | _ -> Alcotest.fail "expected transformed output line"
+
+(* --- bcim --- *)
+
+let test_bc_bug () =
+  let args = Array.init 14 (fun i -> Printf.sprintf "vx%d=%d" i i) in
+  let r = run_study Corpus.bcim args in
+  Alcotest.(check bool) "bug recorded" true (has_bug r 1);
+  Alcotest.(check bool) "crash long after, in sweep" true
+    (match r.Interp.outcome with
+    | Interp.Crashed c -> c.Interp.crash_fn = "sweep"
+    | _ -> false)
+
+let test_bc_under_limit () =
+  let args = Array.init 12 (fun i -> Printf.sprintf "vx%d=%d" i i) in
+  let r = run_study Corpus.bcim args in
+  Alcotest.(check bool) "no bug at the table limit" false (has_bug r 1);
+  Alcotest.(check bool) "no crash" false (crashed r)
+
+let test_bc_semantics () =
+  let r = run_study Corpus.bcim [| "vxa=41"; "pxa"; "a3+7"; "a3+5" |] in
+  Alcotest.(check bool) "no crash" false (crashed r);
+  Alcotest.(check bool) "prints assignment" true
+    (contains r.Interp.output "xa = 41");
+  Alcotest.(check bool) "array accumulates" true
+    (contains r.Interp.output "expr 12")
+
+(* --- exifim --- *)
+
+let test_exif_bug1 () =
+  let r = run_study Corpus.exifim [| "idx:7" |] in
+  Alcotest.(check bool) "bug 1 recorded" true (has_bug r 1);
+  Alcotest.(check bool) "crashed in scan_back" true
+    (match r.Interp.outcome with
+    | Interp.Crashed c -> c.Interp.crash_fn = "scan_back"
+    | _ -> false)
+
+let test_exif_bug1_needs_missing_tag () =
+  let r = run_study Corpus.exifim [| "std:10"; "idx:1" |] in
+  Alcotest.(check bool) "present tag: no bug" false (has_bug r 1);
+  Alcotest.(check bool) "no crash" false (crashed r)
+
+let test_exif_bug2 () =
+  let r = run_study Corpus.exifim [| "com:2000" |] in
+  Alcotest.(check bool) "bug 2 recorded" true (has_bug r 2);
+  Alcotest.(check bool) "crashed in load_comment" true
+    (match r.Interp.outcome with
+    | Interp.Crashed c -> c.Interp.crash_fn = "load_comment"
+    | _ -> false)
+
+let test_exif_bug3_delayed_null () =
+  let r = run_study Corpus.exifim [| "canon:1800:200" |] in
+  Alcotest.(check bool) "bug 3 recorded" true (has_bug r 3);
+  (match r.Interp.outcome with
+  | Interp.Crashed c ->
+      Alcotest.(check string) "crash far from cause, in canon_save" "canon_save"
+        c.Interp.crash_fn;
+      Alcotest.(check bool) "null dereference" true (c.Interp.kind = Interp.Null_deref)
+  | _ -> Alcotest.fail "expected crash");
+  (* in-range maker note is fine *)
+  let ok = run_study Corpus.exifim [| "canon:100:200" |] in
+  Alcotest.(check bool) "valid canon tag survives" false (crashed ok)
+
+(* --- rhythmim --- *)
+
+let test_rhythm_race_nondeterminism () =
+  let args = [| "timer"; "stop"; "play" |] in
+  let outcomes = List.init 30 (fun s -> run_study ~nondet_seed:s Corpus.rhythmim args) in
+  let crashes = List.filter crashed outcomes in
+  let survivals = List.filter (fun r -> not (crashed r)) outcomes in
+  Alcotest.(check bool) "crashes under some schedule" true (crashes <> []);
+  Alcotest.(check bool) "survives under some schedule" true (survivals <> []);
+  List.iter
+    (fun r ->
+      if crashed r then
+        Alcotest.(check bool) "crashing schedules marked bug 1" true (has_bug r 1))
+    outcomes
+
+let test_rhythm_bug2 () =
+  (* refresh queues an event; delpl disposes the view; under schedules where
+     the event is still pending, the later dispatch crashes *)
+  let args = [| "newpl"; "refresh"; "delpl"; "play" |] in
+  let outcomes = List.init 30 (fun s -> run_study ~nondet_seed:s Corpus.rhythmim args) in
+  let crashes = List.filter crashed outcomes in
+  Alcotest.(check bool) "some schedule crashes via bug 2" true
+    (List.exists (fun r -> has_bug r 2) crashes)
+
+let test_rhythm_stacks_uninformative () =
+  (* both bugs crash inside dispatch: same crash function *)
+  let crash_fn args =
+    let outcomes = List.init 40 (fun s -> run_study ~nondet_seed:s Corpus.rhythmim args) in
+    List.filter_map
+      (fun r ->
+        match r.Interp.outcome with Interp.Crashed c -> Some c.Interp.crash_fn | _ -> None)
+      outcomes
+  in
+  let fns1 = crash_fn [| "timer"; "stop" |] in
+  let fns2 = crash_fn [| "newpl"; "refresh"; "delpl" |] in
+  Alcotest.(check bool) "both observed" true (fns1 <> [] && fns2 <> []);
+  List.iter (fun fn -> Alcotest.(check string) "bug1 crash fn" "dispatch" fn) fns1;
+  List.iter (fun fn -> Alcotest.(check string) "bug2 crash fn" "dispatch" fn) fns2
+
+let test_rhythm_clean_sequence () =
+  let r = run_study Corpus.rhythmim [| "play"; "vol+"; "vol+"; "seek"; "vol-" |] in
+  Alcotest.(check bool) "no crash" false (crashed r);
+  Alcotest.(check (list int)) "no bugs" [] r.Interp.bugs_triggered
+
+let suite =
+  [
+    Alcotest.test_case "all programs check" `Quick test_all_programs_check;
+    Alcotest.test_case "generators deterministic" `Quick test_generators_deterministic;
+    Alcotest.test_case "generated runs terminate" `Slow test_generated_runs_terminate;
+    Alcotest.test_case "mossim bug 2 (empty file)" `Quick test_mossim_bug2_empty_file;
+    Alcotest.test_case "mossim bug 3 (bucket walk)" `Quick test_mossim_bug3_bucket_walk;
+    Alcotest.test_case "mossim bug 5 (language invariant)" `Quick test_mossim_bug5_language;
+    Alcotest.test_case "mossim bug 6 (unchecked lookup)" `Quick test_mossim_bug6_base_lookup;
+    Alcotest.test_case "mossim bug 4 (OOM)" `Quick test_mossim_bug4_oom;
+    Alcotest.test_case "mossim bug 7 (harmless overrun)" `Quick test_mossim_bug7_harmless;
+    Alcotest.test_case "mossim bug 1 (nondeterministic overrun)" `Quick test_mossim_bug1_overrun;
+    Alcotest.test_case "mossim bug 8 (never generated)" `Quick test_mossim_bug8_unreachable;
+    Alcotest.test_case "mossim bug 9 (output oracle)" `Quick test_mossim_bug9_oracle;
+    Alcotest.test_case "mossim bug-free runs match fixed" `Quick test_mossim_identical_output_when_bug_free;
+    Alcotest.test_case "ccrypt EOF-at-prompt bug" `Quick test_ccrypt_bug;
+    Alcotest.test_case "ccrypt with enough responses" `Quick test_ccrypt_enough_responses;
+    Alcotest.test_case "ccrypt transforms output" `Quick test_ccrypt_decrypt_inverts;
+    Alcotest.test_case "bc overrun crashes in sweep" `Quick test_bc_bug;
+    Alcotest.test_case "bc at the limit is safe" `Quick test_bc_under_limit;
+    Alcotest.test_case "bc calculator semantics" `Quick test_bc_semantics;
+    Alcotest.test_case "exif bug 1 (scan underflow)" `Quick test_exif_bug1;
+    Alcotest.test_case "exif bug 1 needs missing tag" `Quick test_exif_bug1_needs_missing_tag;
+    Alcotest.test_case "exif bug 2 (oversized comment)" `Quick test_exif_bug2;
+    Alcotest.test_case "exif bug 3 (delayed null)" `Quick test_exif_bug3_delayed_null;
+    Alcotest.test_case "rhythm race nondeterminism" `Quick test_rhythm_race_nondeterminism;
+    Alcotest.test_case "rhythm bug 2 (dispose vs pending)" `Quick test_rhythm_bug2;
+    Alcotest.test_case "rhythm stacks uninformative" `Quick test_rhythm_stacks_uninformative;
+    Alcotest.test_case "rhythm clean sequence" `Quick test_rhythm_clean_sequence;
+  ]

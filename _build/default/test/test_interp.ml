@@ -1,0 +1,260 @@
+(* Interpreter tests: semantics, every crash kind, stacks, fuel, hooks,
+   nondeterminism, and ground-truth channels. *)
+open Sbi_lang
+
+let run ?(args = [||]) ?(nondet_seed = 0) ?(fuel = 1_000_000) src =
+  Interp.run_string
+    ~config:{ Interp.default_config with Interp.args; nondet_seed; fuel }
+    src
+
+let int_of_result r =
+  match r.Interp.outcome with
+  | Interp.Finished (Value.VInt n) -> n
+  | Interp.Finished v -> Alcotest.failf "finished with non-int %s" (Value.type_name v)
+  | Interp.Crashed c -> Alcotest.failf "crashed: %s" (Interp.crash_kind_to_string c.Interp.kind)
+
+let finished_int src = int_of_result (run src)
+
+let crash_kind r =
+  match r.Interp.outcome with
+  | Interp.Crashed c -> c.Interp.kind
+  | Interp.Finished _ -> Alcotest.fail "expected a crash"
+
+let test_arithmetic () =
+  Alcotest.(check int) "arith" 17 (finished_int "int main() { return 2 + 3 * 5; }");
+  Alcotest.(check int) "division" 3 (finished_int "int main() { return 10 / 3; }");
+  Alcotest.(check int) "modulo" 1 (finished_int "int main() { return 10 % 3; }");
+  Alcotest.(check int) "negation" (-4) (finished_int "int main() { return -(2 + 2); }");
+  Alcotest.(check int) "comparison chain" 1
+    (finished_int "int main() { if (1 < 2 && 2 <= 2 && 3 > 2 && 3 >= 3 && 1 == 1 && 1 != 2) { return 1; } return 0; }")
+
+let test_string_ops () =
+  let r = run {|int main() { println("a" + "b" + to_str(12)); return strlen("hello"); }|} in
+  Alcotest.(check string) "output" "ab12\n" r.Interp.output;
+  Alcotest.(check int) "strlen" 5 (finished_int {|int main() { return strlen("hello"); }|});
+  Alcotest.(check int) "strcmp" (-1) (finished_int {|int main() { return strcmp("a", "b"); }|});
+  Alcotest.(check int) "ord" 97 (finished_int {|int main() { return ord("abc", 0); }|});
+  Alcotest.(check int) "substr+parse" 42
+    (finished_int {|int main() { return parse_int(substr("xx42yy", 2, 2)); }|})
+
+let test_recursion () =
+  Alcotest.(check int) "fib" 55
+    (finished_int
+       "int fib(int n) { if (n < 2) { return n; } return fib(n-1) + fib(n-2); } int main() { return fib(10); }")
+
+let test_loops () =
+  Alcotest.(check int) "while sum" 45
+    (finished_int
+       "int main() { int s = 0; int i = 0; while (i < 10) { s = s + i; i = i + 1; } return s; }");
+  Alcotest.(check int) "for with break/continue" 9
+    (finished_int
+       "int main() { int s = 0; for (int i = 0; i < 10; i = i + 1) { if (i % 2 == 0) { continue; } if (i > 6) { break; } s = s + i; } return s; }")
+
+let test_structs_and_arrays () =
+  Alcotest.(check int) "linked list sum" 6
+    (finished_int
+       {|struct N { int v; N next; }
+         int main() {
+           N a = new N; a.v = 1;
+           N b = new N; b.v = 2; a.next = b;
+           N c = new N; c.v = 3; b.next = c;
+           int s = 0;
+           N cur = a;
+           while (cur != null) { s = s + cur.v; cur = cur.next; }
+           return s;
+         }|});
+  Alcotest.(check int) "2d arrays" 9
+    (finished_int
+       {|int main() {
+           int[][] grid = new int[][3];
+           for (int i = 0; i < 3; i = i + 1) { grid[i] = new int[3]; }
+           grid[1][2] = 9;
+           return grid[1][2];
+         }|})
+
+let test_reference_semantics () =
+  Alcotest.(check int) "array aliasing" 5
+    (finished_int "int main() { int[] a = new int[1]; int[] b = a; b[0] = 5; return a[0]; }");
+  Alcotest.(check int) "reference equality" 1
+    (finished_int
+       "int main() { int[] a = new int[1]; int[] b = a; int[] c = new int[1]; if (a == b && a != c) { return 1; } return 0; }")
+
+let test_short_circuit () =
+  (* the right operand would crash; short-circuiting must skip it *)
+  Alcotest.(check int) "&& short-circuits" 1
+    (finished_int
+       "int main() { int[] a = null; if (false && a[0] == 1) { return 0; } return 1; }");
+  Alcotest.(check int) "|| short-circuits" 1
+    (finished_int
+       "int main() { int[] a = null; if (true || a[0] == 1) { return 1; } return 0; }")
+
+let test_crash_kinds () =
+  (match crash_kind (run "int main() { int[] a = null; return a[0]; }") with
+  | Interp.Null_deref -> ()
+  | k -> Alcotest.failf "expected null deref, got %s" (Interp.crash_kind_to_string k));
+  (match crash_kind (run "int main() { int[] a = new int[2]; return a[5]; }") with
+  | Interp.Out_of_bounds { index = 5; length = 2 } -> ()
+  | k -> Alcotest.failf "expected bounds, got %s" (Interp.crash_kind_to_string k));
+  (match crash_kind (run "int main() { int z = 0; return 1 / z; }") with
+  | Interp.Div_by_zero -> ()
+  | _ -> Alcotest.fail "expected div by zero");
+  (match crash_kind (run "int main() { int z = 0; return 1 % z; }") with
+  | Interp.Div_by_zero -> ()
+  | _ -> Alcotest.fail "expected mod by zero");
+  (match crash_kind (run "int main() { assert(1 == 2); return 0; }") with
+  | Interp.Assert_failed -> ()
+  | _ -> Alcotest.fail "expected assert failure");
+  (match crash_kind (run {|int main() { abort("boom"); return 0; }|}) with
+  | Interp.Aborted "boom" -> ()
+  | _ -> Alcotest.fail "expected abort");
+  (match crash_kind (run "int main() { int[] a = new int[-1]; return 0; }") with
+  | Interp.Negative_array_size (-1) -> ()
+  | _ -> Alcotest.fail "expected negative array size");
+  (match crash_kind (run "int f(int n) { return f(n + 1); } int main() { return f(0); }") with
+  | Interp.Stack_overflow -> ()
+  | _ -> Alcotest.fail "expected stack overflow");
+  (match crash_kind (run ~fuel:1000 "int main() { while (true) { } return 0; }") with
+  | Interp.Out_of_fuel -> ()
+  | _ -> Alcotest.fail "expected fuel exhaustion");
+  (match crash_kind (run {|int main() { string s = substr("abc", 1, 9); return 0; }|}) with
+  | Interp.Substr_range -> ()
+  | _ -> Alcotest.fail "expected substr range");
+  match crash_kind (run "int main() { string s = chr(300); return 0; }") with
+  | Interp.Chr_range 300 -> ()
+  | _ -> Alcotest.fail "expected chr range"
+
+let test_crash_stack () =
+  let r = run "void c() { int[] a = null; a[0] = 1; } void b() { c(); } void a() { b(); } int main() { a(); return 0; }" in
+  match r.Interp.outcome with
+  | Interp.Crashed crash ->
+      Alcotest.(check (list string)) "innermost-first stack" [ "c"; "b"; "a"; "main" ]
+        crash.Interp.stack;
+      Alcotest.(check string) "crash function" "c" crash.Interp.crash_fn
+  | _ -> Alcotest.fail "expected crash"
+
+let test_args_builtins () =
+  let r = run ~args:[| "alpha"; "7" |] "int main() { println(arg(0)); return argc() + arg_int(1); }" in
+  Alcotest.(check string) "arg echo" "alpha\n" r.Interp.output;
+  (match r.Interp.outcome with
+  | Interp.Finished (Value.VInt 9) -> ()
+  | _ -> Alcotest.fail "argc + arg_int");
+  match crash_kind (run ~args:[||] "int main() { println(arg(0)); return 0; }") with
+  | Interp.Out_of_bounds _ -> ()
+  | _ -> Alcotest.fail "arg out of range crashes"
+
+let test_parse_int_builtins () =
+  Alcotest.(check int) "parse_int garbage is 0" 0 (finished_int {|int main() { return parse_int("zzz"); }|});
+  Alcotest.(check int) "is_int" 1
+    (finished_int {|int main() { if (is_int("42") && !is_int("4x")) { return 1; } return 0; }|});
+  Alcotest.(check int) "min max abs" 7
+    (finished_int "int main() { return min(9, 3) + max(1, 2) + abs(-2); }")
+
+let test_hash_deterministic () =
+  let a = finished_int {|int main() { return hash_str("winnow"); }|} in
+  let b = finished_int {|int main() { return hash_str("winnow"); }|} in
+  Alcotest.(check int) "same hash" a b;
+  Alcotest.(check bool) "non-negative" true (a >= 0)
+
+let test_ground_truth_channels () =
+  let r =
+    run
+      {|int main() { __bug(3); __bug(1); __bug(3); __event("open"); __event("close"); return 0; }|}
+  in
+  Alcotest.(check (list int)) "distinct sorted bugs" [ 1; 3 ] r.Interp.bugs_triggered;
+  Alcotest.(check (list string)) "events in order" [ "open"; "close" ] r.Interp.events
+
+let test_nondet_determinism () =
+  let src = "int main() { int s = 0; for (int i = 0; i < 10; i = i + 1) { s = s + nondet(100); } return s; }" in
+  let a = int_of_result (run ~nondet_seed:5 src) in
+  let b = int_of_result (run ~nondet_seed:5 src) in
+  let c = int_of_result (run ~nondet_seed:6 src) in
+  Alcotest.(check int) "same seed same value" a b;
+  Alcotest.(check bool) "different seed differs (overwhelmingly)" true (a <> c)
+
+let test_globals_init_order () =
+  Alcotest.(check int) "later global sees earlier" 5
+    (finished_int "int a = 2; int b = a + 3; int main() { return b; }")
+
+let test_fall_off_end () =
+  Alcotest.(check int) "non-void falling off returns default" 0
+    (finished_int "int f() { int x = 1; x = x + 1; } int main() { return f(); }")
+
+let test_void_return () =
+  Alcotest.(check int) "void early return" 3
+    (finished_int "int g = 0; void f() { g = 3; return; } int main() { f(); return g; }")
+
+let test_steps_counted () =
+  let r = run "int main() { int s = 0; for (int i = 0; i < 100; i = i + 1) { s = s + 1; } return s; }" in
+  Alcotest.(check bool) "steps counted" true (r.Interp.steps > 200)
+
+let test_branch_hook () =
+  let branches = ref [] in
+  let hooks =
+    {
+      Interp.no_hooks with
+      Interp.on_branch = (fun ~sid:_ b -> branches := b :: !branches);
+    }
+  in
+  let prog = Check.check_string "int main() { for (int i = 0; i < 3; i = i + 1) { if (i == 1) { } } return 0; }" in
+  ignore (Interp.run prog { Interp.default_config with Interp.hooks });
+  (* for-loop test: T T T F; if: F T F -> 7 branch evaluations *)
+  Alcotest.(check int) "7 branch observations" 7 (List.length !branches);
+  Alcotest.(check int) "4 true" 4 (List.length (List.filter Fun.id !branches))
+
+let test_scalar_assign_hook () =
+  let events = ref [] in
+  let hooks =
+    {
+      Interp.no_hooks with
+      Interp.on_scalar_assign =
+        (fun ~sid:_ ~lhs:_ ~old_value ~read:_ -> events := old_value :: !events);
+    }
+  in
+  let prog = Check.check_string "int main() { int x = 1; x = 2; bool b = true; return x; }" in
+  ignore (Interp.run prog { Interp.default_config with Interp.hooks });
+  (* decl with init (old=None) + reassign (old=Some 1); bool decl not hooked *)
+  match List.rev !events with
+  | [ None; Some (Value.VInt 1) ] -> ()
+  | l -> Alcotest.failf "unexpected hook sequence (%d events)" (List.length l)
+
+let test_call_result_hook () =
+  let results = ref [] in
+  let hooks =
+    {
+      Interp.no_hooks with
+      Interp.on_call_result = (fun ~sid:_ v -> results := v :: !results);
+    }
+  in
+  let prog =
+    Check.check_string
+      "int f() { return -7; } void g() { } int main() { f(); g(); return 0; }"
+  in
+  ignore (Interp.run prog { Interp.default_config with Interp.hooks });
+  match !results with
+  | [ Value.VInt -7 ] -> ()
+  | _ -> Alcotest.fail "only the int-returning statement call is hooked"
+
+let suite =
+  [
+    Alcotest.test_case "arithmetic" `Quick test_arithmetic;
+    Alcotest.test_case "string builtins" `Quick test_string_ops;
+    Alcotest.test_case "recursion (fib)" `Quick test_recursion;
+    Alcotest.test_case "loops with break/continue" `Quick test_loops;
+    Alcotest.test_case "structs and arrays" `Quick test_structs_and_arrays;
+    Alcotest.test_case "reference semantics" `Quick test_reference_semantics;
+    Alcotest.test_case "short-circuit evaluation" `Quick test_short_circuit;
+    Alcotest.test_case "all crash kinds" `Quick test_crash_kinds;
+    Alcotest.test_case "crash stack capture" `Quick test_crash_stack;
+    Alcotest.test_case "args builtins" `Quick test_args_builtins;
+    Alcotest.test_case "parse_int / is_int / min max abs" `Quick test_parse_int_builtins;
+    Alcotest.test_case "hash_str deterministic" `Quick test_hash_deterministic;
+    Alcotest.test_case "ground-truth channels" `Quick test_ground_truth_channels;
+    Alcotest.test_case "nondet determinism by seed" `Quick test_nondet_determinism;
+    Alcotest.test_case "global initialization order" `Quick test_globals_init_order;
+    Alcotest.test_case "fall off end returns default" `Quick test_fall_off_end;
+    Alcotest.test_case "void return" `Quick test_void_return;
+    Alcotest.test_case "step counting" `Quick test_steps_counted;
+    Alcotest.test_case "branch hook" `Quick test_branch_hook;
+    Alcotest.test_case "scalar-assign hook" `Quick test_scalar_assign_hook;
+    Alcotest.test_case "call-result hook" `Quick test_call_result_hook;
+  ]

@@ -1,0 +1,269 @@
+(* Tests for the MiniC front end: lexer, parser, pretty-printer round-trip,
+   and the static checker's error classes. *)
+open Sbi_lang
+
+(* --- lexer --- *)
+
+let toks src = Array.to_list (Array.map (fun s -> s.Token.tok) (Lexer.tokenize src))
+
+let test_lex_basic () =
+  Alcotest.(check (list string))
+    "operators and idents"
+    [ "int"; "x"; "="; "1"; "+"; "2"; ";"; "<eof>" ]
+    (List.map Token.to_string (toks "int x = 1 + 2;"))
+
+let test_lex_two_char_ops () =
+  Alcotest.(check (list string))
+    "comparison operators"
+    [ "=="; "!="; "<="; ">="; "<"; ">"; "="; "!"; "&&"; "||"; "<eof>" ]
+    (List.map Token.to_string (toks "== != <= >= < > = ! && ||"))
+
+let test_lex_comments () =
+  Alcotest.(check (list string)) "line comment" [ "x"; "<eof>" ]
+    (List.map Token.to_string (toks "x // comment to end\n"));
+  Alcotest.(check (list string)) "block comment" [ "x"; "y"; "<eof>" ]
+    (List.map Token.to_string (toks "x /* a * b / c */ y"))
+
+let test_lex_strings () =
+  (match toks {|"hello world"|} with
+  | [ Token.STRING s; Token.EOF ] -> Alcotest.(check string) "plain" "hello world" s
+  | _ -> Alcotest.fail "expected one string token");
+  match toks {|"a\nb\t\"q\""|} with
+  | [ Token.STRING s; Token.EOF ] -> Alcotest.(check string) "escapes" "a\nb\t\"q\"" s
+  | _ -> Alcotest.fail "expected one string token"
+
+let test_lex_keywords_vs_idents () =
+  (match toks "iffy if" with
+  | [ Token.IDENT "iffy"; Token.KW_IF; Token.EOF ] -> ()
+  | _ -> Alcotest.fail "keyword prefix must lex as identifier")
+
+let test_lex_positions () =
+  let spanned = Lexer.tokenize "x\n  y" in
+  Alcotest.(check int) "x line" 1 spanned.(0).Token.loc.Loc.line;
+  Alcotest.(check int) "y line" 2 spanned.(1).Token.loc.Loc.line;
+  Alcotest.(check int) "y col" 3 spanned.(1).Token.loc.Loc.col
+
+let expect_lex_error src =
+  match Lexer.tokenize src with
+  | exception Lexer.Error _ -> ()
+  | _ -> Alcotest.fail ("lexer accepted malformed input: " ^ src)
+
+let test_lex_errors () =
+  expect_lex_error "\"unterminated";
+  expect_lex_error "/* unterminated";
+  expect_lex_error "a & b";
+  expect_lex_error "a | b";
+  expect_lex_error "\"bad \\x escape\"";
+  expect_lex_error "@"
+
+(* --- parser --- *)
+
+let test_parse_precedence () =
+  let e = Parser.parse_expr_string "1 + 2 * 3 == 7 && true || false" in
+  (* ((1 + (2*3)) == 7 && true) || false *)
+  Alcotest.(check string) "pretty reflects precedence" "1 + 2 * 3 == 7 && true || false"
+    (Pretty.expr_to_string e);
+  match e.Ast.e with
+  | Ast.EBinop (Ast.Or, _, { e = Ast.EBool false; _ }) -> ()
+  | _ -> Alcotest.fail "|| must be outermost"
+
+let test_parse_unary_and_postfix () =
+  let e = Parser.parse_expr_string "-a[1].f + !g(2, 3)" in
+  Alcotest.(check string) "round trip" "-a[1].f + !g(2, 3)" (Pretty.expr_to_string e)
+
+let test_parse_new () =
+  (match (Parser.parse_expr_string "new int[10]").Ast.e with
+  | Ast.ENewArray (Ast.TInt, { e = Ast.EInt 10; _ }) -> ()
+  | _ -> Alcotest.fail "new int[10]");
+  (match (Parser.parse_expr_string "new Node").Ast.e with
+  | Ast.ENewStruct "Node" -> ()
+  | _ -> Alcotest.fail "new Node");
+  match (Parser.parse_expr_string "new int[][3]").Ast.e with
+  | Ast.ENewArray (Ast.TArray Ast.TInt, _) -> ()
+  | _ -> Alcotest.fail "nested array allocation"
+
+let test_parse_program_shapes () =
+  let prog =
+    Parser.parse
+      {|
+      struct P { int x; P next; }
+      int g = 3;
+      void f(int a, bool b) {
+        if (a > 0) { f(a - 1, b); } else { return; }
+        while (b) { break; }
+        for (int i = 0; i < 10; i = i + 1) { continue; }
+      }
+      int main() { f(g, true); return 0; }
+      |}
+  in
+  Alcotest.(check int) "4 decls" 4 (List.length prog.Ast.decls);
+  Alcotest.(check bool) "has statements" true (Ast.count_stmts prog > 5)
+
+let test_parse_else_if_chain () =
+  let prog = Parser.parse "int main() { if (true) { } else if (false) { } else { } return 0; }" in
+  Alcotest.(check bool) "parses" true (Ast.count_stmts prog > 0)
+
+let test_sids_unique () =
+  let prog =
+    Parser.parse
+      "int main() { int x = 1; for (int i = 0; i < 3; i = i + 1) { x = x + i; } return x; }"
+  in
+  let seen = Hashtbl.create 16 in
+  Ast.iter_stmts prog (fun st ->
+      if Hashtbl.mem seen st.Ast.sid then Alcotest.fail "duplicate statement id";
+      Hashtbl.replace seen st.Ast.sid ());
+  Alcotest.(check bool) "max_sid bounds ids" true
+    (Hashtbl.fold (fun k () acc -> max k acc) seen 0 < prog.Ast.max_sid)
+
+let expect_parse_error src =
+  match Parser.parse src with
+  | exception Parser.Error _ -> ()
+  | _ -> Alcotest.fail ("parser accepted: " ^ src)
+
+let test_parse_errors () =
+  expect_parse_error "int main() { return 0 }";
+  expect_parse_error "int main() { 1 + ; }";
+  expect_parse_error "int main( { }";
+  expect_parse_error "int main() { x.[1]; }";
+  expect_parse_error "int main() { (1 + 2)(3); }";
+  expect_parse_error "int main() { 5 = x; }"
+
+let test_int_literals_of_func () =
+  let prog = Parser.parse "int f() { int a = 5; a = a + 12; if (a > 5) { return 99; } return -3; }" in
+  match prog.Ast.decls with
+  | [ Ast.DFunc fn ] ->
+      Alcotest.(check (list int)) "first-occurrence dedup" [ 5; 12; 99; -3 ]
+        (Ast.int_literals_of_func fn)
+  | _ -> Alcotest.fail "expected one function"
+
+(* round-trip: pretty output reparses to a program with identical pretty *)
+let test_pretty_round_trip () =
+  let src =
+    {|
+    struct Node { int val; Node next; }
+    int counter = 0;
+    int fact(int n) {
+      if (n <= 1) { return 1; }
+      return n * fact(n - 1);
+    }
+    int main() {
+      Node h = new Node;
+      h.val = fact(5);
+      int[] a = new int[3];
+      for (int i = 0; i < len(a); i = i + 1) { a[i] = i * i; }
+      while (counter < 3) { counter = counter + 1; }
+      println(to_str(h.val + a[2]));
+      return 0;
+    }
+    |}
+  in
+  let p1 = Parser.parse src in
+  let printed = Pretty.program_to_string p1 in
+  let p2 = Parser.parse printed in
+  Alcotest.(check string) "pretty is a fixed point" printed (Pretty.program_to_string p2)
+
+(* --- checker --- *)
+
+let check_ok src = ignore (Check.check_string src)
+
+let expect_check_error src =
+  match Check.check_string src with
+  | exception Check.Error _ -> ()
+  | _ -> Alcotest.fail ("checker accepted: " ^ src)
+
+let test_check_accepts_valid () =
+  check_ok "int main() { return 0; }";
+  check_ok "void main() { }";
+  check_ok "struct S { int x; } int main() { S s = new S; s.x = 1; return s.x; }";
+  check_ok "int main() { int[] a = new int[2]; a[0] = 1; return a[0]; }";
+  check_ok "int main() { string s = \"a\" + \"b\"; return strlen(s); }";
+  check_ok "int f(int x) { return x; } int main() { return f(3); }";
+  check_ok "struct S { int x; } int main() { S s = null; if (s == null) { return 1; } return 0; }"
+
+let test_check_scope_errors () =
+  expect_check_error "int main() { return x; }";
+  expect_check_error "int main() { int x = 1; int x = 2; return x; }";
+  expect_check_error "int main() { { int y = 1; } return y; }";
+  check_ok "int main() { int x = 1; { int x = 2; x = 3; } return x; }" (* shadowing ok *)
+
+let test_check_type_errors () =
+  expect_check_error "int main() { return true; }";
+  expect_check_error "int main() { int x = \"s\"; return x; }";
+  expect_check_error "int main() { if (1) { } return 0; }";
+  expect_check_error "int main() { bool b = 1 && true; return 0; }";
+  expect_check_error "int main() { return 1 + \"s\"; }";
+  expect_check_error "int main() { return \"a\" < \"b\"; }";
+  expect_check_error "int main() { int x = null; return x; }";
+  expect_check_error "struct S { int x; } int main() { S s = new S; return s.y; }";
+  expect_check_error "int main() { int x = 1; return x[0]; }";
+  expect_check_error "int main() { int x = 1; return x.f; }";
+  expect_check_error "int main() { new void[3]; return 0; }"
+
+let test_check_call_errors () =
+  expect_check_error "int main() { return f(); }";
+  expect_check_error "int f(int x) { return x; } int main() { return f(); }";
+  expect_check_error "int f(int x) { return x; } int main() { return f(true); }";
+  expect_check_error "int len(int x) { return x; } int main() { return 0; }";
+  expect_check_error "int main() { strlen(1); return 0; }";
+  expect_check_error "int main() { 1 + 2; return 0; }" (* expr statement must be a call *)
+
+let test_check_control_errors () =
+  expect_check_error "int main() { break; }";
+  expect_check_error "int main() { continue; }";
+  expect_check_error "void f() { return 1; } int main() { return 0; }";
+  expect_check_error "int f() { return; } int main() { return 0; }";
+  check_ok "int main() { while (true) { break; } return 0; }"
+
+let test_check_main_requirements () =
+  expect_check_error "int f() { return 0; }" (* no main *);
+  expect_check_error "int main(int x) { return x; }";
+  expect_check_error "string main() { return \"s\"; }"
+
+let test_check_struct_errors () =
+  expect_check_error "struct S { int x; int x; } int main() { return 0; }";
+  expect_check_error "struct S { int x; } struct S { int y; } int main() { return 0; }";
+  expect_check_error "int main() { Unknown u = null; return 0; }";
+  expect_check_error "struct S { void v; } int main() { return 0; }";
+  check_ok "struct S { S self; } int main() { S s = new S; s.self = s; return 0; }"
+
+let test_check_slots () =
+  let prog =
+    Check.check_string
+      "int f(int a, int b) { int c = a; { int d = b; c = d; } int e = c; return e; } int main() { return f(1, 2); }"
+  in
+  let f = Option.get (Rast.find_func prog "f") in
+  Alcotest.(check int) "5 slots (2 params + 3 locals)" 5 f.Rast.rf_nslots
+
+let test_check_globals () =
+  expect_check_error "int g = 1; int g = 2; int main() { return g; }";
+  expect_check_error "int g = true; int main() { return g; }";
+  check_ok "int g = 40 + 2; int main() { return g; }"
+
+let suite =
+  [
+    Alcotest.test_case "lex basics" `Quick test_lex_basic;
+    Alcotest.test_case "lex two-char operators" `Quick test_lex_two_char_ops;
+    Alcotest.test_case "lex comments" `Quick test_lex_comments;
+    Alcotest.test_case "lex strings and escapes" `Quick test_lex_strings;
+    Alcotest.test_case "lex keywords vs identifiers" `Quick test_lex_keywords_vs_idents;
+    Alcotest.test_case "lex positions" `Quick test_lex_positions;
+    Alcotest.test_case "lex errors" `Quick test_lex_errors;
+    Alcotest.test_case "parse precedence" `Quick test_parse_precedence;
+    Alcotest.test_case "parse unary and postfix" `Quick test_parse_unary_and_postfix;
+    Alcotest.test_case "parse allocation forms" `Quick test_parse_new;
+    Alcotest.test_case "parse program shapes" `Quick test_parse_program_shapes;
+    Alcotest.test_case "parse else-if chain" `Quick test_parse_else_if_chain;
+    Alcotest.test_case "statement ids unique" `Quick test_sids_unique;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "int literal collection" `Quick test_int_literals_of_func;
+    Alcotest.test_case "pretty round trip" `Quick test_pretty_round_trip;
+    Alcotest.test_case "check accepts valid programs" `Quick test_check_accepts_valid;
+    Alcotest.test_case "check scope errors" `Quick test_check_scope_errors;
+    Alcotest.test_case "check type errors" `Quick test_check_type_errors;
+    Alcotest.test_case "check call errors" `Quick test_check_call_errors;
+    Alcotest.test_case "check control-flow errors" `Quick test_check_control_errors;
+    Alcotest.test_case "check main requirements" `Quick test_check_main_requirements;
+    Alcotest.test_case "check struct errors" `Quick test_check_struct_errors;
+    Alcotest.test_case "check slot allocation" `Quick test_check_slots;
+    Alcotest.test_case "check globals" `Quick test_check_globals;
+  ]

@@ -1,0 +1,115 @@
+(* Tests for the ℓ₁ logistic-regression baseline. *)
+open Sbi_runtime
+open Sbi_logreg
+
+let mk_report ?(outcome = Report.Success) ?(preds = [||]) id =
+  {
+    Report.run_id = id;
+    outcome;
+    observed_sites = [||];
+    true_preds = preds;
+    true_counts = Array.map (fun _ -> 1) preds;
+    bugs = [||];
+    crash_sig = None;
+  }
+
+let mk_ds ~npreds runs =
+  Dataset.of_tables ~nsites:npreds ~npreds ~pred_site:(Array.init npreds Fun.id)
+    (Array.of_list runs)
+
+(* pred 0 perfectly predicts failure; pred 1 is noise *)
+let separable ~n =
+  List.concat
+    (List.init n (fun i ->
+         [
+           mk_report ~outcome:Report.Failure ~preds:(if i mod 2 = 0 then [| 0 |] else [| 0; 1 |]) (2 * i);
+           mk_report ~preds:(if i mod 3 = 0 then [| 1 |] else [||]) ((2 * i) + 1);
+         ]))
+
+let test_learns_separable () =
+  let ds = mk_ds ~npreds:2 (separable ~n:100) in
+  let model = Logreg.train ds in
+  Alcotest.(check bool) "pred 0 weight positive" true (model.Logreg.weights.(0) > 0.5);
+  Alcotest.(check bool) "pred 0 dominates noise" true
+    (model.Logreg.weights.(0) > abs_float model.Logreg.weights.(1) *. 2.);
+  Alcotest.(check bool) "high accuracy" true (Logreg.accuracy model ds > 0.95)
+
+let test_prediction_monotone () =
+  let ds = mk_ds ~npreds:2 (separable ~n:100) in
+  let model = Logreg.train ds in
+  let p_with = Logreg.predict model (mk_report ~preds:[| 0 |] 0) in
+  let p_without = Logreg.predict model (mk_report 0) in
+  Alcotest.(check bool) "predictor raises failure probability" true (p_with > p_without);
+  Alcotest.(check bool) "probabilities in range" true
+    (p_with > 0. && p_with < 1. && p_without > 0. && p_without < 1.)
+
+let test_l1_sparsity () =
+  (* many irrelevant predicates; strong penalty zeroes them *)
+  let npreds = 40 in
+  let runs =
+    List.concat
+      (List.init 150 (fun i ->
+           let noise = [| 1 + ((i * 7) mod (npreds - 1)) |] in
+           [
+             mk_report ~outcome:Report.Failure ~preds:(Array.append [| 0 |] noise) (2 * i);
+             mk_report ~preds:noise ((2 * i) + 1);
+           ]))
+  in
+  let ds = mk_ds ~npreds runs in
+  let strong =
+    Logreg.train ~config:{ Logreg.default_config with Logreg.lambda = 0.02 } ds
+  in
+  let weak = Logreg.train ~config:{ Logreg.default_config with Logreg.lambda = 0.0 } ds in
+  Alcotest.(check bool) "L1 produces sparser model" true
+    (Logreg.nonzero strong < Logreg.nonzero weak);
+  Alcotest.(check bool) "signal survives the penalty" true (strong.Logreg.weights.(0) > 0.)
+
+let test_min_support_filter () =
+  let runs =
+    [ mk_report ~outcome:Report.Failure ~preds:[| 0 |] 0 ]
+    @ List.init 50 (fun i ->
+          if i mod 2 = 0 then mk_report ~outcome:Report.Failure ~preds:[| 1 |] (1 + i)
+          else mk_report (1 + i))
+  in
+  let ds = mk_ds ~npreds:2 runs in
+  let model =
+    Logreg.train ~config:{ Logreg.default_config with Logreg.min_support = 5 } ds
+  in
+  Alcotest.(check (float 1e-12)) "rare predicate filtered out" 0. model.Logreg.weights.(0)
+
+let test_top_weights () =
+  let ds = mk_ds ~npreds:2 (separable ~n:60) in
+  let model = Logreg.train ds in
+  (match Logreg.top_weights model ~n:1 with
+  | [ (0, w) ] -> Alcotest.(check bool) "top weight positive" true (w > 0.)
+  | _ -> Alcotest.fail "expected pred 0 on top");
+  Alcotest.(check bool) "n larger than nonzero is fine" true
+    (List.length (Logreg.top_weights model ~n:100) <= 2)
+
+let test_empty_dataset_rejected () =
+  let ds = mk_ds ~npreds:2 [] in
+  Alcotest.check_raises "empty rejected" (Invalid_argument "Logreg.train: empty dataset")
+    (fun () -> ignore (Logreg.train ds))
+
+let test_bias_learns_base_rate () =
+  (* no predictive features: bias should push probability toward the
+     majority class (mostly successes) *)
+  let runs =
+    List.init 100 (fun i ->
+        if i mod 10 = 0 then mk_report ~outcome:Report.Failure i else mk_report i)
+  in
+  let ds = mk_ds ~npreds:2 runs in
+  let model = Logreg.train ds in
+  let p = Logreg.predict model (mk_report 0) in
+  Alcotest.(check bool) "predicts below 0.5 for featureless run" true (p < 0.5)
+
+let suite =
+  [
+    Alcotest.test_case "learns separable data" `Quick test_learns_separable;
+    Alcotest.test_case "prediction monotone in features" `Quick test_prediction_monotone;
+    Alcotest.test_case "L1 induces sparsity" `Quick test_l1_sparsity;
+    Alcotest.test_case "min-support filter" `Quick test_min_support_filter;
+    Alcotest.test_case "top weights" `Quick test_top_weights;
+    Alcotest.test_case "empty dataset rejected" `Quick test_empty_dataset_rejected;
+    Alcotest.test_case "bias captures base rate" `Quick test_bias_learns_base_rate;
+  ]

@@ -1,0 +1,200 @@
+(* Unit and property tests for Sbi_util.Prng. *)
+open Sbi_util
+
+let test_determinism () =
+  let a = Prng.create 7 in
+  let b = Prng.create 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.int64 a) (Prng.int64 b)
+  done
+
+let test_different_seeds () =
+  let a = Prng.create 1 in
+  let b = Prng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 50 do
+    if Prng.int64 a = Prng.int64 b then incr same
+  done;
+  Alcotest.(check bool) "streams diverge" true (!same < 5)
+
+let test_copy_independent () =
+  let a = Prng.create 9 in
+  ignore (Prng.int64 a);
+  let b = Prng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Prng.int64 a) (Prng.int64 b)
+
+let test_split_diverges () =
+  let a = Prng.create 3 in
+  let child = Prng.split a in
+  let same = ref 0 in
+  for _ = 1 to 50 do
+    if Prng.int64 a = Prng.int64 child then incr same
+  done;
+  Alcotest.(check bool) "parent and child diverge" true (!same < 5)
+
+let test_int_bounds () =
+  let rng = Prng.create 11 in
+  for _ = 1 to 10_000 do
+    let v = Prng.int rng 13 in
+    Alcotest.(check bool) "0 <= v < 13" true (v >= 0 && v < 13)
+  done
+
+let test_int_invalid () =
+  let rng = Prng.create 1 in
+  Alcotest.check_raises "bound 0 rejected" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Prng.int rng 0))
+
+let test_int_in_range () =
+  let rng = Prng.create 5 in
+  for _ = 1 to 1000 do
+    let v = Prng.int_in rng (-3) 4 in
+    Alcotest.(check bool) "-3 <= v <= 4" true (v >= -3 && v <= 4)
+  done
+
+let test_unit_float_range () =
+  let rng = Prng.create 17 in
+  for _ = 1 to 10_000 do
+    let v = Prng.unit_float rng in
+    Alcotest.(check bool) "[0,1)" true (v >= 0. && v < 1.)
+  done
+
+let test_uniformity () =
+  (* chi-square-ish check on 8 buckets *)
+  let rng = Prng.create 23 in
+  let buckets = Array.make 8 0 in
+  let n = 80_000 in
+  for _ = 1 to n do
+    let b = Prng.int rng 8 in
+    buckets.(b) <- buckets.(b) + 1
+  done;
+  let expected = float_of_int n /. 8. in
+  Array.iter
+    (fun c ->
+      let dev = abs_float (float_of_int c -. expected) /. expected in
+      Alcotest.(check bool) "bucket within 5% of uniform" true (dev < 0.05))
+    buckets
+
+let test_bernoulli_rate () =
+  let rng = Prng.create 29 in
+  let hits = ref 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    if Prng.bernoulli rng 0.3 then incr hits
+  done;
+  let rate = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool) "empirical rate near 0.3" true (abs_float (rate -. 0.3) < 0.01)
+
+let test_bernoulli_edges () =
+  let rng = Prng.create 31 in
+  Alcotest.(check bool) "p=0 never" false (Prng.bernoulli rng 0.);
+  Alcotest.(check bool) "p=1 always" true (Prng.bernoulli rng 1.)
+
+let test_geometric_mean () =
+  (* E[Geometric(p)] = 1/p *)
+  let rng = Prng.create 37 in
+  let p = 0.02 in
+  let n = 20_000 in
+  let total = ref 0 in
+  for _ = 1 to n do
+    total := !total + Prng.geometric rng p
+  done;
+  let mean = float_of_int !total /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean %.1f near 1/p = 50" mean)
+    true
+    (abs_float (mean -. 50.) < 2.5)
+
+let test_geometric_support () =
+  let rng = Prng.create 41 in
+  for _ = 1 to 1000 do
+    Alcotest.(check bool) ">= 1" true (Prng.geometric rng 0.5 >= 1)
+  done;
+  Alcotest.(check int) "p=1 gives 1" 1 (Prng.geometric rng 1.)
+
+let test_geometric_invalid () =
+  let rng = Prng.create 1 in
+  Alcotest.check_raises "p=0 rejected"
+    (Invalid_argument "Prng.geometric: p must be in (0,1]") (fun () ->
+      ignore (Prng.geometric rng 0.))
+
+let test_gaussian_moments () =
+  let rng = Prng.create 43 in
+  let n = 50_000 in
+  let sum = ref 0. and sumsq = ref 0. in
+  for _ = 1 to n do
+    let x = Prng.gaussian rng in
+    sum := !sum +. x;
+    sumsq := !sumsq +. (x *. x)
+  done;
+  let mean = !sum /. float_of_int n in
+  let var = (!sumsq /. float_of_int n) -. (mean *. mean) in
+  Alcotest.(check bool) "mean near 0" true (abs_float mean < 0.02);
+  Alcotest.(check bool) "variance near 1" true (abs_float (var -. 1.) < 0.05)
+
+let test_permutation_valid () =
+  let rng = Prng.create 47 in
+  let p = Prng.permutation rng 100 in
+  let seen = Array.make 100 false in
+  Array.iter (fun i -> seen.(i) <- true) p;
+  Alcotest.(check bool) "is a permutation" true (Array.for_all Fun.id seen)
+
+let test_shuffle_preserves () =
+  let rng = Prng.create 53 in
+  let arr = Array.init 50 Fun.id in
+  Prng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "multiset preserved" (Array.init 50 Fun.id) sorted
+
+let test_sample_without_replacement () =
+  let rng = Prng.create 59 in
+  let s = Prng.sample_without_replacement rng 10 30 in
+  Alcotest.(check int) "10 draws" 10 (Array.length s);
+  let sorted = Array.copy s in
+  Array.sort compare sorted;
+  for i = 1 to 9 do
+    Alcotest.(check bool) "distinct" true (sorted.(i) <> sorted.(i - 1))
+  done;
+  Alcotest.check_raises "k > n rejected"
+    (Invalid_argument "Prng.sample_without_replacement: k > n") (fun () ->
+      ignore (Prng.sample_without_replacement rng 5 3))
+
+let test_choice () =
+  let rng = Prng.create 61 in
+  let arr = [| "a"; "b"; "c" |] in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "choice in array" true (Array.mem (Prng.choice rng arr) arr)
+  done;
+  Alcotest.(check string) "singleton list" "x" (Prng.choice_list rng [ "x" ])
+
+let qcheck_int_bound =
+  QCheck2.Test.make ~name:"prng int always within bound" ~count:500
+    QCheck2.Gen.(pair (int_range 1 1_000_000) small_int)
+    (fun (bound, seed) ->
+      let rng = Prng.create seed in
+      let v = Prng.int rng bound in
+      v >= 0 && v < bound)
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "different seeds diverge" `Quick test_different_seeds;
+    Alcotest.test_case "copy is independent continuation" `Quick test_copy_independent;
+    Alcotest.test_case "split diverges from parent" `Quick test_split_diverges;
+    Alcotest.test_case "int respects bounds" `Quick test_int_bounds;
+    Alcotest.test_case "int rejects non-positive bound" `Quick test_int_invalid;
+    Alcotest.test_case "int_in inclusive range" `Quick test_int_in_range;
+    Alcotest.test_case "unit_float in [0,1)" `Quick test_unit_float_range;
+    Alcotest.test_case "uniformity over 8 buckets" `Slow test_uniformity;
+    Alcotest.test_case "bernoulli empirical rate" `Slow test_bernoulli_rate;
+    Alcotest.test_case "bernoulli p=0 and p=1" `Quick test_bernoulli_edges;
+    Alcotest.test_case "geometric mean is 1/p" `Slow test_geometric_mean;
+    Alcotest.test_case "geometric support starts at 1" `Quick test_geometric_support;
+    Alcotest.test_case "geometric rejects p=0" `Quick test_geometric_invalid;
+    Alcotest.test_case "gaussian moments" `Slow test_gaussian_moments;
+    Alcotest.test_case "permutation is valid" `Quick test_permutation_valid;
+    Alcotest.test_case "shuffle preserves multiset" `Quick test_shuffle_preserves;
+    Alcotest.test_case "sampling without replacement" `Quick test_sample_without_replacement;
+    Alcotest.test_case "choice stays in range" `Quick test_choice;
+    QCheck_alcotest.to_alcotest qcheck_int_bound;
+  ]

@@ -1,0 +1,184 @@
+(* Tests for the syntactic dispose-then-use static analysis. *)
+open Sbi_lang
+
+let prog src = Check.check_string src
+
+let test_nulled_vars () =
+  let p =
+    prog
+      {|
+      struct S { int x; }
+      S g;
+      int main() {
+        S local = new S;
+        g = null;
+        local = null;
+        S never_nulled = new S;
+        never_nulled.x = 1;
+        return 0;
+      }
+      |}
+  in
+  let names = List.map fst (Query.nulled_vars p) in
+  Alcotest.(check (list string)) "both nulled vars, in order" [ "g"; "local" ] names
+
+let test_unguarded_use_found () =
+  let p =
+    prog
+      {|
+      struct S { int x; }
+      S g;
+      void dispose() { g = null; }
+      int use() { return g.x; }
+      int main() { dispose(); return use(); }
+      |}
+  in
+  let uses = Query.unsafe_uses p in
+  Alcotest.(check int) "one unguarded use" 1 (List.length uses);
+  let u = List.hd uses in
+  Alcotest.(check string) "variable" "g" u.Query.u_var;
+  Alcotest.(check string) "function" "use" u.Query.u_fn
+
+let test_guarded_use_ok () =
+  let p =
+    prog
+      {|
+      struct S { int x; }
+      S g;
+      void dispose() { g = null; }
+      int use() {
+        if (g != null) { return g.x; }
+        return 0;
+      }
+      int main() { dispose(); return use(); }
+      |}
+  in
+  Alcotest.(check int) "guard suppresses the report" 0 (List.length (Query.unsafe_uses p))
+
+let test_inverted_guard () =
+  let p =
+    prog
+      {|
+      struct S { int x; }
+      S g;
+      void dispose() { g = null; }
+      int use() {
+        if (g == null) { return 0; } else { return g.x; }
+      }
+      int main() { dispose(); return use(); }
+      |}
+  in
+  Alcotest.(check int) "else-branch of == null is guarded" 0
+    (List.length (Query.unsafe_uses p))
+
+let test_use_in_wrong_branch () =
+  let p =
+    prog
+      {|
+      struct S { int x; }
+      S g;
+      void dispose() { g = null; }
+      int use() {
+        if (g == null) { return g.x; }
+        return 0;
+      }
+      int main() { dispose(); return use(); }
+      |}
+  in
+  Alcotest.(check int) "use in the null branch is reported" 1
+    (List.length (Query.unsafe_uses p))
+
+let test_reassignment_guards () =
+  let p =
+    prog
+      {|
+      struct S { int x; }
+      S g;
+      int main() {
+        g = null;
+        g = new S;
+        return g.x;
+      }
+      |}
+  in
+  Alcotest.(check int) "straight-line reallocation guards the use" 0
+    (List.length (Query.unsafe_uses p))
+
+let test_join_loses_one_sided_guarantee () =
+  let p =
+    prog
+      {|
+      struct S { int x; }
+      S g;
+      int main() {
+        g = null;
+        if (argc() > 0) { g = new S; }
+        return g.x;
+      }
+      |}
+  in
+  Alcotest.(check int) "one-sided reallocation does not guard" 1
+    (List.length (Query.unsafe_uses p))
+
+let test_arrays_and_indexing () =
+  let p =
+    prog
+      {|
+      int[] buf;
+      void dispose() { buf = null; }
+      int main() {
+        dispose();
+        return buf[0];
+      }
+      |}
+  in
+  let uses = Query.unsafe_uses p in
+  Alcotest.(check int) "index use reported" 1 (List.length uses);
+  match (List.hd uses).Query.u_kind with
+  | `Index -> ()
+  | `Field _ -> Alcotest.fail "expected an index use"
+
+let test_only_filter () =
+  let p =
+    prog
+      {|
+      struct S { int x; }
+      S a;
+      S b;
+      int main() {
+        a = null;
+        b = null;
+        return a.x + b.x;
+      }
+      |}
+  in
+  Alcotest.(check int) "both without filter" 2 (List.length (Query.unsafe_uses p));
+  let only_a = Query.unsafe_uses ~only:[ "a" ] p in
+  Alcotest.(check int) "filtered to a" 1 (List.length only_a);
+  Alcotest.(check string) "it is a" "a" (List.hd only_a).Query.u_var
+
+let test_rhythmim_scan () =
+  (* the RHYTHMBOX analogue: both disposed privs have unguarded handler
+     uses — the paper's "more than one hundred instances" shape, scaled *)
+  let p = Sbi_corpus.Study.checked Sbi_corpus.Corpus.rhythmim in
+  let nulled = List.map fst (Query.nulled_vars p) in
+  Alcotest.(check bool) "timer_priv disposed" true (List.mem "timer_priv" nulled);
+  Alcotest.(check bool) "view_priv disposed" true (List.mem "view_priv" nulled);
+  let uses = Query.unsafe_uses p in
+  Alcotest.(check bool) "finds the dispatch dereferences" true (List.length uses >= 2);
+  let fns = List.map fst (Query.count_by_function uses) in
+  Alcotest.(check bool) "dispatch is implicated" true (List.mem "dispatch" fns)
+
+let suite =
+  [
+    Alcotest.test_case "nulled variable collection" `Quick test_nulled_vars;
+    Alcotest.test_case "unguarded use found" `Quick test_unguarded_use_found;
+    Alcotest.test_case "guarded use suppressed" `Quick test_guarded_use_ok;
+    Alcotest.test_case "inverted guard" `Quick test_inverted_guard;
+    Alcotest.test_case "use in the null branch" `Quick test_use_in_wrong_branch;
+    Alcotest.test_case "reassignment guards" `Quick test_reassignment_guards;
+    Alcotest.test_case "join drops one-sided guarantees" `Quick test_join_loses_one_sided_guarantee;
+    Alcotest.test_case "array indexing uses" `Quick test_arrays_and_indexing;
+    Alcotest.test_case "only filter" `Quick test_only_filter;
+    Alcotest.test_case "rhythmim scan (paper §1)" `Quick test_rhythmim_scan;
+  ]

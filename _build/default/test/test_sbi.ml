@@ -1,0 +1,21 @@
+(* Aggregated test runner for the statistical bug isolation reproduction. *)
+
+let () =
+  Alcotest.run "sbi"
+    [
+      ("prng", Test_prng.suite);
+      ("stats", Test_stats.suite);
+      ("texttab", Test_texttab.suite);
+      ("topk", Test_topk.suite);
+      ("lang", Test_lang.suite);
+      ("interp", Test_interp.suite);
+      ("query", Test_query.suite);
+      ("generated-programs", Test_gen.suite);
+      ("vm", Test_vm.suite);
+      ("instrument", Test_instrument.suite);
+      ("runtime", Test_runtime.suite);
+      ("core", Test_core.suite);
+      ("logreg", Test_logreg.suite);
+      ("corpus", Test_corpus.suite);
+      ("experiments", Test_experiments.suite);
+    ]

@@ -1,0 +1,86 @@
+(* Tests for the plain-text table renderer. *)
+open Sbi_util
+
+let contains hay needle =
+  let hl = String.length hay and nl = String.length needle in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let test_basic_render () =
+  let t = Texttab.create [ ("a", Texttab.Left); ("b", Texttab.Right) ] in
+  Texttab.add_row t [ "x"; "1" ];
+  Texttab.add_row t [ "longer"; "22" ];
+  let out = Texttab.render t in
+  let lines = String.split_on_char '\n' (String.trim out) in
+  match List.map String.length lines with
+  | w :: rest -> List.iter (fun w' -> Alcotest.(check int) "uniform line width" w w') rest
+  | [] -> Alcotest.fail "empty render"
+
+let test_alignment () =
+  let t = Texttab.create [ ("n", Texttab.Right) ] in
+  Texttab.add_row t [ "7" ];
+  Texttab.add_row t [ "1234" ];
+  let out = Texttab.render t in
+  Alcotest.(check bool) "right alignment pads left" true (contains out "|    7 |")
+
+let test_title_centred () =
+  let t = Texttab.create ~title:"T" [ ("col", Texttab.Left) ] in
+  Texttab.add_row t [ "v" ];
+  let out = Texttab.render t in
+  Alcotest.(check bool) "title on first line" true
+    (match String.split_on_char '\n' out with first :: _ -> contains first "T" | [] -> false)
+
+let test_short_row_padded () =
+  let t = Texttab.create [ ("a", Texttab.Left); ("b", Texttab.Left) ] in
+  Texttab.add_row t [ "only" ];
+  let out = Texttab.render t in
+  Alcotest.(check bool) "renders" true (contains out "only")
+
+let test_long_row_rejected () =
+  let t = Texttab.create [ ("a", Texttab.Left) ] in
+  Alcotest.check_raises "too many cells" (Invalid_argument "Texttab.add_row: too many cells")
+    (fun () -> Texttab.add_row t [ "x"; "y" ])
+
+let test_rule () =
+  let t = Texttab.create [ ("a", Texttab.Left) ] in
+  Texttab.add_row t [ "1" ];
+  Texttab.add_rule t;
+  Texttab.add_row t [ "2" ];
+  let out = Texttab.render t in
+  let rules =
+    List.filter
+      (fun l -> String.length l > 0 && l.[0] = '+')
+      (String.split_on_char '\n' out)
+  in
+  Alcotest.(check int) "4 rules" 4 (List.length rules)
+
+let test_unicode_width () =
+  (* thermometer characters are multi-byte but single-column *)
+  let t = Texttab.create [ ("therm", Texttab.Left); ("x", Texttab.Left) ] in
+  Texttab.add_row t [ "[\xe2\x96\x88\xe2\x96\x93]"; "a" ];
+  Texttab.add_row t [ "[..]"; "b" ];
+  let out = Texttab.render t in
+  let lines = String.split_on_char '\n' (String.trim out) in
+  let ascii_lines =
+    List.filter (fun l -> String.for_all (fun c -> Char.code c < 128) l) lines
+  in
+  match ascii_lines with
+  | a :: b :: _ ->
+      Alcotest.(check int) "ascii line widths align" (String.length a) (String.length b)
+  | _ -> Alcotest.fail "expected ascii lines"
+
+let test_render_kv () =
+  let out = Texttab.render_kv ~title:"facts" [ ("k", "v"); ("key2", "value2") ] in
+  Alcotest.(check bool) "kv renders" true (contains out "key2" && contains out "value2")
+
+let suite =
+  [
+    Alcotest.test_case "basic render with uniform widths" `Quick test_basic_render;
+    Alcotest.test_case "right alignment" `Quick test_alignment;
+    Alcotest.test_case "title centred" `Quick test_title_centred;
+    Alcotest.test_case "short rows padded" `Quick test_short_row_padded;
+    Alcotest.test_case "long rows rejected" `Quick test_long_row_rejected;
+    Alcotest.test_case "horizontal rules" `Quick test_rule;
+    Alcotest.test_case "unicode display width" `Quick test_unicode_width;
+    Alcotest.test_case "render_kv" `Quick test_render_kv;
+  ]

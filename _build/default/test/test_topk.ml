@@ -1,0 +1,46 @@
+(* Tests for the bounded top-k selector. *)
+open Sbi_util
+
+let test_basic () =
+  let xs = [| 5; 1; 9; 3; 7; 2; 8 |] in
+  Alcotest.(check (list int)) "top 3 descending" [ 9; 8; 7 ]
+    (Topk.top ~k:3 ~compare xs);
+  Alcotest.(check (list int)) "k larger than input" [ 9; 8; 7; 5; 3; 2; 1 ]
+    (Topk.top ~k:100 ~compare xs);
+  Alcotest.(check (list int)) "k = 0" [] (Topk.top ~k:0 ~compare xs);
+  Alcotest.(check (list int)) "empty input" [] (Topk.top ~k:3 ~compare [||])
+
+let test_incremental () =
+  let t = Topk.create ~k:2 ~compare in
+  List.iter (Topk.add t) [ 4; 1; 6; 3; 9 ];
+  Alcotest.(check int) "count capped" 2 (Topk.count t);
+  Alcotest.(check (list int)) "best two" [ 9; 6 ] (Topk.to_sorted_list t)
+
+let test_custom_compare () =
+  (* keep the k smallest by inverting the comparison *)
+  let smallest = Topk.top ~k:2 ~compare:(fun a b -> compare b a) [| 5; 1; 9; 3 |] in
+  Alcotest.(check (list int)) "two smallest" [ 1; 3 ] smallest
+
+let test_invalid () =
+  Alcotest.check_raises "negative k" (Invalid_argument "Topk.create: k must be non-negative")
+    (fun () -> ignore (Topk.create ~k:(-1) ~compare))
+
+let qcheck_matches_sort =
+  QCheck2.Test.make ~name:"topk agrees with sort-then-take" ~count:300
+    QCheck2.Gen.(pair (int_range 0 12) (list small_int))
+    (fun (k, xs) ->
+      let arr = Array.of_list xs in
+      let expected =
+        let sorted = List.sort (fun a b -> compare b a) xs in
+        List.filteri (fun i _ -> i < k) sorted
+      in
+      Topk.top ~k ~compare arr = expected)
+
+let suite =
+  [
+    Alcotest.test_case "basic selection" `Quick test_basic;
+    Alcotest.test_case "incremental interface" `Quick test_incremental;
+    Alcotest.test_case "custom comparison" `Quick test_custom_compare;
+    Alcotest.test_case "invalid k" `Quick test_invalid;
+    QCheck_alcotest.to_alcotest qcheck_matches_sort;
+  ]
