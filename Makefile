@@ -1,0 +1,27 @@
+# Tier-1 verification and day-to-day developer targets.
+
+.PHONY: all build check test bench fmt clean
+
+all: build
+
+build:
+	dune build @all
+
+# Tier-1: the gate every change must pass.
+check:
+	dune build
+	dune runtest
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+# Formats dune files in place. ocamlformat is not in the build image, so
+# dune-project enables @fmt for dune files only.
+fmt:
+	dune build @fmt --auto-promote
+
+clean:
+	dune clean

@@ -137,6 +137,74 @@ let runtime_tests () =
            done));
   ]
 
+(* --- ingestion-pipeline micro-benchmarks --- *)
+
+let with_temp_log f =
+  let dir = Filename.temp_file "sbi_bench_log" "" in
+  Sys.remove dir;
+  let r = f dir in
+  if Sys.file_exists dir then begin
+    Array.iter (fun n -> Sys.remove (Filename.concat dir n)) (Sys.readdir dir);
+    Sys.rmdir dir
+  end;
+  r
+
+let ingest_tests () =
+  let moss = moss () in
+  let ds = moss.Harness.dataset in
+  let encoded = Array.map Sbi_ingest.Codec.encode ds.Sbi_runtime.Dataset.runs in
+  let log_dir = Filename.temp_dir "sbi_bench" ".log" in
+  ignore (Sbi_ingest.Shard_log.write_dataset ~dir:log_dir ~shards:4 ds);
+  [
+    Test.make ~name:"codec:encode-corpus"
+      (Staged.stage (fun () -> Array.map Sbi_ingest.Codec.encode ds.Sbi_runtime.Dataset.runs));
+    Test.make ~name:"codec:decode-corpus"
+      (Staged.stage (fun () -> Array.map Sbi_ingest.Codec.decode encoded));
+    Test.make ~name:"ingest:write-shard-log"
+      (Staged.stage (fun () ->
+           with_temp_log (fun dir -> Sbi_ingest.Shard_log.write_dataset ~dir ~shards:4 ds)));
+    Test.make ~name:"ingest:stream-aggregate"
+      (Staged.stage (fun () -> Sbi_ingest.Aggregator.of_log ~dir:log_dir));
+    Test.make ~name:"ingest:read-all"
+      (Staged.stage (fun () -> Sbi_ingest.Shard_log.read_all ~dir:log_dir));
+  ]
+
+(* Parallel vs. sequential collection is a one-shot wall-clock comparison
+   (a bechamel quota would re-collect the corpus dozens of times). *)
+let print_collection_scaling () =
+  let study = Sbi_corpus.Corpus.mossim in
+  let moss = moss () in
+  let spec =
+    Sbi_runtime.Collect.make_spec ~transform:moss.Harness.transform ~plan:moss.Harness.plan
+      ~gen_input:(fun run -> study.Sbi_corpus.Study.gen_input ~seed:1 ~run)
+      ()
+  in
+  let nruns = bench_runs in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let seq, seq_dt = time (fun () -> Sbi_runtime.Collect.collect ~seed:7 spec ~nruns) in
+  let domains = Sbi_ingest.Par_collect.default_domains () in
+  let par, par_dt =
+    time (fun () -> Sbi_ingest.Par_collect.collect ~seed:7 ~domains spec ~nruns)
+  in
+  let identical =
+    Array.for_all2
+      (fun (a : Sbi_runtime.Report.t) (b : Sbi_runtime.Report.t) -> a = b)
+      seq.Sbi_runtime.Dataset.runs par.Sbi_runtime.Dataset.runs
+  in
+  Printf.printf
+    "collection scaling (%d runs): sequential %.2fs (%.0f reports/s) | %d domain(s) %.2fs \
+     (%.0f reports/s) | speedup %.2fx | identical datasets: %b\n"
+    nruns seq_dt
+    (float_of_int nruns /. Float.max seq_dt 1e-9)
+    domains par_dt
+    (float_of_int nruns /. Float.max par_dt 1e-9)
+    (seq_dt /. Float.max par_dt 1e-9)
+    identical
+
 (* --- run and report --- *)
 
 let run_benchmarks tests =
@@ -201,8 +269,10 @@ let () =
   Printf.printf "sbi benchmark harness: %d runs/study, adaptive training on %d runs\n%!"
     bench_runs bench_train;
   ignore (Lazy.force bundles);
-  let tests = table_tests () @ core_tests () @ runtime_tests () in
+  let tests = table_tests () @ core_tests () @ runtime_tests () @ ingest_tests () in
   Printf.eprintf "[bench] timing %d benchmarks...\n%!" (List.length tests);
   let results = run_benchmarks tests in
   print_results results;
+  Printf.eprintf "[bench] timing parallel vs sequential collection...\n%!";
+  print_collection_scaling ();
   print_tables ()

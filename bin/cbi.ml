@@ -283,6 +283,85 @@ let collect_cmd =
   let info = Cmd.info "collect" ~doc:"Collect a feedback-report dataset and save it to disk." in
   Cmd.v info Term.(const run $ study_t $ out_t $ seed_t $ runs_t $ quick_t $ sampling_t)
 
+(* --- ingestion pipeline --- *)
+
+let print_log_stats (s : Sbi_ingest.Shard_log.stats) =
+  if s.Sbi_ingest.Shard_log.corrupt_records > 0 || s.Sbi_ingest.Shard_log.truncated_bytes > 0
+  then
+    Printf.printf "recovery: skipped %d corrupt record(s), dropped %d truncated tail byte(s)\n"
+      s.Sbi_ingest.Shard_log.corrupt_records s.Sbi_ingest.Shard_log.truncated_bytes
+
+let ingest_cmd =
+  let study_t =
+    Arg.(required & pos 0 (some study_conv) None & info [] ~docv:"STUDY" ~doc:"Study name.")
+  in
+  let out_t =
+    Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"DIR"
+           ~doc:"Shard-log output directory.")
+  in
+  let domains_t =
+    Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N"
+           ~doc:"Collection domains (= shards written); default: all cores.")
+  in
+  let run study out domains seed runs quick sampling =
+    let config = or_fail (config_of ~seed ~runs ~quick ~sampling) in
+    let _, _, spec = Harness.prepare ~config study in
+    let nruns = Harness.study_runs config study in
+    let domains =
+      match domains with Some d when d > 0 -> d | _ -> Sbi_ingest.Par_collect.default_domains ()
+    in
+    let t0 = Unix.gettimeofday () in
+    let stats =
+      Sbi_ingest.Par_collect.collect_to_log ~seed:config.Harness.seed ~domains spec ~nruns
+        ~dir:out
+    in
+    let dt = Unix.gettimeofday () -. t0 in
+    Printf.printf "wrote %s: %d shard(s), %s\n" out
+      (List.length (Sbi_ingest.Shard_log.shard_files ~dir:out))
+      (Sbi_ingest.Shard_log.pp_stats stats);
+    Printf.printf "throughput: %.0f reports/sec (%d domain(s), %.2fs wall)\n"
+      (float_of_int stats.Sbi_ingest.Shard_log.records /. Float.max dt 1e-9)
+      domains dt
+  in
+  let info =
+    Cmd.info "ingest"
+      ~doc:"Collect feedback reports in parallel (one OCaml domain per shard) into a \
+            crash-tolerant binary shard log."
+  in
+  Cmd.v info
+    Term.(const run $ study_t $ out_t $ domains_t $ seed_t $ runs_t $ quick_t $ sampling_t)
+
+let log_stats_cmd =
+  let dir_t =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR"
+           ~doc:"Shard-log directory written by 'cbi ingest'.")
+  in
+  let run dir =
+    let meta =
+      try Sbi_ingest.Shard_log.read_meta ~dir
+      with Sbi_ingest.Shard_log.Format_error m ->
+        prerr_endline ("cbi: " ^ m);
+        exit 2
+    in
+    Printf.printf "%s: %d sites, %d predicates\n" dir meta.Sbi_runtime.Dataset.nsites
+      meta.Sbi_runtime.Dataset.npreds;
+    let total =
+      List.fold_left
+        (fun total (shard, path) ->
+          let (), s = Sbi_ingest.Shard_log.fold_shard path ~init:() ~f:(fun () _ -> ()) in
+          Printf.printf "  shard %04d: %s\n" shard (Sbi_ingest.Shard_log.pp_stats s);
+          Sbi_ingest.Shard_log.add_stats total s)
+        Sbi_ingest.Shard_log.zero_stats
+        (Sbi_ingest.Shard_log.shard_files ~dir)
+    in
+    Printf.printf "  total:      %s\n" (Sbi_ingest.Shard_log.pp_stats total)
+  in
+  let info =
+    Cmd.info "log-stats"
+      ~doc:"Scan a shard log and report per-shard record/byte/corruption statistics."
+  in
+  Cmd.v info Term.(const run $ dir_t)
+
 let disasm_cmd =
   let study_t =
     Arg.(required & pos 0 (some study_conv) None & info [] ~docv:"STUDY" ~doc:"Study name.")
@@ -307,18 +386,79 @@ let disasm_cmd =
 let analyze_file_cmd =
   let file_t =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE"
-           ~doc:"Dataset file written by 'cbi collect'.")
+           ~doc:"Dataset file written by 'cbi collect', or a shard-log directory written \
+                 by 'cbi ingest'.")
   in
   let discard_t =
     let doc = "Run-discard proposal: 1 (discard all covered runs), 2 (failing only), 3 (relabel)." in
     Arg.(value & opt int 1 & info [ "proposal" ] ~docv:"N" ~doc)
   in
-  let run file proposal =
-    let ds =
-      try Sbi_runtime.Dataset.load file
-      with Sbi_runtime.Dataset.Parse_error msg ->
-        prerr_endline ("cbi: cannot read dataset: " ^ msg);
+  let stream_t =
+    let doc =
+      "Streaming mode (shard logs only): aggregate §3.1 counts shard by shard without \
+       materializing reports, and print the top pruned predicates by importance.  Skips \
+       the redundancy-elimination stage, which needs per-run data."
+    in
+    Arg.(value & flag & info [ "stream" ] ~doc)
+  in
+  let top_t =
+    Arg.(value & opt int 10 & info [ "top" ] ~docv:"K"
+           ~doc:"Predicates to print in --stream mode.")
+  in
+  let stream_analyze dir top =
+    let agg, meta, stats =
+      try Sbi_ingest.Aggregator.of_log ~dir
+      with Sbi_ingest.Shard_log.Format_error m ->
+        prerr_endline ("cbi: " ^ m);
         exit 2
+    in
+    print_log_stats stats;
+    let counts = Sbi_ingest.Aggregator.to_counts agg in
+    let retained = Sbi_core.Prune.retained_scores counts in
+    Printf.printf
+      "%d runs (%d failing) streamed from %d shard(s); %d predicates, %d after pruning:\n"
+      (counts.Sbi_core.Counts.num_f + counts.Sbi_core.Counts.num_s)
+      counts.Sbi_core.Counts.num_f
+      (List.length (Sbi_ingest.Shard_log.shard_files ~dir))
+      counts.Sbi_core.Counts.npreds (Array.length retained);
+    let sorted = Array.copy retained in
+    Array.sort Sbi_core.Scores.compare_importance_desc sorted;
+    Array.iteri
+      (fun i (sc : Sbi_core.Scores.t) ->
+        if i < top then
+          Printf.printf "  %2d. [imp %.3f, F=%d, S=%d]  %s\n" (i + 1)
+            sc.Sbi_core.Scores.importance sc.Sbi_core.Scores.f sc.Sbi_core.Scores.s
+            (Sbi_runtime.Dataset.pred_text meta sc.Sbi_core.Scores.pred))
+      sorted
+  in
+  let run file proposal stream top =
+    if not (Sys.file_exists file) then begin
+      prerr_endline ("cbi: no such file or directory: " ^ file);
+      exit 2
+    end;
+    if stream then begin
+      if not (Sys.file_exists file && Sys.is_directory file) then begin
+        prerr_endline "cbi: --stream needs a shard-log directory";
+        exit 2
+      end;
+      stream_analyze file top;
+      exit 0
+    end;
+    let ds =
+      if Sys.file_exists file && Sys.is_directory file then begin
+        match Sbi_ingest.Shard_log.read_all ~dir:file with
+        | ds, stats ->
+            print_log_stats stats;
+            ds
+        | exception Sbi_ingest.Shard_log.Format_error m ->
+            prerr_endline ("cbi: " ^ m);
+            exit 2
+      end
+      else
+        try Sbi_runtime.Dataset.load file
+        with Sbi_runtime.Dataset.Parse_error msg ->
+          prerr_endline ("cbi: cannot read dataset: " ^ msg);
+          exit 2
     in
     let discard =
       match proposal with
@@ -347,9 +487,11 @@ let analyze_file_cmd =
   in
   let info =
     Cmd.info "analyze-file"
-      ~doc:"Run the cause-isolation analysis on a dataset saved by 'cbi collect'."
+      ~doc:"Run the cause-isolation analysis on a dataset saved by 'cbi collect' or on a \
+            shard-log directory written by 'cbi ingest' (--stream for log-only streaming \
+            aggregation)."
   in
-  Cmd.v info Term.(const run $ file_t $ discard_t)
+  Cmd.v info Term.(const run $ file_t $ discard_t $ stream_t $ top_t)
 
 let inspect_cmd =
   let study_t =
@@ -399,8 +541,8 @@ let main_cmd =
   Cmd.group info
     [
       table_cmd; stack_cmd; validation_cmd; ablation_cmd; static_followup_cmd;
-      report_cmd; curves_cmd; studies_cmd; run_cmd; collect_cmd; analyze_file_cmd;
-      disasm_cmd; inspect_cmd;
+      report_cmd; curves_cmd; studies_cmd; run_cmd; collect_cmd; ingest_cmd;
+      log_stats_cmd; analyze_file_cmd; disasm_cmd; inspect_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -42,7 +42,7 @@ let train_plan (study : Sbi_corpus.Study.t) (t : Transform.t) ~seed ~ntrain =
           hooks;
         })
 
-let collect_study ?(config = default_config) (study : Sbi_corpus.Study.t) =
+let prepare ?(config = default_config) (study : Sbi_corpus.Study.t) =
   let prog = Sbi_corpus.Study.checked study in
   let transform = Transform.instrument prog in
   let plan =
@@ -59,8 +59,14 @@ let collect_study ?(config = default_config) (study : Sbi_corpus.Study.t) =
       ~gen_input:(fun run -> study.Sbi_corpus.Study.gen_input ~seed:config.seed ~run)
       ()
   in
-  let nruns = Option.value config.nruns ~default:study.Sbi_corpus.Study.default_runs in
-  let dataset = Collect.collect ~seed:config.seed spec ~nruns in
+  (transform, plan, spec)
+
+let study_runs config (study : Sbi_corpus.Study.t) =
+  Option.value config.nruns ~default:study.Sbi_corpus.Study.default_runs
+
+let collect_study ?(config = default_config) (study : Sbi_corpus.Study.t) =
+  let transform, plan, spec = prepare ~config study in
+  let dataset = Collect.collect ~seed:config.seed spec ~nruns:(study_runs config study) in
   { study; transform; plan; dataset; config }
 
 let analyze bundle =

@@ -32,6 +32,17 @@ type bundle = {
   config : config;
 }
 
+val prepare :
+  ?config:config ->
+  Sbi_corpus.Study.t ->
+  Sbi_instrument.Transform.t * Sbi_instrument.Sampler.plan * Sbi_runtime.Collect.spec
+(** Instrument a study and build its collection spec (training the adaptive
+    sampling plan when configured) without collecting.  Used by callers that
+    drive collection themselves — e.g. the parallel ingestion pipeline. *)
+
+val study_runs : config -> Sbi_corpus.Study.t -> int
+(** The configured run count, falling back to the study's default. *)
+
 val collect_study : ?config:config -> Sbi_corpus.Study.t -> bundle
 (** Instruments, trains (training inputs are drawn from a disjoint run-index
     range), and collects.  This is the expensive step; reuse the bundle

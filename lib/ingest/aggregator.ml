@@ -1,0 +1,78 @@
+open Sbi_runtime
+
+type t = {
+  nsites : int;
+  npreds : int;
+  pred_site : int array;
+  f : int array;
+  s : int array;
+  f_obs_site : int array;
+  s_obs_site : int array;
+  mutable num_f : int;
+  mutable num_s : int;
+}
+
+let empty ~nsites ~npreds ~pred_site =
+  if Array.length pred_site <> npreds then
+    invalid_arg "Aggregator.empty: pred_site length mismatch";
+  {
+    nsites;
+    npreds;
+    pred_site;
+    f = Array.make npreds 0;
+    s = Array.make npreds 0;
+    f_obs_site = Array.make (max nsites 1) 0;
+    s_obs_site = Array.make (max nsites 1) 0;
+    num_f = 0;
+    num_s = 0;
+  }
+
+let of_meta (meta : Dataset.t) =
+  empty ~nsites:meta.Dataset.nsites ~npreds:meta.Dataset.npreds
+    ~pred_site:meta.Dataset.pred_site
+
+let observe t (r : Report.t) =
+  let failing = Report.outcome_is_failure r.Report.outcome in
+  if failing then t.num_f <- t.num_f + 1 else t.num_s <- t.num_s + 1;
+  let site_counter = if failing then t.f_obs_site else t.s_obs_site in
+  Array.iter (fun site -> site_counter.(site) <- site_counter.(site) + 1) r.Report.observed_sites;
+  let pred_counter = if failing then t.f else t.s in
+  Array.iter (fun pred -> pred_counter.(pred) <- pred_counter.(pred) + 1) r.Report.true_preds
+
+let merge_into ~into:a b =
+  if a.npreds <> b.npreds || a.nsites <> b.nsites then
+    invalid_arg "Aggregator.merge: mismatched tables";
+  let add dst src = Array.iteri (fun i v -> dst.(i) <- dst.(i) + v) src in
+  add a.f b.f;
+  add a.s b.s;
+  add a.f_obs_site b.f_obs_site;
+  add a.s_obs_site b.s_obs_site;
+  a.num_f <- a.num_f + b.num_f;
+  a.num_s <- a.num_s + b.num_s
+
+let merge a b =
+  let t = empty ~nsites:a.nsites ~npreds:a.npreds ~pred_site:a.pred_site in
+  merge_into ~into:t a;
+  merge_into ~into:t b;
+  t
+
+let to_counts t =
+  {
+    Sbi_core.Counts.npreds = t.npreds;
+    f = Array.copy t.f;
+    s = Array.copy t.s;
+    f_obs = Array.init t.npreds (fun p -> t.f_obs_site.(t.pred_site.(p)));
+    s_obs = Array.init t.npreds (fun p -> t.s_obs_site.(t.pred_site.(p)));
+    num_f = t.num_f;
+    num_s = t.num_s;
+  }
+
+let of_log ~dir =
+  let meta = Shard_log.read_meta ~dir in
+  let t, stats =
+    Shard_log.fold ~dir ~init:(of_meta meta)
+      ~f:(fun t r ->
+        observe t r;
+        t)
+  in
+  (t, meta, stats)

@@ -1,0 +1,44 @@
+(** Mergeable streaming aggregation of the §3.1 counts.
+
+    The per-predicate counters F(P), S(P) and the per-site observation
+    counters behind F(P obs), S(P obs) form a commutative monoid under
+    {!empty} / {!merge}, with {!observe} folding in one report at a time.
+    That means the pruning-stage analysis ({!Sbi_core.Prune},
+    {!Sbi_core.Scores}) can run over a sharded report log of any size —
+    per-shard partial aggregates merge into exactly the counts
+    {!Sbi_core.Counts.compute} would produce on the materialized dataset
+    (tested as an equivalence property). *)
+
+type t = {
+  nsites : int;
+  npreds : int;
+  pred_site : int array;
+  f : int array;  (** F(P): failing runs where P observed true *)
+  s : int array;  (** S(P): successful runs where P observed true *)
+  f_obs_site : int array;  (** failing runs in which each site was sampled *)
+  s_obs_site : int array;  (** successful runs in which each site was sampled *)
+  mutable num_f : int;
+  mutable num_s : int;
+}
+
+val empty : nsites:int -> npreds:int -> pred_site:int array -> t
+
+val of_meta : Sbi_runtime.Dataset.t -> t
+(** [empty] sized from a (possibly run-free) dataset's tables. *)
+
+val observe : t -> Sbi_runtime.Report.t -> unit
+(** Fold one report into the accumulator. *)
+
+val merge : t -> t -> t
+(** Monoid combine (commutative, associative, [empty] neutral). *)
+
+val merge_into : into:t -> t -> unit
+(** In-place variant: add [b]'s counters into [into]. *)
+
+val to_counts : t -> Sbi_core.Counts.t
+(** Expand per-site observation counters to the per-predicate view used by
+    scoring; equals [Counts.compute] on the equivalent dataset. *)
+
+val of_log : dir:string -> t * Sbi_runtime.Dataset.t * Shard_log.stats
+(** Stream an entire shard log: the aggregate, the log's meta tables, and
+    read stats — without ever materializing the report array. *)

@@ -1,0 +1,189 @@
+open Sbi_runtime
+
+exception Format_error of string
+
+let magic = "SBIL"
+let format_version = 1
+let meta_file = "meta"
+
+type stats = {
+  records : int;
+  bytes : int;
+  corrupt_records : int;
+  truncated_bytes : int;
+}
+
+let zero_stats = { records = 0; bytes = 0; corrupt_records = 0; truncated_bytes = 0 }
+
+let add_stats a b =
+  {
+    records = a.records + b.records;
+    bytes = a.bytes + b.bytes;
+    corrupt_records = a.corrupt_records + b.corrupt_records;
+    truncated_bytes = a.truncated_bytes + b.truncated_bytes;
+  }
+
+let pp_stats s =
+  Printf.sprintf "%d records, %d bytes, %d corrupt skipped, %d truncated tail bytes"
+    s.records s.bytes s.corrupt_records s.truncated_bytes
+
+let ensure_dir dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
+  else if not (Sys.is_directory dir) then
+    invalid_arg (Printf.sprintf "Shard_log: %s exists and is not a directory" dir)
+
+let shard_path ~dir shard = Filename.concat dir (Printf.sprintf "shard-%04d.sbil" shard)
+
+(* --- writer --- *)
+
+type writer = {
+  oc : out_channel;
+  buf : Buffer.t;
+  mutable w_records : int;
+  mutable w_bytes : int;
+  mutable closed : bool;
+}
+
+let header shard =
+  let buf = Buffer.create 8 in
+  Buffer.add_string buf magic;
+  Codec.add_varint buf format_version;
+  Codec.add_varint buf shard;
+  Buffer.contents buf
+
+let create_writer ~dir ~shard =
+  ensure_dir dir;
+  let oc = open_out_bin (shard_path ~dir shard) in
+  let h = header shard in
+  output_string oc h;
+  { oc; buf = Buffer.create 512; w_records = 0; w_bytes = String.length h; closed = false }
+
+let append w r =
+  Buffer.clear w.buf;
+  Codec.add_framed w.buf r;
+  Buffer.output_buffer w.oc w.buf;
+  w.w_records <- w.w_records + 1;
+  w.w_bytes <- w.w_bytes + Buffer.length w.buf
+
+let writer_stats w =
+  { zero_stats with records = w.w_records; bytes = w.w_bytes }
+
+let close_writer w =
+  if not w.closed then begin
+    w.closed <- true;
+    close_out w.oc
+  end;
+  writer_stats w
+
+(* --- reader --- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Validates the header, returning (shard index, first record offset). *)
+let read_header path s =
+  let n = String.length s in
+  if n < String.length magic || String.sub s 0 (String.length magic) <> magic then
+    raise (Format_error (path ^ ": not a shard log (bad magic)"));
+  let pos = ref (String.length magic) in
+  match
+    let v = Codec.read_varint s pos n in
+    let shard = Codec.read_varint s pos n in
+    (v, shard)
+  with
+  | exception Codec.Corrupt _ -> raise (Format_error (path ^ ": truncated header"))
+  | v, _ when v <> format_version ->
+      raise (Format_error (Printf.sprintf "%s: unsupported format version %d" path v))
+  | _, shard -> (shard, !pos)
+
+(* A reader never aborts on record damage: CRC failures are skipped and
+   counted, and an incomplete tail (crashed writer) ends the scan with its
+   byte count recorded.  Only a bad header is a hard error. *)
+let fold_shard path ~init ~f =
+  let s = read_file path in
+  let _, start = read_header path s in
+  let n = String.length s in
+  let acc = ref init in
+  let records = ref 0 and corrupt = ref 0 in
+  let pos = ref start in
+  let truncated = ref 0 in
+  let continue = ref true in
+  while !continue && !pos < n do
+    match Codec.read_framed s ~pos:!pos with
+    | Codec.Frame (r, next) ->
+        acc := f !acc r;
+        incr records;
+        pos := next
+    | Codec.Frame_corrupt next ->
+        incr corrupt;
+        pos := next
+    | Codec.Frame_truncated ->
+        truncated := n - !pos;
+        continue := false
+  done;
+  ( !acc,
+    {
+      records = !records;
+      bytes = n;
+      corrupt_records = !corrupt;
+      truncated_bytes = !truncated;
+    } )
+
+let shard_files ~dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter_map (fun name ->
+         Scanf.sscanf_opt name "shard-%d.sbil" (fun i -> (i, Filename.concat dir name)))
+  |> List.sort compare
+
+let fold ~dir ~init ~f =
+  List.fold_left
+    (fun (acc, stats) (_, path) ->
+      let acc, s = fold_shard path ~init:acc ~f in
+      (acc, add_stats stats s))
+    (init, zero_stats) (shard_files ~dir)
+
+(* --- metadata --- *)
+
+(* The site/predicate tables reuse the established text format: the meta
+   file is a zero-run dataset, so offline tooling can read it directly. *)
+let write_meta ~dir ds =
+  ensure_dir dir;
+  Dataset.save (Filename.concat dir meta_file) { ds with Dataset.runs = [||] }
+
+let read_meta ~dir =
+  let path = Filename.concat dir meta_file in
+  if not (Sys.file_exists path) then raise (Format_error (path ^ ": missing meta file"));
+  match Dataset.load path with
+  | ds -> ds
+  | exception Dataset.Parse_error m -> raise (Format_error (path ^ ": bad meta: " ^ m))
+
+(* --- whole-log operations --- *)
+
+let write_dataset ~dir ~shards ds =
+  if shards < 1 then invalid_arg "Shard_log.write_dataset: shards must be >= 1";
+  write_meta ~dir ds;
+  let nruns = Array.length ds.Dataset.runs in
+  let per = (nruns + shards - 1) / max shards 1 in
+  let total = ref zero_stats in
+  for shard = 0 to shards - 1 do
+    let w = create_writer ~dir ~shard in
+    let lo = shard * per and hi = min nruns ((shard + 1) * per) in
+    for i = lo to hi - 1 do
+      append w ds.Dataset.runs.(i)
+    done;
+    total := add_stats !total (close_writer w)
+  done;
+  !total
+
+let read_all ~dir =
+  let meta = read_meta ~dir in
+  let rev, stats = fold ~dir ~init:[] ~f:(fun acc r -> r :: acc) in
+  let runs = Array.of_list (List.rev rev) in
+  (* canonical merge: shard order is arbitrary, run ids are not *)
+  Array.sort
+    (fun (a : Report.t) (b : Report.t) -> compare a.Report.run_id b.Report.run_id)
+    runs;
+  ({ meta with Dataset.runs }, stats)

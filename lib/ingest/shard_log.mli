@@ -1,0 +1,75 @@
+(** Append-only, sharded, crash-tolerant on-disk report log.
+
+    A log is a directory holding a [meta] file (the site/predicate tables,
+    stored as a zero-run dataset in the established text format) and one
+    [shard-NNNN.sbil] file per shard.  Each shard starts with a
+    magic + format-version header followed by framed {!Codec} records.
+
+    Recovery rules (a crashed or raced writer never poisons the corpus):
+    - a record whose CRC or payload fails to decode is {e skipped} and
+      counted in [corrupt_records];
+    - an incomplete frame at the end of a shard (partial write) ends that
+      shard's scan, with the remaining bytes counted in [truncated_bytes];
+    - only a missing/invalid header or meta file raises {!Format_error}. *)
+
+exception Format_error of string
+
+val magic : string
+val format_version : int
+
+type stats = {
+  records : int;  (** records written (writer) or successfully read *)
+  bytes : int;  (** bytes written / scanned, headers included *)
+  corrupt_records : int;  (** records skipped on CRC/decode failure *)
+  truncated_bytes : int;  (** unparseable tail bytes (crashed writer) *)
+}
+
+val zero_stats : stats
+val add_stats : stats -> stats -> stats
+val pp_stats : stats -> string
+
+val shard_path : dir:string -> int -> string
+(** [dir/shard-NNNN.sbil]. *)
+
+val shard_files : dir:string -> (int * string) list
+(** Shards present in a log directory, sorted by shard index. *)
+
+(** {1 Writing} *)
+
+type writer
+
+val create_writer : dir:string -> shard:int -> writer
+(** Creates [dir] if needed, truncates the shard file, writes the header. *)
+
+val append : writer -> Sbi_runtime.Report.t -> unit
+val writer_stats : writer -> stats
+
+val close_writer : writer -> stats
+(** Flushes and closes (idempotent); returns the writer's final stats. *)
+
+val write_meta : dir:string -> Sbi_runtime.Dataset.t -> unit
+(** Stores the dataset's tables (runs are stripped) as [dir/meta]. *)
+
+val write_dataset : dir:string -> shards:int -> Sbi_runtime.Dataset.t -> stats
+(** Shards an in-memory dataset into a fresh log: meta plus [shards] shard
+    files holding contiguous blocks of runs. *)
+
+(** {1 Reading} *)
+
+val read_meta : dir:string -> Sbi_runtime.Dataset.t
+(** The table-only dataset stored by {!write_meta} (zero runs).
+    @raise Format_error when missing or unreadable. *)
+
+val fold_shard :
+  string -> init:'a -> f:('a -> Sbi_runtime.Report.t -> 'a) -> 'a * stats
+(** Stream one shard file's intact records, applying the recovery rules. *)
+
+val fold : dir:string -> init:'a -> f:('a -> Sbi_runtime.Report.t -> 'a) -> 'a * stats
+(** Stream every shard of a log in shard order, summing stats.  This is the
+    streaming entry point: aggregation over logs larger than memory never
+    materializes more than one record at a time. *)
+
+val read_all : dir:string -> Sbi_runtime.Dataset.t * stats
+(** Materialize a log as a dataset: meta tables plus every intact record,
+    canonically merged by sorting on run id (so any shard assignment of the
+    same runs yields the same dataset). *)

@@ -29,6 +29,8 @@ let create ?(seed = 0x5eed) ~nsites plan =
   done;
   t
 
+let reseed t seed = Sbi_util.Prng.reseed t.rng seed
+
 let begin_run t =
   for site = 0 to t.nsites - 1 do
     t.countdown.(site) <- draw_countdown t site

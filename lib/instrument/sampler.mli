@@ -23,6 +23,14 @@ type t
 
 val create : ?seed:int -> nsites:int -> plan -> t
 
+val reseed : t -> int -> unit
+(** [reseed t seed] resets the sampler's coin-flip stream to a fresh state
+    derived from [seed] (countdowns are unchanged until the next
+    {!begin_run}).  Collection reseeds before every run with a key mixed
+    from the collection seed and the run index, making each run's sampling
+    independent of execution order — the invariant that lets parallel
+    collection reproduce sequential results exactly. *)
+
 val begin_run : t -> unit
 (** Re-randomizes all countdowns; call before each program run so runs are
     independent (the deployed system's per-process re-randomization). *)

@@ -79,6 +79,16 @@ let sorted_array_of_list l =
 
 let nondet_seed_of spec run_index = (spec.nondet_salt * 1_000_003) + run_index
 
+(* splitmix64-style finalizer over (seed, run_index): neighbouring runs get
+   statistically unrelated sampling streams, and the stream of run i depends
+   only on (seed, i) — never on which runs were executed before it. *)
+let run_seed ~seed ~run_index =
+  let open Int64 in
+  let z = add (of_int seed) (mul 0x9E3779B97F4A7C15L (of_int (run_index + 1))) in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  to_int (shift_right_logical (logxor z (shift_right_logical z 31)) 1)
+
 let run_one spec ~sampler ~run_index =
   let t = spec.transform in
   let sites = t.Transform.sites in
@@ -127,15 +137,17 @@ let run_one spec ~sampler ~run_index =
   in
   (report, result)
 
-let collect ?(seed = 0xc0ffee) ?(first_run = 0) spec ~nruns =
+let collect_reports ?(seed = 0xc0ffee) ?(first_run = 0) spec ~nruns =
   let t = spec.transform in
   let sampler = Sampler.create ~seed ~nsites:(Transform.num_sites t) spec.plan in
-  let runs =
-    Array.init nruns (fun i ->
-        let report, _ = run_one spec ~sampler ~run_index:(first_run + i) in
-        report)
-  in
-  Dataset.create ~transform:t runs
+  Array.init nruns (fun i ->
+      let run_index = first_run + i in
+      Sampler.reseed sampler (run_seed ~seed ~run_index);
+      let report, _ = run_one spec ~sampler ~run_index in
+      report)
+
+let collect ?seed ?first_run spec ~nruns =
+  Dataset.create ~transform:spec.transform (collect_reports ?seed ?first_run spec ~nruns)
 
 let run_uninstrumented spec ~run_index =
   let args = spec.gen_input run_index in

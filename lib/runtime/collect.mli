@@ -45,11 +45,25 @@ val run_one :
   Report.t * Sbi_lang.Interp.result
 (** Executes a single monitored run (also used by training and tests). *)
 
+val run_seed : seed:int -> run_index:int -> int
+(** The per-run sampling key: a splitmix64-style mix of the collection seed
+    and the run index.  Every collection path (sequential or parallel)
+    reseeds its sampler with this key before each run, so a run's report
+    depends only on [(spec, seed, run_index)] — never on which runs were
+    executed before it or on which domain executed it. *)
+
 val collect : ?seed:int -> ?first_run:int -> spec -> nruns:int -> Dataset.t
 (** [collect spec ~nruns] executes runs [first_run .. first_run+nruns-1].
-    [seed] seeds the sampling coin flips only; program inputs come from
-    [gen_input] and in-program nondeterminism from [nondet_salt], so the
-    same spec yields the same dataset. *)
+    [seed] seeds the sampling coin flips only (re-keyed per run via
+    {!run_seed}); program inputs come from [gen_input] and in-program
+    nondeterminism from [nondet_salt], so the same spec yields the same
+    dataset — in any execution order. *)
+
+val collect_reports :
+  ?seed:int -> ?first_run:int -> spec -> nruns:int -> Report.t array
+(** Like {!collect} but returns the raw reports without building the
+    dataset tables (the parallel-collection building block: each worker
+    collects a contiguous block of run indices). *)
 
 val run_uninstrumented :
   spec -> run_index:int -> Sbi_lang.Interp.result

@@ -235,9 +235,19 @@ let of_channel ic =
   in
   { nsites; npreds; pred_site; pred_texts; runs }
 
+(* Atomic: write to a temp file in the target directory, then rename, so an
+   interrupted save can never leave a half-written dataset at [path]. *)
 let save path t =
-  let oc = open_out path in
-  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> to_channel oc t)
+  let dir = Filename.dirname path in
+  let tmp = Filename.temp_file ~temp_dir:dir (Filename.basename path ^ ".") ".tmp" in
+  let ok = ref false in
+  Fun.protect
+    ~finally:(fun () -> if not !ok then Sys.remove tmp)
+    (fun () ->
+      let oc = open_out tmp in
+      Fun.protect ~finally:(fun () -> close_out oc) (fun () -> to_channel oc t);
+      Sys.rename tmp path;
+      ok := true)
 
 let load path =
   let ic = open_in path in

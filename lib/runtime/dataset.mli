@@ -59,6 +59,9 @@ val to_channel : out_channel -> t -> unit
 val of_channel : in_channel -> t
 
 val save : string -> t -> unit
+(** Atomic: writes to a temp file in the same directory and renames it into
+    place, so a crash mid-save never leaves a truncated dataset behind. *)
+
 val load : string -> t
 
 exception Parse_error of string

@@ -1,0 +1,13 @@
+(** CRC-32 checksums (the IEEE 802.3 polynomial used by zip/gzip/png).
+
+    Used by the feedback-report wire format to detect corrupted records in
+    on-disk shard logs.  Checksums are returned as non-negative [int]s in
+    [0, 2^32). *)
+
+val string : string -> int
+(** [string s] is the CRC-32 of all of [s].
+    [string "123456789" = 0xCBF43926]. *)
+
+val sub : string -> pos:int -> len:int -> int
+(** Checksum of the [len] bytes of [s] starting at [pos].
+    @raise Invalid_argument when the range is out of bounds. *)

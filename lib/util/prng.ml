@@ -21,6 +21,13 @@ let create seed =
 
 let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
 
+let reseed t seed =
+  let state = ref (Int64.of_int seed) in
+  t.s0 <- splitmix64_next state;
+  t.s1 <- splitmix64_next state;
+  t.s2 <- splitmix64_next state;
+  t.s3 <- splitmix64_next state
+
 let rotl x k =
   Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
 

@@ -15,6 +15,12 @@ val create : int -> t
 val copy : t -> t
 (** [copy t] is an independent generator with the same current state. *)
 
+val reseed : t -> int -> unit
+(** [reseed t seed] resets [t] in place to the state [create seed] would
+    produce.  Used for per-run sampling streams: reseeding by a
+    deterministic per-run key makes each run's randomness independent of
+    execution order (the parallel-collection invariant). *)
+
 val split : t -> t
 (** [split t] derives a child generator from [t], advancing [t].  Streams of
     the child and the parent are (statistically) independent. *)

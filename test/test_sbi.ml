@@ -14,6 +14,7 @@ let () =
       ("vm", Test_vm.suite);
       ("instrument", Test_instrument.suite);
       ("runtime", Test_runtime.suite);
+      ("ingest", Test_ingest.suite);
       ("core", Test_core.suite);
       ("logreg", Test_logreg.suite);
       ("corpus", Test_corpus.suite);
