@@ -1,22 +1,40 @@
 # Tier-1 verification and day-to-day developer targets.
 
-.PHONY: all build check test bench fmt clean
+.PHONY: all build check test bench serve-demo fmt clean
 
 all: build
+
+DEMO_DIR := _demo
+
+# Tier-1: the gate every change must pass, plus an end-to-end
+# ingest -> index -> fsck smoke check over a small demo corpus.
+check:
+	dune build
+	dune runtest
+	rm -rf $(DEMO_DIR)
+	dune exec bin/cbi.exe -- ingest mossim -o $(DEMO_DIR)/log --quick --domains 2
+	dune exec bin/cbi.exe -- index $(DEMO_DIR)/log -o $(DEMO_DIR)/idx
+	dune exec bin/cbi.exe -- fsck $(DEMO_DIR)/idx
 
 build:
 	dune build @all
 
-# Tier-1: the gate every change must pass.
-check:
-	dune build
-	dune runtest
-
 test:
 	dune runtest
 
+# Prints every regenerated table and writes BENCH_core.json
+# (see docs/ingest.md for the schema; SBI_BENCH_RUNS scales the workload).
 bench:
 	dune exec bench/main.exe
+
+# Build a small demo log + index and start a triage server on it.
+# Query it from another terminal, e.g.:
+#   dune exec bin/cbi.exe -- query 127.0.0.1:7077 topk 5
+serve-demo:
+	rm -rf $(DEMO_DIR)
+	dune exec bin/cbi.exe -- ingest mossim -o $(DEMO_DIR)/log --quick --domains 2
+	dune exec bin/cbi.exe -- index $(DEMO_DIR)/log -o $(DEMO_DIR)/idx
+	dune exec bin/cbi.exe -- serve $(DEMO_DIR)/idx -a 127.0.0.1:7077
 
 # Formats dune files in place. ocamlformat is not in the build image, so
 # dune-project enables @fmt for dune files only.
@@ -25,3 +43,4 @@ fmt:
 
 clean:
 	dune clean
+	rm -rf $(DEMO_DIR) BENCH_core.json

@@ -169,6 +169,43 @@ let ingest_tests () =
       (Staged.stage (fun () -> Sbi_ingest.Shard_log.read_all ~dir:log_dir));
   ]
 
+(* --- predicate-index micro-benchmarks --- *)
+
+let index_tests () =
+  let moss = moss () in
+  let ds = moss.Harness.dataset in
+  let log_dir = Filename.temp_dir "sbi_bench" ".log" in
+  ignore (Sbi_ingest.Shard_log.write_dataset ~dir:log_dir ~shards:4 ds);
+  let idx_dir = Filename.temp_dir "sbi_bench" ".idx" in
+  Array.iter (fun n -> Sys.remove (Filename.concat idx_dir n)) (Sys.readdir idx_dir);
+  ignore (Sbi_index.Index.build ~log:log_dir ~dir:idx_dir);
+  let idx = Sbi_index.Index.open_ ~dir:idx_dir in
+  let counts = Sbi_core.Counts.compute ds in
+  let retained = Sbi_core.Prune.retained counts in
+  let selected = match retained with p :: _ -> p | [] -> 0 in
+  let other = match retained with _ :: p :: _ -> p | _ -> selected in
+  (* the naive co-occurrence rescan the posting-list intersection replaces *)
+  let cooccur_rescan () =
+    Array.fold_left
+      (fun acc r ->
+        if Sbi_runtime.Report.is_true r selected && Sbi_runtime.Report.is_true r other then
+          acc + 1
+        else acc)
+      0 ds.Sbi_runtime.Dataset.runs
+  in
+  [
+    Test.make ~name:"index:open" (Staged.stage (fun () -> Sbi_index.Index.open_ ~dir:idx_dir));
+    Test.make ~name:"index:counts-merge" (Staged.stage (fun () -> Sbi_index.Triage.counts idx));
+    Test.make ~name:"index:topk" (Staged.stage (fun () -> Sbi_index.Triage.topk ~k:10 idx));
+    Test.make ~name:"index:pred-detail"
+      (Staged.stage (fun () -> Sbi_index.Triage.pred_detail idx ~pred:selected));
+    Test.make ~name:"index:affinity"
+      (Staged.stage (fun () -> Sbi_index.Triage.affinity idx ~selected ~others:retained));
+    Test.make ~name:"index:cooccur-postings"
+      (Staged.stage (fun () -> Sbi_index.Triage.cooccurrence idx ~a:selected ~b:other));
+    Test.make ~name:"index:cooccur-rescan" (Staged.stage cooccur_rescan);
+  ]
+
 (* Parallel vs. sequential collection is a one-shot wall-clock comparison
    (a bechamel quota would re-collect the corpus dozens of times). *)
 let print_collection_scaling () =
@@ -204,6 +241,131 @@ let print_collection_scaling () =
     (float_of_int nruns /. Float.max par_dt 1e-9)
     (seq_dt /. Float.max par_dt 1e-9)
     identical
+
+(* Index build throughput and indexed top-k vs. full-rescan streaming on a
+   synthetic >= 10k-run corpus: one-shot wall-clock numbers (building the
+   corpus inside a bechamel quota would dominate the measurement). *)
+
+let synth_nruns =
+  match Sys.getenv_opt "SBI_BENCH_INDEX_RUNS" with
+  | Some s -> ( match int_of_string_opt s with Some n when n > 0 -> n | _ -> 10_000)
+  | None -> 10_000
+
+let synth_report st ~nsites ~npreds ~pred_site id =
+  let obs_mask = Array.make nsites false in
+  let obs = ref [] and preds = ref [] in
+  for site = nsites - 1 downto 0 do
+    if Random.State.float st 1.0 < 0.3 then begin
+      obs_mask.(site) <- true;
+      obs := site :: !obs
+    end
+  done;
+  let observed = Array.of_list !obs in
+  for p = npreds - 1 downto 0 do
+    if obs_mask.(pred_site.(p)) && Random.State.float st 1.0 < 0.15 then preds := p :: !preds
+  done;
+  let true_preds = Array.of_list !preds in
+  let buggy = Array.exists (fun p -> p = 17) true_preds in
+  let failing =
+    Random.State.float st 1.0 < if buggy then 0.9 else 0.03
+  in
+  {
+    Sbi_runtime.Report.run_id = id;
+    outcome = (if failing then Sbi_runtime.Report.Failure else Sbi_runtime.Report.Success);
+    observed_sites = observed;
+    true_preds;
+    true_counts = Array.map (fun _ -> 1 + Random.State.int st 4) true_preds;
+    bugs = (if buggy && failing then [| 0 |] else [||]);
+    crash_sig = (if failing then Some "synth<crash" else None);
+  }
+
+let print_index_scaling () =
+  let nsites = 120 and npreds = 360 in
+  let pred_site = Array.init npreds (fun p -> p / 3) in
+  let meta = Sbi_runtime.Dataset.of_tables ~nsites ~npreds ~pred_site [||] in
+  let st = Random.State.make [| 0x5b1 |] in
+  let log_dir = Filename.temp_dir "sbi_bench" ".biglog" in
+  Sbi_ingest.Shard_log.write_meta ~dir:log_dir meta;
+  let shards = 4 in
+  let writers =
+    Array.init shards (fun shard -> Sbi_ingest.Shard_log.create_writer ~dir:log_dir ~shard ())
+  in
+  for id = 0 to synth_nruns - 1 do
+    Sbi_ingest.Shard_log.append writers.(id mod shards)
+      (synth_report st ~nsites ~npreds ~pred_site id)
+  done;
+  Array.iter (fun w -> ignore (Sbi_ingest.Shard_log.close_writer w)) writers;
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let idx_dir = Filename.temp_dir "sbi_bench" ".bigidx" in
+  Array.iter (fun n -> Sys.remove (Filename.concat idx_dir n)) (Sys.readdir idx_dir);
+  let build_stats, build_dt = time (fun () -> Sbi_index.Index.build ~log:log_dir ~dir:idx_dir) in
+  Printf.printf
+    "index build (%d runs, %d shards): %.2fs (%.0f reports/s, %d segments, %.1f MB consumed)\n"
+    synth_nruns shards build_dt
+    (float_of_int build_stats.Sbi_index.Index.records_indexed /. Float.max build_dt 1e-9)
+    build_stats.Sbi_index.Index.segments_added
+    (float_of_int build_stats.Sbi_index.Index.bytes_consumed /. 1e6);
+  let idx, open_dt = time (fun () -> Sbi_index.Index.open_ ~dir:idx_dir) in
+  (* what `cbi analyze-file --stream` does: rescan every shard, then rank *)
+  let rescan_once () =
+    let agg, _, _ = Sbi_ingest.Aggregator.of_log ~dir:log_dir in
+    let retained = Sbi_core.Prune.retained_scores (Sbi_ingest.Aggregator.to_counts agg) in
+    Array.sort Sbi_core.Scores.compare_importance_desc retained;
+    retained
+  in
+  let rescan, rescan_dt = time rescan_once in
+  let iters = 25 in
+  let indexed, indexed_dt =
+    time (fun () ->
+        let last = ref [] in
+        for _ = 1 to iters do
+          last := Sbi_index.Triage.topk ~k:10 idx
+        done;
+        !last)
+  in
+  let indexed_dt = indexed_dt /. float_of_int iters in
+  let agree =
+    List.for_all2
+      (fun (a : Sbi_core.Scores.t) (b : Sbi_core.Scores.t) ->
+        a.Sbi_core.Scores.pred = b.Sbi_core.Scores.pred)
+      indexed
+      (Array.to_list (Array.sub rescan 0 (min 10 (Array.length rescan))))
+  in
+  Printf.printf
+    "top-k on %d runs: full rescan %.1f ms | indexed %.3f ms (+%.1f ms one-time open) | \
+     speedup %.0fx | same ranking: %b\n"
+    synth_nruns (rescan_dt *. 1e3) (indexed_dt *. 1e3) (open_dt *. 1e3)
+    (rescan_dt /. Float.max indexed_dt 1e-9)
+    agree;
+  (* query latency through the server path: socket, framing, and locking *)
+  let sock = Filename.temp_file "sbi_bench" ".sock" in
+  Sys.remove sock;
+  let config =
+    { (Sbi_serve.Server.default_config (Sbi_serve.Wire.Unix_sock sock)) with
+      Sbi_serve.Server.fsync = false }
+  in
+  let srv = Sbi_serve.Server.start config idx in
+  let client = Sbi_serve.Client.connect (Sbi_serve.Wire.Unix_sock sock) in
+  let nq = 200 in
+  let lat = Array.make nq 0.0 in
+  for i = 0 to nq - 1 do
+    let t0 = Unix.gettimeofday () in
+    (match Sbi_serve.Client.request client "topk 10" with
+    | Ok _ -> ()
+    | Error e -> failwith ("bench query failed: " ^ e));
+    lat.(i) <- Unix.gettimeofday () -. t0
+  done;
+  Sbi_serve.Client.close client;
+  Sbi_serve.Server.stop srv;
+  Array.sort compare lat;
+  Printf.printf "query latency (topk 10 over unix socket, %d requests): p50 %.2f ms, p95 %.2f ms\n"
+    nq
+    (lat.(nq / 2) *. 1e3)
+    (lat.(nq * 95 / 100) *. 1e3)
 
 (* --- run and report --- *)
 
@@ -243,6 +405,39 @@ let print_results results =
     sorted;
   print_string (Sbi_util.Texttab.render tab)
 
+(* Machine-readable results: BENCH_core.json maps each benchmark name to
+   ns/op and mops/s so the perf trajectory is diffable across PRs (format
+   documented in docs/ingest.md). *)
+let write_bench_json ~path results =
+  let module J = Sbi_util.Json in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols ->
+      match Analyze.OLS.estimates ols with
+      | Some (ns :: _) when Float.is_finite ns && ns > 0. -> rows := (name, ns) :: !rows
+      | _ -> ())
+    results;
+  let sorted = List.sort (fun (a, _) (b, _) -> compare a b) !rows in
+  let doc =
+    J.Obj
+      [
+        ("schema", J.Str "sbi-bench/1");
+        ("runs_per_study", J.int bench_runs);
+        ( "benchmarks",
+          J.Obj
+            (List.map
+               (fun (name, ns) ->
+                 ( name,
+                   J.Obj [ ("ns_per_op", J.Num ns); ("mops_per_s", J.Num (1e3 /. ns)) ] ))
+               sorted) );
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (J.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s (%d benchmarks)\n" path (List.length sorted)
+
 let print_tables () =
   print_endline "\n===== Regenerated paper tables (reduced run counts) =====\n";
   let moss = moss () in
@@ -269,10 +464,17 @@ let () =
   Printf.printf "sbi benchmark harness: %d runs/study, adaptive training on %d runs\n%!"
     bench_runs bench_train;
   ignore (Lazy.force bundles);
-  let tests = table_tests () @ core_tests () @ runtime_tests () @ ingest_tests () in
+  let tests =
+    table_tests () @ core_tests () @ runtime_tests () @ ingest_tests () @ index_tests ()
+  in
   Printf.eprintf "[bench] timing %d benchmarks...\n%!" (List.length tests);
   let results = run_benchmarks tests in
   print_results results;
+  write_bench_json
+    ~path:(Option.value ~default:"BENCH_core.json" (Sys.getenv_opt "SBI_BENCH_JSON"))
+    results;
   Printf.eprintf "[bench] timing parallel vs sequential collection...\n%!";
   print_collection_scaling ();
+  Printf.eprintf "[bench] timing index build and indexed vs rescan top-k...\n%!";
+  print_index_scaling ();
   print_tables ()

@@ -383,6 +383,92 @@ let disasm_cmd =
   let info = Cmd.info "disasm" ~doc:"Disassemble a corpus program's bytecode." in
   Cmd.v info Term.(const run $ study_t $ fn_t)
 
+(* --- analysis rendering (shared by analyze / analyze-file) --- *)
+
+module J = Sbi_util.Json
+
+let json_t =
+  let doc = "Emit machine-readable JSON instead of the human table." in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
+let discard_of_proposal = function
+  | 1 -> Ok Sbi_core.Eliminate.Discard_all_true
+  | 2 -> Ok Sbi_core.Eliminate.Discard_failing_true
+  | 3 -> Ok Sbi_core.Eliminate.Relabel_failing
+  | _ -> Error "--proposal must be 1, 2, or 3"
+
+let interval_json (iv : Sbi_util.Stats.interval) =
+  J.Obj [ ("lo", J.Num iv.Sbi_util.Stats.lo); ("hi", J.Num iv.Sbi_util.Stats.hi) ]
+
+let score_json ~text (sc : Sbi_core.Scores.t) =
+  J.Obj
+    [
+      ("pred", J.int sc.Sbi_core.Scores.pred);
+      ("text", J.Str text);
+      ("f", J.int sc.Sbi_core.Scores.f);
+      ("s", J.int sc.Sbi_core.Scores.s);
+      ("f_obs", J.int sc.Sbi_core.Scores.f_obs);
+      ("s_obs", J.int sc.Sbi_core.Scores.s_obs);
+      ("failure", J.Num sc.Sbi_core.Scores.failure);
+      ("context", J.Num sc.Sbi_core.Scores.context);
+      ("increase", J.Num sc.Sbi_core.Scores.increase);
+      ("increase_ci", interval_json sc.Sbi_core.Scores.increase_ci);
+      ("importance", J.Num sc.Sbi_core.Scores.importance);
+      ("importance_ci", interval_json sc.Sbi_core.Scores.importance_ci);
+    ]
+
+let analysis_json ~discard ds (analysis : Sbi_core.Analysis.t) =
+  let s = Sbi_core.Analysis.summary analysis in
+  let text pred = Sbi_runtime.Dataset.pred_text ds pred in
+  J.Obj
+    [
+      ("mode", J.Str "analyze");
+      ("proposal", J.Str (Sbi_core.Eliminate.discard_to_string discard));
+      ("runs", J.int s.Sbi_core.Analysis.runs);
+      ("successful", J.int s.Sbi_core.Analysis.successful);
+      ("failing", J.int s.Sbi_core.Analysis.failing);
+      ("sites", J.int s.Sbi_core.Analysis.sites);
+      ("predicates", J.int s.Sbi_core.Analysis.initial_preds);
+      ("retained", J.int s.Sbi_core.Analysis.retained_preds);
+      ("selected", J.int s.Sbi_core.Analysis.selected_preds);
+      ( "selections",
+        J.List
+          (List.map
+             (fun (sel : Sbi_core.Eliminate.selection) ->
+               J.Obj
+                 [
+                   ("rank", J.int sel.Sbi_core.Eliminate.rank);
+                   ("pred", J.int sel.Sbi_core.Eliminate.pred);
+                   ("text", J.Str (text sel.Sbi_core.Eliminate.pred));
+                   ("runs_before", J.int sel.Sbi_core.Eliminate.runs_before);
+                   ("failures_before", J.int sel.Sbi_core.Eliminate.failures_before);
+                   ("runs_discarded", J.int sel.Sbi_core.Eliminate.runs_discarded);
+                   ( "initial",
+                     score_json ~text:(text sel.Sbi_core.Eliminate.pred)
+                       sel.Sbi_core.Eliminate.initial );
+                   ( "effective",
+                     score_json ~text:(text sel.Sbi_core.Eliminate.pred)
+                       sel.Sbi_core.Eliminate.effective );
+                 ])
+             analysis.Sbi_core.Analysis.elimination.Sbi_core.Eliminate.selections) );
+    ]
+
+let print_analysis ds (analysis : Sbi_core.Analysis.t) =
+  let s = Sbi_core.Analysis.summary analysis in
+  Printf.printf
+    "%d runs (%d failing); %d sites, %d predicates; %d after pruning; %d selected:\n"
+    s.Sbi_core.Analysis.runs s.Sbi_core.Analysis.failing s.Sbi_core.Analysis.sites
+    s.Sbi_core.Analysis.initial_preds s.Sbi_core.Analysis.retained_preds
+    s.Sbi_core.Analysis.selected_preds;
+  List.iter
+    (fun (sel : Sbi_core.Eliminate.selection) ->
+      Printf.printf "  %d. [imp %.3f, F=%d, S=%d]  %s\n" sel.Sbi_core.Eliminate.rank
+        sel.Sbi_core.Eliminate.effective.Sbi_core.Scores.importance
+        sel.Sbi_core.Eliminate.effective.Sbi_core.Scores.f
+        sel.Sbi_core.Eliminate.effective.Sbi_core.Scores.s
+        (Sbi_runtime.Dataset.pred_text ds sel.Sbi_core.Eliminate.pred))
+    analysis.Sbi_core.Analysis.elimination.Sbi_core.Eliminate.selections
+
 let analyze_file_cmd =
   let file_t =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE"
@@ -405,33 +491,58 @@ let analyze_file_cmd =
     Arg.(value & opt int 10 & info [ "top" ] ~docv:"K"
            ~doc:"Predicates to print in --stream mode.")
   in
-  let stream_analyze dir top =
+  let stream_analyze dir top json =
     let agg, meta, stats =
       try Sbi_ingest.Aggregator.of_log ~dir
       with Sbi_ingest.Shard_log.Format_error m ->
         prerr_endline ("cbi: " ^ m);
         exit 2
     in
-    print_log_stats stats;
+    if not json then print_log_stats stats;
     let counts = Sbi_ingest.Aggregator.to_counts agg in
     let retained = Sbi_core.Prune.retained_scores counts in
-    Printf.printf
-      "%d runs (%d failing) streamed from %d shard(s); %d predicates, %d after pruning:\n"
-      (counts.Sbi_core.Counts.num_f + counts.Sbi_core.Counts.num_s)
-      counts.Sbi_core.Counts.num_f
-      (List.length (Sbi_ingest.Shard_log.shard_files ~dir))
-      counts.Sbi_core.Counts.npreds (Array.length retained);
     let sorted = Array.copy retained in
     Array.sort Sbi_core.Scores.compare_importance_desc sorted;
-    Array.iteri
-      (fun i (sc : Sbi_core.Scores.t) ->
-        if i < top then
-          Printf.printf "  %2d. [imp %.3f, F=%d, S=%d]  %s\n" (i + 1)
-            sc.Sbi_core.Scores.importance sc.Sbi_core.Scores.f sc.Sbi_core.Scores.s
-            (Sbi_runtime.Dataset.pred_text meta sc.Sbi_core.Scores.pred))
-      sorted
+    let nshards = List.length (Sbi_ingest.Shard_log.shard_files ~dir) in
+    if json then
+      let top_scores =
+        Array.to_list (Array.sub sorted 0 (min top (Array.length sorted)))
+      in
+      print_endline
+        (J.to_string
+           (J.Obj
+              [
+                ("mode", J.Str "stream");
+                ("runs", J.int (counts.Sbi_core.Counts.num_f + counts.Sbi_core.Counts.num_s));
+                ("failing", J.int counts.Sbi_core.Counts.num_f);
+                ("shards", J.int nshards);
+                ("predicates", J.int counts.Sbi_core.Counts.npreds);
+                ("retained", J.int (Array.length retained));
+                ( "top",
+                  J.List
+                    (List.map
+                       (fun (sc : Sbi_core.Scores.t) ->
+                         score_json
+                           ~text:(Sbi_runtime.Dataset.pred_text meta sc.Sbi_core.Scores.pred)
+                           sc)
+                       top_scores) );
+              ]))
+    else begin
+      Printf.printf
+        "%d runs (%d failing) streamed from %d shard(s); %d predicates, %d after pruning:\n"
+        (counts.Sbi_core.Counts.num_f + counts.Sbi_core.Counts.num_s)
+        counts.Sbi_core.Counts.num_f nshards counts.Sbi_core.Counts.npreds
+        (Array.length retained);
+      Array.iteri
+        (fun i (sc : Sbi_core.Scores.t) ->
+          if i < top then
+            Printf.printf "  %2d. [imp %.3f, F=%d, S=%d]  %s\n" (i + 1)
+              sc.Sbi_core.Scores.importance sc.Sbi_core.Scores.f sc.Sbi_core.Scores.s
+              (Sbi_runtime.Dataset.pred_text meta sc.Sbi_core.Scores.pred))
+        sorted
+    end
   in
-  let run file proposal stream top =
+  let run file proposal stream top json =
     if not (Sys.file_exists file) then begin
       prerr_endline ("cbi: no such file or directory: " ^ file);
       exit 2
@@ -441,14 +552,14 @@ let analyze_file_cmd =
         prerr_endline "cbi: --stream needs a shard-log directory";
         exit 2
       end;
-      stream_analyze file top;
+      stream_analyze file top json;
       exit 0
     end;
     let ds =
       if Sys.file_exists file && Sys.is_directory file then begin
         match Sbi_ingest.Shard_log.read_all ~dir:file with
         | ds, stats ->
-            print_log_stats stats;
+            if not json then print_log_stats stats;
             ds
         | exception Sbi_ingest.Shard_log.Format_error m ->
             prerr_endline ("cbi: " ^ m);
@@ -460,38 +571,236 @@ let analyze_file_cmd =
           prerr_endline ("cbi: cannot read dataset: " ^ msg);
           exit 2
     in
-    let discard =
-      match proposal with
-      | 1 -> Sbi_core.Eliminate.Discard_all_true
-      | 2 -> Sbi_core.Eliminate.Discard_failing_true
-      | 3 -> Sbi_core.Eliminate.Relabel_failing
-      | _ ->
-          prerr_endline "cbi: --proposal must be 1, 2, or 3";
-          exit 2
-    in
+    let discard = or_fail (discard_of_proposal proposal) in
     let analysis = Sbi_core.Analysis.analyze ~discard ds in
-    let s = Sbi_core.Analysis.summary analysis in
-    Printf.printf
-      "%d runs (%d failing); %d sites, %d predicates; %d after pruning; %d selected:\n"
-      s.Sbi_core.Analysis.runs s.Sbi_core.Analysis.failing s.Sbi_core.Analysis.sites
-      s.Sbi_core.Analysis.initial_preds s.Sbi_core.Analysis.retained_preds
-      s.Sbi_core.Analysis.selected_preds;
-    List.iter
-      (fun (sel : Sbi_core.Eliminate.selection) ->
-        Printf.printf "  %d. [imp %.3f, F=%d, S=%d]  %s\n" sel.Sbi_core.Eliminate.rank
-          sel.Sbi_core.Eliminate.effective.Sbi_core.Scores.importance
-          sel.Sbi_core.Eliminate.effective.Sbi_core.Scores.f
-          sel.Sbi_core.Eliminate.effective.Sbi_core.Scores.s
-          (Sbi_runtime.Dataset.pred_text ds sel.Sbi_core.Eliminate.pred))
-      analysis.Sbi_core.Analysis.elimination.Sbi_core.Eliminate.selections
+    if json then print_endline (J.to_string (analysis_json ~discard ds analysis))
+    else print_analysis ds analysis
   in
   let info =
     Cmd.info "analyze-file"
       ~doc:"Run the cause-isolation analysis on a dataset saved by 'cbi collect' or on a \
             shard-log directory written by 'cbi ingest' (--stream for log-only streaming \
-            aggregation)."
+            aggregation; --json for machine-readable output)."
   in
-  Cmd.v info Term.(const run $ file_t $ discard_t $ stream_t $ top_t)
+  Cmd.v info Term.(const run $ file_t $ discard_t $ stream_t $ top_t $ json_t)
+
+let analyze_cmd =
+  let study_t =
+    Arg.(required & pos 0 (some study_conv) None & info [] ~docv:"STUDY" ~doc:"Study name.")
+  in
+  let discard_t =
+    let doc = "Run-discard proposal: 1 (discard all covered runs), 2 (failing only), 3 (relabel)." in
+    Arg.(value & opt int 1 & info [ "proposal" ] ~docv:"N" ~doc)
+  in
+  let run study proposal json seed runs quick sampling =
+    let config = or_fail (config_of ~seed ~runs ~quick ~sampling) in
+    let discard = or_fail (discard_of_proposal proposal) in
+    let bundle = get_bundle config study in
+    let ds = bundle.Harness.dataset in
+    let analysis = Sbi_core.Analysis.analyze ~discard ds in
+    if json then print_endline (J.to_string (analysis_json ~discard ds analysis))
+    else print_analysis ds analysis
+  in
+  let info =
+    Cmd.info "analyze"
+      ~doc:"Collect a study and run the cause-isolation analysis (--json for \
+            machine-readable output)."
+  in
+  Cmd.v info
+    Term.(const run $ study_t $ discard_t $ json_t $ seed_t $ runs_t $ quick_t $ sampling_t)
+
+(* --- predicate index + triage service --- *)
+
+let index_cmd =
+  let log_t =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"LOG"
+           ~doc:"Shard-log directory written by 'cbi ingest'.")
+  in
+  let out_t =
+    Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"DIR"
+           ~doc:"Index directory (created, or incrementally extended with the log's \
+                 unseen records).")
+  in
+  let run log out =
+    if not (Sys.file_exists log && Sys.is_directory log) then begin
+      prerr_endline ("cbi: no such shard-log directory: " ^ log);
+      exit 2
+    end;
+    let st =
+      match Sbi_index.Index.build ~log ~dir:out with
+      | st -> st
+      | exception Sbi_index.Index.Format_error m ->
+          prerr_endline ("cbi: " ^ m);
+          exit 2
+      | exception Sbi_ingest.Shard_log.Format_error m ->
+          prerr_endline ("cbi: " ^ m);
+          exit 2
+    in
+    Printf.printf "indexed %s -> %s: +%d segment(s), +%d record(s) (%d corrupt skipped), %d byte(s) consumed\n"
+      log out st.Sbi_index.Index.segments_added st.Sbi_index.Index.records_indexed
+      st.Sbi_index.Index.corrupt_skipped st.Sbi_index.Index.bytes_consumed;
+    let idx = Sbi_index.Index.open_ ~dir:out in
+    Printf.printf "index now: %d run(s) (%d failing) in %d segment(s)\n"
+      (Sbi_index.Index.nruns idx)
+      (Sbi_index.Index.num_failures idx)
+      (Array.length idx.Sbi_index.Index.segments)
+  in
+  let info =
+    Cmd.info "index"
+      ~doc:"Compile (or incrementally extend) an inverted predicate index from a shard \
+            log, for 'cbi serve' and indexed triage queries."
+  in
+  Cmd.v info Term.(const run $ log_t $ out_t)
+
+let fsck_cmd =
+  let dir_t =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"INDEX"
+           ~doc:"Index directory built by 'cbi index'.")
+  in
+  let run dir =
+    if not (Sys.file_exists dir && Sys.is_directory dir) then begin
+      prerr_endline ("cbi: no such index directory: " ^ dir);
+      exit 2
+    end;
+    match Sbi_index.Index.fsck ~dir with
+    | exception Sbi_index.Index.Format_error m ->
+        prerr_endline ("cbi: " ^ m);
+        exit 2
+    | r ->
+        print_string (Sbi_index.Index.pp_fsck r);
+        if r.Sbi_index.Index.fsck_corrupt > 0 then exit 1
+  in
+  let info =
+    Cmd.info "fsck"
+      ~doc:"Validate every segment of an index (CRCs, structure, manifest agreement). \
+            Exit 1 when corrupt segments are found, 2 when the index is unusable."
+  in
+  Cmd.v info Term.(const run $ dir_t)
+
+let serve_cmd =
+  let idx_t =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"INDEX"
+           ~doc:"Index directory built by 'cbi index'.")
+  in
+  let addr_t =
+    Arg.(value & opt string "127.0.0.1:7077" & info [ "a"; "addr" ] ~docv:"ADDR"
+           ~doc:"Listen address: host:port, or a filesystem path (Unix socket).")
+  in
+  let timeout_t =
+    Arg.(value & opt float 30. & info [ "timeout" ] ~docv:"SECS"
+           ~doc:"Per-connection receive timeout.")
+  in
+  let no_fsync_t =
+    Arg.(value & flag & info [ "no-fsync" ]
+           ~doc:"Skip the per-record fsync on ingest (faster, less durable).")
+  in
+  let ingest_log_t =
+    Arg.(value & opt (some string) None & info [ "log" ] ~docv:"DIR"
+           ~doc:"Shard-log directory for durable ingest (default: the index's source \
+                 log; 'none' disables the ingest command).")
+  in
+  let update_t =
+    Arg.(value & flag & info [ "update" ]
+           ~doc:"Incrementally re-index the source log before serving.")
+  in
+  let run idx_dir addr timeout no_fsync ingest_log update =
+    let addr = or_fail (Sbi_serve.Wire.addr_of_string addr) in
+    let open_index () =
+      match Sbi_index.Index.open_ ~dir:idx_dir with
+      | idx -> idx
+      | exception Sbi_index.Index.Format_error m ->
+          prerr_endline ("cbi: " ^ m);
+          exit 2
+    in
+    let idx = open_index () in
+    let idx =
+      match (update, idx.Sbi_index.Index.log_dir) with
+      | true, Some log when Sys.file_exists log ->
+          let st = Sbi_index.Index.build ~log ~dir:idx_dir in
+          Printf.printf "cbi serve: re-indexed %s: +%d segment(s), +%d record(s)\n" log
+            st.Sbi_index.Index.segments_added st.Sbi_index.Index.records_indexed;
+          open_index ()
+      | _ -> idx
+    in
+    let ingest_log =
+      match ingest_log with
+      | Some "none" -> None
+      | Some dir -> Some dir
+      | None -> idx.Sbi_index.Index.log_dir
+    in
+    let config =
+      { Sbi_serve.Server.addr; timeout; fsync = not no_fsync; ingest_log }
+    in
+    let srv =
+      try Sbi_serve.Server.start config idx
+      with Unix.Unix_error (e, _, _) ->
+        prerr_endline
+          (Printf.sprintf "cbi: cannot listen on %s: %s" (Sbi_serve.Wire.addr_to_string addr)
+             (Unix.error_message e));
+        exit 2
+    in
+    Printf.printf "cbi serve: listening on %s (%d run(s), %d segment(s)%s)\n%!"
+      (Sbi_serve.Wire.addr_to_string addr)
+      (Sbi_index.Index.nruns idx)
+      (Array.length idx.Sbi_index.Index.segments)
+      (match ingest_log with
+      | Some d -> ", ingest -> " ^ d
+      | None -> ", ingest disabled");
+    let stop_requested = ref false in
+    let request_stop _ = stop_requested := true in
+    Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop);
+    while not !stop_requested do
+      try Unix.sleepf 0.2 with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    done;
+    Printf.printf "cbi serve: shutting down...\n%!";
+    Sbi_serve.Server.stop srv;
+    Printf.printf "cbi serve: done (%d report(s) ingested)\n"
+      (Sbi_serve.Server.ingested srv)
+  in
+  let info =
+    Cmd.info "serve"
+      ~doc:"Serve triage queries (topk, pred, affinity, stats, ingest) over a Unix or \
+            TCP socket from an index built by 'cbi index'.  SIGINT shuts down \
+            gracefully."
+  in
+  Cmd.v info
+    Term.(const run $ idx_t $ addr_t $ timeout_t $ no_fsync_t $ ingest_log_t $ update_t)
+
+let query_cmd =
+  let addr_t =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ADDR"
+           ~doc:"Server address (host:port or socket path).")
+  in
+  let cmd_t =
+    Arg.(non_empty & pos_right 0 string [] & info [] ~docv:"CMD"
+           ~doc:"Protocol command and arguments (e.g. 'topk 5', 'pred 12', 'stats').")
+  in
+  let run addr words =
+    let addr = or_fail (Sbi_serve.Wire.addr_of_string addr) in
+    let client =
+      try Sbi_serve.Client.connect addr
+      with Unix.Unix_error (e, _, _) ->
+        prerr_endline
+          (Printf.sprintf "cbi: cannot connect to %s: %s" (Sbi_serve.Wire.addr_to_string addr)
+             (Unix.error_message e));
+        exit 2
+    in
+    match Sbi_serve.Client.request client (String.concat " " words) with
+    | Ok (header, lines) ->
+        if header <> "" then print_endline header;
+        List.iter print_endline lines;
+        Sbi_serve.Client.close client
+    | Error msg ->
+        Sbi_serve.Client.close client;
+        prerr_endline ("cbi: server error: " ^ msg);
+        exit 1
+    | exception End_of_file ->
+        prerr_endline "cbi: connection closed by server mid-response";
+        exit 2
+  in
+  let info = Cmd.info "query" ~doc:"Send one command to a running 'cbi serve' instance." in
+  Cmd.v info Term.(const run $ addr_t $ cmd_t)
 
 let inspect_cmd =
   let study_t =
@@ -542,7 +851,8 @@ let main_cmd =
     [
       table_cmd; stack_cmd; validation_cmd; ablation_cmd; static_followup_cmd;
       report_cmd; curves_cmd; studies_cmd; run_cmd; collect_cmd; ingest_cmd;
-      log_stats_cmd; analyze_file_cmd; disasm_cmd; inspect_cmd;
+      log_stats_cmd; analyze_cmd; analyze_file_cmd; index_cmd; fsck_cmd;
+      serve_cmd; query_cmd; disasm_cmd; inspect_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

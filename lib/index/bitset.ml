@@ -1,0 +1,54 @@
+type t = { words : int array; len : int }
+
+let bits_per_word = Sys.int_size
+let nwords len = (len + bits_per_word - 1) / bits_per_word
+
+let create len =
+  if len < 0 then invalid_arg "Bitset.create";
+  { words = Array.make (max 1 (nwords len)) 0; len }
+
+let full len =
+  let t = create len in
+  for i = 0 to len - 1 do
+    let w = i / bits_per_word and b = i mod bits_per_word in
+    t.words.(w) <- t.words.(w) lor (1 lsl b)
+  done;
+  t
+
+let copy t = { words = Array.copy t.words; len = t.len }
+let length t = t.len
+
+let check t i = if i < 0 || i >= t.len then invalid_arg "Bitset: index out of bounds"
+
+let get t i =
+  check t i;
+  t.words.(i / bits_per_word) land (1 lsl (i mod bits_per_word)) <> 0
+
+let set t i =
+  check t i;
+  let w = i / bits_per_word in
+  t.words.(w) <- t.words.(w) lor (1 lsl (i mod bits_per_word))
+
+let clear t i =
+  check t i;
+  let w = i / bits_per_word in
+  t.words.(w) <- t.words.(w) land lnot (1 lsl (i mod bits_per_word))
+
+let popcount w =
+  let rec go acc w = if w = 0 then acc else go (acc + 1) (w land (w - 1)) in
+  go 0 w
+
+let count t = Array.fold_left (fun acc w -> acc + popcount w) 0 t.words
+
+let count_and a b =
+  if a.len <> b.len then invalid_arg "Bitset.count_and: length mismatch";
+  let acc = ref 0 in
+  for i = 0 to Array.length a.words - 1 do
+    acc := !acc + popcount (a.words.(i) land b.words.(i))
+  done;
+  !acc
+
+let of_positions len ps =
+  let t = create len in
+  Array.iter (fun p -> set t p) ps;
+  t

@@ -1,0 +1,32 @@
+(** Fixed-size mutable bitsets over run slots.
+
+    The query engine keys every per-segment run property (failing, alive
+    during elimination, covered by a posting list) on a bitset indexed by
+    the run's position within its segment, so counting a §3.1 quantity
+    over the current run subset is a posting-list walk plus O(1) bit
+    tests — no report records are ever materialized. *)
+
+type t
+
+val create : int -> t
+(** All bits clear. *)
+
+val full : int -> t
+(** All bits set. *)
+
+val copy : t -> t
+val length : t -> int
+
+val get : t -> int -> bool
+val set : t -> int -> unit
+val clear : t -> int -> unit
+
+val count : t -> int
+(** Number of set bits. *)
+
+val count_and : t -> t -> int
+(** [count_and a b]: set bits of the intersection.
+    @raise Invalid_argument on length mismatch. *)
+
+val of_positions : int -> int array -> t
+(** [of_positions n ps]: bits [ps] set in a bitset of length [n]. *)

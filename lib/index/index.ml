@@ -1,0 +1,403 @@
+open Sbi_runtime
+open Sbi_ingest
+
+exception Format_error of string
+
+let manifest_magic = "sbi-index"
+let manifest_version = 1
+let manifest_file dir = Filename.concat dir "manifest"
+let seg_file_name i = Printf.sprintf "seg-%04d.sbix" i
+
+type build_stats = {
+  segments_added : int;
+  records_indexed : int;
+  corrupt_skipped : int;
+  bytes_consumed : int;
+}
+
+type open_stats = { segments_loaded : int; segments_corrupt : int; records_loaded : int }
+
+type tail = {
+  mutable t_reports : Report.t array;
+  mutable t_len : int;
+  t_agg : Aggregator.t;
+  mutable t_cache : Segment.t option;
+}
+
+type t = {
+  dir : string;
+  meta : Dataset.t;
+  log_dir : string option;
+  segments : Segment.t array;
+  seg_aggs : Aggregator.t array;
+  stats : open_stats;
+  tail : tail;
+}
+
+(* --- manifest --- *)
+
+type mseg = { m_file : string; m_shard : int; m_start : int; m_end : int; m_runs : int }
+
+type manifest = {
+  man_log : string option;
+  man_consumed : (int * int) list;  (* source shard -> bytes consumed *)
+  man_segs : mseg list;  (* in creation order *)
+}
+
+let empty_manifest = { man_log = None; man_consumed = []; man_segs = [] }
+
+let render_manifest m =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Printf.sprintf "%s %d\n" manifest_magic manifest_version);
+  (match m.man_log with Some d -> Buffer.add_string buf ("log " ^ d ^ "\n") | None -> ());
+  List.iter
+    (fun (shard, bytes) -> Buffer.add_string buf (Printf.sprintf "shard %d consumed %d\n" shard bytes))
+    (List.sort compare m.man_consumed);
+  List.iter
+    (fun s ->
+      Buffer.add_string buf
+        (Printf.sprintf "segment %s shard %d range %d %d runs %d\n" s.m_file s.m_shard
+           s.m_start s.m_end s.m_runs))
+    m.man_segs;
+  Buffer.contents buf
+
+let parse_manifest path s =
+  let fail line msg =
+    raise (Format_error (Printf.sprintf "%s:%d: %s" path line msg))
+  in
+  let lines = String.split_on_char '\n' s in
+  match lines with
+  | [] -> fail 1 "empty manifest"
+  | header :: rest -> (
+      (match String.split_on_char ' ' header with
+      | [ m; v ] when m = manifest_magic -> (
+          match int_of_string_opt v with
+          | Some v when v = manifest_version -> ()
+          | Some v -> fail 1 (Printf.sprintf "unsupported manifest version %d" v)
+          | None -> fail 1 "bad manifest version")
+      | _ -> fail 1 "not an index manifest");
+      let man = ref empty_manifest in
+      List.iteri
+        (fun i line ->
+          let lineno = i + 2 in
+          if line <> "" then
+            if String.length line > 4 && String.sub line 0 4 = "log " then
+              man := { !man with man_log = Some (String.sub line 4 (String.length line - 4)) }
+            else
+              match Scanf.sscanf_opt line "shard %d consumed %d%!" (fun a b -> (a, b)) with
+              | Some (shard, bytes) ->
+                  man := { !man with man_consumed = (shard, bytes) :: !man.man_consumed }
+              | None -> (
+                  match
+                    Scanf.sscanf_opt line "segment %s shard %d range %d %d runs %d%!"
+                      (fun f sh a b r ->
+                        { m_file = f; m_shard = sh; m_start = a; m_end = b; m_runs = r })
+                  with
+                  | Some seg -> man := { !man with man_segs = seg :: !man.man_segs }
+                  | None -> fail lineno ("unrecognized manifest line: " ^ line)))
+        rest;
+      { !man with man_consumed = List.rev !man.man_consumed; man_segs = List.rev !man.man_segs })
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file_atomic path content =
+  let dir = Filename.dirname path in
+  let tmp = Filename.temp_file ~temp_dir:dir (Filename.basename path) ".tmp" in
+  let oc = open_out_bin tmp in
+  output_string oc content;
+  close_out oc;
+  Sys.rename tmp path
+
+let load_manifest dir =
+  let path = manifest_file dir in
+  if not (Sys.file_exists path) then raise (Format_error (path ^ ": missing manifest"));
+  parse_manifest path (read_file path)
+
+let load_meta dir =
+  try Shard_log.read_meta ~dir
+  with Shard_log.Format_error m -> raise (Format_error m)
+
+let tables_match (a : Dataset.t) (b : Dataset.t) =
+  a.Dataset.nsites = b.Dataset.nsites
+  && a.Dataset.npreds = b.Dataset.npreds
+  && a.Dataset.pred_site = b.Dataset.pred_site
+
+(* --- building --- *)
+
+(* Parse a shard-log header (magic + format version + shard id), returning
+   the offset of the first record.  Local to the index builder: the
+   shard-log reader only exposes whole-file folds, and the incremental
+   builder needs to resume at a byte offset. *)
+let shard_header_end path s =
+  let m = Shard_log.magic in
+  if String.length s < String.length m || String.sub s 0 (String.length m) <> m then
+    raise (Format_error (path ^ ": not a shard log (bad magic)"));
+  let pos = ref (String.length m) in
+  (try
+     let v = Codec.read_varint s pos (String.length s) in
+     let (_ : int) = Codec.read_varint s pos (String.length s) in
+     if v <> Shard_log.format_version then
+       raise (Format_error (Printf.sprintf "%s: unsupported shard format %d" path v))
+   with Codec.Corrupt _ -> raise (Format_error (path ^ ": truncated shard header")));
+  !pos
+
+(* Scan framed records in [s] from [start]: intact reports, corrupt count,
+   and the clean resume offset (start of any truncated tail, else EOF). *)
+let scan_range s ~start =
+  let n = String.length s in
+  let reports = ref [] in
+  let corrupt = ref 0 in
+  let pos = ref start in
+  let continue = ref true in
+  while !continue && !pos < n do
+    match Codec.read_framed s ~pos:!pos with
+    | Codec.Frame (r, next) ->
+        reports := r :: !reports;
+        pos := next
+    | Codec.Frame_corrupt next ->
+        incr corrupt;
+        pos := next
+    | Codec.Frame_truncated -> continue := false
+  done;
+  (Array.of_list (List.rev !reports), !corrupt, !pos)
+
+let next_seg_id man =
+  List.fold_left
+    (fun acc s ->
+      match Scanf.sscanf_opt s.m_file "seg-%d.sbix%!" (fun i -> i) with
+      | Some i -> max acc (i + 1)
+      | None -> acc)
+    0 man.man_segs
+
+let build ~log ~dir =
+  let log_meta =
+    try Shard_log.read_meta ~dir:log
+    with Shard_log.Format_error m -> raise (Format_error m)
+  in
+  let man =
+    if Sys.file_exists (manifest_file dir) then begin
+      let meta = load_meta dir in
+      if not (tables_match meta log_meta) then
+        raise
+          (Format_error
+             (Printf.sprintf "%s: site/predicate tables do not match log %s" dir log));
+      load_manifest dir
+    end
+    else begin
+      (* fresh index: establish the directory and tables *)
+      Shard_log.write_meta ~dir log_meta;
+      empty_manifest
+    end
+  in
+  let next_id = ref (next_seg_id man) in
+  let consumed = ref man.man_consumed in
+  let new_segs = ref [] in
+  let stats = ref { segments_added = 0; records_indexed = 0; corrupt_skipped = 0; bytes_consumed = 0 } in
+  List.iter
+    (fun (shard, path) ->
+      let s = read_file path in
+      let n = String.length s in
+      let already = match List.assoc_opt shard !consumed with Some b -> b | None -> 0 in
+      let start = if already = 0 then shard_header_end path s else already in
+      if start < n then begin
+        let reports, corrupt, stop = scan_range s ~start in
+        (if Array.length reports > 0 then begin
+           let seg =
+             Segment.of_reports ~nsites:log_meta.Dataset.nsites ~npreds:log_meta.Dataset.npreds
+               ~source_shard:shard ~start_off:start ~end_off:stop reports
+           in
+           let file = seg_file_name !next_id in
+           incr next_id;
+           write_file_atomic (Filename.concat dir file) (Segment.encode seg);
+           new_segs :=
+             { m_file = file; m_shard = shard; m_start = start; m_end = stop;
+               m_runs = seg.Segment.nruns }
+             :: !new_segs;
+           stats :=
+             { !stats with
+               segments_added = !stats.segments_added + 1;
+               records_indexed = !stats.records_indexed + Array.length reports }
+         end);
+        stats :=
+          { !stats with
+            corrupt_skipped = !stats.corrupt_skipped + corrupt;
+            bytes_consumed = !stats.bytes_consumed + (stop - start) };
+        consumed := (shard, stop) :: List.remove_assoc shard !consumed
+      end)
+    (Shard_log.shard_files ~dir:log);
+  let man =
+    {
+      man_log = Some log;
+      man_consumed = !consumed;
+      man_segs = man.man_segs @ List.rev !new_segs;
+    }
+  in
+  write_file_atomic (manifest_file dir) (render_manifest man);
+  !stats
+
+(* --- opening --- *)
+
+let empty_tail meta =
+  {
+    t_reports = [||];
+    t_len = 0;
+    t_agg = Aggregator.of_meta meta;
+    t_cache = None;
+  }
+
+let open_ ~dir =
+  let meta = load_meta dir in
+  let man = load_manifest dir in
+  let segs = ref [] in
+  let aggs = ref [] in
+  let loaded = ref 0 and corrupt = ref 0 and records = ref 0 in
+  List.iter
+    (fun m ->
+      let path = Filename.concat dir m.m_file in
+      match
+        if not (Sys.file_exists path) then Error "missing file"
+        else
+          match Segment.decode (read_file path) with
+          | seg ->
+              if seg.Segment.nsites <> meta.Dataset.nsites
+                 || seg.Segment.npreds <> meta.Dataset.npreds
+              then Error "table size mismatch"
+              else Ok seg
+          | exception Segment.Corrupt msg -> Error msg
+      with
+      | Ok seg ->
+          segs := seg :: !segs;
+          aggs := Segment.aggregator ~pred_site:meta.Dataset.pred_site seg :: !aggs;
+          incr loaded;
+          records := !records + seg.Segment.nruns
+      | Error _ -> incr corrupt)
+    man.man_segs;
+  {
+    dir;
+    meta;
+    log_dir = man.man_log;
+    segments = Array.of_list (List.rev !segs);
+    seg_aggs = Array.of_list (List.rev !aggs);
+    stats = { segments_loaded = !loaded; segments_corrupt = !corrupt; records_loaded = !records };
+    tail = empty_tail meta;
+  }
+
+(* --- live tail --- *)
+
+let validate_report meta (r : Report.t) =
+  if r.Report.run_id < 0 then invalid_arg "Index.append: negative run id";
+  Array.iter
+    (fun site ->
+      if site < 0 || site >= meta.Dataset.nsites then
+        invalid_arg (Printf.sprintf "Index.append: site %d out of range" site))
+    r.Report.observed_sites;
+  Array.iter
+    (fun pred ->
+      if pred < 0 || pred >= meta.Dataset.npreds then
+        invalid_arg (Printf.sprintf "Index.append: predicate %d out of range" pred))
+    r.Report.true_preds
+
+let append t r =
+  validate_report t.meta r;
+  let tail = t.tail in
+  if tail.t_len = Array.length tail.t_reports then begin
+    let cap = max 16 (2 * Array.length tail.t_reports) in
+    let grown = Array.make cap r in
+    Array.blit tail.t_reports 0 grown 0 tail.t_len;
+    tail.t_reports <- grown
+  end;
+  tail.t_reports.(tail.t_len) <- r;
+  tail.t_len <- tail.t_len + 1;
+  Aggregator.observe tail.t_agg r;
+  tail.t_cache <- None
+
+let tail_count t = t.tail.t_len
+
+let tail_segment t =
+  if t.tail.t_len = 0 then None
+  else
+    match t.tail.t_cache with
+    | Some seg -> Some seg
+    | None ->
+        let seg =
+          Segment.of_reports ~nsites:t.meta.Dataset.nsites ~npreds:t.meta.Dataset.npreds
+            ~source_shard:(-1) ~start_off:0 ~end_off:0
+            (Array.sub t.tail.t_reports 0 t.tail.t_len)
+        in
+        t.tail.t_cache <- Some seg;
+        Some seg
+
+let tail_aggregator t = t.tail.t_agg
+
+let nruns t =
+  Array.fold_left (fun acc (s : Segment.t) -> acc + s.Segment.nruns) t.tail.t_len t.segments
+
+let num_failures t =
+  Array.fold_left
+    (fun acc (s : Segment.t) -> acc + Bitset.count s.Segment.failing)
+    t.tail.t_agg.Aggregator.num_f t.segments
+
+(* --- fsck --- *)
+
+type fsck_seg = { seg_file : string; seg_ok : bool; seg_runs : int; seg_error : string option }
+
+type fsck_report = {
+  fsck_segments : fsck_seg list;
+  fsck_ok : int;
+  fsck_corrupt : int;
+  fsck_records : int;
+}
+
+let fsck ~dir =
+  let meta = load_meta dir in
+  let man = load_manifest dir in
+  let check m =
+    let path = Filename.concat dir m.m_file in
+    if not (Sys.file_exists path) then Error "missing file"
+    else
+      match Segment.decode (read_file path) with
+      | exception Segment.Corrupt msg -> Error msg
+      | seg ->
+          if seg.Segment.nsites <> meta.Dataset.nsites || seg.Segment.npreds <> meta.Dataset.npreds
+          then Error "table size mismatch with meta"
+          else if seg.Segment.nruns <> m.m_runs then
+            Error
+              (Printf.sprintf "run count %d disagrees with manifest (%d)" seg.Segment.nruns
+                 m.m_runs)
+          else if seg.Segment.source_shard <> m.m_shard then
+            Error "source shard disagrees with manifest"
+          else Ok seg
+  in
+  let segs =
+    List.map
+      (fun m ->
+        match check m with
+        | Ok seg ->
+            { seg_file = m.m_file; seg_ok = true; seg_runs = seg.Segment.nruns; seg_error = None }
+        | Error msg -> { seg_file = m.m_file; seg_ok = false; seg_runs = 0; seg_error = Some msg })
+      man.man_segs
+  in
+  let ok = List.length (List.filter (fun s -> s.seg_ok) segs) in
+  {
+    fsck_segments = segs;
+    fsck_ok = ok;
+    fsck_corrupt = List.length segs - ok;
+    fsck_records = List.fold_left (fun acc s -> acc + s.seg_runs) 0 segs;
+  }
+
+let pp_fsck r =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun s ->
+      match s.seg_error with
+      | None -> Buffer.add_string buf (Printf.sprintf "  %s: ok, %d runs\n" s.seg_file s.seg_runs)
+      | Some e -> Buffer.add_string buf (Printf.sprintf "  %s: CORRUPT (%s)\n" s.seg_file e))
+    r.fsck_segments;
+  Buffer.add_string buf
+    (Printf.sprintf "%d segment(s): %d ok, %d corrupt, %d runs indexed\n" (List.length r.fsck_segments)
+       r.fsck_ok r.fsck_corrupt r.fsck_records);
+  Buffer.contents buf

@@ -1,0 +1,99 @@
+(** On-disk inverted predicate index over a {!Sbi_ingest.Shard_log}
+    directory, with incremental updates and a crash-tolerant loader.
+
+    An index is a directory:
+    {v
+    idx/
+      meta             site/predicate tables (zero-run dataset, same
+                       format as the shard log's meta file)
+      manifest         versioned text manifest: source log path, per-
+                       source-shard consumed byte offsets, segment list
+      seg-0000.sbix    immutable {!Segment} files (CRC-trailed)
+      ...
+    v}
+
+    {!build} is incremental: per source shard it remembers how many bytes
+    have been indexed and compiles only the unseen suffix into a new
+    segment, so re-running it after `cbi ingest` appends (or after a
+    server session wrote a new shard) indexes just the new records.
+    Corrupt source records are skipped exactly as the shard-log reader
+    skips them; a corrupt {e segment} file is skipped (and counted) by
+    {!open_} and reported by {!fsck}. *)
+
+exception Format_error of string
+(** Unusable index: missing/invalid meta or manifest, or a source log
+    whose tables disagree with the index's. *)
+
+type build_stats = {
+  segments_added : int;
+  records_indexed : int;  (** intact source records newly indexed *)
+  corrupt_skipped : int;  (** source records skipped on CRC/decode failure *)
+  bytes_consumed : int;  (** new source bytes consumed by this build *)
+}
+
+type open_stats = {
+  segments_loaded : int;
+  segments_corrupt : int;  (** segment files skipped (bad CRC / decode) *)
+  records_loaded : int;
+}
+
+type t = {
+  dir : string;
+  meta : Sbi_runtime.Dataset.t;  (** site/predicate tables (zero runs) *)
+  log_dir : string option;  (** source log recorded in the manifest *)
+  segments : Segment.t array;
+  seg_aggs : Sbi_ingest.Aggregator.t array;  (** parallel per-segment partial aggregates *)
+  stats : open_stats;
+  tail : tail;
+}
+
+(** Live, unindexed reports accepted since {!open_} (the serving path's
+    ingest buffer).  Folded into every query; durably persisted by the
+    caller (the server appends to the source log, and the next {!build}
+    picks them up). *)
+and tail
+
+val build : log:string -> dir:string -> build_stats
+(** Create [dir] as an index of [log], or incrementally extend an
+    existing index with the log's unseen bytes.  The manifest is
+    rewritten atomically (temp + rename) after all new segments are on
+    disk.  @raise Format_error on an unreadable log or manifest, or when
+    [log]'s tables don't match the existing index. *)
+
+val open_ : dir:string -> t
+(** Load an index: meta, manifest, and every decodable segment (corrupt
+    segments are skipped and counted in [stats]).
+    @raise Format_error when meta or manifest is missing/invalid. *)
+
+val append : t -> Sbi_runtime.Report.t -> unit
+(** Fold one live report into the in-memory tail.  @raise Invalid_argument
+    when the report refers to sites/predicates outside the tables. *)
+
+val tail_count : t -> int
+val tail_segment : t -> Segment.t option
+(** The tail as an inverted segment (rebuilt lazily, cached between
+    appends); [None] when no live reports exist. *)
+
+val tail_aggregator : t -> Sbi_ingest.Aggregator.t
+
+val nruns : t -> int
+val num_failures : t -> int
+
+(** {1 Validation} *)
+
+type fsck_seg = { seg_file : string; seg_ok : bool; seg_runs : int; seg_error : string option }
+
+type fsck_report = {
+  fsck_segments : fsck_seg list;  (** in manifest order *)
+  fsck_ok : int;
+  fsck_corrupt : int;
+  fsck_records : int;  (** runs in intact segments *)
+}
+
+val fsck : dir:string -> fsck_report
+(** Validate every manifest-listed segment (existence, CRC, structure,
+    table sizes against meta).  Corrupt segments are reported, not
+    fatal — mirroring {!open_}.  @raise Format_error when meta or the
+    manifest itself is unusable. *)
+
+val pp_fsck : fsck_report -> string

@@ -1,0 +1,53 @@
+(** One immutable index segment: the inverted view of a contiguous byte
+    range of one source shard file.
+
+    A segment holds, for a batch of runs, the run-id array, a failing-run
+    bitmap, per-site observation posting lists, and per-predicate
+    observed-true posting lists — everything the triage queries need,
+    with no per-run report records.  Posting lists store {e positions}
+    within the segment (0 .. nruns-1), strictly increasing, so they
+    delta-encode to roughly one byte per entry with {!Sbi_ingest.Codec}
+    varints; the run-id array maps positions back to global run ids.
+
+    On disk a segment is ["SBIX" | body | CRC-32(body)]: a damaged
+    segment is detected as a unit and skipped by the index loader, the
+    same recovery posture as the shard-log reader. *)
+
+exception Corrupt of string
+
+val magic : string
+val format_version : int
+
+type t = {
+  source_shard : int;  (** shard index this segment was compiled from *)
+  start_off : int;  (** first source byte consumed (inclusive) *)
+  end_off : int;  (** last source byte consumed (exclusive) *)
+  nsites : int;
+  npreds : int;
+  nruns : int;
+  run_ids : int array;  (** position -> global run id *)
+  failing : Bitset.t;  (** position bit set iff the run failed *)
+  site_obs : int array array;  (** site -> sorted positions observed *)
+  pred_true : int array array;  (** pred -> sorted positions observed true *)
+}
+
+val of_reports :
+  nsites:int ->
+  npreds:int ->
+  source_shard:int ->
+  start_off:int ->
+  end_off:int ->
+  Sbi_runtime.Report.t array ->
+  t
+(** Invert a report batch.  @raise Invalid_argument when a report refers
+    to a site or predicate outside the declared tables. *)
+
+val aggregator : pred_site:int array -> t -> Sbi_ingest.Aggregator.t
+(** The segment's §3.1 partial aggregate, recovered from the inverted
+    lists — equal to folding the source reports through
+    {!Sbi_ingest.Aggregator.observe}. *)
+
+val encode : t -> string
+val decode : string -> t
+(** @raise Corrupt on bad magic/version, CRC mismatch, or any structural
+    violation (positions out of range or non-increasing). *)

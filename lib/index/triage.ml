@@ -1,0 +1,253 @@
+open Sbi_runtime
+open Sbi_ingest
+open Sbi_core
+
+let all_segments (idx : Index.t) =
+  let segs = Array.to_list idx.Index.segments in
+  match Index.tail_segment idx with Some tail -> segs @ [ tail ] | None -> segs
+
+let counts (idx : Index.t) =
+  let acc = Aggregator.of_meta idx.Index.meta in
+  Array.iter (fun a -> Aggregator.merge_into ~into:acc a) idx.Index.seg_aggs;
+  Aggregator.merge_into ~into:acc (Index.tail_aggregator idx);
+  Aggregator.to_counts acc
+
+let topk ?confidence ?(k = 10) idx =
+  let retained = Prune.retained_scores ?confidence (counts idx) in
+  Sbi_util.Topk.top ~k
+    ~compare:(fun a b -> Scores.compare_importance_desc b a)
+    retained
+
+let pred_detail ?confidence (idx : Index.t) ~pred =
+  if pred < 0 || pred >= idx.Index.meta.Dataset.npreds then
+    invalid_arg (Printf.sprintf "Triage.pred_detail: predicate %d out of range" pred);
+  Scores.score ?confidence (counts idx) ~pred
+
+let intersect_sorted a b =
+  let n = ref 0 and i = ref 0 and j = ref 0 in
+  let la = Array.length a and lb = Array.length b in
+  while !i < la && !j < lb do
+    let x = a.(!i) and y = b.(!j) in
+    if x = y then begin
+      incr n;
+      incr i;
+      incr j
+    end
+    else if x < y then incr i
+    else incr j
+  done;
+  !n
+
+let cooccurrence (idx : Index.t) ~a ~b =
+  let npreds = idx.Index.meta.Dataset.npreds in
+  if a < 0 || a >= npreds || b < 0 || b >= npreds then
+    invalid_arg "Triage.cooccurrence: predicate out of range";
+  List.fold_left
+    (fun acc (seg : Segment.t) ->
+      acc + intersect_sorted seg.Segment.pred_true.(a) seg.Segment.pred_true.(b))
+    0 (all_segments idx)
+
+(* --- run-subset counting over bitset states --- *)
+
+type seg_state = { seg : Segment.t; alive : Bitset.t; failing : Bitset.t }
+
+let fresh_states segs =
+  List.map
+    (fun (seg : Segment.t) ->
+      {
+        seg;
+        alive = Bitset.full seg.Segment.nruns;
+        failing = Bitset.copy seg.Segment.failing;
+      })
+    segs
+
+(* Counts over the current alive runs with current outcomes — the exact
+   quantities Counts.compute extracts from the corresponding filtered /
+   relabeled dataset. *)
+let counts_of_states (meta : Dataset.t) states =
+  let npreds = meta.Dataset.npreds and nsites = meta.Dataset.nsites in
+  let f = Array.make npreds 0 and s = Array.make npreds 0 in
+  let f_obs_site = Array.make (max nsites 1) 0 and s_obs_site = Array.make (max nsites 1) 0 in
+  let num_f = ref 0 and num_s = ref 0 in
+  List.iter
+    (fun st ->
+      let nf = Bitset.count_and st.alive st.failing in
+      num_f := !num_f + nf;
+      num_s := !num_s + (Bitset.count st.alive - nf);
+      let split counter_f counter_s postings =
+        Array.iteri
+          (fun i posting ->
+            Array.iter
+              (fun pos ->
+                if Bitset.get st.alive pos then
+                  if Bitset.get st.failing pos then counter_f.(i) <- counter_f.(i) + 1
+                  else counter_s.(i) <- counter_s.(i) + 1)
+              posting)
+          postings
+      in
+      split f_obs_site s_obs_site st.seg.Segment.site_obs;
+      split f s st.seg.Segment.pred_true)
+    states;
+  {
+    Counts.npreds;
+    f;
+    s;
+    f_obs = Array.init npreds (fun p -> f_obs_site.(meta.Dataset.pred_site.(p)));
+    s_obs = Array.init npreds (fun p -> s_obs_site.(meta.Dataset.pred_site.(p)));
+    num_f = !num_f;
+    num_s = !num_s;
+  }
+
+let alive_count states = List.fold_left (fun acc st -> acc + Bitset.count st.alive) 0 states
+
+let failing_count states =
+  List.fold_left (fun acc st -> acc + Bitset.count_and st.alive st.failing) 0 states
+
+(* --- affinity --- *)
+
+let affinity ?(confidence = 0.95) (idx : Index.t) ~selected ~others =
+  let counts_before = counts idx in
+  let states_without =
+    List.map
+      (fun (seg : Segment.t) ->
+        let alive = Bitset.full seg.Segment.nruns in
+        Array.iter (Bitset.clear alive) seg.Segment.pred_true.(selected);
+        { seg; alive; failing = Bitset.copy seg.Segment.failing })
+      (all_segments idx)
+  in
+  let counts_after = counts_of_states idx.Index.meta states_without in
+  let entries =
+    List.filter_map
+      (fun pred ->
+        if pred = selected then None
+        else begin
+          let before = (Scores.score ~confidence counts_before ~pred).Scores.importance in
+          let after = (Scores.score ~confidence counts_after ~pred).Scores.importance in
+          Some
+            {
+              Affinity.pred;
+              importance_before = before;
+              importance_after = after;
+              drop = before -. after;
+            }
+        end)
+      others
+  in
+  List.sort
+    (fun (a : Affinity.entry) (b : Affinity.entry) ->
+      match compare b.Affinity.drop a.Affinity.drop with
+      | 0 -> compare a.Affinity.pred b.Affinity.pred
+      | n -> n)
+    entries
+
+(* --- iterative elimination --- *)
+
+let apply_discard discard states pred =
+  List.iter
+    (fun st ->
+      let posting = st.seg.Segment.pred_true.(pred) in
+      match discard with
+      | Eliminate.Discard_all_true -> Array.iter (Bitset.clear st.alive) posting
+      | Eliminate.Discard_failing_true ->
+          Array.iter
+            (fun pos -> if Bitset.get st.failing pos then Bitset.clear st.alive pos)
+            posting
+      | Eliminate.Relabel_failing ->
+          Array.iter
+            (fun pos ->
+              if Bitset.get st.alive pos && Bitset.get st.failing pos then
+                Bitset.clear st.failing pos)
+            posting)
+    states
+
+let eliminate ?(discard = Eliminate.Discard_all_true) ?(confidence = 0.95)
+    ?(max_selections = 40) ?candidates (idx : Index.t) =
+  let states = fresh_states (all_segments idx) in
+  let initial_counts = counts_of_states idx.Index.meta states in
+  let candidates =
+    match candidates with
+    | Some c -> c
+    | None -> (
+        match discard with
+        | Eliminate.Discard_all_true -> Prune.retained ~confidence initial_counts
+        | Eliminate.Discard_failing_true | Eliminate.Relabel_failing ->
+            let acc = ref [] in
+            for pred = initial_counts.Counts.npreds - 1 downto 0 do
+              if initial_counts.Counts.f.(pred) > 0 then acc := pred :: !acc
+            done;
+            !acc)
+  in
+  let initial_scores = Hashtbl.create 64 in
+  List.iter
+    (fun pred ->
+      Hashtbl.replace initial_scores pred (Scores.score ~confidence initial_counts ~pred))
+    candidates;
+  let rec loop acc candidates rank =
+    let nfail = failing_count states in
+    if nfail = 0 || candidates = [] || rank > max_selections then (List.rev acc, candidates)
+    else begin
+      let cts = counts_of_states idx.Index.meta states in
+      let best =
+        List.fold_left
+          (fun best pred ->
+            if not (Prune.keep ~confidence cts ~pred) then best
+            else begin
+              let sc = Scores.score ~confidence cts ~pred in
+              match best with
+              | None -> Some sc
+              | Some b -> if Scores.compare_importance_desc sc b < 0 then Some sc else Some b
+            end)
+          None candidates
+      in
+      match best with
+      | None -> (List.rev acc, candidates)
+      | Some sc when sc.Scores.importance <= 0. -> (List.rev acc, candidates)
+      | Some sc ->
+          let pred = sc.Scores.pred in
+          let runs_before = alive_count states in
+          apply_discard discard states pred;
+          let selection =
+            {
+              Eliminate.rank;
+              pred;
+              initial = Hashtbl.find initial_scores pred;
+              effective = sc;
+              runs_before;
+              failures_before = nfail;
+              runs_discarded = runs_before - alive_count states;
+            }
+          in
+          let candidates = List.filter (fun p -> p <> pred) candidates in
+          loop (selection :: acc) candidates (rank + 1)
+    end
+  in
+  let selections, candidates_left = loop [] candidates 1 in
+  {
+    Eliminate.selections;
+    runs_remaining = alive_count states;
+    failures_remaining = failing_count states;
+    candidates_remaining = List.length candidates_left;
+  }
+
+type analysis = {
+  counts : Counts.t;
+  retained : int list;
+  elimination : Eliminate.result;
+}
+
+let analyze ?discard ?(confidence = 0.95) ?max_selections (idx : Index.t) =
+  let cts = counts idx in
+  let retained = Prune.retained ~confidence cts in
+  let elimination = eliminate ?discard ~confidence ?max_selections ~candidates:retained idx in
+  { counts = cts; retained; elimination }
+
+let summary (idx : Index.t) (a : analysis) =
+  {
+    Analysis.runs = a.counts.Counts.num_f + a.counts.Counts.num_s;
+    successful = a.counts.Counts.num_s;
+    failing = a.counts.Counts.num_f;
+    sites = idx.Index.meta.Dataset.nsites;
+    initial_preds = idx.Index.meta.Dataset.npreds;
+    retained_preds = List.length a.retained;
+    selected_preds = List.length a.elimination.Eliminate.selections;
+  }

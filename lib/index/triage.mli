@@ -1,0 +1,62 @@
+(** Incremental triage queries over an open {!Index}.
+
+    Aggregate counts come from merging per-segment partial aggregates
+    (plus the live tail) on demand — O(segments × npreds), never a corpus
+    rescan.  Run-subset computations (affinity, iterative elimination)
+    walk posting lists against per-segment alive/failing bitsets, which
+    is exactly the information {!Sbi_core.Counts.compute} extracts from
+    materialized reports; every query below is therefore {e equal} — same
+    integers, hence bit-identical scores — to its full-dataset
+    counterpart in {!Sbi_core.Analysis} (property-tested). *)
+
+val counts : Index.t -> Sbi_core.Counts.t
+(** Merged §3.1 counts over all segments + live tail; equals
+    [Counts.compute] on the materialized corpus. *)
+
+val topk : ?confidence:float -> ?k:int -> Index.t -> Sbi_core.Scores.t list
+(** The [k] (default 10) highest-Importance predicates among those
+    surviving Increase-CI pruning, best first — the ranking
+    [cbi analyze-file --stream] prints, without rescanning the log. *)
+
+val pred_detail : ?confidence:float -> Index.t -> pred:int -> Sbi_core.Scores.t
+(** Full score card (F, S, Context, Increase + CI, Importance + CI).
+    @raise Invalid_argument when [pred] is outside the tables. *)
+
+val cooccurrence : Index.t -> a:int -> b:int -> int
+(** Runs in which both predicates were observed true: posting-list
+    intersection, summed across segments. *)
+
+val affinity :
+  ?confidence:float -> Index.t -> selected:int -> others:int list -> Sbi_core.Affinity.entry list
+(** Equals {!Sbi_core.Analysis.affinity_for} on the materialized corpus:
+    Importance drop of each other predicate once the runs covered by
+    [selected] are removed (computed by intersecting posting lists with
+    the complement bitset, not by rebuilding a dataset). *)
+
+val eliminate :
+  ?discard:Sbi_core.Eliminate.discard ->
+  ?confidence:float ->
+  ?max_selections:int ->
+  ?candidates:int list ->
+  Index.t ->
+  Sbi_core.Eliminate.result
+(** Index-backed mirror of {!Sbi_core.Eliminate.run}: same candidate
+    defaulting, same per-step ranking, same discard semantics (bitset
+    updates instead of dataset filtering), same selection records. *)
+
+type analysis = {
+  counts : Sbi_core.Counts.t;
+  retained : int list;
+  elimination : Sbi_core.Eliminate.result;
+}
+
+val analyze :
+  ?discard:Sbi_core.Eliminate.discard ->
+  ?confidence:float ->
+  ?max_selections:int ->
+  Index.t ->
+  analysis
+(** Index-backed mirror of {!Sbi_core.Analysis.analyze}: identical
+    retained set, selection order, and scores. *)
+
+val summary : Index.t -> analysis -> Sbi_core.Analysis.summary

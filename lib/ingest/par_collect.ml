@@ -39,7 +39,7 @@ let collect ?seed ?first_run ?domains spec ~nruns =
 let collect_to_log ?seed ?first_run ?domains spec ~nruns ~dir =
   Shard_log.write_meta ~dir (Dataset.create ~transform:spec.Collect.transform [||]);
   spawn_blocks ?seed ?first_run ?domains spec ~nruns ~f:(fun shard reports ->
-      let w = Shard_log.create_writer ~dir ~shard in
+      let w = Shard_log.create_writer ~dir ~shard () in
       Array.iter (Shard_log.append w) reports;
       Shard_log.close_writer w)
   |> List.fold_left Shard_log.add_stats Shard_log.zero_stats

@@ -27,8 +27,13 @@ let pp_stats s =
   Printf.sprintf "%d records, %d bytes, %d corrupt skipped, %d truncated tail bytes"
     s.records s.bytes s.corrupt_records s.truncated_bytes
 
-let ensure_dir dir =
-  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
+let rec ensure_dir dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then ensure_dir parent;
+    (* a concurrent creator may win the race between the check and the mkdir *)
+    try Sys.mkdir dir 0o755 with Sys_error _ when Sys.is_directory dir -> ()
+  end
   else if not (Sys.is_directory dir) then
     invalid_arg (Printf.sprintf "Shard_log: %s exists and is not a directory" dir)
 
@@ -39,6 +44,7 @@ let shard_path ~dir shard = Filename.concat dir (Printf.sprintf "shard-%04d.sbil
 type writer = {
   oc : out_channel;
   buf : Buffer.t;
+  fsync : bool;
   mutable w_records : int;
   mutable w_bytes : int;
   mutable closed : bool;
@@ -51,19 +57,30 @@ let header shard =
   Codec.add_varint buf shard;
   Buffer.contents buf
 
-let create_writer ~dir ~shard =
+let create_writer ?(fsync = false) ~dir ~shard () =
   ensure_dir dir;
   let oc = open_out_bin (shard_path ~dir shard) in
   let h = header shard in
   output_string oc h;
-  { oc; buf = Buffer.create 512; w_records = 0; w_bytes = String.length h; closed = false }
+  let w =
+    { oc; buf = Buffer.create 512; fsync; w_records = 0; w_bytes = String.length h; closed = false }
+  in
+  if fsync then begin
+    flush oc;
+    Unix.fsync (Unix.descr_of_out_channel oc)
+  end;
+  w
 
 let append w r =
   Buffer.clear w.buf;
   Codec.add_framed w.buf r;
   Buffer.output_buffer w.oc w.buf;
   w.w_records <- w.w_records + 1;
-  w.w_bytes <- w.w_bytes + Buffer.length w.buf
+  w.w_bytes <- w.w_bytes + Buffer.length w.buf;
+  if w.fsync then begin
+    flush w.oc;
+    Unix.fsync (Unix.descr_of_out_channel w.oc)
+  end
 
 let writer_stats w =
   { zero_stats with records = w.w_records; bytes = w.w_bytes }
@@ -169,7 +186,7 @@ let write_dataset ~dir ~shards ds =
   let per = (nruns + shards - 1) / max shards 1 in
   let total = ref zero_stats in
   for shard = 0 to shards - 1 do
-    let w = create_writer ~dir ~shard in
+    let w = create_writer ~dir ~shard () in
     let lo = shard * per and hi = min nruns ((shard + 1) * per) in
     for i = lo to hi - 1 do
       append w ds.Dataset.runs.(i)

@@ -38,8 +38,12 @@ val shard_files : dir:string -> (int * string) list
 
 type writer
 
-val create_writer : dir:string -> shard:int -> writer
-(** Creates [dir] if needed, truncates the shard file, writes the header. *)
+val create_writer : ?fsync:bool -> dir:string -> shard:int -> unit -> writer
+(** Creates [dir] if needed, truncates the shard file, writes the header.
+    With [~fsync:true] (default false) every {!append} flushes and
+    [fsync]s before returning, so a record acknowledged to a client is on
+    stable storage even if the process dies before {!close_writer} — the
+    durability contract of the serving path's ingest command. *)
 
 val append : writer -> Sbi_runtime.Report.t -> unit
 val writer_stats : writer -> stats

@@ -1,0 +1,78 @@
+let alphabet = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/"
+
+let encode s =
+  let n = String.length s in
+  let buf = Buffer.create ((n + 2) / 3 * 4) in
+  let byte i = Char.code s.[i] in
+  let emit6 v = Buffer.add_char buf alphabet.[v land 0x3F] in
+  let i = ref 0 in
+  while !i + 3 <= n do
+    let w = (byte !i lsl 16) lor (byte (!i + 1) lsl 8) lor byte (!i + 2) in
+    emit6 (w lsr 18);
+    emit6 (w lsr 12);
+    emit6 (w lsr 6);
+    emit6 w;
+    i := !i + 3
+  done;
+  (match n - !i with
+  | 1 ->
+      let w = byte !i lsl 16 in
+      emit6 (w lsr 18);
+      emit6 (w lsr 12);
+      Buffer.add_string buf "=="
+  | 2 ->
+      let w = (byte !i lsl 16) lor (byte (!i + 1) lsl 8) in
+      emit6 (w lsr 18);
+      emit6 (w lsr 12);
+      emit6 (w lsr 6);
+      Buffer.add_char buf '='
+  | _ -> ());
+  Buffer.contents buf
+
+let value c =
+  match c with
+  | 'A' .. 'Z' -> Some (Char.code c - Char.code 'A')
+  | 'a' .. 'z' -> Some (Char.code c - Char.code 'a' + 26)
+  | '0' .. '9' -> Some (Char.code c - Char.code '0' + 52)
+  | '+' -> Some 62
+  | '/' -> Some 63
+  | _ -> None
+
+let decode s =
+  let n = String.length s in
+  if n mod 4 <> 0 then Error "base64 length must be a multiple of 4"
+  else begin
+    let buf = Buffer.create (n / 4 * 3) in
+    let err = ref None in
+    let i = ref 0 in
+    while !err = None && !i < n do
+      let quad = String.sub s !i 4 in
+      let pad =
+        if quad.[3] = '=' then if quad.[2] = '=' then 2 else 1 else 0
+      in
+      (* '=' is only legal as trailing padding of the final quad *)
+      if pad > 0 && !i + 4 <> n then err := Some "padding before end of input"
+      else begin
+        let vals = Array.make 4 0 in
+        for j = 0 to 3 do
+          if !err = None && j < 4 - pad then
+            match value quad.[j] with
+            | Some v -> vals.(j) <- v
+            | None -> err := Some (Printf.sprintf "invalid base64 character %C" quad.[j])
+        done;
+        if !err = None then begin
+          let w =
+            (vals.(0) lsl 18) lor (vals.(1) lsl 12) lor (vals.(2) lsl 6) lor vals.(3)
+          in
+          Buffer.add_char buf (Char.chr ((w lsr 16) land 0xFF));
+          if pad < 2 then Buffer.add_char buf (Char.chr ((w lsr 8) land 0xFF));
+          if pad < 1 then Buffer.add_char buf (Char.chr (w land 0xFF));
+          (* non-zero bits under the padding mean a malformed encoder *)
+          if (pad = 2 && vals.(1) land 0x0F <> 0) || (pad = 1 && vals.(2) land 0x03 <> 0)
+          then err := Some "non-canonical base64 padding"
+        end
+      end;
+      i := !i + 4
+    done;
+    match !err with Some e -> Error e | None -> Ok (Buffer.contents buf)
+  end

@@ -1,0 +1,12 @@
+(** RFC 4648 base64 (standard alphabet, [=] padding).
+
+    The wire protocol is newline-delimited text, so a binary {!Sbi_ingest.Codec}
+    report payload must cross as text; base64 is the encoding the
+    [ingest] command uses.  Implemented here because the build image
+    carries no base64 library. *)
+
+val encode : string -> string
+
+val decode : string -> (string, string) result
+(** Strict: rejects characters outside the alphabet, bad lengths, and
+    malformed padding. *)

@@ -1,0 +1,31 @@
+type t = {
+  fd : Unix.file_descr;
+  ic : in_channel;
+  oc : out_channel;
+  mutable open_ : bool;
+}
+
+let connect addr =
+  let sa = Wire.sockaddr addr in
+  let fd = Unix.socket (Unix.domain_of_sockaddr sa) Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd sa
+   with e ->
+     Unix.close fd;
+     raise e);
+  { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd; open_ = true }
+
+let request t line =
+  output_string t.oc line;
+  output_char t.oc '\n';
+  flush t.oc;
+  Wire.read_response t.ic
+
+let close t =
+  if t.open_ then begin
+    t.open_ <- false;
+    (try
+       output_string t.oc "quit\n";
+       flush t.oc
+     with Sys_error _ -> ());
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end

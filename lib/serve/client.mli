@@ -1,0 +1,14 @@
+(** Blocking client for the {!Wire} protocol. *)
+
+type t
+
+val connect : Wire.addr -> t
+(** @raise Unix.Unix_error when the server is unreachable. *)
+
+val request : t -> string -> (string * string list, string) result
+(** Send one command line and read one framed response.
+    [Ok (header_rest, payload)] on [ok]; [Error msg] on [err].
+    @raise End_of_file when the server closed the connection. *)
+
+val close : t -> unit
+(** Sends [quit] (best-effort) and closes the socket.  Idempotent. *)

@@ -1,0 +1,126 @@
+(* Latency buckets: powers of two in microseconds, 1us .. ~8.4s, plus an
+   overflow bucket.  Percentiles report the upper bound of the bucket the
+   rank falls in — coarse, but allocation-free and mergeable. *)
+let nbuckets = 24
+
+let bucket_bound i = 1 lsl i (* us *)
+
+type t = {
+  mutex : Mutex.t;
+  mutable requests : int;
+  per_command : (string, int) Hashtbl.t;
+  mutable bytes_in : int;
+  mutable bytes_out : int;
+  mutable connections : int;
+  mutable connections_total : int;
+  latency : int array;  (* bucket -> count *)
+}
+
+let create () =
+  {
+    mutex = Mutex.create ();
+    requests = 0;
+    per_command = Hashtbl.create 8;
+    bytes_in = 0;
+    bytes_out = 0;
+    connections = 0;
+    connections_total = 0;
+    latency = Array.make (nbuckets + 1) 0;
+  }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let bucket_of_ns ns =
+  let us = ns / 1000 in
+  let rec go i = if i >= nbuckets then nbuckets else if us < bucket_bound i then i else go (i + 1) in
+  go 0
+
+let record t ~cmd ~latency_ns ~bytes_in ~bytes_out =
+  locked t (fun () ->
+      t.requests <- t.requests + 1;
+      Hashtbl.replace t.per_command cmd
+        (1 + Option.value ~default:0 (Hashtbl.find_opt t.per_command cmd));
+      t.bytes_in <- t.bytes_in + bytes_in;
+      t.bytes_out <- t.bytes_out + bytes_out;
+      let b = bucket_of_ns latency_ns in
+      t.latency.(b) <- t.latency.(b) + 1)
+
+let connection_opened t =
+  locked t (fun () ->
+      t.connections <- t.connections + 1;
+      t.connections_total <- t.connections_total + 1)
+
+let connection_closed t = locked t (fun () -> t.connections <- t.connections - 1)
+
+type snapshot = {
+  requests : int;
+  per_command : (string * int) list;
+  bytes_in : int;
+  bytes_out : int;
+  connections : int;
+  connections_total : int;
+  latency_buckets : (int * int) list;
+  p50_us : int;
+  p90_us : int;
+  p99_us : int;
+}
+
+let percentile_bound latency total p =
+  if total = 0 then 0
+  else begin
+    let rank = int_of_float (Float.of_int total *. p /. 100.) + 1 in
+    let rank = min rank total in
+    let seen = ref 0 and bound = ref 0 and found = ref false in
+    Array.iteri
+      (fun i c ->
+        if not !found then begin
+          seen := !seen + c;
+          if !seen >= rank then begin
+            bound := (if i >= nbuckets then bucket_bound nbuckets else bucket_bound i);
+            found := true
+          end
+        end)
+      latency;
+    !bound
+  end
+
+let snapshot t =
+  locked t (fun () ->
+      let total = Array.fold_left ( + ) 0 t.latency in
+      let buckets = ref [] in
+      for i = nbuckets downto 0 do
+        if t.latency.(i) > 0 then buckets := (bucket_bound (min i nbuckets), t.latency.(i)) :: !buckets
+      done;
+      {
+        requests = t.requests;
+        per_command =
+          List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.per_command []);
+        bytes_in = t.bytes_in;
+        bytes_out = t.bytes_out;
+        connections = t.connections;
+        connections_total = t.connections_total;
+        latency_buckets = !buckets;
+        p50_us = percentile_bound t.latency total 50.;
+        p90_us = percentile_bound t.latency total 90.;
+        p99_us = percentile_bound t.latency total 99.;
+      })
+
+let lines t =
+  let s = snapshot t in
+  List.concat
+    [
+      [
+        Printf.sprintf "requests %d" s.requests;
+        Printf.sprintf "bytes_in %d" s.bytes_in;
+        Printf.sprintf "bytes_out %d" s.bytes_out;
+        Printf.sprintf "connections %d" s.connections;
+        Printf.sprintf "connections_total %d" s.connections_total;
+        Printf.sprintf "latency_p50_us %d" s.p50_us;
+        Printf.sprintf "latency_p90_us %d" s.p90_us;
+        Printf.sprintf "latency_p99_us %d" s.p99_us;
+      ];
+      List.map (fun (cmd, n) -> Printf.sprintf "req.%s %d" cmd n) s.per_command;
+      List.map (fun (bound, n) -> Printf.sprintf "latency_le_%dus %d" bound n) s.latency_buckets;
+    ]

@@ -1,0 +1,31 @@
+(** Per-request server metrics: request counts (total and per command),
+    bytes in/out, and a log2-bucketed latency histogram with estimated
+    percentiles.  Thread-safe; rendered as [key value] lines by the
+    [stats] protocol command. *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> cmd:string -> latency_ns:int -> bytes_in:int -> bytes_out:int -> unit
+
+val connection_opened : t -> unit
+val connection_closed : t -> unit
+
+type snapshot = {
+  requests : int;
+  per_command : (string * int) list;  (** sorted by command name *)
+  bytes_in : int;
+  bytes_out : int;
+  connections : int;  (** currently open *)
+  connections_total : int;
+  latency_buckets : (int * int) list;  (** (upper bound in us, count), cumulative-ready order *)
+  p50_us : int;
+  p90_us : int;
+  p99_us : int;  (** bucket upper bounds containing the percentile (0 when empty) *)
+}
+
+val snapshot : t -> snapshot
+
+val lines : t -> string list
+(** [key value] lines for the wire protocol. *)

@@ -1,0 +1,285 @@
+open Sbi_runtime
+open Sbi_ingest
+open Sbi_core
+open Sbi_index
+
+type config = {
+  addr : Wire.addr;
+  timeout : float;
+  fsync : bool;
+  ingest_log : string option;
+}
+
+let default_config addr = { addr; timeout = 30.; fsync = true; ingest_log = None }
+
+type t = {
+  config : config;
+  index : Index.t;
+  lock : Mutex.t;  (* guards index state and the ingest writer *)
+  metrics : Metrics.t;
+  listen_fd : Unix.file_descr;
+  stop_flag : bool Atomic.t;
+  workers : (int, Thread.t * Unix.file_descr) Hashtbl.t;
+  workers_lock : Mutex.t;
+  writer : Shard_log.writer option;
+  started_at : float;
+  mutable ingested_n : int;
+  mutable accept_thread : Thread.t option;
+}
+
+let locked m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+(* --- request handlers (caller holds t.lock) --- *)
+
+let pred_text t pred = Dataset.pred_text t.index.Index.meta pred
+
+let fmt_score (sc : Scores.t) text =
+  Printf.sprintf "%d %.6f %.6f %d %d %s" sc.Scores.pred sc.Scores.importance
+    sc.Scores.increase sc.Scores.f sc.Scores.s text
+
+let handle_topk t k =
+  let k = match k with Some k when k > 0 -> k | _ -> 10 in
+  let scores = Triage.topk ~k t.index in
+  let lines =
+    List.mapi (fun i sc -> Printf.sprintf "%d %s" (i + 1) (fmt_score sc (pred_text t sc.Scores.pred))) scores
+  in
+  Ok (Printf.sprintf "topk %d" (List.length lines), lines)
+
+let parse_pred t s =
+  match int_of_string_opt s with
+  | Some p when p >= 0 && p < t.index.Index.meta.Dataset.npreds -> Ok p
+  | Some p -> Error (Printf.sprintf "predicate %d out of range (have %d)" p t.index.Index.meta.Dataset.npreds)
+  | None -> Error ("bad predicate id: " ^ s)
+
+let handle_pred t arg =
+  match parse_pred t arg with
+  | Error e -> Error e
+  | Ok pred ->
+      let sc = Triage.pred_detail t.index ~pred in
+      let lines =
+        [
+          Printf.sprintf "text %s" (pred_text t pred);
+          Printf.sprintf "site %d" t.index.Index.meta.Dataset.pred_site.(pred);
+          Printf.sprintf "f %d" sc.Scores.f;
+          Printf.sprintf "s %d" sc.Scores.s;
+          Printf.sprintf "f_obs %d" sc.Scores.f_obs;
+          Printf.sprintf "s_obs %d" sc.Scores.s_obs;
+          Printf.sprintf "failure %.6f" sc.Scores.failure;
+          Printf.sprintf "context %.6f" sc.Scores.context;
+          Printf.sprintf "increase %.6f" sc.Scores.increase;
+          Printf.sprintf "increase_ci %.6f %.6f" sc.Scores.increase_ci.Sbi_util.Stats.lo
+            sc.Scores.increase_ci.Sbi_util.Stats.hi;
+          Printf.sprintf "importance %.6f" sc.Scores.importance;
+          Printf.sprintf "importance_ci %.6f %.6f" sc.Scores.importance_ci.Sbi_util.Stats.lo
+            sc.Scores.importance_ci.Sbi_util.Stats.hi;
+        ]
+      in
+      Ok (Printf.sprintf "pred %d" pred, lines)
+
+let handle_affinity t arg k =
+  match parse_pred t arg with
+  | Error e -> Error e
+  | Ok pred ->
+      let k = match k with Some k when k > 0 -> k | _ -> 10 in
+      let retained = Prune.retained (Triage.counts t.index) in
+      let entries = Triage.affinity t.index ~selected:pred ~others:retained in
+      let rec take n = function [] -> [] | _ when n = 0 -> [] | x :: r -> x :: take (n - 1) r in
+      let lines =
+        List.map
+          (fun (e : Affinity.entry) ->
+            Printf.sprintf "%d %.6f %.6f %.6f %s" e.Affinity.pred e.Affinity.drop
+              e.Affinity.importance_before e.Affinity.importance_after (pred_text t e.Affinity.pred))
+          (take k entries)
+      in
+      Ok (Printf.sprintf "affinity %d %d" pred (List.length lines), lines)
+
+let handle_stats t =
+  let idx_lines =
+    [
+      Printf.sprintf "runs %d" (Index.nruns t.index);
+      Printf.sprintf "failures %d" (Index.num_failures t.index);
+      Printf.sprintf "segments %d" (Array.length t.index.Index.segments);
+      Printf.sprintf "tail_runs %d" (Index.tail_count t.index);
+      Printf.sprintf "ingested %d" t.ingested_n;
+      Printf.sprintf "uptime_s %.1f" (Unix.gettimeofday () -. t.started_at);
+    ]
+  in
+  Ok ("stats", idx_lines @ Metrics.lines t.metrics)
+
+let handle_ingest t b64 =
+  match t.writer with
+  | None -> Error "ingest disabled (no --log configured)"
+  | Some w -> (
+      match B64.decode b64 with
+      | Error e -> Error ("bad base64: " ^ e)
+      | Ok payload -> (
+          match Codec.decode payload with
+          | exception Codec.Corrupt m -> Error ("bad report payload: " ^ m)
+          | r -> (
+              (* validate before any state mutates: a rejected report must
+                 leave neither the log nor the tail touched *)
+              match Index.append t.index r with
+              | exception Invalid_argument m -> Error m
+              | () ->
+                  Shard_log.append w r;
+                  t.ingested_n <- t.ingested_n + 1;
+                  Ok (Printf.sprintf "ingested %d" r.Report.run_id, []))))
+
+(* --- connection loop --- *)
+
+let cmd_name line =
+  match String.index_opt line ' ' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+let dispatch t line =
+  let words = List.filter (fun w -> w <> "") (String.split_on_char ' ' line) in
+  match words with
+  | [ "ping" ] -> Ok ("pong", [])
+  | [ "topk" ] -> locked t.lock (fun () -> handle_topk t None)
+  | [ "topk"; k ] -> locked t.lock (fun () -> handle_topk t (int_of_string_opt k))
+  | [ "pred"; id ] -> locked t.lock (fun () -> handle_pred t id)
+  | [ "affinity"; id ] -> locked t.lock (fun () -> handle_affinity t id None)
+  | [ "affinity"; id; k ] -> locked t.lock (fun () -> handle_affinity t id (int_of_string_opt k))
+  | [ "stats" ] -> locked t.lock (fun () -> handle_stats t)
+  | [ "ingest"; payload ] -> locked t.lock (fun () -> handle_ingest t payload)
+  | [] -> Error "empty command"
+  | cmd :: _ -> Error (Printf.sprintf "unknown command %s (try: ping topk pred affinity stats ingest quit)" cmd)
+
+let handle_connection t fd =
+  Metrics.connection_opened t.metrics;
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let closed = ref false in
+  (try
+     while not !closed && not (Atomic.get t.stop_flag) do
+       match input_line ic with
+       | exception End_of_file -> closed := true
+       | exception Sys_error _ -> closed := true (* receive timeout or reset *)
+       | line ->
+           let line =
+             (* tolerate CRLF clients *)
+             if String.length line > 0 && line.[String.length line - 1] = '\r' then
+               String.sub line 0 (String.length line - 1)
+             else line
+           in
+           if line = "quit" then begin
+             ignore (Wire.write_ok oc ~header:"bye" ~lines:[]);
+             closed := true
+           end
+           else begin
+             let t0 = Unix.gettimeofday () in
+             let result =
+               try dispatch t line
+               with e -> Error ("internal error: " ^ Printexc.to_string e)
+             in
+             let bytes_out =
+               match result with
+               | Ok (header, lines) -> Wire.write_ok oc ~header ~lines
+               | Error msg -> Wire.write_err oc msg
+             in
+             let latency_ns = int_of_float ((Unix.gettimeofday () -. t0) *. 1e9) in
+             Metrics.record t.metrics ~cmd:(cmd_name line) ~latency_ns
+               ~bytes_in:(String.length line + 1) ~bytes_out
+           end
+     done
+   with _ -> ());
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  Metrics.connection_closed t.metrics;
+  locked t.workers_lock (fun () -> Hashtbl.remove t.workers (Thread.id (Thread.self ())))
+
+let accept_loop t =
+  while not (Atomic.get t.stop_flag) do
+    match Unix.select [ t.listen_fd ] [] [] 0.25 with
+    | [], _, _ -> ()
+    | _ :: _, _, _ -> (
+        match Unix.accept t.listen_fd with
+        | exception Unix.Unix_error _ -> () (* listener closed by stop *)
+        | fd, _ ->
+            (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.config.timeout
+             with Unix.Unix_error _ -> ());
+            let worker = Thread.create (fun () -> handle_connection t fd) () in
+            locked t.workers_lock (fun () -> Hashtbl.replace t.workers (Thread.id worker) (worker, fd)))
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error (Unix.EBADF, _, _) -> Atomic.set t.stop_flag true
+  done
+
+(* --- lifecycle --- *)
+
+let fresh_shard_id ~dir =
+  match Shard_log.shard_files ~dir with
+  | [] -> 0
+  | files -> 1 + List.fold_left (fun acc (i, _) -> max acc i) 0 files
+
+let open_ingest_writer config (index : Index.t) =
+  match config.ingest_log with
+  | None -> None
+  | Some dir ->
+      if not (Sys.file_exists (Filename.concat dir "meta")) then
+        Shard_log.write_meta ~dir index.Index.meta;
+      Some (Shard_log.create_writer ~fsync:config.fsync ~dir ~shard:(fresh_shard_id ~dir) ())
+
+let start config index =
+  (* a peer that disconnects mid-response must not kill the process;
+     the write surfaces as Sys_error/EPIPE and closes that connection *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let sa = Wire.sockaddr config.addr in
+  (match config.addr with
+  | Wire.Unix_sock path when Sys.file_exists path -> Sys.remove path
+  | _ -> ());
+  let domain = Unix.domain_of_sockaddr sa in
+  let listen_fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  (match domain with
+  | Unix.PF_INET | Unix.PF_INET6 -> Unix.setsockopt listen_fd Unix.SO_REUSEADDR true
+  | _ -> ());
+  (try
+     Unix.bind listen_fd sa;
+     Unix.listen listen_fd 64
+   with e ->
+     Unix.close listen_fd;
+     raise e);
+  let t =
+    {
+      config;
+      index;
+      lock = Mutex.create ();
+      metrics = Metrics.create ();
+      listen_fd;
+      stop_flag = Atomic.make false;
+      workers = Hashtbl.create 16;
+      workers_lock = Mutex.create ();
+      writer = open_ingest_writer config index;
+      started_at = Unix.gettimeofday ();
+      ingested_n = 0;
+      accept_thread = None;
+    }
+  in
+  t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
+  t
+
+let addr t = t.config.addr
+
+let stop t =
+  if not (Atomic.exchange t.stop_flag true) then begin
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    (match t.accept_thread with Some th -> Thread.join th | None -> ());
+    (* wake workers blocked in reads, then wait for them *)
+    let snapshot =
+      locked t.workers_lock (fun () ->
+          Hashtbl.fold (fun _ wt acc -> wt :: acc) t.workers [])
+    in
+    List.iter
+      (fun (_, fd) -> try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+      snapshot;
+    List.iter (fun (th, _) -> Thread.join th) snapshot;
+    locked t.lock (fun () ->
+        match t.writer with Some w -> ignore (Shard_log.close_writer w) | None -> ());
+    match t.config.addr with
+    | Wire.Unix_sock path when Sys.file_exists path -> ( try Sys.remove path with Sys_error _ -> ())
+    | _ -> ()
+  end
+
+let wait t = match t.accept_thread with Some th -> Thread.join th | None -> ()
+let ingested t = locked t.lock (fun () -> t.ingested_n)

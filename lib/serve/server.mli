@@ -1,0 +1,49 @@
+(** Concurrent triage query server.
+
+    Serves the {!Wire} protocol over a Unix or TCP socket: one accept
+    thread, one worker thread per connection (blocking reads with a
+    receive timeout), a global lock around index state (requests are
+    short — microseconds against merged aggregates), and {!Metrics} for
+    observability.
+
+    Queries ([topk], [pred], [affinity], [stats], [ping]) read the open
+    {!Index}; [ingest] decodes a base64 {!Sbi_ingest.Codec} payload,
+    validates it against the site/predicate tables, appends it to a
+    fresh shard of the index's source log (with [fsync] when configured,
+    so an acknowledged report survives power loss), and folds it into
+    the index's live tail — visible to the very next query.
+
+    {!stop} is the graceful-shutdown path (the CLI wires it to SIGINT):
+    stop accepting, shut down open connections, join every worker, close
+    the durable writer. *)
+
+type t
+
+type config = {
+  addr : Wire.addr;
+  timeout : float;  (** per-connection receive timeout, seconds *)
+  fsync : bool;  (** fsync the ingest log on every accepted record *)
+  ingest_log : string option;
+      (** shard-log directory for durable ingest; [None] disables the
+          [ingest] command *)
+}
+
+val default_config : Wire.addr -> config
+(** 30s timeout, fsync on, no ingest log. *)
+
+val start : config -> Sbi_index.Index.t -> t
+(** Bind, listen, and spawn the accept loop.  When [ingest_log] is set,
+    opens a writer on a fresh shard (max existing shard + 1).
+    @raise Unix.Unix_error when the address cannot be bound. *)
+
+val addr : t -> Wire.addr
+
+val stop : t -> unit
+(** Graceful shutdown; idempotent.  Returns once every worker has
+    exited and the ingest writer (if any) is closed. *)
+
+val wait : t -> unit
+(** Block until the server stops (joins the accept thread). *)
+
+val ingested : t -> int
+(** Reports accepted over the wire since {!start}. *)

@@ -1,0 +1,63 @@
+type addr = Unix_sock of string | Tcp of string * int
+
+let addr_of_string s =
+  if s = "" then Error "empty address"
+  else if String.contains s '/' then Ok (Unix_sock s)
+  else
+    match String.rindex_opt s ':' with
+    | None -> Error (Printf.sprintf "bad address %S (expected a /path or host:port)" s)
+    | Some i -> (
+        let host = String.sub s 0 i in
+        let port = String.sub s (i + 1) (String.length s - i - 1) in
+        match int_of_string_opt port with
+        | Some p when p > 0 && p < 65536 ->
+            Ok (Tcp ((if host = "" then "127.0.0.1" else host), p))
+        | _ -> Error (Printf.sprintf "bad port in address %S" s))
+
+let addr_to_string = function
+  | Unix_sock path -> path
+  | Tcp (host, port) -> Printf.sprintf "%s:%d" host port
+
+let sockaddr = function
+  | Unix_sock path -> Unix.ADDR_UNIX path
+  | Tcp (host, port) -> (
+      match Unix.getaddrinfo host (string_of_int port) [ Unix.AI_SOCKTYPE Unix.SOCK_STREAM ] with
+      | { Unix.ai_addr; _ } :: _ -> ai_addr
+      | [] -> failwith (Printf.sprintf "cannot resolve host %S" host))
+
+let stuff line = if String.length line > 0 && line.[0] = '.' then "." ^ line else line
+
+let unstuff line =
+  if String.length line > 1 && line.[0] = '.' then String.sub line 1 (String.length line - 1)
+  else line
+
+let write_framed oc header lines =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf header;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun line ->
+      Buffer.add_string buf (stuff line);
+      Buffer.add_char buf '\n')
+    lines;
+  Buffer.add_string buf ".\n";
+  output_string oc (Buffer.contents buf);
+  flush oc;
+  Buffer.length buf
+
+let write_ok oc ~header ~lines = write_framed oc ("ok " ^ header) lines
+let write_err oc msg = write_framed oc ("err " ^ msg) []
+
+let read_response ic =
+  let header = input_line ic in
+  let rec payload acc =
+    let line = input_line ic in
+    if line = "." then List.rev acc else payload (unstuff line :: acc)
+  in
+  let lines = payload [] in
+  if header = "ok" then Ok ("", lines)
+  else if String.length header >= 3 && String.sub header 0 3 = "ok " then
+    Ok (String.sub header 3 (String.length header - 3), lines)
+  else if String.length header >= 4 && String.sub header 0 4 = "err " then
+    Error (String.sub header 4 (String.length header - 4))
+  else Error ("malformed response header: " ^ header)

@@ -1,0 +1,35 @@
+(** The triage wire protocol: addresses and response framing.
+
+    Requests are single lines, [\n]-terminated:
+    {v
+    ping | stats | topk [K] | pred <id> | affinity <id> [K]
+    ingest <base64 payload> | quit
+    v}
+
+    Every response is a header line — [ok ...] or [err <message>] —
+    followed by zero or more payload lines, terminated by a line holding
+    a single ["."].  A payload line that happens to start with a dot is
+    dot-stuffed ([".."] on the wire), so binary-free framing never
+    ambiguates. *)
+
+type addr =
+  | Unix_sock of string  (** filesystem socket path *)
+  | Tcp of string * int  (** host, port *)
+
+val addr_of_string : string -> (addr, string) result
+(** A string containing [/] is a Unix socket path; otherwise
+    [host:port]. *)
+
+val addr_to_string : addr -> string
+val sockaddr : addr -> Unix.sockaddr
+(** @raise Failure when a TCP host does not resolve. *)
+
+val write_ok : out_channel -> header:string -> lines:string list -> int
+(** Send one framed success response; returns bytes written. *)
+
+val write_err : out_channel -> string -> int
+
+val read_response : in_channel -> (string * string list, string) result
+(** Read one framed response: [Ok (header_rest, payload)] for an [ok]
+    header (the header's text after ["ok "]), [Error msg] for [err].
+    @raise End_of_file when the peer closed mid-response. *)

@@ -1,0 +1,36 @@
+(** Minimal JSON tree, emitter, and parser.
+
+    Just enough JSON for the machine-readable CLI/bench outputs and the
+    tests that validate them — no external dependency.  The emitter
+    produces compact, valid JSON (strings escaped per RFC 8259, floats
+    via [%.17g] so values round-trip); the recursive-descent parser
+    accepts any document the emitter produces plus ordinary interchange
+    JSON (whitespace, nested containers, escape sequences, exponents). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val int : int -> t
+(** [Num] of an integer (emitted without a decimal point). *)
+
+val to_string : t -> string
+(** Compact serialization (no insignificant whitespace). *)
+
+val parse : string -> (t, string) result
+(** Parse one JSON document; trailing non-whitespace is an error.  The
+    error string includes a character offset. *)
+
+(** {1 Accessors (total, for tests and consumers)} *)
+
+val member : string -> t -> t option
+(** Field of an [Obj] (first match), [None] otherwise. *)
+
+val to_float : t -> float option
+val to_int : t -> int option
+val to_str : t -> string option
+val to_list : t -> t list option

@@ -1,0 +1,456 @@
+(* Tests for the inverted predicate index and incremental triage queries:
+   segment round-trip and corruption posture, incremental builds, fsck,
+   live-tail appends, and — the load-bearing property — that every
+   index-backed query equals its full-dataset counterpart in
+   Sbi_core.Analysis, including after incremental segment appends. *)
+open Sbi_runtime
+open Sbi_ingest
+open Sbi_index
+
+let mk_report ?(outcome = Report.Success) ?(sites = [||]) ?(preds = [||]) id =
+  {
+    Report.run_id = id;
+    outcome;
+    observed_sites = sites;
+    true_preds = preds;
+    true_counts = Array.map (fun _ -> 1) preds;
+    bugs = [||];
+    crash_sig = None;
+  }
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "sbi_idx" "" in
+  Sys.remove dir;
+  let rec rm path =
+    if Sys.is_directory path then begin
+      Array.iter (fun n -> rm (Filename.concat path n)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+  in
+  Sys.mkdir dir 0o700;
+  Fun.protect ~finally:(fun () -> if Sys.file_exists dir then rm dir) (fun () -> f dir)
+
+let counts_equal (a : Sbi_core.Counts.t) (b : Sbi_core.Counts.t) =
+  a.Sbi_core.Counts.npreds = b.Sbi_core.Counts.npreds
+  && a.Sbi_core.Counts.f = b.Sbi_core.Counts.f
+  && a.Sbi_core.Counts.s = b.Sbi_core.Counts.s
+  && a.Sbi_core.Counts.f_obs = b.Sbi_core.Counts.f_obs
+  && a.Sbi_core.Counts.s_obs = b.Sbi_core.Counts.s_obs
+  && a.Sbi_core.Counts.num_f = b.Sbi_core.Counts.num_f
+  && a.Sbi_core.Counts.num_s = b.Sbi_core.Counts.num_s
+
+(* --- random corpora (shared by the equivalence properties) --- *)
+
+let nsites = 5
+let npreds = 10
+let pred_site = [| 0; 0; 1; 1; 2; 2; 3; 3; 4; 4 |]
+
+let random_report st id =
+  let obs = ref [] and preds = ref [] in
+  let obs_mask = Array.make nsites false in
+  for site = nsites - 1 downto 0 do
+    if Random.State.float st 1.0 < 0.6 then begin
+      obs_mask.(site) <- true;
+      obs := site :: !obs
+    end
+  done;
+  for p = npreds - 1 downto 0 do
+    if obs_mask.(pred_site.(p)) && Random.State.float st 1.0 < 0.35 then preds := p :: !preds
+  done;
+  let preds = Array.of_list !preds in
+  let buggy = Array.exists (fun p -> p = 3) preds in
+  let failing = Random.State.float st 1.0 < if buggy then 0.85 else 0.08 in
+  mk_report
+    ~outcome:(if failing then Report.Failure else Report.Success)
+    ~sites:(Array.of_list !obs) ~preds id
+
+let random_reports st ~start_id n = Array.init n (fun i -> random_report st (start_id + i))
+
+let dataset_of reports = Dataset.of_tables ~nsites ~npreds ~pred_site reports
+
+let write_log ~dir ?(shard = 0) reports =
+  if not (Sys.file_exists (Filename.concat dir "meta")) then
+    Shard_log.write_meta ~dir (dataset_of [||]);
+  let w = Shard_log.create_writer ~dir ~shard () in
+  Array.iter (Shard_log.append w) reports;
+  ignore (Shard_log.close_writer w)
+
+(* append frames to an existing shard file, as a still-open writer would *)
+let grow_shard ~dir ~shard reports =
+  let path = Filename.concat dir (Printf.sprintf "shard-%04d.sbil" shard) in
+  let oc = open_out_gen [ Open_append; Open_binary ] 0o644 path in
+  let buf = Buffer.create 512 in
+  Array.iter
+    (fun r ->
+      Buffer.clear buf;
+      Codec.add_framed buf r;
+      Buffer.output_buffer oc buf)
+    reports;
+  close_out oc
+
+let flip s i =
+  let b = Bytes.of_string s in
+  Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x40));
+  Bytes.to_string b
+
+let corrupt_one_byte path offset =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let oc = open_out_bin path in
+  output_string oc (flip s offset);
+  close_out oc
+
+(* --- bitset --- *)
+
+let test_bitset () =
+  let b = Bitset.create 131 in
+  Alcotest.(check int) "empty count" 0 (Bitset.count b);
+  List.iter (Bitset.set b) [ 0; 1; 63; 64; 100; 130 ];
+  Alcotest.(check int) "count" 6 (Bitset.count b);
+  Alcotest.(check bool) "get set" true (Bitset.get b 63);
+  Alcotest.(check bool) "get clear" false (Bitset.get b 62);
+  Bitset.clear b 63;
+  Alcotest.(check int) "after clear" 5 (Bitset.count b);
+  let f = Bitset.full 131 in
+  Alcotest.(check int) "full" 131 (Bitset.count f);
+  Alcotest.(check int) "and full" 5 (Bitset.count_and b f);
+  let c = Bitset.copy b in
+  Bitset.clear c 0;
+  Alcotest.(check bool) "copy is independent" true (Bitset.get b 0 && not (Bitset.get c 0));
+  Alcotest.(check int) "of_positions"
+    3
+    (Bitset.count (Bitset.of_positions 70 [| 2; 64; 69 |]));
+  Alcotest.(check int) "length" 131 (Bitset.length b)
+
+(* --- segments --- *)
+
+let sample_reports =
+  [|
+    mk_report ~outcome:Report.Failure ~sites:[| 0; 1; 3 |] ~preds:[| 0; 3; 6 |] 10;
+    mk_report ~sites:[| 0; 2 |] ~preds:[| 1; 4 |] 11;
+    mk_report ~sites:[||] ~preds:[||] 12;
+    mk_report ~outcome:Report.Failure ~sites:[| 4 |] ~preds:[| 8; 9 |] 15;
+  |]
+
+let mk_segment () =
+  Segment.of_reports ~nsites ~npreds ~source_shard:2 ~start_off:6 ~end_off:999 sample_reports
+
+let segment_equal (a : Segment.t) (b : Segment.t) =
+  a.Segment.source_shard = b.Segment.source_shard
+  && a.Segment.start_off = b.Segment.start_off
+  && a.Segment.end_off = b.Segment.end_off
+  && a.Segment.nsites = b.Segment.nsites
+  && a.Segment.npreds = b.Segment.npreds
+  && a.Segment.nruns = b.Segment.nruns
+  && a.Segment.run_ids = b.Segment.run_ids
+  && a.Segment.site_obs = b.Segment.site_obs
+  && a.Segment.pred_true = b.Segment.pred_true
+  && Array.init a.Segment.nruns (Bitset.get a.Segment.failing)
+     = Array.init b.Segment.nruns (Bitset.get b.Segment.failing)
+
+let test_segment_round_trip () =
+  let seg = mk_segment () in
+  Alcotest.(check int) "nruns" 4 seg.Segment.nruns;
+  Alcotest.(check bool) "failing bit" true (Bitset.get seg.Segment.failing 0);
+  Alcotest.(check bool) "success bit" false (Bitset.get seg.Segment.failing 1);
+  Alcotest.(check bool) "posting for pred 3" true (seg.Segment.pred_true.(3) = [| 0 |]);
+  let seg' = Segment.decode (Segment.encode seg) in
+  Alcotest.(check bool) "round trip" true (segment_equal seg seg')
+
+let test_segment_aggregator () =
+  let seg = mk_segment () in
+  let agg = Segment.aggregator ~pred_site seg in
+  let direct = Aggregator.empty ~nsites ~npreds ~pred_site in
+  Array.iter (Aggregator.observe direct) sample_reports;
+  Alcotest.(check bool) "segment aggregate = fold of reports" true
+    (counts_equal (Aggregator.to_counts agg) (Aggregator.to_counts direct))
+
+let test_segment_corruption () =
+  let encoded = Segment.encode (mk_segment ()) in
+  Alcotest.(check bool) "decodes clean" true
+    (segment_equal (mk_segment ()) (Segment.decode encoded));
+  for off = 0 to String.length encoded - 1 do
+    match Segment.decode (flip encoded off) with
+    | _ -> Alcotest.failf "flipped byte %d must not decode" off
+    | exception Segment.Corrupt _ -> ()
+  done;
+  (match Segment.decode (String.sub encoded 0 (String.length encoded - 1)) with
+  | _ -> Alcotest.fail "truncated segment must not decode"
+  | exception Segment.Corrupt _ -> ());
+  match Segment.of_reports ~nsites ~npreds ~source_shard:0 ~start_off:0 ~end_off:0
+          [| mk_report ~sites:[| nsites |] 0 |]
+  with
+  | _ -> Alcotest.fail "out-of-range site must be rejected"
+  | exception Invalid_argument _ -> ()
+
+(* A site or predicate repeated within one report must collapse to a single
+   posting position; duplicates would break the strictly-increasing delta
+   encoding and render the segment unreadable. *)
+let test_segment_duplicate_observations () =
+  let reports =
+    [|
+      mk_report ~outcome:Report.Failure ~sites:[| 0; 1; 1 |] ~preds:[| 3; 3 |] 0;
+      mk_report ~sites:[| 1; 2 |] ~preds:[| 4 |] 1;
+    |]
+  in
+  let seg =
+    Segment.of_reports ~nsites ~npreds ~source_shard:0 ~start_off:0 ~end_off:10 reports
+  in
+  Alcotest.(check bool) "site posting deduped" true (seg.Segment.site_obs.(1) = [| 0; 1 |]);
+  Alcotest.(check bool) "pred posting deduped" true (seg.Segment.pred_true.(3) = [| 0 |]);
+  Alcotest.(check bool) "round trips" true
+    (segment_equal seg (Segment.decode (Segment.encode seg)))
+
+(* --- index build / open / incremental --- *)
+
+let test_build_and_open () =
+  with_temp_dir (fun tmp ->
+      let log = Filename.concat tmp "log" in
+      let idx_dir = Filename.concat tmp "idx" in
+      let st = Random.State.make [| 11 |] in
+      let reports = random_reports st ~start_id:0 60 in
+      write_log ~dir:log reports;
+      let b = Index.build ~log ~dir:idx_dir in
+      Alcotest.(check int) "one segment" 1 b.Index.segments_added;
+      Alcotest.(check int) "all records" 60 b.Index.records_indexed;
+      let idx = Index.open_ ~dir:idx_dir in
+      Alcotest.(check int) "runs" 60 (Index.nruns idx);
+      Alcotest.(check int) "failures"
+        (Dataset.num_failures (dataset_of reports))
+        (Index.num_failures idx);
+      Alcotest.(check bool) "counts = Counts.compute" true
+        (counts_equal (Triage.counts idx) (Sbi_core.Counts.compute (dataset_of reports)));
+      let b2 = Index.build ~log ~dir:idx_dir in
+      Alcotest.(check int) "rebuild is a no-op" 0 b2.Index.segments_added;
+      Alcotest.(check int) "no new bytes" 0 b2.Index.bytes_consumed)
+
+let test_incremental_build () =
+  with_temp_dir (fun tmp ->
+      let log = Filename.concat tmp "log" in
+      let idx_dir = Filename.concat tmp "idx" in
+      let st = Random.State.make [| 12 |] in
+      let first = random_reports st ~start_id:0 40 in
+      write_log ~dir:log first;
+      ignore (Index.build ~log ~dir:idx_dir);
+      (* source shard 0 grows, and a brand-new shard 1 appears *)
+      let grown = random_reports st ~start_id:40 25 in
+      grow_shard ~dir:log ~shard:0 grown;
+      let fresh = random_reports st ~start_id:65 30 in
+      write_log ~dir:log ~shard:1 fresh;
+      let b = Index.build ~log ~dir:idx_dir in
+      Alcotest.(check int) "two new segments" 2 b.Index.segments_added;
+      Alcotest.(check int) "only new records" 55 b.Index.records_indexed;
+      let idx = Index.open_ ~dir:idx_dir in
+      Alcotest.(check int) "total segments" 3 (Array.length idx.Index.segments);
+      let all = Array.concat [ first; grown; fresh ] in
+      Alcotest.(check int) "runs" 95 (Index.nruns idx);
+      Alcotest.(check bool) "counts over all segments" true
+        (counts_equal (Triage.counts idx) (Sbi_core.Counts.compute (dataset_of all))))
+
+let test_corrupt_source_skipped () =
+  with_temp_dir (fun tmp ->
+      let log = Filename.concat tmp "log" in
+      let idx_dir = Filename.concat tmp "idx" in
+      let st = Random.State.make [| 13 |] in
+      write_log ~dir:log (random_reports st ~start_id:0 30);
+      (* damage one record mid-shard: the build must skip it and keep going *)
+      corrupt_one_byte (Filename.concat log "shard-0000.sbil") 200;
+      let b = Index.build ~log ~dir:idx_dir in
+      Alcotest.(check bool) "skipped something" true (b.Index.corrupt_skipped >= 1);
+      let idx = Index.open_ ~dir:idx_dir in
+      Alcotest.(check int) "intact records indexed" b.Index.records_indexed (Index.nruns idx))
+
+let test_corrupt_segment_and_fsck () =
+  with_temp_dir (fun tmp ->
+      let log = Filename.concat tmp "log" in
+      let idx_dir = Filename.concat tmp "idx" in
+      let st = Random.State.make [| 14 |] in
+      write_log ~dir:log (random_reports st ~start_id:0 20);
+      write_log ~dir:log ~shard:1 (random_reports st ~start_id:20 20);
+      ignore (Index.build ~log ~dir:idx_dir);
+      let clean = Index.fsck ~dir:idx_dir in
+      Alcotest.(check int) "fsck: all ok" 2 clean.Index.fsck_ok;
+      Alcotest.(check int) "fsck: none corrupt" 0 clean.Index.fsck_corrupt;
+      Alcotest.(check int) "fsck: records" 40 clean.Index.fsck_records;
+      corrupt_one_byte (Filename.concat idx_dir "seg-0001.sbix") 60;
+      let damaged = Index.fsck ~dir:idx_dir in
+      Alcotest.(check int) "fsck: one corrupt" 1 damaged.Index.fsck_corrupt;
+      let idx = Index.open_ ~dir:idx_dir in
+      Alcotest.(check int) "open skips corrupt segment" 1
+        idx.Index.stats.Index.segments_corrupt;
+      Alcotest.(check int) "open keeps intact segment" 20 (Index.nruns idx);
+      match Index.open_ ~dir:(Filename.concat tmp "nope") with
+      | _ -> Alcotest.fail "missing index must raise"
+      | exception Index.Format_error _ -> ())
+
+let test_tail_append () =
+  with_temp_dir (fun tmp ->
+      let log = Filename.concat tmp "log" in
+      let idx_dir = Filename.concat tmp "idx" in
+      let st = Random.State.make [| 15 |] in
+      let base = random_reports st ~start_id:0 35 in
+      write_log ~dir:log base;
+      ignore (Index.build ~log ~dir:idx_dir);
+      let idx = Index.open_ ~dir:idx_dir in
+      let live = random_reports st ~start_id:35 12 in
+      Array.iter (Index.append idx) live;
+      Alcotest.(check int) "tail count" 12 (Index.tail_count idx);
+      Alcotest.(check int) "runs include tail" 47 (Index.nruns idx);
+      let all = Array.append base live in
+      Alcotest.(check bool) "counts include tail" true
+        (counts_equal (Triage.counts idx) (Sbi_core.Counts.compute (dataset_of all)));
+      (match Index.append idx (mk_report ~sites:[| nsites + 3 |] 99) with
+      | () -> Alcotest.fail "bad site must be rejected"
+      | exception Invalid_argument _ -> ());
+      Alcotest.(check int) "rejected append left no trace" 12 (Index.tail_count idx))
+
+(* --- equivalence with the full-dataset analysis --- *)
+
+let scores_equal (a : Sbi_core.Scores.t) (b : Sbi_core.Scores.t) = compare a b = 0
+
+let selection_equal (a : Sbi_core.Eliminate.selection) (b : Sbi_core.Eliminate.selection) =
+  compare a b = 0
+
+let elimination_equal (a : Sbi_core.Eliminate.result) (b : Sbi_core.Eliminate.result) =
+  List.length a.Sbi_core.Eliminate.selections = List.length b.Sbi_core.Eliminate.selections
+  && List.for_all2 selection_equal a.Sbi_core.Eliminate.selections
+       b.Sbi_core.Eliminate.selections
+  && a.Sbi_core.Eliminate.runs_remaining = b.Sbi_core.Eliminate.runs_remaining
+  && a.Sbi_core.Eliminate.failures_remaining = b.Sbi_core.Eliminate.failures_remaining
+  && a.Sbi_core.Eliminate.candidates_remaining = b.Sbi_core.Eliminate.candidates_remaining
+
+let check_equivalent ~msg idx ds =
+  let reference = Sbi_core.Analysis.analyze ds in
+  let indexed = Triage.analyze idx in
+  Alcotest.(check bool) (msg ^ ": counts") true
+    (counts_equal indexed.Triage.counts reference.Sbi_core.Analysis.counts);
+  Alcotest.(check (list int)) (msg ^ ": retained set") reference.Sbi_core.Analysis.retained
+    indexed.Triage.retained;
+  Alcotest.(check bool) (msg ^ ": elimination") true
+    (elimination_equal indexed.Triage.elimination
+       reference.Sbi_core.Analysis.elimination);
+  (* top-k agrees with ranking every retained score *)
+  let all = Sbi_core.Prune.retained_scores reference.Sbi_core.Analysis.counts in
+  Array.sort Sbi_core.Scores.compare_importance_desc all;
+  let k = 5 in
+  let expected = Array.to_list (Array.sub all 0 (min k (Array.length all))) in
+  let got = Triage.topk ~k idx in
+  Alcotest.(check bool) (msg ^ ": topk") true
+    (List.length expected = List.length got && List.for_all2 scores_equal expected got);
+  (* per-predicate detail and affinity against the reference analysis *)
+  List.iter
+    (fun pred ->
+      Alcotest.(check bool) (msg ^ ": pred detail") true
+        (scores_equal
+           (Sbi_core.Scores.score reference.Sbi_core.Analysis.counts ~pred)
+           (Triage.pred_detail idx ~pred)))
+    reference.Sbi_core.Analysis.retained;
+  match reference.Sbi_core.Analysis.elimination.Sbi_core.Eliminate.selections with
+  | [] -> ()
+  | sel :: _ ->
+      let pred = sel.Sbi_core.Eliminate.pred in
+      let expected = Sbi_core.Analysis.affinity_for reference ~pred in
+      let got =
+        Triage.affinity idx ~selected:pred ~others:reference.Sbi_core.Analysis.retained
+      in
+      Alcotest.(check bool) (msg ^ ": affinity") true
+        (List.length expected = List.length got
+        && List.for_all2 (fun a b -> compare a b = 0) expected got)
+
+let qcheck_index_matches_analysis =
+  QCheck2.Test.make ~name:"index-backed analysis = Analysis.analyze (incl. incremental)"
+    ~count:20
+    QCheck2.Gen.(int_range 0 10_000)
+    (fun seed ->
+      with_temp_dir (fun tmp ->
+          let log = Filename.concat tmp "log" in
+          let idx_dir = Filename.concat tmp "idx" in
+          let st = Random.State.make [| seed; 0x1db |] in
+          let n1 = 20 + Random.State.int st 40 in
+          let first = random_reports st ~start_id:0 n1 in
+          write_log ~dir:log first;
+          ignore (Index.build ~log ~dir:idx_dir);
+          check_equivalent ~msg:"initial" (Index.open_ ~dir:idx_dir) (dataset_of first);
+          (* incremental: shard 0 grows and shard 1 appears, only the new
+             bytes are compiled, and the merged answers still match *)
+          let n2 = 10 + Random.State.int st 20 in
+          let grown = random_reports st ~start_id:n1 n2 in
+          grow_shard ~dir:log ~shard:0 grown;
+          let n3 = 10 + Random.State.int st 20 in
+          let fresh = random_reports st ~start_id:(n1 + n2) n3 in
+          write_log ~dir:log ~shard:1 fresh;
+          let b = Index.build ~log ~dir:idx_dir in
+          if b.Index.records_indexed <> n2 + n3 then
+            Alcotest.failf "incremental build re-read old records (%d <> %d)"
+              b.Index.records_indexed (n2 + n3);
+          let idx = Index.open_ ~dir:idx_dir in
+          let all = Array.concat [ first; grown; fresh ] in
+          check_equivalent ~msg:"incremental" idx (dataset_of all);
+          (* live tail on top of on-disk segments *)
+          let live = random_reports st ~start_id:(n1 + n2 + n3) 8 in
+          Array.iter (Index.append idx) live;
+          check_equivalent ~msg:"with tail" idx (dataset_of (Array.append all live));
+          true))
+
+let qcheck_discard_proposals =
+  QCheck2.Test.make ~name:"index elimination matches all three discard proposals" ~count:12
+    QCheck2.Gen.(int_range 0 10_000)
+    (fun seed ->
+      with_temp_dir (fun tmp ->
+          let log = Filename.concat tmp "log" in
+          let idx_dir = Filename.concat tmp "idx" in
+          let st = Random.State.make [| seed; 0x2dc |] in
+          let reports = random_reports st ~start_id:0 (30 + Random.State.int st 30) in
+          write_log ~dir:log reports;
+          ignore (Index.build ~log ~dir:idx_dir);
+          let idx = Index.open_ ~dir:idx_dir in
+          let ds = dataset_of reports in
+          List.for_all
+            (fun discard ->
+              elimination_equal
+                (Triage.eliminate ~discard idx)
+                (Sbi_core.Eliminate.run ~discard ds))
+            [
+              Sbi_core.Eliminate.Discard_all_true;
+              Sbi_core.Eliminate.Discard_failing_true;
+              Sbi_core.Eliminate.Relabel_failing;
+            ]))
+
+let qcheck_cooccurrence =
+  QCheck2.Test.make ~name:"posting-list co-occurrence = report rescan" ~count:20
+    QCheck2.Gen.(triple (int_range 0 10_000) (int_range 0 (npreds - 1)) (int_range 0 (npreds - 1)))
+    (fun (seed, a, b) ->
+      with_temp_dir (fun tmp ->
+          let log = Filename.concat tmp "log" in
+          let idx_dir = Filename.concat tmp "idx" in
+          let st = Random.State.make [| seed; 0x3c0 |] in
+          let reports = random_reports st ~start_id:0 40 in
+          write_log ~dir:log reports;
+          ignore (Index.build ~log ~dir:idx_dir);
+          let idx = Index.open_ ~dir:idx_dir in
+          let naive =
+            Array.fold_left
+              (fun acc r -> if Report.is_true r a && Report.is_true r b then acc + 1 else acc)
+              0 reports
+          in
+          Triage.cooccurrence idx ~a ~b = naive))
+
+let suite =
+  [
+    Alcotest.test_case "bitset" `Quick test_bitset;
+    Alcotest.test_case "segment round trip" `Quick test_segment_round_trip;
+    Alcotest.test_case "segment aggregator" `Quick test_segment_aggregator;
+    Alcotest.test_case "segment corruption" `Quick test_segment_corruption;
+    Alcotest.test_case "segment duplicate observations" `Quick
+      test_segment_duplicate_observations;
+    Alcotest.test_case "build and open" `Quick test_build_and_open;
+    Alcotest.test_case "incremental build" `Quick test_incremental_build;
+    Alcotest.test_case "corrupt source record skipped" `Quick test_corrupt_source_skipped;
+    Alcotest.test_case "corrupt segment + fsck" `Quick test_corrupt_segment_and_fsck;
+    Alcotest.test_case "live tail append" `Quick test_tail_append;
+    QCheck_alcotest.to_alcotest qcheck_index_matches_analysis;
+    QCheck_alcotest.to_alcotest qcheck_discard_proposals;
+    QCheck_alcotest.to_alcotest qcheck_cooccurrence;
+  ]

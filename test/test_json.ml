@@ -1,0 +1,72 @@
+(* Tests for the minimal JSON emitter/parser behind --json and
+   BENCH_core.json. *)
+open Sbi_util
+
+let parse_ok s =
+  match Json.parse s with
+  | Ok v -> v
+  | Error e -> Alcotest.failf "parse %S failed: %s" s e
+
+let test_emit () =
+  Alcotest.(check string) "null" "null" (Json.to_string Json.Null);
+  Alcotest.(check string) "bool" "true" (Json.to_string (Json.Bool true));
+  Alcotest.(check string) "int" "42" (Json.to_string (Json.int 42));
+  Alcotest.(check string) "negative int" "-7" (Json.to_string (Json.int (-7)));
+  Alcotest.(check string) "string escapes" "\"a\\\"b\\\\c\\n\""
+    (Json.to_string (Json.Str "a\"b\\c\n"));
+  Alcotest.(check string) "list" "[1,2]" (Json.to_string (Json.List [ Json.int 1; Json.int 2 ]));
+  Alcotest.(check string) "obj" "{\"a\":1,\"b\":[]}"
+    (Json.to_string (Json.Obj [ ("a", Json.int 1); ("b", Json.List []) ]));
+  Alcotest.(check string) "nan is null" "null" (Json.to_string (Json.Num Float.nan))
+
+let test_parse () =
+  (match parse_ok " { \"a\" : [ 1 , 2.5 , \"x\" , null , true ] } " with
+  | Json.Obj [ ("a", Json.List [ a; b; c; d; e ]) ] ->
+      Alcotest.(check (option int)) "int" (Some 1) (Json.to_int a);
+      Alcotest.(check (option (float 1e-9))) "float" (Some 2.5) (Json.to_float b);
+      Alcotest.(check (option string)) "str" (Some "x") (Json.to_str c);
+      Alcotest.(check bool) "null" true (d = Json.Null);
+      Alcotest.(check bool) "bool" true (e = Json.Bool true)
+  | _ -> Alcotest.fail "unexpected shape");
+  (match parse_ok "\"u\\u00e9\\t\"" with
+  | Json.Str s -> Alcotest.(check string) "unicode escape" "u\xc3\xa9\t" s
+  | _ -> Alcotest.fail "expected string");
+  List.iter
+    (fun bad ->
+      match Json.parse bad with
+      | Ok _ -> Alcotest.failf "parse %S should fail" bad
+      | Error _ -> ())
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "1 2"; "\"unterminated"; "{\"a\" 1}" ]
+
+let test_round_trip () =
+  let doc =
+    Json.Obj
+      [
+        ("name", Json.Str "bench:x \xe2\x9c\x93");
+        ("ns", Json.Num 123.456789012345678);
+        ("big", Json.int max_int);
+        ("nested", Json.List [ Json.Obj [ ("k", Json.Null) ]; Json.List []; Json.Bool false ]);
+      ]
+  in
+  let doc' = parse_ok (Json.to_string doc) in
+  Alcotest.(check bool) "round trip" true (doc = doc')
+
+let test_member () =
+  let doc = parse_ok "{\"runs\":600,\"top\":[{\"pred\":3}]}" in
+  Alcotest.(check (option int)) "member" (Some 600)
+    (Option.bind (Json.member "runs" doc) Json.to_int);
+  Alcotest.(check bool) "missing member" true (Json.member "nope" doc = None);
+  let pred =
+    match Option.bind (Json.member "top" doc) Json.to_list with
+    | Some (first :: _) -> Option.bind (Json.member "pred" first) Json.to_int
+    | _ -> None
+  in
+  Alcotest.(check (option int)) "nested" (Some 3) pred
+
+let suite =
+  [
+    Alcotest.test_case "emitter" `Quick test_emit;
+    Alcotest.test_case "parser" `Quick test_parse;
+    Alcotest.test_case "round trip" `Quick test_round_trip;
+    Alcotest.test_case "accessors" `Quick test_member;
+  ]

@@ -15,6 +15,10 @@ let () =
       ("instrument", Test_instrument.suite);
       ("runtime", Test_runtime.suite);
       ("ingest", Test_ingest.suite);
+      ("json", Test_json.suite);
+      ("index", Test_index.suite);
+      ("serve", Test_serve.suite);
+      ("cli", Test_cli.suite);
       ("core", Test_core.suite);
       ("logreg", Test_logreg.suite);
       ("corpus", Test_corpus.suite);

@@ -1,0 +1,341 @@
+(* Tests for the triage server stack: base64, wire framing, address
+   parsing, metrics, the server lifecycle over a Unix socket, durable
+   ingest, and sustained concurrent clients with interleaved requests. *)
+open Sbi_runtime
+open Sbi_ingest
+open Sbi_index
+open Sbi_serve
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "sbi_srv" "" in
+  Sys.remove dir;
+  let rec rm path =
+    if Sys.is_directory path then begin
+      Array.iter (fun n -> rm (Filename.concat path n)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+  in
+  Unix.mkdir dir 0o700;
+  Fun.protect ~finally:(fun () -> if Sys.file_exists dir then rm dir) (fun () -> f dir)
+
+(* --- base64 --- *)
+
+let test_b64_vectors () =
+  List.iter
+    (fun (plain, enc) ->
+      Alcotest.(check string) ("encode " ^ plain) enc (B64.encode plain);
+      match B64.decode enc with
+      | Ok p -> Alcotest.(check string) ("decode " ^ enc) plain p
+      | Error e -> Alcotest.failf "decode %s failed: %s" enc e)
+    [
+      ("", "");
+      ("f", "Zg==");
+      ("fo", "Zm8=");
+      ("foo", "Zm9v");
+      ("foob", "Zm9vYg==");
+      ("fooba", "Zm9vYmE=");
+      ("foobar", "Zm9vYmFy");
+      ("\x00\xff\x10", "AP8Q");
+    ];
+  List.iter
+    (fun bad ->
+      match B64.decode bad with
+      | Ok _ -> Alcotest.failf "decode %S should fail" bad
+      | Error _ -> ())
+    [ "Zg="; "Zg"; "Z"; "Zm9v!"; "=Zg="; "Zm=v"; "Zh==" ]
+
+let qcheck_b64_round_trip =
+  QCheck2.Test.make ~name:"base64 round-trips arbitrary bytes" ~count:500
+    QCheck2.Gen.string (fun s -> B64.decode (B64.encode s) = Ok s)
+
+(* --- addresses and framing --- *)
+
+let test_addr_parsing () =
+  (match Wire.addr_of_string "/tmp/x.sock" with
+  | Ok (Wire.Unix_sock "/tmp/x.sock") -> ()
+  | _ -> Alcotest.fail "unix path");
+  (match Wire.addr_of_string "localhost:7077" with
+  | Ok (Wire.Tcp ("localhost", 7077)) -> ()
+  | _ -> Alcotest.fail "host:port");
+  (match Wire.addr_of_string ":8080" with
+  | Ok (Wire.Tcp ("127.0.0.1", 8080)) -> ()
+  | _ -> Alcotest.fail "default host");
+  List.iter
+    (fun bad ->
+      match Wire.addr_of_string bad with
+      | Ok _ -> Alcotest.failf "address %S should be rejected" bad
+      | Error _ -> ())
+    [ ""; "nohost"; "host:"; "host:0"; "host:99999"; "host:x" ];
+  Alcotest.(check string) "to_string" "localhost:7077"
+    (Wire.addr_to_string (Wire.Tcp ("localhost", 7077)))
+
+let test_wire_framing () =
+  with_temp_dir (fun dir ->
+      let path = Filename.concat dir "frame" in
+      let payload = [ "plain"; ".starts with dot"; ""; "..double"; "last" ] in
+      let oc = open_out_bin path in
+      let n1 = Wire.write_ok oc ~header:"topk 5" ~lines:payload in
+      let n2 = Wire.write_err oc "boom" in
+      close_out oc;
+      Alcotest.(check bool) "bytes counted" true (n1 > 0 && n2 > 0);
+      let ic = open_in_bin path in
+      (match Wire.read_response ic with
+      | Ok (header, lines) ->
+          Alcotest.(check string) "header" "topk 5" header;
+          Alcotest.(check (list string)) "dot-stuffing round trip" payload lines
+      | Error e -> Alcotest.failf "unexpected err: %s" e);
+      (match Wire.read_response ic with
+      | Error "boom" -> ()
+      | _ -> Alcotest.fail "expected err response");
+      close_in ic)
+
+(* --- metrics --- *)
+
+let test_metrics () =
+  let m = Metrics.create () in
+  Metrics.connection_opened m;
+  Metrics.record m ~cmd:"topk" ~latency_ns:3_000 ~bytes_in:7 ~bytes_out:100;
+  Metrics.record m ~cmd:"topk" ~latency_ns:900_000 ~bytes_in:7 ~bytes_out:100;
+  Metrics.record m ~cmd:"pred" ~latency_ns:20_000 ~bytes_in:8 ~bytes_out:50;
+  Metrics.connection_closed m;
+  let s = Metrics.snapshot m in
+  Alcotest.(check int) "requests" 3 s.Metrics.requests;
+  Alcotest.(check int) "bytes in" 22 s.Metrics.bytes_in;
+  Alcotest.(check int) "bytes out" 250 s.Metrics.bytes_out;
+  Alcotest.(check int) "open connections" 0 s.Metrics.connections;
+  Alcotest.(check int) "total connections" 1 s.Metrics.connections_total;
+  Alcotest.(check (list (pair string int))) "per command"
+    [ ("pred", 1); ("topk", 2) ]
+    s.Metrics.per_command;
+  Alcotest.(check bool) "p50 <= p99" true (s.Metrics.p50_us <= s.Metrics.p99_us);
+  Alcotest.(check bool) "histogram covers requests" true
+    (List.fold_left (fun acc (_, n) -> acc + n) 0 s.Metrics.latency_buckets = 3);
+  Alcotest.(check bool) "stats lines mention requests" true
+    (List.exists (fun l -> l = "requests 3") (Metrics.lines m))
+
+(* --- server fixture --- *)
+
+let nsites = 5
+let npreds = 10
+let pred_site = [| 0; 0; 1; 1; 2; 2; 3; 3; 4; 4 |]
+
+let mk_report ?(outcome = Report.Success) ?(sites = [||]) ?(preds = [||]) id =
+  {
+    Report.run_id = id;
+    outcome;
+    observed_sites = sites;
+    true_preds = preds;
+    true_counts = Array.map (fun _ -> 1) preds;
+    bugs = [||];
+    crash_sig = None;
+  }
+
+let base_reports =
+  Array.init 30 (fun i ->
+      let failing = i mod 3 = 0 in
+      mk_report
+        ~outcome:(if failing then Report.Failure else Report.Success)
+        ~sites:[| 0; 1; (i mod 3) + 2 |]
+        ~preds:(if failing then [| 0; 3 |] else [| 1 |])
+        i)
+
+let with_server ?(fsync = true) f =
+  with_temp_dir (fun tmp ->
+      let log = Filename.concat tmp "log" in
+      let idx_dir = Filename.concat tmp "idx" in
+      Shard_log.write_meta ~dir:log
+        (Dataset.of_tables ~nsites ~npreds ~pred_site [||]);
+      let w = Shard_log.create_writer ~dir:log ~shard:0 () in
+      Array.iter (Shard_log.append w) base_reports;
+      ignore (Shard_log.close_writer w);
+      ignore (Index.build ~log ~dir:idx_dir);
+      let idx = Index.open_ ~dir:idx_dir in
+      let addr = Wire.Unix_sock (Filename.concat tmp "sock") in
+      let ingest_dir = Filename.concat tmp "ingest" in
+      let config = { Server.addr; timeout = 10.; fsync; ingest_log = Some ingest_dir } in
+      let srv = Server.start config idx in
+      Fun.protect
+        ~finally:(fun () -> Server.stop srv)
+        (fun () -> f ~srv ~addr ~idx ~ingest_dir))
+
+let request_ok client line =
+  match Client.request client line with
+  | Ok (header, lines) -> (header, lines)
+  | Error e -> Alcotest.failf "request %S failed: %s" line e
+
+(* --- server lifecycle --- *)
+
+let test_server_basic () =
+  with_server (fun ~srv:_ ~addr ~idx ~ingest_dir:_ ->
+      let c = Client.connect addr in
+      let header, _ = request_ok c "ping" in
+      Alcotest.(check string) "ping" "pong" header;
+      let expected = Triage.topk ~k:3 idx in
+      Alcotest.(check bool) "fixture retains predicates" true (expected <> []);
+      let header, lines = request_ok c "topk 3" in
+      Alcotest.(check string) "topk header"
+        (Printf.sprintf "topk %d" (List.length expected))
+        header;
+      Alcotest.(check int) "topk lines" (List.length expected) (List.length lines);
+      List.iteri
+        (fun i line ->
+          let sc = List.nth expected i in
+          Alcotest.(check bool)
+            (Printf.sprintf "rank %d mentions pred %d" (i + 1) sc.Sbi_core.Scores.pred)
+            true
+            (String.length line > 2
+            && int_of_string (List.nth (String.split_on_char ' ' line) 1)
+               = sc.Sbi_core.Scores.pred))
+        lines;
+      let header, lines = request_ok c "pred 3" in
+      Alcotest.(check string) "pred header" "pred 3" header;
+      Alcotest.(check bool) "pred detail has importance" true
+        (List.exists
+           (fun l -> String.length l >= 11 && String.sub l 0 11 = "importance ")
+           lines);
+      let _, stats = request_ok c "stats" in
+      Alcotest.(check bool) "stats has runs" true (List.mem "runs 30" stats);
+      (match Client.request c "pred 9999" with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "out-of-range pred must err");
+      (match Client.request c "nonsense 1 2 3" with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "unknown command must err");
+      Client.close c)
+
+let test_server_ingest_durable () =
+  with_server (fun ~srv ~addr ~idx ~ingest_dir ->
+      let c = Client.connect addr in
+      let fresh =
+        mk_report ~outcome:Report.Failure ~sites:[| 0; 2 |] ~preds:[| 0; 4 |] 1000
+      in
+      let header, _ =
+        request_ok c ("ingest " ^ B64.encode (Codec.encode fresh))
+      in
+      Alcotest.(check string) "acknowledged" "ingested 1000" header;
+      (* durable before the server shuts down: fsync already pushed the
+         record into the shard file *)
+      let ds, _ = Shard_log.read_all ~dir:ingest_dir in
+      Alcotest.(check int) "record on disk while server is live" 1 (Dataset.nruns ds);
+      Alcotest.(check int) "live tail" 1 (Index.tail_count idx);
+      Alcotest.(check int) "server counter" 1 (Server.ingested srv);
+      (* the very next query sees the new run *)
+      let _, stats = request_ok c "stats" in
+      Alcotest.(check bool) "stats sees 31 runs" true (List.mem "runs 31" stats);
+      (* bad payloads must not touch state *)
+      (match Client.request c "ingest !!!notbase64" with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "bad base64 must err");
+      (match Client.request c "ingest " with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "empty ingest must err");
+      let bad_pred = mk_report ~sites:[| 0 |] ~preds:[| npreds + 5 |] 1001 in
+      (match Client.request c ("ingest " ^ B64.encode (Codec.encode bad_pred)) with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "out-of-table report must err");
+      Alcotest.(check int) "rejects left no trace" 1 (Index.tail_count idx);
+      Client.close c)
+
+let test_server_concurrent_clients () =
+  with_server (fun ~srv ~addr ~idx:_ ~ingest_dir:_ ->
+      let nclients = 5 and per_client = 12 in
+      let errors = Queue.create () in
+      let errors_lock = Mutex.create () in
+      let fail_locked msg =
+        Mutex.lock errors_lock;
+        Queue.add msg errors;
+        Mutex.unlock errors_lock
+      in
+      let worker cid =
+        try
+          let c = Client.connect addr in
+          for i = 0 to per_client - 1 do
+            match i mod 3 with
+            | 0 ->
+                let r =
+                  mk_report ~outcome:Report.Failure ~sites:[| 0; 1 |] ~preds:[| 0 |]
+                    (10_000 + (cid * 1000) + i)
+                in
+                let header, _ = request_ok c ("ingest " ^ B64.encode (Codec.encode r)) in
+                if header <> Printf.sprintf "ingested %d" (10_000 + (cid * 1000) + i) then
+                  fail_locked ("bad ingest ack: " ^ header)
+            | 1 ->
+                let header, lines = request_ok c "topk 5" in
+                let n = Scanf.sscanf header "topk %d" (fun n -> n) in
+                if n <> List.length lines then fail_locked ("short topk: " ^ header)
+            | _ ->
+                let header, lines = request_ok c "pred 0" in
+                if header <> "pred 0" then fail_locked ("bad pred header: " ^ header);
+                if not (List.exists (fun l -> l = "pred 0" || String.length l > 0) lines)
+                then fail_locked "empty pred detail"
+          done;
+          Client.close c
+        with e -> fail_locked (Printexc.to_string e)
+      in
+      let threads = List.init nclients (fun cid -> Thread.create worker cid) in
+      List.iter Thread.join threads;
+      Alcotest.(check (list string)) "no client errors" [] (List.of_seq (Queue.to_seq errors));
+      let ingests = nclients * ((per_client + 2) / 3) in
+      Alcotest.(check int) "every ingest accepted" ingests (Server.ingested srv);
+      (* all requests were served and accounted *)
+      let c = Client.connect addr in
+      let _, stats = request_ok c "stats" in
+      Alcotest.(check bool) "metrics saw the load" true
+        (List.exists
+           (fun l ->
+             match String.split_on_char ' ' l with
+             | [ "requests"; n ] -> int_of_string n >= nclients * per_client
+             | _ -> false)
+           stats);
+      Client.close c)
+
+let test_server_shutdown () =
+  (* stop must be clean and idempotent, release the socket, and close the
+     durable writer so the ingest log is a valid shard log *)
+  with_temp_dir (fun tmp ->
+      let log = Filename.concat tmp "log" in
+      let idx_dir = Filename.concat tmp "idx" in
+      Shard_log.write_meta ~dir:log (Dataset.of_tables ~nsites ~npreds ~pred_site [||]);
+      let w = Shard_log.create_writer ~dir:log ~shard:0 () in
+      Array.iter (Shard_log.append w) base_reports;
+      ignore (Shard_log.close_writer w);
+      ignore (Index.build ~log ~dir:idx_dir);
+      let sock = Filename.concat tmp "sock" in
+      let config =
+        {
+          Server.addr = Wire.Unix_sock sock;
+          timeout = 10.;
+          fsync = false;
+          ingest_log = Some (Filename.concat tmp "ingest");
+        }
+      in
+      let srv = Server.start config (Index.open_ ~dir:idx_dir) in
+      let c = Client.connect (Wire.Unix_sock sock) in
+      ignore (request_ok c "ping");
+      Server.stop srv;
+      Server.stop srv;
+      Server.wait srv;
+      Alcotest.(check bool) "socket file removed" false (Sys.file_exists sock);
+      (match Client.connect (Wire.Unix_sock sock) with
+      | _ -> Alcotest.fail "connect after stop must fail"
+      | exception Unix.Unix_error _ -> ());
+      (* same address is immediately reusable *)
+      let srv2 = Server.start config (Index.open_ ~dir:idx_dir) in
+      let c2 = Client.connect (Wire.Unix_sock sock) in
+      ignore (request_ok c2 "ping");
+      Client.close c2;
+      Server.stop srv2)
+
+let suite =
+  [
+    Alcotest.test_case "base64 vectors" `Quick test_b64_vectors;
+    QCheck_alcotest.to_alcotest qcheck_b64_round_trip;
+    Alcotest.test_case "address parsing" `Quick test_addr_parsing;
+    Alcotest.test_case "wire framing" `Quick test_wire_framing;
+    Alcotest.test_case "metrics" `Quick test_metrics;
+    Alcotest.test_case "server basic queries" `Quick test_server_basic;
+    Alcotest.test_case "durable ingest" `Quick test_server_ingest_durable;
+    Alcotest.test_case "concurrent clients" `Quick test_server_concurrent_clients;
+    Alcotest.test_case "graceful shutdown" `Quick test_server_shutdown;
+  ]
