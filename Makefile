@@ -1,6 +1,6 @@
 # Tier-1 verification and day-to-day developer targets.
 
-.PHONY: all build check test bench serve-demo fmt clean
+.PHONY: all build check test bench bench-check serve-demo fmt clean
 
 all: build
 
@@ -23,9 +23,15 @@ test:
 	dune runtest
 
 # Prints every regenerated table and writes BENCH_core.json
-# (see docs/ingest.md for the schema; SBI_BENCH_RUNS scales the workload).
+# (see docs/ingest.md and docs/perf.md for the schema; SBI_BENCH_RUNS
+# scales the per-study workload, SBI_BENCH_INDEX_RUNS the synthetic corpus).
 bench:
 	dune exec bench/main.exe
+
+# Fails (exit 1) if any par:* parallel analysis result diverges from the
+# sequential engine on a synthetic corpus (see docs/perf.md).
+bench-check:
+	dune exec bench/main.exe -- --par-check
 
 # Build a small demo log + index and start a triage server on it.
 # Query it from another terminal, e.g.:

@@ -23,6 +23,7 @@ let bench_train =
 
 let config =
   {
+    Harness.default_config with
     Harness.seed = 42;
     nruns = Some bench_runs;
     sampling = Harness.Adaptive bench_train;
@@ -279,7 +280,25 @@ let synth_report st ~nsites ~npreds ~pred_site id =
     crash_sig = (if failing then Some "synth<crash" else None);
   }
 
-let print_index_scaling () =
+(* Shared synthetic-corpus context: shard log + index + the raw reports
+   (kept so the parallel sections can materialize the reference dataset). *)
+type synth_ctx = {
+  sy_nruns : int;
+  sy_shards : int;
+  sy_log_dir : string;
+  sy_idx_dir : string;
+  sy_reports : Sbi_runtime.Report.t array;
+  sy_meta : Sbi_runtime.Dataset.t;
+  sy_build_dt : float;
+  sy_build_stats : Sbi_index.Index.build_stats;
+}
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let build_synth_ctx ~nruns =
   let nsites = 120 and npreds = 360 in
   let pred_site = Array.init npreds (fun p -> p / 3) in
   let meta = Sbi_runtime.Dataset.of_tables ~nsites ~npreds ~pred_site [||] in
@@ -290,25 +309,46 @@ let print_index_scaling () =
   let writers =
     Array.init shards (fun shard -> Sbi_ingest.Shard_log.create_writer ~dir:log_dir ~shard ())
   in
-  for id = 0 to synth_nruns - 1 do
-    Sbi_ingest.Shard_log.append writers.(id mod shards)
-      (synth_report st ~nsites ~npreds ~pred_site id)
-  done;
+  let reports = Array.init nruns (fun id -> synth_report st ~nsites ~npreds ~pred_site id) in
+  Array.iteri (fun id r -> Sbi_ingest.Shard_log.append writers.(id mod shards) r) reports;
   Array.iter (fun w -> ignore (Sbi_ingest.Shard_log.close_writer w)) writers;
-  let time f =
-    let t0 = Unix.gettimeofday () in
-    let r = f () in
-    (r, Unix.gettimeofday () -. t0)
-  in
   let idx_dir = Filename.temp_dir "sbi_bench" ".bigidx" in
   Array.iter (fun n -> Sys.remove (Filename.concat idx_dir n)) (Sys.readdir idx_dir);
   let build_stats, build_dt = time (fun () -> Sbi_index.Index.build ~log:log_dir ~dir:idx_dir) in
+  {
+    sy_nruns = nruns;
+    sy_shards = shards;
+    sy_log_dir = log_dir;
+    sy_idx_dir = idx_dir;
+    sy_reports = reports;
+    sy_meta = meta;
+    sy_build_dt = build_dt;
+    sy_build_stats = build_stats;
+  }
+
+(* Shard order interleaves run ids round-robin; the reference dataset must
+   present runs in the order the merged index sees them. *)
+let synth_dataset ctx =
+  let by_shard =
+    Array.init ctx.sy_shards (fun shard ->
+        Array.of_list
+          (List.filter (fun (r : Sbi_runtime.Report.t) -> r.Sbi_runtime.Report.run_id mod ctx.sy_shards = shard)
+             (Array.to_list ctx.sy_reports)))
+  in
+  Sbi_runtime.Dataset.of_tables ~nsites:ctx.sy_meta.Sbi_runtime.Dataset.nsites
+    ~npreds:ctx.sy_meta.Sbi_runtime.Dataset.npreds
+    ~pred_site:ctx.sy_meta.Sbi_runtime.Dataset.pred_site
+    (Array.concat (Array.to_list by_shard))
+
+let print_index_scaling ctx =
   Printf.printf
     "index build (%d runs, %d shards): %.2fs (%.0f reports/s, %d segments, %.1f MB consumed)\n"
-    synth_nruns shards build_dt
-    (float_of_int build_stats.Sbi_index.Index.records_indexed /. Float.max build_dt 1e-9)
-    build_stats.Sbi_index.Index.segments_added
-    (float_of_int build_stats.Sbi_index.Index.bytes_consumed /. 1e6);
+    ctx.sy_nruns ctx.sy_shards ctx.sy_build_dt
+    (float_of_int ctx.sy_build_stats.Sbi_index.Index.records_indexed
+    /. Float.max ctx.sy_build_dt 1e-9)
+    ctx.sy_build_stats.Sbi_index.Index.segments_added
+    (float_of_int ctx.sy_build_stats.Sbi_index.Index.bytes_consumed /. 1e6);
+  let log_dir = ctx.sy_log_dir and idx_dir = ctx.sy_idx_dir in
   let idx, open_dt = time (fun () -> Sbi_index.Index.open_ ~dir:idx_dir) in
   (* what `cbi analyze-file --stream` does: rescan every shard, then rank *)
   let rescan_once () =
@@ -361,11 +401,170 @@ let print_index_scaling () =
   done;
   Sbi_serve.Client.close client;
   Sbi_serve.Server.stop srv;
-  Array.sort compare lat;
+  Array.sort Float.compare lat;
   Printf.printf "query latency (topk 10 over unix socket, %d requests): p50 %.2f ms, p95 %.2f ms\n"
     nq
     (lat.(nq / 2) *. 1e3)
     (lat.(nq * 95 / 100) *. 1e3)
+
+(* --- par:* sections: sequential vs parallel analysis, server throughput ---
+
+   One-shot wall-clock numbers (a bechamel quota would rebuild pools and
+   re-run full eliminations dozens of times).  Every parallel result is
+   checked against the sequential one — and both against
+   Sbi_core.Analysis.analyze on the materialized corpus — before a
+   number is reported; a divergence is a hard failure in --par-check
+   mode and a loud warning here. *)
+
+let par_domain_counts = [ 1; 2; 4; 8 ]
+
+let analysis_equal (a : Sbi_index.Triage.analysis) (b : Sbi_core.Analysis.t) =
+  a.Sbi_index.Triage.counts = b.Sbi_core.Analysis.counts
+  && a.Sbi_index.Triage.retained = b.Sbi_core.Analysis.retained
+  && a.Sbi_index.Triage.elimination = b.Sbi_core.Analysis.elimination
+
+(* Sequential vs parallel elimination (snapshot prebuilt so the numbers
+   time the rescoring loop, not the one-time densification).  Returns
+   ((name, ns) entries, all_identical). *)
+let par_elimination_scaling ctx =
+  let ds = synth_dataset ctx in
+  let reference = Sbi_core.Analysis.analyze ds in
+  let entries = ref [] and ok = ref true in
+  let check name a =
+    if not (analysis_equal a reference) then begin
+      ok := false;
+      Printf.printf "PAR DIVERGENCE: %s does not match Analysis.analyze\n%!" name
+    end
+  in
+  let seq_idx = Sbi_index.Index.open_ ~dir:ctx.sy_idx_dir in
+  ignore (Sbi_index.Index.snapshot seq_idx);
+  let seq_res, seq_dt = time (fun () -> Sbi_index.Triage.analyze seq_idx) in
+  check "sequential" seq_res;
+  entries := ("par:eliminate:seq", seq_dt *. 1e9) :: !entries;
+  Printf.printf "elimination scaling (%d runs, %d preds):\n" ctx.sy_nruns
+    ctx.sy_meta.Sbi_runtime.Dataset.npreds;
+  Printf.printf "  sequential          %8.1f ms\n" (seq_dt *. 1e3);
+  List.iter
+    (fun domains ->
+      if domains > 1 then begin
+        let pool = Sbi_par.Domain_pool.create ~domains () in
+        Fun.protect
+          ~finally:(fun () -> Sbi_par.Domain_pool.shutdown pool)
+          (fun () ->
+            let idx, par_open_dt =
+              time (fun () -> Sbi_index.Index.open_par ~pool ~dir:ctx.sy_idx_dir)
+            in
+            let _, snap_dt = time (fun () -> Sbi_index.Index.snapshot ~pool idx) in
+            let res, dt = time (fun () -> Sbi_index.Triage.analyze ~pool idx) in
+            check (Printf.sprintf "%d domains" domains) res;
+            entries :=
+              (Printf.sprintf "par:eliminate:d%d" domains, dt *. 1e9)
+              :: (Printf.sprintf "par:open:d%d" domains, (par_open_dt +. snap_dt) *. 1e9)
+              :: !entries;
+            Printf.printf "  %d domains           %8.1f ms (%.2fx, open+snapshot %.1f ms)\n"
+              domains (dt *. 1e3)
+              (seq_dt /. Float.max dt 1e-9)
+              ((par_open_dt +. snap_dt) *. 1e3))
+      end)
+    par_domain_counts;
+  (List.rev !entries, !ok)
+
+(* Server throughput at 1/2/4/8 domains: concurrent clients hammering the
+   epoch-snapshot read path (topk + affinity, the pool-fanned query). *)
+let par_server_scaling ctx =
+  let entries = ref [] in
+  Printf.printf "server throughput (%d runs, 4 clients):\n" ctx.sy_nruns;
+  List.iter
+    (fun domains ->
+      let sock = Filename.temp_file "sbi_bench" ".sock" in
+      Sys.remove sock;
+      let config =
+        {
+          (Sbi_serve.Server.default_config (Sbi_serve.Wire.Unix_sock sock)) with
+          Sbi_serve.Server.fsync = false;
+          domains;
+        }
+      in
+      let idx = Sbi_index.Index.open_ ~dir:ctx.sy_idx_dir in
+      let srv = Sbi_serve.Server.start config idx in
+      let nclients = 4 and per_client = 50 in
+      let worker () =
+        let client = Sbi_serve.Client.connect (Sbi_serve.Wire.Unix_sock sock) in
+        for i = 0 to per_client - 1 do
+          let req = if i mod 10 = 9 then "affinity 17 5" else "topk 10" in
+          match Sbi_serve.Client.request client req with
+          | Ok _ -> ()
+          | Error e -> failwith ("bench query failed: " ^ e)
+        done;
+        Sbi_serve.Client.close client
+      in
+      let (), dt =
+        time (fun () ->
+            let threads = Array.init nclients (fun _ -> Thread.create worker ()) in
+            Array.iter Thread.join threads)
+      in
+      Sbi_serve.Server.stop srv;
+      let total = nclients * per_client in
+      let ns_per_req = dt *. 1e9 /. float_of_int total in
+      entries := (Printf.sprintf "par:serve:topk:d%d" domains, ns_per_req) :: !entries;
+      Printf.printf "  %d domain(s)         %8.0f req/s (%d requests in %.2fs)\n" domains
+        (float_of_int total /. Float.max dt 1e-9)
+        total dt)
+    par_domain_counts;
+  List.rev !entries
+
+(* `bench/main.exe --par-check`: exit non-zero if any parallel result
+   diverges from the sequential engine — wired to `make bench-check`. *)
+let par_check () =
+  let nruns = min synth_nruns 3_000 in
+  Printf.printf "par-check: %d-run synthetic corpus, pools of 2 and 4 domains\n%!" nruns;
+  let ctx = build_synth_ctx ~nruns in
+  let ds = synth_dataset ctx in
+  let ok = ref true in
+  let check what cond =
+    if cond then Printf.printf "  ok: %s\n%!" what
+    else begin
+      ok := false;
+      Printf.printf "  DIVERGED: %s\n%!" what
+    end
+  in
+  List.iter
+    (fun domains ->
+      let pool = Sbi_par.Domain_pool.create ~domains () in
+      Fun.protect
+        ~finally:(fun () -> Sbi_par.Domain_pool.shutdown pool)
+        (fun () ->
+          let idx = Sbi_index.Index.open_par ~pool ~dir:ctx.sy_idx_dir in
+          let seq_idx = Sbi_index.Index.open_ ~dir:ctx.sy_idx_dir in
+          check
+            (Printf.sprintf "topk (%d domains)" domains)
+            (Sbi_index.Triage.topk ~pool ~k:20 idx = Sbi_index.Triage.topk ~k:20 seq_idx);
+          List.iter
+            (fun (discard, name) ->
+              let par = Sbi_index.Triage.eliminate ~pool ~discard idx in
+              let seq = Sbi_index.Triage.eliminate ~discard seq_idx in
+              let reference = Sbi_core.Eliminate.run ~discard ds in
+              check (Printf.sprintf "eliminate %s (%d domains)" name domains)
+                (par = seq && par = reference))
+            [
+              (Sbi_core.Eliminate.Discard_all_true, "discard-all-true");
+              (Sbi_core.Eliminate.Discard_failing_true, "discard-failing-true");
+              (Sbi_core.Eliminate.Relabel_failing, "relabel-failing");
+            ];
+          let retained = Sbi_core.Prune.retained (Sbi_index.Triage.counts seq_idx) in
+          check
+            (Printf.sprintf "affinity (%d domains)" domains)
+            (Sbi_index.Triage.affinity ~pool idx ~selected:17 ~others:retained
+            = Sbi_index.Triage.affinity seq_idx ~selected:17 ~others:retained)))
+    [ 2; 4 ];
+  if !ok then begin
+    Printf.printf "par-check OK: parallel results bit-identical to sequential\n";
+    exit 0
+  end
+  else begin
+    prerr_endline "par-check FAILED: parallel analysis diverged from sequential";
+    exit 1
+  end
 
 (* --- run and report --- *)
 
@@ -407,17 +606,18 @@ let print_results results =
 
 (* Machine-readable results: BENCH_core.json maps each benchmark name to
    ns/op and mops/s so the perf trajectory is diffable across PRs (format
-   documented in docs/ingest.md). *)
-let write_bench_json ~path results =
+   documented in docs/ingest.md and docs/perf.md).  [extra] merges
+   one-shot wall-clock entries (the par:* sections) into the same map. *)
+let write_bench_json ~path ?(extra = []) results =
   let module J = Sbi_util.Json in
-  let rows = ref [] in
+  let rows = ref extra in
   Hashtbl.iter
     (fun name ols ->
       match Analyze.OLS.estimates ols with
       | Some (ns :: _) when Float.is_finite ns && ns > 0. -> rows := (name, ns) :: !rows
       | _ -> ())
     results;
-  let sorted = List.sort (fun (a, _) (b, _) -> compare a b) !rows in
+  let sorted = List.sort (fun (a, _) (b, _) -> String.compare a b) !rows in
   let doc =
     J.Obj
       [
@@ -461,6 +661,7 @@ let print_tables () =
   print_endline (Stack_study.render rows)
 
 let () =
+  if Array.exists (fun a -> a = "--par-check") Sys.argv then par_check ();
   Printf.printf "sbi benchmark harness: %d runs/study, adaptive training on %d runs\n%!"
     bench_runs bench_train;
   ignore (Lazy.force bundles);
@@ -470,11 +671,21 @@ let () =
   Printf.eprintf "[bench] timing %d benchmarks...\n%!" (List.length tests);
   let results = run_benchmarks tests in
   print_results results;
-  write_bench_json
-    ~path:(Option.value ~default:"BENCH_core.json" (Sys.getenv_opt "SBI_BENCH_JSON"))
-    results;
   Printf.eprintf "[bench] timing parallel vs sequential collection...\n%!";
   print_collection_scaling ();
+  Printf.eprintf "[bench] building %d-run synthetic corpus...\n%!" synth_nruns;
+  let ctx = build_synth_ctx ~nruns:synth_nruns in
   Printf.eprintf "[bench] timing index build and indexed vs rescan top-k...\n%!";
-  print_index_scaling ();
-  print_tables ()
+  print_index_scaling ctx;
+  Printf.eprintf "[bench] timing sequential vs parallel elimination...\n%!";
+  let par_entries, par_ok = par_elimination_scaling ctx in
+  Printf.eprintf "[bench] timing server throughput at 1/2/4/8 domains...\n%!";
+  let serve_entries = par_server_scaling ctx in
+  write_bench_json
+    ~path:(Option.value ~default:"BENCH_core.json" (Sys.getenv_opt "SBI_BENCH_JSON"))
+    ~extra:(par_entries @ serve_entries) results;
+  print_tables ();
+  if not par_ok then begin
+    prerr_endline "bench: parallel analysis diverged from sequential";
+    exit 1
+  end

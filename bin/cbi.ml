@@ -40,10 +40,23 @@ let parse_sampling s =
       | _ -> Error "uniform rate must be in (0,1]")
   | _ -> Error "sampling must be none | adaptive[:N] | uniform:RATE"
 
-let config_of ~seed ~runs ~quick ~sampling =
-  match parse_sampling sampling with
-  | Error e -> Error e
-  | Ok sampling_mode ->
+let engine_t =
+  let doc =
+    "Execution engine for collection: 'bytecode' (default: compile once, run on \
+     the VM) or 'tree-walk' (reference interpreter; both produce identical \
+     datasets)."
+  in
+  Arg.(value & opt string "bytecode" & info [ "engine" ] ~docv:"ENGINE" ~doc)
+
+let parse_engine = function
+  | "bytecode" -> Ok Sbi_runtime.Collect.Bytecode
+  | "tree-walk" | "treewalk" -> Ok Sbi_runtime.Collect.Tree_walk
+  | s -> Error (Printf.sprintf "unknown engine %s (expected bytecode | tree-walk)" s)
+
+let config_of ~seed ~runs ~quick ~sampling ~engine =
+  match (parse_sampling sampling, parse_engine engine) with
+  | Error e, _ | _, Error e -> Error e
+  | Ok sampling_mode, Ok engine ->
       let base = if quick then Harness.quick_config else Harness.default_config in
       Ok
         {
@@ -52,6 +65,7 @@ let config_of ~seed ~runs ~quick ~sampling =
           nruns = (match runs with Some n -> Some n | None -> base.Harness.nruns);
           sampling = (if quick && sampling = "adaptive:1000" then base.Harness.sampling
                       else sampling_mode);
+          engine;
         }
 
 let study_conv =
@@ -126,8 +140,8 @@ let table_cmd =
     let doc = "Paper table number (1–9), or 0 for all tables." in
     Arg.(required & pos 0 (some int) None & info [] ~docv:"TABLE" ~doc)
   in
-  let run n seed runs quick sampling =
-    let config = or_fail (config_of ~seed ~runs ~quick ~sampling) in
+  let run n seed runs quick sampling engine =
+    let config = or_fail (config_of ~seed ~runs ~quick ~sampling ~engine) in
     if n = 0 then
       List.iter
         (fun i ->
@@ -137,17 +151,17 @@ let table_cmd =
     else print_endline (or_fail (render_table config n))
   in
   let info = Cmd.info "table" ~doc:"Regenerate one of the paper's tables (1-9; 0 = all)." in
-  Cmd.v info Term.(const run $ n_t $ seed_t $ runs_t $ quick_t $ sampling_t)
+  Cmd.v info Term.(const run $ n_t $ seed_t $ runs_t $ quick_t $ sampling_t $ engine_t)
 
 (* --- auxiliary experiments --- *)
 
 let simple_experiment name doc f =
-  let run seed runs quick sampling =
-    let config = or_fail (config_of ~seed ~runs ~quick ~sampling) in
+  let run seed runs quick sampling engine =
+    let config = or_fail (config_of ~seed ~runs ~quick ~sampling ~engine) in
     print_endline (f config)
   in
   let info = Cmd.info name ~doc in
-  Cmd.v info Term.(const run $ seed_t $ runs_t $ quick_t $ sampling_t)
+  Cmd.v info Term.(const run $ seed_t $ runs_t $ quick_t $ sampling_t $ engine_t)
 
 let stack_cmd =
   simple_experiment "stack-study"
@@ -174,15 +188,15 @@ let curves_cmd =
   let study_t =
     Arg.(required & pos 0 (some study_conv) None & info [] ~docv:"STUDY" ~doc:"Study name.")
   in
-  let run study seed runs quick sampling =
-    let config = or_fail (config_of ~seed ~runs ~quick ~sampling) in
+  let run study seed runs quick sampling engine =
+    let config = or_fail (config_of ~seed ~runs ~quick ~sampling ~engine) in
     print_endline (Curves.render (get_bundle config study))
   in
   let info =
     Cmd.info "curves"
       ~doc:"Plot Importance_N convergence curves for each bug's chosen predictor (§4.3)."
   in
-  Cmd.v info Term.(const run $ study_t $ seed_t $ runs_t $ quick_t $ sampling_t)
+  Cmd.v info Term.(const run $ study_t $ seed_t $ runs_t $ quick_t $ sampling_t $ engine_t)
 
 let report_cmd =
   let study_t =
@@ -192,8 +206,8 @@ let report_cmd =
     Arg.(required & opt (some string) None
            & info [ "o"; "output" ] ~docv:"FILE" ~doc:"HTML output path.")
   in
-  let run study out seed runs quick sampling =
-    let config = or_fail (config_of ~seed ~runs ~quick ~sampling) in
+  let run study out seed runs quick sampling engine =
+    let config = or_fail (config_of ~seed ~runs ~quick ~sampling ~engine) in
     let bundle = get_bundle config study in
     Html_report.write ~path:out bundle;
     Printf.printf "wrote %s\n" out
@@ -201,7 +215,7 @@ let report_cmd =
   let info =
     Cmd.info "report" ~doc:"Analyze a study and write a self-contained HTML report."
   in
-  Cmd.v info Term.(const run $ study_t $ out_t $ seed_t $ runs_t $ quick_t $ sampling_t)
+  Cmd.v info Term.(const run $ study_t $ out_t $ seed_t $ runs_t $ quick_t $ sampling_t $ engine_t)
 
 (* --- studies --- *)
 
@@ -270,8 +284,8 @@ let collect_cmd =
     Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
            ~doc:"Dataset output path.")
   in
-  let run study out seed runs quick sampling =
-    let config = or_fail (config_of ~seed ~runs ~quick ~sampling) in
+  let run study out seed runs quick sampling engine =
+    let config = or_fail (config_of ~seed ~runs ~quick ~sampling ~engine) in
     let bundle = Harness.collect_study ~config study in
     Sbi_runtime.Dataset.save out bundle.Harness.dataset;
     Printf.printf "wrote %s: %d runs (%d failing), %d sites, %d predicates\n" out
@@ -281,7 +295,7 @@ let collect_cmd =
       bundle.Harness.dataset.Sbi_runtime.Dataset.npreds
   in
   let info = Cmd.info "collect" ~doc:"Collect a feedback-report dataset and save it to disk." in
-  Cmd.v info Term.(const run $ study_t $ out_t $ seed_t $ runs_t $ quick_t $ sampling_t)
+  Cmd.v info Term.(const run $ study_t $ out_t $ seed_t $ runs_t $ quick_t $ sampling_t $ engine_t)
 
 (* --- ingestion pipeline --- *)
 
@@ -303,8 +317,8 @@ let ingest_cmd =
     Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N"
            ~doc:"Collection domains (= shards written); default: all cores.")
   in
-  let run study out domains seed runs quick sampling =
-    let config = or_fail (config_of ~seed ~runs ~quick ~sampling) in
+  let run study out domains seed runs quick sampling engine =
+    let config = or_fail (config_of ~seed ~runs ~quick ~sampling ~engine) in
     let _, _, spec = Harness.prepare ~config study in
     let nruns = Harness.study_runs config study in
     let domains =
@@ -329,7 +343,7 @@ let ingest_cmd =
             crash-tolerant binary shard log."
   in
   Cmd.v info
-    Term.(const run $ study_t $ out_t $ domains_t $ seed_t $ runs_t $ quick_t $ sampling_t)
+    Term.(const run $ study_t $ out_t $ domains_t $ seed_t $ runs_t $ quick_t $ sampling_t $ engine_t)
 
 let log_stats_cmd =
   let dir_t =
@@ -592,8 +606,8 @@ let analyze_cmd =
     let doc = "Run-discard proposal: 1 (discard all covered runs), 2 (failing only), 3 (relabel)." in
     Arg.(value & opt int 1 & info [ "proposal" ] ~docv:"N" ~doc)
   in
-  let run study proposal json seed runs quick sampling =
-    let config = or_fail (config_of ~seed ~runs ~quick ~sampling) in
+  let run study proposal json seed runs quick sampling engine =
+    let config = or_fail (config_of ~seed ~runs ~quick ~sampling ~engine) in
     let discard = or_fail (discard_of_proposal proposal) in
     let bundle = get_bundle config study in
     let ds = bundle.Harness.dataset in
@@ -607,7 +621,7 @@ let analyze_cmd =
             machine-readable output)."
   in
   Cmd.v info
-    Term.(const run $ study_t $ discard_t $ json_t $ seed_t $ runs_t $ quick_t $ sampling_t)
+    Term.(const run $ study_t $ discard_t $ json_t $ seed_t $ runs_t $ quick_t $ sampling_t $ engine_t)
 
 (* --- predicate index + triage service --- *)
 
@@ -703,8 +717,17 @@ let serve_cmd =
     Arg.(value & flag & info [ "update" ]
            ~doc:"Incrementally re-index the source log before serving.")
   in
-  let run idx_dir addr timeout no_fsync ingest_log update =
+  let domains_t =
+    Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N"
+           ~doc:"Analysis domains: N > 1 spawns a domain pool that parallelizes \
+                 snapshot rebuilds and affinity rescoring on the read path.")
+  in
+  let run idx_dir addr timeout no_fsync ingest_log update domains =
     let addr = or_fail (Sbi_serve.Wire.addr_of_string addr) in
+    if domains < 1 then begin
+      prerr_endline "cbi: --domains must be >= 1";
+      exit 2
+    end;
     let open_index () =
       match Sbi_index.Index.open_ ~dir:idx_dir with
       | idx -> idx
@@ -729,7 +752,7 @@ let serve_cmd =
       | None -> idx.Sbi_index.Index.log_dir
     in
     let config =
-      { Sbi_serve.Server.addr; timeout; fsync = not no_fsync; ingest_log }
+      { Sbi_serve.Server.addr; timeout; fsync = not no_fsync; ingest_log; domains }
     in
     let srv =
       try Sbi_serve.Server.start config idx
@@ -765,7 +788,9 @@ let serve_cmd =
             gracefully."
   in
   Cmd.v info
-    Term.(const run $ idx_t $ addr_t $ timeout_t $ no_fsync_t $ ingest_log_t $ update_t)
+    Term.(
+      const run $ idx_t $ addr_t $ timeout_t $ no_fsync_t $ ingest_log_t $ update_t
+      $ domains_t)
 
 let query_cmd =
   let addr_t =
@@ -810,8 +835,8 @@ let inspect_cmd =
     Arg.(value & opt int 5 & info [ "affinity" ] ~docv:"K"
            ~doc:"Show the top K affinity entries for each selected predicate.")
   in
-  let run study top seed runs quick sampling =
-    let config = or_fail (config_of ~seed ~runs ~quick ~sampling) in
+  let run study top seed runs quick sampling engine =
+    let config = or_fail (config_of ~seed ~runs ~quick ~sampling ~engine) in
     let bundle = Harness.collect_study ~config study in
     let analysis = Harness.analyze bundle in
     let selections =
@@ -842,7 +867,7 @@ let inspect_cmd =
     Cmd.info "inspect"
       ~doc:"Analyze a study and browse each selected predictor's affinity list."
   in
-  Cmd.v info Term.(const run $ study_t $ top_t $ seed_t $ runs_t $ quick_t $ sampling_t)
+  Cmd.v info Term.(const run $ study_t $ top_t $ seed_t $ runs_t $ quick_t $ sampling_t $ engine_t)
 
 let main_cmd =
   let doc = "Scalable statistical bug isolation (PLDI 2005) — reproduction driver." in

@@ -69,7 +69,13 @@ let () =
           Texttab.add_row tab [ name; Printf.sprintf "%.3f" ms; "1.00x"; "n/a" ]
       | Some sampling ->
           let config =
-            { Harness.seed = 42; nruns = Some nruns; sampling; confidence = 0.95 }
+            {
+              Harness.default_config with
+              Harness.seed = 42;
+              nruns = Some nruns;
+              sampling;
+              confidence = 0.95;
+            }
           in
           let bundle = ref None in
           let ms =

@@ -14,7 +14,13 @@ open Sbi_experiments
 open Sbi_core
 
 let config =
-  { Harness.seed = 7; nruns = Some 1000; sampling = Harness.Adaptive 150; confidence = 0.95 }
+  {
+    Harness.default_config with
+    Harness.seed = 7;
+    nruns = Some 1000;
+    sampling = Harness.Adaptive 150;
+    confidence = 0.95;
+  }
 
 let () =
   let study = Sbi_corpus.Corpus.mossim in

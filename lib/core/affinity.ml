@@ -26,7 +26,7 @@ let list ?(confidence = 0.95) ds ~selected ~others =
   in
   List.sort
     (fun a b ->
-      match compare b.drop a.drop with 0 -> compare a.pred b.pred | n -> n)
+      match Float.compare b.drop a.drop with 0 -> Int.compare a.pred b.pred | n -> n)
     entries
 
 let top_affine = function

@@ -8,18 +8,18 @@ let strategy_to_string = function
 let comparator = function
   | By_failure_count ->
       fun (a : Scores.t) (b : Scores.t) ->
-        (match compare b.Scores.f a.Scores.f with
+        (match Int.compare b.Scores.f a.Scores.f with
         | 0 -> (
-            match compare b.Scores.increase a.Scores.increase with
-            | 0 -> compare a.Scores.pred b.Scores.pred
+            match Float.compare b.Scores.increase a.Scores.increase with
+            | 0 -> Int.compare a.Scores.pred b.Scores.pred
             | n -> n)
         | n -> n)
   | By_increase ->
       fun a b ->
-        (match compare b.Scores.increase a.Scores.increase with
+        (match Float.compare b.Scores.increase a.Scores.increase with
         | 0 -> (
-            match compare b.Scores.f a.Scores.f with
-            | 0 -> compare a.Scores.pred b.Scores.pred
+            match Int.compare b.Scores.f a.Scores.f with
+            | 0 -> Int.compare a.Scores.pred b.Scores.pred
             | n -> n)
         | n -> n)
   | By_importance -> Scores.compare_importance_desc

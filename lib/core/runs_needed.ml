@@ -11,7 +11,7 @@ let importance_at ?confidence ds ~pred ~n =
 
 let curve ?confidence ?(grid = default_grid) ds ~pred =
   let total = Dataset.nruns ds in
-  let grid = List.filter (fun n -> n < total) (List.sort_uniq compare grid) @ [ total ] in
+  let grid = List.filter (fun n -> n < total) (List.sort_uniq Int.compare grid) @ [ total ] in
   List.map (fun n -> (n, importance_at ?confidence ds ~pred ~n)) grid
 
 type answer = {
@@ -28,7 +28,7 @@ let f_at ds ~pred ~n =
 let min_runs ?confidence ?(threshold = 0.2) ?(grid = default_grid) ds ~pred =
   let total = Dataset.nruns ds in
   let full = importance_at ?confidence ds ~pred ~n:total in
-  let grid = List.filter (fun n -> n < total) (List.sort_uniq compare grid) @ [ total ] in
+  let grid = List.filter (fun n -> n < total) (List.sort_uniq Int.compare grid) @ [ total ] in
   let rec go = function
     | [] -> None
     | n :: rest ->

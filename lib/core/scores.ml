@@ -67,6 +67,6 @@ let score ?(confidence = 0.95) (c : Counts.t) ~pred =
 let score_all ?confidence c = Array.init c.Counts.npreds (fun pred -> score ?confidence c ~pred)
 
 let compare_importance_desc a b =
-  match compare b.importance a.importance with
-  | 0 -> ( match compare b.f a.f with 0 -> compare a.pred b.pred | n -> n)
+  match Float.compare b.importance a.importance with
+  | 0 -> ( match Int.compare b.f a.f with 0 -> Int.compare a.pred b.pred | n -> n)
   | n -> n

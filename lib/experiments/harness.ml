@@ -11,10 +11,29 @@ type config = {
   nruns : int option;
   sampling : sampling;
   confidence : float;
+  engine : Collect.engine;
 }
 
-let default_config = { seed = 42; nruns = None; sampling = Adaptive 1000; confidence = 0.95 }
-let quick_config = { seed = 42; nruns = Some 600; sampling = Adaptive 150; confidence = 0.95 }
+(* Bytecode is the default: it compiles the study once and runs every
+   input on the VM, and is differentially tested against Tree_walk
+   (identical datasets) so experiments lose no fidelity. *)
+let default_config =
+  {
+    seed = 42;
+    nruns = None;
+    sampling = Adaptive 1000;
+    confidence = 0.95;
+    engine = Collect.Bytecode;
+  }
+
+let quick_config =
+  {
+    seed = 42;
+    nruns = Some 600;
+    sampling = Adaptive 150;
+    confidence = 0.95;
+    engine = Collect.Bytecode;
+  }
 
 type bundle = {
   study : Sbi_corpus.Study.t;
@@ -55,7 +74,7 @@ let prepare ?(config = default_config) (study : Sbi_corpus.Study.t) =
   let spec =
     Collect.make_spec
       ?oracle:(Sbi_corpus.Corpus.make_oracle study ~nondet_salt)
-      ~nondet_salt ~transform ~plan
+      ~nondet_salt ~engine:config.engine ~transform ~plan
       ~gen_input:(fun run -> study.Sbi_corpus.Study.gen_input ~seed:config.seed ~run)
       ()
   in
@@ -83,7 +102,7 @@ let cooccurrence bundle ~pred =
           r.Report.bugs)
     bundle.dataset.Dataset.runs;
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) counts []
-  |> List.sort (fun (_, a) (_, b) -> compare b a)
+  |> List.sort (fun (_, a) (_, b) -> Int.compare b a)
 
 let dominant_bug bundle ~pred =
   match cooccurrence bundle ~pred with (b, _) :: _ -> Some b | [] -> None
@@ -97,6 +116,6 @@ let assign_selections_to_bugs bundle selections =
       | _ -> ())
     selections;
   Hashtbl.fold (fun b sel acc -> (b, sel) :: acc) assigned []
-  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
 
 let describe bundle ~pred = Transform.describe_pred bundle.transform pred

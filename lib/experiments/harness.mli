@@ -14,15 +14,19 @@ type config = {
   nruns : int option;  (** [None] = the study's default *)
   sampling : sampling;
   confidence : float;
+  engine : Sbi_runtime.Collect.engine;
+      (** execution engine for collection; {!Sbi_runtime.Collect.Bytecode}
+          (the default) compiles once and runs the VM — differentially
+          tested to produce datasets identical to [Tree_walk] *)
 }
 
 val default_config : config
 (** seed 42, study-default run count, adaptive sampling with 1000 training
-    runs, 95% confidence. *)
+    runs, 95% confidence, bytecode engine. *)
 
 val quick_config : config
 (** A small configuration for tests and smoke runs: 600 runs, adaptive
-    sampling trained on 150 runs. *)
+    sampling trained on 150 runs, bytecode engine. *)
 
 type bundle = {
   study : Sbi_corpus.Study.t;

@@ -1,10 +1,14 @@
 (** Fixed-size mutable bitsets over run slots.
 
     The query engine keys every per-segment run property (failing, alive
-    during elimination, covered by a posting list) on a bitset indexed by
+    during elimination, covered by a predicate) on a bitset indexed by
     the run's position within its segment, so counting a §3.1 quantity
-    over the current run subset is a posting-list walk plus O(1) bit
-    tests — no report records are ever materialized. *)
+    over the current run subset is a handful of word-level popcount
+    kernels — no report records are ever materialized, and no per-bit
+    loop runs on the hot path.
+
+    Bits beyond [length] are kept zero by every operation (including
+    {!full}), so the counting kernels can fold whole words blindly. *)
 
 type t
 
@@ -21,11 +25,32 @@ val get : t -> int -> bool
 val set : t -> int -> unit
 val clear : t -> int -> unit
 
+val popcount : int -> int
+(** Set bits of one word (branch-free SWAR over OCaml's 63-bit ints);
+    the primitive under every counting kernel below. *)
+
 val count : t -> int
 (** Number of set bits. *)
 
+val inter_count : t -> t -> int
+(** [inter_count a b]: set bits of [a ∧ b], one popcount per word.
+    @raise Invalid_argument on length mismatch. *)
+
 val count_and : t -> t -> int
-(** [count_and a b]: set bits of the intersection.
+(** Alias of {!inter_count} (the pre-kernel name). *)
+
+val inter_count3 : t -> t -> t -> int
+(** [inter_count3 a b c]: set bits of [a ∧ b ∧ c] without materializing
+    an intermediate — the elimination loop's [F(P)-over-alive-failing]
+    kernel.  @raise Invalid_argument on length mismatch. *)
+
+val diff_inplace : t -> t -> unit
+(** [diff_inplace a b]: [a := a ∧ ¬b] (discard proposal 1's run removal).
+    @raise Invalid_argument on length mismatch. *)
+
+val diff_inter_inplace : t -> t -> t -> unit
+(** [diff_inter_inplace a b c]: [a := a ∧ ¬(b ∧ c)] (proposals 2/3:
+    remove/relabel only where both masks agree).
     @raise Invalid_argument on length mismatch. *)
 
 val of_positions : int -> int array -> t

@@ -32,6 +32,8 @@ type t = {
   seg_aggs : Aggregator.t array;
   stats : open_stats;
   tail : tail;
+  mutable epoch : int;  (* bumped by every accepted append *)
+  mutable snap : Snapshot.t option;  (* cache, valid while epochs match *)
 }
 
 (* --- manifest --- *)
@@ -52,7 +54,7 @@ let render_manifest m =
   (match m.man_log with Some d -> Buffer.add_string buf ("log " ^ d ^ "\n") | None -> ());
   List.iter
     (fun (shard, bytes) -> Buffer.add_string buf (Printf.sprintf "shard %d consumed %d\n" shard bytes))
-    (List.sort compare m.man_consumed);
+    (List.sort (fun (s1, _) (s2, _) -> Int.compare s1 s2) m.man_consumed);
   List.iter
     (fun s ->
       Buffer.add_string buf
@@ -249,33 +251,41 @@ let empty_tail meta =
     t_cache = None;
   }
 
-let open_ ~dir =
+let open_impl pool ~dir =
   let meta = load_meta dir in
   let man = load_manifest dir in
+  (* decode + aggregate one segment: pure CPU work on an immutable file,
+     safe and profitable to fan across the domain pool *)
+  let load m =
+    let path = Filename.concat dir m.m_file in
+    if not (Sys.file_exists path) then Error "missing file"
+    else
+      match Segment.decode (read_file path) with
+      | seg ->
+          if seg.Segment.nsites <> meta.Dataset.nsites
+             || seg.Segment.npreds <> meta.Dataset.npreds
+          then Error "table size mismatch"
+          else Ok (seg, Segment.aggregator ~pred_site:meta.Dataset.pred_site seg)
+      | exception Segment.Corrupt msg -> Error msg
+  in
+  let entries = Array.of_list man.man_segs in
+  let results =
+    match pool with
+    | Some pool -> Sbi_par.Domain_pool.map_array pool load entries
+    | None -> Array.map load entries
+  in
   let segs = ref [] in
   let aggs = ref [] in
   let loaded = ref 0 and corrupt = ref 0 and records = ref 0 in
-  List.iter
-    (fun m ->
-      let path = Filename.concat dir m.m_file in
-      match
-        if not (Sys.file_exists path) then Error "missing file"
-        else
-          match Segment.decode (read_file path) with
-          | seg ->
-              if seg.Segment.nsites <> meta.Dataset.nsites
-                 || seg.Segment.npreds <> meta.Dataset.npreds
-              then Error "table size mismatch"
-              else Ok seg
-          | exception Segment.Corrupt msg -> Error msg
-      with
-      | Ok seg ->
+  Array.iter
+    (function
+      | Ok (seg, agg) ->
           segs := seg :: !segs;
-          aggs := Segment.aggregator ~pred_site:meta.Dataset.pred_site seg :: !aggs;
+          aggs := agg :: !aggs;
           incr loaded;
           records := !records + seg.Segment.nruns
       | Error _ -> incr corrupt)
-    man.man_segs;
+    results;
   {
     dir;
     meta;
@@ -284,7 +294,12 @@ let open_ ~dir =
     seg_aggs = Array.of_list (List.rev !aggs);
     stats = { segments_loaded = !loaded; segments_corrupt = !corrupt; records_loaded = !records };
     tail = empty_tail meta;
+    epoch = 0;
+    snap = None;
   }
+
+let open_ ~dir = open_impl None ~dir
+let open_par ~pool ~dir = open_impl (Some pool) ~dir
 
 (* --- live tail --- *)
 
@@ -313,7 +328,10 @@ let append t r =
   tail.t_reports.(tail.t_len) <- r;
   tail.t_len <- tail.t_len + 1;
   Aggregator.observe tail.t_agg r;
-  tail.t_cache <- None
+  tail.t_cache <- None;
+  (* the write side of the epoch protocol: any snapshot built before this
+     append is now stale (readers still holding it stay consistent) *)
+  t.epoch <- t.epoch + 1
 
 let tail_count t = t.tail.t_len
 
@@ -332,6 +350,31 @@ let tail_segment t =
         Some seg
 
 let tail_aggregator t = t.tail.t_agg
+let epoch t = t.epoch
+
+(* --- epoch-versioned snapshot --- *)
+
+let merged_counts t =
+  let acc = Aggregator.of_meta t.meta in
+  Array.iter (fun a -> Aggregator.merge_into ~into:acc a) t.seg_aggs;
+  Aggregator.merge_into ~into:acc t.tail.t_agg;
+  Aggregator.to_counts acc
+
+let all_segments t =
+  match tail_segment t with
+  | Some tail -> Array.append t.segments [| tail |]
+  | None -> t.segments
+
+let snapshot ?pool t =
+  match t.snap with
+  | Some s when Snapshot.epoch s = t.epoch -> s
+  | _ ->
+      let s =
+        Snapshot.build ?pool ~epoch:t.epoch ~meta:t.meta ~counts:(merged_counts t)
+          (all_segments t)
+      in
+      t.snap <- Some s;
+      s
 
 let nruns t =
   Array.fold_left (fun acc (s : Segment.t) -> acc + s.Segment.nruns) t.tail.t_len t.segments

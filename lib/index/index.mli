@@ -45,6 +45,8 @@ type t = {
   seg_aggs : Sbi_ingest.Aggregator.t array;  (** parallel per-segment partial aggregates *)
   stats : open_stats;
   tail : tail;
+  mutable epoch : int;  (** bumped by every accepted {!append} *)
+  mutable snap : Snapshot.t option;  (** {!snapshot} cache; see below *)
 }
 
 (** Live, unindexed reports accepted since {!open_} (the serving path's
@@ -65,6 +67,12 @@ val open_ : dir:string -> t
     segments are skipped and counted in [stats]).
     @raise Format_error when meta or manifest is missing/invalid. *)
 
+val open_par : pool:Sbi_par.Domain_pool.t -> dir:string -> t
+(** {!open_} with segment decoding and per-segment aggregation fanned
+    across [pool] — the index-open/refresh path scales with cores.
+    Produces a state identical to {!open_} (segments stay in manifest
+    order regardless of completion order). *)
+
 val append : t -> Sbi_runtime.Report.t -> unit
 (** Fold one live report into the in-memory tail.  @raise Invalid_argument
     when the report refers to sites/predicates outside the tables. *)
@@ -75,6 +83,25 @@ val tail_segment : t -> Segment.t option
     appends); [None] when no live reports exist. *)
 
 val tail_aggregator : t -> Sbi_ingest.Aggregator.t
+
+val all_segments : t -> Segment.t array
+(** On-disk segments followed by the live tail's segment (when any live
+    reports exist) — the full current run population, in stable order. *)
+
+val epoch : t -> int
+(** Monotone version of the index's run population: starts at 0 on
+    {!open_}, incremented by every accepted {!append}. *)
+
+val snapshot : ?pool:Sbi_par.Domain_pool.t -> t -> Snapshot.t
+(** The epoch-stamped bitmap {!Snapshot} of the current population,
+    cached on the index and invalidated only when {!append} bumps the
+    epoch — repeated queries between ingests reuse both the merged
+    aggregate and every densified bitmap.  Rebuilds fan across [pool].
+
+    Not linearizable on its own: concurrent callers must serialize
+    [snapshot] against [append] (the server takes its write lock for
+    both); the returned snapshot itself is immutable and safe to read
+    from any number of domains. *)
 
 val nruns : t -> int
 val num_failures : t -> int

@@ -1,0 +1,39 @@
+open Sbi_runtime
+
+type view = {
+  v_nruns : int;
+  v_failing : Bitset.t;
+  v_pred_bits : Bitset.t array;
+  v_site_bits : Bitset.t array;
+}
+
+type t = {
+  epoch : int;
+  meta : Dataset.t;
+  views : view array;
+  counts : Sbi_core.Counts.t;
+}
+
+let view_of_segment (seg : Segment.t) =
+  let nruns = seg.Segment.nruns in
+  {
+    v_nruns = nruns;
+    (* segments never mutate their outcome bitmap after construction, so
+       the view shares it; elimination copies before flipping bits *)
+    v_failing = seg.Segment.failing;
+    v_pred_bits = Array.map (Bitset.of_positions nruns) seg.Segment.pred_true;
+    v_site_bits = Array.map (Bitset.of_positions nruns) seg.Segment.site_obs;
+  }
+
+let build ?pool ~epoch ~meta ~counts segments =
+  let views =
+    match pool with
+    | Some pool -> Sbi_par.Domain_pool.map_array pool view_of_segment segments
+    | None -> Array.map view_of_segment segments
+  in
+  { epoch; meta; views; counts }
+
+let epoch t = t.epoch
+let counts t = t.counts
+let nruns t = t.counts.Sbi_core.Counts.num_f + t.counts.Sbi_core.Counts.num_s
+let num_failures t = t.counts.Sbi_core.Counts.num_f

@@ -1,0 +1,46 @@
+(** An immutable, epoch-stamped bitmap view of an index: the read side of
+    the analysis engine.
+
+    A snapshot densifies every per-segment posting list into a run
+    bitmap ({!view}) and carries the merged §3.1 aggregate, so every
+    read-only query — top-k, predicate detail, affinity, the full
+    elimination loop — runs on word-level {!Bitset} popcount kernels
+    against the snapshot without touching the live index.  Writers
+    (ingest) bump the owning index's epoch; a snapshot whose [epoch] no
+    longer matches is simply stale, never wrong, and readers holding it
+    keep computing on a consistent corpus while the next snapshot is
+    built — readers never block ingest, ingest never blocks readers.
+
+    Everything inside a snapshot is write-once at {!build} time and read
+    from many domains afterwards; publication happens through the lock
+    or pool handoff that delivers the snapshot to each reader. *)
+
+type view = {
+  v_nruns : int;
+  v_failing : Bitset.t;  (** outcome bitmap, shared with the segment *)
+  v_pred_bits : Bitset.t array;  (** per-predicate run-membership bitmaps *)
+  v_site_bits : Bitset.t array;  (** per-site observed-run bitmaps *)
+}
+
+type t = {
+  epoch : int;
+  meta : Sbi_runtime.Dataset.t;
+  views : view array;  (** on-disk segments, then the live tail (if any) *)
+  counts : Sbi_core.Counts.t;  (** merged aggregate over all views *)
+}
+
+val build :
+  ?pool:Sbi_par.Domain_pool.t ->
+  epoch:int ->
+  meta:Sbi_runtime.Dataset.t ->
+  counts:Sbi_core.Counts.t ->
+  Segment.t array ->
+  t
+(** Densify [segments] (posting lists → bitmaps), fanned across [pool]
+    when given.  [counts] must be the merged aggregate of exactly those
+    segments. *)
+
+val epoch : t -> int
+val counts : t -> Sbi_core.Counts.t
+val nruns : t -> int
+val num_failures : t -> int

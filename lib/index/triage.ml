@@ -1,27 +1,237 @@
 open Sbi_runtime
-open Sbi_ingest
 open Sbi_core
 
-let all_segments (idx : Index.t) =
-  let segs = Array.to_list idx.Index.segments in
-  match Index.tail_segment idx with Some tail -> segs @ [ tail ] | None -> segs
+(* --- snapshot-level queries ---
 
-let counts (idx : Index.t) =
-  let acc = Aggregator.of_meta idx.Index.meta in
-  Array.iter (fun a -> Aggregator.merge_into ~into:acc a) idx.Index.seg_aggs;
-  Aggregator.merge_into ~into:acc (Index.tail_aggregator idx);
-  Aggregator.to_counts acc
+   Every read below runs against an epoch-stamped {!Snapshot}: the merged
+   aggregate is computed once per epoch (not once per query), and the
+   run-subset computations (affinity, iterative elimination) are word-level
+   popcount kernels over per-view alive/failing masks instead of per-bit
+   posting walks.  The integers produced are exactly those of
+   [Counts.compute] on the corresponding materialized corpus, so scores and
+   rankings stay bit-identical to [Sbi_core.Analysis] for any pool size. *)
 
-let topk ?confidence ?(k = 10) idx =
-  let retained = Prune.retained_scores ?confidence (counts idx) in
-  Sbi_util.Topk.top ~k
-    ~compare:(fun a b -> Scores.compare_importance_desc b a)
-    retained
+type view_state = { view : Snapshot.view; alive : Bitset.t; failing : Bitset.t }
 
-let pred_detail ?confidence (idx : Index.t) ~pred =
-  if pred < 0 || pred >= idx.Index.meta.Dataset.npreds then
-    invalid_arg (Printf.sprintf "Triage.pred_detail: predicate %d out of range" pred);
-  Scores.score ?confidence (counts idx) ~pred
+let fresh_states (snap : Snapshot.t) =
+  Array.map
+    (fun (v : Snapshot.view) ->
+      {
+        view = v;
+        alive = Bitset.full v.Snapshot.v_nruns;
+        failing = Bitset.copy v.Snapshot.v_failing;
+      })
+    snap.Snapshot.views
+
+(* Counts over the current alive runs with current outcomes — the exact
+   quantities Counts.compute extracts from the corresponding filtered /
+   relabeled dataset.  Predicates and sites are independent, so the
+   per-predicate rescoring fans across the domain pool as one flat index
+   space [0, npreds + nsites) with block-disjoint writes. *)
+let counts_of_states ?pool (meta : Dataset.t) states =
+  let npreds = meta.Dataset.npreds and nsites = meta.Dataset.nsites in
+  let f = Array.make npreds 0 and s = Array.make npreds 0 in
+  let f_obs_site = Array.make (max nsites 1) 0 and s_obs_site = Array.make (max nsites 1) 0 in
+  let num_f = ref 0 and num_s = ref 0 in
+  Array.iter
+    (fun st ->
+      let nf = Bitset.inter_count st.alive st.failing in
+      num_f := !num_f + nf;
+      num_s := !num_s + (Bitset.count st.alive - nf))
+    states;
+  let fill lo hi =
+    for i = lo to hi - 1 do
+      if i < npreds then begin
+        let fp = ref 0 and tp = ref 0 in
+        Array.iter
+          (fun st ->
+            let bits = st.view.Snapshot.v_pred_bits.(i) in
+            fp := !fp + Bitset.inter_count3 bits st.alive st.failing;
+            tp := !tp + Bitset.inter_count bits st.alive)
+          states;
+        f.(i) <- !fp;
+        s.(i) <- !tp - !fp
+      end
+      else begin
+        let site = i - npreds in
+        let fo = ref 0 and t_o = ref 0 in
+        Array.iter
+          (fun st ->
+            let bits = st.view.Snapshot.v_site_bits.(site) in
+            fo := !fo + Bitset.inter_count3 bits st.alive st.failing;
+            t_o := !t_o + Bitset.inter_count bits st.alive)
+          states;
+        f_obs_site.(site) <- !fo;
+        s_obs_site.(site) <- !t_o - !fo
+      end
+    done
+  in
+  (match pool with
+  | Some pool -> Sbi_par.Domain_pool.parallel_for pool ~n:(npreds + nsites) fill
+  | None -> fill 0 (npreds + nsites));
+  {
+    Counts.npreds;
+    f;
+    s;
+    f_obs = Array.init npreds (fun p -> f_obs_site.(meta.Dataset.pred_site.(p)));
+    s_obs = Array.init npreds (fun p -> s_obs_site.(meta.Dataset.pred_site.(p)));
+    num_f = !num_f;
+    num_s = !num_s;
+  }
+
+let alive_count states =
+  Array.fold_left (fun acc st -> acc + Bitset.count st.alive) 0 states
+
+let failing_count states =
+  Array.fold_left (fun acc st -> acc + Bitset.inter_count st.alive st.failing) 0 states
+
+let apply_discard discard states pred =
+  Array.iter
+    (fun st ->
+      let bits = st.view.Snapshot.v_pred_bits.(pred) in
+      match discard with
+      | Eliminate.Discard_all_true -> Bitset.diff_inplace st.alive bits
+      | Eliminate.Discard_failing_true -> Bitset.diff_inter_inplace st.alive bits st.failing
+      | Eliminate.Relabel_failing -> Bitset.diff_inter_inplace st.failing bits st.alive)
+    states
+
+module Snap = struct
+  let counts = Snapshot.counts
+
+  let topk ?confidence ?(k = 10) snap =
+    let retained = Prune.retained_scores ?confidence (Snapshot.counts snap) in
+    Sbi_util.Topk.top ~k
+      ~compare:(fun a b -> Scores.compare_importance_desc b a)
+      retained
+
+  let pred_detail ?confidence snap ~pred =
+    let meta = snap.Snapshot.meta in
+    if pred < 0 || pred >= meta.Dataset.npreds then
+      invalid_arg (Printf.sprintf "Triage.pred_detail: predicate %d out of range" pred);
+    Scores.score ?confidence (Snapshot.counts snap) ~pred
+
+  let affinity ?pool ?(confidence = 0.95) snap ~selected ~others =
+    let counts_before = Snapshot.counts snap in
+    let states_without =
+      Array.map
+        (fun (v : Snapshot.view) ->
+          let alive = Bitset.full v.Snapshot.v_nruns in
+          Bitset.diff_inplace alive v.Snapshot.v_pred_bits.(selected);
+          { view = v; alive; failing = Bitset.copy v.Snapshot.v_failing })
+        snap.Snapshot.views
+    in
+    let counts_after = counts_of_states ?pool snap.Snapshot.meta states_without in
+    let entries =
+      List.filter_map
+        (fun pred ->
+          if pred = selected then None
+          else begin
+            let before = (Scores.score ~confidence counts_before ~pred).Scores.importance in
+            let after = (Scores.score ~confidence counts_after ~pred).Scores.importance in
+            Some
+              {
+                Affinity.pred;
+                importance_before = before;
+                importance_after = after;
+                drop = before -. after;
+              }
+          end)
+        others
+    in
+    List.sort
+      (fun (a : Affinity.entry) (b : Affinity.entry) ->
+        match Float.compare b.Affinity.drop a.Affinity.drop with
+        | 0 -> Int.compare a.Affinity.pred b.Affinity.pred
+        | n -> n)
+      entries
+
+  let eliminate ?pool ?(discard = Eliminate.Discard_all_true) ?(confidence = 0.95)
+      ?(max_selections = 40) ?candidates snap =
+    let meta = snap.Snapshot.meta in
+    let states = fresh_states snap in
+    let initial_counts = Snapshot.counts snap in
+    let candidates =
+      match candidates with
+      | Some c -> c
+      | None -> (
+          match discard with
+          | Eliminate.Discard_all_true -> Prune.retained ~confidence initial_counts
+          | Eliminate.Discard_failing_true | Eliminate.Relabel_failing ->
+              let acc = ref [] in
+              for pred = initial_counts.Counts.npreds - 1 downto 0 do
+                if initial_counts.Counts.f.(pred) > 0 then acc := pred :: !acc
+              done;
+              !acc)
+    in
+    let initial_scores = Hashtbl.create 64 in
+    List.iter
+      (fun pred ->
+        Hashtbl.replace initial_scores pred (Scores.score ~confidence initial_counts ~pred))
+      candidates;
+    let rec loop acc candidates rank =
+      let nfail = failing_count states in
+      if nfail = 0 || candidates = [] || rank > max_selections then (List.rev acc, candidates)
+      else begin
+        let cts = counts_of_states ?pool meta states in
+        let best =
+          List.fold_left
+            (fun best pred ->
+              if not (Prune.keep ~confidence cts ~pred) then best
+              else begin
+                let sc = Scores.score ~confidence cts ~pred in
+                match best with
+                | None -> Some sc
+                | Some b -> if Scores.compare_importance_desc sc b < 0 then Some sc else Some b
+              end)
+            None candidates
+        in
+        match best with
+        | None -> (List.rev acc, candidates)
+        | Some sc when sc.Scores.importance <= 0. -> (List.rev acc, candidates)
+        | Some sc ->
+            let pred = sc.Scores.pred in
+            let runs_before = alive_count states in
+            apply_discard discard states pred;
+            let selection =
+              {
+                Eliminate.rank;
+                pred;
+                initial = Hashtbl.find initial_scores pred;
+                effective = sc;
+                runs_before;
+                failures_before = nfail;
+                runs_discarded = runs_before - alive_count states;
+              }
+            in
+            let candidates = List.filter (fun p -> p <> pred) candidates in
+            loop (selection :: acc) candidates (rank + 1)
+      end
+    in
+    let selections, candidates_left = loop [] candidates 1 in
+    {
+      Eliminate.selections;
+      runs_remaining = alive_count states;
+      failures_remaining = failing_count states;
+      candidates_remaining = List.length candidates_left;
+    }
+end
+
+(* --- index-level wrappers (snapshot fetched/cached on the index) --- *)
+
+let counts ?pool idx = Snapshot.counts (Index.snapshot ?pool idx)
+let topk ?pool ?confidence ?k idx = Snap.topk ?confidence ?k (Index.snapshot ?pool idx)
+
+let pred_detail ?pool ?confidence idx ~pred =
+  Snap.pred_detail ?confidence (Index.snapshot ?pool idx) ~pred
+
+let affinity ?pool ?confidence idx ~selected ~others =
+  Snap.affinity ?pool ?confidence (Index.snapshot ?pool idx) ~selected ~others
+
+let eliminate ?pool ?discard ?confidence ?max_selections ?candidates idx =
+  Snap.eliminate ?pool ?discard ?confidence ?max_selections ?candidates
+    (Index.snapshot ?pool idx)
+
+(* --- co-occurrence (posting-list intersection; no snapshot needed) --- *)
 
 let intersect_sorted a b =
   let n = ref 0 and i = ref 0 and j = ref 0 in
@@ -42,192 +252,12 @@ let cooccurrence (idx : Index.t) ~a ~b =
   let npreds = idx.Index.meta.Dataset.npreds in
   if a < 0 || a >= npreds || b < 0 || b >= npreds then
     invalid_arg "Triage.cooccurrence: predicate out of range";
-  List.fold_left
+  Array.fold_left
     (fun acc (seg : Segment.t) ->
       acc + intersect_sorted seg.Segment.pred_true.(a) seg.Segment.pred_true.(b))
-    0 (all_segments idx)
+    0 (Index.all_segments idx)
 
-(* --- run-subset counting over bitset states --- *)
-
-type seg_state = { seg : Segment.t; alive : Bitset.t; failing : Bitset.t }
-
-let fresh_states segs =
-  List.map
-    (fun (seg : Segment.t) ->
-      {
-        seg;
-        alive = Bitset.full seg.Segment.nruns;
-        failing = Bitset.copy seg.Segment.failing;
-      })
-    segs
-
-(* Counts over the current alive runs with current outcomes — the exact
-   quantities Counts.compute extracts from the corresponding filtered /
-   relabeled dataset. *)
-let counts_of_states (meta : Dataset.t) states =
-  let npreds = meta.Dataset.npreds and nsites = meta.Dataset.nsites in
-  let f = Array.make npreds 0 and s = Array.make npreds 0 in
-  let f_obs_site = Array.make (max nsites 1) 0 and s_obs_site = Array.make (max nsites 1) 0 in
-  let num_f = ref 0 and num_s = ref 0 in
-  List.iter
-    (fun st ->
-      let nf = Bitset.count_and st.alive st.failing in
-      num_f := !num_f + nf;
-      num_s := !num_s + (Bitset.count st.alive - nf);
-      let split counter_f counter_s postings =
-        Array.iteri
-          (fun i posting ->
-            Array.iter
-              (fun pos ->
-                if Bitset.get st.alive pos then
-                  if Bitset.get st.failing pos then counter_f.(i) <- counter_f.(i) + 1
-                  else counter_s.(i) <- counter_s.(i) + 1)
-              posting)
-          postings
-      in
-      split f_obs_site s_obs_site st.seg.Segment.site_obs;
-      split f s st.seg.Segment.pred_true)
-    states;
-  {
-    Counts.npreds;
-    f;
-    s;
-    f_obs = Array.init npreds (fun p -> f_obs_site.(meta.Dataset.pred_site.(p)));
-    s_obs = Array.init npreds (fun p -> s_obs_site.(meta.Dataset.pred_site.(p)));
-    num_f = !num_f;
-    num_s = !num_s;
-  }
-
-let alive_count states = List.fold_left (fun acc st -> acc + Bitset.count st.alive) 0 states
-
-let failing_count states =
-  List.fold_left (fun acc st -> acc + Bitset.count_and st.alive st.failing) 0 states
-
-(* --- affinity --- *)
-
-let affinity ?(confidence = 0.95) (idx : Index.t) ~selected ~others =
-  let counts_before = counts idx in
-  let states_without =
-    List.map
-      (fun (seg : Segment.t) ->
-        let alive = Bitset.full seg.Segment.nruns in
-        Array.iter (Bitset.clear alive) seg.Segment.pred_true.(selected);
-        { seg; alive; failing = Bitset.copy seg.Segment.failing })
-      (all_segments idx)
-  in
-  let counts_after = counts_of_states idx.Index.meta states_without in
-  let entries =
-    List.filter_map
-      (fun pred ->
-        if pred = selected then None
-        else begin
-          let before = (Scores.score ~confidence counts_before ~pred).Scores.importance in
-          let after = (Scores.score ~confidence counts_after ~pred).Scores.importance in
-          Some
-            {
-              Affinity.pred;
-              importance_before = before;
-              importance_after = after;
-              drop = before -. after;
-            }
-        end)
-      others
-  in
-  List.sort
-    (fun (a : Affinity.entry) (b : Affinity.entry) ->
-      match compare b.Affinity.drop a.Affinity.drop with
-      | 0 -> compare a.Affinity.pred b.Affinity.pred
-      | n -> n)
-    entries
-
-(* --- iterative elimination --- *)
-
-let apply_discard discard states pred =
-  List.iter
-    (fun st ->
-      let posting = st.seg.Segment.pred_true.(pred) in
-      match discard with
-      | Eliminate.Discard_all_true -> Array.iter (Bitset.clear st.alive) posting
-      | Eliminate.Discard_failing_true ->
-          Array.iter
-            (fun pos -> if Bitset.get st.failing pos then Bitset.clear st.alive pos)
-            posting
-      | Eliminate.Relabel_failing ->
-          Array.iter
-            (fun pos ->
-              if Bitset.get st.alive pos && Bitset.get st.failing pos then
-                Bitset.clear st.failing pos)
-            posting)
-    states
-
-let eliminate ?(discard = Eliminate.Discard_all_true) ?(confidence = 0.95)
-    ?(max_selections = 40) ?candidates (idx : Index.t) =
-  let states = fresh_states (all_segments idx) in
-  let initial_counts = counts_of_states idx.Index.meta states in
-  let candidates =
-    match candidates with
-    | Some c -> c
-    | None -> (
-        match discard with
-        | Eliminate.Discard_all_true -> Prune.retained ~confidence initial_counts
-        | Eliminate.Discard_failing_true | Eliminate.Relabel_failing ->
-            let acc = ref [] in
-            for pred = initial_counts.Counts.npreds - 1 downto 0 do
-              if initial_counts.Counts.f.(pred) > 0 then acc := pred :: !acc
-            done;
-            !acc)
-  in
-  let initial_scores = Hashtbl.create 64 in
-  List.iter
-    (fun pred ->
-      Hashtbl.replace initial_scores pred (Scores.score ~confidence initial_counts ~pred))
-    candidates;
-  let rec loop acc candidates rank =
-    let nfail = failing_count states in
-    if nfail = 0 || candidates = [] || rank > max_selections then (List.rev acc, candidates)
-    else begin
-      let cts = counts_of_states idx.Index.meta states in
-      let best =
-        List.fold_left
-          (fun best pred ->
-            if not (Prune.keep ~confidence cts ~pred) then best
-            else begin
-              let sc = Scores.score ~confidence cts ~pred in
-              match best with
-              | None -> Some sc
-              | Some b -> if Scores.compare_importance_desc sc b < 0 then Some sc else Some b
-            end)
-          None candidates
-      in
-      match best with
-      | None -> (List.rev acc, candidates)
-      | Some sc when sc.Scores.importance <= 0. -> (List.rev acc, candidates)
-      | Some sc ->
-          let pred = sc.Scores.pred in
-          let runs_before = alive_count states in
-          apply_discard discard states pred;
-          let selection =
-            {
-              Eliminate.rank;
-              pred;
-              initial = Hashtbl.find initial_scores pred;
-              effective = sc;
-              runs_before;
-              failures_before = nfail;
-              runs_discarded = runs_before - alive_count states;
-            }
-          in
-          let candidates = List.filter (fun p -> p <> pred) candidates in
-          loop (selection :: acc) candidates (rank + 1)
-    end
-  in
-  let selections, candidates_left = loop [] candidates 1 in
-  {
-    Eliminate.selections;
-    runs_remaining = alive_count states;
-    failures_remaining = failing_count states;
-    candidates_remaining = List.length candidates_left;
-  }
+(* --- full analysis --- *)
 
 type analysis = {
   counts : Counts.t;
@@ -235,10 +265,13 @@ type analysis = {
   elimination : Eliminate.result;
 }
 
-let analyze ?discard ?(confidence = 0.95) ?max_selections (idx : Index.t) =
-  let cts = counts idx in
+let analyze ?pool ?discard ?(confidence = 0.95) ?max_selections (idx : Index.t) =
+  let snap = Index.snapshot ?pool idx in
+  let cts = Snapshot.counts snap in
   let retained = Prune.retained ~confidence cts in
-  let elimination = eliminate ?discard ~confidence ?max_selections ~candidates:retained idx in
+  let elimination =
+    Snap.eliminate ?pool ?discard ~confidence ?max_selections ~candidates:retained snap
+  in
   { counts = cts; retained; elimination }
 
 let summary (idx : Index.t) (a : analysis) =

@@ -1,39 +1,55 @@
-(** Incremental triage queries over an open {!Index}.
+(** Snapshot-cached triage queries over an open {!Index}.
 
-    Aggregate counts come from merging per-segment partial aggregates
-    (plus the live tail) on demand — O(segments × npreds), never a corpus
-    rescan.  Run-subset computations (affinity, iterative elimination)
-    walk posting lists against per-segment alive/failing bitsets, which
-    is exactly the information {!Sbi_core.Counts.compute} extracts from
-    materialized reports; every query below is therefore {e equal} — same
-    integers, hence bit-identical scores — to its full-dataset
-    counterpart in {!Sbi_core.Analysis} (property-tested). *)
+    Every read runs against the index's epoch-stamped {!Snapshot}
+    (built once per ingest epoch, cached on the index): aggregate
+    counts come from the snapshot's merged aggregate, and run-subset
+    computations (affinity, iterative elimination) are word-level
+    {!Bitset} popcount kernels over per-view alive/failing masks —
+    never a posting walk, never a corpus rescan.  The per-predicate
+    rescoring inside elimination and affinity fans across [pool] when
+    one is given, with statically partitioned disjoint writes, so
+    results are bit-identical at any pool size.  Every query below is
+    {e equal} — same integers, hence bit-identical scores — to its
+    full-dataset counterpart in {!Sbi_core.Analysis} (property-tested).
 
-val counts : Index.t -> Sbi_core.Counts.t
+    The [?pool] argument is used both to build a stale snapshot in
+    parallel and to fan the query itself.  Callers that already hold a
+    consistent {!Snapshot.t} (e.g. the server's lock-free read path)
+    should use the {!Snap} variants directly. *)
+
+val counts : ?pool:Sbi_par.Domain_pool.t -> Index.t -> Sbi_core.Counts.t
 (** Merged §3.1 counts over all segments + live tail; equals
     [Counts.compute] on the materialized corpus. *)
 
-val topk : ?confidence:float -> ?k:int -> Index.t -> Sbi_core.Scores.t list
+val topk :
+  ?pool:Sbi_par.Domain_pool.t -> ?confidence:float -> ?k:int -> Index.t -> Sbi_core.Scores.t list
 (** The [k] (default 10) highest-Importance predicates among those
     surviving Increase-CI pruning, best first — the ranking
     [cbi analyze-file --stream] prints, without rescanning the log. *)
 
-val pred_detail : ?confidence:float -> Index.t -> pred:int -> Sbi_core.Scores.t
+val pred_detail :
+  ?pool:Sbi_par.Domain_pool.t -> ?confidence:float -> Index.t -> pred:int -> Sbi_core.Scores.t
 (** Full score card (F, S, Context, Increase + CI, Importance + CI).
     @raise Invalid_argument when [pred] is outside the tables. *)
 
 val cooccurrence : Index.t -> a:int -> b:int -> int
 (** Runs in which both predicates were observed true: posting-list
-    intersection, summed across segments. *)
+    intersection, summed across segments (no snapshot needed). *)
 
 val affinity :
-  ?confidence:float -> Index.t -> selected:int -> others:int list -> Sbi_core.Affinity.entry list
+  ?pool:Sbi_par.Domain_pool.t ->
+  ?confidence:float ->
+  Index.t ->
+  selected:int ->
+  others:int list ->
+  Sbi_core.Affinity.entry list
 (** Equals {!Sbi_core.Analysis.affinity_for} on the materialized corpus:
     Importance drop of each other predicate once the runs covered by
-    [selected] are removed (computed by intersecting posting lists with
-    the complement bitset, not by rebuilding a dataset). *)
+    [selected] are removed (one [diff_inplace] per view plus a fanned
+    popcount rescoring, not a dataset rebuild). *)
 
 val eliminate :
+  ?pool:Sbi_par.Domain_pool.t ->
   ?discard:Sbi_core.Eliminate.discard ->
   ?confidence:float ->
   ?max_selections:int ->
@@ -41,8 +57,8 @@ val eliminate :
   Index.t ->
   Sbi_core.Eliminate.result
 (** Index-backed mirror of {!Sbi_core.Eliminate.run}: same candidate
-    defaulting, same per-step ranking, same discard semantics (bitset
-    updates instead of dataset filtering), same selection records. *)
+    defaulting, same per-step ranking, same discard semantics (bitmap
+    kernels instead of dataset filtering), same selection records. *)
 
 type analysis = {
   counts : Sbi_core.Counts.t;
@@ -51,12 +67,39 @@ type analysis = {
 }
 
 val analyze :
+  ?pool:Sbi_par.Domain_pool.t ->
   ?discard:Sbi_core.Eliminate.discard ->
   ?confidence:float ->
   ?max_selections:int ->
   Index.t ->
   analysis
 (** Index-backed mirror of {!Sbi_core.Analysis.analyze}: identical
-    retained set, selection order, and scores. *)
+    retained set, selection order, and scores — with or without [pool]. *)
 
 val summary : Index.t -> analysis -> Sbi_core.Analysis.summary
+
+(** Same queries against a caller-held snapshot: the server's epoch
+    read path grabs the current snapshot under its write lock, releases
+    the lock, and answers from the snapshot without blocking ingest. *)
+module Snap : sig
+  val counts : Snapshot.t -> Sbi_core.Counts.t
+  val topk : ?confidence:float -> ?k:int -> Snapshot.t -> Sbi_core.Scores.t list
+  val pred_detail : ?confidence:float -> Snapshot.t -> pred:int -> Sbi_core.Scores.t
+
+  val affinity :
+    ?pool:Sbi_par.Domain_pool.t ->
+    ?confidence:float ->
+    Snapshot.t ->
+    selected:int ->
+    others:int list ->
+    Sbi_core.Affinity.entry list
+
+  val eliminate :
+    ?pool:Sbi_par.Domain_pool.t ->
+    ?discard:Sbi_core.Eliminate.discard ->
+    ?confidence:float ->
+    ?max_selections:int ->
+    ?candidates:int list ->
+    Snapshot.t ->
+    Sbi_core.Eliminate.result
+end

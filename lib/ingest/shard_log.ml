@@ -153,7 +153,7 @@ let shard_files ~dir =
   Sys.readdir dir |> Array.to_list
   |> List.filter_map (fun name ->
          Scanf.sscanf_opt name "shard-%d.sbil" (fun i -> (i, Filename.concat dir name)))
-  |> List.sort compare
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
 
 let fold ~dir ~init ~f =
   List.fold_left
@@ -201,6 +201,6 @@ let read_all ~dir =
   let runs = Array.of_list (List.rev rev) in
   (* canonical merge: shard order is arbitrary, run ids are not *)
   Array.sort
-    (fun (a : Report.t) (b : Report.t) -> compare a.Report.run_id b.Report.run_id)
+    (fun (a : Report.t) (b : Report.t) -> Int.compare a.Report.run_id b.Report.run_id)
     runs;
   ({ meta with Dataset.runs }, stats)

@@ -1,0 +1,177 @@
+type task = unit -> unit
+
+(* One shared FIFO guarded by a mutex: work is only ever *assigned*
+   statically (parallel_for hands each participant one contiguous block,
+   submit enqueues whole tasks), so there is nothing to steal and the
+   queue never sees contention beyond enqueue/dequeue handoff.  The
+   mutex acquire/release pairs on both sides of every handoff establish
+   the happens-before edges that publish task results across domains. *)
+type t = {
+  mutex : Mutex.t;
+  work : Condition.t;  (* signalled when a task or shutdown arrives *)
+  queue : task Queue.t;
+  mutable workers : Domain.id array;  (* ids of spawned worker domains *)
+  mutable handles : unit Domain.t array;
+  mutable shutting_down : bool;
+}
+
+let locked m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let rec worker_loop pool =
+  let job =
+    locked pool.mutex (fun () ->
+        let rec wait () =
+          if not (Queue.is_empty pool.queue) then Some (Queue.pop pool.queue)
+          else if pool.shutting_down then None
+          else begin
+            Condition.wait pool.work pool.mutex;
+            wait ()
+          end
+        in
+        wait ())
+  in
+  match job with
+  | None -> ()
+  | Some task ->
+      (* a task must never let an exception kill the worker; failures are
+         captured by the wrapper and re-raised at the caller's barrier *)
+      (try task () with _ -> ());
+      worker_loop pool
+
+let default_domains () = max 1 (Domain.recommended_domain_count ())
+
+let create ?domains () =
+  let n = match domains with Some d when d > 0 -> d | _ -> default_domains () in
+  let pool =
+    {
+      mutex = Mutex.create ();
+      work = Condition.create ();
+      queue = Queue.create ();
+      workers = [||];
+      handles = [||];
+      shutting_down = false;
+    }
+  in
+  (* the caller's domain participates as block 0; spawn n-1 helpers *)
+  let handles = Array.init (n - 1) (fun _ -> Domain.spawn (fun () -> worker_loop pool)) in
+  pool.handles <- handles;
+  pool.workers <- Array.map Domain.get_id handles;
+  pool
+
+let size t = Array.length t.handles + 1
+
+let shutdown t =
+  locked t.mutex (fun () ->
+      t.shutting_down <- true;
+      Condition.broadcast t.work);
+  Array.iter Domain.join t.handles;
+  t.handles <- [||];
+  t.workers <- [||]
+
+let submit t task =
+  locked t.mutex (fun () ->
+      if t.shutting_down then invalid_arg "Domain_pool: submitted to a shut-down pool";
+      Queue.push task t.queue;
+      Condition.signal t.work)
+
+let on_worker t =
+  let self = Domain.self () in
+  Array.exists (fun id -> id = self) t.workers
+
+(* --- futures (cross-query parallelism: the serving path) --- *)
+
+type 'a future = {
+  f_mutex : Mutex.t;
+  f_done : Condition.t;
+  mutable f_state : 'a state;
+}
+
+and 'a state = Pending | Done of 'a | Failed of exn
+
+let async t f =
+  let fut = { f_mutex = Mutex.create (); f_done = Condition.create (); f_state = Pending } in
+  let run () =
+    let state = match f () with v -> Done v | exception e -> Failed e in
+    locked fut.f_mutex (fun () ->
+        fut.f_state <- state;
+        Condition.broadcast fut.f_done)
+  in
+  (* nested use from a worker (or a 1-domain pool) executes inline: the
+     submitting worker would otherwise occupy its slot waiting for a peer
+     that may never be free — the classic fixed-pool deadlock *)
+  if Array.length t.handles = 0 || on_worker t then run () else submit t run;
+  fut
+
+let await fut =
+  locked fut.f_mutex (fun () ->
+      let rec wait () =
+        match fut.f_state with
+        | Pending ->
+            Condition.wait fut.f_done fut.f_mutex;
+            wait ()
+        | Done v -> v
+        | Failed e -> raise e
+      in
+      wait ())
+
+let run t f = await (async t f)
+
+(* --- static block fan-out (data parallelism: rescoring, segment load) --- *)
+
+(* Contiguous blocks, one per participant, exactly like
+   Par_collect.blocks: block boundaries depend only on (n, participants),
+   so the work assignment — and with disjoint writes, the result — is
+   deterministic for any pool size. *)
+let blocks ~n ~participants =
+  let participants = max 1 (min participants (max n 1)) in
+  let per = n / participants and rem = n mod participants in
+  List.init participants (fun d ->
+      let lo = (d * per) + min d rem in
+      (lo, lo + per + (if d < rem then 1 else 0)))
+
+let parallel_for t ~n f =
+  if n > 0 then begin
+    let inline = Array.length t.handles = 0 || on_worker t in
+    if inline then f 0 n
+    else begin
+      match blocks ~n ~participants:(size t) with
+      | [] -> ()
+      | (lo0, hi0) :: rest ->
+          let pending = ref (List.length rest) in
+          let failure = ref None in
+          let barrier = Condition.create () in
+          let barrier_mutex = Mutex.create () in
+          List.iter
+            (fun (lo, hi) ->
+              submit t (fun () ->
+                  let outcome = match f lo hi with () -> None | exception e -> Some e in
+                  locked barrier_mutex (fun () ->
+                      (match (outcome, !failure) with
+                      | Some e, None -> failure := Some e
+                      | _ -> ());
+                      decr pending;
+                      if !pending = 0 then Condition.broadcast barrier)))
+            rest;
+          (* the caller works its own block instead of idling at the barrier *)
+          f lo0 hi0;
+          locked barrier_mutex (fun () ->
+              while !pending > 0 do
+                Condition.wait barrier barrier_mutex
+              done);
+          match !failure with Some e -> raise e | None -> ()
+    end
+  end
+
+let map_array t f arr =
+  let n = Array.length arr in
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n None in
+    parallel_for t ~n (fun lo hi ->
+        for i = lo to hi - 1 do
+          out.(i) <- Some (f arr.(i))
+        done);
+    Array.map (function Some v -> v | None -> assert false) out
+  end

@@ -1,0 +1,55 @@
+(** A small, work-stealing-free pool of OCaml 5 domains.
+
+    The pool owns [domains - 1] worker domains; the calling domain is
+    always participant 0, so a 1-domain pool runs everything inline and
+    degenerates to sequential execution with zero spawns.  Work is
+    assigned {e statically}: {!parallel_for} splits [0, n) into one
+    contiguous block per participant (the same deterministic split as
+    [Par_collect.blocks]), so with disjoint writes the result is
+    bit-identical for every pool size — the property the analysis engine
+    is property-tested against.
+
+    Nested calls from inside a worker execute inline rather than
+    re-entering the queue, which makes composition (a pooled server query
+    that itself fans out rescoring) deadlock-free by construction. *)
+
+type t
+
+val create : ?domains:int -> unit -> t
+(** [create ~domains ()] spawns [domains - 1] workers
+    (default {!default_domains}).  [domains <= 1] spawns nothing. *)
+
+val default_domains : unit -> int
+(** [Domain.recommended_domain_count], at least 1. *)
+
+val size : t -> int
+(** Total participants: spawned workers + the calling domain. *)
+
+val shutdown : t -> unit
+(** Drain and join every worker.  Idempotent; after shutdown the pool
+    executes everything inline on the caller. *)
+
+(** {1 Futures — cross-task parallelism (the serving path)} *)
+
+type 'a future
+
+val async : t -> (unit -> 'a) -> 'a future
+(** Run [f] on a worker (inline when the pool has no workers, when
+    called from inside a worker, or after shutdown).  Exceptions are
+    captured and re-raised by {!await}. *)
+
+val await : 'a future -> 'a
+val run : t -> (unit -> 'a) -> 'a
+(** [run t f] = [await (async t f)]. *)
+
+(** {1 Static fan-out — data parallelism} *)
+
+val parallel_for : t -> n:int -> (int -> int -> unit) -> unit
+(** [parallel_for t ~n f] partitions [0, n) into [size t] contiguous
+    blocks and calls [f lo hi] once per block, the caller's own block
+    inline and the rest on workers; returns when every block is done.
+    [f] must write only to block-disjoint locations.  The first
+    exception raised by any block is re-raised at the barrier. *)
+
+val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
+(** Order-preserving parallel map built on {!parallel_for}. *)

@@ -74,7 +74,7 @@ let accum_pred acc pred =
 
 let sorted_array_of_list l =
   let arr = Array.of_list l in
-  Array.sort compare arr;
+  Array.sort Int.compare arr;
   arr
 
 let nondet_seed_of spec run_index = (spec.nondet_salt * 1_000_003) + run_index

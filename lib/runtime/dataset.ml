@@ -76,7 +76,7 @@ let bug_ids t =
   Array.iter
     (fun r -> Array.iter (fun b -> Hashtbl.replace seen b ()) r.Report.bugs)
     t.runs;
-  List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) seen [])
+  List.sort Int.compare (Hashtbl.fold (fun k () acc -> k :: acc) seen [])
 
 let runs_with_bug t bug =
   Array.fold_left

@@ -96,7 +96,9 @@ let snapshot t =
       {
         requests = t.requests;
         per_command =
-          List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.per_command []);
+          List.sort
+            (fun (a, _) (b, _) -> String.compare a b)
+            (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.per_command []);
         bytes_in = t.bytes_in;
         bytes_out = t.bytes_out;
         connections = t.connections;

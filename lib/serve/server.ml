@@ -8,13 +8,16 @@ type config = {
   timeout : float;
   fsync : bool;
   ingest_log : string option;
+  domains : int;
 }
 
-let default_config addr = { addr; timeout = 30.; fsync = true; ingest_log = None }
+let default_config addr =
+  { addr; timeout = 30.; fsync = true; ingest_log = None; domains = 1 }
 
 type t = {
   config : config;
   index : Index.t;
+  pool : Sbi_par.Domain_pool.t option;  (* fans snapshot builds and query rescoring *)
   lock : Mutex.t;  (* guards index state and the ingest writer *)
   metrics : Metrics.t;
   listen_fd : Unix.file_descr;
@@ -31,7 +34,16 @@ let locked m f =
   Mutex.lock m;
   Fun.protect ~finally:(fun () -> Mutex.unlock m) f
 
-(* --- request handlers (caller holds t.lock) --- *)
+(* --- request handlers ---
+
+   Read-only queries (topk/pred/affinity) run on an epoch snapshot: the
+   lock is held just long enough to fetch (or refresh) the index's
+   cached {!Snapshot}, then the query computes on the immutable snapshot
+   with the lock released — readers never block ingest, and heavy
+   rescoring (affinity) fans across the domain pool.  [stats] and
+   [ingest] still run under t.lock. *)
+
+let grab_snapshot t = locked t.lock (fun () -> Index.snapshot ?pool:t.pool t.index)
 
 let pred_text t pred = Dataset.pred_text t.index.Index.meta pred
 
@@ -39,9 +51,9 @@ let fmt_score (sc : Scores.t) text =
   Printf.sprintf "%d %.6f %.6f %d %d %s" sc.Scores.pred sc.Scores.importance
     sc.Scores.increase sc.Scores.f sc.Scores.s text
 
-let handle_topk t k =
+let handle_topk t snap k =
   let k = match k with Some k when k > 0 -> k | _ -> 10 in
-  let scores = Triage.topk ~k t.index in
+  let scores = Triage.Snap.topk ~k snap in
   let lines =
     List.mapi (fun i sc -> Printf.sprintf "%d %s" (i + 1) (fmt_score sc (pred_text t sc.Scores.pred))) scores
   in
@@ -53,11 +65,11 @@ let parse_pred t s =
   | Some p -> Error (Printf.sprintf "predicate %d out of range (have %d)" p t.index.Index.meta.Dataset.npreds)
   | None -> Error ("bad predicate id: " ^ s)
 
-let handle_pred t arg =
+let handle_pred t snap arg =
   match parse_pred t arg with
   | Error e -> Error e
   | Ok pred ->
-      let sc = Triage.pred_detail t.index ~pred in
+      let sc = Triage.Snap.pred_detail snap ~pred in
       let lines =
         [
           Printf.sprintf "text %s" (pred_text t pred);
@@ -78,13 +90,13 @@ let handle_pred t arg =
       in
       Ok (Printf.sprintf "pred %d" pred, lines)
 
-let handle_affinity t arg k =
+let handle_affinity t snap arg k =
   match parse_pred t arg with
   | Error e -> Error e
   | Ok pred ->
       let k = match k with Some k when k > 0 -> k | _ -> 10 in
-      let retained = Prune.retained (Triage.counts t.index) in
-      let entries = Triage.affinity t.index ~selected:pred ~others:retained in
+      let retained = Prune.retained (Triage.Snap.counts snap) in
+      let entries = Triage.Snap.affinity ?pool:t.pool snap ~selected:pred ~others:retained in
       let rec take n = function [] -> [] | _ when n = 0 -> [] | x :: r -> x :: take (n - 1) r in
       let lines =
         List.map
@@ -138,11 +150,11 @@ let dispatch t line =
   let words = List.filter (fun w -> w <> "") (String.split_on_char ' ' line) in
   match words with
   | [ "ping" ] -> Ok ("pong", [])
-  | [ "topk" ] -> locked t.lock (fun () -> handle_topk t None)
-  | [ "topk"; k ] -> locked t.lock (fun () -> handle_topk t (int_of_string_opt k))
-  | [ "pred"; id ] -> locked t.lock (fun () -> handle_pred t id)
-  | [ "affinity"; id ] -> locked t.lock (fun () -> handle_affinity t id None)
-  | [ "affinity"; id; k ] -> locked t.lock (fun () -> handle_affinity t id (int_of_string_opt k))
+  | [ "topk" ] -> handle_topk t (grab_snapshot t) None
+  | [ "topk"; k ] -> handle_topk t (grab_snapshot t) (int_of_string_opt k)
+  | [ "pred"; id ] -> handle_pred t (grab_snapshot t) id
+  | [ "affinity"; id ] -> handle_affinity t (grab_snapshot t) id None
+  | [ "affinity"; id; k ] -> handle_affinity t (grab_snapshot t) id (int_of_string_opt k)
   | [ "stats" ] -> locked t.lock (fun () -> handle_stats t)
   | [ "ingest"; payload ] -> locked t.lock (fun () -> handle_ingest t payload)
   | [] -> Error "empty command"
@@ -240,10 +252,15 @@ let start config index =
    with e ->
      Unix.close listen_fd;
      raise e);
+  let pool =
+    if config.domains > 1 then Some (Sbi_par.Domain_pool.create ~domains:config.domains ())
+    else None
+  in
   let t =
     {
       config;
       index;
+      pool;
       lock = Mutex.create ();
       metrics = Metrics.create ();
       listen_fd;
@@ -276,6 +293,7 @@ let stop t =
     List.iter (fun (th, _) -> Thread.join th) snapshot;
     locked t.lock (fun () ->
         match t.writer with Some w -> ignore (Shard_log.close_writer w) | None -> ());
+    (match t.pool with Some pool -> Sbi_par.Domain_pool.shutdown pool | None -> ());
     match t.config.addr with
     | Wire.Unix_sock path when Sys.file_exists path -> ( try Sys.remove path with Sys_error _ -> ())
     | _ -> ()

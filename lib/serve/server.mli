@@ -2,9 +2,16 @@
 
     Serves the {!Wire} protocol over a Unix or TCP socket: one accept
     thread, one worker thread per connection (blocking reads with a
-    receive timeout), a global lock around index state (requests are
-    short — microseconds against merged aggregates), and {!Metrics} for
-    observability.
+    receive timeout), a global lock around index state, and {!Metrics}
+    for observability.
+
+    Read-only queries ([topk], [pred], [affinity]) follow an
+    epoch-snapshot read path: the lock is held only to fetch (or, after
+    an ingest bumped the epoch, rebuild) the index's cached bitmap
+    {!Sbi_index.Snapshot}; the query then computes on the immutable
+    snapshot with the lock released.  Readers never block ingest, and
+    with [domains > 1] snapshot rebuilds and per-predicate rescoring
+    fan across a {!Sbi_par.Domain_pool}.
 
     Queries ([topk], [pred], [affinity], [stats], [ping]) read the open
     {!Index}; [ingest] decodes a base64 {!Sbi_ingest.Codec} payload,
@@ -26,10 +33,13 @@ type config = {
   ingest_log : string option;
       (** shard-log directory for durable ingest; [None] disables the
           [ingest] command *)
+  domains : int;
+      (** analysis domains; [> 1] spawns a {!Sbi_par.Domain_pool} that
+          parallelizes snapshot rebuilds and affinity rescoring *)
 }
 
 val default_config : Wire.addr -> config
-(** 30s timeout, fsync on, no ingest log. *)
+(** 30s timeout, fsync on, no ingest log, 1 domain. *)
 
 val start : config -> Sbi_index.Index.t -> t
 (** Bind, listen, and spawn the accept loop.  When [ingest_log] is set,

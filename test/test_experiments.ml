@@ -10,7 +10,54 @@ let contains hay needle =
   nl = 0 || go 0
 
 let tiny_config =
-  { Harness.seed = 42; nruns = Some 400; sampling = Harness.Adaptive 100; confidence = 0.95 }
+  {
+    Harness.default_config with
+    Harness.seed = 42;
+    nruns = Some 400;
+    sampling = Harness.Adaptive 100;
+    confidence = 0.95;
+  }
+
+(* The harness defaults to the Bytecode engine; the whole experiment
+   pipeline (instrumentation, trained sampling plan, oracle) must produce
+   the identical dataset under the reference tree-walk interpreter. *)
+let test_harness_engine_equivalence () =
+  let config engine =
+    {
+      Harness.default_config with
+      Harness.seed = 11;
+      nruns = Some 120;
+      sampling = Harness.Adaptive 40;
+      engine;
+    }
+  in
+  Alcotest.(check bool) "default engine is bytecode" true
+    (Harness.default_config.Harness.engine = Sbi_runtime.Collect.Bytecode
+    && Harness.quick_config.Harness.engine = Sbi_runtime.Collect.Bytecode);
+  let a =
+    Harness.collect_study ~config:(config Sbi_runtime.Collect.Bytecode) Sbi_corpus.Corpus.ccryptim
+  in
+  let b =
+    Harness.collect_study ~config:(config Sbi_runtime.Collect.Tree_walk) Sbi_corpus.Corpus.ccryptim
+  in
+  let da = a.Harness.dataset and db = b.Harness.dataset in
+  Alcotest.(check int) "same run count" (Sbi_runtime.Dataset.nruns da)
+    (Sbi_runtime.Dataset.nruns db);
+  Array.iteri
+    (fun i (r : Sbi_runtime.Report.t) ->
+      let r' = db.Sbi_runtime.Dataset.runs.(i) in
+      Alcotest.(check bool) "same outcome"
+        (Sbi_runtime.Report.outcome_is_failure r.Sbi_runtime.Report.outcome)
+        (Sbi_runtime.Report.outcome_is_failure r'.Sbi_runtime.Report.outcome);
+      Alcotest.(check (array int)) "same true preds" r.Sbi_runtime.Report.true_preds
+        r'.Sbi_runtime.Report.true_preds;
+      Alcotest.(check (array int)) "same true counts" r.Sbi_runtime.Report.true_counts
+        r'.Sbi_runtime.Report.true_counts;
+      Alcotest.(check (array int)) "same observed sites" r.Sbi_runtime.Report.observed_sites
+        r'.Sbi_runtime.Report.observed_sites;
+      Alcotest.(check (option string)) "same crash signature" r.Sbi_runtime.Report.crash_sig
+        r'.Sbi_runtime.Report.crash_sig)
+    da.Sbi_runtime.Dataset.runs
 
 (* Collected once, shared by the tests below. *)
 let moss_bundle = lazy (Harness.collect_study ~config:tiny_config Sbi_corpus.Corpus.mossim)
@@ -228,6 +275,7 @@ let test_html_report () =
 let suite =
   [
     Alcotest.test_case "bundle shape and adaptive plan" `Slow test_bundle_shape;
+    Alcotest.test_case "harness engine equivalence" `Slow test_harness_engine_equivalence;
     Alcotest.test_case "static follow-up (§1)" `Slow test_static_followup;
     Alcotest.test_case "html report" `Slow test_html_report;
     Alcotest.test_case "pruning reduction" `Slow test_pruning_reduction;

@@ -418,6 +418,86 @@ let qcheck_discard_proposals =
               Sbi_core.Eliminate.Relabel_failing;
             ]))
 
+(* The snapshot cache must be transparent: queries interleaved with
+   ingest (which bumps the epoch and invalidates the cache) always match
+   a fresh analysis of the materialized corpus, and repeated queries at
+   one epoch reuse the same snapshot. *)
+let qcheck_snapshot_cache =
+  QCheck2.Test.make ~name:"snapshot-cached triage = Analysis under interleaved ingest" ~count:12
+    QCheck2.Gen.(int_range 0 10_000)
+    (fun seed ->
+      with_temp_dir (fun tmp ->
+          let log = Filename.concat tmp "log" in
+          let idx_dir = Filename.concat tmp "idx" in
+          let st = Random.State.make [| seed; 0x54a |] in
+          let base = random_reports st ~start_id:0 (25 + Random.State.int st 25) in
+          write_log ~dir:log base;
+          ignore (Index.build ~log ~dir:idx_dir);
+          let idx = Index.open_ ~dir:idx_dir in
+          let all = ref (Array.to_list base) in
+          let rounds = 3 + Random.State.int st 3 in
+          for round = 1 to rounds do
+            (* query (twice: second hit must come from the cached snapshot) *)
+            let ds = dataset_of (Array.of_list !all) in
+            check_equivalent ~msg:(Printf.sprintf "round %d fresh" round) idx ds;
+            let epoch_before = Index.epoch idx in
+            let s1 = Index.snapshot idx and s2 = Index.snapshot idx in
+            if s1 != s2 then Alcotest.fail "snapshot not cached within an epoch";
+            check_equivalent ~msg:(Printf.sprintf "round %d cached" round) idx ds;
+            if Index.epoch idx <> epoch_before then
+              Alcotest.fail "reads must not bump the epoch";
+            (* ingest a few live reports: epoch bumps, cache invalidates *)
+            let live = random_reports st ~start_id:(List.length !all) (1 + Random.State.int st 6) in
+            Array.iter (Index.append idx) live;
+            all := !all @ Array.to_list live;
+            if Index.epoch idx = epoch_before then
+              Alcotest.fail "append must bump the epoch";
+            if Index.snapshot idx == s1 then Alcotest.fail "stale snapshot served after append"
+          done;
+          true))
+
+(* Parallel rescoring partitions the predicate space into static blocks
+   with disjoint writes, so any pool size must reproduce the sequential
+   integers exactly — same selections, same scores, under all three §5
+   discard proposals. *)
+let qcheck_parallel_elimination =
+  QCheck2.Test.make ~name:"parallel elimination bit-identical to Analysis (all discards)"
+    ~count:8
+    QCheck2.Gen.(pair (int_range 0 10_000) (int_range 2 5))
+    (fun (seed, domains) ->
+      with_temp_dir (fun tmp ->
+          let log = Filename.concat tmp "log" in
+          let idx_dir = Filename.concat tmp "idx" in
+          let st = Random.State.make [| seed; 0x9a7 |] in
+          let reports = random_reports st ~start_id:0 (30 + Random.State.int st 30) in
+          write_log ~dir:log reports;
+          ignore (Index.build ~log ~dir:idx_dir);
+          let pool = Sbi_par.Domain_pool.create ~domains () in
+          Fun.protect
+            ~finally:(fun () -> Sbi_par.Domain_pool.shutdown pool)
+            (fun () ->
+              let idx = Index.open_par ~pool ~dir:idx_dir in
+              (* tail runs exercise the tail view on the parallel path too *)
+              let live = random_reports st ~start_id:(Array.length reports) 6 in
+              Array.iter (Index.append idx) live;
+              let ds = dataset_of (Array.append reports live) in
+              check_equivalent ~msg:"parallel open + snapshot" idx ds;
+              List.for_all
+                (fun discard ->
+                  let seq = Triage.eliminate ~discard idx in
+                  let par = Triage.eliminate ~pool ~discard idx in
+                  let reference = Sbi_core.Eliminate.run ~discard ds in
+                  elimination_equal par reference && elimination_equal seq reference
+                  &&
+                  let a = Triage.affinity idx ~selected:3 ~others:[ 0; 1; 2; 4 ] in
+                  let b = Triage.affinity ~pool idx ~selected:3 ~others:[ 0; 1; 2; 4 ] in
+                  a = b)
+                [
+                  Sbi_core.Eliminate.Discard_all_true;
+                  Sbi_core.Eliminate.Discard_failing_true;
+                  Sbi_core.Eliminate.Relabel_failing;
+                ])))
+
 let qcheck_cooccurrence =
   QCheck2.Test.make ~name:"posting-list co-occurrence = report rescan" ~count:20
     QCheck2.Gen.(triple (int_range 0 10_000) (int_range 0 (npreds - 1)) (int_range 0 (npreds - 1)))
@@ -452,5 +532,7 @@ let suite =
     Alcotest.test_case "live tail append" `Quick test_tail_append;
     QCheck_alcotest.to_alcotest qcheck_index_matches_analysis;
     QCheck_alcotest.to_alcotest qcheck_discard_proposals;
+    QCheck_alcotest.to_alcotest qcheck_snapshot_cache;
+    QCheck_alcotest.to_alcotest qcheck_parallel_elimination;
     QCheck_alcotest.to_alcotest qcheck_cooccurrence;
   ]

@@ -1,0 +1,147 @@
+(* Tests for the domain pool and the word-level Bitset kernels it fans:
+   pool lifecycle and determinism, kernels against bit-at-a-time
+   references, and the load-bearing property — parallel snapshot builds
+   and parallel elimination rescoring are bit-identical to sequential
+   at any pool size. *)
+open Sbi_index
+open Sbi_par
+
+(* --- domain pool --- *)
+
+let test_pool_basics () =
+  let pool = Domain_pool.create ~domains:3 () in
+  Fun.protect
+    ~finally:(fun () -> Domain_pool.shutdown pool)
+    (fun () ->
+      Alcotest.(check int) "pool size" 3 (Domain_pool.size pool);
+      let f = Domain_pool.async pool (fun () -> 6 * 7) in
+      Alcotest.(check int) "async/await" 42 (Domain_pool.await f);
+      let results = Domain_pool.map_array pool (fun x -> x * x) (Array.init 100 Fun.id) in
+      Alcotest.(check (array int)) "map_array" (Array.init 100 (fun i -> i * i)) results;
+      (* nested submission from inside a task must not deadlock *)
+      let nested =
+        Domain_pool.async pool (fun () ->
+            Domain_pool.await (Domain_pool.async pool (fun () -> 7)))
+      in
+      Alcotest.(check int) "nested async" 7 (Domain_pool.await nested))
+
+let test_pool_parallel_for () =
+  let pool = Domain_pool.create ~domains:4 () in
+  Fun.protect
+    ~finally:(fun () -> Domain_pool.shutdown pool)
+    (fun () ->
+      let n = 10_001 in
+      let out = Array.make n 0 in
+      Domain_pool.parallel_for pool ~n (fun lo hi ->
+          for i = lo to hi - 1 do
+            out.(i) <- (2 * i) + 1
+          done);
+      Alcotest.(check (array int)) "disjoint blocks cover the range"
+        (Array.init n (fun i -> (2 * i) + 1))
+        out;
+      (* empty and single-element ranges *)
+      Domain_pool.parallel_for pool ~n:0 (fun _ _ -> Alcotest.fail "no work expected");
+      let hit = ref false in
+      Domain_pool.parallel_for pool ~n:1 (fun lo hi ->
+          if lo = 0 && hi = 1 then hit := true);
+      Alcotest.(check bool) "single element" true !hit)
+
+let test_pool_exceptions () =
+  let pool = Domain_pool.create ~domains:2 () in
+  Fun.protect
+    ~finally:(fun () -> Domain_pool.shutdown pool)
+    (fun () ->
+      (match Domain_pool.await (Domain_pool.async pool (fun () -> failwith "boom")) with
+      | exception Failure m -> Alcotest.(check string) "async exn surfaces" "boom" m
+      | _ -> Alcotest.fail "expected Failure");
+      (match Domain_pool.parallel_for pool ~n:100 (fun lo _ -> if lo = 0 then failwith "pf") with
+      | exception Failure m -> Alcotest.(check string) "parallel_for exn surfaces" "pf" m
+      | () -> Alcotest.fail "expected Failure");
+      (* the pool is still usable after a failed batch *)
+      Alcotest.(check int) "pool survives" 5
+        (Domain_pool.await (Domain_pool.async pool (fun () -> 5))))
+
+let test_pool_shutdown_idempotent () =
+  let pool = Domain_pool.create ~domains:2 () in
+  Domain_pool.shutdown pool;
+  Domain_pool.shutdown pool;
+  (* after shutdown, async degrades to inline execution *)
+  Alcotest.(check int) "inline after shutdown" 9
+    (Domain_pool.await (Domain_pool.async pool (fun () -> 9)))
+
+(* --- bitset kernels vs bit-at-a-time references --- *)
+
+let random_bitset st len =
+  let b = Bitset.create len in
+  for i = 0 to len - 1 do
+    if Random.State.bool st then Bitset.set b i
+  done;
+  b
+
+let naive_inter_count a b len =
+  let n = ref 0 in
+  for i = 0 to len - 1 do
+    if Bitset.get a i && Bitset.get b i then incr n
+  done;
+  !n
+
+let naive_inter_count3 a b c len =
+  let n = ref 0 in
+  for i = 0 to len - 1 do
+    if Bitset.get a i && Bitset.get b i && Bitset.get c i then incr n
+  done;
+  !n
+
+let gen_len = QCheck2.Gen.(pair (int_range 0 10_000) (int_range 0 300))
+
+let qcheck_kernels =
+  QCheck2.Test.make ~name:"bitset kernels = bit-at-a-time reference" ~count:100 gen_len
+    (fun (seed, len) ->
+      let st = Random.State.make [| seed; 0xb17 |] in
+      let a = random_bitset st len
+      and b = random_bitset st len
+      and c = random_bitset st len in
+      let ok_counts =
+        Bitset.count a = naive_inter_count a a len
+        && Bitset.inter_count a b = naive_inter_count a b len
+        && Bitset.inter_count3 a b c = naive_inter_count3 a b c len
+      in
+      (* diff_inplace: a := a \ b *)
+      let d = Bitset.copy a in
+      Bitset.diff_inplace d b;
+      let ok_diff =
+        Array.init len (fun i -> Bitset.get d i)
+        = Array.init len (fun i -> Bitset.get a i && not (Bitset.get b i))
+      in
+      (* diff_inter_inplace: a := a \ (b ∧ c) *)
+      let e = Bitset.copy a in
+      Bitset.diff_inter_inplace e b c;
+      let ok_diff3 =
+        Array.init len (fun i -> Bitset.get e i)
+        = Array.init len (fun i -> Bitset.get a i && not (Bitset.get b i && Bitset.get c i))
+      in
+      (* full: every bit below len set, none above (popcount proves the tail) *)
+      let f = Bitset.full len in
+      let ok_full = Bitset.count f = len && Bitset.inter_count f a = Bitset.count a in
+      ok_counts && ok_diff && ok_diff3 && ok_full)
+
+let qcheck_of_positions =
+  QCheck2.Test.make ~name:"of_positions = set loop" ~count:100
+    QCheck2.Gen.(pair (int_range 1 500) (list_size (int_range 0 50) (int_range 0 499)))
+    (fun (len, positions) ->
+      let positions = List.filter (fun p -> p < len) positions in
+      let a = Bitset.of_positions len (Array.of_list positions) in
+      let b = Bitset.create len in
+      List.iter (Bitset.set b) positions;
+      Array.init len (fun i -> Bitset.get a i) = Array.init len (fun i -> Bitset.get b i)
+      && Bitset.count a = List.length (List.sort_uniq Int.compare positions))
+
+let suite =
+  [
+    Alcotest.test_case "pool basics" `Quick test_pool_basics;
+    Alcotest.test_case "parallel_for" `Quick test_pool_parallel_for;
+    Alcotest.test_case "task exceptions surface" `Quick test_pool_exceptions;
+    Alcotest.test_case "shutdown idempotent" `Quick test_pool_shutdown_idempotent;
+    QCheck_alcotest.to_alcotest qcheck_kernels;
+    QCheck_alcotest.to_alcotest qcheck_of_positions;
+  ]

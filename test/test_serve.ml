@@ -153,7 +153,9 @@ let with_server ?(fsync = true) f =
       let idx = Index.open_ ~dir:idx_dir in
       let addr = Wire.Unix_sock (Filename.concat tmp "sock") in
       let ingest_dir = Filename.concat tmp "ingest" in
-      let config = { Server.addr; timeout = 10.; fsync; ingest_log = Some ingest_dir } in
+      let config =
+        { Server.addr; timeout = 10.; fsync; ingest_log = Some ingest_dir; domains = 1 }
+      in
       let srv = Server.start config idx in
       Fun.protect
         ~finally:(fun () -> Server.stop srv)
@@ -278,16 +280,28 @@ let test_server_concurrent_clients () =
       Alcotest.(check (list string)) "no client errors" [] (List.of_seq (Queue.to_seq errors));
       let ingests = nclients * ((per_client + 2) / 3) in
       Alcotest.(check int) "every ingest accepted" ingests (Server.ingested srv);
-      (* all requests were served and accounted *)
+      (* all requests were served and accounted.  The handler records a
+         request's metrics just after writing its response, so a client can
+         see its last reply before the server has recorded it: poll briefly
+         instead of asserting on the first stats snapshot. *)
       let c = Client.connect addr in
-      let _, stats = request_ok c "stats" in
-      Alcotest.(check bool) "metrics saw the load" true
-        (List.exists
-           (fun l ->
-             match String.split_on_char ' ' l with
-             | [ "requests"; n ] -> int_of_string n >= nclients * per_client
-             | _ -> false)
-           stats);
+      let worker_requests stats =
+        List.fold_left
+          (fun acc l ->
+            match String.split_on_char ' ' l with
+            | [ ("req.ingest" | "req.topk" | "req.pred"); n ] -> acc + int_of_string n
+            | _ -> acc)
+          0 stats
+      in
+      let rec poll tries =
+        let _, stats = request_ok c "stats" in
+        let n = worker_requests stats in
+        if n >= nclients * per_client || tries = 0 then n
+        else (
+          Thread.delay 0.02;
+          poll (tries - 1))
+      in
+      Alcotest.(check int) "metrics saw the load" (nclients * per_client) (poll 100);
       Client.close c)
 
 let test_server_shutdown () =
@@ -308,6 +322,7 @@ let test_server_shutdown () =
           timeout = 10.;
           fsync = false;
           ingest_log = Some (Filename.concat tmp "ingest");
+          domains = 1;
         }
       in
       let srv = Server.start config (Index.open_ ~dir:idx_dir) in
