@@ -1,6 +1,6 @@
 # Tier-1 verification and day-to-day developer targets.
 
-.PHONY: all build check test bench bench-check serve-demo fmt clean
+.PHONY: all build check test bench bench-check fault-check serve-demo fmt clean
 
 all: build
 
@@ -15,6 +15,14 @@ check:
 	dune exec bin/cbi.exe -- ingest mossim -o $(DEMO_DIR)/log --quick --domains 2
 	dune exec bin/cbi.exe -- index $(DEMO_DIR)/log -o $(DEMO_DIR)/idx
 	dune exec bin/cbi.exe -- fsck $(DEMO_DIR)/idx
+	$(MAKE) fault-check
+
+# Crash-recovery gate: kill-and-reopen the log -> index pipeline at every
+# seeded fault point (torn writes, failed fsyncs, disk-full, bit flips,
+# short reads) and verify no acked report is lost and no partial record
+# is surfaced (see docs/robustness.md).
+fault-check:
+	dune exec bin/cbi.exe -- fault-check
 
 build:
 	dune build @all

@@ -179,7 +179,7 @@ let index_tests () =
   ignore (Sbi_ingest.Shard_log.write_dataset ~dir:log_dir ~shards:4 ds);
   let idx_dir = Filename.temp_dir "sbi_bench" ".idx" in
   Array.iter (fun n -> Sys.remove (Filename.concat idx_dir n)) (Sys.readdir idx_dir);
-  ignore (Sbi_index.Index.build ~log:log_dir ~dir:idx_dir);
+  ignore (Sbi_index.Index.build ~log:log_dir ~dir:idx_dir ());
   let idx = Sbi_index.Index.open_ ~dir:idx_dir in
   let counts = Sbi_core.Counts.compute ds in
   let retained = Sbi_core.Prune.retained counts in
@@ -298,6 +298,11 @@ let time f =
   let r = f () in
   (r, Unix.gettimeofday () -. t0)
 
+let connect_exn addr =
+  match Sbi_serve.Client.connect addr with
+  | Ok c -> c
+  | Error e -> failwith ("bench connect failed: " ^ e)
+
 let build_synth_ctx ~nruns =
   let nsites = 120 and npreds = 360 in
   let pred_site = Array.init npreds (fun p -> p / 3) in
@@ -314,7 +319,7 @@ let build_synth_ctx ~nruns =
   Array.iter (fun w -> ignore (Sbi_ingest.Shard_log.close_writer w)) writers;
   let idx_dir = Filename.temp_dir "sbi_bench" ".bigidx" in
   Array.iter (fun n -> Sys.remove (Filename.concat idx_dir n)) (Sys.readdir idx_dir);
-  let build_stats, build_dt = time (fun () -> Sbi_index.Index.build ~log:log_dir ~dir:idx_dir) in
+  let build_stats, build_dt = time (fun () -> Sbi_index.Index.build ~log:log_dir ~dir:idx_dir ()) in
   {
     sy_nruns = nruns;
     sy_shards = shards;
@@ -389,7 +394,7 @@ let print_index_scaling ctx =
       Sbi_serve.Server.fsync = false }
   in
   let srv = Sbi_serve.Server.start config idx in
-  let client = Sbi_serve.Client.connect (Sbi_serve.Wire.Unix_sock sock) in
+  let client = connect_exn (Sbi_serve.Wire.Unix_sock sock) in
   let nq = 200 in
   let lat = Array.make nq 0.0 in
   for i = 0 to nq - 1 do
@@ -489,7 +494,7 @@ let par_server_scaling ctx =
       let srv = Sbi_serve.Server.start config idx in
       let nclients = 4 and per_client = 50 in
       let worker () =
-        let client = Sbi_serve.Client.connect (Sbi_serve.Wire.Unix_sock sock) in
+        let client = connect_exn (Sbi_serve.Wire.Unix_sock sock) in
         for i = 0 to per_client - 1 do
           let req = if i mod 10 = 9 then "affinity 17 5" else "topk 10" in
           match Sbi_serve.Client.request client req with
@@ -563,6 +568,87 @@ let par_check () =
   end
   else begin
     prerr_endline "par-check FAILED: parallel analysis diverged from sequential";
+    exit 1
+  end
+
+(* --- fault:* section: fault-layer passthrough overhead ---
+
+   Every durability path funnels its file I/O through Sbi_fault.Io;
+   disabled (the default everywhere) the layer must be free.  A/B the
+   hot read path (streaming log fold) and the full index build with (a)
+   the default passthrough and (b) a quiet, never-firing injector
+   attached — the layer's worst case — and gate the delta in
+   --fault-check mode (par-check style, wired to `make fault-check`). *)
+
+let best_of n f =
+  let best = ref infinity in
+  for _ = 1 to n do
+    let (), dt = time f in
+    if dt < !best then best := dt
+  done;
+  !best
+
+let fault_overhead ctx =
+  let quiet = Sbi_fault.Io.faulty (Sbi_fault.Fault.create Sbi_fault.Fault.quiet) in
+  let fold ?io () =
+    ignore
+      (Sbi_ingest.Shard_log.fold ?io ~dir:ctx.sy_log_dir ~init:0
+         ~f:(fun acc _ -> acc + 1)
+         ())
+  in
+  let build ?io () =
+    let dir = Filename.temp_dir "sbi_bench" ".faultidx" in
+    Array.iter (fun n -> Sys.remove (Filename.concat dir n)) (Sys.readdir dir);
+    ignore (Sbi_index.Index.build ?io ~log:ctx.sy_log_dir ~dir ());
+    Array.iter (fun n -> Sys.remove (Filename.concat dir n)) (Sys.readdir dir);
+    Unix.rmdir dir
+  in
+  let reps = 5 in
+  let fold_plain = best_of reps (fun () -> fold ()) in
+  let fold_quiet = best_of reps (fun () -> fold ~io:quiet ()) in
+  let build_plain = best_of reps (fun () -> build ()) in
+  let build_quiet = best_of reps (fun () -> build ~io:quiet ()) in
+  let pct a b = 100. *. (b -. a) /. Float.max a 1e-9 in
+  Printf.printf "fault-layer passthrough overhead (%d runs, best of %d):\n" ctx.sy_nruns reps;
+  Printf.printf "  log fold     passthrough %8.1f ms | quiet injector %8.1f ms (%+.2f%%)\n"
+    (fold_plain *. 1e3) (fold_quiet *. 1e3) (pct fold_plain fold_quiet);
+  Printf.printf "  index build  passthrough %8.1f ms | quiet injector %8.1f ms (%+.2f%%)\n"
+    (build_plain *. 1e3) (build_quiet *. 1e3)
+    (pct build_plain build_quiet);
+  ( [
+      ("fault:fold:passthrough", fold_plain *. 1e9);
+      ("fault:fold:quiet", fold_quiet *. 1e9);
+      ("fault:build:passthrough", build_plain *. 1e9);
+      ("fault:build:quiet", build_quiet *. 1e9);
+    ],
+    [ ("log fold", fold_plain, fold_quiet); ("index build", build_plain, build_quiet) ] )
+
+(* `bench/main.exe --fault-check`: exit non-zero if attaching even a
+   quiet injector costs more than the gate (2% plus a small noise floor)
+   over the shipped passthrough path. *)
+let fault_check () =
+  let nruns = min synth_nruns 3_000 in
+  Printf.printf "fault-check: %d-run synthetic corpus, passthrough vs quiet injector\n%!" nruns;
+  let ctx = build_synth_ctx ~nruns in
+  let _, pairs = fault_overhead ctx in
+  let max_pct = 2.0 and slack_s = 2e-3 in
+  let ok =
+    List.for_all
+      (fun (name, plain, quiet) ->
+        let fine = quiet -. plain <= (plain *. max_pct /. 100.) +. slack_s in
+        if not fine then
+          Printf.printf "  OVERHEAD: %s %.1f ms -> %.1f ms exceeds %.0f%%\n%!" name
+            (plain *. 1e3) (quiet *. 1e3) max_pct;
+        fine)
+      pairs
+  in
+  if ok then begin
+    Printf.printf "fault-check OK: fault layer within %.0f%% (+noise floor) when disabled\n"
+      max_pct;
+    exit 0
+  end
+  else begin
+    prerr_endline "fault-check FAILED: fault-injection layer adds measurable overhead";
     exit 1
   end
 
@@ -662,6 +748,7 @@ let print_tables () =
 
 let () =
   if Array.exists (fun a -> a = "--par-check") Sys.argv then par_check ();
+  if Array.exists (fun a -> a = "--fault-check") Sys.argv then fault_check ();
   Printf.printf "sbi benchmark harness: %d runs/study, adaptive training on %d runs\n%!"
     bench_runs bench_train;
   ignore (Lazy.force bundles);
@@ -681,9 +768,11 @@ let () =
   let par_entries, par_ok = par_elimination_scaling ctx in
   Printf.eprintf "[bench] timing server throughput at 1/2/4/8 domains...\n%!";
   let serve_entries = par_server_scaling ctx in
+  Printf.eprintf "[bench] timing fault-layer passthrough overhead...\n%!";
+  let fault_entries, _ = fault_overhead ctx in
   write_bench_json
     ~path:(Option.value ~default:"BENCH_core.json" (Sys.getenv_opt "SBI_BENCH_JSON"))
-    ~extra:(par_entries @ serve_entries) results;
+    ~extra:(par_entries @ serve_entries @ fault_entries) results;
   print_tables ();
   if not par_ok then begin
     prerr_endline "bench: parallel analysis diverged from sequential";

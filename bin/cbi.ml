@@ -641,7 +641,7 @@ let index_cmd =
       exit 2
     end;
     let st =
-      match Sbi_index.Index.build ~log ~dir:out with
+      match Sbi_index.Index.build ~log ~dir:out () with
       | st -> st
       | exception Sbi_index.Index.Format_error m ->
           prerr_endline ("cbi: " ^ m);
@@ -671,10 +671,24 @@ let fsck_cmd =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"INDEX"
            ~doc:"Index directory built by 'cbi index'.")
   in
-  let run dir =
+  let repair_t =
+    Arg.(value & flag & info [ "repair" ]
+           ~doc:"Repair before validating: drop damaged segments (and their shard's \
+                 later segments), roll consumed offsets back so the next 'cbi index' \
+                 re-indexes the dropped range, and remove orphaned and stray temp \
+                 files.")
+  in
+  let run dir repair =
     if not (Sys.file_exists dir && Sys.is_directory dir) then begin
       prerr_endline ("cbi: no such index directory: " ^ dir);
       exit 2
+    end;
+    if repair then begin
+      match Sbi_index.Index.repair ~dir with
+      | rep -> print_string (Sbi_index.Index.pp_repair rep)
+      | exception Sbi_index.Index.Format_error m ->
+          prerr_endline ("cbi: " ^ m);
+          exit 2
     end;
     match Sbi_index.Index.fsck ~dir with
     | exception Sbi_index.Index.Format_error m ->
@@ -687,9 +701,52 @@ let fsck_cmd =
   let info =
     Cmd.info "fsck"
       ~doc:"Validate every segment of an index (CRCs, structure, manifest agreement). \
-            Exit 1 when corrupt segments are found, 2 when the index is unusable."
+            With --repair, first restore the index to a consistent state.  Exit 1 \
+            when corrupt segments are found, 2 when the index is unusable."
   in
-  Cmd.v info Term.(const run $ dir_t)
+  Cmd.v info Term.(const run $ dir_t $ repair_t)
+
+let fault_check_cmd =
+  let scratch_t =
+    Arg.(value & opt (some string) None & info [ "scratch" ] ~docv:"DIR"
+           ~doc:"Scratch directory for the fault cases (default: a fresh directory \
+                 under the system temp dir, removed when all cases pass).")
+  in
+  let verbose_t =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print one line per case.")
+  in
+  let rec rm_rf path =
+    if Sys.is_directory path then begin
+      Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+  in
+  let run scratch verbose =
+    let scratch, default_scratch =
+      match scratch with
+      | Some d -> (d, false)
+      | None ->
+          ( Filename.concat (Filename.get_temp_dir_name ())
+              (Printf.sprintf "cbi-fault-%d" (Unix.getpid ())),
+            true )
+    in
+    let s = Sbi_index.Crashsim.run_matrix ~verbose ~scratch () in
+    print_string (Sbi_index.Crashsim.pp_summary s);
+    if s.Sbi_index.Crashsim.failed > 0 then begin
+      Printf.printf "fault cases preserved under %s\n" scratch;
+      exit 1
+    end
+    else if default_scratch then try rm_rf scratch with Sys_error _ -> ()
+  in
+  let info =
+    Cmd.info "fault-check"
+      ~doc:"Run the crash-recovery fault matrix: kill-and-reopen the shard log and \
+            index builder at every injected fault point and verify no acknowledged \
+            report is lost and no partial record is surfaced.  Exit 1 on any \
+            violated invariant."
+  in
+  Cmd.v info Term.(const run $ scratch_t $ verbose_t)
 
 let serve_cmd =
   let idx_t =
@@ -703,6 +760,15 @@ let serve_cmd =
   let timeout_t =
     Arg.(value & opt float 30. & info [ "timeout" ] ~docv:"SECS"
            ~doc:"Per-connection receive timeout.")
+  in
+  let timeout_ms_t =
+    Arg.(value & opt (some int) None & info [ "timeout-ms" ] ~docv:"MS"
+           ~doc:"Per-connection receive timeout in milliseconds (overrides --timeout).")
+  in
+  let max_request_t =
+    Arg.(value & opt int (1 lsl 20) & info [ "max-request-bytes" ] ~docv:"BYTES"
+           ~doc:"Reject any request line longer than this (the connection is closed \
+                 and the rejection counted in the stats fault counters).")
   in
   let no_fsync_t =
     Arg.(value & flag & info [ "no-fsync" ]
@@ -722,12 +788,19 @@ let serve_cmd =
            ~doc:"Analysis domains: N > 1 spawns a domain pool that parallelizes \
                  snapshot rebuilds and affinity rescoring on the read path.")
   in
-  let run idx_dir addr timeout no_fsync ingest_log update domains =
+  let run idx_dir addr timeout timeout_ms max_request no_fsync ingest_log update domains =
     let addr = or_fail (Sbi_serve.Wire.addr_of_string addr) in
     if domains < 1 then begin
       prerr_endline "cbi: --domains must be >= 1";
       exit 2
     end;
+    if max_request < 16 then begin
+      prerr_endline "cbi: --max-request-bytes must be >= 16";
+      exit 2
+    end;
+    let timeout =
+      match timeout_ms with Some ms -> float_of_int ms /. 1000. | None -> timeout
+    in
     let open_index () =
       match Sbi_index.Index.open_ ~dir:idx_dir with
       | idx -> idx
@@ -739,7 +812,7 @@ let serve_cmd =
     let idx =
       match (update, idx.Sbi_index.Index.log_dir) with
       | true, Some log when Sys.file_exists log ->
-          let st = Sbi_index.Index.build ~log ~dir:idx_dir in
+          let st = Sbi_index.Index.build ~log ~dir:idx_dir () in
           Printf.printf "cbi serve: re-indexed %s: +%d segment(s), +%d record(s)\n" log
             st.Sbi_index.Index.segments_added st.Sbi_index.Index.records_indexed;
           open_index ()
@@ -752,15 +825,26 @@ let serve_cmd =
       | None -> idx.Sbi_index.Index.log_dir
     in
     let config =
-      { Sbi_serve.Server.addr; timeout; fsync = not no_fsync; ingest_log; domains }
+      {
+        Sbi_serve.Server.addr;
+        timeout;
+        fsync = not no_fsync;
+        ingest_log;
+        domains;
+        max_request;
+        io = Sbi_fault.Io.none;
+      }
     in
     let srv =
-      try Sbi_serve.Server.start config idx
-      with Unix.Unix_error (e, _, _) ->
-        prerr_endline
-          (Printf.sprintf "cbi: cannot listen on %s: %s" (Sbi_serve.Wire.addr_to_string addr)
-             (Unix.error_message e));
-        exit 2
+      try Sbi_serve.Server.start config idx with
+      | Unix.Unix_error (e, _, _) ->
+          prerr_endline
+            (Printf.sprintf "cbi: cannot listen on %s: %s" (Sbi_serve.Wire.addr_to_string addr)
+               (Unix.error_message e));
+          exit 2
+      | Invalid_argument m ->
+          prerr_endline ("cbi: " ^ m);
+          exit 2
     in
     Printf.printf "cbi serve: listening on %s (%d run(s), %d segment(s)%s)\n%!"
       (Sbi_serve.Wire.addr_to_string addr)
@@ -789,8 +873,8 @@ let serve_cmd =
   in
   Cmd.v info
     Term.(
-      const run $ idx_t $ addr_t $ timeout_t $ no_fsync_t $ ingest_log_t $ update_t
-      $ domains_t)
+      const run $ idx_t $ addr_t $ timeout_t $ timeout_ms_t $ max_request_t $ no_fsync_t
+      $ ingest_log_t $ update_t $ domains_t)
 
 let query_cmd =
   let addr_t =
@@ -801,15 +885,32 @@ let query_cmd =
     Arg.(non_empty & pos_right 0 string [] & info [] ~docv:"CMD"
            ~doc:"Protocol command and arguments (e.g. 'topk 5', 'pred 12', 'stats').")
   in
-  let run addr words =
+  let timeout_ms_t =
+    Arg.(value & opt int Sbi_serve.Client.default_timeout_ms
+         & info [ "timeout-ms" ] ~docv:"MS"
+             ~doc:"Connect/read/write deadline in milliseconds (0 or negative \
+                   disables deadlines).")
+  in
+  let retries_t =
+    Arg.(value & opt int 3 & info [ "retries" ] ~docv:"N"
+           ~doc:"Connect attempts before giving up (jittered exponential backoff \
+                 between attempts).  Requests are never retried.")
+  in
+  let run addr words timeout_ms retries =
     let addr = or_fail (Sbi_serve.Wire.addr_of_string addr) in
+    if retries < 1 then begin
+      prerr_endline "cbi: --retries must be >= 1";
+      exit 2
+    end;
+    let retry = { Sbi_fault.Retry.default with Sbi_fault.Retry.max_attempts = retries } in
     let client =
-      try Sbi_serve.Client.connect addr
-      with Unix.Unix_error (e, _, _) ->
-        prerr_endline
-          (Printf.sprintf "cbi: cannot connect to %s: %s" (Sbi_serve.Wire.addr_to_string addr)
-             (Unix.error_message e));
-        exit 2
+      match Sbi_serve.Client.connect ~timeout_ms ~retry addr with
+      | Ok c -> c
+      | Error msg ->
+          prerr_endline
+            (Printf.sprintf "cbi: cannot connect to %s: %s"
+               (Sbi_serve.Wire.addr_to_string addr) msg);
+          exit 2
     in
     match Sbi_serve.Client.request client (String.concat " " words) with
     | Ok (header, lines) ->
@@ -823,9 +924,14 @@ let query_cmd =
     | exception End_of_file ->
         prerr_endline "cbi: connection closed by server mid-response";
         exit 2
+    | exception Sbi_serve.Wire.Timeout ->
+        prerr_endline
+          (Printf.sprintf "cbi: no response from %s within %dms"
+             (Sbi_serve.Wire.addr_to_string addr) timeout_ms);
+        exit 2
   in
   let info = Cmd.info "query" ~doc:"Send one command to a running 'cbi serve' instance." in
-  Cmd.v info Term.(const run $ addr_t $ cmd_t)
+  Cmd.v info Term.(const run $ addr_t $ cmd_t $ timeout_ms_t $ retries_t)
 
 let inspect_cmd =
   let study_t =
@@ -877,7 +983,7 @@ let main_cmd =
       table_cmd; stack_cmd; validation_cmd; ablation_cmd; static_followup_cmd;
       report_cmd; curves_cmd; studies_cmd; run_cmd; collect_cmd; ingest_cmd;
       log_stats_cmd; analyze_cmd; analyze_file_cmd; index_cmd; fsck_cmd;
-      serve_cmd; query_cmd; disasm_cmd; inspect_cmd;
+      fault_check_cmd; serve_cmd; query_cmd; disasm_cmd; inspect_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,220 @@
+type kind =
+  | Torn_write
+  | Short_read
+  | Eintr
+  | Eagain
+  | Fsync_fail
+  | Disk_full
+  | Bit_flip
+  | Conn_reset
+
+let kind_to_string = function
+  | Torn_write -> "torn_write"
+  | Short_read -> "short_read"
+  | Eintr -> "eintr"
+  | Eagain -> "eagain"
+  | Fsync_fail -> "fsync_fail"
+  | Disk_full -> "disk_full"
+  | Bit_flip -> "bit_flip"
+  | Conn_reset -> "conn_reset"
+
+let all_kinds =
+  [ Torn_write; Short_read; Eintr; Eagain; Fsync_fail; Disk_full; Bit_flip; Conn_reset ]
+
+exception Crash of string
+
+type spec = {
+  seed : int;
+  p_torn_write : float;
+  p_short_read : float;
+  p_eintr : float;
+  p_eagain : float;
+  p_fsync_fail : float;
+  p_disk_full : float;
+  p_bit_flip : float;
+  p_conn_reset : float;
+  kill_at_write : int option;
+  max_faults : int;
+}
+
+let quiet =
+  {
+    seed = 0;
+    p_torn_write = 0.;
+    p_short_read = 0.;
+    p_eintr = 0.;
+    p_eagain = 0.;
+    p_fsync_fail = 0.;
+    p_disk_full = 0.;
+    p_bit_flip = 0.;
+    p_conn_reset = 0.;
+    kill_at_write = None;
+    max_faults = 0;
+  }
+
+let kill_at ?(seed = 0) n =
+  if n < 1 then invalid_arg "Fault.kill_at: write number is 1-based";
+  { quiet with seed; kill_at_write = Some n }
+
+let with_p ?(seed = 0) ps =
+  List.fold_left
+    (fun spec (kind, p) ->
+      if p < 0. || p > 1. then invalid_arg "Fault.with_p: probability out of [0,1]";
+      match kind with
+      | Torn_write -> { spec with p_torn_write = p }
+      | Short_read -> { spec with p_short_read = p }
+      | Eintr -> { spec with p_eintr = p }
+      | Eagain -> { spec with p_eagain = p }
+      | Fsync_fail -> { spec with p_fsync_fail = p }
+      | Disk_full -> { spec with p_disk_full = p }
+      | Bit_flip -> { spec with p_bit_flip = p }
+      | Conn_reset -> { spec with p_conn_reset = p })
+    { quiet with seed } ps
+
+type t = {
+  spec : spec;
+  prng : Sbi_util.Prng.t;
+  lock : Mutex.t;
+  mutable writes : int;
+  counts : int array;  (* indexed by kind order in all_kinds *)
+}
+
+let kind_index = function
+  | Torn_write -> 0
+  | Short_read -> 1
+  | Eintr -> 2
+  | Eagain -> 3
+  | Fsync_fail -> 4
+  | Disk_full -> 5
+  | Bit_flip -> 6
+  | Conn_reset -> 7
+
+let create spec =
+  {
+    spec;
+    prng = Sbi_util.Prng.create spec.seed;
+    lock = Mutex.create ();
+    writes = 0;
+    counts = Array.make (List.length all_kinds) 0;
+  }
+
+let spec t = t.spec
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let writes_seen t = locked t (fun () -> t.writes)
+
+let injected t =
+  locked t (fun () ->
+      List.filter_map
+        (fun k ->
+          let n = t.counts.(kind_index k) in
+          if n > 0 then Some (k, n) else None)
+        all_kinds)
+
+let total_injected t = locked t (fun () -> Array.fold_left ( + ) 0 t.counts)
+
+(* Every helper below runs under [t.lock]. *)
+
+let budget_left t =
+  t.spec.max_faults <= 0 || Array.fold_left ( + ) 0 t.counts < t.spec.max_faults
+
+let fire t kind = t.counts.(kind_index kind) <- t.counts.(kind_index kind) + 1
+
+let draw t p = p > 0. && Sbi_util.Prng.bernoulli t.prng p
+
+(* A torn or disk-full prefix keeps at least 0 and at most len-1 bytes, so
+   the damage is always observable. *)
+let prefix_len t len = if len <= 1 then 0 else Sbi_util.Prng.int t.prng len
+
+let on_write t ~len =
+  locked t (fun () ->
+      t.writes <- t.writes + 1;
+      match t.spec.kill_at_write with
+      | Some n when t.writes = n ->
+          fire t Torn_write;
+          `Torn (prefix_len t len)
+      | _ ->
+          if not (budget_left t) then `Ok
+          else if draw t t.spec.p_torn_write then begin
+            fire t Torn_write;
+            `Torn (prefix_len t len)
+          end
+          else if draw t t.spec.p_disk_full then begin
+            fire t Disk_full;
+            `Disk_full (prefix_len t len)
+          end
+          else `Ok)
+
+let on_read t ~len =
+  locked t (fun () ->
+      if not (budget_left t) then `Ok
+      else if len > 1 && draw t t.spec.p_short_read then begin
+        fire t Short_read;
+        `Short (1 + Sbi_util.Prng.int t.prng (len - 1))
+      end
+      else if len > 0 && draw t t.spec.p_bit_flip then begin
+        fire t Bit_flip;
+        `Bit_flip (Sbi_util.Prng.int t.prng len)
+      end
+      else `Ok)
+
+let on_fsync t =
+  locked t (fun () ->
+      if budget_left t && draw t t.spec.p_fsync_fail then begin
+        fire t Fsync_fail;
+        `Fail
+      end
+      else `Ok)
+
+let on_sock_read t ~len =
+  locked t (fun () ->
+      if not (budget_left t) then `Ok
+      else if draw t t.spec.p_conn_reset then begin
+        fire t Conn_reset;
+        `Reset
+      end
+      else if draw t t.spec.p_eintr then begin
+        fire t Eintr;
+        `Eintr
+      end
+      else if draw t t.spec.p_eagain then begin
+        fire t Eagain;
+        `Eagain
+      end
+      else if len > 1 && draw t t.spec.p_short_read then begin
+        fire t Short_read;
+        `Short (1 + Sbi_util.Prng.int t.prng (len - 1))
+      end
+      else `Ok)
+
+let on_sock_write t ~len =
+  locked t (fun () ->
+      if not (budget_left t) then `Ok
+      else if draw t t.spec.p_conn_reset then begin
+        fire t Conn_reset;
+        `Reset
+      end
+      else if draw t t.spec.p_eintr then begin
+        fire t Eintr;
+        `Eintr
+      end
+      else if draw t t.spec.p_eagain then begin
+        fire t Eagain;
+        `Eagain
+      end
+      else if len > 1 && draw t t.spec.p_torn_write then begin
+        fire t Torn_write;
+        `Partial (1 + Sbi_util.Prng.int t.prng (len - 1))
+      end
+      else `Ok)
+
+let on_conn t =
+  locked t (fun () ->
+      if budget_left t && draw t t.spec.p_conn_reset then begin
+        fire t Conn_reset;
+        `Reset
+      end
+      else `Ok)

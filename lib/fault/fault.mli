@@ -1,0 +1,100 @@
+(** Deterministic fault injector.
+
+    A {!t} is a seeded source of injection decisions that {!Io} consults
+    on every wrapped file or socket operation.  Faults fire either with a
+    configured per-operation probability or at an exact operation count
+    ([kill_at_write]: "die at write #N"), so a failing schedule is always
+    reproducible from its {!spec}.
+
+    The injector never touches I/O itself: it only decides, counts, and
+    (for the kill switch) raises {!Crash} through {!Io} at the moment the
+    simulated process dies. *)
+
+type kind =
+  | Torn_write  (** only a prefix of the buffer reaches the file, then {!Crash} *)
+  | Short_read  (** a read returns fewer bytes than asked *)
+  | Eintr  (** a syscall fails with [EINTR] *)
+  | Eagain  (** a socket op times out with [EAGAIN] *)
+  | Fsync_fail  (** [fsync] fails with [EIO] *)
+  | Disk_full  (** a write fails with [ENOSPC] after a partial prefix *)
+  | Bit_flip  (** one bit of the data read is flipped *)
+  | Conn_reset  (** a socket op fails with [ECONNRESET] *)
+
+val kind_to_string : kind -> string
+val all_kinds : kind list
+
+exception Crash of string
+(** Simulated process death.  Callers that model a kill-and-reopen cycle
+    catch this at the top of their workload; ordinary code must {e not}
+    catch it (a real [SIGKILL] would not be catchable either), which is
+    what lets the crash-recovery driver observe the exact on-disk state a
+    dead process leaves behind. *)
+
+type spec = {
+  seed : int;  (** PRNG seed; same spec => same schedule *)
+  p_torn_write : float;
+  p_short_read : float;
+  p_eintr : float;
+  p_eagain : float;
+  p_fsync_fail : float;
+  p_disk_full : float;
+  p_bit_flip : float;
+  p_conn_reset : float;
+  kill_at_write : int option;
+      (** crash (with a torn prefix) at exactly the Nth wrapped write,
+          1-based, counted across every file the injector is attached to *)
+  max_faults : int;  (** stop injecting after this many faults; [0] = unlimited *)
+}
+
+val quiet : spec
+(** All probabilities zero, no kill point: a spec that never fires. *)
+
+val kill_at : ?seed:int -> int -> spec
+(** [kill_at n]: die with a torn write at exactly write #n. *)
+
+val with_p : ?seed:int -> (kind * float) list -> spec
+(** [quiet] plus the given per-kind probabilities. *)
+
+type t
+
+val create : spec -> t
+val spec : t -> spec
+
+val writes_seen : t -> int
+(** Wrapped write operations observed so far (the clock [kill_at_write]
+    is measured on). *)
+
+val injected : t -> (kind * int) list
+(** Faults fired so far, per kind (only non-zero entries). *)
+
+val total_injected : t -> int
+
+(** {1 Decision points}
+
+    Called by {!Io} once per wrapped operation.  Each returns what the
+    operation should do; thread-safe (one lock per draw, never taken on
+    the passthrough path because passthrough code has no injector). *)
+
+val on_write : t -> len:int -> [ `Ok | `Torn of int | `Disk_full of int ]
+(** File writes (these advance the [kill_at_write] clock).  [`Torn k] /
+    [`Disk_full k]: only the first [k < len] bytes reach the file; torn
+    writes then raise {!Crash}, disk-full surfaces [ENOSPC]. *)
+
+val on_read : t -> len:int -> [ `Ok | `Short of int | `Bit_flip of int ]
+(** File reads.  [`Short k]: deliver only the first [k < len] bytes (a
+    truncated read).  [`Bit_flip i]: flip one bit of byte [i] of the data
+    delivered (media corruption). *)
+
+val on_fsync : t -> [ `Ok | `Fail ]
+
+val on_sock_read : t -> len:int -> [ `Ok | `Short of int | `Eintr | `Eagain | `Reset ]
+(** Socket reads.  [`Short k] is benign (correct callers loop);
+    [`Eintr] likewise; [`Eagain] models a receive deadline expiring;
+    [`Reset] is a dropped connection. *)
+
+val on_sock_write : t -> len:int -> [ `Ok | `Partial of int | `Eintr | `Eagain | `Reset ]
+(** Socket writes.  [`Partial k] sends only [k >= 1] bytes (benign:
+    correct callers loop); probabilities reuse [p_torn_write]. *)
+
+val on_conn : t -> [ `Ok | `Reset ]
+(** Connection establishment / teardown. *)

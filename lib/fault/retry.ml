@@ -1,0 +1,46 @@
+type policy = {
+  max_attempts : int;
+  base_delay_ms : int;
+  max_delay_ms : int;
+  jitter : float;
+  seed : int;
+}
+
+let default =
+  { max_attempts = 3; base_delay_ms = 50; max_delay_ms = 2_000; jitter = 0.25; seed = 0 }
+
+let no_retry = { default with max_attempts = 1 }
+
+let delay_ms prng policy attempt =
+  (* attempt is 1-based: the delay slept after attempt [attempt] fails. *)
+  let exp = min (attempt - 1) 30 in
+  let raw = float_of_int policy.base_delay_ms *. Float.of_int (1 lsl exp) in
+  let capped = Float.min raw (float_of_int policy.max_delay_ms) in
+  let jittered =
+    if policy.jitter <= 0. then capped
+    else
+      let spread = 2. *. policy.jitter *. Sbi_util.Prng.unit_float prng in
+      capped *. (1. -. policy.jitter +. spread)
+  in
+  int_of_float (Float.max 0. jittered)
+
+let delays_ms policy =
+  let prng = Sbi_util.Prng.create policy.seed in
+  List.init (max 0 (policy.max_attempts - 1)) (fun i -> delay_ms prng policy (i + 1))
+
+let run ?(sleep = Unix.sleepf) ?(on_retry = fun ~attempt:_ ~delay_ms:_ _ -> ()) policy f =
+  if policy.max_attempts < 1 then invalid_arg "Retry.run: max_attempts must be >= 1";
+  let prng = Sbi_util.Prng.create policy.seed in
+  let rec go attempt =
+    match f () with
+    | Ok v -> Ok v
+    | Error (`Fatal msg) -> Error msg
+    | Error (`Retry msg) when attempt >= policy.max_attempts ->
+        Error (Printf.sprintf "%s (after %d attempts)" msg policy.max_attempts)
+    | Error (`Retry msg) ->
+        let d = delay_ms prng policy attempt in
+        on_retry ~attempt ~delay_ms:d msg;
+        if d > 0 then sleep (float_of_int d /. 1000.);
+        go (attempt + 1)
+  in
+  go 1

@@ -1,0 +1,38 @@
+(** Retry with jittered exponential backoff.
+
+    The delay before attempt [k+1] is
+    [base_delay_ms * 2^(k-1)], capped at [max_delay_ms], then scaled by a
+    uniform factor in [[1 - jitter, 1 + jitter]] drawn from a seeded
+    {!Sbi_util.Prng} — so concurrent clients retrying the same dead
+    server don't stampede in lockstep, yet a given policy + seed always
+    produces the same schedule (reproducible tests). *)
+
+type policy = {
+  max_attempts : int;  (** total attempts, including the first; >= 1 *)
+  base_delay_ms : int;  (** backoff before the second attempt *)
+  max_delay_ms : int;  (** cap on any single delay *)
+  jitter : float;  (** relative jitter in [0, 1] *)
+  seed : int;
+}
+
+val default : policy
+(** 3 attempts, 50 ms base, 2 s cap, 0.25 jitter. *)
+
+val no_retry : policy
+(** A single attempt; {!run} never sleeps. *)
+
+val delays_ms : policy -> int list
+(** The exact jittered delays {!run} would sleep between attempts, in
+    order ([max_attempts - 1] entries). *)
+
+val run :
+  ?sleep:(float -> unit) ->
+  ?on_retry:(attempt:int -> delay_ms:int -> string -> unit) ->
+  policy ->
+  (unit -> ('a, [ `Retry of string | `Fatal of string ]) result) ->
+  ('a, string) result
+(** [run policy f] calls [f] up to [max_attempts] times.  [`Retry msg]
+    sleeps the next backoff delay and tries again ([on_retry] is told);
+    [`Fatal msg] and exhausted attempts return [Error].  [sleep]
+    defaults to [Unix.sleepf] (takes seconds) and exists so tests can
+    run schedules without wall-clock time. *)

@@ -1,0 +1,324 @@
+open Sbi_runtime
+open Sbi_ingest
+module Fault = Sbi_fault.Fault
+module Io = Sbi_fault.Io
+
+type case_result = {
+  case_name : string;
+  case_ok : bool;
+  case_detail : string;
+  case_acked : int;
+  case_recovered : int;
+  case_injected : int;
+}
+
+type summary = { cases : case_result list; passed : int; failed : int }
+
+let rec ensure_dir dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then ensure_dir parent;
+    try Sys.mkdir dir 0o755 with Sys_error _ when Sys.is_directory dir -> ()
+  end
+
+(* --- synthetic workload --- *)
+
+let nsites = 6
+let npreds = 12
+
+let synth_meta () =
+  Dataset.of_tables ~nsites ~npreds ~pred_site:(Array.init npreds (fun p -> p / 2)) [||]
+
+(* Deterministic, varied-size reports: the byte length of each framed
+   record differs, so a kill at write #N lands at a different file offset
+   in every position of the sweep. *)
+let synth_report prng i : Report.t =
+  let module P = Sbi_util.Prng in
+  let nobs = 1 + P.int prng nsites in
+  let observed_sites =
+    Array.of_list
+      (List.sort_uniq Int.compare (List.init nobs (fun _ -> P.int prng nsites)))
+  in
+  let ntrue = P.int prng (npreds / 2) in
+  let true_preds =
+    Array.of_list
+      (List.sort_uniq Int.compare (List.init ntrue (fun _ -> P.int prng npreds)))
+  in
+  let true_counts = Array.map (fun _ -> 1 + P.int prng 9) true_preds in
+  let failing = i mod 3 = 0 in
+  {
+    Report.run_id = i;
+    outcome = (if failing then Report.Failure else Report.Success);
+    observed_sites;
+    true_preds;
+    true_counts;
+    bugs = (if failing then [| i mod 2 |] else [||]);
+    crash_sig = (if failing then Some (Printf.sprintf "sig-%d" (i mod 4)) else None);
+  }
+
+let synth_reports n = Array.init n (synth_report (Sbi_util.Prng.create 42))
+
+(* --- result helpers --- *)
+
+let fail name ~acked ~recovered ~injected fmt =
+  Printf.ksprintf
+    (fun detail ->
+      {
+        case_name = name;
+        case_ok = false;
+        case_detail = detail;
+        case_acked = acked;
+        case_recovered = recovered;
+        case_injected = injected;
+      })
+    fmt
+
+let pass name ~acked ~recovered ~injected fmt =
+  Printf.ksprintf
+    (fun detail ->
+      {
+        case_name = name;
+        case_ok = true;
+        case_detail = detail;
+        case_acked = acked;
+        case_recovered = recovered;
+        case_injected = injected;
+      })
+    fmt
+
+(* Recovered records must be exactly attempts 0..k-1 (contiguous prefix,
+   byte-identical).  Returns an error description or None. *)
+let check_prefix ~attempted ~recovered =
+  let k = Array.length recovered in
+  if k > Array.length attempted then Some "recovered more records than were appended"
+  else
+    let bad = ref None in
+    Array.iteri
+      (fun i r ->
+        if !bad = None && r <> attempted.(i) then
+          bad := Some (Printf.sprintf "record %d differs from what was appended" i))
+      recovered;
+    !bad
+
+(* --- log append-crash-reopen --- *)
+
+let run_log_case ~dir ~nreports ~spec name =
+  let meta = synth_meta () in
+  let reports = synth_reports nreports in
+  Shard_log.write_meta ~dir meta;
+  let inj = Fault.create spec in
+  let io = Io.faulty inj in
+  let acked = ref 0 in
+  let stopped = ref None in
+  (try
+     let w = Shard_log.create_writer ~io ~fsync:true ~dir ~shard:0 () in
+     (try
+        Array.iter
+          (fun r ->
+            Shard_log.append w r;
+            incr acked)
+          reports;
+        ignore (Shard_log.close_writer w)
+      with e ->
+        (try ignore (Shard_log.close_writer w) with _ -> ());
+        raise e)
+   with
+  | Fault.Crash msg -> stopped := Some msg
+  | Unix.Unix_error (e, op, _) ->
+      stopped := Some (Printf.sprintf "%s during %s" (Unix.error_message e) op));
+  (* reopen the way a restarted process would: fault-free *)
+  let injected = Fault.total_injected inj in
+  match Shard_log.fold ~dir ~init:[] ~f:(fun acc r -> r :: acc) () with
+  | exception Shard_log.Format_error msg ->
+      fail name ~acked:!acked ~recovered:0 ~injected "reopen failed: %s" msg
+  | rev, stats -> (
+      let recovered = Array.of_list (List.rev rev) in
+      let nrec = Array.length recovered in
+      let result_base = (!acked, nrec, injected) in
+      let acked, recovered_n, injected = result_base in
+      if nrec < acked then
+        fail name ~acked ~recovered:nrec ~injected
+          "lost acknowledged reports: acked %d, recovered only %d" acked nrec
+      else
+        match check_prefix ~attempted:reports ~recovered with
+        | Some msg -> fail name ~acked ~recovered:nrec ~injected "%s" msg
+        | None ->
+            if stats.Shard_log.corrupt_records > 0 then
+              fail name ~acked ~recovered:nrec ~injected
+                "crash damage decoded as %d corrupt mid-log records (should only truncate the tail)"
+                stats.Shard_log.corrupt_records
+            else
+              pass name ~acked ~recovered:recovered_n ~injected
+                "acked %d, recovered %d%s" acked nrec
+                (match !stopped with Some m -> ", died: " ^ m | None -> ""))
+
+(* --- read-side corruption --- *)
+
+let run_read_case ~dir ~nreports ~spec name =
+  let meta = synth_meta () in
+  let reports = synth_reports nreports in
+  Shard_log.write_meta ~dir meta;
+  let w = Shard_log.create_writer ~dir ~shard:0 () in
+  Array.iter (Shard_log.append w) reports;
+  ignore (Shard_log.close_writer w);
+  let inj = Fault.create spec in
+  let io = Io.faulty inj in
+  let by_id = Hashtbl.create nreports in
+  Array.iter (fun (r : Report.t) -> Hashtbl.replace by_id r.Report.run_id r) reports;
+  match Shard_log.fold ~io ~dir ~init:[] ~f:(fun acc r -> r :: acc) () with
+  | exception Shard_log.Format_error _ ->
+      (* corruption hit the header: detected loudly, nothing surfaced *)
+      pass name ~acked:nreports ~recovered:0 ~injected:(Fault.total_injected inj)
+        "header damage detected"
+  | rev, _stats ->
+      let surfaced = List.rev rev in
+      let injected = Fault.total_injected inj in
+      let garbage =
+        List.find_opt
+          (fun (r : Report.t) ->
+            match Hashtbl.find_opt by_id r.Report.run_id with
+            | Some orig -> r <> orig
+            | None -> true)
+          surfaced
+      in
+      let n = List.length surfaced in
+      (match garbage with
+      | Some r ->
+          fail name ~acked:nreports ~recovered:n ~injected
+            "corruption surfaced garbage record (run_id %d)" r.Report.run_id
+      | None ->
+          pass name ~acked:nreports ~recovered:n ~injected
+            "%d/%d surfaced, all byte-identical" n nreports)
+
+(* --- index build kill-repair-rebuild --- *)
+
+let list_strays dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun name -> Filename.check_suffix name ".tmp")
+
+let run_index_case ~dir ~kill_at name =
+  let log = Filename.concat dir "log" in
+  let idx = Filename.concat dir "idx" in
+  let meta = synth_meta () in
+  let reports = synth_reports 40 in
+  let stats =
+    Shard_log.write_dataset ~dir:log ~shards:2 { meta with Dataset.runs = reports }
+  in
+  let total = stats.Shard_log.records in
+  let inj = Fault.create (Fault.kill_at ~seed:kill_at kill_at) in
+  let crashed =
+    match Index.build ~io:(Io.faulty inj) ~log ~dir:idx () with
+    | _ -> false
+    | exception Fault.Crash _ -> true
+  in
+  let injected = Fault.total_injected inj in
+  match
+    (if crashed then ignore (Index.repair ~dir:idx);
+     Index.build ~log ~dir:idx ())
+  with
+  | exception Index.Format_error msg ->
+      fail name ~acked:total ~recovered:0 ~injected "recovery failed: %s" msg
+  | _ -> (
+      let r = Index.fsck ~dir:idx in
+      let strays = list_strays idx in
+      if r.Index.fsck_corrupt > 0 then
+        fail name ~acked:total ~recovered:r.Index.fsck_records ~injected
+          "fsck still corrupt after repair+rebuild:\n%s" (Index.pp_fsck r)
+      else if r.Index.fsck_records <> total then
+        fail name ~acked:total ~recovered:r.Index.fsck_records ~injected
+          "rebuilt index holds %d of %d log records" r.Index.fsck_records total
+      else if strays <> [] then
+        fail name ~acked:total ~recovered:r.Index.fsck_records ~injected
+          "stray temp files survived repair: %s" (String.concat ", " strays)
+      else
+        match Index.open_ ~dir:idx with
+        | exception Index.Format_error msg ->
+            fail name ~acked:total ~recovered:r.Index.fsck_records ~injected
+              "rebuilt index does not open: %s" msg
+        | t ->
+            if Index.nruns t <> total then
+              fail name ~acked:total ~recovered:(Index.nruns t) ~injected
+                "opened index exposes %d of %d runs" (Index.nruns t) total
+            else
+              pass name ~acked:total ~recovered:total ~injected "%s"
+                (if crashed then "killed, repaired, rebuilt clean" else "no kill reached"))
+
+(* --- the matrix --- *)
+
+let run_matrix ?(verbose = false) ~scratch () =
+  ensure_dir scratch;
+  let counter = ref 0 in
+  let fresh_dir () =
+    incr counter;
+    let d = Filename.concat scratch (Printf.sprintf "case-%03d" !counter) in
+    ensure_dir d;
+    d
+  in
+  let results = ref [] in
+  let add r =
+    if verbose then
+      Printf.printf "%s %s: %s\n%!" (if r.case_ok then "ok  " else "FAIL") r.case_name
+        r.case_detail;
+    results := r :: !results
+  in
+  let nreports = 40 in
+  (* kill at every early write plus strides through the rest: write #1 is
+     the shard header, #k is record k-1, #nreports+1 is past the end *)
+  let kill_points =
+    List.init 12 (fun i -> i + 1) @ [ 16; 20; 27; 33; nreports; nreports + 1 ]
+  in
+  List.iter
+    (fun k ->
+      add
+        (run_log_case ~dir:(fresh_dir ()) ~nreports ~spec:(Fault.kill_at ~seed:k k)
+           (Printf.sprintf "log:kill@%d" k)))
+    kill_points;
+  let prob_cases =
+    [
+      ("torn", Fault.Torn_write, 0.05);
+      ("fsync-fail", Fault.Fsync_fail, 0.08);
+      ("disk-full", Fault.Disk_full, 0.05);
+    ]
+  in
+  List.iter
+    (fun (label, kind, p) ->
+      List.iter
+        (fun seed ->
+          add
+            (run_log_case ~dir:(fresh_dir ()) ~nreports
+               ~spec:(Fault.with_p ~seed [ (kind, p) ])
+               (Printf.sprintf "log:%s/s%d" label seed)))
+        [ 1; 2; 3 ])
+    prob_cases;
+  List.iter
+    (fun (label, kind, p) ->
+      List.iter
+        (fun seed ->
+          add
+            (run_read_case ~dir:(fresh_dir ()) ~nreports
+               ~spec:(Fault.with_p ~seed [ (kind, p) ])
+               (Printf.sprintf "read:%s/s%d" label seed)))
+        [ 1; 2; 3 ])
+    [ ("bit-flip", Fault.Bit_flip, 0.5); ("short", Fault.Short_read, 0.5) ];
+  (* index build writes: meta, one segment per shard, manifest = 4 writes
+     for a two-shard log; sweep past the end to cover the no-kill path *)
+  List.iter
+    (fun k ->
+      add (run_index_case ~dir:(fresh_dir ()) ~kill_at:k (Printf.sprintf "index:kill@%d" k)))
+    [ 1; 2; 3; 4; 5 ];
+  let cases = List.rev !results in
+  let passed = List.length (List.filter (fun c -> c.case_ok) cases) in
+  { cases; passed; failed = List.length cases - passed }
+
+let pp_summary s =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun c ->
+      if not c.case_ok then
+        Buffer.add_string buf (Printf.sprintf "FAIL %s: %s\n" c.case_name c.case_detail))
+    s.cases;
+  let injected = List.fold_left (fun acc c -> acc + c.case_injected) 0 s.cases in
+  Buffer.add_string buf
+    (Printf.sprintf "%d case(s): %d passed, %d failed, %d fault(s) injected\n"
+       (List.length s.cases) s.passed s.failed injected);
+  Buffer.contents buf

@@ -1,0 +1,67 @@
+(** Crash-recovery driver: kill-and-reopen the log → index pipeline at
+    every injected fault point and check the durability contract.
+
+    Each case runs a deterministic workload (seeded synthetic reports)
+    under a {!Sbi_fault.Fault.spec}, lets the injected fault kill it
+    mid-flight, then reopens the store the way a restarted process would
+    (fault-free) and asserts the recovery invariants:
+
+    - {b no acknowledged report is lost}: every append that returned
+      (fsync included) is present after reopen;
+    - {b no partial record is surfaced}: everything recovered is
+      byte-identical to a report that was actually appended, and for
+      crash faults the recovered set is a contiguous prefix of the
+      append sequence;
+    - for read-corruption faults (bit flips, short reads), damage is
+      {e detected} — skipped/truncated, never decoded into garbage;
+    - for index builds killed mid-write, {!Index.repair} followed by a
+      rebuild yields a store {!Index.fsck} reports clean, indexing
+      every log record, with no stray temp files left behind.
+
+    {!run_matrix} sweeps a seeded matrix of kill points and fault
+    probabilities over both the shard log and the index builder — the
+    engine behind [cbi fault-check] and [make fault-check]. *)
+
+type case_result = {
+  case_name : string;
+  case_ok : bool;
+  case_detail : string;  (** failure reason, or a short success note *)
+  case_acked : int;  (** appends acknowledged before the fault *)
+  case_recovered : int;  (** records visible after reopen *)
+  case_injected : int;  (** faults the injector actually fired *)
+}
+
+type summary = {
+  cases : case_result list;  (** in execution order *)
+  passed : int;
+  failed : int;
+}
+
+val run_log_case :
+  dir:string -> nreports:int -> spec:Sbi_fault.Fault.spec -> string -> case_result
+(** Append [nreports] synthetic reports to a fresh fsync-per-append log
+    at [dir] under [spec], stop at the first injected failure, reopen
+    fault-free, and check the invariants.  The name tags the result. *)
+
+val run_read_case :
+  dir:string -> nreports:int -> spec:Sbi_fault.Fault.spec -> string -> case_result
+(** Write a clean log, then read it back {e under} [spec] (bit flips,
+    short reads): every surfaced record must be one that was written —
+    corruption may shrink the result, never invent or alter records. *)
+
+val run_index_case : dir:string -> kill_at:int -> string -> case_result
+(** Build an index of a clean two-shard log with a kill scheduled at
+    write number [kill_at] (meta, segments, manifest all count).  After
+    the crash: {!Index.repair}, rebuild, and require a clean {!Index.fsck}
+    covering every log record and a stray-free directory.  A [kill_at]
+    beyond the build's writes degenerates to a fault-free build, which
+    must also verify. *)
+
+val run_matrix : ?verbose:bool -> scratch:string -> unit -> summary
+(** The full seeded fault matrix (every-write kill sweep, probabilistic
+    torn writes / fsync failures / disk-full / bit flips / short reads,
+    index-build kill sweep) under [scratch], one fresh subdirectory per
+    case.  [verbose] prints one line per case to stdout. *)
+
+val pp_summary : summary -> string
+(** Failing cases in full plus a pass/fail tally. *)

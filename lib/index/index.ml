@@ -100,19 +100,9 @@ let parse_manifest path s =
         rest;
       { !man with man_consumed = List.rev !man.man_consumed; man_segs = List.rev !man.man_segs })
 
-let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
+let read_file ?io path = Sbi_fault.Io.read_file ?io path
 
-let write_file_atomic path content =
-  let dir = Filename.dirname path in
-  let tmp = Filename.temp_file ~temp_dir:dir (Filename.basename path) ".tmp" in
-  let oc = open_out_bin tmp in
-  output_string oc content;
-  close_out oc;
-  Sys.rename tmp path
+let write_file_atomic ?io path content = Sbi_fault.Io.write_file_atomic ?io path content
 
 let load_manifest dir =
   let path = manifest_file dir in
@@ -130,22 +120,14 @@ let tables_match (a : Dataset.t) (b : Dataset.t) =
 
 (* --- building --- *)
 
-(* Parse a shard-log header (magic + format version + shard id), returning
-   the offset of the first record.  Local to the index builder: the
-   shard-log reader only exposes whole-file folds, and the incremental
-   builder needs to resume at a byte offset. *)
+(* Offset of the first record in a shard file, or None for a header torn
+   by a killed writer (an empty crashed shard: nothing to index yet, and
+   nothing was ever acknowledged from it). *)
 let shard_header_end path s =
-  let m = Shard_log.magic in
-  if String.length s < String.length m || String.sub s 0 (String.length m) <> m then
-    raise (Format_error (path ^ ": not a shard log (bad magic)"));
-  let pos = ref (String.length m) in
-  (try
-     let v = Codec.read_varint s pos (String.length s) in
-     let (_ : int) = Codec.read_varint s pos (String.length s) in
-     if v <> Shard_log.format_version then
-       raise (Format_error (Printf.sprintf "%s: unsupported shard format %d" path v))
-   with Codec.Corrupt _ -> raise (Format_error (path ^ ": truncated shard header")));
-  !pos
+  match Shard_log.parse_header s with
+  | Ok (_, off) -> Some off
+  | Error `Torn_header -> None
+  | Error (`Bad m) -> raise (Format_error (path ^ ": " ^ m))
 
 (* Scan framed records in [s] from [start]: intact reports, corrupt count,
    and the clean resume offset (start of any truncated tail, else EOF). *)
@@ -175,7 +157,7 @@ let next_seg_id man =
       | None -> acc)
     0 man.man_segs
 
-let build ~log ~dir =
+let build ?io ~log ~dir () =
   let log_meta =
     try Shard_log.read_meta ~dir:log
     with Shard_log.Format_error m -> raise (Format_error m)
@@ -191,7 +173,7 @@ let build ~log ~dir =
     end
     else begin
       (* fresh index: establish the directory and tables *)
-      Shard_log.write_meta ~dir log_meta;
+      Shard_log.write_meta ?io ~dir log_meta;
       empty_manifest
     end
   in
@@ -204,7 +186,10 @@ let build ~log ~dir =
       let s = read_file path in
       let n = String.length s in
       let already = match List.assoc_opt shard !consumed with Some b -> b | None -> 0 in
-      let start = if already = 0 then shard_header_end path s else already in
+      let start =
+        if already = 0 then match shard_header_end path s with Some off -> off | None -> n
+        else already
+      in
       if start < n then begin
         let reports, corrupt, stop = scan_range s ~start in
         (if Array.length reports > 0 then begin
@@ -214,7 +199,7 @@ let build ~log ~dir =
            in
            let file = seg_file_name !next_id in
            incr next_id;
-           write_file_atomic (Filename.concat dir file) (Segment.encode seg);
+           write_file_atomic ?io (Filename.concat dir file) (Segment.encode seg);
            new_segs :=
              { m_file = file; m_shard = shard; m_start = start; m_end = stop;
                m_runs = seg.Segment.nruns }
@@ -238,7 +223,7 @@ let build ~log ~dir =
       man_segs = man.man_segs @ List.rev !new_segs;
     }
   in
-  write_file_atomic (manifest_file dir) (render_manifest man);
+  write_file_atomic ?io (manifest_file dir) (render_manifest man);
   !stats
 
 (* --- opening --- *)
@@ -315,6 +300,8 @@ let validate_report meta (r : Report.t) =
       if pred < 0 || pred >= meta.Dataset.npreds then
         invalid_arg (Printf.sprintf "Index.append: predicate %d out of range" pred))
     r.Report.true_preds
+
+let validate t r = validate_report t.meta r
 
 let append t r =
   validate_report t.meta r;
@@ -431,6 +418,143 @@ let fsck ~dir =
     fsck_corrupt = List.length segs - ok;
     fsck_records = List.fold_left (fun acc s -> acc + s.seg_runs) 0 segs;
   }
+
+(* --- repair --- *)
+
+type repair_report = {
+  rep_dropped : string list;
+  rep_removed : string list;
+  rep_rollbacks : (int * int * int) list;
+}
+
+(* A damaged segment invalidates everything indexed after it from the same
+   source shard: the consumed offset only records the high-water mark, so
+   the sole way to re-index the lost byte range is to roll the shard's
+   offset back to the first bad segment's start and drop that segment plus
+   every later segment of the shard (their ranges would otherwise overlap
+   the re-indexed bytes and double-count runs).  The next {!build} then
+   re-consumes from the rollback point. *)
+let repair ~dir =
+  let clean_strays removed =
+    Array.iter
+      (fun name ->
+        if Filename.check_suffix name ".tmp" then begin
+          (try Sys.remove (Filename.concat dir name) with Sys_error _ -> ());
+          removed := name :: !removed
+        end)
+      (Sys.readdir dir)
+  in
+  if not (Sys.file_exists (Filename.concat dir Shard_log.meta_file)) then begin
+    (* killed before the tables ever hit disk: nothing in the directory is
+       trustworthy, so reset it to the fresh state the next build expects *)
+    let removed = ref [] in
+    let dropped = ref [] in
+    Array.iter
+      (fun name ->
+        let is_seg = Scanf.sscanf_opt name "seg-%d.sbix%!" (fun i -> i) <> None in
+        if is_seg || name = "manifest" then begin
+          (try Sys.remove (Filename.concat dir name) with Sys_error _ -> ());
+          removed := name :: !removed;
+          if is_seg then dropped := name :: !dropped
+        end)
+      (Sys.readdir dir);
+    clean_strays removed;
+    {
+      rep_dropped = List.rev !dropped;
+      rep_removed = List.sort_uniq String.compare !removed;
+      rep_rollbacks = [];
+    }
+  end
+  else begin
+  let meta = load_meta dir in
+  let man =
+    (* killed between meta and the first manifest write: an empty manifest
+       makes the next build re-index from scratch *)
+    if Sys.file_exists (manifest_file dir) then load_manifest dir else empty_manifest
+  in
+  let seg_bad m =
+    let path = Filename.concat dir m.m_file in
+    if not (Sys.file_exists path) then true
+    else
+      match Segment.decode (read_file path) with
+      | exception Segment.Corrupt _ -> true
+      | seg ->
+          seg.Segment.nsites <> meta.Dataset.nsites
+          || seg.Segment.npreds <> meta.Dataset.npreds
+          || seg.Segment.nruns <> m.m_runs
+          || seg.Segment.source_shard <> m.m_shard
+  in
+  let poisoned = Hashtbl.create 8 in
+  (* shard -> rollback offset *)
+  let keep, dropped =
+    List.partition
+      (fun m ->
+        if Hashtbl.mem poisoned m.m_shard then false
+        else if seg_bad m then begin
+          Hashtbl.replace poisoned m.m_shard m.m_start;
+          false
+        end
+        else true)
+      man.man_segs
+  in
+  let rollbacks = ref [] in
+  let consumed =
+    List.map
+      (fun (shard, bytes) ->
+        match Hashtbl.find_opt poisoned shard with
+        | Some back when back < bytes ->
+            rollbacks := (shard, bytes, back) :: !rollbacks;
+            (shard, back)
+        | _ -> (shard, bytes))
+      man.man_consumed
+  in
+  let kept_files = List.map (fun m -> m.m_file) keep in
+  let removed = ref [] in
+  let remove_file name =
+    let path = Filename.concat dir name in
+    if Sys.file_exists path then begin
+      (try Sys.remove path with Sys_error _ -> ());
+      removed := name :: !removed
+    end
+  in
+  (* dropped segments, orphan segment files a crashed build left unlisted,
+     and stray temp files from killed atomic writes *)
+  List.iter (fun m -> remove_file m.m_file) dropped;
+  Array.iter
+    (fun name ->
+      let is_seg = Scanf.sscanf_opt name "seg-%d.sbix%!" (fun i -> i) <> None in
+      let is_tmp = Filename.check_suffix name ".tmp" in
+      if (is_seg && not (List.mem name kept_files)) || is_tmp then remove_file name)
+    (Sys.readdir dir);
+  let man = { man with man_consumed = consumed; man_segs = keep } in
+  write_file_atomic (manifest_file dir) (render_manifest man);
+  {
+    rep_dropped = List.map (fun m -> m.m_file) dropped;
+    rep_removed = List.sort_uniq String.compare !removed;
+    rep_rollbacks = List.rev !rollbacks;
+  }
+  end
+
+let pp_repair r =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun f -> Buffer.add_string buf (Printf.sprintf "  dropped %s\n" f))
+    r.rep_dropped;
+  List.iter
+    (fun f ->
+      if not (List.mem f r.rep_dropped) then
+        Buffer.add_string buf (Printf.sprintf "  removed stray %s\n" f))
+    r.rep_removed;
+  List.iter
+    (fun (shard, from_, to_) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  shard %d rolled back %d -> %d\n" shard from_ to_))
+    r.rep_rollbacks;
+  Buffer.add_string buf
+    (Printf.sprintf "%d segment(s) dropped, %d file(s) removed, %d shard(s) rolled back\n"
+       (List.length r.rep_dropped) (List.length r.rep_removed)
+       (List.length r.rep_rollbacks));
+  Buffer.contents buf
 
 let pp_fsck r =
   let buf = Buffer.create 256 in

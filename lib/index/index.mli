@@ -55,12 +55,14 @@ type t = {
     picks them up). *)
 and tail
 
-val build : log:string -> dir:string -> build_stats
+val build : ?io:Sbi_fault.Io.t -> log:string -> dir:string -> unit -> build_stats
 (** Create [dir] as an index of [log], or incrementally extend an
     existing index with the log's unseen bytes.  The manifest is
     rewritten atomically (temp + rename) after all new segments are on
-    disk.  @raise Format_error on an unreadable log or manifest, or when
-    [log]'s tables don't match the existing index. *)
+    disk.  [?io] routes meta, segment, and manifest writes through the
+    fault injector (passthrough by default).  @raise Format_error on an
+    unreadable log or manifest, or when [log]'s tables don't match the
+    existing index. *)
 
 val open_ : dir:string -> t
 (** Load an index: meta, manifest, and every decodable segment (corrupt
@@ -72,6 +74,11 @@ val open_par : pool:Sbi_par.Domain_pool.t -> dir:string -> t
     across [pool] — the index-open/refresh path scales with cores.
     Produces a state identical to {!open_} (segments stay in manifest
     order regardless of completion order). *)
+
+val validate : t -> Sbi_runtime.Report.t -> unit
+(** @raise Invalid_argument when the report refers to sites/predicates
+    outside the tables.  Lets callers reject a report {e before} any
+    state (durable log, live tail) is touched. *)
 
 val append : t -> Sbi_runtime.Report.t -> unit
 (** Fold one live report into the in-memory tail.  @raise Invalid_argument
@@ -124,3 +131,25 @@ val fsck : dir:string -> fsck_report
     manifest itself is unusable. *)
 
 val pp_fsck : fsck_report -> string
+
+type repair_report = {
+  rep_dropped : string list;  (** manifest-listed segments dropped *)
+  rep_removed : string list;  (** files deleted: dropped segments, orphan segments, stray temp files *)
+  rep_rollbacks : (int * int * int) list;
+      (** (shard, old consumed offset, rolled-back offset) *)
+}
+
+val repair : dir:string -> repair_report
+(** Restore a damaged index to a state {!fsck} reports clean: drop every
+    corrupt/missing/mismatched segment {e plus all later segments of the
+    same source shard}, roll the shard's consumed offset back to the
+    first dropped segment's start (so the next {!build} re-indexes the
+    lost range), delete dropped and orphaned segment files and stray
+    [.tmp] files from killed atomic writes, and atomically rewrite the
+    manifest.  No intact data is lost: dropped ranges remain in the
+    source log.  A directory killed before meta or the manifest ever hit
+    disk is reset to the fresh state (the next {!build} re-establishes
+    it).  @raise Format_error when an existing meta/manifest is
+    syntactically unusable. *)
+
+val pp_repair : repair_report -> string

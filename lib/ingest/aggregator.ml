@@ -74,5 +74,6 @@ let of_log ~dir =
       ~f:(fun t r ->
         observe t r;
         t)
+      ()
   in
   (t, meta, stats)

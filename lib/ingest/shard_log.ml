@@ -42,7 +42,7 @@ let shard_path ~dir shard = Filename.concat dir (Printf.sprintf "shard-%04d.sbil
 (* --- writer --- *)
 
 type writer = {
-  oc : out_channel;
+  out : Sbi_fault.Io.out_file;
   buf : Buffer.t;
   fsync : bool;
   mutable w_records : int;
@@ -57,30 +57,24 @@ let header shard =
   Codec.add_varint buf shard;
   Buffer.contents buf
 
-let create_writer ?(fsync = false) ~dir ~shard () =
+let create_writer ?io ?(fsync = false) ~dir ~shard () =
   ensure_dir dir;
-  let oc = open_out_bin (shard_path ~dir shard) in
+  let out = Sbi_fault.Io.open_out ?io (shard_path ~dir shard) in
   let h = header shard in
-  output_string oc h;
+  Sbi_fault.Io.output_string out h;
   let w =
-    { oc; buf = Buffer.create 512; fsync; w_records = 0; w_bytes = String.length h; closed = false }
+    { out; buf = Buffer.create 512; fsync; w_records = 0; w_bytes = String.length h; closed = false }
   in
-  if fsync then begin
-    flush oc;
-    Unix.fsync (Unix.descr_of_out_channel oc)
-  end;
+  if fsync then Sbi_fault.Io.fsync out;
   w
 
 let append w r =
   Buffer.clear w.buf;
   Codec.add_framed w.buf r;
-  Buffer.output_buffer w.oc w.buf;
+  Sbi_fault.Io.output_buffer w.out w.buf;
   w.w_records <- w.w_records + 1;
   w.w_bytes <- w.w_bytes + Buffer.length w.buf;
-  if w.fsync then begin
-    flush w.oc;
-    Unix.fsync (Unix.descr_of_out_channel w.oc)
-  end
+  if w.fsync then Sbi_fault.Io.fsync w.out
 
 let writer_stats w =
   { zero_stats with records = w.w_records; bytes = w.w_bytes }
@@ -88,41 +82,56 @@ let writer_stats w =
 let close_writer w =
   if not w.closed then begin
     w.closed <- true;
-    close_out w.oc
+    Sbi_fault.Io.close_out w.out
   end;
   writer_stats w
 
 (* --- reader --- *)
 
-let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
+let read_file ?io path = Sbi_fault.Io.read_file ?io path
+
+(* Classifies the file's header bytes.  A file that is a strict prefix of a
+   valid header is a writer killed mid-header — a crashed shard that never
+   held an acknowledged record, not a foreign file. *)
+let parse_header s =
+  let n = String.length s in
+  let mlen = String.length magic in
+  if n < mlen then
+    if s = String.sub magic 0 n then Error `Torn_header
+    else Error (`Bad "not a shard log (bad magic)")
+  else if String.sub s 0 mlen <> magic then Error (`Bad "not a shard log (bad magic)")
+  else
+    let pos = ref mlen in
+    match
+      let v = Codec.read_varint s pos n in
+      let shard = Codec.read_varint s pos n in
+      (v, shard)
+    with
+    | exception Codec.Corrupt _ -> Error `Torn_header
+    | v, _ when v <> format_version ->
+        Error (`Bad (Printf.sprintf "unsupported format version %d" v))
+    | _, shard -> Ok (shard, !pos)
 
 (* Validates the header, returning (shard index, first record offset). *)
 let read_header path s =
-  let n = String.length s in
-  if n < String.length magic || String.sub s 0 (String.length magic) <> magic then
-    raise (Format_error (path ^ ": not a shard log (bad magic)"));
-  let pos = ref (String.length magic) in
-  match
-    let v = Codec.read_varint s pos n in
-    let shard = Codec.read_varint s pos n in
-    (v, shard)
-  with
-  | exception Codec.Corrupt _ -> raise (Format_error (path ^ ": truncated header"))
-  | v, _ when v <> format_version ->
-      raise (Format_error (Printf.sprintf "%s: unsupported format version %d" path v))
-  | _, shard -> (shard, !pos)
+  match parse_header s with
+  | Ok r -> Ok r
+  | Error `Torn_header -> Error `Torn_header
+  | Error (`Bad m) -> raise (Format_error (path ^ ": " ^ m))
 
 (* A reader never aborts on record damage: CRC failures are skipped and
-   counted, and an incomplete tail (crashed writer) ends the scan with its
-   byte count recorded.  Only a bad header is a hard error. *)
-let fold_shard path ~init ~f =
-  let s = read_file path in
-  let _, start = read_header path s in
+   counted, an incomplete tail (crashed writer) ends the scan with its byte
+   count recorded, and a header torn mid-write reads as an empty shard.
+   Only a foreign/unsupported file is a hard error. *)
+let fold_shard ?io path ~init ~f =
+  let s = read_file ?io path in
   let n = String.length s in
+  match read_header path s with
+  | Error `Torn_header ->
+      (* a writer died before the header hit disk: nothing was ever
+         acknowledged from this shard, so it reads as empty *)
+      (init, { zero_stats with bytes = n; truncated_bytes = n })
+  | Ok (_, start) ->
   let acc = ref init in
   let records = ref 0 and corrupt = ref 0 in
   let pos = ref start in
@@ -155,10 +164,10 @@ let shard_files ~dir =
          Scanf.sscanf_opt name "shard-%d.sbil" (fun i -> (i, Filename.concat dir name)))
   |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
 
-let fold ~dir ~init ~f =
+let fold ?io ~dir ~init ~f () =
   List.fold_left
     (fun (acc, stats) (_, path) ->
-      let acc, s = fold_shard path ~init:acc ~f in
+      let acc, s = fold_shard ?io path ~init:acc ~f in
       (acc, add_stats stats s))
     (init, zero_stats) (shard_files ~dir)
 
@@ -166,9 +175,9 @@ let fold ~dir ~init ~f =
 
 (* The site/predicate tables reuse the established text format: the meta
    file is a zero-run dataset, so offline tooling can read it directly. *)
-let write_meta ~dir ds =
+let write_meta ?io ~dir ds =
   ensure_dir dir;
-  Dataset.save (Filename.concat dir meta_file) { ds with Dataset.runs = [||] }
+  Dataset.save ?io (Filename.concat dir meta_file) { ds with Dataset.runs = [||] }
 
 let read_meta ~dir =
   let path = Filename.concat dir meta_file in
@@ -197,7 +206,7 @@ let write_dataset ~dir ~shards ds =
 
 let read_all ~dir =
   let meta = read_meta ~dir in
-  let rev, stats = fold ~dir ~init:[] ~f:(fun acc r -> r :: acc) in
+  let rev, stats = fold ~dir ~init:[] ~f:(fun acc r -> r :: acc) () in
   let runs = Array.of_list (List.rev rev) in
   (* canonical merge: shard order is arbitrary, run ids are not *)
   Array.sort

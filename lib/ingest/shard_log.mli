@@ -17,6 +17,9 @@ exception Format_error of string
 val magic : string
 val format_version : int
 
+val meta_file : string
+(** Name of the tables file inside a log (or index) directory. *)
+
 type stats = {
   records : int;  (** records written (writer) or successfully read *)
   bytes : int;  (** bytes written / scanned, headers included *)
@@ -34,16 +37,26 @@ val shard_path : dir:string -> int -> string
 val shard_files : dir:string -> (int * string) list
 (** Shards present in a log directory, sorted by shard index. *)
 
+val parse_header :
+  string -> (int * int, [ `Torn_header | `Bad of string ]) result
+(** Classify a shard file's bytes: [Ok (shard, first_record_offset)] for a
+    valid header, [`Torn_header] for a strict prefix of one (a writer
+    killed mid-header — an empty crashed shard, not a foreign file),
+    [`Bad] for anything else. *)
+
 (** {1 Writing} *)
 
 type writer
 
-val create_writer : ?fsync:bool -> dir:string -> shard:int -> unit -> writer
+val create_writer :
+  ?io:Sbi_fault.Io.t -> ?fsync:bool -> dir:string -> shard:int -> unit -> writer
 (** Creates [dir] if needed, truncates the shard file, writes the header.
     With [~fsync:true] (default false) every {!append} flushes and
     [fsync]s before returning, so a record acknowledged to a client is on
     stable storage even if the process dies before {!close_writer} — the
-    durability contract of the serving path's ingest command. *)
+    durability contract of the serving path's ingest command.  [?io]
+    routes every write and fsync through the fault injector; the default
+    is a zero-cost passthrough. *)
 
 val append : writer -> Sbi_runtime.Report.t -> unit
 val writer_stats : writer -> stats
@@ -51,7 +64,7 @@ val writer_stats : writer -> stats
 val close_writer : writer -> stats
 (** Flushes and closes (idempotent); returns the writer's final stats. *)
 
-val write_meta : dir:string -> Sbi_runtime.Dataset.t -> unit
+val write_meta : ?io:Sbi_fault.Io.t -> dir:string -> Sbi_runtime.Dataset.t -> unit
 (** Stores the dataset's tables (runs are stripped) as [dir/meta]. *)
 
 val write_dataset : dir:string -> shards:int -> Sbi_runtime.Dataset.t -> stats
@@ -65,10 +78,20 @@ val read_meta : dir:string -> Sbi_runtime.Dataset.t
     @raise Format_error when missing or unreadable. *)
 
 val fold_shard :
-  string -> init:'a -> f:('a -> Sbi_runtime.Report.t -> 'a) -> 'a * stats
+  ?io:Sbi_fault.Io.t ->
+  string ->
+  init:'a ->
+  f:('a -> Sbi_runtime.Report.t -> 'a) ->
+  'a * stats
 (** Stream one shard file's intact records, applying the recovery rules. *)
 
-val fold : dir:string -> init:'a -> f:('a -> Sbi_runtime.Report.t -> 'a) -> 'a * stats
+val fold :
+  ?io:Sbi_fault.Io.t ->
+  dir:string ->
+  init:'a ->
+  f:('a -> Sbi_runtime.Report.t -> 'a) ->
+  unit ->
+  'a * stats
 (** Stream every shard of a log in shard order, summing stats.  This is the
     streaming entry point: aggregation over logs larger than memory never
     materializes more than one record at a time. *)

@@ -143,17 +143,17 @@ let unescape_text s =
   done;
   Buffer.contents buf
 
-let to_channel oc t =
-  Printf.fprintf oc "sbi-dataset 2 %d %d %d\n" t.nsites t.npreds (nruns t);
-  Printf.fprintf oc "pred_site %s\n" (ints_to_string t.pred_site);
+let to_buffer buf t =
+  Printf.bprintf buf "sbi-dataset 2 %d %d %d\n" t.nsites t.npreds (nruns t);
+  Printf.bprintf buf "pred_site %s\n" (ints_to_string t.pred_site);
   (match t.pred_texts with
-  | None -> Printf.fprintf oc "pred_texts -\n"
+  | None -> Printf.bprintf buf "pred_texts -\n"
   | Some texts ->
-      Printf.fprintf oc "pred_texts %s\n"
+      Printf.bprintf buf "pred_texts %s\n"
         (String.concat "," (Array.to_list (Array.map escape_text texts))));
   Array.iter
     (fun (r : Report.t) ->
-      Printf.fprintf oc "run %d %s %s %s %s %s %s\n" r.run_id
+      Printf.bprintf buf "run %d %s %s %s %s %s %s\n" r.run_id
         (match r.outcome with Report.Success -> "S" | Report.Failure -> "F")
         (ints_to_string r.observed_sites)
         (ints_to_string r.true_preds)
@@ -161,6 +161,16 @@ let to_channel oc t =
         (ints_to_string r.bugs)
         (sig_to_string r.crash_sig))
     t.runs
+
+let to_string t =
+  let buf = Buffer.create (4096 + (64 * nruns t)) in
+  to_buffer buf t;
+  Buffer.contents buf
+
+let to_channel oc t =
+  let buf = Buffer.create (4096 + (64 * nruns t)) in
+  to_buffer buf t;
+  Buffer.output_buffer oc buf
 
 let of_channel ic =
   let line () = try Some (input_line ic) with End_of_file -> None in
@@ -236,18 +246,10 @@ let of_channel ic =
   { nsites; npreds; pred_site; pred_texts; runs }
 
 (* Atomic: write to a temp file in the target directory, then rename, so an
-   interrupted save can never leave a half-written dataset at [path]. *)
-let save path t =
-  let dir = Filename.dirname path in
-  let tmp = Filename.temp_file ~temp_dir:dir (Filename.basename path ^ ".") ".tmp" in
-  let ok = ref false in
-  Fun.protect
-    ~finally:(fun () -> if not !ok then Sys.remove tmp)
-    (fun () ->
-      let oc = open_out tmp in
-      Fun.protect ~finally:(fun () -> close_out oc) (fun () -> to_channel oc t);
-      Sys.rename tmp path;
-      ok := true)
+   interrupted save can never leave a half-written dataset at [path].  A
+   simulated kill ({!Sbi_fault.Fault.Crash}) leaves the temp file behind,
+   exactly as a real one would. *)
+let save ?io path t = Sbi_fault.Io.write_file_atomic ?io path (to_string t)
 
 let load path =
   let ic = open_in path in

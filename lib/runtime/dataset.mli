@@ -56,11 +56,14 @@ val runs_with_bug : t -> int -> int
 (** {1 Serialization} *)
 
 val to_channel : out_channel -> t -> unit
+val to_string : t -> string
 val of_channel : in_channel -> t
 
-val save : string -> t -> unit
+val save : ?io:Sbi_fault.Io.t -> string -> t -> unit
 (** Atomic: writes to a temp file in the same directory and renames it into
-    place, so a crash mid-save never leaves a truncated dataset behind. *)
+    place, so a crash mid-save never leaves a truncated dataset behind.
+    Under fault injection ([?io]) a simulated kill leaves the temp file in
+    the directory — recovery tooling must tolerate and clean strays. *)
 
 val load : string -> t
 

@@ -1,31 +1,73 @@
+module Retry = Sbi_fault.Retry
+
 type t = {
   fd : Unix.file_descr;
-  ic : in_channel;
-  oc : out_channel;
+  rd : Wire.reader;
+  io : Sbi_fault.Io.t option;
   mutable open_ : bool;
 }
 
-let connect addr =
-  let sa = Wire.sockaddr addr in
-  let fd = Unix.socket (Unix.domain_of_sockaddr sa) Unix.SOCK_STREAM 0 in
-  (try Unix.connect fd sa
-   with e ->
-     Unix.close fd;
-     raise e);
-  { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd; open_ = true }
+let default_timeout_ms = 30_000
+
+(* Non-blocking connect bounded by [select]: a black-holed host fails in
+   [timeout_ms] instead of the kernel's minutes-long default. *)
+let connect_deadline fd sa timeout_ms =
+  if timeout_ms <= 0 then Unix.connect fd sa
+  else begin
+    Unix.set_nonblock fd;
+    (match Unix.connect fd sa with
+    | () -> ()
+    | exception Unix.Unix_error ((Unix.EINPROGRESS | Unix.EWOULDBLOCK | Unix.EAGAIN), _, _) -> (
+        match Unix.select [] [ fd ] [] (float_of_int timeout_ms /. 1000.) with
+        | _, [], _ -> raise (Unix.Unix_error (Unix.ETIMEDOUT, "connect", ""))
+        | _, _ :: _, _ -> (
+            match Unix.getsockopt_error fd with
+            | Some err -> raise (Unix.Unix_error (err, "connect", ""))
+            | None -> ())));
+    Unix.clear_nonblock fd
+  end
+
+let transient = function
+  | Unix.ECONNREFUSED | Unix.ECONNRESET | Unix.ETIMEDOUT | Unix.EHOSTUNREACH
+  | Unix.ENETUNREACH | Unix.ENETDOWN | Unix.EAGAIN | Unix.EINTR | Unix.ENOENT ->
+      (* ENOENT: a Unix-socket server that has not bound yet *)
+      true
+  | _ -> false
+
+let connect ?(timeout_ms = default_timeout_ms) ?(retry = Retry.default) ?io addr =
+  match Wire.sockaddr addr with
+  | Error e -> Error e
+  | Ok sa ->
+      let attempt () =
+        let fd = Unix.socket (Unix.domain_of_sockaddr sa) Unix.SOCK_STREAM 0 in
+        match connect_deadline fd sa timeout_ms with
+        | () -> Ok fd
+        | exception Unix.Unix_error (e, _, _) ->
+            (try Unix.close fd with Unix.Unix_error _ -> ());
+            let msg = Unix.error_message e in
+            if transient e then Error (`Retry msg) else Error (`Fatal msg)
+      in
+      (match Retry.run retry attempt with
+      | Error msg ->
+          Error (Printf.sprintf "cannot connect to %s: %s" (Wire.addr_to_string addr) msg)
+      | Ok fd ->
+          if timeout_ms > 0 then begin
+            let deadline = float_of_int timeout_ms /. 1000. in
+            (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO deadline
+             with Unix.Unix_error _ -> ());
+            try Unix.setsockopt_float fd Unix.SO_SNDTIMEO deadline
+            with Unix.Unix_error _ -> ()
+          end;
+          Ok { fd; rd = Wire.reader ?io fd; io; open_ = true })
 
 let request t line =
-  output_string t.oc line;
-  output_char t.oc '\n';
-  flush t.oc;
-  Wire.read_response t.ic
+  Wire.write_string ?io:t.io t.fd (line ^ "\n");
+  Wire.read_response t.rd
 
 let close t =
   if t.open_ then begin
     t.open_ <- false;
-    (try
-       output_string t.oc "quit\n";
-       flush t.oc
-     with Sys_error _ -> ());
+    (try Wire.write_string t.fd "quit\n"
+     with Wire.Timeout | Unix.Unix_error _ | Sys_error _ -> ());
     try Unix.close t.fd with Unix.Unix_error _ -> ()
   end

@@ -1,13 +1,36 @@
-(** Blocking client for the {!Wire} protocol. *)
+(** Client for the {!Wire} protocol, hardened for flaky networks.
+
+    Connects with a bounded deadline (non-blocking connect + select) and
+    jittered-exponential-backoff retries ({!Sbi_fault.Retry}) on
+    transient connect failures — refused, unreachable, reset, timed out.
+    Established connections carry kernel send/receive deadlines
+    ([SO_SNDTIMEO]/[SO_RCVTIMEO]), so a stalled server surfaces as
+    {!Wire.Timeout} instead of a hang.  Requests are never retried:
+    [ingest] is not idempotent, and only the caller knows whether a
+    command is safe to replay. *)
 
 type t
 
-val connect : Wire.addr -> t
-(** @raise Unix.Unix_error when the server is unreachable. *)
+val default_timeout_ms : int
+(** 30_000 — every deadline is finite unless explicitly disabled. *)
+
+val connect :
+  ?timeout_ms:int ->
+  ?retry:Sbi_fault.Retry.policy ->
+  ?io:Sbi_fault.Io.t ->
+  Wire.addr ->
+  (t, string) result
+(** [timeout_ms] (default {!default_timeout_ms}) bounds the connect
+    attempt and every subsequent read/write; [<= 0] disables deadlines.
+    [retry] (default {!Sbi_fault.Retry.default}) governs reconnect
+    backoff; pass {!Sbi_fault.Retry.no_retry} for a single attempt.
+    [Error] on resolution failure or when every attempt is exhausted —
+    never an exception. *)
 
 val request : t -> string -> (string * string list, string) result
 (** Send one command line and read one framed response.
     [Ok (header_rest, payload)] on [ok]; [Error msg] on [err].
+    @raise Wire.Timeout when a deadline expires mid-request.
     @raise End_of_file when the server closed the connection. *)
 
 val close : t -> unit

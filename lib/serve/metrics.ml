@@ -9,6 +9,7 @@ type t = {
   mutex : Mutex.t;
   mutable requests : int;
   per_command : (string, int) Hashtbl.t;
+  faults : (string, int) Hashtbl.t;  (* per-connection failures by kind *)
   mutable bytes_in : int;
   mutable bytes_out : int;
   mutable connections : int;
@@ -21,6 +22,7 @@ let create () =
     mutex = Mutex.create ();
     requests = 0;
     per_command = Hashtbl.create 8;
+    faults = Hashtbl.create 8;
     bytes_in = 0;
     bytes_out = 0;
     connections = 0;
@@ -54,9 +56,15 @@ let connection_opened t =
 
 let connection_closed t = locked t (fun () -> t.connections <- t.connections - 1)
 
+let fault t ~kind =
+  locked t (fun () ->
+      Hashtbl.replace t.faults kind
+        (1 + Option.value ~default:0 (Hashtbl.find_opt t.faults kind)))
+
 type snapshot = {
   requests : int;
   per_command : (string * int) list;
+  faults : (string * int) list;
   bytes_in : int;
   bytes_out : int;
   connections : int;
@@ -99,6 +107,10 @@ let snapshot t =
           List.sort
             (fun (a, _) (b, _) -> String.compare a b)
             (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.per_command []);
+        faults =
+          List.sort
+            (fun (a, _) (b, _) -> String.compare a b)
+            (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.faults []);
         bytes_in = t.bytes_in;
         bytes_out = t.bytes_out;
         connections = t.connections;
@@ -124,5 +136,6 @@ let lines t =
         Printf.sprintf "latency_p99_us %d" s.p99_us;
       ];
       List.map (fun (cmd, n) -> Printf.sprintf "req.%s %d" cmd n) s.per_command;
+      List.map (fun (kind, n) -> Printf.sprintf "fault.%s %d" kind n) s.faults;
       List.map (fun (bound, n) -> Printf.sprintf "latency_le_%dus %d" bound n) s.latency_buckets;
     ]

@@ -12,9 +12,14 @@ val record : t -> cmd:string -> latency_ns:int -> bytes_in:int -> bytes_out:int 
 val connection_opened : t -> unit
 val connection_closed : t -> unit
 
+val fault : t -> kind:string -> unit
+(** Count a per-connection failure ("timeout", "reset", "oversize",
+    "error"); surfaced as [fault.<kind>] lines in [stats]. *)
+
 type snapshot = {
   requests : int;
   per_command : (string * int) list;  (** sorted by command name *)
+  faults : (string * int) list;  (** sorted by kind *)
   bytes_in : int;
   bytes_out : int;
   connections : int;  (** currently open *)

@@ -9,10 +9,20 @@ type config = {
   fsync : bool;
   ingest_log : string option;
   domains : int;
+  max_request : int;
+  io : Sbi_fault.Io.t;
 }
 
 let default_config addr =
-  { addr; timeout = 30.; fsync = true; ingest_log = None; domains = 1 }
+  {
+    addr;
+    timeout = 30.;
+    fsync = true;
+    ingest_log = None;
+    domains = 1;
+    max_request = 1 lsl 20;
+    io = Sbi_fault.Io.none;
+  }
 
 type t = {
   config : config;
@@ -132,12 +142,23 @@ let handle_ingest t b64 =
           | r -> (
               (* validate before any state mutates: a rejected report must
                  leave neither the log nor the tail touched *)
-              match Index.append t.index r with
+              match Index.validate t.index r with
               | exception Invalid_argument m -> Error m
-              | () ->
-                  Shard_log.append w r;
-                  t.ingested_n <- t.ingested_n + 1;
-                  Ok (Printf.sprintf "ingested %d" r.Report.run_id, []))))
+              | () -> (
+                  (* durable first, visible second: a report enters the
+                     live tail (and the ack) only after the log fsync
+                     succeeded, so nothing queryable can be lost by a
+                     crash and nothing unlogged is ever acknowledged *)
+                  match Shard_log.append w r with
+                  | exception Unix.Unix_error (e, op, _) ->
+                      Metrics.fault t.metrics ~kind:"ingest_io";
+                      Error
+                        (Printf.sprintf "ingest not durable (%s during %s); retry"
+                           (Unix.error_message e) op)
+                  | () ->
+                      Index.append t.index r;
+                      t.ingested_n <- t.ingested_n + 1;
+                      Ok (Printf.sprintf "ingested %d" r.Report.run_id, [])))))
 
 (* --- connection loop --- *)
 
@@ -160,44 +181,65 @@ let dispatch t line =
   | [] -> Error "empty command"
   | cmd :: _ -> Error (Printf.sprintf "unknown command %s (try: ping topk pred affinity stats ingest quit)" cmd)
 
+(* Per-connection fault isolation: any failure on one connection —
+   receive deadline, peer reset, oversized request, handler exception —
+   is counted in metrics and closes only that connection.  The accept
+   loop and every other worker are untouched. *)
 let handle_connection t fd =
   Metrics.connection_opened t.metrics;
-  let ic = Unix.in_channel_of_descr fd in
-  let oc = Unix.out_channel_of_descr fd in
+  let io = t.config.io in
+  let rd = Wire.reader ~io ~max_line:t.config.max_request fd in
   let closed = ref false in
   (try
      while not !closed && not (Atomic.get t.stop_flag) do
-       match input_line ic with
+       match Wire.read_line rd with
+       | exception Wire.Timeout ->
+           Metrics.fault t.metrics ~kind:"timeout";
+           closed := true
+       | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+           Metrics.fault t.metrics ~kind:"reset";
+           closed := true
        | exception End_of_file -> closed := true
-       | exception Sys_error _ -> closed := true (* receive timeout or reset *)
-       | line ->
-           let line =
-             (* tolerate CRLF clients *)
-             if String.length line > 0 && line.[String.length line - 1] = '\r' then
-               String.sub line 0 (String.length line - 1)
-             else line
-           in
+       | `Eof -> closed := true
+       | `Too_long ->
+           (* the stream is out of sync past the bound; reject and drop *)
+           Metrics.fault t.metrics ~kind:"oversize";
+           (try
+              ignore
+                (Wire.write_err ~io fd
+                   (Printf.sprintf "request exceeds %d bytes" t.config.max_request))
+            with _ -> ());
+           closed := true
+       | `Line line ->
            if line = "quit" then begin
-             ignore (Wire.write_ok oc ~header:"bye" ~lines:[]);
+             ignore (Wire.write_ok ~io fd ~header:"bye" ~lines:[]);
              closed := true
            end
            else begin
              let t0 = Unix.gettimeofday () in
              let result =
                try dispatch t line
-               with e -> Error ("internal error: " ^ Printexc.to_string e)
+               with
+               | Sbi_fault.Fault.Crash _ as e -> raise e
+               | e ->
+                   Metrics.fault t.metrics ~kind:"error";
+                   Error ("internal error: " ^ Printexc.to_string e)
              in
              let bytes_out =
                match result with
-               | Ok (header, lines) -> Wire.write_ok oc ~header ~lines
-               | Error msg -> Wire.write_err oc msg
+               | Ok (header, lines) -> Wire.write_ok ~io fd ~header ~lines
+               | Error msg -> Wire.write_err ~io fd msg
              in
              let latency_ns = int_of_float ((Unix.gettimeofday () -. t0) *. 1e9) in
              Metrics.record t.metrics ~cmd:(cmd_name line) ~latency_ns
                ~bytes_in:(String.length line + 1) ~bytes_out
            end
      done
-   with _ -> ());
+   with
+  | Wire.Timeout -> Metrics.fault t.metrics ~kind:"timeout"
+  | Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+      Metrics.fault t.metrics ~kind:"reset"
+  | _ -> Metrics.fault t.metrics ~kind:"error");
   (try Unix.close fd with Unix.Unix_error _ -> ());
   Metrics.connection_closed t.metrics;
   locked t.workers_lock (fun () -> Hashtbl.remove t.workers (Thread.id (Thread.self ())))
@@ -230,14 +272,20 @@ let open_ingest_writer config (index : Index.t) =
   | None -> None
   | Some dir ->
       if not (Sys.file_exists (Filename.concat dir "meta")) then
-        Shard_log.write_meta ~dir index.Index.meta;
-      Some (Shard_log.create_writer ~fsync:config.fsync ~dir ~shard:(fresh_shard_id ~dir) ())
+        Shard_log.write_meta ~io:config.io ~dir index.Index.meta;
+      Some
+        (Shard_log.create_writer ~io:config.io ~fsync:config.fsync ~dir
+           ~shard:(fresh_shard_id ~dir) ())
 
 let start config index =
   (* a peer that disconnects mid-response must not kill the process;
      the write surfaces as Sys_error/EPIPE and closes that connection *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
-  let sa = Wire.sockaddr config.addr in
+  let sa =
+    match Wire.sockaddr config.addr with
+    | Ok sa -> sa
+    | Error m -> invalid_arg ("cannot bind: " ^ m)
+  in
   (match config.addr with
   | Wire.Unix_sock path when Sys.file_exists path -> Sys.remove path
   | _ -> ());

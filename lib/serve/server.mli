@@ -36,15 +36,23 @@ type config = {
   domains : int;
       (** analysis domains; [> 1] spawns a {!Sbi_par.Domain_pool} that
           parallelizes snapshot rebuilds and affinity rescoring *)
+  max_request : int;
+      (** byte bound on any single request line; an oversized request is
+          rejected ([err] + close) and counted as a [fault.oversize] *)
+  io : Sbi_fault.Io.t;
+      (** fault-injection hook for wire and ingest-log I/O; passthrough
+          ({!Sbi_fault.Io.none}) in production *)
 }
 
 val default_config : Wire.addr -> config
-(** 30s timeout, fsync on, no ingest log, 1 domain. *)
+(** 30s timeout, fsync on, no ingest log, 1 domain, 1 MiB request bound,
+    passthrough I/O. *)
 
 val start : config -> Sbi_index.Index.t -> t
 (** Bind, listen, and spawn the accept loop.  When [ingest_log] is set,
     opens a writer on a fresh shard (max existing shard + 1).
-    @raise Unix.Unix_error when the address cannot be bound. *)
+    @raise Unix.Unix_error when the address cannot be bound.
+    @raise Invalid_argument when the address does not resolve. *)
 
 val addr : t -> Wire.addr
 

@@ -1,3 +1,5 @@
+module Io = Sbi_fault.Io
+
 type addr = Unix_sock of string | Tcp of string * int
 
 let addr_of_string s =
@@ -19,11 +21,83 @@ let addr_to_string = function
   | Tcp (host, port) -> Printf.sprintf "%s:%d" host port
 
 let sockaddr = function
-  | Unix_sock path -> Unix.ADDR_UNIX path
+  | Unix_sock path -> Ok (Unix.ADDR_UNIX path)
   | Tcp (host, port) -> (
-      match Unix.getaddrinfo host (string_of_int port) [ Unix.AI_SOCKTYPE Unix.SOCK_STREAM ] with
-      | { Unix.ai_addr; _ } :: _ -> ai_addr
-      | [] -> failwith (Printf.sprintf "cannot resolve host %S" host))
+      match
+        Unix.getaddrinfo host (string_of_int port) [ Unix.AI_SOCKTYPE Unix.SOCK_STREAM ]
+      with
+      | { Unix.ai_addr; _ } :: _ -> Ok ai_addr
+      | [] | (exception Not_found) ->
+          Error (Printf.sprintf "cannot resolve host %S" host))
+
+exception Timeout
+
+(* --- partial-operation-safe primitives --- *)
+
+let rec write_fully ?io fd buf pos len =
+  if len > 0 then
+    match Io.fd_write ?io fd buf pos len with
+    | n -> write_fully ?io fd buf (pos + n) (len - n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_fully ?io fd buf pos len
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> raise Timeout
+
+let write_string ?io fd s = write_fully ?io fd (Bytes.unsafe_of_string s) 0 (String.length s)
+
+type reader = {
+  r_fd : Unix.file_descr;
+  r_io : Io.t option;
+  r_max : int;
+  r_chunk : Bytes.t;
+  mutable r_pos : int;
+  mutable r_len : int;  (* valid bytes in r_chunk; -1 after EOF *)
+}
+
+let reader ?io ?(max_line = 1 lsl 20) fd =
+  { r_fd = fd; r_io = io; r_max = max_line; r_chunk = Bytes.create 8192; r_pos = 0; r_len = 0 }
+
+(* Pulls more bytes into the chunk; false at EOF. *)
+let rec refill r =
+  match
+    match r.r_io with
+    | None -> Unix.read r.r_fd r.r_chunk 0 (Bytes.length r.r_chunk)
+    | Some io -> Io.fd_read ~io r.r_fd r.r_chunk 0 (Bytes.length r.r_chunk)
+  with
+  | 0 -> false
+  | n ->
+      r.r_pos <- 0;
+      r.r_len <- n;
+      true
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> refill r
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> raise Timeout
+
+let strip_cr line =
+  let n = String.length line in
+  if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
+
+let read_line r =
+  let buf = Buffer.create 80 in
+  let rec go () =
+    if r.r_pos >= r.r_len then
+      if refill r then go ()
+      else if Buffer.length buf = 0 then `Eof
+      else `Line (strip_cr (Buffer.contents buf)) (* unterminated final line *)
+    else
+      match Bytes.index_from_opt r.r_chunk r.r_pos '\n' with
+      | Some i when i < r.r_len ->
+          Buffer.add_subbytes buf r.r_chunk r.r_pos (i - r.r_pos);
+          r.r_pos <- i + 1;
+          if Buffer.length buf > r.r_max then `Too_long
+          else `Line (strip_cr (Buffer.contents buf))
+      | _ ->
+          Buffer.add_subbytes buf r.r_chunk r.r_pos (r.r_len - r.r_pos);
+          r.r_pos <- r.r_len;
+          (* bail before the next refill: an unterminated flood must not
+             grow the buffer without bound *)
+          if Buffer.length buf > r.r_max then `Too_long else go ()
+  in
+  go ()
+
+(* --- framing --- *)
 
 let stuff line = if String.length line > 0 && line.[0] = '.' then "." ^ line else line
 
@@ -31,7 +105,7 @@ let unstuff line =
   if String.length line > 1 && line.[0] = '.' then String.sub line 1 (String.length line - 1)
   else line
 
-let write_framed oc header lines =
+let write_framed ?io fd header lines =
   let buf = Buffer.create 256 in
   Buffer.add_string buf header;
   Buffer.add_char buf '\n';
@@ -41,23 +115,32 @@ let write_framed oc header lines =
       Buffer.add_char buf '\n')
     lines;
   Buffer.add_string buf ".\n";
-  output_string oc (Buffer.contents buf);
-  flush oc;
+  write_string ?io fd (Buffer.contents buf);
   Buffer.length buf
 
-let write_ok oc ~header ~lines = write_framed oc ("ok " ^ header) lines
-let write_err oc msg = write_framed oc ("err " ^ msg) []
+let write_ok ?io fd ~header ~lines = write_framed ?io fd ("ok " ^ header) lines
+let write_err ?io fd msg = write_framed ?io fd ("err " ^ msg) []
 
-let read_response ic =
-  let header = input_line ic in
-  let rec payload acc =
-    let line = input_line ic in
-    if line = "." then List.rev acc else payload (unstuff line :: acc)
+let read_response rd =
+  let line () =
+    match read_line rd with
+    | `Line l -> l
+    | `Eof -> raise End_of_file
+    | `Too_long -> failwith "too_long"
   in
-  let lines = payload [] in
-  if header = "ok" then Ok ("", lines)
-  else if String.length header >= 3 && String.sub header 0 3 = "ok " then
-    Ok (String.sub header 3 (String.length header - 3), lines)
-  else if String.length header >= 4 && String.sub header 0 4 = "err " then
-    Error (String.sub header 4 (String.length header - 4))
-  else Error ("malformed response header: " ^ header)
+  match
+    let header = line () in
+    let rec payload acc =
+      let l = line () in
+      if l = "." then List.rev acc else payload (unstuff l :: acc)
+    in
+    (header, payload [])
+  with
+  | exception Failure _ -> Error "response line exceeds the reader's bound"
+  | header, lines ->
+      if header = "ok" then Ok ("", lines)
+      else if String.length header >= 3 && String.sub header 0 3 = "ok " then
+        Ok (String.sub header 3 (String.length header - 3), lines)
+      else if String.length header >= 4 && String.sub header 0 4 = "err " then
+        Error (String.sub header 4 (String.length header - 4))
+      else Error ("malformed response header: " ^ header)

@@ -1,4 +1,5 @@
-(** The triage wire protocol: addresses and response framing.
+(** The triage wire protocol: addresses, robust socket I/O, and response
+    framing.
 
     Requests are single lines, [\n]-terminated:
     {v
@@ -10,7 +11,14 @@
     followed by zero or more payload lines, terminated by a line holding
     a single ["."].  A payload line that happens to start with a dot is
     dot-stuffed ([".."] on the wire), so binary-free framing never
-    ambiguates. *)
+    ambiguates.
+
+    All I/O is file-descriptor based and partial-operation safe: writes
+    loop until every byte is accepted, reads are buffered, and [EINTR]
+    is always retried.  [EAGAIN]/[EWOULDBLOCK] — the kernel's way of
+    reporting an expired [SO_RCVTIMEO]/[SO_SNDTIMEO] deadline — raises
+    {!Timeout}.  Both sides optionally route through
+    {!Sbi_fault.Io} for fault injection. *)
 
 type addr =
   | Unix_sock of string  (** filesystem socket path *)
@@ -21,15 +29,47 @@ val addr_of_string : string -> (addr, string) result
     [host:port]. *)
 
 val addr_to_string : addr -> string
-val sockaddr : addr -> Unix.sockaddr
-(** @raise Failure when a TCP host does not resolve. *)
 
-val write_ok : out_channel -> header:string -> lines:string list -> int
+val sockaddr : addr -> (Unix.sockaddr, string) result
+(** Resolve to a connectable address.  [Error] (never an exception) when
+    a TCP host does not resolve. *)
+
+exception Timeout
+(** A socket deadline ([SO_RCVTIMEO]/[SO_SNDTIMEO]) expired. *)
+
+(** {1 Partial-operation-safe primitives} *)
+
+val write_fully :
+  ?io:Sbi_fault.Io.t -> Unix.file_descr -> Bytes.t -> int -> int -> unit
+(** Write exactly [len] bytes, looping over partial writes and retrying
+    [EINTR].  @raise Timeout on an expired send deadline. *)
+
+val write_string : ?io:Sbi_fault.Io.t -> Unix.file_descr -> string -> unit
+
+(** Buffered line reader over a descriptor. *)
+type reader
+
+val reader : ?io:Sbi_fault.Io.t -> ?max_line:int -> Unix.file_descr -> reader
+(** [max_line] (default 1 MiB) bounds any single line: a peer that
+    streams an unterminated request cannot grow memory without bound. *)
+
+val read_line : reader -> [ `Line of string | `Eof | `Too_long ]
+(** Next [\n]-terminated line (terminator stripped, CR tolerated).
+    [`Too_long] when the line exceeds the reader's bound — the stream is
+    no longer in sync and should be closed.  Retries [EINTR]; short
+    reads are absorbed by the buffer.  @raise Timeout on an expired
+    receive deadline. *)
+
+(** {1 Framing} *)
+
+val write_ok :
+  ?io:Sbi_fault.Io.t -> Unix.file_descr -> header:string -> lines:string list -> int
 (** Send one framed success response; returns bytes written. *)
 
-val write_err : out_channel -> string -> int
+val write_err : ?io:Sbi_fault.Io.t -> Unix.file_descr -> string -> int
 
-val read_response : in_channel -> (string * string list, string) result
+val read_response : reader -> (string * string list, string) result
 (** Read one framed response: [Ok (header_rest, payload)] for an [ok]
     header (the header's text after ["ok "]), [Error msg] for [err].
-    @raise End_of_file when the peer closed mid-response. *)
+    @raise End_of_file when the peer closed mid-response.
+    @raise Timeout on an expired receive deadline. *)

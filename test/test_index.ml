@@ -212,7 +212,7 @@ let test_build_and_open () =
       let st = Random.State.make [| 11 |] in
       let reports = random_reports st ~start_id:0 60 in
       write_log ~dir:log reports;
-      let b = Index.build ~log ~dir:idx_dir in
+      let b = Index.build ~log ~dir:idx_dir () in
       Alcotest.(check int) "one segment" 1 b.Index.segments_added;
       Alcotest.(check int) "all records" 60 b.Index.records_indexed;
       let idx = Index.open_ ~dir:idx_dir in
@@ -222,7 +222,7 @@ let test_build_and_open () =
         (Index.num_failures idx);
       Alcotest.(check bool) "counts = Counts.compute" true
         (counts_equal (Triage.counts idx) (Sbi_core.Counts.compute (dataset_of reports)));
-      let b2 = Index.build ~log ~dir:idx_dir in
+      let b2 = Index.build ~log ~dir:idx_dir () in
       Alcotest.(check int) "rebuild is a no-op" 0 b2.Index.segments_added;
       Alcotest.(check int) "no new bytes" 0 b2.Index.bytes_consumed)
 
@@ -233,13 +233,13 @@ let test_incremental_build () =
       let st = Random.State.make [| 12 |] in
       let first = random_reports st ~start_id:0 40 in
       write_log ~dir:log first;
-      ignore (Index.build ~log ~dir:idx_dir);
+      ignore (Index.build ~log ~dir:idx_dir ());
       (* source shard 0 grows, and a brand-new shard 1 appears *)
       let grown = random_reports st ~start_id:40 25 in
       grow_shard ~dir:log ~shard:0 grown;
       let fresh = random_reports st ~start_id:65 30 in
       write_log ~dir:log ~shard:1 fresh;
-      let b = Index.build ~log ~dir:idx_dir in
+      let b = Index.build ~log ~dir:idx_dir () in
       Alcotest.(check int) "two new segments" 2 b.Index.segments_added;
       Alcotest.(check int) "only new records" 55 b.Index.records_indexed;
       let idx = Index.open_ ~dir:idx_dir in
@@ -257,7 +257,7 @@ let test_corrupt_source_skipped () =
       write_log ~dir:log (random_reports st ~start_id:0 30);
       (* damage one record mid-shard: the build must skip it and keep going *)
       corrupt_one_byte (Filename.concat log "shard-0000.sbil") 200;
-      let b = Index.build ~log ~dir:idx_dir in
+      let b = Index.build ~log ~dir:idx_dir () in
       Alcotest.(check bool) "skipped something" true (b.Index.corrupt_skipped >= 1);
       let idx = Index.open_ ~dir:idx_dir in
       Alcotest.(check int) "intact records indexed" b.Index.records_indexed (Index.nruns idx))
@@ -269,7 +269,7 @@ let test_corrupt_segment_and_fsck () =
       let st = Random.State.make [| 14 |] in
       write_log ~dir:log (random_reports st ~start_id:0 20);
       write_log ~dir:log ~shard:1 (random_reports st ~start_id:20 20);
-      ignore (Index.build ~log ~dir:idx_dir);
+      ignore (Index.build ~log ~dir:idx_dir ());
       let clean = Index.fsck ~dir:idx_dir in
       Alcotest.(check int) "fsck: all ok" 2 clean.Index.fsck_ok;
       Alcotest.(check int) "fsck: none corrupt" 0 clean.Index.fsck_corrupt;
@@ -292,7 +292,7 @@ let test_tail_append () =
       let st = Random.State.make [| 15 |] in
       let base = random_reports st ~start_id:0 35 in
       write_log ~dir:log base;
-      ignore (Index.build ~log ~dir:idx_dir);
+      ignore (Index.build ~log ~dir:idx_dir ());
       let idx = Index.open_ ~dir:idx_dir in
       let live = random_reports st ~start_id:35 12 in
       Array.iter (Index.append idx) live;
@@ -371,7 +371,7 @@ let qcheck_index_matches_analysis =
           let n1 = 20 + Random.State.int st 40 in
           let first = random_reports st ~start_id:0 n1 in
           write_log ~dir:log first;
-          ignore (Index.build ~log ~dir:idx_dir);
+          ignore (Index.build ~log ~dir:idx_dir ());
           check_equivalent ~msg:"initial" (Index.open_ ~dir:idx_dir) (dataset_of first);
           (* incremental: shard 0 grows and shard 1 appears, only the new
              bytes are compiled, and the merged answers still match *)
@@ -381,7 +381,7 @@ let qcheck_index_matches_analysis =
           let n3 = 10 + Random.State.int st 20 in
           let fresh = random_reports st ~start_id:(n1 + n2) n3 in
           write_log ~dir:log ~shard:1 fresh;
-          let b = Index.build ~log ~dir:idx_dir in
+          let b = Index.build ~log ~dir:idx_dir () in
           if b.Index.records_indexed <> n2 + n3 then
             Alcotest.failf "incremental build re-read old records (%d <> %d)"
               b.Index.records_indexed (n2 + n3);
@@ -404,7 +404,7 @@ let qcheck_discard_proposals =
           let st = Random.State.make [| seed; 0x2dc |] in
           let reports = random_reports st ~start_id:0 (30 + Random.State.int st 30) in
           write_log ~dir:log reports;
-          ignore (Index.build ~log ~dir:idx_dir);
+          ignore (Index.build ~log ~dir:idx_dir ());
           let idx = Index.open_ ~dir:idx_dir in
           let ds = dataset_of reports in
           List.for_all
@@ -432,7 +432,7 @@ let qcheck_snapshot_cache =
           let st = Random.State.make [| seed; 0x54a |] in
           let base = random_reports st ~start_id:0 (25 + Random.State.int st 25) in
           write_log ~dir:log base;
-          ignore (Index.build ~log ~dir:idx_dir);
+          ignore (Index.build ~log ~dir:idx_dir ());
           let idx = Index.open_ ~dir:idx_dir in
           let all = ref (Array.to_list base) in
           let rounds = 3 + Random.State.int st 3 in
@@ -471,7 +471,7 @@ let qcheck_parallel_elimination =
           let st = Random.State.make [| seed; 0x9a7 |] in
           let reports = random_reports st ~start_id:0 (30 + Random.State.int st 30) in
           write_log ~dir:log reports;
-          ignore (Index.build ~log ~dir:idx_dir);
+          ignore (Index.build ~log ~dir:idx_dir ());
           let pool = Sbi_par.Domain_pool.create ~domains () in
           Fun.protect
             ~finally:(fun () -> Sbi_par.Domain_pool.shutdown pool)
@@ -508,7 +508,7 @@ let qcheck_cooccurrence =
           let st = Random.State.make [| seed; 0x3c0 |] in
           let reports = random_reports st ~start_id:0 40 in
           write_log ~dir:log reports;
-          ignore (Index.build ~log ~dir:idx_dir);
+          ignore (Index.build ~log ~dir:idx_dir ());
           let idx = Index.open_ ~dir:idx_dir in
           let naive =
             Array.fold_left

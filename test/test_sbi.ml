@@ -19,6 +19,7 @@ let () =
       ("par", Test_par.suite);
       ("index", Test_index.suite);
       ("serve", Test_serve.suite);
+      ("fault", Test_fault.suite);
       ("cli", Test_cli.suite);
       ("core", Test_core.suite);
       ("logreg", Test_logreg.suite);

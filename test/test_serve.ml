@@ -74,21 +74,22 @@ let test_wire_framing () =
   with_temp_dir (fun dir ->
       let path = Filename.concat dir "frame" in
       let payload = [ "plain"; ".starts with dot"; ""; "..double"; "last" ] in
-      let oc = open_out_bin path in
-      let n1 = Wire.write_ok oc ~header:"topk 5" ~lines:payload in
-      let n2 = Wire.write_err oc "boom" in
-      close_out oc;
+      let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o600 in
+      let n1 = Wire.write_ok fd ~header:"topk 5" ~lines:payload in
+      let n2 = Wire.write_err fd "boom" in
+      Unix.close fd;
       Alcotest.(check bool) "bytes counted" true (n1 > 0 && n2 > 0);
-      let ic = open_in_bin path in
-      (match Wire.read_response ic with
+      let fd = Unix.openfile path [ Unix.O_RDONLY ] 0o600 in
+      let rd = Wire.reader fd in
+      (match Wire.read_response rd with
       | Ok (header, lines) ->
           Alcotest.(check string) "header" "topk 5" header;
           Alcotest.(check (list string)) "dot-stuffing round trip" payload lines
       | Error e -> Alcotest.failf "unexpected err: %s" e);
-      (match Wire.read_response ic with
+      (match Wire.read_response rd with
       | Error "boom" -> ()
       | _ -> Alcotest.fail "expected err response");
-      close_in ic)
+      Unix.close fd)
 
 (* --- metrics --- *)
 
@@ -149,17 +150,27 @@ let with_server ?(fsync = true) f =
       let w = Shard_log.create_writer ~dir:log ~shard:0 () in
       Array.iter (Shard_log.append w) base_reports;
       ignore (Shard_log.close_writer w);
-      ignore (Index.build ~log ~dir:idx_dir);
+      ignore (Index.build ~log ~dir:idx_dir ());
       let idx = Index.open_ ~dir:idx_dir in
       let addr = Wire.Unix_sock (Filename.concat tmp "sock") in
       let ingest_dir = Filename.concat tmp "ingest" in
       let config =
-        { Server.addr; timeout = 10.; fsync; ingest_log = Some ingest_dir; domains = 1 }
+        {
+          (Server.default_config addr) with
+          Server.timeout = 10.;
+          fsync;
+          ingest_log = Some ingest_dir;
+        }
       in
       let srv = Server.start config idx in
       Fun.protect
         ~finally:(fun () -> Server.stop srv)
         (fun () -> f ~srv ~addr ~idx ~ingest_dir))
+
+let connect_ok addr =
+  match Client.connect addr with
+  | Ok c -> c
+  | Error e -> Alcotest.failf "connect failed: %s" e
 
 let request_ok client line =
   match Client.request client line with
@@ -170,7 +181,7 @@ let request_ok client line =
 
 let test_server_basic () =
   with_server (fun ~srv:_ ~addr ~idx ~ingest_dir:_ ->
-      let c = Client.connect addr in
+      let c = connect_ok addr in
       let header, _ = request_ok c "ping" in
       Alcotest.(check string) "ping" "pong" header;
       let expected = Triage.topk ~k:3 idx in
@@ -208,7 +219,7 @@ let test_server_basic () =
 
 let test_server_ingest_durable () =
   with_server (fun ~srv ~addr ~idx ~ingest_dir ->
-      let c = Client.connect addr in
+      let c = connect_ok addr in
       let fresh =
         mk_report ~outcome:Report.Failure ~sites:[| 0; 2 |] ~preds:[| 0; 4 |] 1000
       in
@@ -251,7 +262,7 @@ let test_server_concurrent_clients () =
       in
       let worker cid =
         try
-          let c = Client.connect addr in
+          let c = connect_ok addr in
           for i = 0 to per_client - 1 do
             match i mod 3 with
             | 0 ->
@@ -284,7 +295,7 @@ let test_server_concurrent_clients () =
          request's metrics just after writing its response, so a client can
          see its last reply before the server has recorded it: poll briefly
          instead of asserting on the first stats snapshot. *)
-      let c = Client.connect addr in
+      let c = connect_ok addr in
       let worker_requests stats =
         List.fold_left
           (fun acc l ->
@@ -314,30 +325,29 @@ let test_server_shutdown () =
       let w = Shard_log.create_writer ~dir:log ~shard:0 () in
       Array.iter (Shard_log.append w) base_reports;
       ignore (Shard_log.close_writer w);
-      ignore (Index.build ~log ~dir:idx_dir);
+      ignore (Index.build ~log ~dir:idx_dir ());
       let sock = Filename.concat tmp "sock" in
       let config =
         {
-          Server.addr = Wire.Unix_sock sock;
-          timeout = 10.;
+          (Server.default_config (Wire.Unix_sock sock)) with
+          Server.timeout = 10.;
           fsync = false;
           ingest_log = Some (Filename.concat tmp "ingest");
-          domains = 1;
         }
       in
       let srv = Server.start config (Index.open_ ~dir:idx_dir) in
-      let c = Client.connect (Wire.Unix_sock sock) in
+      let c = connect_ok (Wire.Unix_sock sock) in
       ignore (request_ok c "ping");
       Server.stop srv;
       Server.stop srv;
       Server.wait srv;
       Alcotest.(check bool) "socket file removed" false (Sys.file_exists sock);
-      (match Client.connect (Wire.Unix_sock sock) with
-      | _ -> Alcotest.fail "connect after stop must fail"
-      | exception Unix.Unix_error _ -> ());
+      (match Client.connect ~retry:Sbi_fault.Retry.no_retry (Wire.Unix_sock sock) with
+      | Ok _ -> Alcotest.fail "connect after stop must fail"
+      | Error _ -> ());
       (* same address is immediately reusable *)
       let srv2 = Server.start config (Index.open_ ~dir:idx_dir) in
-      let c2 = Client.connect (Wire.Unix_sock sock) in
+      let c2 = connect_ok (Wire.Unix_sock sock) in
       ignore (request_ok c2 "ping");
       Client.close c2;
       Server.stop srv2)
