@@ -37,9 +37,12 @@ bench:
 	dune exec bench/main.exe
 
 # Fails (exit 1) if any par:* parallel analysis result diverges from the
-# sequential engine on a synthetic corpus (see docs/perf.md).
+# sequential engine on a synthetic corpus (see docs/perf.md), or if the
+# observability layer adds more than 2% overhead on instrumented hot
+# paths (see docs/observability.md).
 bench-check:
 	dune exec bench/main.exe -- --par-check
+	dune exec bench/main.exe -- --obs-check
 
 # Build a small demo log + index and start a triage server on it.
 # Query it from another terminal, e.g.:

@@ -652,6 +652,86 @@ let fault_check () =
     exit 1
   end
 
+(* --- observability overhead ---
+
+   A/B the instrumented hot paths with Sbi_obs enabled vs disabled:
+   indexed top-k (spans + registry around triage/snapshot) and ingest
+   append (sampled codec/log timers).  The delta is what the always-on
+   observability layer costs; --obs-check gates it fault-check style. *)
+
+let obs_overhead ctx =
+  let idx = Sbi_index.Index.open_ ~dir:ctx.sy_idx_dir in
+  (* warm the epoch-snapshot cache so the loop measures query-path
+     instrumentation, not a one-off snapshot build *)
+  ignore (Sbi_index.Index.snapshot idx);
+  let topk () =
+    for _ = 1 to 25 do
+      ignore (Sbi_index.Triage.topk ~k:10 idx)
+    done
+  in
+  let append () =
+    let dir = Filename.temp_dir "sbi_bench" ".obslog" in
+    Sbi_ingest.Shard_log.write_meta ~dir ctx.sy_meta;
+    let w = Sbi_ingest.Shard_log.create_writer ~dir ~shard:0 () in
+    Array.iter (Sbi_ingest.Shard_log.append w) ctx.sy_reports;
+    ignore (Sbi_ingest.Shard_log.close_writer w);
+    Array.iter (fun n -> Sys.remove (Filename.concat dir n)) (Sys.readdir dir);
+    Unix.rmdir dir
+  in
+  let reps = 5 in
+  let ab f =
+    Sbi_obs.set_enabled false;
+    let off = best_of reps f in
+    Sbi_obs.set_enabled true;
+    let on = best_of reps f in
+    (on, off)
+  in
+  let topk_on, topk_off = ab topk in
+  let append_on, append_off = ab append in
+  let pct off on = 100. *. (on -. off) /. Float.max off 1e-9 in
+  Printf.printf "observability overhead (%d runs, best of %d):\n" ctx.sy_nruns reps;
+  Printf.printf "  indexed topk  uninstrumented %8.1f ms | instrumented %8.1f ms (%+.2f%%)\n"
+    (topk_off *. 1e3) (topk_on *. 1e3) (pct topk_off topk_on);
+  Printf.printf "  ingest append uninstrumented %8.1f ms | instrumented %8.1f ms (%+.2f%%)\n"
+    (append_off *. 1e3) (append_on *. 1e3)
+    (pct append_off append_on);
+  ( [
+      ("obs:topk:off", topk_off *. 1e9);
+      ("obs:topk:on", topk_on *. 1e9);
+      ("obs:ingest:off", append_off *. 1e9);
+      ("obs:ingest:on", append_on *. 1e9);
+    ],
+    [ ("indexed topk", topk_off, topk_on); ("ingest append", append_off, append_on) ] )
+
+(* `bench/main.exe --obs-check`: exit non-zero if the enabled
+   observability layer costs more than the gate (2% plus a small noise
+   floor) over the same paths with Sbi_obs disabled. *)
+let obs_check () =
+  let nruns = min synth_nruns 3_000 in
+  Printf.printf "obs-check: %d-run synthetic corpus, instrumented vs disabled\n%!" nruns;
+  let ctx = build_synth_ctx ~nruns in
+  let _, pairs = obs_overhead ctx in
+  let max_pct = 2.0 and slack_s = 2e-3 in
+  let ok =
+    List.for_all
+      (fun (name, off, on) ->
+        let fine = on -. off <= (off *. max_pct /. 100.) +. slack_s in
+        if not fine then
+          Printf.printf "  OVERHEAD: %s %.1f ms -> %.1f ms exceeds %.0f%%\n%!" name
+            (off *. 1e3) (on *. 1e3) max_pct;
+        fine)
+      pairs
+  in
+  if ok then begin
+    Printf.printf "obs-check OK: instrumentation within %.0f%% (+noise floor) of disabled\n"
+      max_pct;
+    exit 0
+  end
+  else begin
+    prerr_endline "obs-check FAILED: observability layer adds measurable overhead";
+    exit 1
+  end
+
 (* --- run and report --- *)
 
 let run_benchmarks tests =
@@ -749,6 +829,7 @@ let print_tables () =
 let () =
   if Array.exists (fun a -> a = "--par-check") Sys.argv then par_check ();
   if Array.exists (fun a -> a = "--fault-check") Sys.argv then fault_check ();
+  if Array.exists (fun a -> a = "--obs-check") Sys.argv then obs_check ();
   Printf.printf "sbi benchmark harness: %d runs/study, adaptive training on %d runs\n%!"
     bench_runs bench_train;
   ignore (Lazy.force bundles);
@@ -770,9 +851,11 @@ let () =
   let serve_entries = par_server_scaling ctx in
   Printf.eprintf "[bench] timing fault-layer passthrough overhead...\n%!";
   let fault_entries, _ = fault_overhead ctx in
+  Printf.eprintf "[bench] timing observability-layer overhead...\n%!";
+  let obs_entries, _ = obs_overhead ctx in
   write_bench_json
     ~path:(Option.value ~default:"BENCH_core.json" (Sys.getenv_opt "SBI_BENCH_JSON"))
-    ~extra:(par_entries @ serve_entries @ fault_entries) results;
+    ~extra:(par_entries @ serve_entries @ fault_entries @ obs_entries) results;
   print_tables ();
   if not par_ok then begin
     prerr_endline "bench: parallel analysis diverged from sequential";

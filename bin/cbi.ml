@@ -788,12 +788,24 @@ let serve_cmd =
            ~doc:"Analysis domains: N > 1 spawns a domain pool that parallelizes \
                  snapshot rebuilds and affinity rescoring on the read path.")
   in
-  let run idx_dir addr timeout timeout_ms max_request no_fsync ingest_log update domains =
+  let slow_ms_t =
+    Arg.(value & opt (some int) None & info [ "slow-ms" ] ~docv:"MS"
+           ~doc:"Log every request taking at least MS milliseconds to stderr \
+                 (slow-query log: command, arguments digest, duration, snapshot \
+                 epoch).  0 logs every request; unset disables.")
+  in
+  let run idx_dir addr timeout timeout_ms max_request no_fsync ingest_log update domains
+      slow_ms =
     let addr = or_fail (Sbi_serve.Wire.addr_of_string addr) in
     if domains < 1 then begin
       prerr_endline "cbi: --domains must be >= 1";
       exit 2
     end;
+    (match slow_ms with
+    | Some ms when ms < 0 ->
+        prerr_endline "cbi: --slow-ms must be >= 0";
+        exit 2
+    | _ -> Sbi_obs.Slowlog.set_threshold_ms slow_ms);
     if max_request < 16 then begin
       prerr_endline "cbi: --max-request-bytes must be >= 16";
       exit 2
@@ -874,7 +886,7 @@ let serve_cmd =
   Cmd.v info
     Term.(
       const run $ idx_t $ addr_t $ timeout_t $ timeout_ms_t $ max_request_t $ no_fsync_t
-      $ ingest_log_t $ update_t $ domains_t)
+      $ ingest_log_t $ update_t $ domains_t $ slow_ms_t)
 
 let query_cmd =
   let addr_t =
@@ -933,6 +945,62 @@ let query_cmd =
   let info = Cmd.info "query" ~doc:"Send one command to a running 'cbi serve' instance." in
   Cmd.v info Term.(const run $ addr_t $ cmd_t $ timeout_ms_t $ retries_t)
 
+let trace_dump_cmd =
+  let addr_t =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ADDR"
+           ~doc:"Server address (host:port or socket path).")
+  in
+  let n_t =
+    Arg.(value & opt int 100 & info [ "n" ] ~docv:"N"
+           ~doc:"Dump at most the newest N retained spans (0 for all).")
+  in
+  let timeout_ms_t =
+    Arg.(value & opt int Sbi_serve.Client.default_timeout_ms
+         & info [ "timeout-ms" ] ~docv:"MS"
+             ~doc:"Connect/read/write deadline in milliseconds (0 or negative \
+                   disables deadlines).")
+  in
+  let run addr n timeout_ms =
+    let addr = or_fail (Sbi_serve.Wire.addr_of_string addr) in
+    if n < 0 then begin
+      prerr_endline "cbi: -n must be >= 0";
+      exit 2
+    end;
+    let client =
+      match Sbi_serve.Client.connect ~timeout_ms addr with
+      | Ok c -> c
+      | Error msg ->
+          prerr_endline
+            (Printf.sprintf "cbi: cannot connect to %s: %s"
+               (Sbi_serve.Wire.addr_to_string addr) msg);
+          exit 2
+    in
+    let request = if n = 0 then "trace" else Printf.sprintf "trace %d" n in
+    match Sbi_serve.Client.request client request with
+    | Ok (header, lines) ->
+        print_endline header;
+        List.iter print_endline lines;
+        Sbi_serve.Client.close client
+    | Error msg ->
+        Sbi_serve.Client.close client;
+        prerr_endline ("cbi: server error: " ^ msg);
+        exit 1
+    | exception End_of_file ->
+        prerr_endline "cbi: connection closed by server mid-response";
+        exit 2
+    | exception Sbi_serve.Wire.Timeout ->
+        prerr_endline
+          (Printf.sprintf "cbi: no response from %s within %dms"
+             (Sbi_serve.Wire.addr_to_string addr) timeout_ms);
+        exit 2
+  in
+  let info =
+    Cmd.info "trace-dump"
+      ~doc:"Dump the newest tracing spans retained by a running 'cbi serve' instance \
+            (span id, parent link, name, duration, owning domain)."
+  in
+  Cmd.v info Term.(const run $ addr_t $ n_t $ timeout_ms_t)
+
 let inspect_cmd =
   let study_t =
     Arg.(required & pos 0 (some study_conv) None & info [] ~docv:"STUDY" ~doc:"Study name.")
@@ -983,7 +1051,7 @@ let main_cmd =
       table_cmd; stack_cmd; validation_cmd; ablation_cmd; static_followup_cmd;
       report_cmd; curves_cmd; studies_cmd; run_cmd; collect_cmd; ingest_cmd;
       log_stats_cmd; analyze_cmd; analyze_file_cmd; index_cmd; fsck_cmd;
-      fault_check_cmd; serve_cmd; query_cmd; disasm_cmd; inspect_cmd;
+      fault_check_cmd; serve_cmd; query_cmd; trace_dump_cmd; disasm_cmd; inspect_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -157,7 +157,7 @@ let next_seg_id man =
       | None -> acc)
     0 man.man_segs
 
-let build ?io ~log ~dir () =
+let build_impl ?io ~log ~dir () =
   let log_meta =
     try Shard_log.read_meta ~dir:log
     with Shard_log.Format_error m -> raise (Format_error m)
@@ -226,6 +226,9 @@ let build ?io ~log ~dir () =
   write_file_atomic ?io (manifest_file dir) (render_manifest man);
   !stats
 
+let build ?io ~log ~dir () =
+  Sbi_obs.Trace.with_span ~name:"index.build" ~args:log (fun () -> build_impl ?io ~log ~dir ())
+
 (* --- opening --- *)
 
 let empty_tail meta =
@@ -236,7 +239,7 @@ let empty_tail meta =
     t_cache = None;
   }
 
-let open_impl pool ~dir =
+let open_body pool ~dir =
   let meta = load_meta dir in
   let man = load_manifest dir in
   (* decode + aggregate one segment: pure CPU work on an immutable file,
@@ -282,6 +285,9 @@ let open_impl pool ~dir =
     epoch = 0;
     snap = None;
   }
+
+let open_impl pool ~dir =
+  Sbi_obs.Trace.with_span ~name:"index.open" ~args:dir (fun () -> open_body pool ~dir)
 
 let open_ ~dir = open_impl None ~dir
 let open_par ~pool ~dir = open_impl (Some pool) ~dir
@@ -356,9 +362,13 @@ let snapshot ?pool t =
   match t.snap with
   | Some s when Snapshot.epoch s = t.epoch -> s
   | _ ->
+      (* only the rebuild branch is a span: cache hits are the common
+         case and must stay free of instrumentation *)
       let s =
-        Snapshot.build ?pool ~epoch:t.epoch ~meta:t.meta ~counts:(merged_counts t)
-          (all_segments t)
+        Sbi_obs.Trace.with_span ~name:"index.snapshot"
+          ~args:(Printf.sprintf "epoch=%d" t.epoch) (fun () ->
+            Snapshot.build ?pool ~epoch:t.epoch ~meta:t.meta ~counts:(merged_counts t)
+              (all_segments t))
       in
       t.snap <- Some s;
       s

@@ -99,10 +99,11 @@ module Snap = struct
   let counts = Snapshot.counts
 
   let topk ?confidence ?(k = 10) snap =
-    let retained = Prune.retained_scores ?confidence (Snapshot.counts snap) in
-    Sbi_util.Topk.top ~k
-      ~compare:(fun a b -> Scores.compare_importance_desc b a)
-      retained
+    Sbi_obs.Trace.with_span ~name:"triage.topk" ~args:(Printf.sprintf "k=%d" k) (fun () ->
+        let retained = Prune.retained_scores ?confidence (Snapshot.counts snap) in
+        Sbi_util.Topk.top ~k
+          ~compare:(fun a b -> Scores.compare_importance_desc b a)
+          retained)
 
   let pred_detail ?confidence snap ~pred =
     let meta = snap.Snapshot.meta in
@@ -111,6 +112,8 @@ module Snap = struct
     Scores.score ?confidence (Snapshot.counts snap) ~pred
 
   let affinity ?pool ?(confidence = 0.95) snap ~selected ~others =
+    Sbi_obs.Trace.with_span ~name:"triage.affinity" ~args:(Printf.sprintf "pred=%d" selected)
+    @@ fun () ->
     let counts_before = Snapshot.counts snap in
     let states_without =
       Array.map
@@ -147,6 +150,9 @@ module Snap = struct
 
   let eliminate ?pool ?(discard = Eliminate.Discard_all_true) ?(confidence = 0.95)
       ?(max_selections = 40) ?candidates snap =
+    Sbi_obs.Trace.with_span ~name:"triage.eliminate"
+      ~args:(Printf.sprintf "max=%d" max_selections)
+    @@ fun () ->
     let meta = snap.Snapshot.meta in
     let states = fresh_states snap in
     let initial_counts = Snapshot.counts snap in

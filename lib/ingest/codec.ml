@@ -92,12 +92,18 @@ let encode_to buf (r : Report.t) =
       add_varint buf (String.length sg);
       Buffer.add_string buf sg
 
-let encode r =
-  let buf = Buffer.create 256 in
-  encode_to buf r;
-  Buffer.contents buf
+(* Sampled: encode/decode run at a few hundred ns, so clocking every
+   call would not fit the <=2% instrumentation budget. *)
+let obs_encode = Sbi_obs.Registry.Timer.create ~every:32 "codec.encode"
+let obs_decode = Sbi_obs.Registry.Timer.create ~every:32 "codec.decode"
 
-let decode_sub s ~pos:start ~len =
+let encode r =
+  Sbi_obs.Registry.Timer.time obs_encode (fun () ->
+      let buf = Buffer.create 256 in
+      encode_to buf r;
+      Buffer.contents buf)
+
+let decode_sub_impl s ~pos:start ~len =
   if start < 0 || len < 0 || start + len > String.length s then
     invalid_arg "Codec.decode_sub: out of bounds";
   let limit = start + len in
@@ -133,6 +139,9 @@ let decode_sub s ~pos:start ~len =
   in
   if !pos <> limit then corrupt "%d trailing bytes in record" (limit - !pos);
   { Report.run_id; outcome; observed_sites; true_preds; true_counts; bugs; crash_sig }
+
+let decode_sub s ~pos ~len =
+  Sbi_obs.Registry.Timer.time obs_decode (fun () -> decode_sub_impl s ~pos ~len)
 
 let decode s = decode_sub s ~pos:0 ~len:(String.length s)
 

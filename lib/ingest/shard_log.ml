@@ -68,13 +68,20 @@ let create_writer ?io ?(fsync = false) ~dir ~shard () =
   if fsync then Sbi_fault.Io.fsync out;
   w
 
+(* Sampled append timer (appends are sub-microsecond buffered writes);
+   fsync dominates wall time and is always clocked, separately, so the
+   two distributions stay readable. *)
+let obs_append = Sbi_obs.Registry.Timer.create ~every:16 "log.append"
+let obs_fsync = Sbi_obs.Registry.Timer.create "log.fsync"
+
 let append w r =
-  Buffer.clear w.buf;
-  Codec.add_framed w.buf r;
-  Sbi_fault.Io.output_buffer w.out w.buf;
-  w.w_records <- w.w_records + 1;
-  w.w_bytes <- w.w_bytes + Buffer.length w.buf;
-  if w.fsync then Sbi_fault.Io.fsync w.out
+  Sbi_obs.Registry.Timer.time obs_append (fun () ->
+      Buffer.clear w.buf;
+      Codec.add_framed w.buf r;
+      Sbi_fault.Io.output_buffer w.out w.buf;
+      w.w_records <- w.w_records + 1;
+      w.w_bytes <- w.w_bytes + Buffer.length w.buf);
+  if w.fsync then Sbi_obs.Registry.Timer.time obs_fsync (fun () -> Sbi_fault.Io.fsync w.out)
 
 let writer_stats w =
   { zero_stats with records = w.w_records; bytes = w.w_bytes }

@@ -1,0 +1,32 @@
+(* Monotonic time.  [now_ns] must never go backwards within a process:
+   request latencies, span durations and queue-wait measurements are all
+   differences of two [now_ns] reads, and a wall-clock NTP step in the
+   middle of a request is exactly the corruption this module exists to
+   rule out. *)
+
+external monotonic_ns : unit -> (int64[@unboxed])
+  = "sbi_obs_monotonic_ns_byte" "sbi_obs_monotonic_ns_native"
+[@@noalloc]
+
+(* Tests substitute a deterministic source; an Atomic so a mock installed
+   on one thread is seen by spans recorded on another. *)
+let source : (unit -> int) option Atomic.t = Atomic.make None
+
+let now_ns () =
+  match Atomic.get source with
+  | None -> Int64.to_int (monotonic_ns ())
+  | Some f -> f ()
+
+let with_mock f body =
+  Atomic.set source (Some f);
+  Fun.protect ~finally:(fun () -> Atomic.set source None) body
+
+let counter ?(start = 0) ?(step = 1_000) () =
+  let t = Atomic.make start in
+  fun () -> Atomic.fetch_and_add t step
+
+let pp_ns ns =
+  if ns < 1_000 then Printf.sprintf "%dns" ns
+  else if ns < 1_000_000 then Printf.sprintf "%.1fus" (float_of_int ns /. 1e3)
+  else if ns < 1_000_000_000 then Printf.sprintf "%.1fms" (float_of_int ns /. 1e6)
+  else Printf.sprintf "%.2fs" (float_of_int ns /. 1e9)

@@ -1,0 +1,25 @@
+(** Monotonic process clock.
+
+    [now_ns] reads [clock_gettime(CLOCK_MONOTONIC)] through a C stub and
+    never goes backwards, so differences of two reads are safe to use as
+    durations even across an NTP step.  The wall clock
+    ([Unix.gettimeofday]) is kept only for human-facing timestamps such
+    as server uptime. *)
+
+val now_ns : unit -> int
+(** Nanoseconds from an arbitrary (boot-time) origin; strictly for
+    measuring elapsed time, never for calendar time. *)
+
+val with_mock : (unit -> int) -> (unit -> 'a) -> 'a
+(** [with_mock source body] makes {!now_ns} return [source ()] for the
+    duration of [body] (restored on exception).  Test-only; the mock is
+    process-wide. *)
+
+val counter : ?start:int -> ?step:int -> unit -> unit -> int
+(** A deterministic mock source: each call returns the previous value
+    plus [step] (default 1000 ns), so [with_mock (counter ()) ...]
+    gives every timed region an exact 1 us duration. *)
+
+val pp_ns : int -> string
+(** Human-readable duration: ["250ns"], ["1.5us"], ["12.3ms"],
+    ["2.50s"]. *)

@@ -1,0 +1,23 @@
+/* Monotonic clock for Sbi_obs.Clock: CLOCK_MONOTONIC via clock_gettime,
+   returned as nanoseconds in an int64.  Immune to NTP steps and
+   settimeofday, unlike Unix.gettimeofday — durations are differences of
+   two reads of this clock and can never come out negative because the
+   wall clock was adjusted mid-measurement. */
+
+#include <caml/alloc.h>
+#include <caml/mlvalues.h>
+#include <stdint.h>
+#include <time.h>
+
+int64_t sbi_obs_monotonic_ns_native(value unit)
+{
+  struct timespec ts;
+  (void)unit;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return (int64_t)ts.tv_sec * 1000000000LL + (int64_t)ts.tv_nsec;
+}
+
+CAMLprim value sbi_obs_monotonic_ns_byte(value unit)
+{
+  return caml_copy_int64(sbi_obs_monotonic_ns_native(unit));
+}

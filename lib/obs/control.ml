@@ -1,0 +1,10 @@
+(* Master switch for the observability layer.  Checked (one Atomic.get)
+   at every instrumentation point so bench can A/B instrumented vs.
+   uninstrumented runs; spans, timers and the slow-query log all become
+   no-ops when disabled.  Serve's per-request Metrics are intentionally
+   not gated: the [stats] wire output must not change shape under the
+   switch. *)
+
+let enabled = Atomic.make true
+let set_enabled b = Atomic.set enabled b
+let is_enabled () = Atomic.get enabled

@@ -1,0 +1,5 @@
+(** Process-wide on/off switch for instrumentation; re-exported as
+    [Sbi_obs.set_enabled] / [Sbi_obs.enabled]. *)
+
+val set_enabled : bool -> unit
+val is_enabled : unit -> bool

@@ -1,0 +1,68 @@
+(* Log2-bucketed duration histogram, factored out of lib/serve/metrics.
+   Finite buckets are powers of two in microseconds: bucket [i] counts
+   durations with [us < 2^i] for [i] in [0, nbuckets), i.e. 1 us up to a
+   largest finite bound of 2^23 us = 8.388608 s.  Everything at or above
+   that lands in a distinct overflow bucket which is always reported as
+   [Gt 8388608], never with a fabricated finite upper bound.  Counts are
+   Atomics so concurrent observers (server threads, pool workers) need no
+   lock, and merging is bucket-wise addition — exactly equivalent to
+   bucketing the concatenation of the two observation streams. *)
+
+let nbuckets = 24
+let max_finite_bound_us = 1 lsl (nbuckets - 1)
+
+type t = { counts : int Atomic.t array } (* length nbuckets + 1; last = overflow *)
+
+let create () = { counts = Array.init (nbuckets + 1) (fun _ -> Atomic.make 0) }
+
+(* Negative durations (a mocked clock, or a caller that failed to clamp)
+   count as 0 rather than corrupting the bucket scan; callers that need
+   to distinguish anomalies (serve) count them separately. *)
+let bucket_of_ns ns =
+  let us = if ns <= 0 then 0 else ns / 1000 in
+  let rec go i = if i >= nbuckets then nbuckets else if us < 1 lsl i then i else go (i + 1) in
+  go 0
+
+let observe_ns t ns = Atomic.incr t.counts.(bucket_of_ns ns)
+let counts t = Array.map Atomic.get t.counts
+let total t = Array.fold_left (fun acc c -> acc + Atomic.get c) 0 t.counts
+
+let merge_into ~into t =
+  Array.iteri
+    (fun i c ->
+      let n = Atomic.get c in
+      if n > 0 then ignore (Atomic.fetch_and_add into.counts.(i) n))
+    t.counts
+
+type bound = Le of int | Gt of int
+
+let bound_of_bucket i = if i >= nbuckets then Gt max_finite_bound_us else Le (1 lsl i)
+let pp_bound = function Le us -> string_of_int us | Gt us -> ">" ^ string_of_int us
+
+let buckets t =
+  let out = ref [] in
+  for i = nbuckets downto 0 do
+    let n = Atomic.get t.counts.(i) in
+    if n > 0 then out := (bound_of_bucket i, n) :: !out
+  done;
+  !out
+
+(* Nearest-rank percentile over bucket counts: the bound of the bucket
+   the rank falls in.  A rank landing in the overflow bucket saturates
+   to [Gt max_finite_bound_us] — there is no honest finite answer. *)
+let percentile t p =
+  let counts = counts t in
+  let total = Array.fold_left ( + ) 0 counts in
+  if total = 0 then None
+  else begin
+    let rank = min total (int_of_float (float_of_int total *. p /. 100.) + 1) in
+    let seen = ref 0 and found = ref None in
+    Array.iteri
+      (fun i c ->
+        if !found = None then begin
+          seen := !seen + c;
+          if !seen >= rank then found := Some (bound_of_bucket i)
+        end)
+      counts;
+    !found
+  end

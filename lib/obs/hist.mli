@@ -1,0 +1,51 @@
+(** Mergeable log2-bucketed duration histogram (microsecond buckets).
+
+    Bucket [i] counts durations with [us < 2^i] for [i < nbuckets]; the
+    last bucket is a distinct overflow bucket for durations at or above
+    {!max_finite_bound_us} (2{^23} us, ~8.4 s) and is always reported as
+    [Gt], never with a false finite upper bound.  Lock-free: each bucket
+    is an [Atomic.t], so observation costs one increment and histograms
+    merge by bucket-wise addition. *)
+
+type t
+
+val nbuckets : int
+(** Number of finite buckets (24).  {!counts} arrays have [nbuckets + 1]
+    entries; the last is the overflow bucket. *)
+
+val max_finite_bound_us : int
+(** Largest finite bucket bound, [2^(nbuckets - 1)] = 8388608 us. *)
+
+val create : unit -> t
+
+val observe_ns : t -> int -> unit
+(** Record one duration in nanoseconds.  Negative values are clamped to
+    0; callers that need to distinguish anomalies count them
+    separately. *)
+
+val bucket_of_ns : int -> int
+(** Bucket index for a duration; [nbuckets] for overflow. *)
+
+val counts : t -> int array
+val total : t -> int
+
+val merge_into : into:t -> t -> unit
+(** Bucket-wise add: merging two histograms is exactly equivalent to
+    bucketing the concatenation of their observations. *)
+
+(** A reported bucket bound: [Le b] means "at most [b] us"; [Gt b] is
+    the overflow bucket — "more than [b] us", no finite upper bound. *)
+type bound = Le of int | Gt of int
+
+val bound_of_bucket : int -> bound
+
+val pp_bound : bound -> string
+(** ["8"], ["1024"], [">8388608"]. *)
+
+val buckets : t -> (bound * int) list
+(** Non-empty buckets in increasing-bound order. *)
+
+val percentile : t -> float -> bound option
+(** Nearest-rank percentile as a bucket bound; [None] when empty.  Ranks
+    falling in the overflow bucket saturate to [Gt max_finite_bound_us]
+    rather than inventing a finite bound. *)

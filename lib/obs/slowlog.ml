@@ -1,0 +1,69 @@
+(* Slow-query log: operations whose duration crosses a configurable
+   threshold are recorded with the command, a CRC-32 digest of the
+   arguments (bounded size, no payload retention — an ingest body never
+   lands in a log line), the duration, and the index snapshot epoch
+   current when the operation ran — enough to answer "was the slow topk
+   before or after that big ingest?".  Disabled by default; entries go
+   to a small ring (for the wire protocol / tests) and to a sink,
+   stderr unless replaced. *)
+
+type entry = { cmd : string; args_digest : string; dur_ns : int; epoch : int }
+
+let threshold_ns = Atomic.make (-1) (* < 0: disabled (the default) *)
+
+let set_threshold_ms = function
+  | None -> Atomic.set threshold_ns (-1)
+  | Some ms -> Atomic.set threshold_ns (max 0 ms * 1_000_000)
+
+let threshold_ms () =
+  let t = Atomic.get threshold_ns in
+  if t < 0 then None else Some (t / 1_000_000)
+
+let digest args = Printf.sprintf "%08x" (Sbi_util.Crc32.string args)
+
+let line_of e =
+  Printf.sprintf "slow-query cmd=%s args=#%s dur_ms=%.3f epoch=%d" e.cmd e.args_digest
+    (float_of_int e.dur_ns /. 1e6) e.epoch
+
+let capacity = 256
+let mutex = Mutex.create ()
+let entries : entry option array = Array.make capacity None
+let next = ref 0
+let sink = ref (fun line -> Printf.eprintf "%s\n%!" line)
+
+let locked f =
+  Mutex.lock mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mutex) f
+
+let set_sink f = locked (fun () -> sink := f)
+let count = Registry.counter "slowlog.entries"
+
+let observe ~cmd ~args ~dur_ns ~epoch =
+  let th = Atomic.get threshold_ns in
+  if th >= 0 && dur_ns >= th && Control.is_enabled () then begin
+    let e = { cmd; args_digest = digest args; dur_ns; epoch } in
+    Registry.incr count;
+    (* grab the sink under the lock, emit outside it: a slow stderr (or
+       a test sink taking its own locks) must not serialize observers *)
+    let emit =
+      locked (fun () ->
+          entries.(!next mod capacity) <- Some e;
+          incr next;
+          !sink)
+    in
+    emit (line_of e)
+  end
+
+let recent ?n () =
+  locked (fun () ->
+      let have = min !next capacity in
+      let want = match n with Some n when n >= 0 && n < have -> n | _ -> have in
+      List.init want (fun i ->
+          match entries.((!next - want + i) mod capacity) with
+          | Some e -> e
+          | None -> assert false))
+
+let clear () =
+  locked (fun () ->
+      Array.fill entries 0 capacity None;
+      next := 0)

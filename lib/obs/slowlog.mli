@@ -1,0 +1,33 @@
+(** Slow-query log.
+
+    When a threshold is set ({!set_threshold_ms}), every observed
+    operation at or above it is recorded — command name, CRC-32 digest
+    of the argument string (never the arguments themselves), duration,
+    and the index snapshot epoch it ran against — kept in a small ring
+    and emitted as one line to the sink (stderr by default):
+
+    {v slow-query cmd=topk args=#9ae1f203 dur_ms=12.345 epoch=3 v}
+
+    Disabled by default and while [Sbi_obs.set_enabled false]. *)
+
+type entry = { cmd : string; args_digest : string; dur_ns : int; epoch : int }
+
+val set_threshold_ms : int option -> unit
+(** [Some ms] enables logging of operations taking >= [ms]
+    milliseconds ([Some 0] logs everything); [None] disables. *)
+
+val threshold_ms : unit -> int option
+
+val observe : cmd:string -> args:string -> dur_ns:int -> epoch:int -> unit
+(** Record one operation; a no-op unless enabled and [dur_ns] meets the
+    threshold. *)
+
+val recent : ?n:int -> unit -> entry list
+(** The newest [n] (default: all) retained entries, oldest first. *)
+
+val line_of : entry -> string
+
+val set_sink : (string -> unit) -> unit
+(** Replace the stderr sink (tests; a server embedding). *)
+
+val clear : unit -> unit

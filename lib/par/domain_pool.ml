@@ -70,7 +70,18 @@ let shutdown t =
   t.handles <- [||];
   t.workers <- [||]
 
+(* An optional wrapper applied to every queued task at submit time, on
+   the submitting thread.  Sbi_obs installs one to propagate trace
+   context across domains and to measure queue wait vs. run time; the
+   pool itself stays dependency-free.  Inline execution paths (async
+   from a worker or an empty pool, the caller's own parallel_for block)
+   bypass it: they never wait in the queue and already run in the
+   submitter's context. *)
+let task_hook : (task -> task) ref = ref (fun t -> t)
+let set_task_hook f = task_hook := f
+
 let submit t task =
+  let task = !task_hook task in
   locked t.mutex (fun () ->
       if t.shutting_down then invalid_arg "Domain_pool: submitted to a shut-down pool";
       Queue.push task t.queue;

@@ -29,6 +29,15 @@ val shutdown : t -> unit
 (** Drain and join every worker.  Idempotent; after shutdown the pool
     executes everything inline on the caller. *)
 
+val set_task_hook : ((unit -> unit) -> unit -> unit) -> unit
+(** [set_task_hook w] wraps every task subsequently enqueued (by
+    {!async} or {!parallel_for}) with [w], applied on the submitting
+    thread at submit time — so [w] can capture submission-time context.
+    [Sbi_obs.Trace] installs one to propagate span parents across
+    domains and measure queue wait vs. run time.  Inline fast paths
+    that never enqueue are not wrapped.  Process-wide; intended to be
+    installed once at startup. *)
+
 (** {1 Futures — cross-task parallelism (the serving path)} *)
 
 type 'a future

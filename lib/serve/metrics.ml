@@ -1,20 +1,30 @@
-(* Latency buckets: powers of two in microseconds, 1us .. ~8.4s, plus an
-   overflow bucket.  Percentiles report the upper bound of the bucket the
-   rank falls in — coarse, but allocation-free and mergeable. *)
-let nbuckets = 24
+(* Per-server request metrics on top of the shared Sbi_obs.Hist
+   histogram: log2 buckets in microseconds, 1us up to a largest finite
+   bound of 2^23 us (~8.4 s), plus a distinct overflow bucket.  The
+   overflow bucket is reported as [latency_gt_8388608us] — never folded
+   into a fabricated finite [latency_le_*] bound — and percentiles whose
+   rank lands there saturate to [Gt] instead of claiming an upper bound
+   no observation respected.
 
-let bucket_bound i = 1 lsl i (* us *)
+   Latencies are measured by the caller on the monotonic clock
+   (Sbi_obs.Clock); a negative duration can therefore only mean a
+   mocked/broken clock source, and is clamped to 0 and counted in
+   [clock_anomaly] rather than silently filed in the <=1us bucket. *)
+
+module Hist = Sbi_obs.Hist
 
 type t = {
   mutex : Mutex.t;
   mutable requests : int;
   per_command : (string, int) Hashtbl.t;
+  per_command_err : (string, int) Hashtbl.t;  (* faults attributed to a command *)
   faults : (string, int) Hashtbl.t;  (* per-connection failures by kind *)
+  mutable clock_anomalies : int;  (* negative raw latencies, clamped to 0 *)
   mutable bytes_in : int;
   mutable bytes_out : int;
   mutable connections : int;
   mutable connections_total : int;
-  latency : int array;  (* bucket -> count *)
+  latency : Hist.t;
 }
 
 let create () =
@@ -22,32 +32,33 @@ let create () =
     mutex = Mutex.create ();
     requests = 0;
     per_command = Hashtbl.create 8;
+    per_command_err = Hashtbl.create 8;
     faults = Hashtbl.create 8;
+    clock_anomalies = 0;
     bytes_in = 0;
     bytes_out = 0;
     connections = 0;
     connections_total = 0;
-    latency = Array.make (nbuckets + 1) 0;
+    latency = Hist.create ();
   }
 
 let locked t f =
   Mutex.lock t.mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
 
-let bucket_of_ns ns =
-  let us = ns / 1000 in
-  let rec go i = if i >= nbuckets then nbuckets else if us < bucket_bound i then i else go (i + 1) in
-  go 0
+let bump tbl key =
+  Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
 
 let record t ~cmd ~latency_ns ~bytes_in ~bytes_out =
   locked t (fun () ->
       t.requests <- t.requests + 1;
-      Hashtbl.replace t.per_command cmd
-        (1 + Option.value ~default:0 (Hashtbl.find_opt t.per_command cmd));
+      bump t.per_command cmd;
       t.bytes_in <- t.bytes_in + bytes_in;
       t.bytes_out <- t.bytes_out + bytes_out;
-      let b = bucket_of_ns latency_ns in
-      t.latency.(b) <- t.latency.(b) + 1)
+      if latency_ns < 0 then t.clock_anomalies <- t.clock_anomalies + 1;
+      Hist.observe_ns t.latency (max 0 latency_ns))
+
+let request_error t ~cmd = locked t (fun () -> bump t.per_command_err cmd)
 
 let connection_opened t =
   locked t (fun () ->
@@ -56,70 +67,48 @@ let connection_opened t =
 
 let connection_closed t = locked t (fun () -> t.connections <- t.connections - 1)
 
-let fault t ~kind =
-  locked t (fun () ->
-      Hashtbl.replace t.faults kind
-        (1 + Option.value ~default:0 (Hashtbl.find_opt t.faults kind)))
+let fault t ~kind = locked t (fun () -> bump t.faults kind)
 
 type snapshot = {
   requests : int;
   per_command : (string * int) list;
+  per_command_err : (string * int) list;
   faults : (string * int) list;
+  clock_anomalies : int;
   bytes_in : int;
   bytes_out : int;
   connections : int;
   connections_total : int;
-  latency_buckets : (int * int) list;
-  p50_us : int;
-  p90_us : int;
-  p99_us : int;
+  latency_buckets : (Hist.bound * int) list;
+  p50 : Hist.bound option;
+  p90 : Hist.bound option;
+  p99 : Hist.bound option;
 }
 
-let percentile_bound latency total p =
-  if total = 0 then 0
-  else begin
-    let rank = int_of_float (Float.of_int total *. p /. 100.) + 1 in
-    let rank = min rank total in
-    let seen = ref 0 and bound = ref 0 and found = ref false in
-    Array.iteri
-      (fun i c ->
-        if not !found then begin
-          seen := !seen + c;
-          if !seen >= rank then begin
-            bound := (if i >= nbuckets then bucket_bound nbuckets else bucket_bound i);
-            found := true
-          end
-        end)
-      latency;
-    !bound
-  end
+let sorted_bindings tbl =
+  List.sort
+    (fun (a, _) (b, _) -> String.compare a b)
+    (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
 
 let snapshot t =
   locked t (fun () ->
-      let total = Array.fold_left ( + ) 0 t.latency in
-      let buckets = ref [] in
-      for i = nbuckets downto 0 do
-        if t.latency.(i) > 0 then buckets := (bucket_bound (min i nbuckets), t.latency.(i)) :: !buckets
-      done;
       {
         requests = t.requests;
-        per_command =
-          List.sort
-            (fun (a, _) (b, _) -> String.compare a b)
-            (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.per_command []);
-        faults =
-          List.sort
-            (fun (a, _) (b, _) -> String.compare a b)
-            (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.faults []);
+        per_command = sorted_bindings t.per_command;
+        per_command_err = sorted_bindings t.per_command_err;
+        faults = sorted_bindings t.faults;
+        clock_anomalies = t.clock_anomalies;
         bytes_in = t.bytes_in;
         bytes_out = t.bytes_out;
         connections = t.connections;
         connections_total = t.connections_total;
-        latency_buckets = !buckets;
-        p50_us = percentile_bound t.latency total 50.;
-        p90_us = percentile_bound t.latency total 90.;
-        p99_us = percentile_bound t.latency total 99.;
+        latency_buckets = Hist.buckets t.latency;
+        p50 = Hist.percentile t.latency 50.;
+        p90 = Hist.percentile t.latency 90.;
+        p99 = Hist.percentile t.latency 99.;
       })
+
+let pct = function None -> "0" | Some b -> Hist.pp_bound b
 
 let lines t =
   let s = snapshot t in
@@ -131,11 +120,18 @@ let lines t =
         Printf.sprintf "bytes_out %d" s.bytes_out;
         Printf.sprintf "connections %d" s.connections;
         Printf.sprintf "connections_total %d" s.connections_total;
-        Printf.sprintf "latency_p50_us %d" s.p50_us;
-        Printf.sprintf "latency_p90_us %d" s.p90_us;
-        Printf.sprintf "latency_p99_us %d" s.p99_us;
+        Printf.sprintf "clock_anomaly %d" s.clock_anomalies;
+        Printf.sprintf "latency_p50_us %s" (pct s.p50);
+        Printf.sprintf "latency_p90_us %s" (pct s.p90);
+        Printf.sprintf "latency_p99_us %s" (pct s.p99);
       ];
       List.map (fun (cmd, n) -> Printf.sprintf "req.%s %d" cmd n) s.per_command;
+      List.map (fun (cmd, n) -> Printf.sprintf "req.%s.err %d" cmd n) s.per_command_err;
       List.map (fun (kind, n) -> Printf.sprintf "fault.%s %d" kind n) s.faults;
-      List.map (fun (bound, n) -> Printf.sprintf "latency_le_%dus %d" bound n) s.latency_buckets;
+      List.map
+        (fun (bound, n) ->
+          match bound with
+          | Hist.Le us -> Printf.sprintf "latency_le_%dus %d" us n
+          | Hist.Gt us -> Printf.sprintf "latency_gt_%dus %d" us n)
+        s.latency_buckets;
     ]

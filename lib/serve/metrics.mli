@@ -1,13 +1,25 @@
-(** Per-request server metrics: request counts (total and per command),
-    bytes in/out, and a log2-bucketed latency histogram with estimated
-    percentiles.  Thread-safe; rendered as [key value] lines by the
-    [stats] protocol command. *)
+(** Per-request server metrics: request counts (total, per command, and
+    per-command errors), bytes in/out, and a log2-bucketed latency
+    histogram ({!Sbi_obs.Hist}) with estimated percentiles.
+    Thread-safe; rendered as [key value] lines by the [stats] protocol
+    command.
+
+    Latencies must be measured on the monotonic clock
+    ({!Sbi_obs.Clock.now_ns}); a negative value is clamped to 0 and
+    counted as a [clock_anomaly].  The histogram's overflow bucket is
+    reported distinctly ([latency_gt_8388608us]) and percentiles
+    saturate to [">8388608"] — an overflow observation is never printed
+    under a false finite [latency_le_*] bound. *)
 
 type t
 
 val create : unit -> t
-
 val record : t -> cmd:string -> latency_ns:int -> bytes_in:int -> bytes_out:int -> unit
+
+val request_error : t -> cmd:string -> unit
+(** Attribute a failure to a command (handler raised, or the peer died
+    mid-response); surfaced as [req.<cmd>.err] lines so per-command
+    success/failure is reconstructible alongside [fault.<kind>]. *)
 
 val connection_opened : t -> unit
 val connection_closed : t -> unit
@@ -19,15 +31,20 @@ val fault : t -> kind:string -> unit
 type snapshot = {
   requests : int;
   per_command : (string * int) list;  (** sorted by command name *)
+  per_command_err : (string * int) list;  (** sorted by command name *)
   faults : (string * int) list;  (** sorted by kind *)
+  clock_anomalies : int;  (** negative raw latencies, clamped to 0 *)
   bytes_in : int;
   bytes_out : int;
   connections : int;  (** currently open *)
   connections_total : int;
-  latency_buckets : (int * int) list;  (** (upper bound in us, count), cumulative-ready order *)
-  p50_us : int;
-  p90_us : int;
-  p99_us : int;  (** bucket upper bounds containing the percentile (0 when empty) *)
+  latency_buckets : (Sbi_obs.Hist.bound * int) list;
+      (** non-empty buckets, increasing bounds; overflow appears as [Gt] *)
+  p50 : Sbi_obs.Hist.bound option;
+  p90 : Sbi_obs.Hist.bound option;
+  p99 : Sbi_obs.Hist.bound option;
+      (** bucket bound containing the percentile ([None] when empty);
+          [Gt _] when the rank falls in the overflow bucket *)
 }
 
 val snapshot : t -> snapshot

@@ -177,9 +177,22 @@ let dispatch t line =
   | [ "affinity"; id ] -> handle_affinity t (grab_snapshot t) id None
   | [ "affinity"; id; k ] -> handle_affinity t (grab_snapshot t) id (int_of_string_opt k)
   | [ "stats" ] -> locked t.lock (fun () -> handle_stats t)
+  | [ "metrics" ] -> Ok ("metrics", Sbi_obs.Registry.lines ())
+  | [ "trace" ] ->
+      let lines = Sbi_obs.Trace.lines () in
+      Ok (Printf.sprintf "trace %d" (List.length lines), lines)
+  | [ "trace"; n ] -> (
+      match int_of_string_opt n with
+      | Some n when n >= 0 ->
+          let lines = Sbi_obs.Trace.lines ~n () in
+          Ok (Printf.sprintf "trace %d" (List.length lines), lines)
+      | _ -> Error ("bad trace count: " ^ n))
   | [ "ingest"; payload ] -> locked t.lock (fun () -> handle_ingest t payload)
   | [] -> Error "empty command"
-  | cmd :: _ -> Error (Printf.sprintf "unknown command %s (try: ping topk pred affinity stats ingest quit)" cmd)
+  | cmd :: _ ->
+      Error
+        (Printf.sprintf
+           "unknown command %s (try: ping topk pred affinity stats metrics trace ingest quit)" cmd)
 
 (* Per-connection fault isolation: any failure on one connection —
    receive deadline, peer reset, oversized request, handler exception —
@@ -216,23 +229,41 @@ let handle_connection t fd =
              closed := true
            end
            else begin
-             let t0 = Unix.gettimeofday () in
+             let cmd = cmd_name line in
+             (* monotonic: an NTP step mid-request must not yield a
+                negative or inflated latency (the wall clock survives
+                only in started_at/uptime) *)
+             let t0 = Sbi_obs.Clock.now_ns () in
              let result =
-               try dispatch t line
+               try Sbi_obs.Trace.with_span ~name:("serve." ^ cmd) (fun () -> dispatch t line)
                with
                | Sbi_fault.Fault.Crash _ as e -> raise e
                | e ->
                    Metrics.fault t.metrics ~kind:"error";
+                   Metrics.request_error t.metrics ~cmd;
                    Error ("internal error: " ^ Printexc.to_string e)
              in
              let bytes_out =
-               match result with
-               | Ok (header, lines) -> Wire.write_ok ~io fd ~header ~lines
-               | Error msg -> Wire.write_err ~io fd msg
+               try
+                 match result with
+                 | Ok (header, lines) -> Wire.write_ok ~io fd ~header ~lines
+                 | Error msg -> Wire.write_err ~io fd msg
+               with e ->
+                 (* the peer died mid-response: attribute the failure to
+                    the command (req.<cmd>.err) before the connection
+                    handler classifies the fault kind *)
+                 Metrics.request_error t.metrics ~cmd;
+                 raise e
              in
-             let latency_ns = int_of_float ((Unix.gettimeofday () -. t0) *. 1e9) in
-             Metrics.record t.metrics ~cmd:(cmd_name line) ~latency_ns
-               ~bytes_in:(String.length line + 1) ~bytes_out
+             let latency_ns = Sbi_obs.Clock.now_ns () - t0 in
+             Metrics.record t.metrics ~cmd ~latency_ns ~bytes_in:(String.length line + 1)
+               ~bytes_out;
+             let args =
+               match String.index_opt line ' ' with
+               | Some i -> String.sub line (i + 1) (String.length line - i - 1)
+               | None -> ""
+             in
+             Sbi_obs.Slowlog.observe ~cmd ~args ~dur_ns:latency_ns ~epoch:(Index.epoch t.index)
            end
      done
    with

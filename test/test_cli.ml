@@ -233,6 +233,60 @@ let test_stream_json () =
             (get_int sc_doc "pred"))
         top)
 
+(* --- serve --slow-ms and trace-dump --- *)
+
+let test_serve_slowlog_trace_cli () =
+  with_temp_dir (fun tmp ->
+      let log = Filename.concat tmp "log" in
+      let idx = Filename.concat tmp "idx" in
+      write_log log;
+      let rc, _, _ = run_cbi [ "index"; log; "-o"; idx ] in
+      Alcotest.(check int) "index: exit 0" 0 rc;
+      (* a negative threshold refuses to start *)
+      let rc, _, err =
+        run_cbi [ "serve"; idx; "-a"; Filename.concat tmp "x.sock"; "--slow-ms=-1" ]
+      in
+      Alcotest.(check int) "--slow-ms -1: exit 2" 2 rc;
+      check_contains "names the flag" "--slow-ms" err;
+      (* serve with --slow-ms 0: every request lands in the slow-query log *)
+      let sock = Filename.concat tmp "cbi.sock" in
+      let errf = Filename.concat tmp "serve.err" in
+      let err_fd = Unix.openfile errf [ Unix.O_WRONLY; Unix.O_CREAT ] 0o600 in
+      let pid =
+        Unix.create_process cbi_exe
+          [| cbi_exe; "serve"; idx; "-a"; sock; "--slow-ms"; "0" |]
+          Unix.stdin Unix.stdout err_fd
+      in
+      Unix.close err_fd;
+      Fun.protect
+        ~finally:(fun () ->
+          (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+          try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+        (fun () ->
+          let deadline = Unix.gettimeofday () +. 10. in
+          while not (Sys.file_exists sock) && Unix.gettimeofday () < deadline do
+            Unix.sleepf 0.05
+          done;
+          Alcotest.(check bool) "server socket appears" true (Sys.file_exists sock);
+          let rc, _, _ = run_cbi [ "query"; sock; "topk"; "3" ] in
+          Alcotest.(check int) "query topk: exit 0" 0 rc;
+          (* trace-dump shows the span the request just opened *)
+          let rc, out, _ = run_cbi [ "trace-dump"; sock ] in
+          Alcotest.(check int) "trace-dump: exit 0" 0 rc;
+          check_contains "topk request traced" "name=serve.topk" out;
+          (* the slow-query line reaches the server's stderr *)
+          let deadline = Unix.gettimeofday () +. 10. in
+          while
+            (not (contains ~needle:"slow-query cmd=topk" (slurp errf)))
+            && Unix.gettimeofday () < deadline
+          do
+            Unix.sleepf 0.05
+          done;
+          let err = slurp errf in
+          check_contains "slow-query logged" "slow-query cmd=topk" err;
+          check_contains "arguments digested" "args=#" err;
+          check_contains "snapshot epoch recorded" "epoch=" err))
+
 let suite =
   [
     Alcotest.test_case "missing paths" `Quick test_missing_paths;
@@ -240,4 +294,5 @@ let suite =
     Alcotest.test_case "index + fsck" `Quick test_index_fsck_cli;
     Alcotest.test_case "analyze-file --json" `Quick test_analyze_file_json;
     Alcotest.test_case "--stream --json" `Quick test_stream_json;
+    Alcotest.test_case "serve --slow-ms + trace-dump" `Quick test_serve_slowlog_trace_cli;
   ]

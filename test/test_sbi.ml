@@ -16,6 +16,7 @@ let () =
       ("runtime", Test_runtime.suite);
       ("ingest", Test_ingest.suite);
       ("json", Test_json.suite);
+      ("obs", Test_obs.suite);
       ("par", Test_par.suite);
       ("index", Test_index.suite);
       ("serve", Test_serve.suite);

@@ -19,6 +19,11 @@ let with_temp_dir f =
   Unix.mkdir dir 0o700;
   Fun.protect ~finally:(fun () -> if Sys.file_exists dir then rm dir) (fun () -> f dir)
 
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
 (* --- base64 --- *)
 
 let test_b64_vectors () =
@@ -109,11 +114,66 @@ let test_metrics () =
   Alcotest.(check (list (pair string int))) "per command"
     [ ("pred", 1); ("topk", 2) ]
     s.Metrics.per_command;
-  Alcotest.(check bool) "p50 <= p99" true (s.Metrics.p50_us <= s.Metrics.p99_us);
+  let bound_us = function Sbi_obs.Hist.Le us -> us | Sbi_obs.Hist.Gt us -> us + 1 in
+  (match (s.Metrics.p50, s.Metrics.p99) with
+  | Some p50, Some p99 ->
+      Alcotest.(check bool) "p50 <= p99" true (bound_us p50 <= bound_us p99)
+  | _ -> Alcotest.fail "percentiles must be present");
   Alcotest.(check bool) "histogram covers requests" true
     (List.fold_left (fun acc (_, n) -> acc + n) 0 s.Metrics.latency_buckets = 3);
   Alcotest.(check bool) "stats lines mention requests" true
     (List.exists (fun l -> l = "requests 3") (Metrics.lines m))
+
+(* Regression (ISSUE 5): a 30 s request lands in the overflow bucket and
+   must be reported as gt_8388608us with saturated percentiles — never
+   under a false finite latency_le_* bound. *)
+let test_metrics_overflow () =
+  let m = Metrics.create () in
+  Metrics.record m ~cmd:"topk" ~latency_ns:30_000_000_000 ~bytes_in:7 ~bytes_out:100;
+  let s = Metrics.snapshot m in
+  (match s.Metrics.latency_buckets with
+  | [ (Sbi_obs.Hist.Gt 8388608, 1) ] -> ()
+  | _ -> Alcotest.fail "30s observation must be a distinct Gt 8388608 bucket");
+  (match s.Metrics.p50 with
+  | Some (Sbi_obs.Hist.Gt 8388608) -> ()
+  | _ -> Alcotest.fail "p50 must saturate to Gt 8388608");
+  let lines = Metrics.lines m in
+  Alcotest.(check bool) "gt line emitted" true (List.mem "latency_gt_8388608us 1" lines);
+  Alcotest.(check bool) "p50 saturates" true (List.mem "latency_p50_us >8388608" lines);
+  Alcotest.(check bool) "no false le bound" false
+    (List.exists
+       (fun l -> String.length l >= 11 && String.sub l 0 11 = "latency_le_")
+       lines)
+
+(* Regression (ISSUE 5): a negative duration (broken clock source) is
+   clamped to 0 and surfaced as clock_anomaly, not silently filed in the
+   <=1us bucket as a plausible latency. *)
+let test_metrics_clock_anomaly () =
+  let m = Metrics.create () in
+  Metrics.record m ~cmd:"topk" ~latency_ns:(-5_000_000) ~bytes_in:7 ~bytes_out:100;
+  Metrics.record m ~cmd:"topk" ~latency_ns:3_000 ~bytes_in:7 ~bytes_out:100;
+  let s = Metrics.snapshot m in
+  Alcotest.(check int) "anomaly counted" 1 s.Metrics.clock_anomalies;
+  Alcotest.(check int) "both requests recorded" 2
+    (List.fold_left (fun acc (_, n) -> acc + n) 0 s.Metrics.latency_buckets);
+  Alcotest.(check bool) "clock_anomaly line" true
+    (List.mem "clock_anomaly 1" (Metrics.lines m))
+
+(* Regression (ISSUE 5): faults mid-command are attributed to the
+   command so per-command success/failure is reconstructible. *)
+let test_metrics_request_error () =
+  let m = Metrics.create () in
+  Metrics.record m ~cmd:"topk" ~latency_ns:3_000 ~bytes_in:7 ~bytes_out:100;
+  Metrics.request_error m ~cmd:"topk";
+  Metrics.request_error m ~cmd:"topk";
+  Metrics.request_error m ~cmd:"pred";
+  let s = Metrics.snapshot m in
+  Alcotest.(check (list (pair string int))) "per-command errors"
+    [ ("pred", 1); ("topk", 2) ]
+    s.Metrics.per_command_err;
+  let lines = Metrics.lines m in
+  Alcotest.(check bool) "req.topk.err line" true (List.mem "req.topk.err 2" lines);
+  Alcotest.(check bool) "req.pred.err line" true (List.mem "req.pred.err 1" lines)
 
 (* --- server fixture --- *)
 
@@ -215,6 +275,24 @@ let test_server_basic () =
       (match Client.request c "nonsense 1 2 3" with
       | Error _ -> ()
       | Ok _ -> Alcotest.fail "unknown command must err");
+      Client.close c)
+
+let test_server_obs_commands () =
+  with_server (fun ~srv:_ ~addr ~idx:_ ~ingest_dir:_ ->
+      let c = connect_ok addr in
+      ignore (request_ok c "ping");
+      ignore (request_ok c "topk 3");
+      let header, lines = request_ok c "metrics" in
+      Alcotest.(check string) "metrics header" "metrics" header;
+      Alcotest.(check bool) "registry saw the fixture's log appends" true
+        (List.exists (fun l -> contains l "log.append.count ") lines);
+      let header, lines = request_ok c "trace 50" in
+      Alcotest.(check bool) "trace header counts lines" true (contains header "trace ");
+      Alcotest.(check bool) "earlier request's span is retained" true
+        (List.exists (fun l -> contains l "name=serve.topk") lines);
+      (match Client.request c "trace nope" with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "bad trace count must err");
       Client.close c)
 
 let test_server_ingest_durable () =
@@ -359,7 +437,11 @@ let suite =
     Alcotest.test_case "address parsing" `Quick test_addr_parsing;
     Alcotest.test_case "wire framing" `Quick test_wire_framing;
     Alcotest.test_case "metrics" `Quick test_metrics;
+    Alcotest.test_case "metrics overflow bucket" `Quick test_metrics_overflow;
+    Alcotest.test_case "metrics clock anomaly" `Quick test_metrics_clock_anomaly;
+    Alcotest.test_case "metrics per-command errors" `Quick test_metrics_request_error;
     Alcotest.test_case "server basic queries" `Quick test_server_basic;
+    Alcotest.test_case "server metrics/trace commands" `Quick test_server_obs_commands;
     Alcotest.test_case "durable ingest" `Quick test_server_ingest_durable;
     Alcotest.test_case "concurrent clients" `Quick test_server_concurrent_clients;
     Alcotest.test_case "graceful shutdown" `Quick test_server_shutdown;
