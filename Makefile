@@ -1,6 +1,6 @@
 # Tier-1 verification and day-to-day developer targets.
 
-.PHONY: all build check test bench bench-check fault-check serve-demo fmt clean
+.PHONY: all build check test bench bench-check fault-check eval serve-demo fmt clean
 
 all: build
 
@@ -16,6 +16,13 @@ check:
 	dune exec bin/cbi.exe -- index $(DEMO_DIR)/log -o $(DEMO_DIR)/idx
 	dune exec bin/cbi.exe -- fsck $(DEMO_DIR)/idx
 	$(MAKE) fault-check
+	$(MAKE) eval
+
+# Ground-truth SBFL evaluation harness: rank every registered formula
+# against the five corpus programs' per-run bug occurrence (rank of
+# first true bug, top-1/5/10 hit rates, mean EXAM; see docs/sbfl.md).
+eval:
+	dune exec bin/cbi.exe -- eval --quick
 
 # Crash-recovery gate: kill-and-reopen the log -> index pipeline at every
 # seeded fault point (torn writes, failed fsyncs, disk-full, bit flips,
@@ -39,10 +46,13 @@ bench:
 # Fails (exit 1) if any par:* parallel analysis result diverges from the
 # sequential engine on a synthetic corpus (see docs/perf.md), or if the
 # observability layer adds more than 2% overhead on instrumented hot
-# paths (see docs/observability.md).
+# paths (see docs/observability.md), or if ranking through the SBFL
+# formula registry costs more than 2% over the hard-coded importance
+# path (see docs/sbfl.md).
 bench-check:
 	dune exec bench/main.exe -- --par-check
 	dune exec bench/main.exe -- --obs-check
+	dune exec bench/main.exe -- --sbfl-check
 
 # Build a small demo log + index and start a triage server on it.
 # Query it from another terminal, e.g.:

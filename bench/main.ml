@@ -732,6 +732,96 @@ let obs_check () =
     exit 1
   end
 
+(* --- SBFL formula zoo ---
+
+   Per-formula indexed top-k over the synthetic corpus (every formula
+   re-folds the same snapshot-cached counter table — the deltas are pure
+   scoring arithmetic), plus the dispatch overhead of the pluggable
+   path: Triage.topk (hard-coded importance) vs Triage.topk_f with the
+   importance formula fetched from the registry.  --sbfl-check gates the
+   dispatch overhead fault-check style. *)
+
+let sbfl_overhead ctx =
+  let idx = Sbi_index.Index.open_ ~dir:ctx.sy_idx_dir in
+  ignore (Sbi_index.Index.snapshot idx);
+  let iters = 25 in
+  let reps = 5 in
+  let topk_hard () =
+    for _ = 1 to iters do
+      ignore (Sbi_index.Triage.topk ~k:10 idx)
+    done
+  in
+  let topk_formula formula () =
+    for _ = 1 to iters do
+      ignore (Sbi_index.Triage.topk_f ~k:10 ~formula idx)
+    done
+  in
+  (* the pluggable path must select the same predicates as the hard-coded
+     one before its timing means anything *)
+  let hard = Sbi_index.Triage.topk ~k:10 idx in
+  let plugged = Sbi_index.Triage.topk_f ~k:10 ~formula:Sbi_sbfl.Formula.importance idx in
+  let identical =
+    List.length hard = List.length plugged
+    && List.for_all2
+         (fun (sc : Sbi_core.Scores.t) (e : Sbi_sbfl.Ranking.entry) ->
+           sc.Sbi_core.Scores.pred = e.Sbi_sbfl.Ranking.pred
+           && sc.Sbi_core.Scores.importance = e.Sbi_sbfl.Ranking.score)
+         hard plugged
+  in
+  if not identical then
+    Printf.printf "SBFL DIVERGENCE: topk_f importance does not match hard-coded topk\n%!";
+  let hard_dt = best_of reps topk_hard in
+  let dispatch_dt =
+    best_of reps (topk_formula Sbi_sbfl.Formula.importance)
+  in
+  Printf.printf "sbfl dispatch overhead (%d runs, best of %d, %d topk/rep):\n" ctx.sy_nruns
+    reps iters;
+  Printf.printf
+    "  topk hard-coded importance %8.1f ms | via formula registry %8.1f ms (%+.2f%%)\n"
+    (hard_dt *. 1e3) (dispatch_dt *. 1e3)
+    (100. *. (dispatch_dt -. hard_dt) /. Float.max hard_dt 1e-9);
+  let entries = ref [ ("sbfl:topk:hardcoded", hard_dt *. 1e9) ] in
+  List.iter
+    (fun (fm : Sbi_sbfl.Formula.t) ->
+      let dt = best_of reps (topk_formula fm) in
+      entries := (Printf.sprintf "sbfl:topk:%s" fm.Sbi_sbfl.Formula.name, dt *. 1e9) :: !entries;
+      Printf.printf "  topk %-26s %8.1f ms\n" fm.Sbi_sbfl.Formula.name (dt *. 1e3))
+    (Sbi_sbfl.Registry.all ());
+  (List.rev !entries, [ ("sbfl topk dispatch", hard_dt, dispatch_dt) ], identical)
+
+(* `bench/main.exe --sbfl-check`: exit non-zero if ranking through the
+   formula registry costs more than the gate (2% plus a small noise
+   floor) over the hard-coded importance path, or selects different
+   predicates. *)
+let sbfl_check () =
+  let nruns = min synth_nruns 3_000 in
+  Printf.printf "sbfl-check: %d-run synthetic corpus, hard-coded vs pluggable ranking\n%!"
+    nruns;
+  let ctx = build_synth_ctx ~nruns in
+  let _, pairs, identical = sbfl_overhead ctx in
+  let max_pct = 2.0 and slack_s = 2e-3 in
+  let ok =
+    List.for_all
+      (fun (name, hard, dispatch) ->
+        let fine = dispatch -. hard <= (hard *. max_pct /. 100.) +. slack_s in
+        if not fine then
+          Printf.printf "  OVERHEAD: %s %.1f ms -> %.1f ms exceeds %.0f%%\n%!" name
+            (hard *. 1e3) (dispatch *. 1e3) max_pct;
+        fine)
+      pairs
+  in
+  if ok && identical then begin
+    Printf.printf "sbfl-check OK: formula dispatch within %.0f%% (+noise floor), rankings identical\n"
+      max_pct;
+    exit 0
+  end
+  else begin
+    prerr_endline
+      (if identical then "sbfl-check FAILED: formula dispatch adds measurable overhead"
+       else "sbfl-check FAILED: pluggable importance ranking diverged from hard-coded path");
+    exit 1
+  end
+
 (* --- run and report --- *)
 
 let run_benchmarks tests =
@@ -830,6 +920,7 @@ let () =
   if Array.exists (fun a -> a = "--par-check") Sys.argv then par_check ();
   if Array.exists (fun a -> a = "--fault-check") Sys.argv then fault_check ();
   if Array.exists (fun a -> a = "--obs-check") Sys.argv then obs_check ();
+  if Array.exists (fun a -> a = "--sbfl-check") Sys.argv then sbfl_check ();
   Printf.printf "sbi benchmark harness: %d runs/study, adaptive training on %d runs\n%!"
     bench_runs bench_train;
   ignore (Lazy.force bundles);
@@ -853,9 +944,12 @@ let () =
   let fault_entries, _ = fault_overhead ctx in
   Printf.eprintf "[bench] timing observability-layer overhead...\n%!";
   let obs_entries, _ = obs_overhead ctx in
+  Printf.eprintf "[bench] timing per-formula topk and sbfl dispatch overhead...\n%!";
+  let sbfl_entries, _, _ = sbfl_overhead ctx in
   write_bench_json
     ~path:(Option.value ~default:"BENCH_core.json" (Sys.getenv_opt "SBI_BENCH_JSON"))
-    ~extra:(par_entries @ serve_entries @ fault_entries @ obs_entries) results;
+    ~extra:(par_entries @ serve_entries @ fault_entries @ obs_entries @ sbfl_entries)
+    results;
   print_tables ();
   if not par_ok then begin
     prerr_endline "bench: parallel analysis diverged from sequential";

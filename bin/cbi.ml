@@ -1043,6 +1043,324 @@ let inspect_cmd =
   in
   Cmd.v info Term.(const run $ study_t $ top_t $ seed_t $ runs_t $ quick_t $ sampling_t $ engine_t)
 
+(* --- SBFL formula zoo --- *)
+
+module Sbfl = Sbi_sbfl
+
+let formula_conv =
+  let parse s =
+    match Sbfl.Registry.find s with
+    | Some f -> Ok f
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown formula %s (known: %s)" s
+               (String.concat ", " (Sbfl.Registry.names ()))))
+  in
+  let print fmt (f : Sbfl.Formula.t) = Format.pp_print_string fmt f.Sbfl.Formula.name in
+  Arg.conv (parse, print)
+
+let formula_t =
+  let doc =
+    "SBFL ranking formula (see 'cbi formulas'); default: the paper's importance."
+  in
+  Arg.(value & opt formula_conv Sbfl.Registry.default
+       & info [ "formula" ] ~docv:"NAME" ~doc)
+
+let formulas_cmd =
+  let run json =
+    let all = Sbfl.Registry.all () in
+    if json then
+      print_endline
+        (J.to_string
+           (J.Obj
+              [
+                ("mode", J.Str "formulas");
+                ( "formulas",
+                  J.List
+                    (List.map
+                       (fun (f : Sbfl.Formula.t) ->
+                         J.Obj
+                           [
+                             ("name", J.Str f.Sbfl.Formula.name);
+                             ("descr", J.Str f.Sbfl.Formula.descr);
+                             ( "default",
+                               J.Bool (f.Sbfl.Formula.name = Sbfl.Registry.default.Sbfl.Formula.name)
+                             );
+                           ])
+                       all) );
+              ]))
+    else begin
+      let tab =
+        Sbi_util.Texttab.create [ ("Formula", Sbi_util.Texttab.Left); ("Definition", Sbi_util.Texttab.Left) ]
+      in
+      List.iter
+        (fun (f : Sbfl.Formula.t) ->
+          Sbi_util.Texttab.add_row tab
+            [
+              (if f.Sbfl.Formula.name = Sbfl.Registry.default.Sbfl.Formula.name then
+                 f.Sbfl.Formula.name ^ " *"
+               else f.Sbfl.Formula.name);
+              f.Sbfl.Formula.descr;
+            ])
+        all;
+      print_string (Sbi_util.Texttab.render tab);
+      print_endline "(* = default)"
+    end
+  in
+  let info =
+    Cmd.info "formulas" ~doc:"List the registered SBFL ranking formulas (see docs/sbfl.md)."
+  in
+  Cmd.v info Term.(const run $ json_t)
+
+(* Accepts any of the three on-disk artifacts: an index directory
+   ('manifest'), a shard-log directory ('meta'), or a dataset file.  All
+   three reduce to the same §3.1 counter table. *)
+let counts_of_path path =
+  if Sys.file_exists path && Sys.is_directory path then begin
+    if Sys.file_exists (Filename.concat path "manifest") then begin
+      match Sbi_index.Index.open_ ~dir:path with
+      | idx ->
+          let counts = Sbi_index.Triage.counts idx in
+          Ok (counts, idx.Sbi_index.Index.meta, "index")
+      | exception Sbi_index.Index.Format_error m -> Error m
+    end
+    else if Sys.file_exists (Filename.concat path "meta") then begin
+      match Sbi_ingest.Aggregator.of_log ~dir:path with
+      | agg, meta, _stats -> Ok (Sbi_ingest.Aggregator.to_counts agg, meta, "log")
+      | exception Sbi_ingest.Shard_log.Format_error m -> Error m
+    end
+    else Error (path ^ ": neither an index (no manifest) nor a shard log (no meta)")
+  end
+  else if Sys.file_exists path then begin
+    match Sbi_runtime.Dataset.load path with
+    | ds -> Ok (Sbi_core.Counts.compute ds, ds, "dataset")
+    | exception Sbi_runtime.Dataset.Parse_error m -> Error ("cannot read dataset: " ^ m)
+  end
+  else Error ("no such file or directory: " ^ path)
+
+let topk_cmd =
+  let path_t =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"PATH"
+           ~doc:"Index directory ('cbi index'), shard-log directory ('cbi ingest'), or \
+                 dataset file ('cbi collect').")
+  in
+  let k_t =
+    Arg.(value & opt int 10 & info [ "k"; "top" ] ~docv:"K" ~doc:"Predicates to rank.")
+  in
+  let all_t =
+    Arg.(value & flag & info [ "all" ]
+           ~doc:"Rank every predicate (default: only those surviving Increase-CI \
+                 pruning, as the serving pipeline does).")
+  in
+  let run path formula k all json =
+    if k < 1 then begin
+      prerr_endline "cbi: -k must be >= 1";
+      exit 2
+    end;
+    let counts, meta, source = or_fail (counts_of_path path) in
+    let candidates =
+      if all then None else Some (Sbi_core.Prune.retained counts)
+    in
+    let entries = Sbfl.Ranking.topk ~k ?candidates formula counts in
+    let name = formula.Sbfl.Formula.name in
+    if json then
+      print_endline
+        (J.to_string
+           (J.Obj
+              [
+                ("mode", J.Str "topk");
+                ("source", J.Str source);
+                ("formula", J.Str name);
+                ("k", J.int k);
+                ("runs", J.int (counts.Sbi_core.Counts.num_f + counts.Sbi_core.Counts.num_s));
+                ("failing", J.int counts.Sbi_core.Counts.num_f);
+                ("predicates", J.int counts.Sbi_core.Counts.npreds);
+                ( "results",
+                  J.List
+                    (List.mapi
+                       (fun i (e : Sbfl.Ranking.entry) ->
+                         J.Obj
+                           [
+                             ("rank", J.int (i + 1));
+                             ("pred", J.int e.Sbfl.Ranking.pred);
+                             ("text", J.Str (Sbi_runtime.Dataset.pred_text meta e.Sbfl.Ranking.pred));
+                             ("score", J.Num e.Sbfl.Ranking.score);
+                             ("f", J.int e.Sbfl.Ranking.f);
+                             ("s", J.int e.Sbfl.Ranking.s);
+                             ("f_obs", J.int e.Sbfl.Ranking.f_obs);
+                             ("s_obs", J.int e.Sbfl.Ranking.s_obs);
+                           ])
+                       entries) );
+              ]))
+    else begin
+      Printf.printf "%d runs (%d failing), %d predicates; top %d by %s:\n"
+        (counts.Sbi_core.Counts.num_f + counts.Sbi_core.Counts.num_s)
+        counts.Sbi_core.Counts.num_f counts.Sbi_core.Counts.npreds (List.length entries)
+        name;
+      List.iteri
+        (fun i (e : Sbfl.Ranking.entry) ->
+          Printf.printf "  %2d. [%s %.4f, F=%d, S=%d]  %s\n" (i + 1) name
+            e.Sbfl.Ranking.score e.Sbfl.Ranking.f e.Sbfl.Ranking.s
+            (Sbi_runtime.Dataset.pred_text meta e.Sbfl.Ranking.pred))
+        entries
+    end
+  in
+  let info =
+    Cmd.info "topk"
+      ~doc:"Rank predicates under any registered SBFL formula (--formula NAME; see \
+            'cbi formulas') from an index, shard log, or dataset."
+  in
+  Cmd.v info Term.(const run $ path_t $ formula_t $ k_t $ all_t $ json_t)
+
+let opt_rank = function None -> "-" | Some r -> string_of_int r
+let opt_exam = function None -> "-" | Some e -> Printf.sprintf "%.4f" e
+
+let eval_json study (ev : Sbfl.Eval.t) =
+  J.Obj
+    [
+      ("program", J.Str study.Sbi_corpus.Study.name);
+      ("runs", J.int ev.Sbfl.Eval.runs);
+      ("failing", J.int ev.Sbfl.Eval.failing);
+      ("predicates", J.int ev.Sbfl.Eval.npreds);
+      ("evaluable_bugs", J.int ev.Sbfl.Eval.evaluable);
+      ( "bugs",
+        J.List
+          (List.map
+             (fun (b : Sbfl.Eval.bug) ->
+               J.Obj
+                 [
+                   ("bug", J.int b.Sbfl.Eval.bug);
+                   ("failing_runs", J.int b.Sbfl.Eval.failing_runs);
+                   ("markers", J.int (List.length b.Sbfl.Eval.markers));
+                 ])
+             ev.Sbfl.Eval.truth) );
+      ( "formulas",
+        J.List
+          (List.map
+             (fun (fr : Sbfl.Eval.formula_result) ->
+               J.Obj
+                 [
+                   ("formula", J.Str fr.Sbfl.Eval.formula);
+                   ( "first_true_bug_rank",
+                     match fr.Sbfl.Eval.first_true_bug_rank with
+                     | None -> J.Null
+                     | Some r -> J.int r );
+                   ("top1", J.Num fr.Sbfl.Eval.top1);
+                   ("top5", J.Num fr.Sbfl.Eval.top5);
+                   ("top10", J.Num fr.Sbfl.Eval.top10);
+                   ( "mean_exam",
+                     match fr.Sbfl.Eval.mean_exam with
+                     | None -> J.Null
+                     | Some e -> J.Num e );
+                   ( "bugs",
+                     J.List
+                       (List.map
+                          (fun (pb : Sbfl.Eval.per_bug) ->
+                            J.Obj
+                              [
+                                ("bug", J.int pb.Sbfl.Eval.pb_bug);
+                                ( "first_rank",
+                                  match pb.Sbfl.Eval.pb_first_rank with
+                                  | None -> J.Null
+                                  | Some r -> J.int r );
+                                ( "exam",
+                                  match pb.Sbfl.Eval.pb_exam with
+                                  | None -> J.Null
+                                  | Some e -> J.Num e );
+                              ])
+                          fr.Sbfl.Eval.bugs) );
+                 ])
+             ev.Sbfl.Eval.results) );
+    ]
+
+let eval_cmd =
+  let studies_t =
+    Arg.(value & pos_all study_conv [] & info [] ~docv:"STUDY"
+           ~doc:"Studies to evaluate (default: all five corpus programs).")
+  in
+  let formulas_arg_t =
+    let doc = "Comma-separated formulas to evaluate (default: all registered)." in
+    Arg.(value & opt (some string) None & info [ "formulas" ] ~docv:"LIST" ~doc)
+  in
+  let run studies formulas json seed runs quick sampling engine =
+    let config = or_fail (config_of ~seed ~runs ~quick ~sampling ~engine) in
+    let studies = match studies with [] -> Sbi_corpus.Corpus.all | l -> l in
+    let formulas =
+      match formulas with
+      | None -> Sbfl.Registry.all ()
+      | Some l ->
+          List.map
+            (fun name ->
+              match Sbfl.Registry.find name with
+              | Some f -> f
+              | None ->
+                  or_fail
+                    (Error
+                       (Printf.sprintf "unknown formula %s (known: %s)" name
+                          (String.concat ", " (Sbfl.Registry.names ())))))
+            (List.filter (fun s -> s <> "") (String.split_on_char ',' l))
+    in
+    let evals =
+      List.map
+        (fun study ->
+          let bundle = get_bundle config study in
+          (study, Sbfl.Eval.evaluate ~formulas bundle.Harness.dataset))
+        studies
+    in
+    if json then
+      print_endline
+        (J.to_string
+           (J.Obj
+              [
+                ("mode", J.Str "eval");
+                ("programs", J.List (List.map (fun (st, ev) -> eval_json st ev) evals));
+              ]))
+    else
+      List.iter
+        (fun (study, (ev : Sbfl.Eval.t)) ->
+          let title =
+            Printf.sprintf "%s: %d runs (%d failing), %d bugs occurring (%d evaluable)"
+              study.Sbi_corpus.Study.name ev.Sbfl.Eval.runs ev.Sbfl.Eval.failing
+              (List.length ev.Sbfl.Eval.truth) ev.Sbfl.Eval.evaluable
+          in
+          let tab =
+            Sbi_util.Texttab.create ~title
+              [
+                ("Formula", Sbi_util.Texttab.Left);
+                ("1st bug rank", Sbi_util.Texttab.Right);
+                ("Top-1", Sbi_util.Texttab.Right);
+                ("Top-5", Sbi_util.Texttab.Right);
+                ("Top-10", Sbi_util.Texttab.Right);
+                ("Mean EXAM", Sbi_util.Texttab.Right);
+              ]
+          in
+          List.iter
+            (fun (fr : Sbfl.Eval.formula_result) ->
+              Sbi_util.Texttab.add_row tab
+                [
+                  fr.Sbfl.Eval.formula;
+                  opt_rank fr.Sbfl.Eval.first_true_bug_rank;
+                  Printf.sprintf "%.2f" fr.Sbfl.Eval.top1;
+                  Printf.sprintf "%.2f" fr.Sbfl.Eval.top5;
+                  Printf.sprintf "%.2f" fr.Sbfl.Eval.top10;
+                  opt_exam fr.Sbfl.Eval.mean_exam;
+                ])
+            ev.Sbfl.Eval.results;
+          print_string (Sbi_util.Texttab.render tab);
+          print_newline ())
+        evals
+  in
+  let info =
+    Cmd.info "eval"
+      ~doc:"Ground-truth evaluation of every SBFL formula against the corpus programs' \
+            per-run bug occurrence: rank of first true bug, top-1/5/10 hit rates, and \
+            mean EXAM per formula per program (--json for machine-readable output)."
+  in
+  Cmd.v info
+    Term.(const run $ studies_t $ formulas_arg_t $ json_t $ seed_t $ runs_t $ quick_t
+          $ sampling_t $ engine_t)
+
 let main_cmd =
   let doc = "Scalable statistical bug isolation (PLDI 2005) — reproduction driver." in
   let info = Cmd.info "cbi" ~version:"1.0.0" ~doc in
@@ -1052,6 +1370,7 @@ let main_cmd =
       report_cmd; curves_cmd; studies_cmd; run_cmd; collect_cmd; ingest_cmd;
       log_stats_cmd; analyze_cmd; analyze_file_cmd; index_cmd; fsck_cmd;
       fault_check_cmd; serve_cmd; query_cmd; trace_dump_cmd; disasm_cmd; inspect_cmd;
+      formulas_cmd; topk_cmd; eval_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -105,6 +105,28 @@ module Snap = struct
           ~compare:(fun a b -> Scores.compare_importance_desc b a)
           retained)
 
+  (* Formula-parameterized top-k: same CI-pruned candidate set, ranked by
+     an arbitrary registered formula.  Runs entirely off the snapshot's
+     cached aggregate — switching formulas is a re-fold of the counter
+     table, never a rescan.  With [formula = Formula.importance] the
+     selected predicates and scores are bit-identical to {!topk}
+     (property-tested): same candidates, and Ranking's comparator breaks
+     ties exactly like [Scores.compare_importance_desc]. *)
+  let topk_f ?confidence ?(k = 10) ~formula snap =
+    Sbi_obs.Trace.with_span ~name:"triage.topk"
+      ~args:(Printf.sprintf "k=%d formula=%s" k formula.Sbi_sbfl.Formula.name)
+      (fun () ->
+        let counts = Snapshot.counts snap in
+        let candidates = Prune.retained ?confidence counts in
+        Sbi_sbfl.Ranking.topk ~k ~candidates formula counts)
+
+  let pred_score ?confidence snap ~pred ~formula =
+    let meta = snap.Snapshot.meta in
+    if pred < 0 || pred >= meta.Dataset.npreds then
+      invalid_arg (Printf.sprintf "Triage.pred_score: predicate %d out of range" pred);
+    let counts = Snapshot.counts snap in
+    (Sbi_sbfl.Ranking.score formula counts ~pred, Scores.score ?confidence counts ~pred)
+
   let pred_detail ?confidence snap ~pred =
     let meta = snap.Snapshot.meta in
     if pred < 0 || pred >= meta.Dataset.npreds then
@@ -227,8 +249,14 @@ end
 let counts ?pool idx = Snapshot.counts (Index.snapshot ?pool idx)
 let topk ?pool ?confidence ?k idx = Snap.topk ?confidence ?k (Index.snapshot ?pool idx)
 
+let topk_f ?pool ?confidence ?k ~formula idx =
+  Snap.topk_f ?confidence ?k ~formula (Index.snapshot ?pool idx)
+
 let pred_detail ?pool ?confidence idx ~pred =
   Snap.pred_detail ?confidence (Index.snapshot ?pool idx) ~pred
+
+let pred_score ?pool ?confidence idx ~pred ~formula =
+  Snap.pred_score ?confidence (Index.snapshot ?pool idx) ~pred ~formula
 
 let affinity ?pool ?confidence idx ~selected ~others =
   Snap.affinity ?pool ?confidence (Index.snapshot ?pool idx) ~selected ~others

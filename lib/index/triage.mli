@@ -27,9 +27,33 @@ val topk :
     surviving Increase-CI pruning, best first — the ranking
     [cbi analyze-file --stream] prints, without rescanning the log. *)
 
+val topk_f :
+  ?pool:Sbi_par.Domain_pool.t ->
+  ?confidence:float ->
+  ?k:int ->
+  formula:Sbi_sbfl.Formula.t ->
+  Index.t ->
+  Sbi_sbfl.Ranking.entry list
+(** {!topk} under an arbitrary SBFL formula: same Increase-CI pruned
+    candidate set, ranked by the formula's score (desc, ties F desc then
+    id asc) — computed off the snapshot's cached aggregate, never a
+    rescan.  With [~formula:Sbi_sbfl.Formula.importance] the predicates
+    and scores are bit-identical to {!topk}. *)
+
 val pred_detail :
   ?pool:Sbi_par.Domain_pool.t -> ?confidence:float -> Index.t -> pred:int -> Sbi_core.Scores.t
 (** Full score card (F, S, Context, Increase + CI, Importance + CI).
+    @raise Invalid_argument when [pred] is outside the tables. *)
+
+val pred_score :
+  ?pool:Sbi_par.Domain_pool.t ->
+  ?confidence:float ->
+  Index.t ->
+  pred:int ->
+  formula:Sbi_sbfl.Formula.t ->
+  float * Sbi_core.Scores.t
+(** The formula's score for one predicate alongside the full paper score
+    card, both from the same snapshot aggregate.
     @raise Invalid_argument when [pred] is outside the tables. *)
 
 val cooccurrence : Index.t -> a:int -> b:int -> int
@@ -84,7 +108,22 @@ val summary : Index.t -> analysis -> Sbi_core.Analysis.summary
 module Snap : sig
   val counts : Snapshot.t -> Sbi_core.Counts.t
   val topk : ?confidence:float -> ?k:int -> Snapshot.t -> Sbi_core.Scores.t list
+
+  val topk_f :
+    ?confidence:float ->
+    ?k:int ->
+    formula:Sbi_sbfl.Formula.t ->
+    Snapshot.t ->
+    Sbi_sbfl.Ranking.entry list
+
   val pred_detail : ?confidence:float -> Snapshot.t -> pred:int -> Sbi_core.Scores.t
+
+  val pred_score :
+    ?confidence:float ->
+    Snapshot.t ->
+    pred:int ->
+    formula:Sbi_sbfl.Formula.t ->
+    float * Sbi_core.Scores.t
 
   val affinity :
     ?pool:Sbi_par.Domain_pool.t ->

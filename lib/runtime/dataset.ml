@@ -85,6 +85,8 @@ let runs_with_bug t bug =
       else acc)
     0 t.runs
 
+let bug_runs t bug = Array.map (fun r -> Report.has_bug r bug) t.runs
+
 (* --- serialization --- *)
 
 exception Parse_error of string

@@ -53,6 +53,15 @@ val bug_ids : t -> int list
 val runs_with_bug : t -> int -> int
 (** Number of failing runs exhibiting the given ground-truth bug. *)
 
+val bug_runs : t -> int -> bool array
+(** Per-run ground-truth mask for one bug: element [i] is [true] iff run
+    [runs.(i)] exhibited the bug ([Report.has_bug], the [__bug(n)]
+    channel), {e regardless of outcome} — a triggered bug need not have
+    failed the run.  Contrast {!runs_with_bug}, which counts failing runs
+    only.  This is the stable accessor the SBFL evaluation harness and
+    external tooling should use instead of re-deriving occurrence from raw
+    reports. *)
+
 (** {1 Serialization} *)
 
 val to_channel : out_channel -> t -> unit

@@ -1,0 +1,132 @@
+open Sbi_runtime
+open Sbi_core
+
+type bug = { bug : int; failing_runs : int; markers : int list }
+
+type per_bug = {
+  pb_bug : int;
+  pb_first_rank : int option;
+  pb_exam : float option;
+}
+
+type formula_result = {
+  formula : string;
+  first_true_bug_rank : int option;
+  top1 : float;
+  top5 : float;
+  top10 : float;
+  mean_exam : float option;
+  bugs : per_bug list;
+}
+
+type t = {
+  runs : int;
+  failing : int;
+  npreds : int;
+  truth : bug list;
+  evaluable : int;
+  results : formula_result list;
+}
+
+(* Markers: P belongs to the bug it co-occurs with most among failing
+   runs (ties toward the smaller bug id), provided P is a genuine failure
+   predictor (F > 0, Increase > 0). *)
+let truth (ds : Dataset.t) =
+  let bug_ids = Dataset.bug_ids ds in
+  match bug_ids with
+  | [] -> []
+  | _ ->
+      let counts = Counts.compute ds in
+      let nbugs = List.length bug_ids in
+      let bug_index = Hashtbl.create nbugs in
+      List.iteri (fun i b -> Hashtbl.replace bug_index b i) bug_ids;
+      (* cooccur.(i) for bug slot i: per-predicate count of failing runs
+         where the bug occurred and P was observed true *)
+      let cooccur = Array.init nbugs (fun _ -> Array.make ds.Dataset.npreds 0) in
+      Array.iter
+        (fun (r : Report.t) ->
+          if Report.outcome_is_failure r.Report.outcome then
+            Array.iter
+              (fun b ->
+                let row = cooccur.(Hashtbl.find bug_index b) in
+                Array.iter (fun p -> row.(p) <- row.(p) + 1) r.Report.true_preds)
+              r.Report.bugs)
+        ds.Dataset.runs;
+      let markers = Array.make nbugs [] in
+      for pred = ds.Dataset.npreds - 1 downto 0 do
+        if counts.Counts.f.(pred) > 0 then begin
+          let sc = Scores.score counts ~pred in
+          if sc.Scores.increase > 0. then begin
+            (* dominant bug: max co-occurrence, first (smallest) id wins ties *)
+            let best = ref (-1) and best_n = ref 0 in
+            for i = nbugs - 1 downto 0 do
+              let n = cooccur.(i).(pred) in
+              if n > 0 && n >= !best_n then begin
+                best := i;
+                best_n := n
+              end
+            done;
+            if !best >= 0 then markers.(!best) <- pred :: markers.(!best)
+          end
+        end
+      done;
+      List.mapi
+        (fun i b ->
+          { bug = b; failing_runs = Dataset.runs_with_bug ds b; markers = markers.(i) })
+        bug_ids
+
+let eval_formula ~npreds ~(truth : bug list) (fm : Formula.t) counts =
+  let ranking = Ranking.rank fm counts in
+  (* pred -> 1-based rank *)
+  let rank_of = Array.make npreds 0 in
+  Array.iteri (fun i (e : Ranking.entry) -> rank_of.(e.Ranking.pred) <- i + 1) ranking;
+  let bugs =
+    List.map
+      (fun b ->
+        match b.markers with
+        | [] -> { pb_bug = b.bug; pb_first_rank = None; pb_exam = None }
+        | ms ->
+            let first = List.fold_left (fun acc p -> min acc rank_of.(p)) max_int ms in
+            {
+              pb_bug = b.bug;
+              pb_first_rank = Some first;
+              pb_exam = Some (float_of_int first /. float_of_int npreds);
+            })
+      truth
+  in
+  let firsts = List.filter_map (fun pb -> pb.pb_first_rank) bugs in
+  let evaluable = List.length firsts in
+  let hit k =
+    if evaluable = 0 then 0.
+    else
+      float_of_int (List.length (List.filter (fun r -> r <= k) firsts))
+      /. float_of_int evaluable
+  in
+  let exams = List.filter_map (fun pb -> pb.pb_exam) bugs in
+  {
+    formula = fm.Formula.name;
+    first_true_bug_rank = (match firsts with [] -> None | _ -> Some (List.fold_left min max_int firsts));
+    top1 = hit 1;
+    top5 = hit 5;
+    top10 = hit 10;
+    mean_exam =
+      (match exams with
+      | [] -> None
+      | _ -> Some (List.fold_left ( +. ) 0. exams /. float_of_int (List.length exams)));
+    bugs;
+  }
+
+let evaluate ?formulas (ds : Dataset.t) =
+  let formulas = match formulas with Some fs -> fs | None -> Registry.all () in
+  let counts = Counts.compute ds in
+  let truth = truth ds in
+  let evaluable = List.length (List.filter (fun b -> b.markers <> []) truth) in
+  {
+    runs = Dataset.nruns ds;
+    failing = Dataset.num_failures ds;
+    npreds = ds.Dataset.npreds;
+    truth;
+    evaluable;
+    results =
+      List.map (fun fm -> eval_formula ~npreds:ds.Dataset.npreds ~truth fm counts) formulas;
+  }

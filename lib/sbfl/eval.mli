@@ -1,0 +1,74 @@
+(** Ground-truth evaluation of SBFL formulas.
+
+    Takes a collected {!Sbi_runtime.Dataset.t} whose reports carry the
+    reproduction's ground-truth channel ([Report.bugs], the [__bug(n)]
+    occurrences) and measures, for each formula, how early its ranking
+    surfaces each bug that actually occurred.
+
+    {2 Marker predicates}
+
+    A ranking is a list of predicates, not bugs, so each bug is judged by
+    its {e marker} predicates: predicate P is a marker of bug B iff
+
+    - [F(P) > 0] and [Increase(P) > 0] (P is a genuine failure predictor,
+      the paper's §3.1 precondition), and
+    - B is P's {e dominant} bug: the bug co-occurring with P-true in the
+      most failing runs, ties broken toward the smaller bug id.
+
+    Dominance makes marker sets disjoint across bugs, so a formula cannot
+    score a freebie by ranking one super-bug predictor first for every
+    bug.
+
+    {2 Metrics}
+
+    For formula ranking R over {e all} predicates (no CI pruning — a
+    formula must also rank the noise) and bug B with markers M:
+
+    - [first_rank B] — 1-based rank in R of the best-ranked marker of B.
+    - rank of first true bug — min over occurring bugs of [first_rank].
+    - top-k hit rate — fraction of evaluable bugs with [first_rank <= k].
+    - EXAM(B) — [first_rank B / npreds]: fraction of the ranking a
+      developer reads before reaching B (smaller is better).
+
+    Bugs that occurred but have no marker (never observed true in a
+    failing run, or drowned by a dominant sibling) are reported but
+    excluded from the rate/mean denominators. *)
+
+type bug = {
+  bug : int;  (** ground-truth bug id *)
+  failing_runs : int;  (** failing runs exhibiting the bug *)
+  markers : int list;  (** marker predicates, ascending id *)
+}
+
+type per_bug = {
+  pb_bug : int;
+  pb_first_rank : int option;  (** 1-based; [None] when the bug has no marker *)
+  pb_exam : float option;  (** first_rank / npreds *)
+}
+
+type formula_result = {
+  formula : string;
+  first_true_bug_rank : int option;
+      (** best [pb_first_rank] across evaluable bugs *)
+  top1 : float;
+  top5 : float;
+  top10 : float;  (** hit rates over evaluable bugs; 0 when none *)
+  mean_exam : float option;
+  bugs : per_bug list;  (** one per occurring bug, ascending bug id *)
+}
+
+type t = {
+  runs : int;
+  failing : int;
+  npreds : int;
+  truth : bug list;  (** occurring bugs, ascending id *)
+  evaluable : int;  (** bugs with at least one marker *)
+  results : formula_result list;  (** one per formula, input order *)
+}
+
+val truth : Sbi_runtime.Dataset.t -> bug list
+(** Ground-truth bug inventory + marker assignment for one dataset. *)
+
+val evaluate : ?formulas:Formula.t list -> Sbi_runtime.Dataset.t -> t
+(** Score every formula (default: {!Registry.all} at call time) against
+    the dataset's ground truth.  Deterministic for a fixed dataset. *)

@@ -1,0 +1,99 @@
+open Sbi_util
+
+type cell = {
+  f : int;
+  s : int;
+  f_obs : int;
+  s_obs : int;
+  num_f : int;
+  num_s : int;
+}
+
+type t = { name : string; descr : string; score : cell -> float }
+
+let name t = t.name
+let descr t = t.descr
+let score t cell = t.score cell
+
+(* Same helper as Scores.ratio: empty denominators score 0, never NaN. *)
+let ratio num den = if den = 0 then 0. else float_of_int num /. float_of_int den
+
+(* Increase(P) must stay bit-identical to Scores.score: same ratio
+   convention, same guard, same operation order. *)
+let increase_score c =
+  let failure = ratio c.f (c.f + c.s) in
+  let context = ratio c.f_obs (c.f_obs + c.s_obs) in
+  if c.f + c.s = 0 || c.f_obs + c.s_obs = 0 then 0. else failure -. context
+
+let importance_score c =
+  let increase = increase_score c in
+  let sensitivity = Stats.log_ratio c.f c.num_f in
+  Stats.harmonic_mean2 increase sensitivity
+
+let tarantula_score c =
+  let fr = ratio c.f c.num_f in
+  let sr = ratio c.s c.num_s in
+  if fr +. sr = 0. then 0. else fr /. (fr +. sr)
+
+let ochiai_score c =
+  let den = sqrt (float_of_int c.num_f *. float_of_int (c.f + c.s)) in
+  if den = 0. then 0. else float_of_int c.f /. den
+
+(* DStar: a zero denominator with ef > 0 is a perfect predictor (true in
+   some failures, never in a success, true in every failure); the
+   literature's convention is +inf so it ranks above everything finite. *)
+let dstar_score ~star c =
+  if c.f = 0 then 0.
+  else begin
+    let den = c.s + (c.num_f - c.f) in
+    let num = float_of_int c.f ** float_of_int star in
+    if den = 0 then infinity else num /. float_of_int den
+  end
+
+let jaccard_score c = ratio c.f (c.num_f + c.s)
+let op2_score c = float_of_int c.f -. (float_of_int c.s /. float_of_int (c.num_s + 1))
+
+let importance =
+  {
+    name = "importance";
+    descr = "harmonic mean of Increase(P) and log F(P)/log NumF (paper, 3.3)";
+    score = importance_score;
+  }
+
+let increase =
+  {
+    name = "increase";
+    descr = "Failure(P) - Context(P) over sampled observations (paper, 3.1)";
+    score = increase_score;
+  }
+
+let tarantula =
+  {
+    name = "tarantula";
+    descr = "(ef/F) / (ef/F + ep/S) (Jones & Harrold 2005)";
+    score = tarantula_score;
+  }
+
+let ochiai =
+  { name = "ochiai"; descr = "ef / sqrt(F * (ef + ep))"; score = ochiai_score }
+
+let dstar2 =
+  {
+    name = "dstar2";
+    descr = "ef^2 / (ep + (F - ef)); inf on a perfect predictor (Wong et al.)";
+    score = dstar_score ~star:2;
+  }
+
+let dstar3 =
+  {
+    name = "dstar3";
+    descr = "ef^3 / (ep + (F - ef)); inf on a perfect predictor (Wong et al.)";
+    score = dstar_score ~star:3;
+  }
+
+let jaccard = { name = "jaccard"; descr = "ef / (F + ep)"; score = jaccard_score }
+
+let op2 =
+  { name = "op2"; descr = "ef - ep / (S + 1) (Naish et al. O^p)"; score = op2_score }
+
+let builtins = [ importance; increase; tarantula; ochiai; dstar2; dstar3; jaccard; op2 ]

@@ -1,0 +1,77 @@
+(** The SBFL formula plugin interface.
+
+    A formula is a named, self-describing scorer over the §3.1 counters of
+    one predicate.  Conventionally the fault-localization literature writes
+    them over the tuple (ef, ep, nf, np); here the cell carries the paper's
+    native quantities and exposes the classical aliases:
+
+    - [ef = f]            — failing runs where P was observed true
+    - [ep = s]            — successful runs where P was observed true
+    - [nf = num_f - f]    — failing runs where P was not observed true
+    - [np = num_s - s]    — successful runs where P was not observed true
+
+    plus the sampling-aware observation counters [f_obs]/[s_obs] (runs
+    where P's {e site} was reached and sampled), which the paper's own
+    [increase]/[importance] need and which pure coverage formulas ignore.
+
+    Scores are compared with {!Float.compare}: larger is more suspicious.
+    A formula may return [infinity] (DStar's convention for a perfect
+    predictor); the JSON emitter renders non-finite scores as [null].
+    Formulas must never return NaN. *)
+
+type cell = {
+  f : int;  (** F(P): failing runs where P observed true *)
+  s : int;  (** S(P): successful runs where P observed true *)
+  f_obs : int;  (** failing runs where P's site was sampled *)
+  s_obs : int;  (** successful runs where P's site was sampled *)
+  num_f : int;  (** total failing runs *)
+  num_s : int;  (** total successful runs *)
+}
+
+type t = {
+  name : string;  (** registry key, lowercase, e.g. ["ochiai"] *)
+  descr : string;  (** one-line self-description with the counter algebra *)
+  score : cell -> float;
+}
+
+val name : t -> string
+val descr : t -> string
+val score : t -> cell -> float
+
+(** {1 Built-ins}
+
+    [importance] and [increase] replicate {!Sbi_core.Scores} arithmetic
+    exactly — same ratio conventions, same operation order — so their
+    scores are bit-identical to [Scores.score] (property-tested). *)
+
+val importance : t
+(** The paper's §3.3 metric: harmonic mean of Increase(P) and the
+    log-failure sensitivity.  Bit-identical to
+    [Scores.score c ~pred |> (fun sc -> sc.importance)]. *)
+
+val increase : t
+(** §3.1: [Failure(P) - Context(P)]; 0 when either denominator is empty.
+    Bit-identical to the [increase] field of {!Sbi_core.Scores.score}. *)
+
+val tarantula : t
+(** Jones & Harrold 2005: [(ef/F) / (ef/F + ep/S)]; 0 when nothing ran or
+    P was never true. *)
+
+val ochiai : t
+(** [ef / sqrt (F * (ef + ep))]; 0 on an empty denominator. *)
+
+val dstar2 : t
+(** Wong et al.: [ef^2 / (ep + (F - ef))]; [infinity] when the denominator
+    is 0 and [ef > 0] (a perfect predictor), 0 when [ef = 0]. *)
+
+val dstar3 : t
+(** [ef^3 / (ep + (F - ef))], same conventions as {!dstar2}. *)
+
+val jaccard : t
+(** [ef / (F + ep)]; 0 on an empty denominator. *)
+
+val op2 : t
+(** Naish et al.: [ef - ep / (S + 1)]. *)
+
+val builtins : t list
+(** All of the above, [importance] first (the registry default). *)

@@ -1,0 +1,54 @@
+open Sbi_core
+
+type entry = {
+  pred : int;
+  score : float;
+  f : int;
+  s : int;
+  f_obs : int;
+  s_obs : int;
+}
+
+let cell (c : Counts.t) ~pred =
+  if pred < 0 || pred >= c.Counts.npreds then
+    invalid_arg (Printf.sprintf "Ranking.cell: predicate %d out of range" pred);
+  {
+    Formula.f = c.Counts.f.(pred);
+    s = c.Counts.s.(pred);
+    f_obs = c.Counts.f_obs.(pred);
+    s_obs = c.Counts.s_obs.(pred);
+    num_f = c.Counts.num_f;
+    num_s = c.Counts.num_s;
+  }
+
+let score (fm : Formula.t) c ~pred = fm.Formula.score (cell c ~pred)
+
+let entry fm c ~pred =
+  let cl = cell c ~pred in
+  {
+    pred;
+    score = fm.Formula.score cl;
+    f = cl.Formula.f;
+    s = cl.Formula.s;
+    f_obs = cl.Formula.f_obs;
+    s_obs = cl.Formula.s_obs;
+  }
+
+let compare_desc a b =
+  match Float.compare b.score a.score with
+  | 0 -> ( match Int.compare b.f a.f with 0 -> Int.compare a.pred b.pred | n -> n)
+  | n -> n
+
+let entries_of ?candidates fm (c : Counts.t) =
+  match candidates with
+  | Some preds -> Array.of_list (List.map (fun pred -> entry fm c ~pred) preds)
+  | None -> Array.init c.Counts.npreds (fun pred -> entry fm c ~pred)
+
+let rank ?candidates fm c =
+  let out = entries_of ?candidates fm c in
+  Array.sort compare_desc out;
+  out
+
+let topk ?(k = 10) ?candidates fm c =
+  let entries = entries_of ?candidates fm c in
+  Sbi_util.Topk.top ~k ~compare:(fun a b -> compare_desc b a) entries

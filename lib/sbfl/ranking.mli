@@ -1,0 +1,44 @@
+(** Deterministic rankings of §3.1 counters under any {!Formula}.
+
+    All entry points take an already-aggregated {!Sbi_core.Counts.t} — the
+    quantity the epoch-versioned snapshot caches — so switching formulas
+    never rescans a corpus: it is a pure re-fold of the same counter
+    table.
+
+    Ordering is total and typed: score descending ({!Float.compare}, so
+    [infinity] sorts first and ties are exact), then F(P) descending, then
+    predicate id ascending.  The F-then-id tie-break matches
+    {!Sbi_core.Scores.compare_importance_desc} and [Rank.By_increase]
+    exactly, which is what makes [importance]/[increase] rankings
+    bit-identical to the legacy path; it also pins the many exact ties
+    coverage formulas (Tarantula et al.) produce, so rankings reproduce
+    across runs, domain counts, and machines. *)
+
+type entry = {
+  pred : int;
+  score : float;
+  f : int;
+  s : int;
+  f_obs : int;
+  s_obs : int;
+}
+
+val cell : Sbi_core.Counts.t -> pred:int -> Formula.cell
+(** The formula-facing view of one predicate's counters.
+    @raise Invalid_argument when [pred] is outside the tables. *)
+
+val score : Formula.t -> Sbi_core.Counts.t -> pred:int -> float
+(** [Formula.score] over {!cell}. *)
+
+val entry : Formula.t -> Sbi_core.Counts.t -> pred:int -> entry
+
+val compare_desc : entry -> entry -> int
+(** Score desc, then F(P) desc, then pred asc — the total order above. *)
+
+val rank : ?candidates:int list -> Formula.t -> Sbi_core.Counts.t -> entry array
+(** All candidates (default: every predicate), best first under
+    {!compare_desc}. *)
+
+val topk : ?k:int -> ?candidates:int list -> Formula.t -> Sbi_core.Counts.t -> entry list
+(** The [k] (default 10) best candidates, best first; bounded selection
+    via {!Sbi_util.Topk}, never a full sort. *)

@@ -1,0 +1,38 @@
+let lock = Mutex.create ()
+let table : (string, Formula.t) Hashtbl.t = Hashtbl.create 16
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let canon name = String.lowercase_ascii (String.trim name)
+
+let register_unlocked (f : Formula.t) =
+  let key = canon f.Formula.name in
+  if key = "" then invalid_arg "Registry.register: empty formula name";
+  if Hashtbl.mem table key then
+    invalid_arg (Printf.sprintf "Registry.register: duplicate formula %S" key);
+  Hashtbl.replace table key f
+
+let () = List.iter register_unlocked Formula.builtins
+let default = Formula.importance
+let register f = locked (fun () -> register_unlocked f)
+let find name = locked (fun () -> Hashtbl.find_opt table (canon name))
+
+let names () =
+  locked (fun () ->
+      List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) table []))
+
+let find_exn name =
+  match find name with
+  | Some f -> f
+  | None ->
+      invalid_arg
+        (Printf.sprintf "unknown formula %S (known: %s)" name
+           (String.concat ", " (names ())))
+
+let all () =
+  locked (fun () ->
+      List.sort
+        (fun (a : Formula.t) b -> String.compare a.Formula.name b.Formula.name)
+        (Hashtbl.fold (fun _ f acc -> f :: acc) table []))

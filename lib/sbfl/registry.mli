@@ -1,0 +1,28 @@
+(** The formula registry: name -> {!Formula.t}.
+
+    Pre-populated with {!Formula.builtins}; thread-safe so a server
+    answering [formulas] concurrently with a plugin registering at startup
+    never observes a torn table.  Names are case-insensitive on lookup and
+    stored lowercase. *)
+
+val default : Formula.t
+(** The paper's [importance] — what every caller uses when no formula is
+    named. *)
+
+val find : string -> Formula.t option
+(** Case-insensitive lookup. *)
+
+val find_exn : string -> Formula.t
+(** @raise Invalid_argument naming the known formulas when absent. *)
+
+val register : Formula.t -> unit
+(** Add a new formula.
+    @raise Invalid_argument on a duplicate (case-insensitive) name or an
+    empty name. *)
+
+val names : unit -> string list
+(** Registered names, sorted; builtins first is NOT guaranteed — this is
+    plain lexicographic order for stable output. *)
+
+val all : unit -> Formula.t list
+(** All registered formulas, sorted by name. *)

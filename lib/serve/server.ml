@@ -61,13 +61,57 @@ let fmt_score (sc : Scores.t) text =
   Printf.sprintf "%d %.6f %.6f %d %d %s" sc.Scores.pred sc.Scores.importance
     sc.Scores.increase sc.Scores.f sc.Scores.s text
 
-let handle_topk t snap k =
+(* Splits an optional [formula=NAME] token out of a request's arguments
+   and resolves it against the registry; [Ok None] means the caller wants
+   the default hard-coded importance path. *)
+let split_formula_arg words =
+  let is_formula w = String.length w >= 8 && String.sub w 0 8 = "formula=" in
+  let fargs, rest = List.partition is_formula words in
+  match fargs with
+  | [] -> Ok (None, rest)
+  | [ w ] -> (
+      let name = String.sub w 8 (String.length w - 8) in
+      match Sbi_sbfl.Registry.find name with
+      | Some f -> Ok (Some f, rest)
+      | None ->
+          Error
+            (Printf.sprintf "unknown formula %s (known: %s)" name
+               (String.concat " " (Sbi_sbfl.Registry.names ()))))
+  | _ -> Error "at most one formula= argument"
+
+let handle_topk ?formula t snap k =
   let k = match k with Some k when k > 0 -> k | _ -> 10 in
-  let scores = Triage.Snap.topk ~k snap in
+  match formula with
+  | None ->
+      let scores = Triage.Snap.topk ~k snap in
+      let lines =
+        List.mapi
+          (fun i sc -> Printf.sprintf "%d %s" (i + 1) (fmt_score sc (pred_text t sc.Scores.pred)))
+          scores
+      in
+      Ok (Printf.sprintf "topk %d" (List.length lines), lines)
+  | Some fm ->
+      let entries = Triage.Snap.topk_f ~k ~formula:fm snap in
+      let lines =
+        List.mapi
+          (fun i (e : Sbi_sbfl.Ranking.entry) ->
+            Printf.sprintf "%d %d %.6f %d %d %s" (i + 1) e.Sbi_sbfl.Ranking.pred
+              e.Sbi_sbfl.Ranking.score e.Sbi_sbfl.Ranking.f e.Sbi_sbfl.Ranking.s
+              (pred_text t e.Sbi_sbfl.Ranking.pred))
+          entries
+      in
+      Ok
+        ( Printf.sprintf "topk %d formula=%s" (List.length lines) fm.Sbi_sbfl.Formula.name,
+          lines )
+
+let handle_formulas () =
   let lines =
-    List.mapi (fun i sc -> Printf.sprintf "%d %s" (i + 1) (fmt_score sc (pred_text t sc.Scores.pred))) scores
+    List.map
+      (fun (f : Sbi_sbfl.Formula.t) ->
+        Printf.sprintf "%s %s" f.Sbi_sbfl.Formula.name f.Sbi_sbfl.Formula.descr)
+      (Sbi_sbfl.Registry.all ())
   in
-  Ok (Printf.sprintf "topk %d" (List.length lines), lines)
+  Ok (Printf.sprintf "formulas %d" (List.length lines), lines)
 
 let parse_pred t s =
   match int_of_string_opt s with
@@ -75,11 +119,21 @@ let parse_pred t s =
   | Some p -> Error (Printf.sprintf "predicate %d out of range (have %d)" p t.index.Index.meta.Dataset.npreds)
   | None -> Error ("bad predicate id: " ^ s)
 
-let handle_pred t snap arg =
+let handle_pred ?formula t snap arg =
   match parse_pred t arg with
   | Error e -> Error e
   | Ok pred ->
       let sc = Triage.Snap.pred_detail snap ~pred in
+      let formula_lines =
+        match formula with
+        | None -> []
+        | Some fm ->
+            let score, _ = Triage.Snap.pred_score snap ~pred ~formula:fm in
+            [
+              Printf.sprintf "formula %s" fm.Sbi_sbfl.Formula.name;
+              Printf.sprintf "score %.6f" score;
+            ]
+      in
       let lines =
         [
           Printf.sprintf "text %s" (pred_text t pred);
@@ -97,6 +151,7 @@ let handle_pred t snap arg =
           Printf.sprintf "importance_ci %.6f %.6f" sc.Scores.importance_ci.Sbi_util.Stats.lo
             sc.Scores.importance_ci.Sbi_util.Stats.hi;
         ]
+        @ formula_lines
       in
       Ok (Printf.sprintf "pred %d" pred, lines)
 
@@ -171,9 +226,22 @@ let dispatch t line =
   let words = List.filter (fun w -> w <> "") (String.split_on_char ' ' line) in
   match words with
   | [ "ping" ] -> Ok ("pong", [])
-  | [ "topk" ] -> handle_topk t (grab_snapshot t) None
-  | [ "topk"; k ] -> handle_topk t (grab_snapshot t) (int_of_string_opt k)
-  | [ "pred"; id ] -> handle_pred t (grab_snapshot t) id
+  | "topk" :: rest -> (
+      match split_formula_arg rest with
+      | Error e -> Error e
+      | Ok (formula, rest) -> (
+          match rest with
+          | [] -> handle_topk ?formula t (grab_snapshot t) None
+          | [ k ] -> handle_topk ?formula t (grab_snapshot t) (int_of_string_opt k)
+          | _ -> Error "usage: topk [K] [formula=NAME]"))
+  | "pred" :: rest -> (
+      match split_formula_arg rest with
+      | Error e -> Error e
+      | Ok (formula, rest) -> (
+          match rest with
+          | [ id ] -> handle_pred ?formula t (grab_snapshot t) id
+          | _ -> Error "usage: pred ID [formula=NAME]"))
+  | [ "formulas" ] -> handle_formulas ()
   | [ "affinity"; id ] -> handle_affinity t (grab_snapshot t) id None
   | [ "affinity"; id; k ] -> handle_affinity t (grab_snapshot t) id (int_of_string_opt k)
   | [ "stats" ] -> locked t.lock (fun () -> handle_stats t)
@@ -192,7 +260,8 @@ let dispatch t line =
   | cmd :: _ ->
       Error
         (Printf.sprintf
-           "unknown command %s (try: ping topk pred affinity stats metrics trace ingest quit)" cmd)
+           "unknown command %s (try: ping topk pred formulas affinity stats metrics trace ingest quit)"
+           cmd)
 
 (* Per-connection fault isolation: any failure on one connection —
    receive deadline, peer reset, oversized request, handler exception —

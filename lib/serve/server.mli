@@ -14,7 +14,11 @@
     fan across a {!Sbi_par.Domain_pool}.
 
     Queries ([topk], [pred], [affinity], [stats], [ping]) read the open
-    {!Index}; [ingest] decodes a base64 {!Sbi_ingest.Codec} payload,
+    {!Index}; [topk] and [pred] accept an optional [formula=NAME]
+    argument selecting any registered SBFL formula (see
+    {!Sbi_sbfl.Registry}; the [formulas] command lists them), answered
+    from the same cached snapshot aggregate as the default importance
+    path; [ingest] decodes a base64 {!Sbi_ingest.Codec} payload,
     validates it against the site/predicate tables, appends it to a
     fresh shard of the index's source log (with [fsync] when configured,
     so an acknowledged report survives power loss), and folds it into

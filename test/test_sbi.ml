@@ -19,6 +19,7 @@ let () =
       ("obs", Test_obs.suite);
       ("par", Test_par.suite);
       ("index", Test_index.suite);
+      ("sbfl", Test_sbfl.suite);
       ("serve", Test_serve.suite);
       ("fault", Test_fault.suite);
       ("cli", Test_cli.suite);
