@@ -1,6 +1,6 @@
 # Tier-1 verification and day-to-day developer targets.
 
-.PHONY: all build check test bench bench-check fault-check eval serve-demo fmt clean
+.PHONY: all build check test bench bench-check scale-check fault-check eval serve-demo fmt clean
 
 all: build
 
@@ -53,6 +53,16 @@ bench-check:
 	dune exec bench/main.exe -- --par-check
 	dune exec bench/main.exe -- --obs-check
 	dune exec bench/main.exe -- --sbfl-check
+	$(MAKE) scale-check
+
+# Million-run gate over the tiered store (see docs/storage.md): streams
+# SBI_SCALE_RUNS synthetic runs (default 1M) through gen -> build ->
+# compact and fails (exit 1) unless the warm top-k stays under
+# SBI_SCALE_BUDGET_MS (default 10 ms) before and after compaction,
+# compaction shrinks the segment count and live bytes, rankings are
+# bit-identical across it, and fsck comes back clean.
+scale-check:
+	dune exec bench/main.exe -- --scale-check
 
 # Build a small demo log + index and start a triage server on it.
 # Query it from another terminal, e.g.:

@@ -822,6 +822,195 @@ let sbfl_check () =
     exit 1
   end
 
+(* --- million-run scale: tiered store, lazy open, compaction ---
+
+   One-shot wall-clock measurements over a corpus streamed by
+   {!Sbi_corpus.Synth} in waves (generate, then incrementally index, 16
+   times), so the index accumulates one segment per shard per wave —
+   the many-small-segments shape tiered compaction exists to fix.  The
+   warm top-k number is the headline: on the lazy footer-indexed store
+   it is pure aggregate arithmetic (no posting loads), so it must stay
+   inside a fixed budget no matter how many runs are on disk. *)
+
+let scale_runs =
+  match Sys.getenv_opt "SBI_SCALE_RUNS" with
+  | Some s -> ( match int_of_string_opt s with Some n when n > 0 -> n | _ -> 1_000_000)
+  | None -> 1_000_000
+
+let scale_budget_ms =
+  match Sys.getenv_opt "SBI_SCALE_BUDGET_MS" with
+  | Some s -> ( match float_of_string_opt s with Some f when f > 0. -> f | _ -> 10.)
+  | None -> 10.
+
+type scale_result = {
+  sc_runs : int;
+  sc_gen_s : float;
+  sc_build_s : float;
+  sc_open_s : float;
+  sc_topk_cold_s : float;
+  sc_topk_warm_s : float;  (** median of 50 repeated top-k calls *)
+  sc_compact_s : float;
+  sc_open_after_s : float;
+  sc_topk_after_s : float;
+  sc_segments_before : int;
+  sc_segments_after : int;
+  sc_bytes_before : int;
+  sc_bytes_after : int;
+  sc_identical : bool;  (** top-k bit-identical across compaction *)
+  sc_fsck_clean : bool;
+}
+
+let median samples =
+  let a = Array.copy samples in
+  Array.sort compare a;
+  a.(Array.length a / 2)
+
+(* Bit-pattern fingerprint: equality means the compacted index produces
+   the very same floats, not merely the same order. *)
+let scale_sig scores =
+  List.map
+    (fun (sc : Sbi_core.Scores.t) ->
+      ( sc.Sbi_core.Scores.pred,
+        Int64.bits_of_float sc.Sbi_core.Scores.importance,
+        sc.Sbi_core.Scores.f,
+        sc.Sbi_core.Scores.s ))
+    scores
+
+let rec scale_rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun n -> scale_rm_rf (Filename.concat path n)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+let warm_topk idx =
+  ignore (Sbi_index.Triage.topk ~k:10 idx);
+  let samples =
+    Array.init 50 (fun _ ->
+        let _, dt = time (fun () -> Sbi_index.Triage.topk ~k:10 idx) in
+        dt)
+  in
+  median samples
+
+let run_scale ~runs =
+  let log_dir = Filename.temp_dir "sbi_bench" ".scalelog" in
+  let idx_dir = Filename.temp_dir "sbi_bench" ".scaleidx" in
+  Fun.protect
+    ~finally:(fun () ->
+      try
+        scale_rm_rf log_dir;
+        scale_rm_rf idx_dir
+      with Sys_error _ -> ())
+    (fun () ->
+      let waves = 16 and shards = 4 in
+      let per = max 1 (runs / waves) in
+      let gen_t = ref 0. and build_t = ref 0. in
+      let start = ref 0 in
+      while !start < runs do
+        let n = min per (runs - !start) in
+        let (), dt =
+          time (fun () ->
+              ignore (Sbi_corpus.Synth.generate ~shards ~start:!start ~runs:n ~dir:log_dir ()))
+        in
+        gen_t := !gen_t +. dt;
+        let (), dt =
+          time (fun () -> ignore (Sbi_index.Index.build ~log:log_dir ~dir:idx_dir ()))
+        in
+        build_t := !build_t +. dt;
+        start := !start + n
+      done;
+      let idx, open_s = time (fun () -> Sbi_index.Index.open_ ~dir:idx_dir) in
+      let ref_topk, cold_s = time (fun () -> Sbi_index.Triage.topk ~k:10 idx) in
+      let warm_s = warm_topk idx in
+      let st, compact_s = time (fun () -> Sbi_index.Index.compact ~dir:idx_dir ()) in
+      let idx2, open_after_s = time (fun () -> Sbi_index.Index.open_ ~dir:idx_dir) in
+      let after_topk = Sbi_index.Triage.topk ~k:10 idx2 in
+      let after_s = warm_topk idx2 in
+      let fsck = Sbi_index.Index.fsck ~dir:idx_dir in
+      {
+        sc_runs = runs;
+        sc_gen_s = !gen_t;
+        sc_build_s = !build_t;
+        sc_open_s = open_s;
+        sc_topk_cold_s = cold_s;
+        sc_topk_warm_s = warm_s;
+        sc_compact_s = compact_s;
+        sc_open_after_s = open_after_s;
+        sc_topk_after_s = after_s;
+        sc_segments_before = st.Sbi_index.Index.cp_segments_before;
+        sc_segments_after = st.Sbi_index.Index.cp_segments_after;
+        sc_bytes_before = st.Sbi_index.Index.cp_bytes_before;
+        sc_bytes_after = st.Sbi_index.Index.cp_bytes_after;
+        sc_identical = scale_sig ref_topk = scale_sig after_topk;
+        sc_fsck_clean =
+          fsck.Sbi_index.Index.fsck_corrupt = 0 && fsck.Sbi_index.Index.fsck_dead_files = [];
+      })
+
+let print_scale r =
+  Printf.printf
+    "scale (%d runs): gen %.1fs, build %.1fs, open %.1f ms, topk cold %.2f ms / warm \
+     %.3f ms, compact %.1fs (%d -> %d segment(s), %.1f -> %.1f MB), reopen %.1f ms, \
+     topk warm %.3f ms, rankings %s, fsck %s\n%!"
+    r.sc_runs r.sc_gen_s r.sc_build_s (r.sc_open_s *. 1e3) (r.sc_topk_cold_s *. 1e3)
+    (r.sc_topk_warm_s *. 1e3) r.sc_compact_s r.sc_segments_before r.sc_segments_after
+    (float_of_int r.sc_bytes_before /. 1e6)
+    (float_of_int r.sc_bytes_after /. 1e6)
+    (r.sc_open_after_s *. 1e3) (r.sc_topk_after_s *. 1e3)
+    (if r.sc_identical then "bit-identical" else "DIVERGED")
+    (if r.sc_fsck_clean then "clean" else "DIRTY")
+
+let scale_entries r =
+  [
+    ("scale:gen", r.sc_gen_s *. 1e9);
+    ("scale:build", r.sc_build_s *. 1e9);
+    ("scale:open", r.sc_open_s *. 1e9);
+    ("scale:topk:cold", r.sc_topk_cold_s *. 1e9);
+    ("scale:topk:warm", r.sc_topk_warm_s *. 1e9);
+    ("scale:compact", r.sc_compact_s *. 1e9);
+    ("scale:open:after_compact", r.sc_open_after_s *. 1e9);
+    ("scale:topk:after_compact", r.sc_topk_after_s *. 1e9);
+  ]
+
+(* `bench/main.exe --scale-check`: exit non-zero unless, at
+   SBI_SCALE_RUNS (default one million) runs, the warm indexed top-k
+   stays inside SBI_SCALE_BUDGET_MS (default 10 ms), compaction strictly
+   reduces both segment count and live bytes, rankings are bit-identical
+   across it, and fsck comes back clean. *)
+let scale_check () =
+  Printf.printf "scale-check: %d-run corpus, %.1f ms warm top-k budget\n%!" scale_runs
+    scale_budget_ms;
+  let r = run_scale ~runs:scale_runs in
+  print_scale r;
+  let problems =
+    List.filter_map
+      (fun (ok, msg) -> if ok then None else Some msg)
+      [
+        ( r.sc_topk_warm_s *. 1e3 < scale_budget_ms,
+          Printf.sprintf "warm topk %.3f ms over the %.1f ms budget"
+            (r.sc_topk_warm_s *. 1e3) scale_budget_ms );
+        ( r.sc_topk_after_s *. 1e3 < scale_budget_ms,
+          Printf.sprintf "post-compaction warm topk %.3f ms over the %.1f ms budget"
+            (r.sc_topk_after_s *. 1e3) scale_budget_ms );
+        ( r.sc_segments_after < r.sc_segments_before,
+          Printf.sprintf "compaction left %d of %d segment(s)" r.sc_segments_after
+            r.sc_segments_before );
+        ( r.sc_bytes_after < r.sc_bytes_before,
+          Printf.sprintf "compaction grew live bytes %d -> %d" r.sc_bytes_before
+            r.sc_bytes_after );
+        (r.sc_identical, "top-k not bit-identical across compaction");
+        (r.sc_fsck_clean, "fsck not clean after compaction");
+      ]
+  in
+  if problems = [] then begin
+    Printf.printf "scale-check OK: warm top-k within %.1f ms at %d runs\n" scale_budget_ms
+      scale_runs;
+    exit 0
+  end
+  else begin
+    List.iter (fun m -> prerr_endline ("scale-check FAILED: " ^ m)) problems;
+    exit 1
+  end
+
 (* --- run and report --- *)
 
 let run_benchmarks tests =
@@ -921,6 +1110,7 @@ let () =
   if Array.exists (fun a -> a = "--fault-check") Sys.argv then fault_check ();
   if Array.exists (fun a -> a = "--obs-check") Sys.argv then obs_check ();
   if Array.exists (fun a -> a = "--sbfl-check") Sys.argv then sbfl_check ();
+  if Array.exists (fun a -> a = "--scale-check") Sys.argv then scale_check ();
   Printf.printf "sbi benchmark harness: %d runs/study, adaptive training on %d runs\n%!"
     bench_runs bench_train;
   ignore (Lazy.force bundles);
@@ -946,9 +1136,15 @@ let () =
   let obs_entries, _ = obs_overhead ctx in
   Printf.eprintf "[bench] timing per-formula topk and sbfl dispatch overhead...\n%!";
   let sbfl_entries, _, _ = sbfl_overhead ctx in
+  Printf.eprintf "[bench] million-run scale: tiered store, lazy open, compaction (%d runs)...\n%!"
+    scale_runs;
+  let scale = run_scale ~runs:scale_runs in
+  print_scale scale;
   write_bench_json
     ~path:(Option.value ~default:"BENCH_core.json" (Sys.getenv_opt "SBI_BENCH_JSON"))
-    ~extra:(par_entries @ serve_entries @ fault_entries @ obs_entries @ sbfl_entries)
+    ~extra:
+      (par_entries @ serve_entries @ fault_entries @ obs_entries @ sbfl_entries
+      @ scale_entries scale)
     results;
   print_tables ();
   if not par_ok then begin

@@ -666,6 +666,106 @@ let index_cmd =
   in
   Cmd.v info Term.(const run $ log_t $ out_t)
 
+let gen_cmd =
+  let runs_t =
+    Arg.(required & opt (some int) None & info [ "runs" ] ~docv:"N"
+           ~doc:"Number of synthetic runs to generate.")
+  in
+  let out_t =
+    Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"DIR"
+           ~doc:"Shard-log directory to create or extend.")
+  in
+  let shards_t =
+    Arg.(value & opt int Sbi_corpus.Synth.default_shards & info [ "shards" ] ~docv:"K"
+           ~doc:"Shard files to spread runs over (round-robin).")
+  in
+  let sites_t =
+    Arg.(value & opt int Sbi_corpus.Synth.default_nsites & info [ "sites" ] ~docv:"S"
+           ~doc:"Instrumentation sites in the synthetic tables.")
+  in
+  let preds_t =
+    Arg.(value & opt int Sbi_corpus.Synth.default_npreds & info [ "preds" ] ~docv:"P"
+           ~doc:"Predicates in the synthetic tables (>= --sites).")
+  in
+  let seed_gen_t =
+    Arg.(value & opt int Sbi_corpus.Synth.default_seed & info [ "seed" ] ~docv:"X"
+           ~doc:"Generator seed; each report is a pure function of (seed, run id).")
+  in
+  let start_t =
+    Arg.(value & opt int 0 & info [ "start" ] ~docv:"ID"
+           ~doc:"First run id.  0 (the default) writes a fresh log; a positive value \
+                 appends a wave to an existing log whose runs end at ID - 1.")
+  in
+  let run runs out shards sites preds seed start =
+    if runs <= 0 then begin
+      prerr_endline "cbi: --runs must be positive";
+      exit 2
+    end;
+    match
+      Sbi_corpus.Synth.generate ~shards ~nsites:sites ~npreds:preds ~seed ~start ~runs
+        ~dir:out ()
+    with
+    | exception Invalid_argument m ->
+        prerr_endline ("cbi: " ^ m);
+        exit 2
+    | st ->
+        Printf.printf "generated %d run(s) (ids %d..%d) -> %s: %s\n" runs start
+          (start + runs - 1) out
+          (Sbi_ingest.Shard_log.pp_stats st)
+  in
+  let info =
+    Cmd.info "gen"
+      ~doc:"Stream a deterministic synthetic corpus into a shard log in constant \
+            memory (for scale testing: generate waves with --start, indexing \
+            incrementally between them)."
+  in
+  Cmd.v info
+    Term.(const run $ runs_t $ out_t $ shards_t $ sites_t $ preds_t $ seed_gen_t $ start_t)
+
+let compact_cmd =
+  let dir_t =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"INDEX"
+           ~doc:"Index directory built by 'cbi index'.")
+  in
+  let tier_max_t =
+    Arg.(value & opt int Sbi_store.Tier.default_tier_max & info [ "tier-max" ] ~docv:"N"
+           ~doc:"Merge a size tier when it holds at least N segments.")
+  in
+  let dry_run_t =
+    Arg.(value & flag & info [ "dry-run" ]
+           ~doc:"Print the tier layout and what would merge, without writing.")
+  in
+  let run dir tier_max dry_run =
+    if not (Sys.file_exists dir && Sys.is_directory dir) then begin
+      prerr_endline ("cbi: no such index directory: " ^ dir);
+      exit 2
+    end;
+    if tier_max < 2 then begin
+      prerr_endline "cbi: --tier-max must be >= 2";
+      exit 2
+    end;
+    if dry_run then begin
+      match Sbi_index.Index.compact_plan ~tier_max ~dir () with
+      | plan -> print_string (Sbi_index.Index.pp_plan plan)
+      | exception Sbi_index.Index.Format_error m ->
+          prerr_endline ("cbi: " ^ m);
+          exit 2
+    end
+    else
+      match Sbi_index.Index.compact ~tier_max ~dir () with
+      | st -> print_string (Sbi_index.Index.pp_compact st)
+      | exception Sbi_index.Index.Format_error m ->
+          prerr_endline ("cbi: " ^ m);
+          exit 2
+  in
+  let info =
+    Cmd.info "compact"
+      ~doc:"Fold an index's small segments into large ones under the size-tiered \
+            policy.  Rankings are bit-identical before and after; a crash mid-compaction \
+            is recovered by 'cbi fsck --repair'."
+  in
+  Cmd.v info Term.(const run $ dir_t $ tier_max_t $ dry_run_t)
+
 let fsck_cmd =
   let dir_t =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"INDEX"
@@ -794,8 +894,19 @@ let serve_cmd =
                  (slow-query log: command, arguments digest, duration, snapshot \
                  epoch).  0 logs every request; unset disables.")
   in
+  let compact_every_t =
+    Arg.(value & opt (some float) None & info [ "compact-every" ] ~docv:"SECS"
+           ~doc:"Run tiered compaction on the index directory every SECS seconds in a \
+                 background thread, swapping to the merged index without interrupting \
+                 queries or ingest.  Unset disables background compaction.")
+  in
+  let serve_tier_max_t =
+    Arg.(value & opt int Sbi_store.Tier.default_tier_max & info [ "tier-max" ] ~docv:"N"
+           ~doc:"Background compaction merges a size tier when it holds at least N \
+                 segments.")
+  in
   let run idx_dir addr timeout timeout_ms max_request no_fsync ingest_log update domains
-      slow_ms =
+      slow_ms compact_every tier_max =
     let addr = or_fail (Sbi_serve.Wire.addr_of_string addr) in
     if domains < 1 then begin
       prerr_endline "cbi: --domains must be >= 1";
@@ -808,6 +919,15 @@ let serve_cmd =
     | _ -> Sbi_obs.Slowlog.set_threshold_ms slow_ms);
     if max_request < 16 then begin
       prerr_endline "cbi: --max-request-bytes must be >= 16";
+      exit 2
+    end;
+    (match compact_every with
+    | Some s when s <= 0. ->
+        prerr_endline "cbi: --compact-every must be positive";
+        exit 2
+    | _ -> ());
+    if tier_max < 2 then begin
+      prerr_endline "cbi: --tier-max must be >= 2";
       exit 2
     end;
     let timeout =
@@ -845,6 +965,8 @@ let serve_cmd =
         domains;
         max_request;
         io = Sbi_fault.Io.none;
+        compact_every;
+        tier_max;
       }
     in
     let srv =
@@ -886,7 +1008,8 @@ let serve_cmd =
   Cmd.v info
     Term.(
       const run $ idx_t $ addr_t $ timeout_t $ timeout_ms_t $ max_request_t $ no_fsync_t
-      $ ingest_log_t $ update_t $ domains_t $ slow_ms_t)
+      $ ingest_log_t $ update_t $ domains_t $ slow_ms_t $ compact_every_t
+      $ serve_tier_max_t)
 
 let query_cmd =
   let addr_t =
@@ -1368,7 +1491,8 @@ let main_cmd =
     [
       table_cmd; stack_cmd; validation_cmd; ablation_cmd; static_followup_cmd;
       report_cmd; curves_cmd; studies_cmd; run_cmd; collect_cmd; ingest_cmd;
-      log_stats_cmd; analyze_cmd; analyze_file_cmd; index_cmd; fsck_cmd;
+      log_stats_cmd; analyze_cmd; analyze_file_cmd; index_cmd; gen_cmd; compact_cmd;
+      fsck_cmd;
       fault_check_cmd; serve_cmd; query_cmd; trace_dump_cmd; disasm_cmd; inspect_cmd;
       formulas_cmd; topk_cmd; eval_cmd;
     ]

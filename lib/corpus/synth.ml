@@ -1,0 +1,67 @@
+open Sbi_runtime
+
+let default_nsites = 120
+let default_npreds = 360
+let default_shards = 4
+let default_seed = 42
+
+(* Even spread of predicate ids over site ids, monotone so consecutive
+   predicates share a site (the shape real instrumentation produces). *)
+let pred_site_of ~nsites ~npreds p = p * nsites / npreds
+
+let meta ~nsites ~npreds =
+  if npreds < nsites then invalid_arg "Synth.meta: npreds < nsites";
+  let pred_site = Array.init npreds (pred_site_of ~nsites ~npreds) in
+  Dataset.of_tables ~nsites ~npreds ~pred_site [||]
+
+let bug_pred ~npreds = 17 mod npreds
+
+(* Mixing constant (splitmix64's golden-ratio increment, truncated to an
+   OCaml int) keeps per-run streams decorrelated; Prng.create finishes
+   the diffusion. *)
+let run_key ~seed ~run_id = seed + ((run_id + 1) * 0x1e3779b97f4a7c15)
+
+let report ~nsites ~npreds ~seed ~run_id =
+  let st = Sbi_util.Prng.create (run_key ~seed ~run_id) in
+  let obs_mask = Array.make nsites false in
+  let obs = ref [] and preds = ref [] in
+  for site = nsites - 1 downto 0 do
+    if Sbi_util.Prng.bernoulli st 0.3 then begin
+      obs_mask.(site) <- true;
+      obs := site :: !obs
+    end
+  done;
+  for p = npreds - 1 downto 0 do
+    if obs_mask.(pred_site_of ~nsites ~npreds p) && Sbi_util.Prng.bernoulli st 0.15 then
+      preds := p :: !preds
+  done;
+  let true_preds = Array.of_list !preds in
+  let buggy = Array.exists (fun p -> p = bug_pred ~npreds) true_preds in
+  let failing = Sbi_util.Prng.bernoulli st (if buggy then 0.9 else 0.03) in
+  {
+    Report.run_id;
+    outcome = (if failing then Report.Failure else Report.Success);
+    observed_sites = Array.of_list !obs;
+    true_preds;
+    true_counts = Array.map (fun _ -> 1 + Sbi_util.Prng.int st 4) true_preds;
+    bugs = (if buggy && failing then [| 0 |] else [||]);
+    crash_sig = (if failing then Some "synth<crash" else None);
+  }
+
+let generate ?io ?(shards = default_shards) ?(nsites = default_nsites)
+    ?(npreds = default_npreds) ?(seed = default_seed) ?(start = 0) ~runs ~dir () =
+  if runs <= 0 then invalid_arg "Synth.generate: runs must be positive";
+  if shards <= 0 then invalid_arg "Synth.generate: shards must be positive";
+  if start < 0 then invalid_arg "Synth.generate: negative start";
+  if start = 0 then Sbi_ingest.Shard_log.write_meta ?io ~dir (meta ~nsites ~npreds);
+  let writers =
+    Array.init shards (fun shard ->
+        Sbi_ingest.Shard_log.create_writer ?io ~append:(start > 0) ~dir ~shard ())
+  in
+  for run_id = start to start + runs - 1 do
+    Sbi_ingest.Shard_log.append writers.(run_id mod shards)
+      (report ~nsites ~npreds ~seed ~run_id)
+  done;
+  Array.fold_left
+    (fun acc w -> Sbi_ingest.Shard_log.add_stats acc (Sbi_ingest.Shard_log.close_writer w))
+    Sbi_ingest.Shard_log.zero_stats writers

@@ -1,0 +1,47 @@
+(** Streaming synthetic corpus generator (`cbi gen`, scale benches).
+
+    Produces an arbitrarily large shard-log corpus in constant memory:
+    reports are derived one at a time from [(seed, run_id)] and appended
+    round-robin to the shard writers, never materialized as an array.
+    Because each report depends only on its run id, generation composes
+    across {e waves}: [generate ~start:0 ~runs:n] followed by
+    [generate ~start:n ~runs:m] (which appends to the existing shard
+    files) produces byte-identical shards to a single
+    [generate ~start:0 ~runs:(n + m)] call — the mechanism the scale
+    bench uses to interleave generation with incremental index builds. *)
+
+val default_nsites : int
+val default_npreds : int
+val default_shards : int
+val default_seed : int
+
+val meta : nsites:int -> npreds:int -> Sbi_runtime.Dataset.t
+(** The zero-run dataset (site/predicate tables) every wave shares.
+    Predicates are spread evenly across sites in id order. *)
+
+val bug_pred : npreds:int -> int
+(** The planted buggy predicate: runs observing it true fail with high
+    probability, everything else fails at a low background rate — so the
+    corpus has a known top-ranked predicate for sanity checks. *)
+
+val report :
+  nsites:int -> npreds:int -> seed:int -> run_id:int -> Sbi_runtime.Report.t
+(** The deterministic report for one run id (pure in [(seed, run_id)]). *)
+
+val generate :
+  ?io:Sbi_fault.Io.t ->
+  ?shards:int ->
+  ?nsites:int ->
+  ?npreds:int ->
+  ?seed:int ->
+  ?start:int ->
+  runs:int ->
+  dir:string ->
+  unit ->
+  Sbi_ingest.Shard_log.stats
+(** Write [runs] reports with ids [start .. start + runs - 1] into the
+    shard log at [dir] (created if needed), streaming.  [start = 0] (the
+    default) writes meta and fresh shard files; [start > 0] appends to
+    the existing shards — the caller guarantees the ids really do resume
+    where the previous wave stopped.  @raise Invalid_argument on
+    non-positive [runs]/[shards] or [npreds < nsites]. *)

@@ -13,7 +13,13 @@ type out_file = {
   mutable closed : bool;
 }
 
-let open_out ?(io = none) path = { oc = open_out_bin path; io; path; closed = false }
+let open_out ?(io = none) ?(append = false) path =
+  let oc =
+    if append then
+      Stdlib.open_out_gen [ Open_wronly; Open_append; Open_creat; Open_binary ] 0o644 path
+    else open_out_bin path
+  in
+  { oc; io; path; closed = false }
 let out_path f = f.path
 
 let output_string f s =
@@ -61,11 +67,10 @@ let read_raw path =
     ~finally:(fun () -> close_in ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let read_file ?(io = none) path =
+let damage io s =
   match io with
-  | None -> read_raw path
+  | None -> s
   | Some inj -> (
-      let s = read_raw path in
       match Fault.on_read inj ~len:(String.length s) with
       | `Ok -> s
       | `Short k -> String.sub s 0 k
@@ -73,6 +78,19 @@ let read_file ?(io = none) path =
           let b = Bytes.of_string s in
           Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl (i mod 8))));
           Bytes.unsafe_to_string b)
+
+let read_file ?(io = none) path = damage io (read_raw path)
+
+let file_size path = (Unix.stat path).Unix.st_size
+
+let read_sub ?(io = none) path ~pos ~len =
+  if pos < 0 || len < 0 then invalid_arg "Io.read_sub";
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      seek_in ic pos;
+      damage io (really_input_string ic len))
 
 let write_file_atomic ?(io = none) path content =
   let dir = Filename.dirname path in

@@ -23,8 +23,9 @@ val fault : t -> Fault.t option
 
 type out_file
 
-val open_out : ?io:t -> string -> out_file
-(** [open_out_bin]; truncates. *)
+val open_out : ?io:t -> ?append:bool -> string -> out_file
+(** [open_out_bin]; truncates, unless [append] (default false) — then the
+    file is opened (created if absent) positioned at its end. *)
 
 val output_string : out_file -> string -> unit
 (** Torn write: the prefix is flushed to the file, then {!Fault.Crash}.
@@ -47,6 +48,14 @@ val read_file : ?io:t -> string -> string
 (** Reads the whole file; an injected short read returns a prefix, an
     injected bit flip corrupts one bit — consumers are expected to
     detect both via CRCs/framing. *)
+
+val file_size : string -> int
+(** Size in bytes ([Unix.stat]); raises [Unix_error] if absent. *)
+
+val read_sub : ?io:t -> string -> pos:int -> len:int -> string
+(** Read [len] bytes at byte offset [pos] — the lazy segment loader's
+    footer/posting reads.  Injected faults behave as in {!read_file}.
+    Raises [End_of_file] if the file ends before [pos + len]. *)
 
 val write_file_atomic : ?io:t -> string -> string -> unit
 (** Write to a temp file in the target's directory, then rename.  On

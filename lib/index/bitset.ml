@@ -1,97 +1,1 @@
-type t = { words : int array; len : int }
-
-let bits_per_word = Sys.int_size
-let nwords len = (len + bits_per_word - 1) / bits_per_word
-
-let create len =
-  if len < 0 then invalid_arg "Bitset.create";
-  { words = Array.make (max 1 (nwords len)) 0; len }
-
-let full len =
-  let t = create len in
-  let nw = nwords len in
-  for w = 0 to nw - 1 do
-    t.words.(w) <- -1
-  done;
-  (* mask the partial final word so count/fold kernels never see bits
-     beyond [len] *)
-  let tail = len mod bits_per_word in
-  if nw > 0 && tail > 0 then t.words.(nw - 1) <- (1 lsl tail) - 1;
-  t
-
-let copy t = { words = Array.copy t.words; len = t.len }
-let length t = t.len
-
-let check t i = if i < 0 || i >= t.len then invalid_arg "Bitset: index out of bounds"
-
-let get t i =
-  check t i;
-  t.words.(i / bits_per_word) land (1 lsl (i mod bits_per_word)) <> 0
-
-let set t i =
-  check t i;
-  let w = i / bits_per_word in
-  t.words.(w) <- t.words.(w) lor (1 lsl (i mod bits_per_word))
-
-let clear t i =
-  check t i;
-  let w = i / bits_per_word in
-  t.words.(w) <- t.words.(w) land lnot (1 lsl (i mod bits_per_word))
-
-(* SWAR popcount over OCaml's 63-bit words.  The masks cannot be written
-   as literals (0x5555555555555555 > max_int on 64-bit), so they are
-   assembled from 32-bit halves; [lsl] silently drops the high bit, which
-   is exactly the truncation we want. *)
-let m1 = 0x55555555 lor (0x55555555 lsl 32)
-let m2 = 0x33333333 lor (0x33333333 lsl 32)
-let m4 = 0x0F0F0F0F lor (0x0F0F0F0F lsl 32)
-
-let popcount x =
-  let x = x - ((x lsr 1) land m1) in
-  let x = (x land m2) + ((x lsr 2) land m2) in
-  let x = (x + (x lsr 4)) land m4 in
-  let x = x + (x lsr 8) in
-  let x = x + (x lsr 16) in
-  let x = x + (x lsr 32) in
-  x land 0x7F
-
-let count t = Array.fold_left (fun acc w -> acc + popcount w) 0 t.words
-
-let check_pair name a b = if a.len <> b.len then invalid_arg (name ^ ": length mismatch")
-
-let inter_count a b =
-  check_pair "Bitset.inter_count" a b;
-  let acc = ref 0 in
-  for i = 0 to Array.length a.words - 1 do
-    acc := !acc + popcount (a.words.(i) land b.words.(i))
-  done;
-  !acc
-
-let count_and = inter_count
-
-let inter_count3 a b c =
-  check_pair "Bitset.inter_count3" a b;
-  check_pair "Bitset.inter_count3" a c;
-  let acc = ref 0 in
-  for i = 0 to Array.length a.words - 1 do
-    acc := !acc + popcount (a.words.(i) land b.words.(i) land c.words.(i))
-  done;
-  !acc
-
-let diff_inplace a b =
-  check_pair "Bitset.diff_inplace" a b;
-  for i = 0 to Array.length a.words - 1 do
-    a.words.(i) <- a.words.(i) land lnot b.words.(i)
-  done
-
-let diff_inter_inplace a b c =
-  check_pair "Bitset.diff_inter_inplace" a b;
-  check_pair "Bitset.diff_inter_inplace" a c;
-  for i = 0 to Array.length a.words - 1 do
-    a.words.(i) <- a.words.(i) land lnot (b.words.(i) land c.words.(i))
-  done
-
-let of_positions len ps =
-  let t = create len in
-  Array.iter (fun p -> set t p) ps;
-  t
+include Sbi_store.Bitset

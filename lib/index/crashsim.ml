@@ -243,6 +243,96 @@ let run_index_case ~dir ~kill_at name =
               pass name ~acked:total ~recovered:total ~injected "%s"
                 (if crashed then "killed, repaired, rebuilt clean" else "no kill reached"))
 
+(* --- compaction kill-repair --- *)
+
+(* Exact ranking fingerprint: %h renders the float bit pattern, so any
+   drift across kill/repair/compact — not just reordering — trips it. *)
+let ranking_sig idx =
+  List.map
+    (fun (sc : Sbi_core.Scores.t) ->
+      Printf.sprintf "%d:%h:%h:%d:%d" sc.Sbi_core.Scores.pred sc.Sbi_core.Scores.importance
+        sc.Sbi_core.Scores.increase sc.Sbi_core.Scores.f sc.Sbi_core.Scores.s)
+    (Triage.topk ~k:8 idx)
+
+(* Append-and-build in waves so the index accumulates one segment per
+   shard per wave — a multi-segment tier 0 for compaction to fold. *)
+let build_waved ~log ~idx ~waves ~per_wave =
+  let meta = synth_meta () in
+  Shard_log.write_meta ~dir:log meta;
+  let reports = synth_reports (waves * per_wave) in
+  for w = 0 to waves - 1 do
+    let writers =
+      Array.init 2 (fun shard -> Shard_log.create_writer ~append:true ~dir:log ~shard ())
+    in
+    for i = w * per_wave to ((w + 1) * per_wave) - 1 do
+      Shard_log.append writers.(i mod 2) reports.(i)
+    done;
+    Array.iter (fun wr -> ignore (Shard_log.close_writer wr)) writers;
+    ignore (Index.build ~log ~dir:idx ())
+  done;
+  Array.length reports
+
+let run_compact_case ~dir ~kill_at name =
+  let log = Filename.concat dir "log" in
+  let idx = Filename.concat dir "idx" in
+  let total = build_waved ~log ~idx ~waves:4 ~per_wave:10 in
+  let before = Index.open_ ~dir:idx in
+  let ref_sig = ranking_sig before in
+  let segs_before = Array.length before.Index.segments in
+  let inj = Fault.create (Fault.kill_at ~seed:kill_at kill_at) in
+  let crashed =
+    match Index.compact ~io:(Io.faulty inj) ~dir:idx () with
+    | _ -> false
+    | exception Fault.Crash _ -> true
+  in
+  let injected = Fault.total_injected inj in
+  match
+    (if crashed then ignore (Index.repair ~dir:idx);
+     (* a repair may have rolled shard offsets back past dropped merge
+        inputs: re-index the rolled-back range, then finish the merge *)
+     ignore (Index.build ~log ~dir:idx ());
+     Index.compact ~dir:idx ())
+  with
+  | exception Index.Format_error msg ->
+      fail name ~acked:total ~recovered:0 ~injected "recovery failed: %s" msg
+  | _ -> (
+      let r = Index.fsck ~dir:idx in
+      let strays = list_strays idx in
+      if r.Index.fsck_corrupt > 0 then
+        fail name ~acked:total ~recovered:r.Index.fsck_records ~injected
+          "fsck still corrupt after repair+compact:\n%s" (Index.pp_fsck r)
+      else if r.Index.fsck_records <> total then
+        fail name ~acked:total ~recovered:r.Index.fsck_records ~injected
+          "recovered index holds %d of %d log records" r.Index.fsck_records total
+      else if strays <> [] then
+        fail name ~acked:total ~recovered:r.Index.fsck_records ~injected
+          "stray temp files survived repair: %s" (String.concat ", " strays)
+      else if r.Index.fsck_dead_files <> [] then
+        fail name ~acked:total ~recovered:r.Index.fsck_records ~injected
+          "orphan segment files survived repair: %s"
+          (String.concat ", " r.Index.fsck_dead_files)
+      else
+        match Index.open_ ~dir:idx with
+        | exception Index.Format_error msg ->
+            fail name ~acked:total ~recovered:r.Index.fsck_records ~injected
+              "recovered index does not open: %s" msg
+        | t ->
+            if Index.nruns t <> total then
+              fail name ~acked:total ~recovered:(Index.nruns t) ~injected
+                "opened index exposes %d of %d runs" (Index.nruns t) total
+            else if ranking_sig t <> ref_sig then
+              fail name ~acked:total ~recovered:total ~injected
+                "ranking not bit-identical across kill+repair+compact"
+            else if Array.length t.Index.segments >= segs_before then
+              fail name ~acked:total ~recovered:total ~injected
+                "compaction left %d segment(s), had %d"
+                (Array.length t.Index.segments) segs_before
+            else
+              pass name ~acked:total ~recovered:total ~injected
+                "%d -> %d segment(s), ranking bit-identical%s" segs_before
+                (Array.length t.Index.segments)
+                (if crashed then ", killed+repaired" else ", no kill reached"))
+
 (* --- the matrix --- *)
 
 let run_matrix ?(verbose = false) ~scratch () =
@@ -306,6 +396,14 @@ let run_matrix ?(verbose = false) ~scratch () =
     (fun k ->
       add (run_index_case ~dir:(fresh_dir ()) ~kill_at:k (Printf.sprintf "index:kill@%d" k)))
     [ 1; 2; 3; 4; 5 ];
+  (* compaction writes: merged segment(s) + manifest rewrite; higher kill
+     points degenerate to the fault-free path, which must also verify *)
+  List.iter
+    (fun k ->
+      add
+        (run_compact_case ~dir:(fresh_dir ()) ~kill_at:k
+           (Printf.sprintf "compact:kill@%d" k)))
+    [ 1; 2; 3; 4 ];
   let cases = List.rev !results in
   let passed = List.length (List.filter (fun c -> c.case_ok) cases) in
   { cases; passed; failed = List.length cases - passed }

@@ -57,11 +57,23 @@ val run_index_case : dir:string -> kill_at:int -> string -> case_result
     beyond the build's writes degenerates to a fault-free build, which
     must also verify. *)
 
+val run_compact_case : dir:string -> kill_at:int -> string -> case_result
+(** Build a multi-segment index (append waves against a two-shard log),
+    record its top-k ranking, then run {!Index.compact} with a kill
+    scheduled at write number [kill_at] (merged segments and the
+    manifest rewrite all count).  After the crash: {!Index.repair},
+    re-{!Index.build} the rolled-back range, and re-{!Index.compact};
+    require a clean stray-free {!Index.fsck} over every log record,
+    fewer segments than before, and a {e bit-identical} ranking.  A
+    [kill_at] beyond the compaction's writes degenerates to a fault-free
+    compaction, which must also verify. *)
+
 val run_matrix : ?verbose:bool -> scratch:string -> unit -> summary
 (** The full seeded fault matrix (every-write kill sweep, probabilistic
     torn writes / fsync failures / disk-full / bit flips / short reads,
-    index-build kill sweep) under [scratch], one fresh subdirectory per
-    case.  [verbose] prints one line per case to stdout. *)
+    index-build and compaction kill sweeps) under [scratch], one fresh
+    subdirectory per case.  [verbose] prints one line per case to
+    stdout. *)
 
 val pp_summary : summary -> string
 (** Failing cases in full plus a pass/fail tally. *)

@@ -1,12 +1,14 @@
 open Sbi_runtime
 open Sbi_ingest
+module Tier = Sbi_store.Tier
 
 exception Format_error of string
 
 let manifest_magic = "sbi-index"
-let manifest_version = 1
+let manifest_version = 2
 let manifest_file dir = Filename.concat dir "manifest"
 let seg_file_name i = Printf.sprintf "seg-%04d.sbix" i
+let seg_file_id name = Scanf.sscanf_opt name "seg-%d.sbix%!" (fun i -> i)
 
 type build_stats = {
   segments_added : int;
@@ -28,8 +30,9 @@ type t = {
   dir : string;
   meta : Dataset.t;
   log_dir : string option;
-  segments : Segment.t array;
+  segments : Segref.t array;
   seg_aggs : Aggregator.t array;
+  cache : Segref.cache;
   stats : open_stats;
   tail : tail;
   mutable epoch : int;  (* bumped by every accepted append *)
@@ -38,12 +41,22 @@ type t = {
 
 (* --- manifest --- *)
 
-type mseg = { m_file : string; m_shard : int; m_start : int; m_end : int; m_runs : int }
+(* A leaf segment covers one byte range of one source shard ([m_cover] is
+   a singleton); a merged segment produced by compaction covers the
+   concatenation of its inputs' ranges, in run order.  The cover list is
+   what repair needs to roll consumed offsets back when a segment is
+   lost — the provenance triple inside a merged file is zeroed. *)
+type mseg = {
+  m_file : string;
+  m_cover : (int * int * int) list;  (* (shard, start, end) in run order *)
+  m_runs : int;
+  m_merged : bool;
+}
 
 type manifest = {
   man_log : string option;
   man_consumed : (int * int) list;  (* source shard -> bytes consumed *)
-  man_segs : mseg list;  (* in creation order *)
+  man_segs : mseg list;  (* in run order *)
 }
 
 let empty_manifest = { man_log = None; man_consumed = []; man_segs = [] }
@@ -57,9 +70,19 @@ let render_manifest m =
     (List.sort (fun (s1, _) (s2, _) -> Int.compare s1 s2) m.man_consumed);
   List.iter
     (fun s ->
-      Buffer.add_string buf
-        (Printf.sprintf "segment %s shard %d range %d %d runs %d\n" s.m_file s.m_shard
-           s.m_start s.m_end s.m_runs))
+      match (s.m_merged, s.m_cover) with
+      | false, [ (shard, a, b) ] ->
+          Buffer.add_string buf
+            (Printf.sprintf "segment %s shard %d range %d %d runs %d\n" s.m_file shard a b
+               s.m_runs)
+      | _ ->
+          Buffer.add_string buf
+            (Printf.sprintf "merged %s runs %d cover %d%s\n" s.m_file s.m_runs
+               (List.length s.m_cover)
+               (String.concat ""
+                  (List.map
+                     (fun (shard, a, b) -> Printf.sprintf " %d %d %d" shard a b)
+                     s.m_cover))))
     m.man_segs;
   Buffer.contents buf
 
@@ -74,11 +97,28 @@ let parse_manifest path s =
       (match String.split_on_char ' ' header with
       | [ m; v ] when m = manifest_magic -> (
           match int_of_string_opt v with
-          | Some v when v = manifest_version -> ()
+          | Some v when v >= 1 && v <= manifest_version -> ()
           | Some v -> fail 1 (Printf.sprintf "unsupported manifest version %d" v)
           | None -> fail 1 "bad manifest version")
       | _ -> fail 1 "not an index manifest");
       let man = ref empty_manifest in
+      let parse_merged lineno line =
+        match String.split_on_char ' ' line with
+        | "merged" :: file :: "runs" :: r :: "cover" :: k :: rest -> (
+            match (int_of_string_opt r, int_of_string_opt k) with
+            | Some runs, Some k when k >= 1 && List.length rest = 3 * k -> (
+                match List.map int_of_string_opt rest with
+                | ints when List.for_all Option.is_some ints ->
+                    let ints = Array.of_list (List.map Option.get ints) in
+                    let cover =
+                      List.init k (fun i ->
+                          (ints.(3 * i), ints.((3 * i) + 1), ints.((3 * i) + 2)))
+                    in
+                    { m_file = file; m_cover = cover; m_runs = runs; m_merged = true }
+                | _ -> fail lineno ("bad merged cover: " ^ line))
+            | _ -> fail lineno ("bad merged line: " ^ line))
+        | _ -> fail lineno ("unrecognized manifest line: " ^ line)
+      in
       List.iteri
         (fun i line ->
           let lineno = i + 2 in
@@ -93,16 +133,19 @@ let parse_manifest path s =
                   match
                     Scanf.sscanf_opt line "segment %s shard %d range %d %d runs %d%!"
                       (fun f sh a b r ->
-                        { m_file = f; m_shard = sh; m_start = a; m_end = b; m_runs = r })
+                        { m_file = f; m_cover = [ (sh, a, b) ]; m_runs = r; m_merged = false })
                   with
                   | Some seg -> man := { !man with man_segs = seg :: !man.man_segs }
-                  | None -> fail lineno ("unrecognized manifest line: " ^ line)))
+                  | None ->
+                      man := { !man with man_segs = parse_merged lineno line :: !man.man_segs }))
         rest;
       { !man with man_consumed = List.rev !man.man_consumed; man_segs = List.rev !man.man_segs })
 
 let read_file ?io path = Sbi_fault.Io.read_file ?io path
 
 let write_file_atomic ?io path content = Sbi_fault.Io.write_file_atomic ?io path content
+
+let file_size path = try Sbi_fault.Io.file_size path with Unix.Unix_error _ | Sys_error _ -> 0
 
 let load_manifest dir =
   let path = manifest_file dir in
@@ -149,13 +192,25 @@ let scan_range s ~start =
   done;
   (Array.of_list (List.rev !reports), !corrupt, !pos)
 
-let next_seg_id man =
-  List.fold_left
-    (fun acc s ->
-      match Scanf.sscanf_opt s.m_file "seg-%d.sbix%!" (fun i -> i) with
-      | Some i -> max acc (i + 1)
-      | None -> acc)
-    0 man.man_segs
+(* Ids already used by the manifest OR present as files (an orphan left by
+   a killed build/compaction must not be silently overwritten — repair
+   owns deleting it). *)
+let next_seg_id ~dir man =
+  let from_man =
+    List.fold_left
+      (fun acc s -> match seg_file_id s.m_file with Some i -> max acc (i + 1) | None -> acc)
+      0 man.man_segs
+  in
+  let from_dir =
+    match Sys.readdir dir with
+    | exception Sys_error _ -> 0
+    | names ->
+        Array.fold_left
+          (fun acc name ->
+            match seg_file_id name with Some i -> max acc (i + 1) | None -> acc)
+          0 names
+  in
+  max from_man from_dir
 
 let build_impl ?io ~log ~dir () =
   let log_meta =
@@ -177,7 +232,7 @@ let build_impl ?io ~log ~dir () =
       empty_manifest
     end
   in
-  let next_id = ref (next_seg_id man) in
+  let next_id = ref (next_seg_id ~dir man) in
   let consumed = ref man.man_consumed in
   let new_segs = ref [] in
   let stats = ref { segments_added = 0; records_indexed = 0; corrupt_skipped = 0; bytes_consumed = 0 } in
@@ -201,8 +256,8 @@ let build_impl ?io ~log ~dir () =
            incr next_id;
            write_file_atomic ?io (Filename.concat dir file) (Segment.encode seg);
            new_segs :=
-             { m_file = file; m_shard = shard; m_start = start; m_end = stop;
-               m_runs = seg.Segment.nruns }
+             { m_file = file; m_cover = [ (shard, start, stop) ]; m_runs = seg.Segment.nruns;
+               m_merged = false }
              :: !new_segs;
            stats :=
              { !stats with
@@ -239,21 +294,47 @@ let empty_tail meta =
     t_cache = None;
   }
 
+(* Lazy-first open: a v2 segment contributes its footer (a few hundred
+   bytes) and a footer-derived aggregate — postings stay on disk until a
+   query touches them.  v1 files and anything the footer path rejects
+   fall back to a full verifying decode, preserving the old behavior. *)
+(* Cache knob: SBI_CACHE_BUDGET (heap words) bounds the posting cache;
+   unset -> Segref's default (2^22 words, ~32 MB). *)
+let cache_budget () =
+  Option.bind (Sys.getenv_opt "SBI_CACHE_BUDGET") int_of_string_opt
+
 let open_body pool ~dir =
   let meta = load_meta dir in
   let man = load_manifest dir in
-  (* decode + aggregate one segment: pure CPU work on an immutable file,
-     safe and profitable to fan across the domain pool *)
+  let cache = Segref.create_cache ?budget:(cache_budget ()) () in
   let load m =
     let path = Filename.concat dir m.m_file in
     if not (Sys.file_exists path) then Error "missing file"
     else
-      match Segment.decode (read_file path) with
-      | seg ->
-          if seg.Segment.nsites <> meta.Dataset.nsites
-             || seg.Segment.npreds <> meta.Dataset.npreds
+      match Segment.read_footer path with
+      | Some ft ->
+          if
+            ft.Segment.ft_nsites <> meta.Dataset.nsites
+            || ft.Segment.ft_npreds <> meta.Dataset.npreds
           then Error "table size mismatch"
-          else Ok (seg, Segment.aggregator ~pred_site:meta.Dataset.pred_site seg)
+          else if ft.Segment.ft_nruns <> m.m_runs then Error "run count disagrees with manifest"
+          else (
+            match Segment.footer_aggregator ~pred_site:meta.Dataset.pred_site ft with
+            | agg -> Ok (Segref.of_disk ~cache ~path ~file:m.m_file ft, agg, ft.Segment.ft_nruns)
+            | exception Segment.Corrupt msg -> Error msg)
+      | None -> (
+          (* legacy v1 file: eager decode, as before *)
+          match Segment.decode (read_file path) with
+          | seg ->
+              if seg.Segment.nsites <> meta.Dataset.nsites
+                 || seg.Segment.npreds <> meta.Dataset.npreds
+              then Error "table size mismatch"
+              else
+                Ok
+                  ( Segref.of_segment ~file:m.m_file seg,
+                    Segment.aggregator ~pred_site:meta.Dataset.pred_site seg,
+                    seg.Segment.nruns )
+          | exception Segment.Corrupt msg -> Error msg)
       | exception Segment.Corrupt msg -> Error msg
   in
   let entries = Array.of_list man.man_segs in
@@ -267,11 +348,11 @@ let open_body pool ~dir =
   let loaded = ref 0 and corrupt = ref 0 and records = ref 0 in
   Array.iter
     (function
-      | Ok (seg, agg) ->
-          segs := seg :: !segs;
+      | Ok (sr, agg, nruns) ->
+          segs := sr :: !segs;
           aggs := agg :: !aggs;
           incr loaded;
-          records := !records + seg.Segment.nruns
+          records := !records + nruns
       | Error _ -> incr corrupt)
     results;
   {
@@ -280,6 +361,7 @@ let open_body pool ~dir =
     log_dir = man.man_log;
     segments = Array.of_list (List.rev !segs);
     seg_aggs = Array.of_list (List.rev !aggs);
+    cache;
     stats = { segments_loaded = !loaded; segments_corrupt = !corrupt; records_loaded = !records };
     tail = empty_tail meta;
     epoch = 0;
@@ -291,6 +373,8 @@ let open_impl pool ~dir =
 
 let open_ ~dir = open_impl None ~dir
 let open_par ~pool ~dir = open_impl (Some pool) ~dir
+
+let cache_stats t = Sbi_store.Lru.stats t.cache
 
 (* --- live tail --- *)
 
@@ -327,6 +411,7 @@ let append t r =
   t.epoch <- t.epoch + 1
 
 let tail_count t = t.tail.t_len
+let tail_reports t = Array.sub t.tail.t_reports 0 t.tail.t_len
 
 let tail_segment t =
   if t.tail.t_len = 0 then None
@@ -353,9 +438,9 @@ let merged_counts t =
   Aggregator.merge_into ~into:acc t.tail.t_agg;
   Aggregator.to_counts acc
 
-let all_segments t =
+let all_segrefs t =
   match tail_segment t with
-  | Some tail -> Array.append t.segments [| tail |]
+  | Some tail -> Array.append t.segments [| Segref.of_segment ~file:"<tail>" tail |]
   | None -> t.segments
 
 let snapshot ?pool t =
@@ -368,28 +453,202 @@ let snapshot ?pool t =
         Sbi_obs.Trace.with_span ~name:"index.snapshot"
           ~args:(Printf.sprintf "epoch=%d" t.epoch) (fun () ->
             Snapshot.build ?pool ~epoch:t.epoch ~meta:t.meta ~counts:(merged_counts t)
-              (all_segments t))
+              (all_segrefs t))
       in
       t.snap <- Some s;
       s
 
-let nruns t =
-  Array.fold_left (fun acc (s : Segment.t) -> acc + s.Segment.nruns) t.tail.t_len t.segments
+let nruns t = Array.fold_left (fun acc sr -> acc + Segref.nruns sr) t.tail.t_len t.segments
 
 let num_failures t =
   Array.fold_left
-    (fun acc (s : Segment.t) -> acc + Bitset.count s.Segment.failing)
+    (fun acc sr -> acc + Segref.num_f sr)
     t.tail.t_agg.Aggregator.num_f t.segments
+
+(* --- compaction --- *)
+
+type compact_stats = {
+  cp_rounds : int;
+  cp_merged : int;  (* input segments merged away *)
+  cp_written : int;  (* merged segments written *)
+  cp_segments_before : int;
+  cp_segments_after : int;
+  cp_bytes_before : int;
+  cp_bytes_after : int;
+  cp_reclaimed : string list;  (* obsolete segment files (deleted unless remove_old:false) *)
+}
+
+type compact_plan = {
+  pl_tiers : (int * int * int * int) list;  (* tier, segments, runs, bytes *)
+  pl_groups : (int * string list) list;  (* tier -> files that would merge *)
+}
+
+let tier_segs ~dir man =
+  List.mapi
+    (fun i m ->
+      { Tier.ts_index = i; ts_runs = m.m_runs; ts_bytes = file_size (Filename.concat dir m.m_file) })
+    man.man_segs
+
+let compact_plan ?tier_max ~dir () =
+  let man = load_manifest dir in
+  let tsegs = tier_segs ~dir man in
+  let entries = Array.of_list man.man_segs in
+  {
+    pl_tiers = Tier.describe tsegs;
+    pl_groups =
+      List.map
+        (fun (tier, idxs) -> (tier, List.map (fun i -> entries.(i).m_file) idxs))
+        (Tier.plan ?tier_max tsegs);
+  }
+
+(* Coalesce adjacent cover ranges of one shard so repeated compaction
+   keeps cover lists short (leaf ranges of a shard are contiguous). *)
+let rec coalesce_cover = function
+  | (s1, a1, b1) :: (s2, a2, b2) :: rest when s1 = s2 && a2 = b1 ->
+      coalesce_cover ((s1, a1, b2) :: rest)
+  | x :: rest -> x :: coalesce_cover rest
+  | [] -> []
+
+(* One compaction pass: while any tier is overfull, merge ALL members of
+   each overfull tier into one segment, then rewrite the manifest
+   atomically.  Obsolete inputs are deleted only after the last manifest
+   write — a kill at any point leaves either the old manifest plus an
+   orphan merged file, or the new manifest plus orphan inputs; both are
+   cleaned by {!repair} and harmless to {!open_} (which reads only
+   manifest-listed files).  [remove_old:false] skips the deletions so a
+   live server can drain readers off the old files first. *)
+let compact_impl ?io ?tier_max ?(remove_old = true) ~dir () =
+  let meta = load_meta dir in
+  let man0 = load_manifest dir in
+  let bytes_of m = List.fold_left (fun a s -> a + file_size (Filename.concat dir s.m_file)) 0 m.man_segs in
+  let segments_before = List.length man0.man_segs in
+  let bytes_before = bytes_of man0 in
+  let man = ref man0 in
+  let next_id = ref (next_seg_id ~dir man0) in
+  let rounds = ref 0 and merged_away = ref 0 and written = ref 0 in
+  let obsolete = ref [] in
+  let continue = ref true in
+  (* 8 rounds bounds any cascade: a merge can promote at most one tier
+     per round, and real indexes have single-digit tiers *)
+  while !continue && !rounds < 8 do
+    match Tier.plan ?tier_max (tier_segs ~dir !man) with
+    | [] -> continue := false
+    | groups ->
+        incr rounds;
+        let entries = Array.of_list !man.man_segs in
+        let replacement = Hashtbl.create 8 in
+        (* entry index -> `New merged entry | `Gone *)
+        List.iter
+          (fun (_tier, idxs) ->
+            let members = List.map (fun i -> entries.(i)) idxs in
+            let member_arr = Array.of_list members in
+            (* members are decoded on demand (twice, by concat_n's two
+               passes) so a merge never holds more than one input's
+               postings on top of the output *)
+            let load i =
+              let path = Filename.concat dir member_arr.(i).m_file in
+              try Segment.decode (read_file path)
+              with Segment.Corrupt msg ->
+                raise (Format_error (path ^ ": " ^ msg ^ " (run repair before compact)"))
+            in
+            let merged = Segment.concat_n ~load (Array.length member_arr) in
+            let file = seg_file_name !next_id in
+            incr next_id;
+            write_file_atomic ?io (Filename.concat dir file) (Segment.encode merged);
+            incr written;
+            merged_away := !merged_away + List.length members;
+            obsolete := List.rev_append (List.map (fun m -> m.m_file) members) !obsolete;
+            let entry =
+              {
+                m_file = file;
+                m_cover = coalesce_cover (List.concat_map (fun m -> m.m_cover) members);
+                m_runs = merged.Segment.nruns;
+                m_merged = true;
+              }
+            in
+            (match idxs with
+            | first :: rest ->
+                Hashtbl.replace replacement first (`New entry);
+                List.iter (fun i -> Hashtbl.replace replacement i `Gone) rest
+            | [] -> ()))
+          groups;
+        let segs' =
+          List.concat
+            (List.mapi
+               (fun i m ->
+                 match Hashtbl.find_opt replacement i with
+                 | Some (`New e) -> [ e ]
+                 | Some `Gone -> []
+                 | None -> [ m ])
+               !man.man_segs)
+        in
+        man := { !man with man_segs = segs' };
+        write_file_atomic ?io (manifest_file dir) (render_manifest !man)
+  done;
+  ignore meta;
+  let reclaimed = List.rev !obsolete in
+  if remove_old then
+    List.iter
+      (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+      reclaimed;
+  {
+    cp_rounds = !rounds;
+    cp_merged = !merged_away;
+    cp_written = !written;
+    cp_segments_before = segments_before;
+    cp_segments_after = List.length !man.man_segs;
+    cp_bytes_before = bytes_before;
+    cp_bytes_after = bytes_of !man;
+    cp_reclaimed = reclaimed;
+  }
+
+let compact ?io ?tier_max ?remove_old ~dir () =
+  Sbi_obs.Trace.with_span ~name:"index.compact" ~args:dir (fun () ->
+      compact_impl ?io ?tier_max ?remove_old ~dir ())
+
+let pp_compact st =
+  Printf.sprintf
+    "%d round(s): %d segment(s) -> %d, %d merged into %d new, %d -> %d bytes\n"
+    st.cp_rounds st.cp_segments_before st.cp_segments_after st.cp_merged st.cp_written
+    st.cp_bytes_before st.cp_bytes_after
+
+let pp_plan pl =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (tier, nsegs, runs, bytes) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  tier %d: %d segment(s), %d runs, %d bytes\n" tier nsegs runs bytes))
+    pl.pl_tiers;
+  if pl.pl_groups = [] then Buffer.add_string buf "nothing to compact\n"
+  else
+    List.iter
+      (fun (tier, files) ->
+        Buffer.add_string buf
+          (Printf.sprintf "would merge %d segment(s) of tier %d: %s\n" (List.length files)
+             tier (String.concat " " files)))
+      pl.pl_groups;
+  Buffer.contents buf
 
 (* --- fsck --- *)
 
-type fsck_seg = { seg_file : string; seg_ok : bool; seg_runs : int; seg_error : string option }
+type fsck_seg = {
+  seg_file : string;
+  seg_ok : bool;
+  seg_runs : int;
+  seg_tier : int;
+  seg_bytes : int;
+  seg_error : string option;
+}
 
 type fsck_report = {
   fsck_segments : fsck_seg list;
   fsck_ok : int;
   fsck_corrupt : int;
   fsck_records : int;
+  fsck_tiers : (int * int * int * int) list;  (* tier, segments, runs, bytes *)
+  fsck_dead_files : string list;  (* unreferenced segment files + .tmp strays *)
+  fsck_dead_bytes : int;
+  fsck_live_bytes : int;
 }
 
 let fsck ~dir =
@@ -408,25 +667,73 @@ let fsck ~dir =
             Error
               (Printf.sprintf "run count %d disagrees with manifest (%d)" seg.Segment.nruns
                  m.m_runs)
-          else if seg.Segment.source_shard <> m.m_shard then
-            Error "source shard disagrees with manifest"
-          else Ok seg
+          else if
+            (not m.m_merged)
+            && (match m.m_cover with
+               | [ (shard, _, _) ] -> seg.Segment.source_shard <> shard
+               | _ -> true)
+          then Error "source shard disagrees with manifest"
+          else (
+            (* v2: exercise the lazy-open path too, so a footer-only
+               corruption (the path open_ actually takes) is surfaced *)
+            match Segment.read_footer path with
+            | Some ft ->
+                if ft.Segment.ft_nruns <> seg.Segment.nruns then
+                  Error "footer run count disagrees with body"
+                else Ok seg
+            | None -> Ok seg
+            | exception Segment.Corrupt msg -> Error ("footer: " ^ msg))
   in
   let segs =
     List.map
       (fun m ->
+        let bytes = file_size (Filename.concat dir m.m_file) in
         match check m with
         | Ok seg ->
-            { seg_file = m.m_file; seg_ok = true; seg_runs = seg.Segment.nruns; seg_error = None }
-        | Error msg -> { seg_file = m.m_file; seg_ok = false; seg_runs = 0; seg_error = Some msg })
+            {
+              seg_file = m.m_file;
+              seg_ok = true;
+              seg_runs = seg.Segment.nruns;
+              seg_tier = Tier.tier_of seg.Segment.nruns;
+              seg_bytes = bytes;
+              seg_error = None;
+            }
+        | Error msg ->
+            {
+              seg_file = m.m_file;
+              seg_ok = false;
+              seg_runs = 0;
+              seg_tier = 0;
+              seg_bytes = bytes;
+              seg_error = Some msg;
+            })
       man.man_segs
   in
-  let ok = List.length (List.filter (fun s -> s.seg_ok) segs) in
+  let ok_segs = List.filter (fun s -> s.seg_ok) segs in
+  let listed = List.map (fun m -> m.m_file) man.man_segs in
+  let dead =
+    match Sys.readdir dir with
+    | exception Sys_error _ -> []
+    | names ->
+        Array.to_list names
+        |> List.filter (fun name ->
+               (seg_file_id name <> None && not (List.mem name listed))
+               || Filename.check_suffix name ".tmp")
+        |> List.sort String.compare
+  in
   {
     fsck_segments = segs;
-    fsck_ok = ok;
-    fsck_corrupt = List.length segs - ok;
+    fsck_ok = List.length ok_segs;
+    fsck_corrupt = List.length segs - List.length ok_segs;
     fsck_records = List.fold_left (fun acc s -> acc + s.seg_runs) 0 segs;
+    fsck_tiers =
+      Tier.describe
+        (List.map
+           (fun s -> { Tier.ts_index = 0; ts_runs = s.seg_runs; ts_bytes = s.seg_bytes })
+           ok_segs);
+    fsck_dead_files = dead;
+    fsck_dead_bytes = List.fold_left (fun acc f -> acc + file_size (Filename.concat dir f)) 0 dead;
+    fsck_live_bytes = List.fold_left (fun acc s -> acc + s.seg_bytes) 0 ok_segs;
   }
 
 (* --- repair --- *)
@@ -438,12 +745,16 @@ type repair_report = {
 }
 
 (* A damaged segment invalidates everything indexed after it from the same
-   source shard: the consumed offset only records the high-water mark, so
-   the sole way to re-index the lost byte range is to roll the shard's
-   offset back to the first bad segment's start and drop that segment plus
-   every later segment of the shard (their ranges would otherwise overlap
-   the re-indexed bytes and double-count runs).  The next {!build} then
-   re-consumes from the rollback point. *)
+   source shard(s): the consumed offset only records the high-water mark,
+   so the sole way to re-index the lost byte ranges is to roll each
+   covered shard's offset back to the damaged segment's earliest cover
+   start and drop every segment whose cover extends past a rollback point
+   (their ranges would otherwise overlap the re-indexed bytes and
+   double-count runs).  Dropping such a segment can poison further shards
+   (merged segments cover several), so the drop set is closed under a
+   fixpoint.  The next {!build} then re-consumes from the rollback
+   points.  For an all-leaf manifest this reduces to the pre-tiering
+   behavior: first bad segment of a shard plus all its later segments. *)
 let repair ~dir =
   let clean_strays removed =
     Array.iter
@@ -461,7 +772,7 @@ let repair ~dir =
     let dropped = ref [] in
     Array.iter
       (fun name ->
-        let is_seg = Scanf.sscanf_opt name "seg-%d.sbix%!" (fun i -> i) <> None in
+        let is_seg = seg_file_id name <> None in
         if is_seg || name = "manifest" then begin
           (try Sys.remove (Filename.concat dir name) with Sys_error _ -> ());
           removed := name :: !removed;
@@ -476,73 +787,99 @@ let repair ~dir =
     }
   end
   else begin
-  let meta = load_meta dir in
-  let man =
-    (* killed between meta and the first manifest write: an empty manifest
-       makes the next build re-index from scratch *)
-    if Sys.file_exists (manifest_file dir) then load_manifest dir else empty_manifest
-  in
-  let seg_bad m =
-    let path = Filename.concat dir m.m_file in
-    if not (Sys.file_exists path) then true
-    else
-      match Segment.decode (read_file path) with
-      | exception Segment.Corrupt _ -> true
-      | seg ->
-          seg.Segment.nsites <> meta.Dataset.nsites
-          || seg.Segment.npreds <> meta.Dataset.npreds
-          || seg.Segment.nruns <> m.m_runs
-          || seg.Segment.source_shard <> m.m_shard
-  in
-  let poisoned = Hashtbl.create 8 in
-  (* shard -> rollback offset *)
-  let keep, dropped =
-    List.partition
-      (fun m ->
-        if Hashtbl.mem poisoned m.m_shard then false
-        else if seg_bad m then begin
-          Hashtbl.replace poisoned m.m_shard m.m_start;
-          false
-        end
-        else true)
-      man.man_segs
-  in
-  let rollbacks = ref [] in
-  let consumed =
-    List.map
-      (fun (shard, bytes) ->
-        match Hashtbl.find_opt poisoned shard with
-        | Some back when back < bytes ->
-            rollbacks := (shard, bytes, back) :: !rollbacks;
-            (shard, back)
-        | _ -> (shard, bytes))
-      man.man_consumed
-  in
-  let kept_files = List.map (fun m -> m.m_file) keep in
-  let removed = ref [] in
-  let remove_file name =
-    let path = Filename.concat dir name in
-    if Sys.file_exists path then begin
-      (try Sys.remove path with Sys_error _ -> ());
-      removed := name :: !removed
-    end
-  in
-  (* dropped segments, orphan segment files a crashed build left unlisted,
-     and stray temp files from killed atomic writes *)
-  List.iter (fun m -> remove_file m.m_file) dropped;
-  Array.iter
-    (fun name ->
-      let is_seg = Scanf.sscanf_opt name "seg-%d.sbix%!" (fun i -> i) <> None in
-      let is_tmp = Filename.check_suffix name ".tmp" in
-      if (is_seg && not (List.mem name kept_files)) || is_tmp then remove_file name)
-    (Sys.readdir dir);
-  let man = { man with man_consumed = consumed; man_segs = keep } in
-  write_file_atomic (manifest_file dir) (render_manifest man);
-  {
-    rep_dropped = List.map (fun m -> m.m_file) dropped;
-    rep_removed = List.sort_uniq String.compare !removed;
-    rep_rollbacks = List.rev !rollbacks;
-  }
+    let meta = load_meta dir in
+    let man =
+      (* killed between meta and the first manifest write: an empty manifest
+         makes the next build re-index from scratch *)
+      if Sys.file_exists (manifest_file dir) then load_manifest dir else empty_manifest
+    in
+    let seg_bad m =
+      let path = Filename.concat dir m.m_file in
+      if not (Sys.file_exists path) then true
+      else
+        match Segment.decode (read_file path) with
+        | exception Segment.Corrupt _ -> true
+        | seg ->
+            seg.Segment.nsites <> meta.Dataset.nsites
+            || seg.Segment.npreds <> meta.Dataset.npreds
+            || seg.Segment.nruns <> m.m_runs
+            || ((not m.m_merged)
+               &&
+               match m.m_cover with
+               | [ (shard, _, _) ] -> seg.Segment.source_shard <> shard
+               | _ -> true)
+    in
+    let entries = Array.of_list man.man_segs in
+    let kept = Array.map (fun m -> not (seg_bad m)) entries in
+    let poisoned = Hashtbl.create 8 in
+    (* shard -> rollback offset (monotonically decreasing) *)
+    let poison (shard, start, _stop) =
+      match Hashtbl.find_opt poisoned shard with
+      | Some cur when cur <= start -> ()
+      | _ -> Hashtbl.replace poisoned shard start
+    in
+    Array.iteri (fun i m -> if not kept.(i) then List.iter poison m.m_cover) entries;
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      Array.iteri
+        (fun i m ->
+          if
+            kept.(i)
+            && List.exists
+                 (fun (shard, _start, stop) ->
+                   match Hashtbl.find_opt poisoned shard with
+                   | Some off -> stop > off
+                   | None -> false)
+                 m.m_cover
+          then begin
+            kept.(i) <- false;
+            List.iter poison m.m_cover;
+            changed := true
+          end)
+        entries
+    done;
+    let keep = ref [] and dropped = ref [] in
+    Array.iteri
+      (fun i m -> if kept.(i) then keep := m :: !keep else dropped := m :: !dropped)
+      entries;
+    let keep = List.rev !keep and dropped = List.rev !dropped in
+    let rollbacks = ref [] in
+    let consumed =
+      List.map
+        (fun (shard, bytes) ->
+          match Hashtbl.find_opt poisoned shard with
+          | Some back when back < bytes ->
+              rollbacks := (shard, bytes, back) :: !rollbacks;
+              (shard, back)
+          | _ -> (shard, bytes))
+        man.man_consumed
+    in
+    let kept_files = List.map (fun m -> m.m_file) keep in
+    let removed = ref [] in
+    let remove_file name =
+      let path = Filename.concat dir name in
+      if Sys.file_exists path then begin
+        (try Sys.remove path with Sys_error _ -> ());
+        removed := name :: !removed
+      end
+    in
+    (* dropped segments, orphan segment files a crashed build/compaction
+       left unlisted, and stray temp files from killed atomic writes *)
+    List.iter (fun m -> remove_file m.m_file) dropped;
+    Array.iter
+      (fun name ->
+        let is_seg = seg_file_id name <> None in
+        let is_tmp = Filename.check_suffix name ".tmp" in
+        if (is_seg && not (List.mem name kept_files)) || is_tmp then remove_file name)
+      (Sys.readdir dir);
+    let man = { man with man_consumed = consumed; man_segs = keep } in
+    write_file_atomic (manifest_file dir) (render_manifest man);
+    {
+      rep_dropped = List.map (fun m -> m.m_file) dropped;
+      rep_removed = List.sort_uniq String.compare !removed;
+      rep_rollbacks = List.rev !rollbacks;
+    }
   end
 
 let pp_repair r =
@@ -571,10 +908,22 @@ let pp_fsck r =
   List.iter
     (fun s ->
       match s.seg_error with
-      | None -> Buffer.add_string buf (Printf.sprintf "  %s: ok, %d runs\n" s.seg_file s.seg_runs)
+      | None ->
+          Buffer.add_string buf
+            (Printf.sprintf "  %s: ok, %d runs, tier %d, %d bytes\n" s.seg_file s.seg_runs
+               s.seg_tier s.seg_bytes)
       | Some e -> Buffer.add_string buf (Printf.sprintf "  %s: CORRUPT (%s)\n" s.seg_file e))
     r.fsck_segments;
+  List.iter
+    (fun (tier, nsegs, runs, bytes) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  tier %d: %d segment(s), %d runs, %d bytes\n" tier nsegs runs bytes))
+    r.fsck_tiers;
+  List.iter
+    (fun f -> Buffer.add_string buf (Printf.sprintf "  dead file %s\n" f))
+    r.fsck_dead_files;
   Buffer.add_string buf
-    (Printf.sprintf "%d segment(s): %d ok, %d corrupt, %d runs indexed\n" (List.length r.fsck_segments)
-       r.fsck_ok r.fsck_corrupt r.fsck_records);
+    (Printf.sprintf "%d segment(s): %d ok, %d corrupt, %d runs indexed, %d live bytes, %d dead bytes\n"
+       (List.length r.fsck_segments) r.fsck_ok r.fsck_corrupt r.fsck_records r.fsck_live_bytes
+       r.fsck_dead_bytes);
   Buffer.contents buf

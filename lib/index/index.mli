@@ -1,5 +1,6 @@
 (** On-disk inverted predicate index over a {!Sbi_ingest.Shard_log}
-    directory, with incremental updates and a crash-tolerant loader.
+    directory, with incremental updates, tiered compaction, and a
+    crash-tolerant lazy loader.
 
     An index is a directory:
     {v
@@ -8,6 +9,8 @@
                        format as the shard log's meta file)
       manifest         versioned text manifest: source log path, per-
                        source-shard consumed byte offsets, segment list
+                       (leaf entries and compaction-merged entries with
+                       their source cover ranges)
       seg-0000.sbix    immutable {!Segment} files (CRC-trailed)
       ...
     v}
@@ -16,9 +19,18 @@
     have been indexed and compiles only the unseen suffix into a new
     segment, so re-running it after `cbi ingest` appends (or after a
     server session wrote a new shard) indexes just the new records.
-    Corrupt source records are skipped exactly as the shard-log reader
-    skips them; a corrupt {e segment} file is skipped (and counted) by
-    {!open_} and reported by {!fsck}. *)
+    {!compact} folds the resulting many small segments into few large
+    ones under a size-tiered policy ({!Sbi_store.Tier}), keeping read
+    fan-in bounded as the corpus grows; merges are pure concatenations,
+    so every triage result is bit-identical before and after.
+
+    {!open_} is lazy: v2 segments contribute only their footers (a few
+    hundred bytes each) — postings are read on demand through a shared
+    LRU cache ({!Segref}), so opening a million-run index costs
+    manifest + footer reads, not a full decode.  Corrupt source records
+    are skipped exactly as the shard-log reader skips them; a corrupt
+    {e segment} file is skipped (and counted) by {!open_} and reported
+    by {!fsck}. *)
 
 exception Format_error of string
 (** Unusable index: missing/invalid meta or manifest, or a source log
@@ -41,8 +53,9 @@ type t = {
   dir : string;
   meta : Sbi_runtime.Dataset.t;  (** site/predicate tables (zero runs) *)
   log_dir : string option;  (** source log recorded in the manifest *)
-  segments : Segment.t array;
+  segments : Segref.t array;  (** lazy (v2) or in-memory (v1) handles *)
   seg_aggs : Sbi_ingest.Aggregator.t array;  (** parallel per-segment partial aggregates *)
+  cache : Segref.cache;  (** shared posting cache behind all disk segments *)
   stats : open_stats;
   tail : tail;
   mutable epoch : int;  (** bumped by every accepted {!append} *)
@@ -65,15 +78,20 @@ val build : ?io:Sbi_fault.Io.t -> log:string -> dir:string -> unit -> build_stat
     existing index. *)
 
 val open_ : dir:string -> t
-(** Load an index: meta, manifest, and every decodable segment (corrupt
-    segments are skipped and counted in [stats]).
+(** Load an index: meta, manifest, and per segment either its v2 footer
+    (lazy: postings stay on disk behind the cache) or, for legacy v1
+    files, a full decode.  Corrupt segments are skipped and counted in
+    [stats].  The posting cache budget is [SBI_CACHE_BUDGET] heap words
+    when that environment variable is set, else [2^22] (~32 MB).
     @raise Format_error when meta or manifest is missing/invalid. *)
 
 val open_par : pool:Sbi_par.Domain_pool.t -> dir:string -> t
-(** {!open_} with segment decoding and per-segment aggregation fanned
-    across [pool] — the index-open/refresh path scales with cores.
-    Produces a state identical to {!open_} (segments stay in manifest
-    order regardless of completion order). *)
+(** {!open_} with per-segment loading fanned across [pool].  Produces a
+    state identical to {!open_} (segments stay in manifest order
+    regardless of completion order). *)
+
+val cache_stats : t -> Sbi_store.Lru.stats
+(** Posting-cache counters (hits/misses/evictions/resident cost). *)
 
 val validate : t -> Sbi_runtime.Report.t -> unit
 (** @raise Invalid_argument when the report refers to sites/predicates
@@ -85,13 +103,19 @@ val append : t -> Sbi_runtime.Report.t -> unit
     when the report refers to sites/predicates outside the tables. *)
 
 val tail_count : t -> int
+
+val tail_reports : t -> Sbi_runtime.Report.t array
+(** The live tail's reports in arrival order — what a caller must replay
+    into a freshly opened index to carry the unindexed buffer across an
+    index swap (the server's post-compaction reopen). *)
+
 val tail_segment : t -> Segment.t option
 (** The tail as an inverted segment (rebuilt lazily, cached between
     appends); [None] when no live reports exist. *)
 
 val tail_aggregator : t -> Sbi_ingest.Aggregator.t
 
-val all_segments : t -> Segment.t array
+val all_segrefs : t -> Segref.t array
 (** On-disk segments followed by the live tail's segment (when any live
     reports exist) — the full current run population, in stable order. *)
 
@@ -100,10 +124,10 @@ val epoch : t -> int
     {!open_}, incremented by every accepted {!append}. *)
 
 val snapshot : ?pool:Sbi_par.Domain_pool.t -> t -> Snapshot.t
-(** The epoch-stamped bitmap {!Snapshot} of the current population,
-    cached on the index and invalidated only when {!append} bumps the
-    epoch — repeated queries between ingests reuse both the merged
-    aggregate and every densified bitmap.  Rebuilds fan across [pool].
+(** The epoch-stamped {!Snapshot} of the current population, cached on
+    the index and invalidated only when {!append} bumps the epoch —
+    repeated queries between ingests reuse the merged aggregate and the
+    warm posting cache.
 
     Not linearizable on its own: concurrent callers must serialize
     [snapshot] against [append] (the server takes its write lock for
@@ -113,22 +137,81 @@ val snapshot : ?pool:Sbi_par.Domain_pool.t -> t -> Snapshot.t
 val nruns : t -> int
 val num_failures : t -> int
 
+(** {1 Compaction}
+
+    Size-tiered merging ({!Sbi_store.Tier}): whenever a tier holds
+    [tier_max] (default 4) segments, all of them are concatenated into
+    one segment of the next tier, cascading until no tier is overfull.
+    Merging never rewrites run content — {!Segment.concat} preserves
+    run order, outcomes and postings verbatim — so all rankings are
+    bit-identical across a compaction.  Each round writes its merged
+    segments, then atomically rewrites the manifest; obsolete files are
+    deleted last.  A crash at any point leaves either the old manifest
+    plus orphan merged files or the new manifest plus orphan inputs;
+    {!repair} removes the orphans and {!fsck} then reports clean. *)
+
+type compact_stats = {
+  cp_rounds : int;
+  cp_merged : int;  (** input segments merged away *)
+  cp_written : int;  (** merged segments written *)
+  cp_segments_before : int;
+  cp_segments_after : int;
+  cp_bytes_before : int;
+  cp_bytes_after : int;  (** live (manifest-listed) bytes after *)
+  cp_reclaimed : string list;
+      (** obsolete segment files — deleted already unless [remove_old:false] *)
+}
+
+type compact_plan = {
+  pl_tiers : (int * int * int * int) list;  (** (tier, segments, runs, bytes) *)
+  pl_groups : (int * string list) list;  (** tier -> files that would merge *)
+}
+
+val compact :
+  ?io:Sbi_fault.Io.t -> ?tier_max:int -> ?remove_old:bool -> dir:string -> unit -> compact_stats
+(** Run compaction to quiescence (no overfull tier).  With
+    [remove_old:false] the obsolete input files are left on disk and
+    returned in [cp_reclaimed] — a live server deletes them only after
+    draining readers off the old epoch.  @raise Format_error when the
+    manifest is unusable or a to-be-merged segment is corrupt (run
+    {!repair} first). *)
+
+val compact_plan : ?tier_max:int -> dir:string -> unit -> compact_plan
+(** What {!compact} would do, without writing — `cbi compact --dry-run`. *)
+
+val pp_compact : compact_stats -> string
+val pp_plan : compact_plan -> string
+
 (** {1 Validation} *)
 
-type fsck_seg = { seg_file : string; seg_ok : bool; seg_runs : int; seg_error : string option }
+type fsck_seg = {
+  seg_file : string;
+  seg_ok : bool;
+  seg_runs : int;
+  seg_tier : int;  (** size tier ({!Sbi_store.Tier.tier_of} of [seg_runs]) *)
+  seg_bytes : int;  (** on-disk size *)
+  seg_error : string option;
+}
 
 type fsck_report = {
   fsck_segments : fsck_seg list;  (** in manifest order *)
   fsck_ok : int;
   fsck_corrupt : int;
   fsck_records : int;  (** runs in intact segments *)
+  fsck_tiers : (int * int * int * int) list;
+      (** per-tier (tier, segments, runs, bytes) over intact segments *)
+  fsck_dead_files : string list;
+      (** unreferenced segment files and [.tmp] strays (crash leftovers) *)
+  fsck_dead_bytes : int;
+  fsck_live_bytes : int;
 }
 
 val fsck : dir:string -> fsck_report
-(** Validate every manifest-listed segment (existence, CRC, structure,
-    table sizes against meta).  Corrupt segments are reported, not
-    fatal — mirroring {!open_}.  @raise Format_error when meta or the
-    manifest itself is unusable. *)
+(** Validate every manifest-listed segment: existence, CRC, structure,
+    table sizes against meta, manifest run counts, and — for v2 files —
+    the footer path {!open_} actually takes.  Corrupt segments are
+    reported, not fatal — mirroring {!open_}.  @raise Format_error when
+    meta or the manifest itself is unusable. *)
 
 val pp_fsck : fsck_report -> string
 
@@ -141,15 +224,17 @@ type repair_report = {
 
 val repair : dir:string -> repair_report
 (** Restore a damaged index to a state {!fsck} reports clean: drop every
-    corrupt/missing/mismatched segment {e plus all later segments of the
-    same source shard}, roll the shard's consumed offset back to the
-    first dropped segment's start (so the next {!build} re-indexes the
-    lost range), delete dropped and orphaned segment files and stray
-    [.tmp] files from killed atomic writes, and atomically rewrite the
-    manifest.  No intact data is lost: dropped ranges remain in the
-    source log.  A directory killed before meta or the manifest ever hit
-    disk is reset to the fresh state (the next {!build} re-establishes
-    it).  @raise Format_error when an existing meta/manifest is
-    syntactically unusable. *)
+    corrupt/missing/mismatched segment, roll each covered shard's
+    consumed offset back to the damaged segment's earliest cover start,
+    and close the drop set under a fixpoint — any segment whose cover
+    extends past a rollback point goes too (its bytes will be
+    re-indexed), which for merged segments can poison further shards.
+    Deletes dropped and orphaned segment files and stray [.tmp] files
+    from killed atomic writes, then atomically rewrites the manifest.
+    No intact data is lost: dropped ranges remain in the source log and
+    the next {!build} re-indexes them.  A directory killed before meta
+    or the manifest ever hit disk is reset to the fresh state (the next
+    {!build} re-establishes it).  @raise Format_error when an existing
+    meta/manifest is syntactically unusable. *)
 
 val pp_repair : repair_report -> string

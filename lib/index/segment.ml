@@ -1,180 +1,1 @@
-open Sbi_runtime
-open Sbi_ingest
-
-exception Corrupt of string
-
-let magic = "SBIX"
-let format_version = 1
-
-type t = {
-  source_shard : int;
-  start_off : int;
-  end_off : int;
-  nsites : int;
-  npreds : int;
-  nruns : int;
-  run_ids : int array;
-  failing : Bitset.t;
-  site_obs : int array array;
-  pred_true : int array array;
-}
-
-let of_reports ~nsites ~npreds ~source_shard ~start_off ~end_off reports =
-  let nruns = Array.length reports in
-  let run_ids = Array.map (fun (r : Report.t) -> r.Report.run_id) reports in
-  let failing = Bitset.create nruns in
-  let site_acc = Array.make (max nsites 1) [] in
-  let pred_acc = Array.make (max npreds 1) [] in
-  (* Postings record membership, not multiplicity (counts live in
-     [true_counts]), so a site or predicate repeated within one report
-     must contribute a single position — duplicates would break the
-     strictly-increasing delta encoding. *)
-  let push acc i pos =
-    match acc.(i) with
-    | hd :: _ when hd = pos -> ()
-    | _ -> acc.(i) <- pos :: acc.(i)
-  in
-  Array.iteri
-    (fun pos (r : Report.t) ->
-      if Report.outcome_is_failure r.Report.outcome then Bitset.set failing pos;
-      Array.iter
-        (fun site ->
-          if site < 0 || site >= nsites then
-            invalid_arg (Printf.sprintf "Segment.of_reports: site %d out of range" site);
-          push site_acc site pos)
-        r.Report.observed_sites;
-      Array.iter
-        (fun pred ->
-          if pred < 0 || pred >= npreds then
-            invalid_arg (Printf.sprintf "Segment.of_reports: predicate %d out of range" pred);
-          push pred_acc pred pos)
-        r.Report.true_preds)
-    reports;
-  (* positions were consed in increasing order, so a reverse restores it *)
-  let to_postings acc n = Array.init n (fun i -> Array.of_list (List.rev acc.(i))) in
-  {
-    source_shard;
-    start_off;
-    end_off;
-    nsites;
-    npreds;
-    nruns;
-    run_ids;
-    failing;
-    site_obs = to_postings site_acc nsites;
-    pred_true = to_postings pred_acc npreds;
-  }
-
-let aggregator ~pred_site t =
-  let agg = Aggregator.empty ~nsites:t.nsites ~npreds:t.npreds ~pred_site in
-  let num_f = Bitset.count t.failing in
-  agg.Aggregator.num_f <- num_f;
-  agg.Aggregator.num_s <- t.nruns - num_f;
-  let split counter_f counter_s postings =
-    Array.iteri
-      (fun i posting ->
-        Array.iter
-          (fun pos ->
-            if Bitset.get t.failing pos then counter_f.(i) <- counter_f.(i) + 1
-            else counter_s.(i) <- counter_s.(i) + 1)
-          posting)
-      postings
-  in
-  split agg.Aggregator.f_obs_site agg.Aggregator.s_obs_site t.site_obs;
-  split agg.Aggregator.f agg.Aggregator.s t.pred_true;
-  agg
-
-(* --- binary encoding --- *)
-
-let add_posting buf posting =
-  Codec.add_varint buf (Array.length posting);
-  let prev = ref 0 in
-  Array.iteri
-    (fun i pos ->
-      Codec.add_varint buf (if i = 0 then pos else pos - !prev);
-      prev := pos)
-    posting
-
-let encode t =
-  let buf = Buffer.create 4096 in
-  Buffer.add_string buf magic;
-  Codec.add_varint buf format_version;
-  Codec.add_varint buf t.source_shard;
-  Codec.add_varint buf t.start_off;
-  Codec.add_varint buf t.end_off;
-  Codec.add_varint buf t.nsites;
-  Codec.add_varint buf t.npreds;
-  Codec.add_varint buf t.nruns;
-  Array.iter (Codec.add_varint buf) t.run_ids;
-  let nbytes = (t.nruns + 7) / 8 in
-  let bitmap = Bytes.make nbytes '\000' in
-  for pos = 0 to t.nruns - 1 do
-    if Bitset.get t.failing pos then
-      Bytes.set bitmap (pos / 8)
-        (Char.chr (Char.code (Bytes.get bitmap (pos / 8)) lor (1 lsl (pos mod 8))))
-  done;
-  Buffer.add_bytes buf bitmap;
-  Array.iter (add_posting buf) t.site_obs;
-  Array.iter (add_posting buf) t.pred_true;
-  let body = Buffer.contents buf in
-  let crc = Sbi_util.Crc32.sub body ~pos:(String.length magic) ~len:(String.length body - String.length magic) in
-  let out = Buffer.create (String.length body + 4) in
-  Buffer.add_string out body;
-  for i = 0 to 3 do
-    Buffer.add_char out (Char.chr ((crc lsr (8 * i)) land 0xFF))
-  done;
-  Buffer.contents out
-
-let read_posting s pos limit ~nruns =
-  let len = Codec.read_varint s pos limit in
-  if len > nruns then raise (Corrupt "posting longer than run count");
-  let posting = Array.make len 0 in
-  let prev = ref (-1) in
-  for i = 0 to len - 1 do
-    let v = Codec.read_varint s pos limit in
-    let p = if i = 0 then v else !prev + v in
-    if i > 0 && v = 0 then raise (Corrupt "posting positions not strictly increasing");
-    if p >= nruns then raise (Corrupt "posting position out of range");
-    posting.(i) <- p;
-    prev := p
-  done;
-  posting
-
-let decode s =
-  let n = String.length s in
-  if n < String.length magic + 4 || String.sub s 0 (String.length magic) <> magic then
-    raise (Corrupt "bad magic");
-  let body_len = n - 4 in
-  let stored =
-    let b i = Char.code s.[body_len + i] in
-    b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24)
-  in
-  let computed =
-    Sbi_util.Crc32.sub s ~pos:(String.length magic) ~len:(body_len - String.length magic)
-  in
-  if stored <> computed then raise (Corrupt "CRC mismatch");
-  let pos = ref (String.length magic) in
-  try
-    let rd () = Codec.read_varint s pos body_len in
-    let version = rd () in
-    if version <> format_version then
-      raise (Corrupt (Printf.sprintf "unsupported segment version %d" version));
-    let source_shard = rd () in
-    let start_off = rd () in
-    let end_off = rd () in
-    let nsites = rd () in
-    let npreds = rd () in
-    let nruns = rd () in
-    let run_ids = Array.init nruns (fun _ -> rd ()) in
-    let nbytes = (nruns + 7) / 8 in
-    if !pos + nbytes > body_len then raise (Corrupt "truncated outcome bitmap");
-    let failing = Bitset.create nruns in
-    for p = 0 to nruns - 1 do
-      if Char.code s.[!pos + (p / 8)] land (1 lsl (p mod 8)) <> 0 then Bitset.set failing p
-    done;
-    pos := !pos + nbytes;
-    let site_obs = Array.init nsites (fun _ -> read_posting s pos body_len ~nruns) in
-    let pred_true = Array.init npreds (fun _ -> read_posting s pos body_len ~nruns) in
-    if !pos <> body_len then raise (Corrupt "trailing bytes in segment body");
-    { source_shard; start_off; end_off; nsites; npreds; nruns; run_ids; failing; site_obs; pred_true }
-  with Codec.Corrupt m -> raise (Corrupt m)
+include Sbi_store.Segment

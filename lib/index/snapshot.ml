@@ -1,10 +1,11 @@
 open Sbi_runtime
+module Rbitmap = Sbi_store.Rbitmap
 
 type view = {
   v_nruns : int;
-  v_failing : Bitset.t;
-  v_pred_bits : Bitset.t array;
-  v_site_bits : Bitset.t array;
+  v_failing : unit -> Bitset.t;
+  v_pred_bits : int -> Rbitmap.t;
+  v_site_bits : int -> Rbitmap.t;
 }
 
 type t = {
@@ -14,24 +15,19 @@ type t = {
   counts : Sbi_core.Counts.t;
 }
 
-let view_of_segment (seg : Segment.t) =
-  let nruns = seg.Segment.nruns in
+let view_of_segref sr =
   {
-    v_nruns = nruns;
-    (* segments never mutate their outcome bitmap after construction, so
-       the view shares it; elimination copies before flipping bits *)
-    v_failing = seg.Segment.failing;
-    v_pred_bits = Array.map (Bitset.of_positions nruns) seg.Segment.pred_true;
-    v_site_bits = Array.map (Bitset.of_positions nruns) seg.Segment.site_obs;
+    v_nruns = Segref.nruns sr;
+    v_failing = (fun () -> Segref.failing sr);
+    v_pred_bits = (fun i -> Segref.pred_bits sr i);
+    v_site_bits = (fun i -> Segref.site_bits sr i);
   }
 
-let build ?pool ~epoch ~meta ~counts segments =
-  let views =
-    match pool with
-    | Some pool -> Sbi_par.Domain_pool.map_array pool view_of_segment segments
-    | None -> Array.map view_of_segment segments
-  in
-  { epoch; meta; views; counts }
+let build ?pool ~epoch ~meta ~counts segrefs =
+  (* views are lazy handles now — nothing to densify eagerly, so the pool
+     (kept for API stability) has no up-front fan-out to run *)
+  ignore pool;
+  { epoch; meta; views = Array.map view_of_segref segrefs; counts }
 
 let epoch t = t.epoch
 let counts t = t.counts

@@ -1,25 +1,25 @@
-(** An immutable, epoch-stamped bitmap view of an index: the read side of
-    the analysis engine.
+(** An immutable, epoch-stamped view of an index: the read side of the
+    analysis engine.
 
-    A snapshot densifies every per-segment posting list into a run
-    bitmap ({!view}) and carries the merged §3.1 aggregate, so every
-    read-only query — top-k, predicate detail, affinity, the full
-    elimination loop — runs on word-level {!Bitset} popcount kernels
-    against the snapshot without touching the live index.  Writers
-    (ingest) bump the owning index's epoch; a snapshot whose [epoch] no
-    longer matches is simply stale, never wrong, and readers holding it
-    keep computing on a consistent corpus while the next snapshot is
-    built — readers never block ingest, ingest never blocks readers.
-
-    Everything inside a snapshot is write-once at {!build} time and read
-    from many domains afterwards; publication happens through the lock
-    or pool handoff that delivers the snapshot to each reader. *)
+    A snapshot carries the merged §3.1 aggregate plus one lazy {!view}
+    per segment reference, so every read-only query — top-k, predicate
+    detail, affinity, the full elimination loop — runs on popcount
+    kernels against the snapshot without touching the live index.
+    Views hand out compressed {!Sbi_store.Rbitmap} posting bitmaps on
+    demand ({!Segref} materializes them through its LRU cache), so
+    opening a snapshot of a million-run index allocates almost nothing
+    until a kernel actually needs a posting.  Writers (ingest) bump the
+    owning index's epoch; a snapshot whose [epoch] no longer matches is
+    simply stale, never wrong, and readers holding it keep computing on
+    a consistent corpus while the next snapshot is built — readers
+    never block ingest, ingest never blocks readers. *)
 
 type view = {
   v_nruns : int;
-  v_failing : Bitset.t;  (** outcome bitmap, shared with the segment *)
-  v_pred_bits : Bitset.t array;  (** per-predicate run-membership bitmaps *)
-  v_site_bits : Bitset.t array;  (** per-site observed-run bitmaps *)
+  v_failing : unit -> Bitset.t;
+      (** outcome bitmap, shared/memoized — copy before mutating *)
+  v_pred_bits : int -> Sbi_store.Rbitmap.t;  (** per-predicate run bitmaps *)
+  v_site_bits : int -> Sbi_store.Rbitmap.t;  (** per-site observed bitmaps *)
 }
 
 type t = {
@@ -34,11 +34,11 @@ val build :
   epoch:int ->
   meta:Sbi_runtime.Dataset.t ->
   counts:Sbi_core.Counts.t ->
-  Segment.t array ->
+  Segref.t array ->
   t
-(** Densify [segments] (posting lists → bitmaps), fanned across [pool]
-    when given.  [counts] must be the merged aggregate of exactly those
-    segments. *)
+(** Wrap [segrefs] in lazy views.  [counts] must be the merged aggregate
+    of exactly those segments.  [pool] is accepted for API stability;
+    there is no eager densification left to fan out. *)
 
 val epoch : t -> int
 val counts : t -> Sbi_core.Counts.t

@@ -1,5 +1,6 @@
 open Sbi_runtime
 open Sbi_core
+module Rbitmap = Sbi_store.Rbitmap
 
 (* --- snapshot-level queries ---
 
@@ -19,7 +20,7 @@ let fresh_states (snap : Snapshot.t) =
       {
         view = v;
         alive = Bitset.full v.Snapshot.v_nruns;
-        failing = Bitset.copy v.Snapshot.v_failing;
+        failing = Bitset.copy (v.Snapshot.v_failing ());
       })
     snap.Snapshot.views
 
@@ -45,9 +46,9 @@ let counts_of_states ?pool (meta : Dataset.t) states =
         let fp = ref 0 and tp = ref 0 in
         Array.iter
           (fun st ->
-            let bits = st.view.Snapshot.v_pred_bits.(i) in
-            fp := !fp + Bitset.inter_count3 bits st.alive st.failing;
-            tp := !tp + Bitset.inter_count bits st.alive)
+            let bits = st.view.Snapshot.v_pred_bits i in
+            fp := !fp + Rbitmap.inter_count3 bits st.alive st.failing;
+            tp := !tp + Rbitmap.inter_count bits st.alive)
           states;
         f.(i) <- !fp;
         s.(i) <- !tp - !fp
@@ -57,9 +58,9 @@ let counts_of_states ?pool (meta : Dataset.t) states =
         let fo = ref 0 and t_o = ref 0 in
         Array.iter
           (fun st ->
-            let bits = st.view.Snapshot.v_site_bits.(site) in
-            fo := !fo + Bitset.inter_count3 bits st.alive st.failing;
-            t_o := !t_o + Bitset.inter_count bits st.alive)
+            let bits = st.view.Snapshot.v_site_bits site in
+            fo := !fo + Rbitmap.inter_count3 bits st.alive st.failing;
+            t_o := !t_o + Rbitmap.inter_count bits st.alive)
           states;
         f_obs_site.(site) <- !fo;
         s_obs_site.(site) <- !t_o - !fo
@@ -88,11 +89,11 @@ let failing_count states =
 let apply_discard discard states pred =
   Array.iter
     (fun st ->
-      let bits = st.view.Snapshot.v_pred_bits.(pred) in
+      let bits = st.view.Snapshot.v_pred_bits pred in
       match discard with
-      | Eliminate.Discard_all_true -> Bitset.diff_inplace st.alive bits
-      | Eliminate.Discard_failing_true -> Bitset.diff_inter_inplace st.alive bits st.failing
-      | Eliminate.Relabel_failing -> Bitset.diff_inter_inplace st.failing bits st.alive)
+      | Eliminate.Discard_all_true -> Rbitmap.diff_inplace st.alive bits
+      | Eliminate.Discard_failing_true -> Rbitmap.diff_inter_inplace st.alive bits st.failing
+      | Eliminate.Relabel_failing -> Rbitmap.diff_inter_inplace st.failing bits st.alive)
     states
 
 module Snap = struct
@@ -141,8 +142,8 @@ module Snap = struct
       Array.map
         (fun (v : Snapshot.view) ->
           let alive = Bitset.full v.Snapshot.v_nruns in
-          Bitset.diff_inplace alive v.Snapshot.v_pred_bits.(selected);
-          { view = v; alive; failing = Bitset.copy v.Snapshot.v_failing })
+          Rbitmap.diff_inplace alive (v.Snapshot.v_pred_bits selected);
+          { view = v; alive; failing = Bitset.copy (v.Snapshot.v_failing ()) })
         snap.Snapshot.views
     in
     let counts_after = counts_of_states ?pool snap.Snapshot.meta states_without in
@@ -287,9 +288,8 @@ let cooccurrence (idx : Index.t) ~a ~b =
   if a < 0 || a >= npreds || b < 0 || b >= npreds then
     invalid_arg "Triage.cooccurrence: predicate out of range";
   Array.fold_left
-    (fun acc (seg : Segment.t) ->
-      acc + intersect_sorted seg.Segment.pred_true.(a) seg.Segment.pred_true.(b))
-    0 (Index.all_segments idx)
+    (fun acc sr -> acc + intersect_sorted (Segref.pred_posting sr a) (Segref.pred_posting sr b))
+    0 (Index.all_segrefs idx)
 
 (* --- full analysis --- *)
 

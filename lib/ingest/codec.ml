@@ -7,16 +7,17 @@ let version = 1
 
 (* --- varints (unsigned LEB128) --- *)
 
+(* A while loop, not an inner [let rec]: a local closure here would be
+   allocated on every call, and segment encoding makes one call per
+   posting entry — tens of millions per compaction. *)
 let add_varint buf n =
   if n < 0 then invalid_arg "Codec.add_varint: negative";
-  let rec go n =
-    if n < 0x80 then Buffer.add_char buf (Char.unsafe_chr n)
-    else begin
-      Buffer.add_char buf (Char.unsafe_chr (0x80 lor (n land 0x7f)));
-      go (n lsr 7)
-    end
-  in
-  go n
+  let n = ref n in
+  while !n >= 0x80 do
+    Buffer.add_char buf (Char.unsafe_chr (0x80 lor (!n land 0x7f)));
+    n := !n lsr 7
+  done;
+  Buffer.add_char buf (Char.unsafe_chr !n)
 
 (* Reads a varint from [s] at [!pos], bounded by [limit]; advances [pos]. *)
 let read_varint s pos limit =

@@ -57,15 +57,25 @@ let header shard =
   Codec.add_varint buf shard;
   Buffer.contents buf
 
-let create_writer ?io ?(fsync = false) ~dir ~shard () =
+let create_writer ?io ?(fsync = false) ?(append = false) ~dir ~shard () =
   ensure_dir dir;
-  let out = Sbi_fault.Io.open_out ?io (shard_path ~dir shard) in
-  let h = header shard in
-  Sbi_fault.Io.output_string out h;
-  let w =
-    { out; buf = Buffer.create 512; fsync; w_records = 0; w_bytes = String.length h; closed = false }
+  let path = shard_path ~dir shard in
+  (* appending to an existing shard resumes after its header; a fresh
+     file gets one either way *)
+  let resume = append && Sys.file_exists path in
+  let out = Sbi_fault.Io.open_out ?io ~append:resume path in
+  let written =
+    if resume then 0
+    else begin
+      let h = header shard in
+      Sbi_fault.Io.output_string out h;
+      String.length h
+    end
   in
-  if fsync then Sbi_fault.Io.fsync out;
+  let w =
+    { out; buf = Buffer.create 512; fsync; w_records = 0; w_bytes = written; closed = false }
+  in
+  if fsync && written > 0 then Sbi_fault.Io.fsync out;
   w
 
 (* Sampled append timer (appends are sub-microsecond buffered writes);

@@ -49,8 +49,18 @@ val parse_header :
 type writer
 
 val create_writer :
-  ?io:Sbi_fault.Io.t -> ?fsync:bool -> dir:string -> shard:int -> unit -> writer
+  ?io:Sbi_fault.Io.t ->
+  ?fsync:bool ->
+  ?append:bool ->
+  dir:string ->
+  shard:int ->
+  unit ->
+  writer
 (** Creates [dir] if needed, truncates the shard file, writes the header.
+    With [~append:true] (default false) an existing shard file is instead
+    resumed: new records are appended after its current tail and no second
+    header is written (a fresh file still gets one) — the streaming
+    corpus generator's wave mode.
     With [~fsync:true] (default false) every {!append} flushes and
     [fsync]s before returning, so a record acknowledged to a client is on
     stable storage even if the process dies before {!close_writer} — the

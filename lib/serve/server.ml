@@ -11,6 +11,8 @@ type config = {
   domains : int;
   max_request : int;
   io : Sbi_fault.Io.t;
+  compact_every : float option;
+  tier_max : int;
 }
 
 let default_config addr =
@@ -22,11 +24,13 @@ let default_config addr =
     domains = 1;
     max_request = 1 lsl 20;
     io = Sbi_fault.Io.none;
+    compact_every = None;
+    tier_max = Sbi_store.Tier.default_tier_max;
   }
 
 type t = {
   config : config;
-  index : Index.t;
+  mutable index : Index.t;  (* swapped by the compaction thread, under [lock] *)
   pool : Sbi_par.Domain_pool.t option;  (* fans snapshot builds and query rescoring *)
   lock : Mutex.t;  (* guards index state and the ingest writer *)
   metrics : Metrics.t;
@@ -36,8 +40,11 @@ type t = {
   workers_lock : Mutex.t;
   writer : Shard_log.writer option;
   started_at : float;
+  inflight : int Atomic.t;  (* requests inside dispatch (may read old segments) *)
   mutable ingested_n : int;
+  mutable compactions : int;
   mutable accept_thread : Thread.t option;
+  mutable compact_thread : Thread.t option;
 }
 
 let locked m f =
@@ -180,6 +187,7 @@ let handle_stats t =
       Printf.sprintf "segments %d" (Array.length t.index.Index.segments);
       Printf.sprintf "tail_runs %d" (Index.tail_count t.index);
       Printf.sprintf "ingested %d" t.ingested_n;
+      Printf.sprintf "compactions %d" t.compactions;
       Printf.sprintf "uptime_s %.1f" (Unix.gettimeofday () -. t.started_at);
     ]
   in
@@ -303,8 +311,16 @@ let handle_connection t fd =
                 negative or inflated latency (the wall clock survives
                 only in started_at/uptime) *)
              let t0 = Sbi_obs.Clock.now_ns () in
+             (* inflight brackets the whole dispatch: a query's snapshot may
+                lazily read segment files that a concurrent compaction has
+                already superseded, so reclamation waits for a drain *)
+             Atomic.incr t.inflight;
              let result =
-               try Sbi_obs.Trace.with_span ~name:("serve." ^ cmd) (fun () -> dispatch t line)
+               try
+                 Fun.protect
+                   ~finally:(fun () -> Atomic.decr t.inflight)
+                   (fun () ->
+                     Sbi_obs.Trace.with_span ~name:("serve." ^ cmd) (fun () -> dispatch t line))
                with
                | Sbi_fault.Fault.Crash _ as e -> raise e
                | e ->
@@ -358,6 +374,52 @@ let accept_loop t =
             locked t.workers_lock (fun () -> Hashtbl.replace t.workers (Thread.id worker) (worker, fd)))
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
     | exception Unix.Unix_error (Unix.EBADF, _, _) -> Atomic.set t.stop_flag true
+  done
+
+(* --- background compaction ---
+
+   Durable-before-visible is preserved across an index swap: compaction
+   only rewrites already-indexed segments (never the source log), and the
+   live tail is replayed into the fresh index under t.lock before the
+   swap, so no acknowledged report ever leaves the queryable population.
+   Old segment files are deleted only after in-flight requests drain —
+   a reader's snapshot may still page postings out of them. *)
+
+let compact_once t =
+  let dir = t.index.Index.dir in
+  match
+    Index.compact ~io:t.config.io ~tier_max:t.config.tier_max ~remove_old:false ~dir ()
+  with
+  | exception e ->
+      Metrics.fault t.metrics ~kind:"compact";
+      Sbi_obs.Trace.with_span ~name:"serve.compact.error" ~args:(Printexc.to_string e)
+        (fun () -> ())
+  | st ->
+      if st.Index.cp_written > 0 then begin
+        let fresh = Index.open_ ~dir in
+        locked t.lock (fun () ->
+            Array.iter (Index.append fresh) (Index.tail_reports t.index);
+            t.index <- fresh;
+            t.compactions <- t.compactions + 1);
+        (* drain readers pinned to the old epoch before reclaiming files;
+           the deadline bounds the wait against a wedged connection *)
+        let deadline = Unix.gettimeofday () +. 2.0 in
+        while Atomic.get t.inflight > 0 && Unix.gettimeofday () < deadline do
+          Thread.delay 0.01
+        done;
+        List.iter
+          (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+          st.Index.cp_reclaimed
+      end
+
+let compact_loop t period =
+  let next = ref (Unix.gettimeofday () +. period) in
+  while not (Atomic.get t.stop_flag) do
+    Thread.delay 0.1;
+    if (not (Atomic.get t.stop_flag)) && Unix.gettimeofday () >= !next then begin
+      compact_once t;
+      next := Unix.gettimeofday () +. period
+    end
   done
 
 (* --- lifecycle --- *)
@@ -417,11 +479,18 @@ let start config index =
       workers_lock = Mutex.create ();
       writer = open_ingest_writer config index;
       started_at = Unix.gettimeofday ();
+      inflight = Atomic.make 0;
       ingested_n = 0;
+      compactions = 0;
       accept_thread = None;
+      compact_thread = None;
     }
   in
   t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
+  (match config.compact_every with
+  | Some period when period > 0. ->
+      t.compact_thread <- Some (Thread.create (fun () -> compact_loop t period) ())
+  | _ -> ());
   t
 
 let addr t = t.config.addr
@@ -430,6 +499,7 @@ let stop t =
   if not (Atomic.exchange t.stop_flag true) then begin
     (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
     (match t.accept_thread with Some th -> Thread.join th | None -> ());
+    (match t.compact_thread with Some th -> Thread.join th | None -> ());
     (* wake workers blocked in reads, then wait for them *)
     let snapshot =
       locked t.workers_lock (fun () ->

@@ -46,11 +46,22 @@ type config = {
   io : Sbi_fault.Io.t;
       (** fault-injection hook for wire and ingest-log I/O; passthrough
           ({!Sbi_fault.Io.none}) in production *)
+  compact_every : float option;
+      (** background compaction period in seconds; [None] (the default)
+          disables the maintenance thread.  Each cycle runs
+          {!Sbi_index.Index.compact} on the index directory; when segments
+          were merged, the index is reopened, the live ingest tail is
+          replayed into it, and the server atomically swaps to the fresh
+          index under its lock — queries in flight keep reading the old
+          segment files, which are deleted only after they drain. *)
+  tier_max : int;
+      (** tier fan-in passed to {!Sbi_index.Index.compact}
+          ({!Sbi_store.Tier.default_tier_max} by default) *)
 }
 
 val default_config : Wire.addr -> config
 (** 30s timeout, fsync on, no ingest log, 1 domain, 1 MiB request bound,
-    passthrough I/O. *)
+    passthrough I/O, no background compaction. *)
 
 val start : config -> Sbi_index.Index.t -> t
 (** Bind, listen, and spawn the accept loop.  When [ingest_log] is set,

@@ -55,3 +55,8 @@ val diff_inter_inplace : t -> t -> t -> unit
 
 val of_positions : int -> int array -> t
 (** [of_positions n ps]: bits [ps] set in a bitset of length [n]. *)
+
+val words : t -> int array
+(** The backing word array, [Sys.int_size] bits per word, LSB-first.
+    Exposed for the {!Rbitmap} kernels, which operate word-aligned
+    against dense masks; treat as read-only unless you own the bitset. *)

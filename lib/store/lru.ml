@@ -1,0 +1,125 @@
+(* Thread-safe LRU cache with a cost budget, used to bound the memory
+   the lazy segment loader spends on materialized postings.  A doubly
+   linked list carries recency; a hashtable carries membership.  Loads
+   run OUTSIDE the lock — two threads missing the same key may both
+   compute the value, and the second insert wins; that duplicated work
+   is preferred over holding the lock across a disk read. *)
+
+type ('k, 'v) node = {
+  key : 'k;
+  value : 'v;
+  cost : int;
+  mutable prev : ('k, 'v) node option;
+  mutable next : ('k, 'v) node option;
+}
+
+type ('k, 'v) t = {
+  table : ('k, ('k, 'v) node) Hashtbl.t;
+  budget : int;
+  cost_of : 'v -> int;
+  lock : Mutex.t;
+  mutable head : ('k, 'v) node option;  (* most recent *)
+  mutable tail : ('k, 'v) node option;  (* eviction candidate *)
+  mutable used : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+type stats = { hits : int; misses : int; evictions : int; used : int; entries : int }
+
+let create ?(budget = 1 lsl 22) ~cost () =
+  if budget <= 0 then invalid_arg "Lru.create: budget must be positive";
+  {
+    table = Hashtbl.create 256;
+    budget;
+    cost_of = cost;
+    lock = Mutex.create ();
+    head = None;
+    tail = None;
+    used = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* list surgery; caller holds the lock *)
+
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.head <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.head;
+  n.prev <- None;
+  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+  t.head <- Some n
+
+let evict_to_budget (t : (_, _) t) =
+  while t.used > t.budget && t.tail <> None do
+    match t.tail with
+    | None -> ()
+    | Some n ->
+        unlink t n;
+        Hashtbl.remove t.table n.key;
+        t.used <- t.used - n.cost;
+        t.evictions <- t.evictions + 1
+  done
+
+let insert (t : (_, _) t) key value =
+  let cost = t.cost_of value in
+  match Hashtbl.find_opt t.table key with
+  | Some existing ->
+      (* a racing loader beat us; keep its entry, just refresh recency *)
+      unlink t existing;
+      push_front t existing;
+      existing.value
+  | None ->
+      let n = { key; value; cost; prev = None; next = None } in
+      Hashtbl.replace t.table key n;
+      push_front t n;
+      t.used <- t.used + cost;
+      evict_to_budget t;
+      value
+
+let find_or_add (t : (_, _) t) key load =
+  let cached =
+    locked t (fun () ->
+        match Hashtbl.find_opt t.table key with
+        | Some n ->
+            unlink t n;
+            push_front t n;
+            t.hits <- t.hits + 1;
+            Some n.value
+        | None ->
+            t.misses <- t.misses + 1;
+            None)
+  in
+  match cached with
+  | Some v -> v
+  | None ->
+      let v = load () in
+      locked t (fun () -> insert t key v)
+
+let stats (t : (_, _) t) =
+  locked t (fun () ->
+      {
+        hits = t.hits;
+        misses = t.misses;
+        evictions = t.evictions;
+        used = t.used;
+        entries = Hashtbl.length t.table;
+      })
+
+let clear t =
+  locked t (fun () ->
+      Hashtbl.reset t.table;
+      t.head <- None;
+      t.tail <- None;
+      t.used <- 0)

@@ -1,0 +1,31 @@
+(** Thread-safe LRU cache with a cost budget.
+
+    Backs the lazy segment loader: materialized posting bitmaps are
+    cached under a [(segment, kind, id)] key with
+    {!Rbitmap.memory_words} as cost, so an arbitrarily large index
+    works in bounded memory and repeated triage queries stay warm.
+
+    Loads run outside the internal lock: concurrent misses on one key
+    may duplicate the load (last insert wins, both callers get a valid
+    value) — preferable to serializing every reader behind a disk
+    read. *)
+
+type ('k, 'v) t
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  used : int;  (** summed cost of resident entries *)
+  entries : int;
+}
+
+val create : ?budget:int -> cost:('v -> int) -> unit -> ('k, 'v) t
+(** [budget] bounds the summed cost of resident values (default [2^22],
+    ~32 MB when cost is heap words).  Least-recently-used entries are
+    evicted when an insert exceeds it.
+    @raise Invalid_argument when [budget <= 0]. *)
+
+val find_or_add : ('k, 'v) t -> 'k -> (unit -> 'v) -> 'v
+val stats : ('k, 'v) t -> stats
+val clear : ('k, 'v) t -> unit

@@ -1,0 +1,369 @@
+(* Compressed run bitmaps: a roaring-style representation over the same
+   word layout as the dense {!Bitset}.  The run population is cut into
+   word-aligned chunks of [chunk_words] words (~64k bits); each chunk
+   independently picks the cheapest of three container shapes for its
+   density — a sorted position array (sparse), a dense word block, or a
+   run list (long homogeneous stretches).  Because chunks are aligned to
+   the dense bitset's words, every kernel against a dense mask is still
+   word-at-a-time popcount work, never a per-bit translation. *)
+
+type container =
+  | Empty
+  | Pos of int array  (* sorted in-chunk bit positions *)
+  | Words of int array  (* dense words, chunk-local *)
+  | Runs of int array  (* flattened (start, len) pairs, in-chunk, disjoint, sorted *)
+
+type t = { r_len : int; chunks : container array }
+
+let bits_per_word = Sys.int_size
+let chunk_words = 1024
+let chunk_bits = chunk_words * bits_per_word
+
+let length t = t.r_len
+let nchunks len = (len + chunk_bits - 1) / chunk_bits
+
+(* words in chunk [k] of a length-[len] bitmap (the last chunk is short) *)
+let words_in_chunk len k =
+  let total = (len + bits_per_word - 1) / bits_per_word in
+  min chunk_words (total - (k * chunk_words))
+
+(* --- construction --- *)
+
+let is_sorted_strict ps =
+  let ok = ref true in
+  for i = 1 to Array.length ps - 1 do
+    if ps.(i) <= ps.(i - 1) then ok := false
+  done;
+  !ok
+
+(* Container choice is a straight storage-cost comparison in words:
+   positions cost [card], runs cost [2*nruns], a dense block costs
+   [words_in_chunk].  Ties prefer the run form (cheapest to intersect),
+   then positions. *)
+let choose_container nw card nruns positions =
+  if card = 0 then Empty
+  else begin
+    let run_cost = 2 * nruns and pos_cost = card and word_cost = nw in
+    if run_cost <= pos_cost && run_cost <= word_cost then begin
+      let runs = Array.make (2 * nruns) 0 in
+      let r = ref 0 in
+      Array.iteri
+        (fun i p ->
+          if i = 0 || p <> positions.(i - 1) + 1 then begin
+            runs.(2 * !r) <- p;
+            runs.((2 * !r) + 1) <- 1;
+            incr r
+          end
+          else runs.((2 * (!r - 1)) + 1) <- runs.((2 * (!r - 1)) + 1) + 1)
+        positions;
+      Runs runs
+    end
+    else if pos_cost <= word_cost then Pos (Array.copy positions)
+    else begin
+      let w = Array.make nw 0 in
+      Array.iter
+        (fun p -> w.(p / bits_per_word) <- w.(p / bits_per_word) lor (1 lsl (p mod bits_per_word)))
+        positions;
+      Words w
+    end
+  end
+
+let of_positions len ps =
+  if len < 0 then invalid_arg "Rbitmap.of_positions";
+  let ps =
+    if is_sorted_strict ps then ps
+    else begin
+      let c = Array.copy ps in
+      Array.sort Int.compare c;
+      (* drop duplicates in place *)
+      let n = Array.length c in
+      if n = 0 then c
+      else begin
+        let w = ref 1 in
+        for i = 1 to n - 1 do
+          if c.(i) <> c.(!w - 1) then begin
+            c.(!w) <- c.(i);
+            incr w
+          end
+        done;
+        Array.sub c 0 !w
+      end
+    end
+  in
+  Array.iter (fun p -> if p < 0 || p >= len then invalid_arg "Rbitmap.of_positions: out of range") ps;
+  let nc = max 1 (nchunks len) in
+  let chunks = Array.make nc Empty in
+  let n = Array.length ps in
+  let i = ref 0 in
+  for k = 0 to nc - 1 do
+    let lo = k * chunk_bits and hi = min len ((k + 1) * chunk_bits) in
+    let start = !i in
+    while !i < n && ps.(!i) < hi do
+      incr i
+    done;
+    let card = !i - start in
+    if card > 0 then begin
+      let positions = Array.init card (fun j -> ps.(start + j) - lo) in
+      let nruns = ref 1 in
+      for j = 1 to card - 1 do
+        if positions.(j) <> positions.(j - 1) + 1 then incr nruns
+      done;
+      chunks.(k) <- choose_container (words_in_chunk len k) card !nruns positions
+    end
+  done;
+  { r_len = len; chunks }
+
+(* --- point access / iteration --- *)
+
+let get t i =
+  if i < 0 || i >= t.r_len then invalid_arg "Rbitmap.get: index out of bounds";
+  let k = i / chunk_bits and p = i mod chunk_bits in
+  match t.chunks.(k) with
+  | Empty -> false
+  | Pos ps ->
+      let rec bs lo hi =
+        if lo >= hi then false
+        else
+          let mid = (lo + hi) / 2 in
+          if ps.(mid) = p then true else if ps.(mid) < p then bs (mid + 1) hi else bs lo mid
+      in
+      bs 0 (Array.length ps)
+  | Words w -> w.(p / bits_per_word) land (1 lsl (p mod bits_per_word)) <> 0
+  | Runs rs ->
+      let found = ref false in
+      let j = ref 0 in
+      let n = Array.length rs / 2 in
+      while (not !found) && !j < n && rs.(2 * !j) <= p do
+        if p < rs.(2 * !j) + rs.((2 * !j) + 1) then found := true;
+        incr j
+      done;
+      !found
+
+let iter f t =
+  Array.iteri
+    (fun k c ->
+      let base = k * chunk_bits in
+      match c with
+      | Empty -> ()
+      | Pos ps -> Array.iter (fun p -> f (base + p)) ps
+      | Runs rs ->
+          for j = 0 to (Array.length rs / 2) - 1 do
+            let s = rs.(2 * j) and l = rs.((2 * j) + 1) in
+            for p = s to s + l - 1 do
+              f (base + p)
+            done
+          done
+      | Words w ->
+          Array.iteri
+            (fun wi word ->
+              if word <> 0 then
+                for b = 0 to bits_per_word - 1 do
+                  if word land (1 lsl b) <> 0 then f (base + (wi * bits_per_word) + b)
+                done)
+            w)
+    t.chunks
+
+(* --- counting kernels --- *)
+
+let count t =
+  Array.fold_left
+    (fun acc c ->
+      match c with
+      | Empty -> acc
+      | Pos ps -> acc + Array.length ps
+      | Words w -> Array.fold_left (fun a x -> a + Bitset.popcount x) acc w
+      | Runs rs ->
+          let a = ref acc in
+          for j = 0 to (Array.length rs / 2) - 1 do
+            a := !a + rs.((2 * j) + 1)
+          done;
+          !a)
+    0 t.chunks
+
+let to_positions t =
+  let out = Array.make (count t) 0 in
+  let i = ref 0 in
+  iter
+    (fun p ->
+      out.(!i) <- p;
+      incr i)
+    t;
+  out
+
+let check_len name t (b : Bitset.t) =
+  if t.r_len <> Bitset.length b then invalid_arg (name ^ ": length mismatch")
+
+(* Fold [f] over every (dense word index, chunk word mask) pair of one
+   run: the word-level decomposition shared by the run-container
+   kernels.  [off] is the chunk's base index into the dense word array. *)
+let run_words ~off s l f =
+  let last = s + l - 1 in
+  let w0 = s / bits_per_word and w1 = last / bits_per_word in
+  let lo_bit = s mod bits_per_word and hi_bit = last mod bits_per_word in
+  let all = -1 in
+  (* mask of bits >= k within a word (k in 0..bits_per_word-1) *)
+  let ge k = all lsl k in
+  (* mask of bits <= k *)
+  let le k = if k = bits_per_word - 1 then all else (1 lsl (k + 1)) - 1 in
+  if w0 = w1 then f (off + w0) (ge lo_bit land le hi_bit)
+  else begin
+    f (off + w0) (ge lo_bit);
+    for w = w0 + 1 to w1 - 1 do
+      f (off + w) all
+    done;
+    f (off + w1) (le hi_bit)
+  end
+
+let inter_count t b =
+  check_len "Rbitmap.inter_count" t b;
+  let bw = Bitset.words b in
+  let acc = ref 0 in
+  Array.iteri
+    (fun k c ->
+      let off = k * chunk_words in
+      match c with
+      | Empty -> ()
+      | Words w ->
+          for i = 0 to Array.length w - 1 do
+            acc := !acc + Bitset.popcount (w.(i) land bw.(off + i))
+          done
+      | Pos ps ->
+          let base = k * chunk_bits in
+          Array.iter
+            (fun p ->
+              let g = base + p in
+              if bw.(g / bits_per_word) land (1 lsl (g mod bits_per_word)) <> 0 then incr acc)
+            ps
+      | Runs rs ->
+          for j = 0 to (Array.length rs / 2) - 1 do
+            run_words ~off rs.(2 * j)
+              rs.((2 * j) + 1)
+              (fun wi m -> acc := !acc + Bitset.popcount (bw.(wi) land m))
+          done)
+    t.chunks;
+  !acc
+
+let inter_count3 t b c =
+  check_len "Rbitmap.inter_count3" t b;
+  check_len "Rbitmap.inter_count3" t c;
+  let bw = Bitset.words b and cw = Bitset.words c in
+  let acc = ref 0 in
+  Array.iteri
+    (fun k cont ->
+      let off = k * chunk_words in
+      match cont with
+      | Empty -> ()
+      | Words w ->
+          for i = 0 to Array.length w - 1 do
+            acc := !acc + Bitset.popcount (w.(i) land bw.(off + i) land cw.(off + i))
+          done
+      | Pos ps ->
+          let base = k * chunk_bits in
+          Array.iter
+            (fun p ->
+              let g = base + p in
+              let wi = g / bits_per_word and m = 1 lsl (g mod bits_per_word) in
+              if bw.(wi) land cw.(wi) land m <> 0 then incr acc)
+            ps
+      | Runs rs ->
+          for j = 0 to (Array.length rs / 2) - 1 do
+            run_words ~off rs.(2 * j)
+              rs.((2 * j) + 1)
+              (fun wi m -> acc := !acc + Bitset.popcount (bw.(wi) land cw.(wi) land m))
+          done)
+    t.chunks;
+  !acc
+
+(* --- mutating kernels against a dense target --- *)
+
+let diff_inplace a t =
+  check_len "Rbitmap.diff_inplace" t a;
+  let aw = Bitset.words a in
+  Array.iteri
+    (fun k c ->
+      let off = k * chunk_words in
+      match c with
+      | Empty -> ()
+      | Words w ->
+          for i = 0 to Array.length w - 1 do
+            aw.(off + i) <- aw.(off + i) land lnot w.(i)
+          done
+      | Pos ps ->
+          let base = k * chunk_bits in
+          Array.iter
+            (fun p ->
+              let g = base + p in
+              let wi = g / bits_per_word in
+              aw.(wi) <- aw.(wi) land lnot (1 lsl (g mod bits_per_word)))
+            ps
+      | Runs rs ->
+          for j = 0 to (Array.length rs / 2) - 1 do
+            run_words ~off rs.(2 * j)
+              rs.((2 * j) + 1)
+              (fun wi m -> aw.(wi) <- aw.(wi) land lnot m)
+          done)
+    t.chunks
+
+let diff_inter_inplace a t c =
+  check_len "Rbitmap.diff_inter_inplace" t a;
+  check_len "Rbitmap.diff_inter_inplace" t c;
+  let aw = Bitset.words a and cw = Bitset.words c in
+  Array.iteri
+    (fun k cont ->
+      let off = k * chunk_words in
+      match cont with
+      | Empty -> ()
+      | Words w ->
+          for i = 0 to Array.length w - 1 do
+            aw.(off + i) <- aw.(off + i) land lnot (w.(i) land cw.(off + i))
+          done
+      | Pos ps ->
+          let base = k * chunk_bits in
+          Array.iter
+            (fun p ->
+              let g = base + p in
+              let wi = g / bits_per_word and m = 1 lsl (g mod bits_per_word) in
+              aw.(wi) <- aw.(wi) land lnot (m land cw.(wi)))
+            ps
+      | Runs rs ->
+          for j = 0 to (Array.length rs / 2) - 1 do
+            run_words ~off rs.(2 * j)
+              rs.((2 * j) + 1)
+              (fun wi m -> aw.(wi) <- aw.(wi) land lnot (m land cw.(wi)))
+          done)
+    t.chunks
+
+(* --- conversions / accounting --- *)
+
+let to_bitset t = Bitset.of_positions t.r_len (to_positions t)
+
+let of_bitset b =
+  let len = Bitset.length b in
+  let acc = ref [] in
+  for i = len - 1 downto 0 do
+    if Bitset.get b i then acc := i :: !acc
+  done;
+  of_positions len (Array.of_list !acc)
+
+(* payload words held by the containers: the LRU cache's cost metric *)
+let memory_words t =
+  Array.fold_left
+    (fun acc c ->
+      match c with
+      | Empty -> acc + 1
+      | Pos ps -> acc + Array.length ps + 2
+      | Words w -> acc + Array.length w + 2
+      | Runs rs -> acc + Array.length rs + 2)
+    2 t.chunks
+
+(* container census, for stats/debugging *)
+let shape t =
+  let e = ref 0 and p = ref 0 and w = ref 0 and r = ref 0 in
+  Array.iter
+    (function
+      | Empty -> incr e
+      | Pos _ -> incr p
+      | Words _ -> incr w
+      | Runs _ -> incr r)
+    t.chunks;
+  (!e, !p, !w, !r)

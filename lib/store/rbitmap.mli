@@ -1,0 +1,59 @@
+(** Compressed run bitmaps: roaring-style containers over the dense
+    {!Bitset} word layout.
+
+    The run population is cut into word-aligned ~64k-bit chunks
+    ([1024 * Sys.int_size]); each chunk independently stores its set
+    bits as whichever of three container shapes is cheapest for its
+    density — a sorted position array (sparse), a dense word block
+    (heavy), or a run list (long homogeneous stretches, including the
+    all-set chunk at two words).  Empty chunks cost one constructor.
+
+    Every kernel mirrors the corresponding {!Bitset} kernel and produces
+    the same integers, so the snapshot/triage layers compute identical
+    §3.1 counts on either representation; the dense operands ([Bitset])
+    stay dense because the elimination loop mutates them in place.
+    Chunks are aligned to the dense bitset's words, so the kernels stay
+    word-at-a-time popcount work — never a per-bit re-indexing. *)
+
+type t
+
+val chunk_bits : int
+(** Bits covered by one chunk ([1024 * Sys.int_size]). *)
+
+val of_positions : int -> int array -> t
+(** [of_positions n ps]: the compressed bitmap of length [n] with bits
+    [ps] set.  Sorted, duplicate-free input is used as-is (the posting
+    lists' invariant); anything else is sorted and deduplicated first.
+    @raise Invalid_argument on a position outside [0, n). *)
+
+val of_bitset : Bitset.t -> t
+val to_bitset : t -> Bitset.t
+
+val length : t -> int
+val get : t -> int -> bool
+val count : t -> int
+
+val iter : (int -> unit) -> t -> unit
+(** Set positions in increasing order. *)
+
+val to_positions : t -> int array
+(** Sorted set positions — the posting list back. *)
+
+val inter_count : t -> Bitset.t -> int
+(** [inter_count t b] = [Bitset.inter_count (to_bitset t) b].
+    @raise Invalid_argument on length mismatch. *)
+
+val inter_count3 : t -> Bitset.t -> Bitset.t -> int
+(** Three-way intersection popcount, dense operands [b] and [c]. *)
+
+val diff_inplace : Bitset.t -> t -> unit
+(** [diff_inplace a t]: [a := a ∧ ¬t] (discard proposal 1). *)
+
+val diff_inter_inplace : Bitset.t -> t -> Bitset.t -> unit
+(** [diff_inter_inplace a t c]: [a := a ∧ ¬(t ∧ c)] (proposals 2/3). *)
+
+val memory_words : t -> int
+(** Approximate heap words held — the posting cache's cost metric. *)
+
+val shape : t -> int * int * int * int
+(** Container census [(empty, positions, words, runs)] across chunks. *)

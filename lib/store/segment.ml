@@ -1,0 +1,530 @@
+open Sbi_runtime
+open Sbi_ingest
+module Io = Sbi_fault.Io
+
+exception Corrupt of string
+
+let magic = "SBIX"
+let format_version = 2
+let trailer_len = 16 (* footer_off (8 LE) + footer CRC (4 LE) + file CRC (4 LE) *)
+
+type t = {
+  source_shard : int;
+  start_off : int;
+  end_off : int;
+  nsites : int;
+  npreds : int;
+  nruns : int;
+  run_ids : int array;
+  failing : Bitset.t;
+  site_obs : int array array;
+  pred_true : int array array;
+}
+
+let of_reports ~nsites ~npreds ~source_shard ~start_off ~end_off reports =
+  let nruns = Array.length reports in
+  let run_ids = Array.map (fun (r : Report.t) -> r.Report.run_id) reports in
+  let failing = Bitset.create nruns in
+  let site_acc = Array.make (max nsites 1) [] in
+  let pred_acc = Array.make (max npreds 1) [] in
+  (* Postings record membership, not multiplicity (counts live in
+     [true_counts]), so a site or predicate repeated within one report
+     must contribute a single position — duplicates would break the
+     strictly-increasing delta encoding. *)
+  let push acc i pos =
+    match acc.(i) with
+    | hd :: _ when hd = pos -> ()
+    | _ -> acc.(i) <- pos :: acc.(i)
+  in
+  Array.iteri
+    (fun pos (r : Report.t) ->
+      if Report.outcome_is_failure r.Report.outcome then Bitset.set failing pos;
+      Array.iter
+        (fun site ->
+          if site < 0 || site >= nsites then
+            invalid_arg (Printf.sprintf "Segment.of_reports: site %d out of range" site);
+          push site_acc site pos)
+        r.Report.observed_sites;
+      Array.iter
+        (fun pred ->
+          if pred < 0 || pred >= npreds then
+            invalid_arg (Printf.sprintf "Segment.of_reports: predicate %d out of range" pred);
+          push pred_acc pred pos)
+        r.Report.true_preds)
+    reports;
+  (* positions were consed in increasing order, so a reverse restores it *)
+  let to_postings acc n = Array.init n (fun i -> Array.of_list (List.rev acc.(i))) in
+  {
+    source_shard;
+    start_off;
+    end_off;
+    nsites;
+    npreds;
+    nruns;
+    run_ids;
+    failing;
+    site_obs = to_postings site_acc nsites;
+    pred_true = to_postings pred_acc npreds;
+  }
+
+let aggregator ~pred_site t =
+  let agg = Aggregator.empty ~nsites:t.nsites ~npreds:t.npreds ~pred_site in
+  let num_f = Bitset.count t.failing in
+  agg.Aggregator.num_f <- num_f;
+  agg.Aggregator.num_s <- t.nruns - num_f;
+  let split counter_f counter_s postings =
+    Array.iteri
+      (fun i posting ->
+        Array.iter
+          (fun pos ->
+            if Bitset.get t.failing pos then counter_f.(i) <- counter_f.(i) + 1
+            else counter_s.(i) <- counter_s.(i) + 1)
+          posting)
+      postings
+  in
+  split agg.Aggregator.f_obs_site agg.Aggregator.s_obs_site t.site_obs;
+  split agg.Aggregator.f agg.Aggregator.s t.pred_true;
+  agg
+
+(* Two passes: the first sizes every output array, the second blits each
+   member's postings (position-shifted) into place.  Members are decoded
+   twice but only one is live at a time on top of the output — the CPU is
+   cheap varint decoding, while holding every member plus shifted copies
+   at once (the naive shape) costs several times the merged size in
+   allocation churn and dominates large compactions. *)
+let concat_n ~load n =
+  if n <= 0 then invalid_arg "Segment.concat: empty input";
+  let first = load 0 in
+  let nsites = first.nsites and npreds = first.npreds in
+  let member_runs = Array.make n 0 in
+  let site_lens = Array.make (max nsites 1) 0 in
+  let pred_lens = Array.make (max npreds 1) 0 in
+  let scan i (s : t) =
+    if s.nsites <> nsites || s.npreds <> npreds then
+      invalid_arg "Segment.concat: mismatched site/predicate tables";
+    member_runs.(i) <- s.nruns;
+    for j = 0 to nsites - 1 do
+      site_lens.(j) <- site_lens.(j) + Array.length s.site_obs.(j)
+    done;
+    for j = 0 to npreds - 1 do
+      pred_lens.(j) <- pred_lens.(j) + Array.length s.pred_true.(j)
+    done
+  in
+  scan 0 first;
+  for i = 1 to n - 1 do
+    scan i (load i)
+  done;
+  let nruns = Array.fold_left ( + ) 0 member_runs in
+  let run_ids = Array.make nruns 0 in
+  let failing = Bitset.create nruns in
+  let site_obs = Array.init nsites (fun j -> Array.make site_lens.(j) 0) in
+  let pred_true = Array.init npreds (fun j -> Array.make pred_lens.(j) 0) in
+  let site_fill = Array.make (max nsites 1) 0 in
+  let pred_fill = Array.make (max npreds 1) 0 in
+  let off = ref 0 in
+  for i = 0 to n - 1 do
+    let s = load i in
+    if s.nruns <> member_runs.(i) then
+      invalid_arg "Segment.concat: member changed between passes";
+    Array.blit s.run_ids 0 run_ids !off s.nruns;
+    for p = 0 to s.nruns - 1 do
+      if Bitset.get s.failing p then Bitset.set failing (!off + p)
+    done;
+    let fill fills dst src =
+      Array.iteri
+        (fun j posting ->
+          let out = dst.(j) and k0 = fills.(j) in
+          Array.iteri (fun k p -> out.(k0 + k) <- p + !off) posting;
+          fills.(j) <- k0 + Array.length posting)
+        src
+    in
+    fill site_fill site_obs s.site_obs;
+    fill pred_fill pred_true s.pred_true;
+    off := !off + s.nruns
+  done;
+  (* The merged file spans several source byte ranges, so the in-file
+     provenance triple is meaningless — the manifest's cover list is
+     authoritative for merged segments. *)
+  {
+    source_shard = 0;
+    start_off = 0;
+    end_off = 0;
+    nsites;
+    npreds;
+    nruns;
+    run_ids;
+    failing;
+    site_obs;
+    pred_true;
+  }
+
+let concat segs =
+  let arr = Array.of_list segs in
+  concat_n ~load:(fun i -> arr.(i)) (Array.length arr)
+
+(* --- binary encoding --- *)
+
+let add_le buf width v =
+  for i = 0 to width - 1 do
+    Buffer.add_char buf (Char.chr ((v lsr (8 * i)) land 0xFF))
+  done
+
+let read_le s pos width =
+  let v = ref 0 in
+  for i = width - 1 downto 0 do
+    v := (!v lsl 8) lor Char.code s.[pos + i]
+  done;
+  !v
+
+let bitmap_bytes nruns = (nruns + 7) / 8
+
+let add_bitmap buf failing nruns =
+  let nbytes = bitmap_bytes nruns in
+  let bitmap = Bytes.make nbytes '\000' in
+  for pos = 0 to nruns - 1 do
+    if Bitset.get failing pos then
+      Bytes.set bitmap (pos / 8)
+        (Char.chr (Char.code (Bytes.get bitmap (pos / 8)) lor (1 lsl (pos mod 8))))
+  done;
+  Buffer.add_bytes buf bitmap
+
+let parse_bitmap s off nruns =
+  let failing = Bitset.create nruns in
+  for p = 0 to nruns - 1 do
+    if Char.code s.[off + (p / 8)] land (1 lsl (p mod 8)) <> 0 then Bitset.set failing p
+  done;
+  failing
+
+(* Bare delta sequence, no count prefix: lengths and counts live in the
+   footer directory for v2, or in the v1 per-posting prefix. *)
+let add_deltas buf posting =
+  let prev = ref 0 in
+  Array.iteri
+    (fun i pos ->
+      Codec.add_varint buf (if i = 0 then pos else pos - !prev);
+      prev := pos)
+    posting
+
+let read_deltas s pos limit ~count ~nruns =
+  let posting = Array.make count 0 in
+  let prev = ref (-1) in
+  for i = 0 to count - 1 do
+    let v = Codec.read_varint s pos limit in
+    let p = if i = 0 then v else !prev + v in
+    if i > 0 && v = 0 then raise (Corrupt "posting positions not strictly increasing");
+    if p >= nruns then raise (Corrupt "posting position out of range");
+    posting.(i) <- p;
+    prev := p
+  done;
+  posting
+
+let encode t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf magic;
+  Codec.add_varint buf format_version;
+  Codec.add_varint buf t.source_shard;
+  Codec.add_varint buf t.start_off;
+  Codec.add_varint buf t.end_off;
+  Codec.add_varint buf t.nsites;
+  Codec.add_varint buf t.npreds;
+  Codec.add_varint buf t.nruns;
+  let run_ids_off = Buffer.length buf in
+  Array.iter (Codec.add_varint buf) t.run_ids;
+  let bitmap_off = Buffer.length buf in
+  add_bitmap buf t.failing t.nruns;
+  let heap_off = Buffer.length buf in
+  let add_heap posting =
+    let before = Buffer.length buf in
+    add_deltas buf posting;
+    Buffer.length buf - before
+  in
+  let site_lens = Array.map add_heap t.site_obs in
+  let pred_lens = Array.map add_heap t.pred_true in
+  (* footer: §3.1 failure splits + the posting directory, so a reader can
+     recover aggregates and any single posting without the heap *)
+  let footer_off = Buffer.length buf in
+  let fcount posting =
+    Array.fold_left (fun a pos -> if Bitset.get t.failing pos then a + 1 else a) 0 posting
+  in
+  Codec.add_varint buf (Bitset.count t.failing);
+  Array.iter (fun posting -> Codec.add_varint buf (fcount posting)) t.pred_true;
+  Array.iter (fun posting -> Codec.add_varint buf (fcount posting)) t.site_obs;
+  Array.iteri
+    (fun i posting ->
+      Codec.add_varint buf (Array.length posting);
+      Codec.add_varint buf site_lens.(i))
+    t.site_obs;
+  Array.iteri
+    (fun i posting ->
+      Codec.add_varint buf (Array.length posting);
+      Codec.add_varint buf pred_lens.(i))
+    t.pred_true;
+  Codec.add_varint buf run_ids_off;
+  Codec.add_varint buf bitmap_off;
+  Codec.add_varint buf heap_off;
+  let footer_len = Buffer.length buf - footer_off in
+  let body = Buffer.contents buf in
+  add_le buf 8 footer_off;
+  add_le buf 4 (Sbi_util.Crc32.sub body ~pos:footer_off ~len:footer_len);
+  let with_trailer = Buffer.contents buf in
+  add_le buf 4
+    (Sbi_util.Crc32.sub with_trailer ~pos:(String.length magic)
+       ~len:(String.length with_trailer - String.length magic));
+  Buffer.contents buf
+
+let encode_v1 t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf magic;
+  Codec.add_varint buf 1;
+  Codec.add_varint buf t.source_shard;
+  Codec.add_varint buf t.start_off;
+  Codec.add_varint buf t.end_off;
+  Codec.add_varint buf t.nsites;
+  Codec.add_varint buf t.npreds;
+  Codec.add_varint buf t.nruns;
+  Array.iter (Codec.add_varint buf) t.run_ids;
+  add_bitmap buf t.failing t.nruns;
+  let add_posting posting =
+    Codec.add_varint buf (Array.length posting);
+    add_deltas buf posting
+  in
+  Array.iter add_posting t.site_obs;
+  Array.iter add_posting t.pred_true;
+  let body = Buffer.contents buf in
+  add_le buf 4
+    (Sbi_util.Crc32.sub body ~pos:(String.length magic)
+       ~len:(String.length body - String.length magic));
+  Buffer.contents buf
+
+(* --- footer --- *)
+
+type footer = {
+  ft_version : int;
+  ft_source_shard : int;
+  ft_start_off : int;
+  ft_end_off : int;
+  ft_nsites : int;
+  ft_npreds : int;
+  ft_nruns : int;
+  ft_num_f : int;
+  ft_f_pred : int array;
+  ft_f_obs_site : int array;
+  ft_site_dir : (int * int * int) array;
+  ft_pred_dir : (int * int * int) array;
+  ft_run_ids_off : int;
+  ft_bitmap_off : int;
+  ft_heap_off : int;
+  ft_size : int;
+}
+
+(* Parse the footer region given the already-parsed header.  [s] holds the
+   bytes of [footer_off, size - trailer_len) — either a slice read from
+   disk (lazy open) or the full file (decode, with [base = footer_off]). *)
+let parse_footer s ~base ~len ~header ~size =
+  let version, source_shard, start_off, end_off, nsites, npreds, nruns = header in
+  let pos = ref base in
+  let limit = base + len in
+  let rd () = Codec.read_varint s pos limit in
+  let num_f = rd () in
+  if num_f > nruns then raise (Corrupt "footer num_f exceeds run count");
+  let f_pred = Array.init npreds (fun _ -> rd ()) in
+  let f_obs_site = Array.init nsites (fun _ -> rd ()) in
+  let raw_dir n = Array.init n (fun _ -> let count = rd () in let blen = rd () in (count, blen)) in
+  let site_raw = raw_dir nsites in
+  let pred_raw = raw_dir npreds in
+  let run_ids_off = rd () in
+  let bitmap_off = rd () in
+  let heap_off = rd () in
+  if !pos <> limit then raise (Corrupt "trailing bytes in segment footer");
+  let footer_off = size - trailer_len - len in
+  if
+    run_ids_off > bitmap_off || bitmap_off > heap_off || heap_off > footer_off
+    || bitmap_off - run_ids_off < 0
+    || heap_off - bitmap_off <> bitmap_bytes nruns
+  then raise (Corrupt "inconsistent segment section offsets");
+  let heap = ref heap_off in
+  let abs_dir raw =
+    Array.map
+      (fun (count, blen) ->
+        if count > nruns then raise (Corrupt "posting longer than run count");
+        let off = !heap in
+        heap := !heap + blen;
+        if !heap > footer_off then raise (Corrupt "posting directory overruns heap");
+        (off, blen, count))
+      raw
+  in
+  let site_dir = abs_dir site_raw in
+  let pred_dir = abs_dir pred_raw in
+  if !heap <> footer_off then raise (Corrupt "posting heap size mismatch");
+  {
+    ft_version = version;
+    ft_source_shard = source_shard;
+    ft_start_off = start_off;
+    ft_end_off = end_off;
+    ft_nsites = nsites;
+    ft_npreds = npreds;
+    ft_nruns = nruns;
+    ft_num_f = num_f;
+    ft_f_pred = f_pred;
+    ft_f_obs_site = f_obs_site;
+    ft_site_dir = site_dir;
+    ft_pred_dir = pred_dir;
+    ft_run_ids_off = run_ids_off;
+    ft_bitmap_off = bitmap_off;
+    ft_heap_off = heap_off;
+    ft_size = size;
+  }
+
+let footer_aggregator ~pred_site ft =
+  let agg = Aggregator.empty ~nsites:ft.ft_nsites ~npreds:ft.ft_npreds ~pred_site in
+  agg.Aggregator.num_f <- ft.ft_num_f;
+  agg.Aggregator.num_s <- ft.ft_nruns - ft.ft_num_f;
+  Array.iteri
+    (fun p (_, _, count) ->
+      let f = ft.ft_f_pred.(p) in
+      if f > count then raise (Corrupt "footer failing count exceeds posting count");
+      agg.Aggregator.f.(p) <- f;
+      agg.Aggregator.s.(p) <- count - f)
+    ft.ft_pred_dir;
+  Array.iteri
+    (fun i (_, _, count) ->
+      let f = ft.ft_f_obs_site.(i) in
+      if f > count then raise (Corrupt "footer failing count exceeds posting count");
+      agg.Aggregator.f_obs_site.(i) <- f;
+      agg.Aggregator.s_obs_site.(i) <- count - f)
+    ft.ft_site_dir;
+  agg
+
+(* --- decoding --- *)
+
+let read_posting_v1 s pos limit ~nruns =
+  let len = Codec.read_varint s pos limit in
+  if len > nruns then raise (Corrupt "posting longer than run count");
+  read_deltas s pos limit ~count:len ~nruns
+
+let parse_header s pos limit =
+  let rd () = Codec.read_varint s pos limit in
+  let version = rd () in
+  if version < 1 || version > format_version then
+    raise (Corrupt (Printf.sprintf "unsupported segment version %d" version));
+  let source_shard = rd () in
+  let start_off = rd () in
+  let end_off = rd () in
+  let nsites = rd () in
+  let npreds = rd () in
+  let nruns = rd () in
+  (version, source_shard, start_off, end_off, nsites, npreds, nruns)
+
+let decode s =
+  let n = String.length s in
+  if n < String.length magic + 4 || String.sub s 0 (String.length magic) <> magic then
+    raise (Corrupt "bad magic");
+  let body_len = n - 4 in
+  let stored = read_le s body_len 4 in
+  let computed =
+    Sbi_util.Crc32.sub s ~pos:(String.length magic) ~len:(body_len - String.length magic)
+  in
+  if stored <> computed then raise (Corrupt "CRC mismatch");
+  let pos = ref (String.length magic) in
+  try
+    let header = parse_header s pos body_len in
+    let version, source_shard, start_off, end_off, nsites, npreds, nruns = header in
+    if version = 1 then begin
+      let run_ids = Array.init nruns (fun _ -> Codec.read_varint s pos body_len) in
+      let nbytes = bitmap_bytes nruns in
+      if !pos + nbytes > body_len then raise (Corrupt "truncated outcome bitmap");
+      let failing = parse_bitmap s !pos nruns in
+      pos := !pos + nbytes;
+      let site_obs = Array.init nsites (fun _ -> read_posting_v1 s pos body_len ~nruns) in
+      let pred_true = Array.init npreds (fun _ -> read_posting_v1 s pos body_len ~nruns) in
+      if !pos <> body_len then raise (Corrupt "trailing bytes in segment body");
+      { source_shard; start_off; end_off; nsites; npreds; nruns; run_ids; failing; site_obs; pred_true }
+    end
+    else begin
+      if n < trailer_len + String.length magic then raise (Corrupt "segment too small");
+      let footer_off = read_le s (n - trailer_len) 8 in
+      if footer_off < !pos || footer_off > n - trailer_len then
+        raise (Corrupt "footer offset out of bounds");
+      let ft =
+        parse_footer s ~base:footer_off ~len:(n - trailer_len - footer_off) ~header ~size:n
+      in
+      if ft.ft_run_ids_off <> !pos then raise (Corrupt "header/footer offset mismatch");
+      pos := ft.ft_run_ids_off;
+      let run_ids = Array.init nruns (fun _ -> Codec.read_varint s pos ft.ft_bitmap_off) in
+      if !pos <> ft.ft_bitmap_off then raise (Corrupt "run-id section size mismatch");
+      let failing = parse_bitmap s ft.ft_bitmap_off nruns in
+      if Bitset.count failing <> ft.ft_num_f then
+        raise (Corrupt "footer num_f disagrees with outcome bitmap");
+      let load (off, blen, count) =
+        let p = ref off in
+        let posting = read_deltas s p (off + blen) ~count ~nruns in
+        if !p <> off + blen then raise (Corrupt "posting byte length mismatch");
+        posting
+      in
+      let site_obs = Array.map load ft.ft_site_dir in
+      let pred_true = Array.map load ft.ft_pred_dir in
+      { source_shard; start_off; end_off; nsites; npreds; nruns; run_ids; failing; site_obs; pred_true }
+    end
+  with Codec.Corrupt m -> raise (Corrupt m)
+
+(* --- lazy disk access (v2 only) --- *)
+
+let wrap_io f =
+  try f () with
+  | Codec.Corrupt m -> raise (Corrupt m)
+  | End_of_file -> raise (Corrupt "short read")
+
+let read_footer ?io path =
+  wrap_io (fun () ->
+      let size = Io.file_size path in
+      if size < String.length magic + trailer_len then raise (Corrupt "segment too small");
+      let head_len = min size 128 in
+      let head = Io.read_sub ?io path ~pos:0 ~len:head_len in
+      if String.length head < head_len then raise (Corrupt "short read");
+      if String.sub head 0 (String.length magic) <> magic then raise (Corrupt "bad magic");
+      let pos = ref (String.length magic) in
+      let header = parse_header head pos head_len in
+      let version, _, _, _, _, _, _ = header in
+      if version = 1 then None
+      else begin
+        let trailer = Io.read_sub ?io path ~pos:(size - trailer_len) ~len:trailer_len in
+        if String.length trailer < trailer_len then raise (Corrupt "short read");
+        let footer_off = read_le trailer 0 8 in
+        let footer_crc = read_le trailer 8 4 in
+        if footer_off < !pos || footer_off > size - trailer_len then
+          raise (Corrupt "footer offset out of bounds");
+        let flen = size - trailer_len - footer_off in
+        let fbytes = Io.read_sub ?io path ~pos:footer_off ~len:flen in
+        if String.length fbytes < flen then raise (Corrupt "short read");
+        if Sbi_util.Crc32.string fbytes <> footer_crc then raise (Corrupt "footer CRC mismatch");
+        Some (parse_footer fbytes ~base:0 ~len:flen ~header ~size)
+      end)
+
+let read_failing ?io path ft =
+  wrap_io (fun () ->
+      let nbytes = bitmap_bytes ft.ft_nruns in
+      let s = Io.read_sub ?io path ~pos:ft.ft_bitmap_off ~len:nbytes in
+      if String.length s < nbytes then raise (Corrupt "short read");
+      parse_bitmap s 0 ft.ft_nruns)
+
+let read_posting ?io path ft kind i =
+  wrap_io (fun () ->
+      let dir = match kind with `Site -> ft.ft_site_dir | `Pred -> ft.ft_pred_dir in
+      if i < 0 || i >= Array.length dir then invalid_arg "Segment.read_posting";
+      let off, blen, count = dir.(i) in
+      let s = Io.read_sub ?io path ~pos:off ~len:blen in
+      if String.length s < blen then raise (Corrupt "short read");
+      let pos = ref 0 in
+      let posting = read_deltas s pos blen ~count ~nruns:ft.ft_nruns in
+      if !pos <> blen then raise (Corrupt "posting byte length mismatch");
+      posting)
+
+let read_run_ids ?io path ft =
+  wrap_io (fun () ->
+      let blen = ft.ft_bitmap_off - ft.ft_run_ids_off in
+      let s = Io.read_sub ?io path ~pos:ft.ft_run_ids_off ~len:blen in
+      if String.length s < blen then raise (Corrupt "short read");
+      let pos = ref 0 in
+      let run_ids = Array.init ft.ft_nruns (fun _ -> Codec.read_varint s pos blen) in
+      if !pos <> blen then raise (Corrupt "run-id section size mismatch");
+      run_ids)

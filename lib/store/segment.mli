@@ -1,0 +1,131 @@
+(** One immutable index segment: the inverted view of one or more
+    contiguous byte ranges of source shard files.
+
+    A segment holds, for a batch of runs, the run-id array, a failing-run
+    bitmap, per-site observation posting lists, and per-predicate
+    observed-true posting lists — everything the triage queries need,
+    with no per-run report records.  Posting lists store {e positions}
+    within the segment (0 .. nruns-1), strictly increasing, so they
+    delta-encode to roughly one byte per entry with {!Sbi_ingest.Codec}
+    varints; the run-id array maps positions back to global run ids.
+
+    {b Format v2} (written by {!encode}) appends a footer after the
+    posting heap: the segment's §3.1 failure splits (num_f, per-predicate
+    and per-site failing counts) and a posting directory (count + byte
+    length per list), then a fixed 16-byte trailer [footer offset (8 LE) |
+    footer CRC-32 (4 LE) | file CRC-32 (4 LE)].  A reader can therefore
+    open a segment with three small reads — header, trailer, footer —
+    and fetch individual postings on demand ({!read_footer},
+    {!read_posting}); the tiered index uses this to keep million-run
+    indexes out of memory.  The trailing file CRC covers every byte
+    between the magic and itself, exactly as in format v1, so a damaged
+    segment is still detected as a unit by {!decode}.  {!decode} accepts
+    both versions; {!encode_v1} remains for compatibility tests. *)
+
+exception Corrupt of string
+
+val magic : string
+val format_version : int
+
+val trailer_len : int
+(** Bytes of fixed trailer in a v2 segment file. *)
+
+type t = {
+  source_shard : int;  (** shard index this segment was compiled from *)
+  start_off : int;  (** first source byte consumed (inclusive) *)
+  end_off : int;  (** last source byte consumed (exclusive) *)
+  nsites : int;
+  npreds : int;
+  nruns : int;
+  run_ids : int array;  (** position -> global run id *)
+  failing : Bitset.t;  (** position bit set iff the run failed *)
+  site_obs : int array array;  (** site -> sorted positions observed *)
+  pred_true : int array array;  (** pred -> sorted positions observed true *)
+}
+
+val of_reports :
+  nsites:int ->
+  npreds:int ->
+  source_shard:int ->
+  start_off:int ->
+  end_off:int ->
+  Sbi_runtime.Report.t array ->
+  t
+(** Invert a report batch.  @raise Invalid_argument when a report refers
+    to a site or predicate outside the declared tables. *)
+
+val aggregator : pred_site:int array -> t -> Sbi_ingest.Aggregator.t
+(** The segment's §3.1 partial aggregate, recovered from the inverted
+    lists — equal to folding the source reports through
+    {!Sbi_ingest.Aggregator.observe}. *)
+
+val concat : t list -> t
+(** Position-shifted concatenation, in list order — the compaction merge.
+    Run ids, outcomes and postings are carried over verbatim (no
+    deduplication), so every triage aggregate over the merged segment is
+    bit-identical to the sum over its inputs.  The provenance triple is
+    zeroed: a merged segment's coverage lives in the index manifest.
+    @raise Invalid_argument on empty input or mismatched
+    site/predicate tables. *)
+
+val concat_n : load:(int -> t) -> int -> t
+(** {!concat} over members [load 0 .. load (n-1)], decoding on demand:
+    [load] is called twice per member (a sizing pass, then a fill pass),
+    so only one member is live at a time on top of the merged output —
+    the constant-memory shape large compactions need.  [load] must
+    return the same segment both times.
+    @raise Invalid_argument as {!concat}, or when a member changes
+    between the passes. *)
+
+val encode : t -> string
+(** Serialize in format v2 (footer + trailer). *)
+
+val encode_v1 : t -> string
+(** Serialize in the legacy footerless format (still decodable). *)
+
+val decode : string -> t
+(** Full verifying decode of either format.
+    @raise Corrupt on bad magic/version, CRC mismatch, or any structural
+    violation (positions out of range or non-increasing, footer
+    inconsistent with the body). *)
+
+(** {1 Lazy access (v2)}
+
+    These read only the bytes they need via {!Sbi_fault.Io.read_sub};
+    they never load the posting heap wholesale.  All raise {!Corrupt} on
+    structural damage in the bytes they do read — whole-file integrity
+    checking stays with {!decode} (used by fsck). *)
+
+type footer = {
+  ft_version : int;
+  ft_source_shard : int;
+  ft_start_off : int;
+  ft_end_off : int;
+  ft_nsites : int;
+  ft_npreds : int;
+  ft_nruns : int;
+  ft_num_f : int;  (** failing runs in this segment *)
+  ft_f_pred : int array;  (** pred -> failing runs observing it true *)
+  ft_f_obs_site : int array;  (** site -> failing runs observing it *)
+  ft_site_dir : (int * int * int) array;  (** site -> (abs offset, bytes, count) *)
+  ft_pred_dir : (int * int * int) array;  (** pred -> (abs offset, bytes, count) *)
+  ft_run_ids_off : int;
+  ft_bitmap_off : int;
+  ft_heap_off : int;
+  ft_size : int;  (** file size in bytes *)
+}
+
+val read_footer : ?io:Sbi_fault.Io.t -> string -> footer option
+(** Open a segment file lazily: header + trailer + CRC-checked footer,
+    three reads totalling a few hundred bytes plus the footer.  [None]
+    means the file is a valid-looking v1 segment — the caller must fall
+    back to a full {!decode}.  @raise Corrupt on damage. *)
+
+val footer_aggregator : pred_site:int array -> footer -> Sbi_ingest.Aggregator.t
+(** The segment's §3.1 partial aggregate reconstructed from footer
+    statistics alone: successes are posting counts minus failing counts.
+    Equal to [aggregator ~pred_site (decode file)]. *)
+
+val read_failing : ?io:Sbi_fault.Io.t -> string -> footer -> Bitset.t
+val read_posting : ?io:Sbi_fault.Io.t -> string -> footer -> [ `Site | `Pred ] -> int -> int array
+val read_run_ids : ?io:Sbi_fault.Io.t -> string -> footer -> int array

@@ -1,0 +1,51 @@
+(* Size-tiered compaction policy (pure: no I/O).
+
+   Segments are bucketed into tiers by run count: tier 0 holds segments
+   below [base] runs, tier [k] holds [base*fanout^(k-1), base*fanout^k).
+   When a tier accumulates [tier_max] or more members, the policy
+   proposes merging ALL of them into one segment — which lands in a
+   higher tier, possibly cascading on the next planning round.  This is
+   the classic size-tiered LSM shape: writes produce many small tier-0
+   segments, reads see O(tiers) segments after compaction settles. *)
+
+let default_base = 1024
+let default_fanout = 8
+let default_tier_max = 4
+
+type seg = { ts_index : int; ts_runs : int; ts_bytes : int }
+
+let tier_of ?(base = default_base) ?(fanout = default_fanout) runs =
+  if base < 1 || fanout < 2 then invalid_arg "Tier.tier_of";
+  let t = ref 0 in
+  let cap = ref base in
+  (* caps grow geometrically; 62-bit overflow guard stops the loop *)
+  while runs >= !cap && !cap <= max_int / fanout do
+    incr t;
+    cap := !cap * fanout
+  done;
+  !t
+
+let tiers ?base ?fanout segs =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun s ->
+      let t = tier_of ?base ?fanout s.ts_runs in
+      Hashtbl.replace tbl t (s :: (try Hashtbl.find tbl t with Not_found -> [])))
+    segs;
+  Hashtbl.fold (fun t members acc -> (t, List.rev members) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let plan ?base ?fanout ?(tier_max = default_tier_max) segs =
+  if tier_max < 2 then invalid_arg "Tier.plan: tier_max must be >= 2";
+  tiers ?base ?fanout segs
+  |> List.filter_map (fun (tier, members) ->
+         if List.length members >= tier_max then
+           Some (tier, List.map (fun s -> s.ts_index) members)
+         else None)
+
+let describe ?base ?fanout segs =
+  tiers ?base ?fanout segs
+  |> List.map (fun (tier, members) ->
+         let runs = List.fold_left (fun a s -> a + s.ts_runs) 0 members in
+         let bytes = List.fold_left (fun a s -> a + s.ts_bytes) 0 members in
+         (tier, List.length members, runs, bytes))

@@ -1,0 +1,34 @@
+(** Size-tiered compaction policy — pure planning, no I/O.
+
+    Segments are bucketed by run count into geometric tiers (tier 0
+    below [base] runs; tier [k] spans [base*fanout^(k-1), base*fanout^k)).
+    A tier holding [tier_max] or more segments is proposed for merging
+    into a single larger segment, which lands in a higher tier and may
+    cascade on the next round.  The executor lives in
+    [Sbi_index.Index.compact]; crash safety comes from the segment
+    write + atomic manifest rewrite it performs. *)
+
+val default_base : int
+val default_fanout : int
+val default_tier_max : int
+
+type seg = {
+  ts_index : int;  (** caller's identifier, returned in plans *)
+  ts_runs : int;
+  ts_bytes : int;
+}
+
+val tier_of : ?base:int -> ?fanout:int -> int -> int
+(** Tier of a segment with the given run count. *)
+
+val tiers : ?base:int -> ?fanout:int -> seg list -> (int * seg list) list
+(** Segments bucketed by tier, ascending; members keep input order. *)
+
+val plan : ?base:int -> ?fanout:int -> ?tier_max:int -> seg list -> (int * int list) list
+(** Overfull tiers and the [ts_index]es to merge (all members, input
+    order).  Empty list = nothing to do.
+    @raise Invalid_argument when [tier_max < 2]. *)
+
+val describe : ?base:int -> ?fanout:int -> seg list -> (int * int * int * int) list
+(** Per-tier [(tier, segments, runs, bytes)], ascending — the shape
+    report behind [cbi compact --dry-run] and [cbi fsck]. *)

@@ -274,9 +274,18 @@ let test_corrupt_segment_and_fsck () =
       Alcotest.(check int) "fsck: all ok" 2 clean.Index.fsck_ok;
       Alcotest.(check int) "fsck: none corrupt" 0 clean.Index.fsck_corrupt;
       Alcotest.(check int) "fsck: records" 40 clean.Index.fsck_records;
-      corrupt_one_byte (Filename.concat idx_dir "seg-0001.sbix") 60;
+      let seg1 = Filename.concat idx_dir "seg-0001.sbix" in
+      corrupt_one_byte seg1 60;
       let damaged = Index.fsck ~dir:idx_dir in
       Alcotest.(check int) "fsck: one corrupt" 1 damaged.Index.fsck_corrupt;
+      (* the lazy open reads header + footer only, so body damage is
+         fsck's to find — open_ still sees a well-formed footer *)
+      let idx = Index.open_ ~dir:idx_dir in
+      Alcotest.(check int) "lazy open does not read bodies" 0
+        idx.Index.stats.Index.segments_corrupt;
+      (* damage the trailer too: now the footer path open_ takes fails *)
+      let sz = (Unix.stat seg1).Unix.st_size in
+      corrupt_one_byte seg1 (sz - 6);
       let idx = Index.open_ ~dir:idx_dir in
       Alcotest.(check int) "open skips corrupt segment" 1
         idx.Index.stats.Index.segments_corrupt;
@@ -517,6 +526,139 @@ let qcheck_cooccurrence =
           in
           Triage.cooccurrence idx ~a ~b = naive))
 
+(* --- tiered compaction --- *)
+
+(* grow the log in waves, compiling each wave into its own segment *)
+let build_waves ~log ~idx_dir ~st ~waves ~per_wave =
+  let total = ref 0 in
+  for w = 0 to waves - 1 do
+    let reports = random_reports st ~start_id:!total per_wave in
+    if w = 0 then write_log ~dir:log reports else grow_shard ~dir:log ~shard:0 reports;
+    ignore (Index.build ~log ~dir:idx_dir ());
+    total := !total + per_wave
+  done;
+  !total
+
+let test_compact_reduces_and_preserves () =
+  with_temp_dir (fun tmp ->
+      let log = Filename.concat tmp "log" in
+      let idx_dir = Filename.concat tmp "idx" in
+      let st = Random.State.make [| 21 |] in
+      let total = build_waves ~log ~idx_dir ~st ~waves:6 ~per_wave:15 in
+      let before = Index.fsck ~dir:idx_dir in
+      Alcotest.(check int) "six segments before" 6 (List.length before.Index.fsck_segments);
+      (* the whole query surface, recorded before compaction via the
+         reference analysis — equality on both sides is bit-identity *)
+      let ds =
+        let st = Random.State.make [| 21 |] in
+        dataset_of (random_reports st ~start_id:0 total)
+      in
+      check_equivalent ~msg:"before compact" (Index.open_ ~dir:idx_dir) ds;
+      let stats = Index.compact ~tier_max:2 ~dir:idx_dir () in
+      Alcotest.(check bool) "segments reduced" true
+        (stats.Index.cp_segments_after < stats.Index.cp_segments_before);
+      Alcotest.(check int) "before count matches fsck" 6 stats.Index.cp_segments_before;
+      Alcotest.(check bool) "rounds ran" true (stats.Index.cp_rounds >= 1);
+      Alcotest.(check bool) "live bytes shrink" true
+        (stats.Index.cp_bytes_after <= stats.Index.cp_bytes_before);
+      (* default remove_old deletes the merged-away inputs *)
+      List.iter
+        (fun f ->
+          if Sys.file_exists (Filename.concat idx_dir f) then
+            Alcotest.failf "reclaimed file %s still present" f)
+        stats.Index.cp_reclaimed;
+      let idx = Index.open_ ~dir:idx_dir in
+      Alcotest.(check int) "no run lost" total (Index.nruns idx);
+      check_equivalent ~msg:"after compact" idx ds;
+      (* the compacted index still takes appends and incremental builds *)
+      let st2 = Random.State.make [| 22 |] in
+      let live = random_reports st2 ~start_id:total 7 in
+      Array.iter (Index.append idx) live;
+      Alcotest.(check int) "tail after compact" 7 (Index.tail_count idx);
+      let after = Index.fsck ~dir:idx_dir in
+      Alcotest.(check int) "fsck clean" 0 after.Index.fsck_corrupt;
+      Alcotest.(check int) "fsck records" total after.Index.fsck_records;
+      Alcotest.(check bool) "no dead files" true (after.Index.fsck_dead_files = []))
+
+let test_compact_plan_is_dry () =
+  with_temp_dir (fun tmp ->
+      let log = Filename.concat tmp "log" in
+      let idx_dir = Filename.concat tmp "idx" in
+      let st = Random.State.make [| 23 |] in
+      ignore (build_waves ~log ~idx_dir ~st ~waves:4 ~per_wave:10);
+      let listing () = List.sort compare (Array.to_list (Sys.readdir idx_dir)) in
+      let files = listing () in
+      let plan = Index.compact_plan ~tier_max:2 ~dir:idx_dir () in
+      Alcotest.(check bool) "plan proposes a merge" true (plan.Index.pl_groups <> []);
+      let tier0_files =
+        match plan.Index.pl_groups with (_, fs) :: _ -> List.length fs | [] -> 0
+      in
+      Alcotest.(check int) "all four members listed" 4 tier0_files;
+      Alcotest.(check bool) "dry run wrote nothing" true (listing () = files);
+      (* an already-compacted index plans nothing *)
+      ignore (Index.compact ~tier_max:2 ~dir:idx_dir ());
+      let plan2 = Index.compact_plan ~tier_max:2 ~dir:idx_dir () in
+      Alcotest.(check bool) "quiescent after compact" true (plan2.Index.pl_groups = []))
+
+let test_compact_rejects_corrupt_member () =
+  with_temp_dir (fun tmp ->
+      let log = Filename.concat tmp "log" in
+      let idx_dir = Filename.concat tmp "idx" in
+      let st = Random.State.make [| 24 |] in
+      ignore (build_waves ~log ~idx_dir ~st ~waves:3 ~per_wave:10);
+      corrupt_one_byte (Filename.concat idx_dir "seg-0001.sbix") 40;
+      (match Index.compact ~tier_max:2 ~dir:idx_dir () with
+      | _ -> Alcotest.fail "compacting a corrupt member must fail loudly"
+      | exception Index.Format_error _ -> ());
+      (* nothing was half-merged: the index still opens and fsck still
+         sees exactly one damaged segment *)
+      Alcotest.(check int) "damage still isolated" 1
+        (Index.fsck ~dir:idx_dir).Index.fsck_corrupt)
+
+let test_fsck_tier_report () =
+  with_temp_dir (fun tmp ->
+      let log = Filename.concat tmp "log" in
+      let idx_dir = Filename.concat tmp "idx" in
+      let st = Random.State.make [| 25 |] in
+      let total = build_waves ~log ~idx_dir ~st ~waves:3 ~per_wave:12 in
+      let r = Index.fsck ~dir:idx_dir in
+      List.iter
+        (fun seg ->
+          Alcotest.(check int)
+            (Printf.sprintf "tier of %s" seg.Index.seg_file)
+            (Sbi_store.Tier.tier_of seg.Index.seg_runs)
+            seg.Index.seg_tier)
+        r.Index.fsck_segments;
+      (* the per-tier rollup accounts for every intact segment and run *)
+      let tier_segs = List.fold_left (fun a (_, s, _, _) -> a + s) 0 r.Index.fsck_tiers in
+      let tier_runs = List.fold_left (fun a (_, _, n, _) -> a + n) 0 r.Index.fsck_tiers in
+      Alcotest.(check int) "tier rollup covers all segments" r.Index.fsck_ok tier_segs;
+      Alcotest.(check int) "tier rollup covers all runs" total tier_runs;
+      let tiers_listed = List.map (fun (t, _, _, _) -> t) r.Index.fsck_tiers in
+      Alcotest.(check bool) "tiers ascend" true
+        (tiers_listed = List.sort_uniq compare tiers_listed))
+
+let qcheck_compaction_bit_identity =
+  QCheck2.Test.make ~name:"compaction preserves every triage answer bit-for-bit" ~count:10
+    QCheck2.Gen.(pair (int_range 0 10_000) (int_range 2 5))
+    (fun (seed, waves) ->
+      with_temp_dir (fun tmp ->
+          let log = Filename.concat tmp "log" in
+          let idx_dir = Filename.concat tmp "idx" in
+          let st = Random.State.make [| seed; 0x7e4 |] in
+          let per_wave = 8 + Random.State.int st 20 in
+          let total = build_waves ~log ~idx_dir ~st ~waves ~per_wave in
+          let ds =
+            let st = Random.State.make [| seed; 0x7e4 |] in
+            ignore (8 + Random.State.int st 20);
+            dataset_of (random_reports st ~start_id:0 total)
+          in
+          let stats = Index.compact ~tier_max:2 ~dir:idx_dir () in
+          if stats.Index.cp_segments_after >= waves then
+            Alcotest.fail "compaction left too many segments";
+          check_equivalent ~msg:"post-compact" (Index.open_ ~dir:idx_dir) ds;
+          (Index.fsck ~dir:idx_dir).Index.fsck_corrupt = 0))
+
 let suite =
   [
     Alcotest.test_case "bitset" `Quick test_bitset;
@@ -530,6 +672,14 @@ let suite =
     Alcotest.test_case "corrupt source record skipped" `Quick test_corrupt_source_skipped;
     Alcotest.test_case "corrupt segment + fsck" `Quick test_corrupt_segment_and_fsck;
     Alcotest.test_case "live tail append" `Quick test_tail_append;
+    Alcotest.test_case "compact reduces segments, preserves answers" `Quick
+      test_compact_reduces_and_preserves;
+    Alcotest.test_case "compact --dry-run plans without writing" `Quick
+      test_compact_plan_is_dry;
+    Alcotest.test_case "compact rejects corrupt member" `Quick
+      test_compact_rejects_corrupt_member;
+    Alcotest.test_case "fsck tier report" `Quick test_fsck_tier_report;
+    QCheck_alcotest.to_alcotest qcheck_compaction_bit_identity;
     QCheck_alcotest.to_alcotest qcheck_index_matches_analysis;
     QCheck_alcotest.to_alcotest qcheck_discard_proposals;
     QCheck_alcotest.to_alcotest qcheck_snapshot_cache;

@@ -18,6 +18,7 @@ let () =
       ("json", Test_json.suite);
       ("obs", Test_obs.suite);
       ("par", Test_par.suite);
+      ("store", Test_store.suite);
       ("index", Test_index.suite);
       ("sbfl", Test_sbfl.suite);
       ("serve", Test_serve.suite);
