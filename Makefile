@@ -44,13 +44,18 @@ bench:
 	dune exec bench/main.exe
 
 # Fails (exit 1) if any par:* parallel analysis result diverges from the
-# sequential engine on a synthetic corpus (see docs/perf.md), or if the
+# sequential engine on a synthetic corpus (see docs/perf.md), if parallel
+# analysis does not pay off (--speedup-check: on a >= 4-core host
+# par:eliminate:d4 must be >= 2x seq and par:serve:topk:d4 no worse than
+# d1; on a core-starved host parallel must at least never lose to
+# sequential; SBI_SPEEDUP_RUNS sizes the reference corpus), or if the
 # observability layer adds more than 2% overhead on instrumented hot
 # paths (see docs/observability.md), or if ranking through the SBFL
 # formula registry costs more than 2% over the hard-coded importance
 # path (see docs/sbfl.md).
 bench-check:
 	dune exec bench/main.exe -- --par-check
+	dune exec bench/main.exe -- --speedup-check
 	dune exec bench/main.exe -- --obs-check
 	dune exec bench/main.exe -- --sbfl-check
 	$(MAKE) scale-check

@@ -888,6 +888,13 @@ let serve_cmd =
            ~doc:"Analysis domains: N > 1 spawns a domain pool that parallelizes \
                  snapshot rebuilds and affinity rescoring on the read path.")
   in
+  let par_grain_t =
+    Arg.(value & opt int (1 lsl 20) & info [ "par-grain" ] ~docv:"CELLS"
+           ~doc:"Sequential cutoff for the parallel read path: a query whose \
+                 estimated work (runs x predicates popcount cells) is below \
+                 CELLS runs inline on the request thread instead of fanning \
+                 across the domain pool.  0 parallelizes every query.")
+  in
   let slow_ms_t =
     Arg.(value & opt (some int) None & info [ "slow-ms" ] ~docv:"MS"
            ~doc:"Log every request taking at least MS milliseconds to stderr \
@@ -906,10 +913,14 @@ let serve_cmd =
                  segments.")
   in
   let run idx_dir addr timeout timeout_ms max_request no_fsync ingest_log update domains
-      slow_ms compact_every tier_max =
+      par_grain slow_ms compact_every tier_max =
     let addr = or_fail (Sbi_serve.Wire.addr_of_string addr) in
     if domains < 1 then begin
       prerr_endline "cbi: --domains must be >= 1";
+      exit 2
+    end;
+    if par_grain < 0 then begin
+      prerr_endline "cbi: --par-grain must be >= 0";
       exit 2
     end;
     (match slow_ms with
@@ -963,6 +974,7 @@ let serve_cmd =
         fsync = not no_fsync;
         ingest_log;
         domains;
+        par_grain;
         max_request;
         io = Sbi_fault.Io.none;
         compact_every;
@@ -1008,7 +1020,7 @@ let serve_cmd =
   Cmd.v info
     Term.(
       const run $ idx_t $ addr_t $ timeout_t $ timeout_ms_t $ max_request_t $ no_fsync_t
-      $ ingest_log_t $ update_t $ domains_t $ slow_ms_t $ compact_every_t
+      $ ingest_log_t $ update_t $ domains_t $ par_grain_t $ slow_ms_t $ compact_every_t
       $ serve_tier_max_t)
 
 let query_cmd =

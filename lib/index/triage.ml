@@ -29,6 +29,30 @@ let fresh_states (snap : Snapshot.t) =
    relabeled dataset.  Predicates and sites are independent, so the
    per-predicate rescoring fans across the domain pool as one flat index
    space [0, npreds + nsites) with block-disjoint writes. *)
+(* Minimum chunk size for the rescoring fan-out: each element costs a
+   handful of popcount loops over the run bitmaps, so chunks of ~16
+   amortize handoff without starving small-predicate corpora of
+   parallelism. *)
+let rescore_grain = 16
+
+(* Per-domain private accumulators for the rescoring kernel.  Each
+   participant writes only its own arrays during the loop (the shared
+   result arrays would otherwise ping-pong cache lines at every chunk
+   boundary); merging is an elementwise sum at the barrier, and since
+   every flat index is written by exactly one chunk — hence exactly one
+   participant — the sums are of one value plus zeros: bit-identical to
+   the sequential fill for any domain count. *)
+type rescore_scratch = {
+  rs_f : int array;
+  rs_s : int array;
+  rs_fo : int array;
+  rs_so : int array;
+}
+
+(* pad each private array past a 64-byte cache line so two domains'
+   scratch never share a line even when freshly allocated back-to-back *)
+let scratch_pad = 8
+
 let counts_of_states ?pool (meta : Dataset.t) states =
   let npreds = meta.Dataset.npreds and nsites = meta.Dataset.nsites in
   let f = Array.make npreds 0 and s = Array.make npreds 0 in
@@ -40,7 +64,7 @@ let counts_of_states ?pool (meta : Dataset.t) states =
       num_f := !num_f + nf;
       num_s := !num_s + (Bitset.count st.alive - nf))
     states;
-  let fill lo hi =
+  let fill fa sa foa soa lo hi =
     for i = lo to hi - 1 do
       if i < npreds then begin
         let fp = ref 0 and tp = ref 0 in
@@ -50,8 +74,8 @@ let counts_of_states ?pool (meta : Dataset.t) states =
             fp := !fp + Rbitmap.inter_count3 bits st.alive st.failing;
             tp := !tp + Rbitmap.inter_count bits st.alive)
           states;
-        f.(i) <- !fp;
-        s.(i) <- !tp - !fp
+        fa.(i) <- !fp;
+        sa.(i) <- !tp - !fp
       end
       else begin
         let site = i - npreds in
@@ -62,14 +86,33 @@ let counts_of_states ?pool (meta : Dataset.t) states =
             fo := !fo + Rbitmap.inter_count3 bits st.alive st.failing;
             t_o := !t_o + Rbitmap.inter_count bits st.alive)
           states;
-        f_obs_site.(site) <- !fo;
-        s_obs_site.(site) <- !t_o - !fo
+        foa.(site) <- !fo;
+        soa.(site) <- !t_o - !fo
       end
     done
   in
+  let n = npreds + nsites in
   (match pool with
-  | Some pool -> Sbi_par.Domain_pool.parallel_for pool ~n:(npreds + nsites) fill
-  | None -> fill 0 (npreds + nsites));
+  | Some pool ->
+      Sbi_par.Domain_pool.parallel_for_scratch pool ~grain:rescore_grain ~n
+        ~scratch:(fun () ->
+          {
+            rs_f = Array.make (npreds + scratch_pad) 0;
+            rs_s = Array.make (npreds + scratch_pad) 0;
+            rs_fo = Array.make (max nsites 1 + scratch_pad) 0;
+            rs_so = Array.make (max nsites 1 + scratch_pad) 0;
+          })
+        ~merge:(fun sc ->
+          for i = 0 to npreds - 1 do
+            f.(i) <- f.(i) + sc.rs_f.(i);
+            s.(i) <- s.(i) + sc.rs_s.(i)
+          done;
+          for site = 0 to nsites - 1 do
+            f_obs_site.(site) <- f_obs_site.(site) + sc.rs_fo.(site);
+            s_obs_site.(site) <- s_obs_site.(site) + sc.rs_so.(site)
+          done)
+        (fun sc lo hi -> fill sc.rs_f sc.rs_s sc.rs_fo sc.rs_so lo hi)
+  | None -> fill f s f_obs_site s_obs_site 0 n);
   {
     Counts.npreds;
     f;

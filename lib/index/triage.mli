@@ -7,8 +7,9 @@
     {!Bitset} popcount kernels over per-view alive/failing masks —
     never a posting walk, never a corpus rescan.  The per-predicate
     rescoring inside elimination and affinity fans across [pool] when
-    one is given, with statically partitioned disjoint writes, so
-    results are bit-identical at any pool size.  Every query below is
+    one is given — chunked at {!rescore_grain}, each domain filling a
+    private scratch accumulator merged at the barrier — so results are
+    bit-identical at any pool size.  Every query below is
     {e equal} — same integers, hence bit-identical scores — to its
     full-dataset counterpart in {!Sbi_core.Analysis} (property-tested).
 
@@ -16,6 +17,10 @@
     parallel and to fan the query itself.  Callers that already hold a
     consistent {!Snapshot.t} (e.g. the server's lock-free read path)
     should use the {!Snap} variants directly. *)
+
+val rescore_grain : int
+(** Sequential cutoff / minimum chunk size for the per-predicate
+    rescoring fan-out (flat index space [0, npreds + nsites)). *)
 
 val counts : ?pool:Sbi_par.Domain_pool.t -> Index.t -> Sbi_core.Counts.t
 (** Merged §3.1 counts over all segments + live tail; equals

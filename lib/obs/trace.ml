@@ -141,6 +141,12 @@ let wrap_task task =
 
 let () = Sbi_par.Domain_pool.set_task_hook wrap_task
 
+(* Bare fire-and-forget tasks that escape with an exception: the pool
+   already counts them per-pool and prints to stderr; this hook makes
+   them visible process-wide through the metrics registry. *)
+let pool_task_err = Registry.counter "pool.task_err"
+let () = Sbi_par.Domain_pool.add_error_hook (fun _exn -> Registry.incr pool_task_err)
+
 (* --- export --- *)
 
 let line_of s =

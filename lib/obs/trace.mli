@@ -9,7 +9,9 @@
     captures the submitter's current span and re-establishes it around
     the task on the worker, and measures the submit-to-start gap into
     the [pool.queue_wait] registry histogram ([pool.run] times the body,
-    [pool.tasks] counts them).
+    [pool.tasks] counts them, [pool.task_err] counts bare submit tasks
+    that escaped with an exception — see
+    {!Sbi_par.Domain_pool.add_error_hook}).
 
     All of it is a no-op while [Sbi_obs.set_enabled false]. *)
 

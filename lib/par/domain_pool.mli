@@ -1,13 +1,17 @@
-(** A small, work-stealing-free pool of OCaml 5 domains.
+(** Work-stealing chunked domain pool.
 
-    The pool owns [domains - 1] worker domains; the calling domain is
-    always participant 0, so a 1-domain pool runs everything inline and
-    degenerates to sequential execution with zero spawns.  Work is
-    assigned {e statically}: {!parallel_for} splits [0, n) into one
-    contiguous block per participant (the same deterministic split as
-    [Par_collect.blocks]), so with disjoint writes the result is
-    bit-identical for every pool size — the property the analysis engine
-    is property-tested against.
+    A fixed set of OCaml 5 domains, one task queue per worker.  External
+    submissions round-robin across the queues; an idle worker steals from
+    its peers before sleeping, so load rebalances without a global lock.
+    Fan-outs ({!parallel_for}, {!parallel_for_scratch}, {!map_array}) cut
+    [0, n) into ~4 chunks per participant (never smaller than [grain]),
+    publish one shared helper task per worker — one lock round per
+    fan-out, not one per block — and let every participant, caller
+    included, claim chunks from an atomic cursor.  Chunk {e boundaries}
+    depend only on (n, grain, pool size), so results are bit-identical to
+    sequential execution for every domain count even though chunk
+    {e assignment} is dynamic.  Work at or below [grain] runs inline on
+    the caller and never touches the pool.
 
     Nested calls from inside a worker execute inline rather than
     re-entering the queue, which makes composition (a pooled server query
@@ -15,9 +19,17 @@
 
 type t
 
-val create : ?domains:int -> unit -> t
-(** [create ~domains ()] spawns [domains - 1] workers
-    (default {!default_domains}).  [domains <= 1] spawns nothing. *)
+type task = unit -> unit
+
+val create : ?clamp:bool -> ?domains:int -> unit -> t
+(** [create ~domains:n ()] spawns [n - 1] worker domains; the calling
+    domain acts as participant 0 of every fan-out it issues, so
+    [n <= 1] spawns nothing.  [n] defaults to {!default_domains}.
+    Unless [clamp] is [false], [n] is capped at {!default_domains}:
+    domains beyond the hardware count add no parallelism but multiply GC
+    stop-the-world cost (every minor collection synchronizes all
+    domains).  Pass [~clamp:false] in tests that must exercise real
+    cross-domain execution regardless of the host. *)
 
 val default_domains : unit -> int
 (** [Domain.recommended_domain_count], at least 1. *)
@@ -29,14 +41,31 @@ val shutdown : t -> unit
 (** Drain and join every worker.  Idempotent; after shutdown the pool
     executes everything inline on the caller. *)
 
-val set_task_hook : ((unit -> unit) -> unit -> unit) -> unit
-(** [set_task_hook w] wraps every task subsequently enqueued (by
-    {!async} or {!parallel_for}) with [w], applied on the submitting
-    thread at submit time — so [w] can capture submission-time context.
-    [Sbi_obs.Trace] installs one to propagate span parents across
-    domains and measure queue wait vs. run time.  Inline fast paths
-    that never enqueue are not wrapped.  Process-wide; intended to be
-    installed once at startup. *)
+val set_task_hook : (task -> task) -> unit
+(** [set_task_hook w] wraps every task subsequently enqueued with [w],
+    applied on the submitting thread at submit time — so [w] can capture
+    submission-time context.  [Sbi_obs.Trace] installs one to propagate
+    span parents across domains and measure queue wait vs. run time.
+    Inline fast paths that never enqueue are not wrapped (they run in the
+    submitter's context already).  Process-wide; intended to be installed
+    once at startup. *)
+
+val add_error_hook : (exn -> unit) -> unit
+(** Process-global observer called (on the worker) whenever a bare
+    {!submit} task escapes with an exception.  Such exceptions are also
+    counted ({!task_errors}) and logged to stderr — never silently
+    swallowed.  [async]/[parallel_for] exceptions are not errors in this
+    sense: they re-raise at {!await} / the fan-out barrier. *)
+
+val task_errors : t -> int
+(** Number of tasks on this pool that raised with nobody to catch it. *)
+
+val submit : t -> task -> unit
+(** Fire-and-forget: enqueue [task] on some worker queue (round-robin).
+    Runs inline when the pool has no workers, when called from one of
+    this pool's workers, or when the pool is shutting down.  An escaping
+    exception is counted, logged, and fed to {!add_error_hook} hooks; the
+    pool survives it. *)
 
 (** {1 Futures — cross-task parallelism (the serving path)} *)
 
@@ -51,14 +80,38 @@ val await : 'a future -> 'a
 val run : t -> (unit -> 'a) -> 'a
 (** [run t f] = [await (async t f)]. *)
 
-(** {1 Static fan-out — data parallelism} *)
+(** {1 Chunked fan-out — data parallelism} *)
 
-val parallel_for : t -> n:int -> (int -> int -> unit) -> unit
-(** [parallel_for t ~n f] partitions [0, n) into [size t] contiguous
-    blocks and calls [f lo hi] once per block, the caller's own block
-    inline and the rest on workers; returns when every block is done.
-    [f] must write only to block-disjoint locations.  The first
-    exception raised by any block is re-raised at the barrier. *)
+val parallel_for : t -> ?grain:int -> n:int -> (int -> int -> unit) -> unit
+(** [parallel_for t ~grain ~n f] covers [0, n) with calls [f lo hi] over
+    disjoint chunk ranges, in parallel.  [grain] (default [1]) is the
+    sequential cutoff and minimum chunk size: when [n <= grain] — or the
+    pool has no workers, or the caller is already one of its workers —
+    the whole range runs inline as [f 0 n].  Chunk boundaries are a pure
+    function of (n, grain, pool size); [f] must write only
+    index-disjoint locations, which makes the result independent of the
+    dynamic chunk-to-domain assignment.  The first exception raised by
+    any chunk is re-raised at the barrier after all chunks complete. *)
 
-val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
-(** Order-preserving parallel map built on {!parallel_for}. *)
+val parallel_for_scratch :
+  t ->
+  ?grain:int ->
+  n:int ->
+  scratch:(unit -> 'acc) ->
+  merge:('acc -> unit) ->
+  ('acc -> int -> int -> unit) ->
+  unit
+(** Like {!parallel_for}, but each participating domain allocates one
+    private [scratch ()] accumulator for all the chunks it claims and
+    [merge]s it into shared state exactly once, after its last chunk.
+    Bodies touch only their private accumulator — no shared cache-line
+    traffic during the loop.  [merge] calls are serialized (run under an
+    internal lock) but their order is nondeterministic: [merge] must be
+    commutative (e.g. elementwise integer sums) for results to stay
+    deterministic.  The inline path is
+    [let a = scratch () in body a 0 n; merge a]. *)
+
+val map_array : t -> ?grain:int -> ('a -> 'b) -> 'a array -> 'b array
+(** Order-preserving parallel map built on {!parallel_for}.  [f] is
+    applied to element 0 on the caller first (seeding the result array),
+    then the rest fans out. *)

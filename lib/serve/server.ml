@@ -9,6 +9,11 @@ type config = {
   fsync : bool;
   ingest_log : string option;
   domains : int;
+  par_grain : int;
+      (* sequential cutoff for the query read path: a query whose work
+         estimate (runs × (npreds + nsites) popcount cells) is below this
+         runs inline on the request thread instead of round-tripping
+         through the domain pool *)
   max_request : int;
   io : Sbi_fault.Io.t;
   compact_every : float option;
@@ -22,6 +27,7 @@ let default_config addr =
     fsync = true;
     ingest_log = None;
     domains = 1;
+    par_grain = 1 lsl 20;
     max_request = 1 lsl 20;
     io = Sbi_fault.Io.none;
     compact_every = None;
@@ -61,6 +67,17 @@ let locked m f =
    [ingest] still run under t.lock. *)
 
 let grab_snapshot t = locked t.lock (fun () -> Index.snapshot ?pool:t.pool t.index)
+
+(* Sequential-cutoff fast path: fan a query across the pool only when its
+   work estimate clears [config.par_grain].  A warm top-k or affinity
+   over a small corpus costs microseconds of popcounting — the pool
+   round-trip (enqueue, wake a domain, barrier) costs more than the query
+   itself, which is exactly what made serve latency *rise* with
+   [--domains] before. *)
+let query_pool t snap =
+  let meta = snap.Snapshot.meta in
+  let work = Snapshot.nruns snap * (meta.Dataset.npreds + meta.Dataset.nsites) in
+  if work >= t.config.par_grain then t.pool else None
 
 let pred_text t pred = Dataset.pred_text t.index.Index.meta pred
 
@@ -168,7 +185,7 @@ let handle_affinity t snap arg k =
   | Ok pred ->
       let k = match k with Some k when k > 0 -> k | _ -> 10 in
       let retained = Prune.retained (Triage.Snap.counts snap) in
-      let entries = Triage.Snap.affinity ?pool:t.pool snap ~selected:pred ~others:retained in
+      let entries = Triage.Snap.affinity ?pool:(query_pool t snap) snap ~selected:pred ~others:retained in
       let rec take n = function [] -> [] | _ when n = 0 -> [] | x :: r -> x :: take (n - 1) r in
       let lines =
         List.map

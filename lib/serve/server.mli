@@ -39,7 +39,15 @@ type config = {
           [ingest] command *)
   domains : int;
       (** analysis domains; [> 1] spawns a {!Sbi_par.Domain_pool} that
-          parallelizes snapshot rebuilds and affinity rescoring *)
+          parallelizes snapshot rebuilds and affinity rescoring (clamped
+          to the hardware domain count — extra domains only add GC
+          synchronization cost) *)
+  par_grain : int;
+      (** sequential-cutoff work threshold for the query read path: a
+          query whose estimated work — snapshot runs × (npreds + nsites)
+          popcount cells — is below this runs inline on the request
+          thread instead of round-tripping through the pool.  Default
+          [2^20] cells; [0] fans every query out. *)
   max_request : int;
       (** byte bound on any single request line; an oversized request is
           rejected ([err] + close) and counted as a [fault.oversize] *)
@@ -60,8 +68,9 @@ type config = {
 }
 
 val default_config : Wire.addr -> config
-(** 30s timeout, fsync on, no ingest log, 1 domain, 1 MiB request bound,
-    passthrough I/O, no background compaction. *)
+(** 30s timeout, fsync on, no ingest log, 1 domain, [2^20]-cell parallel
+    cutoff, 1 MiB request bound, passthrough I/O, no background
+    compaction. *)
 
 val start : config -> Sbi_index.Index.t -> t
 (** Bind, listen, and spawn the accept loop.  When [ingest_log] is set,

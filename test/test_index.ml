@@ -481,7 +481,7 @@ let qcheck_parallel_elimination =
           let reports = random_reports st ~start_id:0 (30 + Random.State.int st 30) in
           write_log ~dir:log reports;
           ignore (Index.build ~log ~dir:idx_dir ());
-          let pool = Sbi_par.Domain_pool.create ~domains () in
+          let pool = Sbi_par.Domain_pool.create ~clamp:false ~domains () in
           Fun.protect
             ~finally:(fun () -> Sbi_par.Domain_pool.shutdown pool)
             (fun () ->

@@ -170,7 +170,7 @@ let test_trace_nesting () =
 
 let test_trace_across_pool () =
   Trace.clear ();
-  let pool = Sbi_par.Domain_pool.create ~domains:2 () in
+  let pool = Sbi_par.Domain_pool.create ~clamp:false ~domains:2 () in
   Fun.protect
     ~finally:(fun () -> Sbi_par.Domain_pool.shutdown pool)
     (fun () ->

@@ -286,7 +286,7 @@ let qcheck_snapshot_path_bit_identical =
           Array.iter (Index.append idx) (random_reports st ~start_id:60 15);
           let ok1 = same (Index.snapshot idx) in
           (* domain-parallel snapshot build must not change the ranking *)
-          let pool = Sbi_par.Domain_pool.create ~domains:2 () in
+          let pool = Sbi_par.Domain_pool.create ~clamp:false ~domains:2 () in
           let ok2 =
             Fun.protect
               ~finally:(fun () -> Sbi_par.Domain_pool.shutdown pool)
