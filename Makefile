@@ -52,12 +52,15 @@ bench:
 # observability layer adds more than 2% overhead on instrumented hot
 # paths (see docs/observability.md), or if ranking through the SBFL
 # formula registry costs more than 2% over the hard-coded importance
-# path (see docs/sbfl.md).
+# path (see docs/sbfl.md), or if batched group-commit ingest does not
+# beat the single-report RPC path by >= 10x at fsync=true
+# (--ingest-check; see docs/serve.md).
 bench-check:
 	dune exec bench/main.exe -- --par-check
 	dune exec bench/main.exe -- --speedup-check
 	dune exec bench/main.exe -- --obs-check
 	dune exec bench/main.exe -- --sbfl-check
+	dune exec bench/main.exe -- --ingest-check
 	$(MAKE) scale-check
 
 # Million-run gate over the tiered store (see docs/storage.md): streams

@@ -527,6 +527,139 @@ let par_server_scaling ctx =
     par_domain_counts;
   List.rev !entries
 
+(* --- ingest:* section: single-RPC vs batched group-commit ingest ---
+
+   Both servers run with fsync on over a fresh ingest log, so these
+   numbers price the durability contract, not just the wire.  The
+   single path pays one round trip plus one inline fsync per report;
+   the batched path amortizes both — 64-report ingest-batch requests
+   from 4 concurrent clients, every commit window covered by a single
+   group fsync.  Every report is validated against the corpus meta and
+   every ack checked, so a rejected report is a hard bench failure. *)
+
+let ingest_singles = 300
+let ingest_batch_clients = 4
+let ingest_batch_size = 64
+let ingest_batches_per_client = 24
+
+let ingest_throughput ctx =
+  let meta = ctx.sy_meta in
+  let nsites = meta.Sbi_runtime.Dataset.nsites
+  and npreds = meta.Sbi_runtime.Dataset.npreds
+  and pred_site = meta.Sbi_runtime.Dataset.pred_site in
+  (* fresh valid reports with run ids past the corpus, one disjoint id
+     range per seed so concurrent clients never collide *)
+  let fresh_reports ~seed ~base n =
+    let st = Random.State.make [| 0x1679; seed |] in
+    Array.init n (fun i -> synth_report st ~nsites ~npreds ~pred_site (base + i))
+  in
+  let with_ingest_server ~group_commit_ms ~max_batch f =
+    let sock = Filename.temp_file "sbi_bench" ".sock" in
+    Sys.remove sock;
+    let log_dir = Filename.temp_dir "sbi_bench" ".inglog" in
+    Sbi_ingest.Shard_log.write_meta ~dir:log_dir meta;
+    let config =
+      {
+        (Sbi_serve.Server.default_config (Sbi_serve.Wire.Unix_sock sock)) with
+        Sbi_serve.Server.fsync = true;
+        ingest_log = Some log_dir;
+        group_commit_ms;
+        max_batch;
+      }
+    in
+    let idx = Sbi_index.Index.open_ ~dir:ctx.sy_idx_dir in
+    let srv = Sbi_serve.Server.start config idx in
+    Fun.protect
+      ~finally:(fun () -> Sbi_serve.Server.stop srv)
+      (fun () -> f (Sbi_serve.Wire.Unix_sock sock))
+  in
+  (* baseline: one client, one `ingest` RPC (and one inline fsync) per
+     report — the only ingest path previous releases had *)
+  let single_ns =
+    with_ingest_server ~group_commit_ms:0. ~max_batch:512 (fun addr ->
+        let reports = fresh_reports ~seed:0 ~base:ctx.sy_nruns ingest_singles in
+        let client = connect_exn addr in
+        let (), dt =
+          time (fun () ->
+              Array.iter
+                (fun r ->
+                  match
+                    Sbi_serve.Client.request client
+                      ("ingest " ^ Sbi_serve.B64.encode (Sbi_ingest.Codec.encode r))
+                  with
+                  | Ok _ -> ()
+                  | Error e -> failwith ("bench ingest failed: " ^ e))
+                reports)
+        in
+        Sbi_serve.Client.close client;
+        dt *. 1e9 /. float_of_int ingest_singles)
+  in
+  (* batched: concurrent clients, 64-report ingest-batch requests, group
+     commit windows covering every fsync *)
+  let per_client = ingest_batches_per_client * ingest_batch_size in
+  let batch_total = ingest_batch_clients * per_client in
+  let batch_ns =
+    with_ingest_server ~group_commit_ms:2.0 ~max_batch:256 (fun addr ->
+        let chunks =
+          Array.init ingest_batch_clients (fun w ->
+              let reports =
+                fresh_reports ~seed:(1 + w) ~base:(ctx.sy_nruns + (w * per_client)) per_client
+              in
+              Array.init ingest_batches_per_client (fun b ->
+                  Array.to_list (Array.sub reports (b * ingest_batch_size) ingest_batch_size)))
+        in
+        let worker w =
+          let client = connect_exn addr in
+          Array.iter
+            (fun chunk ->
+              match Sbi_serve.Client.ingest_batch client chunk with
+              | Ok statuses ->
+                  List.iter
+                    (function
+                      | Ok _ -> ()
+                      | Error e -> failwith ("bench batch report rejected: " ^ e))
+                    statuses
+              | Error e -> failwith ("bench ingest-batch failed: " ^ e))
+            chunks.(w);
+          Sbi_serve.Client.close client
+        in
+        let (), dt =
+          time (fun () ->
+              let threads = Array.init ingest_batch_clients (fun w -> Thread.create worker w) in
+              Array.iter Thread.join threads)
+        in
+        dt *. 1e9 /. float_of_int batch_total)
+  in
+  Printf.printf
+    "ingest throughput (fsync on): single-RPC %.0f reports/s | batched group-commit %.0f \
+     reports/s (%d clients x %d-report batches) | %.1fx\n"
+    (1e9 /. single_ns) (1e9 /. batch_ns) ingest_batch_clients ingest_batch_size
+    (single_ns /. Float.max batch_ns 1e-9);
+  [ ("ingest:single", single_ns); ("ingest:batch", batch_ns) ]
+
+(* `bench/main.exe --ingest-check`: exit non-zero unless batched
+   group-commit ingest beats the single-report RPC path by >= 10x at
+   fsync=true — the payoff gate for the batched front end, wired to
+   `make bench-check`. *)
+let ingest_check () =
+  Printf.printf "ingest-check: batched group-commit vs single-RPC ingest, fsync on\n%!";
+  let ctx = build_synth_ctx ~nruns:2_000 in
+  let entries = ingest_throughput ctx in
+  let single = List.assoc "ingest:single" entries
+  and batch = List.assoc "ingest:batch" entries in
+  let ratio = single /. Float.max batch 1e-9 in
+  if ratio >= 10.0 then begin
+    Printf.printf "ingest-check OK: batched ingest %.1fx the single-RPC path (need >= 10x)\n"
+      ratio;
+    exit 0
+  end
+  else begin
+    Printf.eprintf
+      "ingest-check FAILED: batched ingest only %.1fx the single-RPC path (need >= 10x)\n"
+      ratio;
+    exit 1
+  end
+
 (* `bench/main.exe --par-check`: exit non-zero if any parallel result
    diverges from the sequential engine — wired to `make bench-check`. *)
 let par_check () =
@@ -1238,6 +1371,7 @@ let () =
   if Array.exists (fun a -> a = "--obs-check") Sys.argv then obs_check ();
   if Array.exists (fun a -> a = "--sbfl-check") Sys.argv then sbfl_check ();
   if Array.exists (fun a -> a = "--scale-check") Sys.argv then scale_check ();
+  if Array.exists (fun a -> a = "--ingest-check") Sys.argv then ingest_check ();
   Printf.printf "sbi benchmark harness: %d runs/study, adaptive training on %d runs\n%!"
     bench_runs bench_train;
   ignore (Lazy.force bundles);
@@ -1257,6 +1391,8 @@ let () =
   let par_entries, par_ok = par_elimination_scaling ctx in
   Printf.eprintf "[bench] timing server throughput at 1/2/4/8 domains...\n%!";
   let serve_entries = par_server_scaling ctx in
+  Printf.eprintf "[bench] timing single-RPC vs batched group-commit ingest...\n%!";
+  let ingest_entries = ingest_throughput ctx in
   Printf.eprintf "[bench] timing fault-layer passthrough overhead...\n%!";
   let fault_entries, _ = fault_overhead ctx in
   Printf.eprintf "[bench] timing observability-layer overhead...\n%!";
@@ -1270,8 +1406,8 @@ let () =
   write_bench_json
     ~path:(Option.value ~default:"BENCH_core.json" (Sys.getenv_opt "SBI_BENCH_JSON"))
     ~extra:
-      (par_entries @ serve_entries @ fault_entries @ obs_entries @ sbfl_entries
-      @ scale_entries scale)
+      (par_entries @ serve_entries @ ingest_entries @ fault_entries @ obs_entries
+      @ sbfl_entries @ scale_entries scale)
     results;
   print_tables ();
   if not par_ok then begin

@@ -912,8 +912,20 @@ let serve_cmd =
            ~doc:"Background compaction merges a size tier when it holds at least N \
                  segments.")
   in
+  let group_commit_ms_t =
+    Arg.(value & opt float 2. & info [ "group-commit-ms" ] ~docv:"MS"
+           ~doc:"Group-commit window: ingest appends park up to MS milliseconds so one \
+                 log fsync covers every report that arrived in the window (acks still \
+                 wait for the covering fsync — durability semantics are unchanged).  \
+                 0 disables group commit: one inline fsync per ingest request.")
+  in
+  let max_batch_t =
+    Arg.(value & opt int 512 & info [ "max-batch" ] ~docv:"N"
+           ~doc:"Force a group-commit flush once N reports are pending in the window, \
+                 without waiting out --group-commit-ms.")
+  in
   let run idx_dir addr timeout timeout_ms max_request no_fsync ingest_log update domains
-      par_grain slow_ms compact_every tier_max =
+      par_grain slow_ms compact_every tier_max group_commit_ms max_batch =
     let addr = or_fail (Sbi_serve.Wire.addr_of_string addr) in
     if domains < 1 then begin
       prerr_endline "cbi: --domains must be >= 1";
@@ -939,6 +951,14 @@ let serve_cmd =
     | _ -> ());
     if tier_max < 2 then begin
       prerr_endline "cbi: --tier-max must be >= 2";
+      exit 2
+    end;
+    if group_commit_ms < 0. then begin
+      prerr_endline "cbi: --group-commit-ms must be >= 0";
+      exit 2
+    end;
+    if max_batch < 1 then begin
+      prerr_endline "cbi: --max-batch must be >= 1";
       exit 2
     end;
     let timeout =
@@ -979,6 +999,8 @@ let serve_cmd =
         io = Sbi_fault.Io.none;
         compact_every;
         tier_max;
+        group_commit_ms;
+        max_batch;
       }
     in
     let srv =
@@ -1021,7 +1043,7 @@ let serve_cmd =
     Term.(
       const run $ idx_t $ addr_t $ timeout_t $ timeout_ms_t $ max_request_t $ no_fsync_t
       $ ingest_log_t $ update_t $ domains_t $ par_grain_t $ slow_ms_t $ compact_every_t
-      $ serve_tier_max_t)
+      $ serve_tier_max_t $ group_commit_ms_t $ max_batch_t)
 
 let query_cmd =
   let addr_t =
@@ -1079,6 +1101,150 @@ let query_cmd =
   in
   let info = Cmd.info "query" ~doc:"Send one command to a running 'cbi serve' instance." in
   Cmd.v info Term.(const run $ addr_t $ cmd_t $ timeout_ms_t $ retries_t)
+
+let load_cmd =
+  let addr_t =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ADDR"
+           ~doc:"Server address (host:port or socket path).")
+  in
+  let log_t =
+    Arg.(required & opt (some string) None & info [ "log" ] ~docv:"DIR"
+           ~doc:"Shard log whose reports are replayed against the server.")
+  in
+  let clients_t =
+    Arg.(value & opt int 4 & info [ "clients" ] ~docv:"N"
+           ~doc:"Concurrent client connections (the fleet width).")
+  in
+  let batch_t =
+    Arg.(value & opt int 64 & info [ "batch" ] ~docv:"B"
+           ~doc:"Reports per ingest-batch request.")
+  in
+  let repeat_t =
+    Arg.(value & opt int 1 & info [ "repeat" ] ~docv:"K"
+           ~doc:"Replay the log K times; each pass remaps run ids past the previous \
+                 pass so every replayed report is a distinct run.")
+  in
+  let single_t =
+    Arg.(value & flag & info [ "single" ]
+           ~doc:"Use one single-report 'ingest' RPC per report instead of \
+                 'ingest-batch' (the pre-batching wire path, for comparison).")
+  in
+  let timeout_ms_t =
+    Arg.(value & opt int Sbi_serve.Client.default_timeout_ms
+         & info [ "timeout-ms" ] ~docv:"MS"
+             ~doc:"Connect/read/write deadline in milliseconds (0 or negative \
+                   disables deadlines).")
+  in
+  let run addr log_dir clients batch repeat single timeout_ms =
+    let addr = or_fail (Sbi_serve.Wire.addr_of_string addr) in
+    if clients < 1 then begin
+      prerr_endline "cbi: --clients must be >= 1";
+      exit 2
+    end;
+    if batch < 1 then begin
+      prerr_endline "cbi: --batch must be >= 1";
+      exit 2
+    end;
+    if repeat < 1 then begin
+      prerr_endline "cbi: --repeat must be >= 1";
+      exit 2
+    end;
+    let ds, _stats =
+      match Sbi_ingest.Shard_log.read_all ~dir:log_dir with
+      | r -> r
+      | exception Sbi_ingest.Shard_log.Format_error m ->
+          prerr_endline ("cbi: " ^ m);
+          exit 2
+    in
+    let base = ds.Sbi_runtime.Dataset.runs in
+    if Array.length base = 0 then begin
+      prerr_endline ("cbi: " ^ log_dir ^ " holds no reports");
+      exit 2
+    end;
+    (* distinct run ids across passes: later replays must not look like
+       duplicates of the first *)
+    let stride =
+      1 + Array.fold_left (fun m (r : Sbi_runtime.Report.t) -> max m r.Sbi_runtime.Report.run_id) 0 base
+    in
+    let reports =
+      Array.init (repeat * Array.length base) (fun i ->
+          let pass = i / Array.length base and j = i mod Array.length base in
+          let r = base.(j) in
+          { r with Sbi_runtime.Report.run_id = r.Sbi_runtime.Report.run_id + (pass * stride) })
+    in
+    let total = Array.length reports in
+    let ok_n = Atomic.make 0 and err_n = Atomic.make 0 in
+    let fail msg =
+      prerr_endline ("cbi: " ^ msg);
+      exit 1
+    in
+    let worker w =
+      match Sbi_serve.Client.connect ~timeout_ms addr with
+      | Error msg -> fail ("cannot connect: " ^ msg)
+      | Ok c ->
+          (* round-robin partition: client w replays reports w, w+N, ... *)
+          let mine = ref [] in
+          for i = total - 1 downto 0 do
+            if i mod clients = w then mine := reports.(i) :: !mine
+          done;
+          let count = function
+            | Ok _ -> Atomic.incr ok_n
+            | Error _ -> Atomic.incr err_n
+          in
+          (if single then
+             List.iter
+               (fun (r : Sbi_runtime.Report.t) ->
+                 match
+                   Sbi_serve.Client.request c
+                     ("ingest " ^ Sbi_serve.B64.encode (Sbi_ingest.Codec.encode r))
+                 with
+                 | Ok _ -> Atomic.incr ok_n
+                 | Error _ -> Atomic.incr err_n
+                 | exception (Sbi_serve.Wire.Timeout | End_of_file) ->
+                     fail "server stopped responding mid-replay")
+               !mine
+           else
+             let rec chunks = function
+               | [] -> ()
+               | rs ->
+                   let rec take n acc = function
+                     | r :: rest when n > 0 -> take (n - 1) (r :: acc) rest
+                     | rest -> (List.rev acc, rest)
+                   in
+                   let chunk, rest = take batch [] rs in
+                   (match Sbi_serve.Client.ingest_batch c chunk with
+                   | Ok statuses -> List.iter count statuses
+                   | Error msg -> fail ("batch rejected: " ^ msg)
+                   | exception (Sbi_serve.Wire.Timeout | End_of_file) ->
+                       fail "server stopped responding mid-replay");
+                   chunks rest
+             in
+             chunks !mine);
+          Sbi_serve.Client.close c
+    in
+    let t0 = Sbi_obs.Clock.now_ns () in
+    let threads = List.init clients (fun w -> Thread.create worker w) in
+    List.iter Thread.join threads;
+    let dt_s = float_of_int (Sbi_obs.Clock.now_ns () - t0) *. 1e-9 in
+    let ok = Atomic.get ok_n and err = Atomic.get err_n in
+    Printf.printf
+      "cbi load: %d report(s) in %.3fs over %d client(s) (%s, batch %d): %.0f reports/sec, \
+       %d accepted, %d rejected\n"
+      total dt_s clients
+      (if single then "single RPC" else "ingest-batch")
+      (if single then 1 else batch)
+      (float_of_int total /. dt_s) ok err;
+    if err > 0 then exit 1
+  in
+  let info =
+    Cmd.info "load"
+      ~doc:"Replay a shard log against a running 'cbi serve' instance from many \
+            concurrent client connections — the fleet stress rig for the batched \
+            group-commit ingest path.  Exits 1 if any report is rejected."
+  in
+  Cmd.v info
+    Term.(const run $ addr_t $ log_t $ clients_t $ batch_t $ repeat_t $ single_t
+          $ timeout_ms_t)
 
 let trace_dump_cmd =
   let addr_t =
@@ -1505,7 +1671,8 @@ let main_cmd =
       report_cmd; curves_cmd; studies_cmd; run_cmd; collect_cmd; ingest_cmd;
       log_stats_cmd; analyze_cmd; analyze_file_cmd; index_cmd; gen_cmd; compact_cmd;
       fsck_cmd;
-      fault_check_cmd; serve_cmd; query_cmd; trace_dump_cmd; disasm_cmd; inspect_cmd;
+      fault_check_cmd; serve_cmd; query_cmd; load_cmd; trace_dump_cmd; disasm_cmd;
+      inspect_cmd;
       formulas_cmd; topk_cmd; eval_cmd;
     ]
 

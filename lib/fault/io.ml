@@ -59,6 +59,15 @@ let close_out f =
     Stdlib.close_out f.oc
   end
 
+let abandon_out f =
+  if not f.closed then begin
+    f.closed <- true;
+    (* close the fd underneath the channel so its buffered bytes never
+       reach the file — a killed process loses exactly this data *)
+    (try Unix.close (Unix.descr_of_out_channel f.oc) with Unix.Unix_error _ -> ());
+    try Stdlib.close_out_noerr f.oc with _ -> ()
+  end
+
 (* --- whole-file operations --- *)
 
 let read_raw path =

@@ -40,6 +40,13 @@ val fsync : out_file -> unit
     the data as durable. *)
 
 val close_out : out_file -> unit
+
+val abandon_out : out_file -> unit
+(** Close the underlying descriptor {e without} flushing: any bytes
+    still sitting in the channel buffer are discarded, exactly as if
+    the process had been killed.  Crash simulations use this to model
+    losing un-fsynced, un-flushed appends. *)
+
 val out_path : out_file -> string
 
 (** {1 Whole-file operations} *)

@@ -152,6 +152,88 @@ let run_log_case ~dir ~nreports ~spec name =
                 "acked %d, recovered %d%s" acked nrec
                 (match !stopped with Some m -> ", died: " ^ m | None -> ""))
 
+(* --- group-commit window crash --- *)
+
+(* Models the server's batched ingest path: raw (buffered, unfsynced)
+   appends accumulate in a commit window of [batch] reports, then one
+   {!Shard_log.sync} barrier acknowledges the whole window at once.
+   Two ways to die: the injected [spec] (torn appends, failed syncs) and
+   [kill_after] — a clean kill {e between} appends, which abandons the
+   writer without flushing so every record buffered past the last
+   barrier vanishes, exactly like a SIGKILL inside the window.  The
+   invariant is one-sided: unacked reports may vanish or survive, acked
+   ones must all be there, and whatever is recovered must be a
+   contiguous byte-identical prefix of the append sequence. *)
+let run_group_case ~dir ~nreports ~batch ?kill_after ~spec name =
+  let meta = synth_meta () in
+  let reports = synth_reports nreports in
+  Shard_log.write_meta ~dir meta;
+  let inj = Fault.create spec in
+  let io = Io.faulty inj in
+  let acked = ref 0 in
+  let stopped = ref None in
+  (try
+     let w = Shard_log.create_writer ~io ~fsync:false ~dir ~shard:0 () in
+     (try
+        let pending = ref 0 and appended = ref 0 in
+        (try
+           Array.iter
+             (fun r ->
+               (match kill_after with
+               | Some k when !appended >= k -> raise Stdlib.Exit
+               | _ -> ());
+               Shard_log.append_raw w r;
+               incr appended;
+               incr pending;
+               if !pending >= batch then begin
+                 (* the window filled: one barrier covers every report in it *)
+                 Shard_log.sync w;
+                 acked := !acked + !pending;
+                 pending := 0
+               end)
+             reports;
+           if !pending > 0 then begin
+             (* shutdown flush: the final partial window *)
+             Shard_log.sync w;
+             acked := !acked + !pending
+           end;
+           ignore (Shard_log.close_writer w)
+         with Stdlib.Exit ->
+           stopped := Some "killed between appends inside the commit window";
+           ignore (Shard_log.abandon_writer w))
+      with e ->
+        (* a process dying mid-window cannot flush what it buffered *)
+        (try ignore (Shard_log.abandon_writer w) with _ -> ());
+        raise e)
+   with
+  | Fault.Crash msg -> stopped := Some msg
+  | Unix.Unix_error (e, op, _) ->
+      stopped := Some (Printf.sprintf "%s during %s" (Unix.error_message e) op));
+  (* reopen the way a restarted process would: fault-free *)
+  let injected = Fault.total_injected inj in
+  match Shard_log.fold ~dir ~init:[] ~f:(fun acc r -> r :: acc) () with
+  | exception Shard_log.Format_error msg ->
+      fail name ~acked:!acked ~recovered:0 ~injected "reopen failed: %s" msg
+  | rev, stats -> (
+      let recovered = Array.of_list (List.rev rev) in
+      let nrec = Array.length recovered in
+      let acked = !acked in
+      if nrec < acked then
+        fail name ~acked ~recovered:nrec ~injected
+          "lost acknowledged reports: acked %d, recovered only %d" acked nrec
+      else
+        match check_prefix ~attempted:reports ~recovered with
+        | Some msg -> fail name ~acked ~recovered:nrec ~injected "%s" msg
+        | None ->
+            if stats.Shard_log.corrupt_records > 0 then
+              fail name ~acked ~recovered:nrec ~injected
+                "crash damage decoded as %d corrupt mid-log records (should only truncate the tail)"
+                stats.Shard_log.corrupt_records
+            else
+              pass name ~acked ~recovered:nrec ~injected "acked %d, recovered %d%s" acked
+                nrec
+                (match !stopped with Some m -> ", died: " ^ m | None -> ""))
+
 (* --- read-side corruption --- *)
 
 let run_read_case ~dir ~nreports ~spec name =
@@ -390,6 +472,35 @@ let run_matrix ?(verbose = false) ~scratch () =
                (Printf.sprintf "read:%s/s%d" label seed)))
         [ 1; 2; 3 ])
     [ ("bit-flip", Fault.Bit_flip, 0.5); ("short", Fault.Short_read, 0.5) ];
+  (* group-commit window: raw appends + one sync barrier per [batch].
+     Sweep clean kills between appends (the buffered, unacked suffix of
+     the window vanishes), torn appends, and failed sync barriers — in
+     every case acked ⊆ recovered ⊆ appended, contiguous and
+     byte-identical *)
+  List.iter
+    (fun batch ->
+      List.iter
+        (fun k ->
+          add
+            (run_group_case ~dir:(fresh_dir ()) ~nreports ~batch ~kill_after:k
+               ~spec:Fault.quiet
+               (Printf.sprintf "group:b%d:kill@%d" batch k)))
+        [ 0; 1; 2; 4; 7; 11; 19; 26; 39; nreports ])
+    [ 3; 8 ];
+  List.iter
+    (fun seed ->
+      add
+        (run_group_case ~dir:(fresh_dir ()) ~nreports ~batch:8
+           ~spec:(Fault.with_p ~seed [ (Fault.Fsync_fail, 0.2) ])
+           (Printf.sprintf "group:fsync-fail/s%d" seed)))
+    [ 1; 2; 3 ];
+  List.iter
+    (fun seed ->
+      add
+        (run_group_case ~dir:(fresh_dir ()) ~nreports ~batch:5
+           ~spec:(Fault.with_p ~seed [ (Fault.Torn_write, 0.05) ])
+           (Printf.sprintf "group:torn/s%d" seed)))
+    [ 1; 2; 3 ];
   (* index build writes: meta, one segment per shard, manifest = 4 writes
      for a two-shard log; sweep past the end to cover the no-kill path *)
   List.iter

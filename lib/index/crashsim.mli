@@ -43,6 +43,26 @@ val run_log_case :
     at [dir] under [spec], stop at the first injected failure, reopen
     fault-free, and check the invariants.  The name tags the result. *)
 
+val run_group_case :
+  dir:string ->
+  nreports:int ->
+  batch:int ->
+  ?kill_after:int ->
+  spec:Sbi_fault.Fault.spec ->
+  string ->
+  case_result
+(** The group-commit window crash model: append [nreports] synthetic
+    reports as {e raw} (buffered, unfsynced) appends, running one
+    {!Sbi_ingest.Shard_log.sync} barrier — and advancing the acked
+    count — per [batch] reports.  [kill_after k] kills the process
+    between appends once [k] reports are appended, {e abandoning} the
+    writer so buffered records past the last barrier are genuinely lost;
+    [spec] injects torn appends / failed barriers on top.  After a
+    fault-free reopen the invariants are the ingest durability contract:
+    every acked report recovered, the recovered set a contiguous
+    byte-identical prefix of the append sequence (unacked reports may
+    vanish or survive), no mid-log corruption. *)
+
 val run_read_case :
   dir:string -> nreports:int -> spec:Sbi_fault.Fault.spec -> string -> case_result
 (** Write a clean log, then read it back {e under} [spec] (bit flips,

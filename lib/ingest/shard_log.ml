@@ -84,14 +84,19 @@ let create_writer ?io ?(fsync = false) ?(append = false) ~dir ~shard () =
 let obs_append = Sbi_obs.Registry.Timer.create ~every:16 "log.append"
 let obs_fsync = Sbi_obs.Registry.Timer.create "log.fsync"
 
-let append w r =
+let append_raw w r =
   Sbi_obs.Registry.Timer.time obs_append (fun () ->
       Buffer.clear w.buf;
       Codec.add_framed w.buf r;
       Sbi_fault.Io.output_buffer w.out w.buf;
       w.w_records <- w.w_records + 1;
-      w.w_bytes <- w.w_bytes + Buffer.length w.buf);
-  if w.fsync then Sbi_obs.Registry.Timer.time obs_fsync (fun () -> Sbi_fault.Io.fsync w.out)
+      w.w_bytes <- w.w_bytes + Buffer.length w.buf)
+
+let sync w = Sbi_obs.Registry.Timer.time obs_fsync (fun () -> Sbi_fault.Io.fsync w.out)
+
+let append w r =
+  append_raw w r;
+  if w.fsync then sync w
 
 let writer_stats w =
   { zero_stats with records = w.w_records; bytes = w.w_bytes }
@@ -100,6 +105,13 @@ let close_writer w =
   if not w.closed then begin
     w.closed <- true;
     Sbi_fault.Io.close_out w.out
+  end;
+  writer_stats w
+
+let abandon_writer w =
+  if not w.closed then begin
+    w.closed <- true;
+    Sbi_fault.Io.abandon_out w.out
   end;
   writer_stats w
 

@@ -69,10 +69,31 @@ val create_writer :
     is a zero-cost passthrough. *)
 
 val append : writer -> Sbi_runtime.Report.t -> unit
+(** {!append_raw} followed by {!sync} iff the writer was created with
+    [~fsync:true]. *)
+
+val append_raw : writer -> Sbi_runtime.Report.t -> unit
+(** Buffered append that {e never} fsyncs, whatever the writer's fsync
+    flag — the group-commit path: callers batch several raw appends and
+    amortize one {!sync} across the whole window.  A raw-appended record
+    is not durable (and must not be acknowledged) until a later {!sync}
+    returns. *)
+
+val sync : writer -> unit
+(** Flush-and-fsync barrier: on return every prior {!append_raw} on this
+    writer is on stable storage.  Timed under the [log.fsync] metric.
+    Raises (e.g. [Unix_error (EIO, _, _)] under fault injection) when
+    durability could not be established. *)
+
 val writer_stats : writer -> stats
 
 val close_writer : writer -> stats
 (** Flushes and closes (idempotent); returns the writer's final stats. *)
+
+val abandon_writer : writer -> stats
+(** Close {e without} flushing: buffered un-synced appends are dropped
+    on the floor, simulating a process kill inside the group-commit
+    window.  Crash tests only; idempotent with {!close_writer}. *)
 
 val write_meta : ?io:Sbi_fault.Io.t -> dir:string -> Sbi_runtime.Dataset.t -> unit
 (** Stores the dataset's tables (runs are stripped) as [dir/meta]. *)

@@ -64,6 +64,35 @@ let request t line =
   Wire.write_string ?io:t.io t.fd (line ^ "\n");
   Wire.read_response t.rd
 
+(* One ingest-batch round trip: many reports up, one status line per
+   report back.  The request body reuses the response framing (stuffed
+   payload lines, lone-dot terminator) and is sent as a single write —
+   the server reads it in one pass, appends the whole batch, and runs a
+   single durability barrier for it. *)
+let ingest_batch t reports =
+  let buf = Buffer.create (256 * (1 + List.length reports)) in
+  Buffer.add_string buf "ingest-batch\n";
+  List.iter
+    (fun r ->
+      Buffer.add_string buf (Wire.stuff (B64.encode (Sbi_ingest.Codec.encode r)));
+      Buffer.add_char buf '\n')
+    reports;
+  Buffer.add_string buf ".\n";
+  Wire.write_string ?io:t.io t.fd (Buffer.contents buf);
+  match Wire.read_response t.rd with
+  | Error e -> Error e
+  | Ok (_header, lines) ->
+      let parse l =
+        if String.length l >= 3 && String.sub l 0 3 = "ok " then
+          match int_of_string_opt (String.sub l 3 (String.length l - 3)) with
+          | Some id -> Ok id
+          | None -> Error ("malformed status line: " ^ l)
+        else if String.length l >= 4 && String.sub l 0 4 = "err " then
+          Error (String.sub l 4 (String.length l - 4))
+        else Error ("malformed status line: " ^ l)
+      in
+      Ok (List.map parse lines)
+
 let close t =
   if t.open_ then begin
     t.open_ <- false;

@@ -33,5 +33,17 @@ val request : t -> string -> (string * string list, string) result
     @raise Wire.Timeout when a deadline expires mid-request.
     @raise End_of_file when the server closed the connection. *)
 
+val ingest_batch :
+  t -> Sbi_runtime.Report.t list -> ((int, string) result list, string) result
+(** Submit many reports in one [ingest-batch] round trip: the whole
+    batch travels in a single request, the server appends it under one
+    durability barrier (one fsync for the batch — or for the whole
+    group-commit window it joins), and the reply carries one status per
+    report, in submission order: [Ok run_id] for an accepted (durable,
+    queryable) report, [Error msg] for a rejected one.  The outer
+    [Error] is transport/protocol-level: nothing in the batch should be
+    presumed accepted.  Not idempotent — never retried internally.
+    @raise Wire.Timeout / End_of_file as {!request}. *)
+
 val close : t -> unit
 (** Sends [quit] (best-effort) and closes the socket.  Idempotent. *)

@@ -1,0 +1,163 @@
+(* Group-commit coordinator: amortize one fsync across every report that
+   arrived inside the window.
+
+   Submitters append their (already validated) records to the shard log
+   buffer, then [submit] them here and [wait]; a dedicated flusher thread
+   runs the [sync] barrier once per window and releases every waiter it
+   covers.  Correctness hinges on ordering: a report's append completes
+   strictly before its [submit], and the flusher captures the pending
+   batch under the same mutex [submit] uses, so the barrier it runs next
+   covers every report in the captured batch.
+
+   The flusher sleeps on a self-pipe with [Unix.select] (stdlib
+   [Condition] has no timed wait): submitters kick the pipe on the first
+   report of a window and again when the batch crosses [max_batch], so a
+   full window flushes immediately instead of waiting out the delay. *)
+
+type state = Pending | Flushed | Failed of exn
+
+type ticket = {
+  mutable n : int;  (* reports in this window *)
+  mutable first_ns : int;  (* monotonic stamp of the window's first report *)
+  mutable state : state;
+}
+
+type t = {
+  m : Mutex.t;
+  cv : Condition.t;  (* broadcast when a window completes *)
+  sync : unit -> unit;
+  max_batch : int;
+  max_delay_ns : int;
+  mutable cur : ticket;
+  mutable stopping : bool;
+  mutable flushes : int;  (* completed sync barriers (failures included) *)
+  mutable reports : int;  (* reports covered by completed barriers *)
+  pipe_r : Unix.file_descr;
+  pipe_w : Unix.file_descr;
+  mutable flusher : Thread.t option;
+}
+
+let fresh_ticket () = { n = 0; first_ns = 0; state = Pending }
+
+let kick t =
+  try ignore (Unix.single_write_substring t.pipe_w "!" 0 1)
+  with Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+
+let drain t =
+  let buf = Bytes.create 64 in
+  let rec go () =
+    match Unix.read t.pipe_r buf 0 64 with
+    | 64 -> go ()
+    | _ -> ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+  in
+  go ()
+
+let locked m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+(* One pass of the flusher: decide under the lock whether to flush now,
+   sleep, or exit; run the barrier outside it.  Returns [false] to stop. *)
+let flusher_step t =
+  let action =
+    locked t.m (fun () ->
+        if t.cur.n = 0 then if t.stopping then `Exit else `Sleep (-1.0)
+        else begin
+          let now = Sbi_obs.Clock.now_ns () in
+          let deadline = t.cur.first_ns + t.max_delay_ns in
+          if t.stopping || t.cur.n >= t.max_batch || now >= deadline then begin
+            let b = t.cur in
+            t.cur <- fresh_ticket ();
+            `Flush b
+          end
+          else `Sleep (float_of_int (deadline - now) *. 1e-9)
+        end)
+  in
+  match action with
+  | `Exit -> false
+  | `Sleep timeout ->
+      (match Unix.select [ t.pipe_r ] [] [] timeout with
+      | [], _, _ -> ()
+      | _ -> drain t
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      true
+  | `Flush b ->
+      let result = match t.sync () with () -> Flushed | exception e -> Failed e in
+      locked t.m (fun () ->
+          b.state <- result;
+          t.flushes <- t.flushes + 1;
+          t.reports <- t.reports + b.n;
+          Condition.broadcast t.cv);
+      true
+
+let flusher_loop t =
+  while flusher_step t do
+    ()
+  done
+
+let create ?(max_batch = 512) ?(max_delay_ms = 2.0) ~sync () =
+  if max_batch < 1 then invalid_arg "Group_commit.create: max_batch must be >= 1";
+  if max_delay_ms < 0.0 then invalid_arg "Group_commit.create: max_delay_ms must be >= 0";
+  let pipe_r, pipe_w = Unix.pipe ~cloexec:true () in
+  Unix.set_nonblock pipe_r;
+  Unix.set_nonblock pipe_w;
+  let t =
+    {
+      m = Mutex.create ();
+      cv = Condition.create ();
+      sync;
+      max_batch;
+      max_delay_ns = int_of_float (max_delay_ms *. 1e6);
+      cur = fresh_ticket ();
+      stopping = false;
+      flushes = 0;
+      reports = 0;
+      pipe_r;
+      pipe_w;
+      flusher = None;
+    }
+  in
+  t.flusher <- Some (Thread.create flusher_loop t);
+  t
+
+let submit t n =
+  if n < 1 then invalid_arg "Group_commit.submit: n must be >= 1";
+  let b, wake =
+    locked t.m (fun () ->
+        if t.stopping then failwith "Group_commit.submit: coordinator stopped";
+        let b = t.cur in
+        let was_empty = b.n = 0 in
+        if was_empty then b.first_ns <- Sbi_obs.Clock.now_ns ();
+        b.n <- b.n + n;
+        (b, was_empty || b.n >= t.max_batch))
+  in
+  if wake then kick t;
+  b
+
+let wait t b =
+  locked t.m (fun () ->
+      while b.state = Pending do
+        Condition.wait t.cv t.m
+      done);
+  match b.state with
+  | Flushed -> Ok ()
+  | Failed e -> Error e
+  | Pending -> assert false
+
+let stats t = locked t.m (fun () -> (t.flushes, t.reports))
+
+let stop t =
+  let th = locked t.m (fun () ->
+      t.stopping <- true;
+      let th = t.flusher in
+      t.flusher <- None;
+      th)
+  in
+  (match th with
+  | Some th ->
+      kick t;
+      Thread.join th
+  | None -> ());
+  (try Unix.close t.pipe_r with Unix.Unix_error _ -> ());
+  try Unix.close t.pipe_w with Unix.Unix_error _ -> ()

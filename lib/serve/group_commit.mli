@@ -1,0 +1,50 @@
+(** Group-commit fsync coordinator.
+
+    Amortizes one durability barrier across every report that arrives
+    inside a commit window.  A submitter appends its records to the log
+    (buffered, no fsync), calls {!submit}, and parks in {!wait}; a
+    dedicated flusher thread runs the [sync] barrier when the window
+    fills ([max_batch] reports), ages out ([max_delay_ms]), or the
+    coordinator stops — then releases every waiter the barrier covered.
+
+    The contract the serve ingest path builds on: a record's append
+    happens-before its {!submit}, and the flusher captures the pending
+    window under the same lock, so a [wait] returning [Ok ()] means the
+    caller's records are on stable storage — acks and tail visibility
+    may then be released (durable-before-visible, ack ⊆ fsynced).  A
+    failed barrier fails {e every} waiter of that window; none of their
+    records may be acknowledged. *)
+
+type t
+
+type ticket
+(** One commit window's handle, shared by every submitter it covers. *)
+
+val create :
+  ?max_batch:int -> ?max_delay_ms:float -> sync:(unit -> unit) -> unit -> t
+(** Spawn the flusher thread.  [sync] is the durability barrier (e.g.
+    {!Sbi_ingest.Shard_log.sync} on the ingest writer); it runs on the
+    flusher thread, outside the coordinator's lock, and must be safe to
+    call concurrently with further buffered appends.  Defaults:
+    [max_batch] 512, [max_delay_ms] 2.  [max_delay_ms 0.] degenerates to
+    flush-per-submit (still off the submitter's thread). *)
+
+val submit : t -> int -> ticket
+(** [submit t n] registers [n] just-appended records with the current
+    window and returns its ticket.  Must be called {e after} the
+    corresponding appends have returned. *)
+
+val wait : t -> ticket -> (unit, exn) result
+(** Block until the ticket's window completes.  [Ok ()]: the covering
+    barrier succeeded, every record of the window is durable.
+    [Error e]: the barrier raised [e]; nothing in the window may be
+    acknowledged as durable. *)
+
+val stats : t -> int * int
+(** [(flushes, reports)]: completed barriers (failures included) and the
+    total reports they covered. *)
+
+val stop : t -> unit
+(** Flush any pending window, join the flusher, close the wake pipe.
+    All waiters are released before this returns.  Subsequent {!submit}
+    calls fail — stop the request workers first. *)

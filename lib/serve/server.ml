@@ -18,6 +18,11 @@ type config = {
   io : Sbi_fault.Io.t;
   compact_every : float option;
   tier_max : int;
+  group_commit_ms : float;
+      (* > 0 (with fsync on): ingest appends park on a group-commit
+         coordinator that amortizes one log fsync across every report in
+         the window; 0 keeps the inline fsync-per-request path *)
+  max_batch : int;  (* force a group-commit flush at this many pending reports *)
 }
 
 let default_config addr =
@@ -32,7 +37,14 @@ let default_config addr =
     io = Sbi_fault.Io.none;
     compact_every = None;
     tier_max = Sbi_store.Tier.default_tier_max;
+    group_commit_ms = 0.;
+    max_batch = 512;
   }
+
+(* Hard cap on reports per [ingest-batch] request, over and above the
+   per-line [max_request] bound: a malicious batch cannot queue unbounded
+   per-report state server-side. *)
+let max_batch_lines = 65_536
 
 type t = {
   config : config;
@@ -43,8 +55,13 @@ type t = {
   listen_fd : Unix.file_descr;
   stop_flag : bool Atomic.t;
   workers : (int, Thread.t * Unix.file_descr) Hashtbl.t;
+      (* keyed by connection id, not thread id: the id is minted (and the
+         entry inserted) under [workers_lock] *before* the worker thread
+         can run, so the handler's remove-on-exit always finds it *)
   workers_lock : Mutex.t;
+  mutable next_conn : int;  (* under [workers_lock] *)
   writer : Shard_log.writer option;
+  gc : Group_commit.t option;  (* present iff fsync ∧ group_commit_ms > 0 ∧ writer *)
   started_at : float;
   inflight : int Atomic.t;  (* requests inside dispatch (may read old segments) *)
   mutable ingested_n : int;
@@ -208,37 +225,139 @@ let handle_stats t =
       Printf.sprintf "uptime_s %.1f" (Unix.gettimeofday () -. t.started_at);
     ]
   in
-  Ok ("stats", idx_lines @ Metrics.lines t.metrics)
+  let gc_lines =
+    match t.gc with
+    | None -> []
+    | Some gc ->
+        let flushes, reports = Group_commit.stats gc in
+        [ Printf.sprintf "gc.flushes %d" flushes; Printf.sprintf "gc.reports %d" reports ]
+  in
+  Ok ("stats", idx_lines @ gc_lines @ Metrics.lines t.metrics)
 
-let handle_ingest t b64 =
+(* --- ingest ---
+
+   Both the single-report [ingest] command and [ingest-batch] run the
+   same three-phase pipeline, preserving durable-before-visible and
+   ack ⊆ fsynced:
+
+   1. decode + validate every payload (pure for decode; validation reads
+      the index tables under [t.lock]), appending the accepted records
+      to the shard log buffer — {e without} fsync;
+   2. establish durability: park on the group-commit coordinator (one
+      fsync covers every report that arrived in the window, across all
+      connections) or, without one, run a single inline {!Shard_log.sync}
+      barrier for the whole request;
+   3. only after the covering fsync returned, fold the accepted records
+      into the live tail under [t.lock] and release the acks.  A failed
+      barrier acknowledges nothing and folds nothing — the records may
+      or may not be in the log, and the client must retry. *)
+
+let decode_payload b64 =
+  match B64.decode b64 with
+  | Error e -> Error ("bad base64: " ^ e)
+  | Ok payload -> (
+      match Codec.decode payload with
+      | exception Codec.Corrupt m -> Error ("bad report payload: " ^ m)
+      | r -> Ok r)
+
+(* Phase 1 under [t.lock]: validate and raw-append each decoded report.
+   Returns the per-payload outcomes plus the accepted reports in order. *)
+let append_batch t w items =
+  let accepted = ref [] in
+  let outcomes =
+    List.map
+      (fun item ->
+        match item with
+        | Error _ as e -> e
+        | Ok r -> (
+            match Index.validate t.index r with
+            | exception Invalid_argument m -> Error m
+            | () -> (
+                match Shard_log.append_raw w r with
+                | exception Unix.Unix_error (e, op, _) ->
+                    Metrics.fault t.metrics ~kind:"ingest_io";
+                    Error
+                      (Printf.sprintf "ingest not durable (%s during %s); retry"
+                         (Unix.error_message e) op)
+                | () ->
+                    accepted := r :: !accepted;
+                    Ok r)))
+      items
+  in
+  (outcomes, List.rev !accepted)
+
+(* Phase 2: one durability barrier for the whole request. *)
+let commit_batch t w n =
+  if n = 0 then Ok ()
+  else
+    match t.gc with
+    | Some gc ->
+        (* the appends above completed before this submit, so the
+           window's covering fsync includes them *)
+        let ticket = Group_commit.submit gc n in
+        Group_commit.wait gc ticket
+    | None -> (
+        if not t.config.fsync then Ok ()
+        else
+          match locked t.lock (fun () -> Shard_log.sync w) with
+          | () -> Ok ()
+          | exception e -> Error e)
+
+let not_durable_msg = function
+  | Unix.Unix_error (e, op, _) ->
+      Printf.sprintf "ingest not durable (%s during %s); retry" (Unix.error_message e) op
+  | e -> Printf.sprintf "ingest not durable (%s); retry" (Printexc.to_string e)
+
+(* Phase 3: durable — now make visible. *)
+let publish_batch t accepted =
+  locked t.lock (fun () ->
+      List.iter
+        (fun r ->
+          Index.append t.index r;
+          t.ingested_n <- t.ingested_n + 1)
+        accepted)
+
+let run_ingest t items =
   match t.writer with
   | None -> Error "ingest disabled (no --log configured)"
   | Some w -> (
-      match B64.decode b64 with
-      | Error e -> Error ("bad base64: " ^ e)
-      | Ok payload -> (
-          match Codec.decode payload with
-          | exception Codec.Corrupt m -> Error ("bad report payload: " ^ m)
-          | r -> (
-              (* validate before any state mutates: a rejected report must
-                 leave neither the log nor the tail touched *)
-              match Index.validate t.index r with
-              | exception Invalid_argument m -> Error m
-              | () -> (
-                  (* durable first, visible second: a report enters the
-                     live tail (and the ack) only after the log fsync
-                     succeeded, so nothing queryable can be lost by a
-                     crash and nothing unlogged is ever acknowledged *)
-                  match Shard_log.append w r with
-                  | exception Unix.Unix_error (e, op, _) ->
-                      Metrics.fault t.metrics ~kind:"ingest_io";
-                      Error
-                        (Printf.sprintf "ingest not durable (%s during %s); retry"
-                           (Unix.error_message e) op)
-                  | () ->
-                      Index.append t.index r;
-                      t.ingested_n <- t.ingested_n + 1;
-                      Ok (Printf.sprintf "ingested %d" r.Report.run_id, [])))))
+      let outcomes, accepted = locked t.lock (fun () -> append_batch t w items) in
+      match commit_batch t w (List.length accepted) with
+      | Ok () ->
+          publish_batch t accepted;
+          Ok outcomes
+      | Error e ->
+          Metrics.fault t.metrics ~kind:"ingest_io";
+          (* nothing was acknowledged durable: every accepted report of
+             this request degrades to a retryable per-report error *)
+          let msg = not_durable_msg e in
+          Ok (List.map (function Ok _ -> Error msg | Error _ as x -> x) outcomes))
+
+let handle_ingest t b64 =
+  match run_ingest t [ decode_payload b64 ] with
+  | Error e -> Error e
+  | Ok [ Ok r ] -> Ok (Printf.sprintf "ingested %d" r.Report.run_id, [])
+  | Ok [ Error e ] -> Error e
+  | Ok _ -> assert false
+
+let handle_ingest_batch t payloads =
+  if List.length payloads > max_batch_lines then
+    Error (Printf.sprintf "ingest-batch exceeds %d reports" max_batch_lines)
+  else
+    match run_ingest t (List.map decode_payload payloads) with
+    | Error e -> Error e
+    | Ok outcomes ->
+        let ok_n = List.length (List.filter Result.is_ok outcomes) in
+        let lines =
+          List.map
+            (function
+              | Ok (r : Report.t) -> Printf.sprintf "ok %d" r.Report.run_id
+              | Error m -> "err " ^ m)
+            outcomes
+        in
+        Ok
+          ( Printf.sprintf "ingest-batch %d %d" ok_n (List.length outcomes - ok_n),
+            lines )
 
 (* --- connection loop --- *)
 
@@ -280,19 +399,47 @@ let dispatch t line =
           let lines = Sbi_obs.Trace.lines ~n () in
           Ok (Printf.sprintf "trace %d" (List.length lines), lines)
       | _ -> Error ("bad trace count: " ^ n))
-  | [ "ingest"; payload ] -> locked t.lock (fun () -> handle_ingest t payload)
+  | [ "ingest"; payload ] -> handle_ingest t payload
+  | [ "ingest-batch" ] ->
+      (* the payload lines arrive after the command line; the connection
+         loop reads them and routes through [dispatch_batch] instead *)
+      Error "ingest-batch payloads missing (framing error)"
   | [] -> Error "empty command"
   | cmd :: _ ->
       Error
         (Printf.sprintf
-           "unknown command %s (try: ping topk pred formulas affinity stats metrics trace ingest quit)"
+           "unknown command %s (try: ping topk pred formulas affinity stats metrics trace \
+            ingest ingest-batch quit)"
            cmd)
+
+(* A response write that hit the send deadline ([SO_SNDTIMEO]): the peer
+   stopped reading.  Distinguished from a receive timeout so the fault
+   shows up as its own metric. *)
+exception Send_stalled
+
+(* Reads the payload lines of an [ingest-batch] request (everything up
+   to the lone ["."], mirroring the response framing).  [`Too_many]
+   still consumes through the terminator, so the stream stays in sync
+   and the connection survives the rejection. *)
+let read_batch rd =
+  let acc = ref [] and count = ref 0 in
+  let rec go () =
+    match Wire.read_line rd with
+    | `Line "." -> if !count > max_batch_lines then `Too_many else `Batch (List.rev !acc)
+    | `Line l ->
+        incr count;
+        if !count <= max_batch_lines then acc := Wire.unstuff l :: !acc;
+        go ()
+    | `Eof -> `Eof
+    | `Too_long -> `Too_long
+  in
+  go ()
 
 (* Per-connection fault isolation: any failure on one connection —
    receive deadline, peer reset, oversized request, handler exception —
    is counted in metrics and closes only that connection.  The accept
    loop and every other worker are untouched. *)
-let handle_connection t fd =
+let handle_connection t ~conn_id fd =
   Metrics.connection_opened t.metrics;
   let io = t.config.io in
   let rd = Wire.reader ~io ~max_line:t.config.max_request fd in
@@ -324,6 +471,39 @@ let handle_connection t fd =
            end
            else begin
              let cmd = cmd_name line in
+             (* an ingest-batch request continues until a lone "." —
+                read the payload lines before the request clock starts *)
+             let request =
+               if line = "ingest-batch" then read_batch rd else `Single
+             in
+             match request with
+             | `Eof -> closed := true
+             | `Too_long ->
+                 Metrics.fault t.metrics ~kind:"oversize";
+                 (try
+                    ignore
+                      (Wire.write_err ~io fd
+                         (Printf.sprintf "request exceeds %d bytes" t.config.max_request))
+                  with _ -> ());
+                 closed := true
+             | `Too_many ->
+                 (* fully consumed through the terminator: reject without
+                    dropping the connection *)
+                 Metrics.fault t.metrics ~kind:"oversize";
+                 (try
+                    ignore
+                      (Wire.write_err ~io fd
+                         (Printf.sprintf "ingest-batch exceeds %d reports" max_batch_lines))
+                  with _ -> ())
+             | (`Single | `Batch _) as request ->
+             let bytes_in =
+               match request with
+               | `Single -> String.length line + 1
+               | `Batch payloads ->
+                   List.fold_left
+                     (fun acc p -> acc + String.length p + 1)
+                     (String.length line + 3) payloads
+             in
              (* monotonic: an NTP step mid-request must not yield a
                 negative or inflated latency (the wall clock survives
                 only in started_at/uptime) *)
@@ -337,7 +517,10 @@ let handle_connection t fd =
                  Fun.protect
                    ~finally:(fun () -> Atomic.decr t.inflight)
                    (fun () ->
-                     Sbi_obs.Trace.with_span ~name:("serve." ^ cmd) (fun () -> dispatch t line))
+                     Sbi_obs.Trace.with_span ~name:("serve." ^ cmd) (fun () ->
+                         match request with
+                         | `Single -> dispatch t line
+                         | `Batch payloads -> handle_ingest_batch t payloads))
                with
                | Sbi_fault.Fault.Crash _ as e -> raise e
                | e ->
@@ -350,16 +533,22 @@ let handle_connection t fd =
                  match result with
                  | Ok (header, lines) -> Wire.write_ok ~io fd ~header ~lines
                  | Error msg -> Wire.write_err ~io fd msg
-               with e ->
-                 (* the peer died mid-response: attribute the failure to
-                    the command (req.<cmd>.err) before the connection
-                    handler classifies the fault kind *)
-                 Metrics.request_error t.metrics ~cmd;
-                 raise e
+               with
+               | Wire.Timeout ->
+                   (* the peer stopped reading and the send deadline
+                      expired: attribute, then reclassify so the fault is
+                      counted as a send stall, not a receive timeout *)
+                   Metrics.request_error t.metrics ~cmd;
+                   raise Send_stalled
+               | e ->
+                   (* the peer died mid-response: attribute the failure to
+                      the command (req.<cmd>.err) before the connection
+                      handler classifies the fault kind *)
+                   Metrics.request_error t.metrics ~cmd;
+                   raise e
              in
              let latency_ns = Sbi_obs.Clock.now_ns () - t0 in
-             Metrics.record t.metrics ~cmd ~latency_ns ~bytes_in:(String.length line + 1)
-               ~bytes_out;
+             Metrics.record t.metrics ~cmd ~latency_ns ~bytes_in ~bytes_out;
              let args =
                match String.index_opt line ' ' with
                | Some i -> String.sub line (i + 1) (String.length line - i - 1)
@@ -369,13 +558,14 @@ let handle_connection t fd =
            end
      done
    with
+  | Send_stalled -> Metrics.fault t.metrics ~kind:"send_timeout"
   | Wire.Timeout -> Metrics.fault t.metrics ~kind:"timeout"
   | Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
       Metrics.fault t.metrics ~kind:"reset"
   | _ -> Metrics.fault t.metrics ~kind:"error");
   (try Unix.close fd with Unix.Unix_error _ -> ());
   Metrics.connection_closed t.metrics;
-  locked t.workers_lock (fun () -> Hashtbl.remove t.workers (Thread.id (Thread.self ())))
+  locked t.workers_lock (fun () -> Hashtbl.remove t.workers conn_id)
 
 let accept_loop t =
   while not (Atomic.get t.stop_flag) do
@@ -385,10 +575,23 @@ let accept_loop t =
         match Unix.accept t.listen_fd with
         | exception Unix.Unix_error _ -> () (* listener closed by stop *)
         | fd, _ ->
-            (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.config.timeout
+            (* both deadlines: a peer that stops *reading* must not wedge
+               a worker in a response write any more than a silent peer
+               may wedge it in a request read *)
+            (try
+               Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.config.timeout;
+               Unix.setsockopt_float fd Unix.SO_SNDTIMEO t.config.timeout
              with Unix.Unix_error _ -> ());
-            let worker = Thread.create (fun () -> handle_connection t fd) () in
-            locked t.workers_lock (fun () -> Hashtbl.replace t.workers (Thread.id worker) (worker, fd)))
+            (* registration happens-before the worker runs: the id is
+               minted and the entry inserted while holding [workers_lock],
+               which the handler's remove-on-exit must also take — a
+               fast connection can no longer race its own registration
+               and leave a stale entry behind *)
+            locked t.workers_lock (fun () ->
+                let conn_id = t.next_conn in
+                t.next_conn <- conn_id + 1;
+                let worker = Thread.create (fun () -> handle_connection t ~conn_id fd) () in
+                Hashtbl.replace t.workers conn_id (worker, fd)))
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
     | exception Unix.Unix_error (Unix.EBADF, _, _) -> Atomic.set t.stop_flag true
   done
@@ -419,9 +622,11 @@ let compact_once t =
             t.index <- fresh;
             t.compactions <- t.compactions + 1);
         (* drain readers pinned to the old epoch before reclaiming files;
-           the deadline bounds the wait against a wedged connection *)
-        let deadline = Unix.gettimeofday () +. 2.0 in
-        while Atomic.get t.inflight > 0 && Unix.gettimeofday () < deadline do
+           the deadline bounds the wait against a wedged connection.
+           Monotonic: a wall-clock step must not collapse (or stretch)
+           the 2 s drain bound *)
+        let deadline = Sbi_obs.Clock.now_ns () + 2_000_000_000 in
+        while Atomic.get t.inflight > 0 && Sbi_obs.Clock.now_ns () < deadline do
           Thread.delay 0.01
         done;
         List.iter
@@ -430,12 +635,15 @@ let compact_once t =
       end
 
 let compact_loop t period =
-  let next = ref (Unix.gettimeofday () +. period) in
+  (* monotonic scheduling: an NTP step must not fire (or starve) the
+     --compact-every period *)
+  let period_ns = int_of_float (period *. 1e9) in
+  let next = ref (Sbi_obs.Clock.now_ns () + period_ns) in
   while not (Atomic.get t.stop_flag) do
     Thread.delay 0.1;
-    if (not (Atomic.get t.stop_flag)) && Unix.gettimeofday () >= !next then begin
+    if (not (Atomic.get t.stop_flag)) && Sbi_obs.Clock.now_ns () >= !next then begin
       compact_once t;
-      next := Unix.gettimeofday () +. period
+      next := Sbi_obs.Clock.now_ns () + period_ns
     end
   done
 
@@ -479,36 +687,69 @@ let start config index =
    with e ->
      Unix.close listen_fd;
      raise e);
-  let pool =
-    if config.domains > 1 then Some (Sbi_par.Domain_pool.create ~domains:config.domains ())
-    else None
-  in
-  let t =
-    {
-      config;
-      index;
-      pool;
-      lock = Mutex.create ();
-      metrics = Metrics.create ();
-      listen_fd;
-      stop_flag = Atomic.make false;
-      workers = Hashtbl.create 16;
-      workers_lock = Mutex.create ();
-      writer = open_ingest_writer config index;
-      started_at = Unix.gettimeofday ();
-      inflight = Atomic.make 0;
-      ingested_n = 0;
-      compactions = 0;
-      accept_thread = None;
-      compact_thread = None;
-    }
-  in
-  t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
-  (match config.compact_every with
-  | Some period when period > 0. ->
-      t.compact_thread <- Some (Thread.create (fun () -> compact_loop t period) ())
-  | _ -> ());
-  t
+  (* everything acquired below must be released if a later step raises
+     (e.g. an unwritable --log dir): the listener fd, the bound socket
+     file, the domain pool, the ingest writer, the commit coordinator —
+     a failed start leaks nothing and the address is immediately
+     rebindable *)
+  let pool = ref None and writer = ref None and gc = ref None in
+  match
+    (if config.domains > 1 then
+       pool := Some (Sbi_par.Domain_pool.create ~domains:config.domains ()));
+    writer := open_ingest_writer config index;
+    (match !writer with
+    | Some w when config.fsync && config.group_commit_ms > 0. ->
+        gc :=
+          Some
+            (Group_commit.create ~max_batch:config.max_batch
+               ~max_delay_ms:config.group_commit_ms
+               ~sync:(fun () -> Shard_log.sync w)
+               ())
+    | _ -> ());
+    let t =
+      {
+        config;
+        index;
+        pool = !pool;
+        lock = Mutex.create ();
+        metrics = Metrics.create ();
+        listen_fd;
+        stop_flag = Atomic.make false;
+        workers = Hashtbl.create 16;
+        workers_lock = Mutex.create ();
+        next_conn = 0;
+        writer = !writer;
+        gc = !gc;
+        started_at = Unix.gettimeofday ();
+        inflight = Atomic.make 0;
+        ingested_n = 0;
+        compactions = 0;
+        accept_thread = None;
+        compact_thread = None;
+      }
+    in
+    t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
+    (match config.compact_every with
+    | Some period when period > 0. ->
+        t.compact_thread <- Some (Thread.create (fun () -> compact_loop t period) ())
+    | _ -> ());
+    t
+  with
+  | t -> t
+  | exception e ->
+      (match !gc with Some g -> ( try Group_commit.stop g with _ -> ()) | None -> ());
+      (match !writer with
+      | Some w -> ( try ignore (Shard_log.close_writer w) with _ -> ())
+      | None -> ());
+      (match !pool with
+      | Some p -> ( try Sbi_par.Domain_pool.shutdown p with _ -> ())
+      | None -> ());
+      (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+      (match config.addr with
+      | Wire.Unix_sock path when Sys.file_exists path -> (
+          try Sys.remove path with Sys_error _ -> ())
+      | _ -> ());
+      raise e
 
 let addr t = t.config.addr
 
@@ -526,6 +767,10 @@ let stop t =
       (fun (_, fd) -> try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
       snapshot;
     List.iter (fun (th, _) -> Thread.join th) snapshot;
+    (* workers are gone, so no submitter can race the final flush: stop
+       the coordinator (flushing any pending window) before the writer
+       closes underneath it *)
+    (match t.gc with Some gc -> Group_commit.stop gc | None -> ());
     locked t.lock (fun () ->
         match t.writer with Some w -> ignore (Shard_log.close_writer w) | None -> ());
     (match t.pool with Some pool -> Sbi_par.Domain_pool.shutdown pool | None -> ());
@@ -536,3 +781,4 @@ let stop t =
 
 let wait t = match t.accept_thread with Some th -> Thread.join th | None -> ()
 let ingested t = locked t.lock (fun () -> t.ingested_n)
+let worker_count t = locked t.workers_lock (fun () -> Hashtbl.length t.workers)

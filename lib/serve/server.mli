@@ -23,6 +23,11 @@
     fresh shard of the index's source log (with [fsync] when configured,
     so an acknowledged report survives power loss), and folds it into
     the index's live tail — visible to the very next query.
+    [ingest-batch] carries many payloads in one request (dot-framed like
+    a response) and answers with one status line per report; with
+    [group_commit_ms > 0] all ingest requests share windowed group-commit
+    fsyncs, amortizing one durability barrier over every report that
+    arrived in the window while keeping ack ⊆ fsynced.
 
     {!stop} is the graceful-shutdown path (the CLI wires it to SIGINT):
     stop accepting, shut down open connections, join every worker, close
@@ -65,12 +70,31 @@ type config = {
   tier_max : int;
       (** tier fan-in passed to {!Sbi_index.Index.compact}
           ({!Sbi_store.Tier.default_tier_max} by default) *)
+  group_commit_ms : float;
+      (** [> 0] (with [fsync] on and an ingest log): ingest switches to
+          group commit — appends go to the shard-log buffer without an
+          inline fsync, and a coordinator thread runs one [log.fsync]
+          covering every report that arrived in the window (flushing on
+          [max_batch] pending reports, this delay, or shutdown).  Acks
+          and tail visibility are still released only after the covering
+          fsync returns, so durable-before-visible and ack ⊆ fsynced are
+          preserved exactly; only latency (up to the window) and fsync
+          count change.  [0.] (the default) keeps one inline fsync per
+          ingest request — note that even then an [ingest-batch] request
+          runs a single fsync barrier for the whole batch. *)
+  max_batch : int;
+      (** force a group-commit flush once this many reports are pending
+          in the window (default 512) *)
 }
 
 val default_config : Wire.addr -> config
 (** 30s timeout, fsync on, no ingest log, 1 domain, [2^20]-cell parallel
     cutoff, 1 MiB request bound, passthrough I/O, no background
-    compaction. *)
+    compaction, no group commit (inline fsync per request). *)
+
+val max_batch_lines : int
+(** Hard cap on reports per [ingest-batch] request (65536); larger
+    batches are rejected whole, without dropping the connection. *)
 
 val start : config -> Sbi_index.Index.t -> t
 (** Bind, listen, and spawn the accept loop.  When [ingest_log] is set,
@@ -89,3 +113,9 @@ val wait : t -> unit
 
 val ingested : t -> int
 (** Reports accepted over the wire since {!start}. *)
+
+val worker_count : t -> int
+(** Live connection workers currently registered.  Registration happens
+    before the worker thread can run and deregistration is the worker's
+    last act, so after every client has disconnected (and their workers
+    exited) this drains to exactly zero — no stale entries. *)

@@ -62,6 +62,15 @@ val read_line : reader -> [ `Line of string | `Eof | `Too_long ]
 
 (** {1 Framing} *)
 
+val stuff : string -> string
+(** Dot-stuff one payload line (a leading ["."] becomes [".."]) — used
+    by response framing and by the [ingest-batch] request body, whose
+    payload lines are framed exactly like a response (terminated by a
+    lone ["."]). *)
+
+val unstuff : string -> string
+(** Inverse of {!stuff}. *)
+
 val write_ok :
   ?io:Sbi_fault.Io.t -> Unix.file_descr -> header:string -> lines:string list -> int
 (** Send one framed success response; returns bytes written. *)

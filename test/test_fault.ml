@@ -188,6 +188,34 @@ let qcheck_acked_prefix =
         QCheck2.Test.fail_reportf "invariant violated: %s" res.Crashsim.case_detail;
       true)
 
+(* The group-commit window model: raw (buffered, unfsynced) appends with
+   one sync barrier per [batch] reports, killed between appends at a
+   random point — possibly mid-window, with acked-but-unflushed bytes in
+   the channel buffer.  Recovery must replay the acked prefix intact;
+   reports past the last barrier may vanish but never corrupt. *)
+let qcheck_group_commit_prefix =
+  QCheck2.Test.make ~name:"group-commit window crash keeps the acked prefix" ~count:40
+    QCheck2.Gen.(pair (int_range 0 45) (int_range 1 12))
+    (fun (kill_after, batch) ->
+      let dir = Filename.temp_file "sbi_gcprefix" "" in
+      Sys.remove dir;
+      Unix.mkdir dir 0o700;
+      let res =
+        Crashsim.run_group_case ~dir ~nreports:40 ~batch ~kill_after ~spec:Fault.quiet
+          "qcheck-group"
+      in
+      let rec rm path =
+        if Sys.is_directory path then begin
+          Array.iter (fun n -> rm (Filename.concat path n)) (Sys.readdir path);
+          Sys.rmdir path
+        end
+        else Sys.remove path
+      in
+      rm dir;
+      if not res.Crashsim.case_ok then
+        QCheck2.Test.fail_reportf "invariant violated: %s" res.Crashsim.case_detail;
+      true)
+
 (* --- wire robustness under benign socket faults --- *)
 
 let test_wire_benign_faults () =
@@ -328,6 +356,7 @@ let suite =
     Alcotest.test_case "torn segment, stale manifest" `Quick test_torn_segment_and_stale_manifest;
     Alcotest.test_case "kill during dataset save" `Quick test_kill_during_dataset_save;
     QCheck_alcotest.to_alcotest qcheck_acked_prefix;
+    QCheck_alcotest.to_alcotest qcheck_group_commit_prefix;
     Alcotest.test_case "wire survives benign socket faults" `Quick test_wire_benign_faults;
     Alcotest.test_case "oversized request is isolated" `Quick test_oversized_request_isolated;
     Alcotest.test_case "client deadline" `Quick test_client_deadline;

@@ -201,7 +201,7 @@ let base_reports =
         ~preds:(if failing then [| 0; 3 |] else [| 1 |])
         i)
 
-let with_server ?(fsync = true) f =
+let with_server ?(fsync = true) ?(group_commit_ms = 0.) ?(timeout = 10.) f =
   with_temp_dir (fun tmp ->
       let log = Filename.concat tmp "log" in
       let idx_dir = Filename.concat tmp "idx" in
@@ -217,9 +217,10 @@ let with_server ?(fsync = true) f =
       let config =
         {
           (Server.default_config addr) with
-          Server.timeout = 10.;
+          Server.timeout;
           fsync;
           ingest_log = Some ingest_dir;
+          group_commit_ms;
         }
       in
       let srv = Server.start config idx in
@@ -393,6 +394,226 @@ let test_server_concurrent_clients () =
       Alcotest.(check int) "metrics saw the load" (nclients * per_client) (poll 100);
       Client.close c)
 
+let test_server_ingest_batch () =
+  with_server (fun ~srv ~addr ~idx ~ingest_dir ->
+      let c = connect_ok addr in
+      let fresh i = mk_report ~outcome:Report.Failure ~sites:[| 0; 2 |] ~preds:[| 0; 4 |] i in
+      let reports = List.init 5 (fun i -> fresh (2000 + i)) in
+      (match Client.ingest_batch c reports with
+      | Ok statuses ->
+          Alcotest.(check (list (result int string)))
+            "every report acked in submission order"
+            (List.init 5 (fun i -> Ok (2000 + i)))
+            statuses
+      | Error e -> Alcotest.failf "ingest-batch failed: %s" e);
+      let ds, _ = Shard_log.read_all ~dir:ingest_dir in
+      Alcotest.(check int) "whole batch durable" 5 (Dataset.nruns ds);
+      Alcotest.(check int) "whole batch visible" 5 (Index.tail_count idx);
+      Alcotest.(check int) "server counter" 5 (Server.ingested srv);
+      (* rejections are per-report: valid neighbours still land *)
+      let bad = mk_report ~sites:[| 0 |] ~preds:[| npreds + 3 |] 2100 in
+      (match Client.ingest_batch c [ fresh 2101; bad; fresh 2102 ] with
+      | Ok [ Ok 2101; Error _; Ok 2102 ] -> ()
+      | Ok sts -> Alcotest.failf "unexpected mixed-batch statuses (%d)" (List.length sts)
+      | Error e -> Alcotest.failf "mixed batch failed: %s" e);
+      let ds, _ = Shard_log.read_all ~dir:ingest_dir in
+      Alcotest.(check int) "only valid reports durable" 7 (Dataset.nruns ds);
+      Alcotest.(check int) "tail tracks accepted reports" 7 (Index.tail_count idx);
+      (* an empty batch is a no-op, not a protocol error *)
+      (match Client.ingest_batch c [] with
+      | Ok [] -> ()
+      | Ok _ -> Alcotest.fail "empty batch must ack nothing"
+      | Error e -> Alcotest.failf "empty batch failed: %s" e);
+      (* the connection survives a batch with rejects *)
+      let header, _ = request_ok c "ping" in
+      Alcotest.(check string) "still serving" "pong" header;
+      Client.close c)
+
+let test_server_group_commit () =
+  (* group-commit mode: appends park on the coordinator's windowed fsync;
+     every ack must still imply durability, and the shared barrier must
+     be visible in stats *)
+  with_server ~group_commit_ms:4. (fun ~srv ~addr ~idx ~ingest_dir ->
+      let nclients = 4 and batches = 3 and batch = 8 and singles = 4 in
+      let per_client = (batches * batch) + singles in
+      let errors = Queue.create () in
+      let errors_lock = Mutex.create () in
+      let fail_locked msg =
+        Mutex.lock errors_lock;
+        Queue.add msg errors;
+        Mutex.unlock errors_lock
+      in
+      let worker cid =
+        try
+          let c = connect_ok addr in
+          let base = 5000 + (cid * 1000) in
+          for b = 0 to batches - 1 do
+            let chunk =
+              List.init batch (fun i ->
+                  mk_report ~outcome:Report.Failure ~sites:[| 0; 1 |] ~preds:[| 0 |]
+                    (base + (b * batch) + i))
+            in
+            match Client.ingest_batch c chunk with
+            | Ok statuses ->
+                if not (List.for_all Result.is_ok statuses) then
+                  fail_locked "group-commit batch rejected a valid report"
+            | Error e -> fail_locked ("group-commit batch failed: " ^ e)
+          done;
+          for i = 0 to singles - 1 do
+            let r =
+              mk_report ~outcome:Report.Failure ~sites:[| 0; 1 |] ~preds:[| 0 |]
+                (base + (batches * batch) + i)
+            in
+            match Client.request c ("ingest " ^ B64.encode (Codec.encode r)) with
+            | Ok _ -> ()
+            | Error e -> fail_locked ("group-commit single ingest failed: " ^ e)
+          done;
+          Client.close c
+        with e -> fail_locked (Printexc.to_string e)
+      in
+      let threads = List.init nclients (fun cid -> Thread.create worker cid) in
+      List.iter Thread.join threads;
+      Alcotest.(check (list string)) "no client errors" []
+        (List.of_seq (Queue.to_seq errors));
+      let total = nclients * per_client in
+      Alcotest.(check int) "every report accepted" total (Server.ingested srv);
+      (* ack happened after the covering fsync: all records are on disk *)
+      let ds, _ = Shard_log.read_all ~dir:ingest_dir in
+      Alcotest.(check int) "every acked report durable" total (Dataset.nruns ds);
+      Alcotest.(check int) "every acked report visible" total (Index.tail_count idx);
+      let c = connect_ok addr in
+      let _, stats = request_ok c "stats" in
+      let stat_value name =
+        List.find_map
+          (fun l ->
+            match String.split_on_char ' ' l with
+            | [ n; v ] when n = name -> int_of_string_opt v
+            | _ -> None)
+          stats
+      in
+      (match stat_value "gc.flushes" with
+      | Some n -> Alcotest.(check bool) "at least one group flush" true (n >= 1)
+      | None -> Alcotest.fail "stats missing gc.flushes");
+      (match stat_value "gc.reports" with
+      | Some n -> Alcotest.(check int) "every report went through the coordinator" total n
+      | None -> Alcotest.fail "stats missing gc.reports");
+      Client.close c)
+
+let test_worker_table_drains () =
+  (* the regression: workers were registered after Thread.create, so a
+     fast connection could deregister before registration and leave a
+     stale entry forever.  Churn many short-lived connections and
+     require the table to drain to exactly zero. *)
+  with_server (fun ~srv ~addr ~idx:_ ~ingest_dir:_ ->
+      let failures = Atomic.make 0 in
+      for _ = 1 to 3 do
+        let threads =
+          List.init 8 (fun _ ->
+              Thread.create
+                (fun () ->
+                  try
+                    let c = connect_ok addr in
+                    ignore (request_ok c "ping");
+                    Client.close c
+                  with _ -> Atomic.incr failures)
+                ())
+        in
+        List.iter Thread.join threads
+      done;
+      Alcotest.(check int) "no client failures" 0 (Atomic.get failures);
+      (* deregistration is the worker's last act; poll briefly *)
+      let rec poll tries =
+        let n = Server.worker_count srv in
+        if n = 0 || tries = 0 then n
+        else begin
+          Thread.delay 0.02;
+          poll (tries - 1)
+        end
+      in
+      Alcotest.(check int) "worker table drains to zero" 0 (poll 250))
+
+let test_send_deadline () =
+  (* a peer that pipelines requests and never reads a byte back: once the
+     socket buffers fill, the response write must hit the kernel send
+     deadline and be counted as fault.send_timeout — not wedge the worker
+     forever *)
+  with_server ~timeout:0.4 (fun ~srv:_ ~addr ~idx:_ ~ingest_dir:_ ->
+      let sock =
+        match addr with Wire.Unix_sock p -> p | _ -> Alcotest.fail "unix fixture"
+      in
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX sock);
+      (* enough pipelined requests that the responses overflow the
+         server-side send buffer while we refuse to read *)
+      let nreq = 5_000 in
+      let buf = Buffer.create (nreq * 8) in
+      for _ = 1 to nreq do
+        Buffer.add_string buf "topk 10\n"
+      done;
+      let payload = Bytes.of_string (Buffer.contents buf) in
+      let rec wr off =
+        if off < Bytes.length payload then
+          match Unix.write fd payload off (Bytes.length payload - off) with
+          | n -> wr (off + n)
+          | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> ()
+      in
+      wr 0;
+      let c = connect_ok addr in
+      let rec poll tries =
+        let _, stats = request_ok c "stats" in
+        let hit = List.exists (fun l -> contains l "fault.send_timeout") stats in
+        if hit || tries = 0 then hit
+        else begin
+          Thread.delay 0.05;
+          poll (tries - 1)
+        end
+      in
+      Alcotest.(check bool) "send deadline counted as fault.send_timeout" true (poll 100);
+      Client.close c;
+      try Unix.close fd with Unix.Unix_error _ -> ())
+
+let test_start_failure_releases_resources () =
+  (* the regression: start bound the socket, spawned the pool, then died
+     opening the ingest writer — leaking the listen fd and the bound
+     socket path.  A failed start must release everything it acquired. *)
+  with_temp_dir (fun tmp ->
+      let log = Filename.concat tmp "log" in
+      let idx_dir = Filename.concat tmp "idx" in
+      Shard_log.write_meta ~dir:log (Dataset.of_tables ~nsites ~npreds ~pred_site [||]);
+      let w = Shard_log.create_writer ~dir:log ~shard:0 () in
+      Array.iter (Shard_log.append w) base_reports;
+      ignore (Shard_log.close_writer w);
+      ignore (Index.build ~log ~dir:idx_dir ());
+      let idx = Index.open_ ~dir:idx_dir in
+      let sock = Filename.concat tmp "sock" in
+      (* the ingest log's parent is a regular file: the writer cannot open *)
+      let blocker = Filename.concat tmp "blocker" in
+      close_out (open_out blocker);
+      let config =
+        {
+          (Server.default_config (Wire.Unix_sock sock)) with
+          Server.timeout = 10.;
+          ingest_log = Some (Filename.concat blocker "log");
+        }
+      in
+      let count_fds () = Array.length (Sys.readdir "/proc/self/fd") in
+      let fds_before = count_fds () in
+      (match Server.start config idx with
+      | srv ->
+          Server.stop srv;
+          Alcotest.fail "start over an unwritable ingest log must raise"
+      | exception _ -> ());
+      Alcotest.(check int) "no fd leaked by the failed start" fds_before (count_fds ());
+      Alcotest.(check bool) "socket file removed" false (Sys.file_exists sock);
+      (* the address is immediately reusable with a sane config *)
+      let config_ok = { config with Server.ingest_log = Some (Filename.concat tmp "ingest") } in
+      let srv = Server.start config_ok idx in
+      let c = connect_ok (Wire.Unix_sock sock) in
+      let header, _ = request_ok c "ping" in
+      Alcotest.(check string) "rebound and serving" "pong" header;
+      Client.close c;
+      Server.stop srv)
+
 let test_server_shutdown () =
   (* stop must be clean and idempotent, release the socket, and close the
      durable writer so the ingest log is a valid shard log *)
@@ -443,6 +664,12 @@ let suite =
     Alcotest.test_case "server basic queries" `Quick test_server_basic;
     Alcotest.test_case "server metrics/trace commands" `Quick test_server_obs_commands;
     Alcotest.test_case "durable ingest" `Quick test_server_ingest_durable;
+    Alcotest.test_case "batched ingest" `Quick test_server_ingest_batch;
+    Alcotest.test_case "group-commit ingest" `Quick test_server_group_commit;
     Alcotest.test_case "concurrent clients" `Quick test_server_concurrent_clients;
+    Alcotest.test_case "worker table drains after churn" `Quick test_worker_table_drains;
+    Alcotest.test_case "send deadline on stalled peer" `Quick test_send_deadline;
+    Alcotest.test_case "failed start releases resources" `Quick
+      test_start_failure_releases_resources;
     Alcotest.test_case "graceful shutdown" `Quick test_server_shutdown;
   ]
