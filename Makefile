@@ -54,13 +54,17 @@ bench:
 # formula registry costs more than 2% over the hard-coded importance
 # path (see docs/sbfl.md), or if batched group-commit ingest does not
 # beat the single-report RPC path by >= 10x at fsync=true
-# (--ingest-check; see docs/serve.md).
+# (--ingest-check; see docs/serve.md), or if the event-loop front end
+# fails the connection-scale gate (--conn-check: 1000 concurrent
+# connections, zero dropped accepts or overload rejections, batched
+# throughput within 15% of a single connection; see docs/serve.md).
 bench-check:
 	dune exec bench/main.exe -- --par-check
 	dune exec bench/main.exe -- --speedup-check
 	dune exec bench/main.exe -- --obs-check
 	dune exec bench/main.exe -- --sbfl-check
 	dune exec bench/main.exe -- --ingest-check
+	dune exec bench/main.exe -- --conn-check
 	$(MAKE) scale-check
 
 # Million-run gate over the tiered store (see docs/storage.md): streams

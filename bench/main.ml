@@ -660,6 +660,208 @@ let ingest_check () =
     exit 1
   end
 
+(* --- connection-scale front end: the event-loop acceptor ---
+
+   conn:single — one connection pushing deep ingest batches: the
+   per-connection ceiling of the wire + group-commit path.
+   conn:fleet — [clients] connections ALL connected before any traffic
+   flows (a connect barrier, so the server really faces that many
+   concurrent peers), each pushing shallow batches.  Amortized
+   per-report time should stay close to the single-connection number:
+   the event loop makes connection count cheap.  --conn-check gates
+   this at 1000 clients with zero dropped accepts. *)
+
+let conn_single_batches = 64
+let conn_single_batch_size = 64
+let conn_fleet_batches = 2
+let conn_fleet_batch_size = 32
+
+let conn_throughput ?(clients = 200) ctx =
+  let meta = ctx.sy_meta in
+  let nsites = meta.Sbi_runtime.Dataset.nsites
+  and npreds = meta.Sbi_runtime.Dataset.npreds
+  and pred_site = meta.Sbi_runtime.Dataset.pred_site in
+  let fresh_reports ~seed ~base n =
+    let st = Random.State.make [| 0x2b11; seed |] in
+    Array.init n (fun i -> synth_report st ~nsites ~npreds ~pred_site (base + i))
+  in
+  (* room for two fds per connection plus runway; on a squeezed fd limit
+     the fleet narrows instead of failing *)
+  let soft0, hard = Sbi_serve.Evloop.nofile_limit () in
+  let want = (2 * clients) + 512 in
+  if soft0 <> -1 && soft0 < want && (hard = -1 || hard >= want) then
+    ignore (Sbi_serve.Evloop.set_nofile_limit want);
+  let soft, _ = Sbi_serve.Evloop.nofile_limit () in
+  let clients = if soft = -1 || soft >= want then clients else max 8 ((soft - 512) / 2) in
+  let with_conn_server f =
+    let sock = Filename.temp_file "sbi_bench" ".sock" in
+    Sys.remove sock;
+    let log_dir = Filename.temp_dir "sbi_bench" ".connlog" in
+    Sbi_ingest.Shard_log.write_meta ~dir:log_dir meta;
+    let config =
+      {
+        (Sbi_serve.Server.default_config (Sbi_serve.Wire.Unix_sock sock)) with
+        Sbi_serve.Server.fsync = true;
+        ingest_log = Some log_dir;
+        group_commit_ms = 2.0;
+        max_batch = 256;
+        acceptors = 2;
+        max_conns = clients + 64;
+      }
+    in
+    let idx = Sbi_index.Index.open_ ~dir:ctx.sy_idx_dir in
+    let srv = Sbi_serve.Server.start config idx in
+    Fun.protect
+      ~finally:(fun () -> Sbi_serve.Server.stop srv)
+      (fun () -> f (Sbi_serve.Wire.Unix_sock sock))
+  in
+  let check_batch = function
+    | Ok statuses ->
+        List.iter
+          (function
+            | Ok _ -> () | Error e -> failwith ("conn bench report rejected: " ^ e))
+          statuses
+    | Error e -> failwith ("conn bench batch failed: " ^ e)
+  in
+  let single_total = conn_single_batches * conn_single_batch_size in
+  let single_ns =
+    with_conn_server (fun addr ->
+        let reports =
+          fresh_reports ~seed:0 ~base:(ctx.sy_nruns + 1_000_000) single_total
+        in
+        let client = connect_exn addr in
+        let (), dt =
+          time (fun () ->
+              for b = 0 to conn_single_batches - 1 do
+                let chunk =
+                  Array.to_list
+                    (Array.sub reports (b * conn_single_batch_size)
+                       conn_single_batch_size)
+                in
+                check_batch (Sbi_serve.Client.ingest_batch client chunk)
+              done)
+        in
+        Sbi_serve.Client.close client;
+        dt *. 1e9 /. float_of_int single_total)
+  in
+  let per_client = conn_fleet_batches * conn_fleet_batch_size in
+  let fleet_total = clients * per_client in
+  let fleet_ns, dropped, fault_lines =
+    with_conn_server (fun addr ->
+        (* connect barrier over clients + the timing thread: traffic and
+           the clock start only once the whole fleet is connected *)
+        let bar_m = Mutex.create () and bar_cv = Condition.create () in
+        let arrived = ref 0 in
+        let parties = clients + 1 in
+        let barrier () =
+          Mutex.lock bar_m;
+          incr arrived;
+          if !arrived >= parties then Condition.broadcast bar_cv
+          else
+            while !arrived < parties do
+              Condition.wait bar_cv bar_m
+            done;
+          Mutex.unlock bar_m
+        in
+        let failures = Atomic.make 0 in
+        let worker w =
+          match Sbi_serve.Client.connect addr with
+          | Error _ ->
+              Atomic.incr failures;
+              barrier ()
+          | Ok client ->
+              barrier ();
+              let reports =
+                fresh_reports ~seed:(1 + w)
+                  ~base:(ctx.sy_nruns + 2_000_000 + (w * per_client))
+                  per_client
+              in
+              (try
+                 for b = 0 to conn_fleet_batches - 1 do
+                   let chunk =
+                     Array.to_list
+                       (Array.sub reports (b * conn_fleet_batch_size)
+                          conn_fleet_batch_size)
+                   in
+                   match Sbi_serve.Client.ingest_batch client chunk with
+                   | Ok statuses ->
+                       List.iter
+                         (function Ok _ -> () | Error _ -> Atomic.incr failures)
+                         statuses
+                   | Error _ -> Atomic.incr failures
+                 done
+               with _ -> Atomic.incr failures);
+              Sbi_serve.Client.close client
+        in
+        let threads = Array.init clients (fun w -> Thread.create worker w) in
+        let (), dt =
+          time (fun () ->
+              barrier ();
+              Array.iter Thread.join threads)
+        in
+        (* a dropped accept or an admission rejection would show up here *)
+        let faults =
+          let prefixed p l = String.length l >= String.length p && String.sub l 0 (String.length p) = p in
+          let c = connect_exn addr in
+          let lines =
+            match Sbi_serve.Client.request c "stats" with
+            | Ok (_, lines) ->
+                List.filter
+                  (fun l -> prefixed "fault.accept " l || prefixed "fault.overload " l)
+                  lines
+            | Error e -> [ "stats unavailable: " ^ e ]
+          in
+          Sbi_serve.Client.close c;
+          lines
+        in
+        (dt *. 1e9 /. float_of_int fleet_total, Atomic.get failures, faults))
+  in
+  Printf.printf
+    "conn front end (fsync on, group commit): single conn %.0f reports/s | %d-conn fleet \
+     %.0f reports/s | fleet/single %.2fx | dropped %d%s\n"
+    (1e9 /. single_ns) clients (1e9 /. fleet_ns)
+    (single_ns /. Float.max fleet_ns 1e-9)
+    dropped
+    (match fault_lines with [] -> "" | ls -> " | " ^ String.concat ", " ls);
+  ([ ("conn:single", single_ns); ("conn:fleet", fleet_ns) ], clients, dropped, fault_lines)
+
+(* `bench/main.exe --conn-check`: exit non-zero unless 1000 concurrent
+   connections are all served — zero dropped accepts, zero overload
+   rejections — with batched throughput within 15% of a single
+   connection.  The payoff gate for the event-loop acceptor, wired to
+   `make bench-check`. *)
+let conn_check () =
+  Printf.printf "conn-check: 1000 concurrent connections vs one, batched ingest, fsync on\n%!";
+  let ctx = build_synth_ctx ~nruns:2_000 in
+  let entries, clients, dropped, fault_lines = conn_throughput ~clients:1000 ctx in
+  let single = List.assoc "conn:single" entries
+  and fleet = List.assoc "conn:fleet" entries in
+  let ratio = single /. Float.max fleet 1e-9 in
+  let ok = ref true in
+  let gate what cond detail =
+    if not cond then begin
+      Printf.printf "  FAILED: %s (%s)\n%!" what detail;
+      ok := false
+    end
+  in
+  gate "fleet width" (clients >= 1000) (Printf.sprintf "%d clients (fd limit?)" clients);
+  gate "zero dropped requests" (dropped = 0) (Printf.sprintf "%d failures" dropped);
+  gate "zero accept faults / overload rejections" (fault_lines = [])
+    (String.concat ", " fault_lines);
+  gate "fleet throughput within 15% of single-connection" (ratio >= 0.85)
+    (Printf.sprintf "%.2fx" ratio);
+  if !ok then begin
+    Printf.printf
+      "conn-check OK: %d concurrent connections at %.2fx single-connection throughput, \
+       nothing dropped\n"
+      clients ratio;
+    exit 0
+  end
+  else begin
+    prerr_endline "conn-check FAILED: event-loop front end dropped or slowed connections";
+    exit 1
+  end
+
 (* `bench/main.exe --par-check`: exit non-zero if any parallel result
    diverges from the sequential engine — wired to `make bench-check`. *)
 let par_check () =
@@ -1372,6 +1574,7 @@ let () =
   if Array.exists (fun a -> a = "--sbfl-check") Sys.argv then sbfl_check ();
   if Array.exists (fun a -> a = "--scale-check") Sys.argv then scale_check ();
   if Array.exists (fun a -> a = "--ingest-check") Sys.argv then ingest_check ();
+  if Array.exists (fun a -> a = "--conn-check") Sys.argv then conn_check ();
   Printf.printf "sbi benchmark harness: %d runs/study, adaptive training on %d runs\n%!"
     bench_runs bench_train;
   ignore (Lazy.force bundles);
@@ -1393,6 +1596,11 @@ let () =
   let serve_entries = par_server_scaling ctx in
   Printf.eprintf "[bench] timing single-RPC vs batched group-commit ingest...\n%!";
   let ingest_entries = ingest_throughput ctx in
+  Printf.eprintf "[bench] timing the event-loop front end under a 200-connection fleet...\n%!";
+  let conn_entries, _, conn_dropped, conn_faults = conn_throughput ctx in
+  if conn_dropped > 0 || conn_faults <> [] then
+    Printf.eprintf "[bench] WARNING: conn fleet dropped %d requests (%s)\n%!" conn_dropped
+      (String.concat ", " conn_faults);
   Printf.eprintf "[bench] timing fault-layer passthrough overhead...\n%!";
   let fault_entries, _ = fault_overhead ctx in
   Printf.eprintf "[bench] timing observability-layer overhead...\n%!";
@@ -1406,8 +1614,8 @@ let () =
   write_bench_json
     ~path:(Option.value ~default:"BENCH_core.json" (Sys.getenv_opt "SBI_BENCH_JSON"))
     ~extra:
-      (par_entries @ serve_entries @ ingest_entries @ fault_entries @ obs_entries
-      @ sbfl_entries @ scale_entries scale)
+      (par_entries @ serve_entries @ ingest_entries @ conn_entries @ fault_entries
+      @ obs_entries @ sbfl_entries @ scale_entries scale)
     results;
   print_tables ();
   if not par_ok then begin

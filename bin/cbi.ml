@@ -924,8 +924,21 @@ let serve_cmd =
            ~doc:"Force a group-commit flush once N reports are pending in the window, \
                  without waiting out --group-commit-ms.")
   in
+  let acceptors_t =
+    Arg.(value & opt int 1 & info [ "acceptors" ] ~docv:"N"
+           ~doc:"Event-loop domains for the connection front end: each runs a poll(2) \
+                 readiness loop over non-blocking connections (on TCP with N >= 2, \
+                 each accepts on its own SO_REUSEPORT listener).  0 falls back to the \
+                 legacy thread-per-connection path.")
+  in
+  let max_conns_t =
+    Arg.(value & opt int 4096 & info [ "max-conns" ] ~docv:"N"
+           ~doc:"Connection admission cap: a client beyond it is answered with a \
+                 one-line 'err busy' and closed instead of hanging.")
+  in
   let run idx_dir addr timeout timeout_ms max_request no_fsync ingest_log update domains
-      par_grain slow_ms compact_every tier_max group_commit_ms max_batch =
+      par_grain slow_ms compact_every tier_max group_commit_ms max_batch acceptors
+      max_conns =
     let addr = or_fail (Sbi_serve.Wire.addr_of_string addr) in
     if domains < 1 then begin
       prerr_endline "cbi: --domains must be >= 1";
@@ -959,6 +972,14 @@ let serve_cmd =
     end;
     if max_batch < 1 then begin
       prerr_endline "cbi: --max-batch must be >= 1";
+      exit 2
+    end;
+    if acceptors < 0 then begin
+      prerr_endline "cbi: --acceptors must be >= 0";
+      exit 2
+    end;
+    if max_conns < 1 then begin
+      prerr_endline "cbi: --max-conns must be >= 1";
       exit 2
     end;
     let timeout =
@@ -1001,6 +1022,8 @@ let serve_cmd =
         tier_max;
         group_commit_ms;
         max_batch;
+        acceptors;
+        max_conns;
       }
     in
     let srv =
@@ -1043,7 +1066,7 @@ let serve_cmd =
     Term.(
       const run $ idx_t $ addr_t $ timeout_t $ timeout_ms_t $ max_request_t $ no_fsync_t
       $ ingest_log_t $ update_t $ domains_t $ par_grain_t $ slow_ms_t $ compact_every_t
-      $ serve_tier_max_t $ group_commit_ms_t $ max_batch_t)
+      $ serve_tier_max_t $ group_commit_ms_t $ max_batch_t $ acceptors_t $ max_conns_t)
 
 let query_cmd =
   let addr_t =
@@ -1178,10 +1201,26 @@ let load_cmd =
       prerr_endline ("cbi: " ^ msg);
       exit 1
     in
+    (* Connect barrier: every client holds its connection open until the
+       whole fleet is connected, so the server really faces [clients]
+       concurrent connections rather than a rolling handful. *)
+    let bar_m = Mutex.create () and bar_cv = Condition.create () in
+    let connected = ref 0 in
+    let barrier () =
+      Mutex.lock bar_m;
+      incr connected;
+      if !connected >= clients then Condition.broadcast bar_cv
+      else
+        while !connected < clients do
+          Condition.wait bar_cv bar_m
+        done;
+      Mutex.unlock bar_m
+    in
     let worker w =
       match Sbi_serve.Client.connect ~timeout_ms addr with
       | Error msg -> fail ("cannot connect: " ^ msg)
       | Ok c ->
+          barrier ();
           (* round-robin partition: client w replays reports w, w+N, ... *)
           let mine = ref [] in
           for i = total - 1 downto 0 do

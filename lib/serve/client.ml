@@ -9,8 +9,11 @@ type t = {
 
 let default_timeout_ms = 30_000
 
-(* Non-blocking connect bounded by [select]: a black-holed host fails in
-   [timeout_ms] instead of the kernel's minutes-long default. *)
+(* Non-blocking connect bounded by a poll(2) wait: a black-holed host
+   fails in [timeout_ms] instead of the kernel's minutes-long default.
+   Poll, not select: a client holding > 1024 open descriptors (a fleet
+   driver, `cbi load` at connection scale) must still be able to apply
+   connect deadlines. *)
 let connect_deadline fd sa timeout_ms =
   if timeout_ms <= 0 then Unix.connect fd sa
   else begin
@@ -18,9 +21,9 @@ let connect_deadline fd sa timeout_ms =
     (match Unix.connect fd sa with
     | () -> ()
     | exception Unix.Unix_error ((Unix.EINPROGRESS | Unix.EWOULDBLOCK | Unix.EAGAIN), _, _) -> (
-        match Unix.select [] [ fd ] [] (float_of_int timeout_ms /. 1000.) with
-        | _, [], _ -> raise (Unix.Unix_error (Unix.ETIMEDOUT, "connect", ""))
-        | _, _ :: _, _ -> (
+        match Evloop.wait_writable ~timeout_ms fd with
+        | `Timeout -> raise (Unix.Unix_error (Unix.ETIMEDOUT, "connect", ""))
+        | `Ready -> (
             match Unix.getsockopt_error fd with
             | Some err -> raise (Unix.Unix_error (err, "connect", ""))
             | None -> ())));

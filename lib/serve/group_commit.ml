@@ -9,8 +9,9 @@
    batch under the same mutex [submit] uses, so the barrier it runs next
    covers every report in the captured batch.
 
-   The flusher sleeps on a self-pipe with [Unix.select] (stdlib
-   [Condition] has no timed wait): submitters kick the pipe on the first
+   The flusher sleeps on a self-pipe with a poll(2) wait
+   ({!Evloop.wait_readable} — stdlib [Condition] has no timed wait):
+   submitters kick the pipe on the first
    report of a window and again when the batch crosses [max_batch], so a
    full window flushes immediately instead of waiting out the delay. *)
 
@@ -77,10 +78,14 @@ let flusher_step t =
   match action with
   | `Exit -> false
   | `Sleep timeout ->
-      (match Unix.select [ t.pipe_r ] [] [] timeout with
-      | [], _, _ -> ()
-      | _ -> drain t
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      (* poll, not select: the self-pipe's fd number is arbitrary, and a
+         server already holding > 1024 descriptors must still flush *)
+      let timeout_ms =
+        if timeout < 0. then -1 else int_of_float (Float.ceil (timeout *. 1e3))
+      in
+      (match Evloop.wait_readable ~timeout_ms t.pipe_r with
+      | `Timeout -> ()
+      | `Ready -> drain t);
       true
   | `Flush b ->
       let result = match t.sync () with () -> Flushed | exception e -> Failed e in

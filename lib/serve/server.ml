@@ -23,6 +23,14 @@ type config = {
          coordinator that amortizes one log fsync across every report in
          the window; 0 keeps the inline fsync-per-request path *)
   max_batch : int;  (* force a group-commit flush at this many pending reports *)
+  acceptors : int;
+      (* > 0: event-driven front end — this many Evloop domains replace
+         thread-per-connection (SO_REUSEPORT per-loop listeners on TCP
+         when available, shared-listener distributor otherwise); 0 keeps
+         the legacy one-thread-per-connection path *)
+  max_conns : int;
+      (* exact connection admission cap in both modes: beyond it a client
+         is accepted, answered [err busy], and closed (fault.overload) *)
 }
 
 let default_config addr =
@@ -39,6 +47,8 @@ let default_config addr =
     tier_max = Sbi_store.Tier.default_tier_max;
     group_commit_ms = 0.;
     max_batch = 512;
+    acceptors = 0;
+    max_conns = 4096;
   }
 
 (* Hard cap on reports per [ingest-batch] request, over and above the
@@ -52,7 +62,10 @@ type t = {
   pool : Sbi_par.Domain_pool.t option;  (* fans snapshot builds and query rescoring *)
   lock : Mutex.t;  (* guards index state and the ingest writer *)
   metrics : Metrics.t;
-  listen_fd : Unix.file_descr;
+  listen_fds : Unix.file_descr list;
+      (* one per acceptor domain with SO_REUSEPORT, else a single shared
+         listener (always single on the legacy thread path) *)
+  mutable ev : Evloop.t option;  (* present iff config.acceptors > 0 *)
   stop_flag : bool Atomic.t;
   workers : (int, Thread.t * Unix.file_descr) Hashtbl.t;
       (* keyed by connection id, not thread id: the id is minted (and the
@@ -412,6 +425,69 @@ let dispatch t line =
             ingest ingest-batch quit)"
            cmd)
 
+(* One parsed request through dispatch, shared by both front ends: the
+   inflight bracket (compaction's segment reclamation waits on a drain),
+   the trace span, and per-request fault isolation. *)
+let eval_request t ~cmd ~line ~request =
+  Atomic.incr t.inflight;
+  try
+    Fun.protect
+      ~finally:(fun () -> Atomic.decr t.inflight)
+      (fun () ->
+        Sbi_obs.Trace.with_span ~name:("serve." ^ cmd) (fun () ->
+            match request with
+            | `Single -> dispatch t line
+            | `Batch payloads -> handle_ingest_batch t payloads))
+  with
+  | Sbi_fault.Fault.Crash _ as e -> raise e
+  | e ->
+      Metrics.fault t.metrics ~kind:"error";
+      Metrics.request_error t.metrics ~cmd;
+      Error ("internal error: " ^ Printexc.to_string e)
+
+(* The event-loop handler: runs on an {!Evloop} worker thread with the
+   request already parsed off the wire by the loop's state machine.
+   Renders the full response body for the loop's write buffer.  Latency
+   covers dispatch + render; unlike the thread path it excludes the
+   write drain, which happens asynchronously on the loop. *)
+let ev_handle t (req : Evloop.request) : Evloop.response =
+  match req with
+  | Evloop.Line "quit" ->
+      { Evloop.body = Wire.render_ok ~header:"bye" ~lines:[]; close = true }
+  | _ ->
+      let line, request =
+        match req with
+        | Evloop.Line l -> (l, `Single)
+        | Evloop.Batch payloads -> ("ingest-batch", `Batch payloads)
+      in
+      let cmd = cmd_name line in
+      let bytes_in =
+        match request with
+        | `Single -> String.length line + 1
+        | `Batch payloads ->
+            List.fold_left
+              (fun acc p -> acc + String.length p + 1)
+              (String.length line + 3) payloads
+      in
+      let t0 = Sbi_obs.Clock.now_ns () in
+      let result = eval_request t ~cmd ~line ~request in
+      let body =
+        match result with
+        | Ok (header, lines) -> Wire.render_ok ~header ~lines
+        | Error msg -> Wire.render_err msg
+      in
+      let latency_ns = Sbi_obs.Clock.now_ns () - t0 in
+      Metrics.record t.metrics ~cmd ~latency_ns ~bytes_in
+        ~bytes_out:(String.length body);
+      let args =
+        match String.index_opt line ' ' with
+        | Some i -> String.sub line (i + 1) (String.length line - i - 1)
+        | None -> ""
+      in
+      Sbi_obs.Slowlog.observe ~cmd ~args ~dur_ns:latency_ns
+        ~epoch:(Index.epoch t.index);
+      { Evloop.body; close = false }
+
 (* A response write that hit the send deadline ([SO_SNDTIMEO]): the peer
    stopped reading.  Distinguished from a receive timeout so the fault
    shows up as its own metric. *)
@@ -508,26 +584,7 @@ let handle_connection t ~conn_id fd =
                 negative or inflated latency (the wall clock survives
                 only in started_at/uptime) *)
              let t0 = Sbi_obs.Clock.now_ns () in
-             (* inflight brackets the whole dispatch: a query's snapshot may
-                lazily read segment files that a concurrent compaction has
-                already superseded, so reclamation waits for a drain *)
-             Atomic.incr t.inflight;
-             let result =
-               try
-                 Fun.protect
-                   ~finally:(fun () -> Atomic.decr t.inflight)
-                   (fun () ->
-                     Sbi_obs.Trace.with_span ~name:("serve." ^ cmd) (fun () ->
-                         match request with
-                         | `Single -> dispatch t line
-                         | `Batch payloads -> handle_ingest_batch t payloads))
-               with
-               | Sbi_fault.Fault.Crash _ as e -> raise e
-               | e ->
-                   Metrics.fault t.metrics ~kind:"error";
-                   Metrics.request_error t.metrics ~cmd;
-                   Error ("internal error: " ^ Printexc.to_string e)
-             in
+             let result = eval_request t ~cmd ~line ~request in
              let bytes_out =
                try
                  match result with
@@ -568,12 +625,28 @@ let handle_connection t ~conn_id fd =
   locked t.workers_lock (fun () -> Hashtbl.remove t.workers conn_id)
 
 let accept_loop t =
-  while not (Atomic.get t.stop_flag) do
-    match Unix.select [ t.listen_fd ] [] [] 0.25 with
-    | [], _, _ -> ()
-    | _ :: _, _, _ -> (
-        match Unix.accept t.listen_fd with
-        | exception Unix.Unix_error _ -> () (* listener closed by stop *)
+  let listen_fd = List.hd t.listen_fds in
+  let stop = ref false in
+  while (not !stop) && not (Atomic.get t.stop_flag) do
+    (* poll, not select: accept readiness must keep working after fd
+       numbers cross FD_SETSIZE *)
+    match Evloop.wait_readable ~timeout_ms:250 listen_fd with
+    | `Timeout -> ()
+    | `Ready -> (
+        match Unix.accept ~cloexec:true listen_fd with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) ->
+            (* the listener itself is gone (closed by stop): fatal for
+               this loop, and the only error class that may end it *)
+            stop := true
+        | exception Unix.Unix_error (_, _, _) ->
+            (* EMFILE/ENFILE/ECONNABORTED/ENOBUFS/...: transient.  The
+               old loop collapsed every accept error into "listener
+               closed" and silently dropped connections in a 4 Hz spin;
+               now the failure is counted and the loop backs off briefly
+               before accepting again. *)
+            Metrics.fault t.metrics ~kind:"accept";
+            Thread.delay 0.05
         | fd, _ ->
             (* both deadlines: a peer that stops *reading* must not wedge
                a worker in a response write any more than a silent peer
@@ -586,14 +659,27 @@ let accept_loop t =
                minted and the entry inserted while holding [workers_lock],
                which the handler's remove-on-exit must also take — a
                fast connection can no longer race its own registration
-               and leave a stale entry behind *)
-            locked t.workers_lock (fun () ->
-                let conn_id = t.next_conn in
-                t.next_conn <- conn_id + 1;
-                let worker = Thread.create (fun () -> handle_connection t ~conn_id fd) () in
-                Hashtbl.replace t.workers conn_id (worker, fd)))
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-    | exception Unix.Unix_error (Unix.EBADF, _, _) -> Atomic.set t.stop_flag true
+               and leave a stale entry behind.  The same critical section
+               enforces the admission cap exactly: the table length can't
+               move between the check and the insert. *)
+            let admitted =
+              locked t.workers_lock (fun () ->
+                  if Hashtbl.length t.workers >= t.config.max_conns then false
+                  else begin
+                    let conn_id = t.next_conn in
+                    t.next_conn <- conn_id + 1;
+                    let worker =
+                      Thread.create (fun () -> handle_connection t ~conn_id fd) ()
+                    in
+                    Hashtbl.replace t.workers conn_id (worker, fd);
+                    true
+                  end)
+            in
+            if not admitted then begin
+              Metrics.fault t.metrics ~kind:"overload";
+              (try ignore (Wire.write_err fd "busy") with _ -> ());
+              try Unix.close fd with Unix.Unix_error _ -> ()
+            end)
   done
 
 (* --- background compaction ---
@@ -664,7 +750,59 @@ let open_ingest_writer config (index : Index.t) =
         (Shard_log.create_writer ~io:config.io ~fsync:config.fsync ~dir
            ~shard:(fresh_shard_id ~dir) ())
 
+(* Builds the listener set.  With [acceptors >= 2] on TCP, tries one
+   SO_REUSEPORT listener per acceptor domain (the kernel load-balances
+   accepts across them); where the option is unavailable — or on Unix
+   sockets, where it does not apply — falls back to a single shared
+   listener that loop 0 polls and distributes.  The deep backlog absorbs
+   connection storms between accept bursts. *)
+let make_listeners config sa domain =
+  let backlog = 1024 in
+  let mk () =
+    let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+    (match domain with
+    | Unix.PF_INET | Unix.PF_INET6 -> Unix.setsockopt fd Unix.SO_REUSEADDR true
+    | _ -> ());
+    fd
+  in
+  let bind_listen fd =
+    Unix.bind fd sa;
+    Unix.listen fd backlog
+  in
+  let is_tcp = match domain with Unix.PF_INET | Unix.PF_INET6 -> true | _ -> false in
+  let fds = ref [] in
+  try
+    if config.acceptors >= 2 && is_tcp then begin
+      let first = mk () in
+      fds := [ first ];
+      if Evloop.set_reuseport first then begin
+        bind_listen first;
+        for _ = 2 to config.acceptors do
+          let fd = mk () in
+          fds := fd :: !fds;
+          ignore (Evloop.set_reuseport fd);
+          bind_listen fd
+        done;
+        (List.rev !fds, `Per_loop)
+      end
+      else begin
+        bind_listen first;
+        ([ first ], `Shared)
+      end
+    end
+    else begin
+      let fd = mk () in
+      fds := [ fd ];
+      bind_listen fd;
+      ([ fd ], `Shared)
+    end
+  with e ->
+    List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) !fds;
+    raise e
+
 let start config index =
+  if config.acceptors < 0 then invalid_arg "Server.start: acceptors must be >= 0";
+  if config.max_conns < 1 then invalid_arg "Server.start: max_conns must be >= 1";
   (* a peer that disconnects mid-response must not kill the process;
      the write surfaces as Sys_error/EPIPE and closes that connection *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
@@ -677,22 +815,13 @@ let start config index =
   | Wire.Unix_sock path when Sys.file_exists path -> Sys.remove path
   | _ -> ());
   let domain = Unix.domain_of_sockaddr sa in
-  let listen_fd = Unix.socket domain Unix.SOCK_STREAM 0 in
-  (match domain with
-  | Unix.PF_INET | Unix.PF_INET6 -> Unix.setsockopt listen_fd Unix.SO_REUSEADDR true
-  | _ -> ());
-  (try
-     Unix.bind listen_fd sa;
-     Unix.listen listen_fd 64
-   with e ->
-     Unix.close listen_fd;
-     raise e);
+  let listen_fds, listener_mode = make_listeners config sa domain in
   (* everything acquired below must be released if a later step raises
      (e.g. an unwritable --log dir): the listener fd, the bound socket
      file, the domain pool, the ingest writer, the commit coordinator —
      a failed start leaks nothing and the address is immediately
      rebindable *)
-  let pool = ref None and writer = ref None and gc = ref None in
+  let pool = ref None and writer = ref None and gc = ref None and ev = ref None in
   match
     (if config.domains > 1 then
        pool := Some (Sbi_par.Domain_pool.create ~domains:config.domains ()));
@@ -713,7 +842,8 @@ let start config index =
         pool = !pool;
         lock = Mutex.create ();
         metrics = Metrics.create ();
-        listen_fd;
+        listen_fds;
+        ev = None;
         stop_flag = Atomic.make false;
         workers = Hashtbl.create 16;
         workers_lock = Mutex.create ();
@@ -728,7 +858,32 @@ let start config index =
         compact_thread = None;
       }
     in
-    t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
+    (if config.acceptors > 0 then begin
+       let listeners =
+         match listener_mode with
+         | `Per_loop -> Evloop.Per_loop (Array.of_list listen_fds)
+         | `Shared -> Evloop.Shared (List.hd listen_fds)
+       in
+       let ev_cfg =
+         {
+           Evloop.loops = config.acceptors;
+           workers = max 4 (2 * config.acceptors);
+           max_conns = config.max_conns;
+           max_line = config.max_request;
+           max_batch_lines;
+           idle_timeout_ns =
+             (if config.timeout > 0. then int_of_float (config.timeout *. 1e9) else 0);
+           io = config.io;
+           handler = (fun req -> ev_handle t req);
+           on_fault = (fun kind -> Metrics.fault t.metrics ~kind);
+           on_open = (fun () -> Metrics.connection_opened t.metrics);
+           on_close = (fun () -> Metrics.connection_closed t.metrics);
+         }
+       in
+       ev := Some (Evloop.start ev_cfg listeners);
+       t.ev <- !ev
+     end
+     else t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ()));
     (match config.compact_every with
     | Some period when period > 0. ->
         t.compact_thread <- Some (Thread.create (fun () -> compact_loop t period) ())
@@ -737,6 +892,7 @@ let start config index =
   with
   | t -> t
   | exception e ->
+      (match !ev with Some g -> ( try Evloop.stop g with _ -> ()) | None -> ());
       (match !gc with Some g -> ( try Group_commit.stop g with _ -> ()) | None -> ());
       (match !writer with
       | Some w -> ( try ignore (Shard_log.close_writer w) with _ -> ())
@@ -744,7 +900,7 @@ let start config index =
       (match !pool with
       | Some p -> ( try Sbi_par.Domain_pool.shutdown p with _ -> ())
       | None -> ());
-      (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+      List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) listen_fds;
       (match config.addr with
       | Wire.Unix_sock path when Sys.file_exists path -> (
           try Sys.remove path with Sys_error _ -> ())
@@ -755,10 +911,20 @@ let addr t = t.config.addr
 
 let stop t =
   if not (Atomic.exchange t.stop_flag true) then begin
-    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
-    (match t.accept_thread with Some th -> Thread.join th | None -> ());
+    (match t.ev with
+    | Some g ->
+        (* event-loop mode: join the loop domains (closing every
+           connection) and drain the dispatch workers, then retire the
+           listeners.  In-flight ingests complete against the still-live
+           group-commit coordinator before it is stopped below. *)
+        Evloop.stop g;
+        List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) t.listen_fds
+    | None ->
+        List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) t.listen_fds;
+        (match t.accept_thread with Some th -> Thread.join th | None -> ()));
     (match t.compact_thread with Some th -> Thread.join th | None -> ());
-    (* wake workers blocked in reads, then wait for them *)
+    (* wake workers blocked in reads, then wait for them (legacy mode;
+       the table is never populated under an event loop) *)
     let snapshot =
       locked t.workers_lock (fun () ->
           Hashtbl.fold (fun _ wt acc -> wt :: acc) t.workers [])
@@ -781,4 +947,8 @@ let stop t =
 
 let wait t = match t.accept_thread with Some th -> Thread.join th | None -> ()
 let ingested t = locked t.lock (fun () -> t.ingested_n)
-let worker_count t = locked t.workers_lock (fun () -> Hashtbl.length t.workers)
+
+let worker_count t =
+  match t.ev with
+  | Some g -> Evloop.conn_count g
+  | None -> locked t.workers_lock (fun () -> Hashtbl.length t.workers)

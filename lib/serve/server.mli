@@ -1,9 +1,24 @@
 (** Concurrent triage query server.
 
-    Serves the {!Wire} protocol over a Unix or TCP socket: one accept
-    thread, one worker thread per connection (blocking reads with a
-    receive timeout), a global lock around index state, and {!Metrics}
-    for observability.
+    Serves the {!Wire} protocol over a Unix or TCP socket, with two
+    connection front ends sharing one dispatch core:
+
+    - [acceptors > 0] (the CLI default): the event-driven {!Evloop}
+      front end — that many poll(2) loop domains with per-connection
+      state machines and a bounded dispatch worker pool.  On TCP with
+      [acceptors >= 2] each loop accepts on its own SO_REUSEPORT
+      listener; otherwise loop 0 distributes from a shared listener.
+      Scales to thousands of concurrent connections (no per-connection
+      thread, no FD_SETSIZE ceiling).
+    - [acceptors = 0]: the legacy path — one accept thread plus one
+      worker thread per connection (blocking reads with a receive
+      timeout).
+
+    Both paths enforce the [max_conns] admission cap (excess clients
+    get a one-line [err busy] and a [fault.overload] count, never a
+    hang), count transient accept(2) failures as [fault.accept] with a
+    brief backoff instead of silently dropping connections, use a
+    global lock around index state, and feed the same {!Metrics}.
 
     Read-only queries ([topk], [pred], [affinity]) follow an
     epoch-snapshot read path: the lock is held only to fetch (or, after
@@ -85,12 +100,22 @@ type config = {
   max_batch : int;
       (** force a group-commit flush once this many reports are pending
           in the window (default 512) *)
+  acceptors : int;
+      (** [> 0] selects the event-driven front end with this many
+          {!Evloop} loop domains; [0] (the library default) keeps the
+          thread-per-connection path.  The CLI defaults to 1. *)
+  max_conns : int;
+      (** exact connection admission cap (default 4096), enforced in
+          both modes: a client beyond it is accepted, answered
+          [err busy], closed, and counted as [fault.overload] *)
 }
 
 val default_config : Wire.addr -> config
 (** 30s timeout, fsync on, no ingest log, 1 domain, [2^20]-cell parallel
     cutoff, 1 MiB request bound, passthrough I/O, no background
-    compaction, no group commit (inline fsync per request). *)
+    compaction, no group commit (inline fsync per request),
+    thread-per-connection front end ([acceptors = 0]), 4096-connection
+    cap. *)
 
 val max_batch_lines : int
 (** Hard cap on reports per [ingest-batch] request (65536); larger
@@ -115,7 +140,8 @@ val ingested : t -> int
 (** Reports accepted over the wire since {!start}. *)
 
 val worker_count : t -> int
-(** Live connection workers currently registered.  Registration happens
-    before the worker thread can run and deregistration is the worker's
-    last act, so after every client has disconnected (and their workers
-    exited) this drains to exactly zero — no stale entries. *)
+(** Live connections.  Legacy mode counts registered connection workers
+    (registration happens before the worker thread can run and
+    deregistration is the worker's last act); event-loop mode counts
+    admitted connections.  Either way, after every client has
+    disconnected this drains to exactly zero — no stale entries. *)

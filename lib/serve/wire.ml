@@ -105,7 +105,10 @@ let unstuff line =
   if String.length line > 1 && line.[0] = '.' then String.sub line 1 (String.length line - 1)
   else line
 
-let write_framed ?io fd header lines =
+(* Rendering is split from writing so the event-loop front end can build
+   a response string once and let its write-buffer state machine drain it
+   across partial non-blocking writes. *)
+let render_framed header lines =
   let buf = Buffer.create 256 in
   Buffer.add_string buf header;
   Buffer.add_char buf '\n';
@@ -115,8 +118,15 @@ let write_framed ?io fd header lines =
       Buffer.add_char buf '\n')
     lines;
   Buffer.add_string buf ".\n";
-  write_string ?io fd (Buffer.contents buf);
-  Buffer.length buf
+  Buffer.contents buf
+
+let render_ok ~header ~lines = render_framed ("ok " ^ header) lines
+let render_err msg = render_framed ("err " ^ msg) []
+
+let write_framed ?io fd header lines =
+  let s = render_framed header lines in
+  write_string ?io fd s;
+  String.length s
 
 let write_ok ?io fd ~header ~lines = write_framed ?io fd ("ok " ^ header) lines
 let write_err ?io fd msg = write_framed ?io fd ("err " ^ msg) []

@@ -71,6 +71,18 @@ val stuff : string -> string
 val unstuff : string -> string
 (** Inverse of {!stuff}. *)
 
+val render_framed : string -> string list -> string
+(** Render one framed response (header, stuffed payload lines, lone-dot
+    terminator) to a string without writing it — the event-loop front
+    end queues the result on a per-connection write buffer and drains it
+    across partial non-blocking writes. *)
+
+val render_ok : header:string -> lines:string list -> string
+(** [render_framed ("ok " ^ header) lines]. *)
+
+val render_err : string -> string
+(** [render_framed ("err " ^ msg) []]. *)
+
 val write_ok :
   ?io:Sbi_fault.Io.t -> Unix.file_descr -> header:string -> lines:string list -> int
 (** Send one framed success response; returns bytes written. *)
